@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.reporting import ascii_chart, format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(name: str, rows, columns=None, title: str = "") -> None:
+    """Print an experiment's series and archive it to results/.
+
+    When the rows carry numeric ``energy_mj``/``accuracy`` columns, an
+    ASCII accuracy-vs-energy chart is archived alongside the table.
+    """
+    text = format_table(rows, columns=columns, title=title or name)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    plottable = [
+        r
+        for r in rows
+        if isinstance(r.get("energy_mj"), (int, float))
+        and isinstance(r.get("accuracy"), (int, float))
+    ]
+    if len(plottable) >= 4:
+        series = "algorithm" if "algorithm" in plottable[0] else None
+        chart = ascii_chart(
+            plottable, x="energy_mj", y="accuracy", series=series,
+            title=(title or name) + " — accuracy vs energy",
+        )
+        (RESULTS_DIR / f"{name}.chart.txt").write_text(chart + "\n")

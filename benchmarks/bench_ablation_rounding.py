@@ -1,0 +1,72 @@
+"""Ablation: what the rounding repair and budget-fill passes buy.
+
+The paper's raw ½-threshold rounding guarantees cost <= 2E; our default
+planners add (a) a repair pass back under E and (b) a fill pass that
+spends stranded budget.  This ablation quantifies both on the Figure 3
+workload.
+"""
+
+import numpy as np
+from _helpers import record
+
+from repro.datagen.gaussian import random_gaussian_field
+from repro.experiments.common import evaluate_planner
+from repro.network.builder import random_topology
+from repro.network.energy import EnergyModel
+from repro.planners.lp_lf import LPLFPlanner
+from repro.planners.lp_no_lf import LPNoLFPlanner
+
+VARIANTS = [
+    ("paper (raw 1/2-rounding)", {"strict_budget": False, "fill_budget": False}),
+    ("repair only", {"strict_budget": True, "fill_budget": False}),
+    ("repair + fill (default)", {"strict_budget": True, "fill_budget": True}),
+]
+
+
+def run():
+    rng = np.random.default_rng(2006)
+    energy = EnergyModel.mica2()
+    n, k = 60, 10
+    topology = random_topology(n, rng=rng)
+    field = random_gaussian_field(n, rng).scaled_variance(9.0)
+    train = field.trace(25, rng)
+    eval_trace = field.trace(15, rng)
+    budget = energy.message_cost(1) * 2 * k
+
+    rows = []
+    for planner_cls in (LPNoLFPlanner, LPLFPlanner):
+        for label, kwargs in VARIANTS:
+            planner = planner_cls(**kwargs)
+            evaluation = evaluate_planner(
+                planner, topology, energy, train, eval_trace, k, budget
+            )
+            rows.append(
+                {
+                    "planner": planner.name,
+                    "variant": label,
+                    "static_cost_mj": evaluation.static_cost_mj,
+                    "energy_mj": evaluation.mean_energy_mj,
+                    "accuracy": evaluation.mean_accuracy,
+                    "budget_mj": budget,
+                }
+            )
+    return rows
+
+
+def test_ablation_rounding(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("ablation_rounding", rows, title="Ablation: rounding repair + fill")
+
+    for planner in ("lp-no-lf", "lp-lf"):
+        subset = {r["variant"]: r for r in rows if r["planner"] == planner}
+        budget = subset["repair only"]["budget_mj"]
+        # paper rounding may exceed E but never 2E
+        assert subset["paper (raw 1/2-rounding)"]["static_cost_mj"] <= 2 * budget + 1e-6
+        # repair restores strict feasibility
+        assert subset["repair only"]["static_cost_mj"] <= budget + 1e-6
+        assert subset["repair + fill (default)"]["static_cost_mj"] <= budget + 1e-6
+        # fill never hurts accuracy relative to repair-only
+        assert (
+            subset["repair + fill (default)"]["accuracy"]
+            >= subset["repair only"]["accuracy"] - 1e-9
+        )

@@ -1,0 +1,45 @@
+"""Section 5 note: plan installation costs ≈ one collection phase,
+and is amortized over many runs because re-triggers are cheap.
+"""
+
+import numpy as np
+from _helpers import record
+
+from repro.network.builder import random_topology
+from repro.network.energy import EnergyModel
+from repro.plans.plan import QueryPlan
+from repro.simulation.distribution import initial_distribution_cost, trigger_cost
+
+
+def run():
+    energy = EnergyModel.mica2()
+    rng = np.random.default_rng(2006)
+    rows = []
+    for n in (30, 60, 100):
+        topology = random_topology(n, rng=rng)
+        plan = QueryPlan.naive_k(topology, 10)
+        collection = plan.static_cost(energy)
+        install = initial_distribution_cost(plan, energy)
+        trigger = trigger_cost(plan, energy)
+        rows.append(
+            {
+                "n": n,
+                "collection_mj": collection,
+                "install_mj": install,
+                "install_over_collection": install / collection,
+                "trigger_mj": trigger,
+                "trigger_over_collection": trigger / collection,
+            }
+        )
+    return rows
+
+
+def test_distribution_cost(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("distribution_cost", rows,
+           title="Distribution phases vs collection phase")
+    for row in rows:
+        # "on the order of the cost of one collection phase"
+        assert 0.1 <= row["install_over_collection"] <= 10.0
+        # re-triggers are much cheaper than collections
+        assert row["trigger_over_collection"] < 0.5

@@ -1,0 +1,27 @@
+"""Section 2 table benchmark: the MICA2 communication cost model.
+
+Regenerates the paper's cost table (send/receive power, byte rate,
+derived per-byte cost) and verifies the relationship the paper builds
+its argument on: the per-message cost dominates per-byte costs.
+"""
+
+from _helpers import record
+
+from repro.network.energy import EnergyModel
+
+
+def test_energy_model_table(benchmark):
+    model = benchmark.pedantic(EnergyModel.mica2, rounds=1, iterations=1)
+    rows = [
+        {"quantity": "sending cost (mW)", "value": model.sending_mw},
+        {"quantity": "receiving cost (mW)", "value": model.receiving_mw},
+        {"quantity": "byte rate (bytes/s)", "value": model.byte_rate},
+        {"quantity": "per-byte cost (mJ/byte)", "value": round(model.per_byte_mj, 5)},
+        {"quantity": "per-message cost (mJ)", "value": model.per_message_mj},
+        {"quantity": "value size (bytes)", "value": model.value_bytes},
+        {"quantity": "per-value transport (mJ/hop)", "value": round(model.per_value_mj, 4)},
+    ]
+    record("energy_model", rows, title="Section 2 table: MICA2 cost model")
+
+    assert model.per_byte_mj == (model.sending_mw + model.receiving_mw) / model.byte_rate
+    assert model.per_message_mj > 10 * model.per_byte_mj

@@ -1,0 +1,104 @@
+"""Extension benchmark: adaptive threshold plans vs LP plans under
+location drift (the paper's §7 future-work direction).
+
+Scenario: the samples were collected while region A was hot; between
+training and querying the hot spot *moves* to region B.  The
+fixed-bandwidth LP plan keeps visiting region A and collapses; the
+threshold plan keeps its energy profile and catches the new hot spot,
+because any node whose reading crosses the threshold speaks up.
+
+The stationary columns record the price of that robustness: when
+history is right, the LP plan is the better deal.
+"""
+
+import numpy as np
+from _helpers import record
+
+from repro.datagen.gaussian import GaussianField
+from repro.network.builder import random_topology
+from repro.network.energy import EnergyModel
+from repro.planners.base import PlanningContext
+from repro.planners.lp_lf import LPLFPlanner
+from repro.plans.adaptive import ThresholdPlanner, execute_threshold_plan
+from repro.plans.plan import top_k_set
+from repro.sampling.matrix import SampleMatrix
+from repro.simulation.runtime import Simulator
+
+K = 6
+TRIALS = 20
+
+
+def _field(topology, hot_nodes):
+    means = np.full(topology.n, 20.0)
+    stds = np.full(topology.n, 1.0)
+    means[list(hot_nodes)] = 35.0
+    stds[list(hot_nodes)] = 2.0
+    return GaussianField(means, stds)
+
+
+def run():
+    rng = np.random.default_rng(2006)
+    energy = EnergyModel.mica2()
+    topology = random_topology(50, rng=rng)
+
+    nodes = [n for n in topology.nodes if n != topology.root]
+    region_a = rng.choice(nodes, size=8, replace=False).tolist()
+    remaining = [n for n in nodes if n not in region_a]
+    region_b = rng.choice(remaining, size=8, replace=False).tolist()
+
+    train_field = _field(topology, region_a)
+    drift_field = _field(topology, region_b)
+    train = train_field.trace(25, rng)
+
+    budget = energy.message_cost(1) * 2.5 * K
+    context = PlanningContext(
+        topology, energy, SampleMatrix(train.values, K), K, budget
+    )
+    lp_plan = LPLFPlanner().plan(context)
+    threshold_plan = ThresholdPlanner().plan(
+        topology, energy, train.values, K, budget
+    )
+
+    simulator = Simulator(topology, energy)
+    rows = []
+    for regime, field in (("stationary", train_field), ("drifted", drift_field)):
+        lp_acc, lp_cost, th_acc, th_cost = [], [], [], []
+        for __ in range(TRIALS):
+            readings = field.sample(rng)
+            truth = top_k_set(readings, K)
+
+            report = simulator.run_collection(lp_plan, readings)
+            lp_acc.append(len(report.top_k_nodes(K) & truth) / K)
+            lp_cost.append(report.energy_mj)
+
+            result = execute_threshold_plan(threshold_plan, readings)
+            th_acc.append(len(result.top_k_nodes(K) & truth) / K)
+            th_cost.append(sum(m.cost(energy) for m in result.messages))
+        rows.append(
+            {
+                "regime": regime,
+                "lp_lf_accuracy": float(np.mean(lp_acc)),
+                "lp_lf_energy_mj": float(np.mean(lp_cost)),
+                "threshold_accuracy": float(np.mean(th_acc)),
+                "threshold_energy_mj": float(np.mean(th_cost)),
+            }
+        )
+    return rows
+
+
+def test_extension_adaptive(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("extension_adaptive", rows,
+           title="Extension: threshold plans vs LP plans under drift")
+
+    stationary, drifted = rows
+    # when history is right, the LP plan is at least competitive
+    assert stationary["lp_lf_accuracy"] >= 0.7
+    # when the hot spot moves, the LP plan collapses ...
+    assert drifted["lp_lf_accuracy"] < 0.4
+    # ... while the threshold plan barely notices
+    assert drifted["threshold_accuracy"] > 0.7
+    assert (
+        drifted["threshold_accuracy"]
+        >= drifted["lp_lf_accuracy"] + 0.3
+    )

@@ -1,0 +1,88 @@
+"""Extension benchmark: serving several queries with one collection.
+
+Three users query the same network — top-5, top-12, and a selection
+alarm.  Running each plan separately pays the per-message costs three
+times; the merged plan (edge-wise bandwidth maximum) pays them once and
+still covers every query's answer at least as well (the up-closed
+coverage guarantee, property-tested in tests/plans/test_merge.py).
+"""
+
+import numpy as np
+from _helpers import record
+
+from repro.datagen.gaussian import random_gaussian_field
+from repro.network.builder import random_topology
+from repro.network.energy import EnergyModel
+from repro.planners.base import PlanningContext
+from repro.planners.lp_lf import LPLFPlanner
+from repro.plans.merge import merge_plans, merge_savings
+from repro.queries import SelectionQuery, SubsetQueryPlanner
+from repro.sampling.matrix import SampleMatrix
+
+
+def run():
+    rng = np.random.default_rng(2006)
+    energy = EnergyModel.mica2()
+    topology = random_topology(60, rng=rng)
+    field = random_gaussian_field(60, rng).scaled_variance(4.0)
+    train = field.trace(25, rng)
+
+    def topk_plan(k, budget_messages):
+        context = PlanningContext(
+            topology, energy, SampleMatrix(train.values, k), k,
+            budget=energy.message_cost(1) * budget_messages,
+        )
+        return LPLFPlanner().plan(context)
+
+    alarm = SelectionQuery(
+        threshold=float(np.quantile(train.values, 0.93))
+    )
+    plans = {
+        "top-5": topk_plan(5, 14),
+        "top-12": topk_plan(12, 30),
+        "alarm": SubsetQueryPlanner(alarm).plan(
+            topology, energy, train.values,
+            budget=energy.message_cost(1) * 18,
+        ),
+    }
+
+    savings = merge_savings(list(plans.values()), energy)
+    merged = merge_plans(list(plans.values()))
+    rows = [
+        {
+            "plan": name,
+            "static_cost_mj": plan.static_cost(energy),
+            "edges_used": len(plan.used_edges),
+        }
+        for name, plan in plans.items()
+    ]
+    rows.append(
+        {
+            "plan": "merged (one collection)",
+            "static_cost_mj": savings["merged_mj"],
+            "edges_used": len(merged.used_edges),
+        }
+    )
+    rows.append(
+        {
+            "plan": "separate total",
+            "static_cost_mj": savings["separate_mj"],
+            "edges_used": sum(len(p.used_edges) for p in plans.values()),
+        }
+    )
+    rows.append(
+        {
+            "plan": "saved",
+            "static_cost_mj": savings["saved_mj"],
+            "edges_used": "",
+        }
+    )
+    return rows, savings
+
+
+def test_extension_multiquery(benchmark):
+    rows, savings = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("extension_multiquery", rows,
+           title="Extension: multi-query plan merging")
+    assert savings["saved_fraction"] > 0.2
+    assert savings["merged_mj"] < savings["separate_mj"]

@@ -1,0 +1,30 @@
+"""Figure 3 benchmark: energy vs accuracy for all algorithms.
+
+Paper shape: NAIVE-k worst by a wide margin; Greedy < LP−LF < LP+LF;
+ORACLE defines the cheap frontier; NAIVE-1 costs more than NAIVE-k even
+at small targets.
+"""
+
+from _helpers import record
+
+from repro.experiments import fig3_comparison
+
+COLUMNS = ["algorithm", "budget_mj", "energy_mj", "accuracy"]
+
+
+def test_fig3_comparison(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig3_comparison.run(include_naive_one=True),
+        rounds=1,
+        iterations=1,
+    )
+    record("fig3_comparison", rows, COLUMNS,
+           title="Figure 3: comparison of algorithms")
+
+    approx_best = max(
+        r["energy_mj"] for r in rows if r["algorithm"] == "lp-lf"
+    )
+    naive_full = max(
+        r["energy_mj"] for r in rows if r["algorithm"] == "naive-k"
+    )
+    assert naive_full > approx_best

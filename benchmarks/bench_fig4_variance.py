@@ -1,0 +1,20 @@
+"""Figure 4 benchmark: effect of variance on LP−LF vs LP+LF.
+
+Paper shape: both near perfect at negligible variance, both degrade as
+variance grows, LP−LF faster; both level out once means are diluted.
+"""
+
+from _helpers import record
+
+from repro.experiments import fig4_variance
+
+COLUMNS = ["algorithm", "variance", "energy_mj", "accuracy"]
+
+
+def test_fig4_variance(benchmark):
+    rows = benchmark.pedantic(fig4_variance.run, rounds=1, iterations=1)
+    record("fig4_variance", rows, COLUMNS, title="Figure 4: effect of variance")
+
+    lf = [r for r in rows if r["algorithm"] == "lp-lf"]
+    assert lf[0]["accuracy"] >= 0.9          # predictable regime
+    assert lf[-1]["accuracy"] < lf[0]["accuracy"]  # diluted regime

@@ -1,0 +1,31 @@
+"""Figure 5 benchmark: contention zones, LP+LF vs LP−LF energy sweep.
+
+Paper shape: LP+LF outperforms LP−LF and the gap grows with the budget
+(LP−LF swallows whole zones; LP+LF visits several and filters locally).
+"""
+
+from _helpers import record
+
+from repro.experiments import fig5_zones
+
+COLUMNS = ["algorithm", "budget_mj", "energy_mj", "accuracy"]
+
+
+def test_fig5_zones(benchmark):
+    rows = benchmark.pedantic(fig5_zones.run, rounds=1, iterations=1)
+    record("fig5_zones", rows, COLUMNS, title="Figure 5: contention zones")
+
+    budgets = sorted({r["budget_mj"] for r in rows})
+    def accuracy_of(name, budget):
+        return [
+            r["accuracy"]
+            for r in rows
+            if r["algorithm"] == name and r["budget_mj"] == budget
+        ][0]
+
+    top = budgets[-1]
+    assert accuracy_of("lp-lf", top) > accuracy_of("lp-no-lf", top)
+    # the gap at the top of the ladder exceeds the gap at the bottom
+    gap_hi = accuracy_of("lp-lf", budgets[-1]) - accuracy_of("lp-no-lf", budgets[-1])
+    gap_lo = accuracy_of("lp-lf", budgets[0]) - accuracy_of("lp-no-lf", budgets[0])
+    assert gap_hi > gap_lo

@@ -1,0 +1,26 @@
+"""Figure 7 benchmark: varying the number of contention zones.
+
+Paper shape: both algorithms degrade as zones multiply; LP+LF stays on
+top throughout.
+"""
+
+from _helpers import record
+
+from repro.experiments import fig7_num_zones
+
+COLUMNS = ["algorithm", "num_zones", "energy_mj", "accuracy"]
+
+
+def test_fig7_num_zones(benchmark):
+    rows = benchmark.pedantic(fig7_num_zones.run, rounds=1, iterations=1)
+    record("fig7_num_zones", rows, COLUMNS,
+           title="Figure 7: varying the number of zones")
+
+    lf = [r for r in rows if r["algorithm"] == "lp-lf"]
+    no_lf = [r for r in rows if r["algorithm"] == "lp-no-lf"]
+    # degradation from 1 zone to 6 zones
+    assert lf[0]["accuracy"] > lf[-1]["accuracy"]
+    assert no_lf[0]["accuracy"] > no_lf[-1]["accuracy"]
+    # LP+LF at least matches LP−LF on average
+    mean = lambda rs: sum(r["accuracy"] for r in rs) / len(rs)
+    assert mean(lf) >= mean(no_lf)

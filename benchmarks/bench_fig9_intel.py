@@ -1,0 +1,62 @@
+"""Figure 9 benchmark: the Intel Lab surrogate trace.
+
+Paper shape: Greedy trails LP−LF until both saturate; LP+LF ≈ LP−LF
+(top-k locations are predictable on this data); NAIVE-k needs a
+multiple of the energy of the approximate planners at high accuracy.
+
+Averaged over three seeds (topology + trace instances): single-trace
+accuracy differences of a point or two are generalization noise, as the
+debug analysis in EXPERIMENTS.md explains.
+"""
+
+import numpy as np
+from _helpers import record
+
+from repro.experiments import fig9_intel
+
+COLUMNS = ["algorithm", "budget_mj", "energy_mj", "accuracy"]
+SEEDS = (2006, 7, 13)
+
+
+def run_averaged():
+    per_seed = [fig9_intel.run(seed=seed) for seed in SEEDS]
+    averaged = []
+    for index, base_row in enumerate(per_seed[0]):
+        rows = [runs[index] for runs in per_seed]
+        assert all(r["algorithm"] == base_row["algorithm"] for r in rows)
+        averaged.append(
+            {
+                "algorithm": base_row["algorithm"],
+                # budgets vary slightly per seed (they scale with the
+                # instance's tree height); label with the first seed's
+                "budget_mj": base_row["budget_mj"],
+                "energy_mj": float(np.mean([r["energy_mj"] for r in rows])),
+                "accuracy": float(np.mean([r["accuracy"] for r in rows])),
+            }
+        )
+    return averaged
+
+
+def test_fig9_intel(benchmark):
+    rows = benchmark.pedantic(run_averaged, rounds=1, iterations=1)
+    record("fig9_intel", rows, COLUMNS,
+           title=f"Figure 9: Intel Lab surrogate (mean of seeds {SEEDS})")
+
+    def series(name):
+        return [r for r in rows if r["algorithm"] == name]
+
+    greedy = series("greedy")
+    no_lf = series("lp-no-lf")
+    lf = series("lp-lf")
+    naive = series("naive-k")[0]
+
+    # greedy never beats LP−LF on average
+    assert np.mean([r["accuracy"] for r in no_lf]) >= np.mean(
+        [r["accuracy"] for r in greedy]
+    )
+    # naive-k costs a multiple of what the approximates spend at their
+    # highest-accuracy point
+    peak = max(r["energy_mj"] for r in no_lf)
+    assert naive["energy_mj"] > 1.2 * peak
+    # LP+LF reaches the same top accuracy as LP−LF on this data
+    assert max(r["accuracy"] for r in lf) >= max(r["accuracy"] for r in no_lf) - 0.02

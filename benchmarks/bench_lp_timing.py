@@ -1,0 +1,24 @@
+"""LP solve-time benchmark (§5 "Other Results").
+
+The paper's CPLEX runs took seconds to ~minutes in the worst cases;
+this records build+solve wall time of each formulation on the HiGHS
+backend across problem sizes.
+"""
+
+from _helpers import record
+
+from repro.experiments import lp_timing
+
+
+def test_lp_timing(benchmark):
+    rows = benchmark.pedantic(lp_timing.run, rounds=1, iterations=1)
+    record("lp_timing", rows, title="LP build+solve times")
+
+    # the proof formulation is the largest, as the paper notes
+    by_formulation = {}
+    for row in rows:
+        by_formulation.setdefault(row["formulation"], []).append(row)
+    largest_proof = max(r["variables"] for r in by_formulation["prospector-proof"])
+    largest_lf = max(r["variables"] for r in by_formulation["lp-lf"])
+    assert largest_proof > largest_lf
+    assert all(r["solve_s"] < 60 for r in rows)

@@ -1,0 +1,55 @@
+"""Sample-size benchmark (§5 "Other Results").
+
+Paper shape: a single sample is poor; accuracy rises steeply up to
+~5-25 samples and essentially levels out by 25-50.
+"""
+
+import numpy as np
+from _helpers import record
+
+from repro.experiments import sample_size
+
+COLUMNS = ["workload", "num_samples", "energy_mj", "accuracy"]
+SEEDS = (2006, 7, 13)
+
+
+def run_averaged():
+    """Mean over seeds: single-instance curves are noisy at the tail."""
+    per_seed = [sample_size.run(seed=seed) for seed in SEEDS]
+    averaged = []
+    for index, base in enumerate(per_seed[0]):
+        rows = [runs[index] for runs in per_seed]
+        averaged.append(
+            {
+                "workload": base["workload"],
+                "num_samples": base["num_samples"],
+                "energy_mj": float(np.mean([r["energy_mj"] for r in rows])),
+                "accuracy": float(np.mean([r["accuracy"] for r in rows])),
+            }
+        )
+    return averaged
+
+
+def test_sample_size_gaussian(benchmark):
+    rows = benchmark.pedantic(run_averaged, rounds=1, iterations=1)
+    record("sample_size_gaussian", rows, COLUMNS,
+           title=f"Sample-size study (gaussian workload, mean of {SEEDS})")
+
+    accuracy = {r["num_samples"]: r["accuracy"] for r in rows}
+    assert accuracy[25] > accuracy[1]
+    # leveling out: going 25 -> 50 gains far less than 1 -> 25
+    early_gain = accuracy[25] - accuracy[1]
+    late_gain = accuracy[50] - accuracy[25]
+    assert late_gain < early_gain
+
+
+def test_sample_size_intel(benchmark):
+    rows = benchmark.pedantic(
+        lambda: sample_size.run(workload="intel", sizes=(1, 5, 25, 50)),
+        rounds=1,
+        iterations=1,
+    )
+    record("sample_size_intel", rows, COLUMNS,
+           title="Sample-size study (intel surrogate)")
+    accuracy = {r["num_samples"]: r["accuracy"] for r in rows}
+    assert accuracy[25] >= accuracy[1]

@@ -1,0 +1,42 @@
+"""Extension benchmark: §3.1's sample-complexity claim, empirically.
+
+Shmoys & Swamy guarantee that polynomially many sampled scenarios
+approximate the true two-stage objective; the paper leans on this to
+justify planning from a handful of samples.  This benchmark solves
+SIMPLE-TOP-K from growing scenario samples and scores the decisions on
+a large held-out scenario set.
+"""
+
+import numpy as np
+from _helpers import record
+
+from repro.stochastic.simple_topk import sample_complexity_curve
+
+
+def run():
+    rng = np.random.default_rng(2006)
+    n, k, budget = 40, 5, 10
+    weights = rng.dirichlet(np.ones(n) * 0.25)
+
+    def draw():
+        return set(rng.choice(n, size=k, replace=False, p=weights).tolist())
+
+    return sample_complexity_curve(
+        n, k, budget=budget, draw_scenario=draw,
+        scenario_counts=(1, 2, 5, 10, 25, 50, 100),
+        evaluation_scenarios=600, rng=rng,
+    )
+
+
+def test_stochastic_steiner_sample_complexity(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("stochastic_sample_complexity", rows,
+           title="SIMPLE-TOP-K: held-out quality vs sampled scenarios")
+
+    first, last = rows[0], rows[-1]
+    assert last["heldout_misses"] <= first["heldout_misses"]
+    # the curve levels out: the last doubling buys little
+    mid = next(r for r in rows if r["training_scenarios"] == 25)
+    early_gain = first["heldout_misses"] - mid["heldout_misses"]
+    late_gain = mid["heldout_misses"] - last["heldout_misses"]
+    assert late_gain <= early_gain + 1e-9

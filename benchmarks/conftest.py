@@ -1,0 +1,10 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*.py`` file regenerates one table/figure of the paper's
+evaluation (or one ablation), times the regeneration with
+pytest-benchmark, prints the series, and archives it under
+``benchmarks/results/`` — EXPERIMENTS.md records the shapes against the
+paper's.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""

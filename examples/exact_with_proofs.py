@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Exact answers with proofs: PROSPECTOR-Proof and PROSPECTOR-Exact.
+
+Approximate plans are cheap but can silently miss top values when
+conditions drift from the samples.  Proof-carrying plans (paper §4.3)
+certify, *independently of the model*, that a prefix of the returned
+values really are the network's top values; PROSPECTOR-Exact completes
+any uncertified remainder with a targeted mop-up phase, always
+returning the exact top-k.
+
+This example runs both on a day when the sensors misbehave — readings
+drawn from a distribution quite different from the training samples —
+and shows that exactness survives while costs stay below NAIVE-k.
+
+Run:  python examples/exact_with_proofs.py
+"""
+
+import numpy as np
+
+from repro import (
+    EnergyModel,
+    ExactTopK,
+    PlanningContext,
+    ProofPlanner,
+    SampleMatrix,
+    Simulator,
+    random_topology,
+)
+from repro.datagen import random_gaussian_field
+from repro.plans.plan import top_k_set
+
+K = 10
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    energy = EnergyModel.mica2()
+    topology = random_topology(80, rng=rng)
+    print(f"network: {topology.n} nodes, height {topology.height}")
+
+    field = random_gaussian_field(topology.n, rng)
+    samples = SampleMatrix(field.trace(12, rng).values, K)
+
+    planner = ProofPlanner(fill_budget=True)
+    probe = PlanningContext(topology, energy, samples, K, budget=float("inf"))
+    minimum = planner.minimum_cost(probe)
+    context = PlanningContext(
+        topology, energy, samples, K, budget=minimum * 1.15
+    )
+    plan = planner.plan(context)
+    print(
+        f"proof plan: minimum legal cost {minimum:.0f} mJ,"
+        f" allocated {context.budget:.0f} mJ"
+    )
+
+    simulator = Simulator(topology, energy)
+    exact = ExactTopK(planner)
+
+    scenarios = {
+        "normal day (samples accurate)": field.sample(rng),
+        "anomalous day (samples misleading)": field.sample(rng)[::-1].copy(),
+    }
+    for label, readings in scenarios.items():
+        outcome = exact.run_with_plan(plan, K, readings)
+        truth = top_k_set(readings, K)
+        assert outcome.answer_nodes() == truth, "exactness violated!"
+        phase1 = sum(m.cost(energy) for m in outcome.phase1_messages)
+        phase2 = sum(m.cost(energy) for m in outcome.phase2_messages)
+        print(
+            f"\n{label}:\n"
+            f"  phase 1 proved {outcome.proven_in_phase1}/{K} values"
+            f" at {phase1:.0f} mJ"
+        )
+        if outcome.used_mop_up:
+            print(f"  mop-up fetched the rest at {phase2:.0f} mJ")
+        else:
+            print("  mop-up not needed")
+        naive = simulator.run_naive_k(readings, K)
+        print(
+            f"  total {phase1 + phase2:.0f} mJ vs NAIVE-k"
+            f" {naive.energy_mj:.0f} mJ — exact either way"
+        )
+
+
+if __name__ == "__main__":
+    main()

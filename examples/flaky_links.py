@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Failure-aware planning (paper §4.4).
+
+Transient link failures are frequent in real deployments; the reliable
+protocol retries around them at extra cost.  The paper's recipe: track
+per-edge failure statistics and inflate each edge's cost by
+``failure_probability x re-route penalty`` during optimization, so the
+planner organically avoids flaky regions when equally good data is
+reachable over healthy links.
+
+Run:  python examples/flaky_links.py
+"""
+
+import numpy as np
+
+from repro import (
+    EnergyModel,
+    LinkFailureModel,
+    LPNoLFPlanner,
+    PlanningContext,
+    SampleMatrix,
+    Simulator,
+)
+from repro.datagen import GaussianField
+from repro.network.builder import zone_members, zoned_topology
+from repro.query import accuracy
+
+K = 6
+TRIALS = 25
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    energy = EnergyModel.mica2()
+
+    # two promising sensor clusters; the slightly hotter one (zone B)
+    # sits behind flaky links, so a blind planner walks into it
+    topology = zoned_topology(2, zone_size=2 * K, relay_hops=4)
+    zones = zone_members(2, zone_size=2 * K, relay_hops=4)
+    means = np.full(topology.n, 30.0)
+    stds = np.full(topology.n, 0.5)
+    means[zones[0]] = 50.0
+    means[zones[1]] = 50.6
+    stds[zones[0]] = 2.0
+    stds[zones[1]] = 2.0
+    field = GaussianField(means, stds)
+
+    flaky = set(zones[1]) | {
+        e for e in topology.edges if topology.is_ancestor(e, zones[1][0])
+    }
+    failures = LinkFailureModel(
+        failure_probability={e: 0.5 for e in flaky},
+        reroute_extra_mj={e: 4.0 for e in flaky},
+    )
+    print(
+        f"network: {topology.n} nodes; zone B's {len(flaky)} links fail"
+        " 50% of the time (re-route penalty 4 mJ)"
+    )
+
+    samples = SampleMatrix(field.trace(20, rng).values, K)
+    # enough to acquire one full zone (relays + members), not both
+    budget = energy.message_cost(1) * (4 + 2 * K) * 1.4
+
+    for label, failure_model in (
+        ("failure-blind", None),
+        ("failure-aware", failures),
+    ):
+        context = PlanningContext(
+            topology, energy, samples, K, budget, failures=failure_model
+        )
+        plan = LPNoLFPlanner().plan(context)
+        simulator = Simulator(
+            topology, energy, failures=failures, rng=np.random.default_rng(9)
+        )
+        energies, accs, retries = [], [], 0
+        for __ in range(TRIALS):
+            readings = field.sample(rng)
+            report = simulator.run_collection(plan, readings)
+            energies.append(report.energy_mj)
+            accs.append(accuracy(report.top_k_nodes(K), readings, K))
+            retries += report.num_retries
+        zone_b_bandwidth = sum(plan.bandwidths[e] for e in flaky)
+        print(
+            f"\n{label}:"
+            f"\n  bandwidth routed through the flaky zone: {zone_b_bandwidth}"
+            f"\n  mean energy {np.mean(energies):.0f} mJ,"
+            f" accuracy {np.mean(accs):.0%},"
+            f" {retries} retries over {TRIALS} queries"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Inspecting plans before installing them.
+
+Disseminating a plan costs on the order of a full collection phase
+(paper §2/§5), so a deployment wants to understand a candidate plan —
+its cost anatomy, its bottleneck edges, its expected accuracy — and
+whether a re-optimized plan is worth the installation price (§4.4
+"Plan Re-calculation") before touching the network.
+
+Run:  python examples/plan_inspection.py
+"""
+
+import numpy as np
+
+from repro import (
+    EnergyModel,
+    LPLFPlanner,
+    PlanningContext,
+    SampleMatrix,
+    random_topology,
+)
+from repro.analysis import compare_plans, explain_plan
+from repro.datagen import random_gaussian_field
+from repro.experiments.reporting import format_table
+
+K = 8
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    energy = EnergyModel.mica2()
+    topology = random_topology(50, rng=rng)
+    field = random_gaussian_field(50, rng).scaled_variance(6.0)
+    samples = SampleMatrix(field.trace(25, rng).values, K)
+
+    tight = LPLFPlanner().plan(
+        PlanningContext(topology, energy, samples, K,
+                        budget=energy.message_cost(1) * 1.5 * K)
+    )
+    generous = LPLFPlanner().plan(
+        PlanningContext(topology, energy, samples, K,
+                        budget=energy.message_cost(1) * 3.5 * K)
+    )
+
+    report = explain_plan(tight, samples, energy)
+    print(
+        f"tight plan: {report.num_edges_used} edges,"
+        f" {report.visited_nodes} nodes visited,"
+        f" expected accuracy {report.expected_accuracy:.0%}"
+    )
+    print(
+        f"  cost anatomy: {report.message_cost_mj:.1f} mJ messages +"
+        f" {report.value_cost_mj:.1f} mJ value transport"
+        f" = {report.total_cost_mj:.1f} mJ"
+    )
+    bottlenecks = report.bottlenecks(saturation_threshold=0.8)
+    print(f"  bottleneck edges (>=80% saturated): {len(bottlenecks)}")
+    if bottlenecks:
+        print(
+            format_table(
+                [
+                    {
+                        "edge": b.edge,
+                        "depth": b.depth,
+                        "bandwidth": b.bandwidth,
+                        "mean_sent": b.mean_transmitted,
+                        "saturation": b.saturation,
+                    }
+                    for b in bottlenecks[:5]
+                ]
+            )
+        )
+
+    comparison = compare_plans(tight, generous, samples, energy)
+    print(
+        f"\ncandidate (generous) plan: +{comparison.hits_delta:.2f} expected"
+        f" hits/query for +{comparison.cost_delta_mj:.1f} mJ/query;"
+        f" installation costs {comparison.install_cost_mj:.1f} mJ"
+    )
+    verdict = "install" if comparison.worth_installing() else "keep current"
+    print(f"dissemination decision (>=10% better rule): {verdict}")
+
+
+if __name__ == "__main__":
+    main()

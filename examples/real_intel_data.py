@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Running Figure 9 against the *real* Intel Lab trace.
+
+The genuine dataset (not bundled — grab ``data.txt`` from
+http://db.csail.mit.edu/labdata/labdata.html) drops straight into the
+library through :func:`repro.datagen.intel_parser.load_intel_trace`.
+Without the file, this script demonstrates the identical pipeline on a
+small synthetic file written in the exact raw format, so the parsing
+path is exercised either way.
+
+Run:  python examples/real_intel_data.py [path/to/data.txt]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import EnergyModel, LPNoLFPlanner, PlanningContext, Simulator
+from repro.datagen.intel_parser import load_intel_trace
+from repro.network.builder import nearest_neighbor_tree
+from repro.query import accuracy
+from repro.sampling import SampleMatrix
+
+K = 5
+
+
+def demo_file() -> Path:
+    """A small file in the genuine raw format (stand-in for data.txt)."""
+    rng = np.random.default_rng(4)
+    lines = []
+    base = 18.0 + rng.uniform(0, 6, size=12)
+    for epoch in range(80):
+        for mote in range(1, 13):
+            if rng.random() < 0.05:
+                continue  # the real file has holes too
+            temp = base[mote - 1] + 2.0 * np.sin(epoch / 12) + rng.normal(0, 0.4)
+            lines.append(
+                f"2004-02-28 00:{epoch % 60:02d}:00.0 {epoch} {mote}"
+                f" {temp:.4f} 37.0 45.0 2.7"
+            )
+    handle = tempfile.NamedTemporaryFile(
+        "w", suffix=".txt", delete=False
+    )
+    handle.write("\n".join(lines) + "\n")
+    handle.close()
+    return Path(handle.name)
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        path = Path(sys.argv[1])
+        print(f"loading real trace: {path}")
+    else:
+        path = demo_file()
+        print(
+            "no data.txt given — demonstrating on a synthetic file in"
+            " the genuine raw format"
+        )
+
+    trace, mote_ids = load_intel_trace(path, max_epochs=80)
+    print(
+        f"parsed {trace.num_epochs} epochs x {trace.num_nodes} motes"
+        f" (raw ids {mote_ids[:6]}...)"
+    )
+
+    # the raw dataset ships mote coordinates separately; lacking them we
+    # synthesize a plausible layout and let Prim's tree connect it
+    rng = np.random.default_rng(0)
+    positions = [tuple(p) for p in rng.uniform(0, 40, size=(trace.num_nodes, 2))]
+    topology = nearest_neighbor_tree(positions)
+
+    train, live = trace.split(min(50, trace.num_epochs - 10))
+    energy = EnergyModel.mica2()
+    context = PlanningContext(
+        topology, energy, SampleMatrix(train.values, K), K,
+        budget=energy.message_cost(1) * (topology.height + 2) * 2,
+    )
+    plan = LPNoLFPlanner().plan(context)
+    simulator = Simulator(topology, energy)
+
+    accuracies, energies = [], []
+    for readings in live:
+        report = simulator.run_collection(plan, readings)
+        accuracies.append(accuracy(report.top_k_nodes(K), readings, K))
+        energies.append(report.energy_mj)
+    print(
+        f"LP−LF on this trace: accuracy {np.mean(accuracies):.0%},"
+        f" {np.mean(energies):.1f} mJ/query"
+    )
+
+
+if __name__ == "__main__":
+    main()

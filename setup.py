@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables legacy
+editable installs (``pip install -e . --no-build-isolation``) on
+machines that cannot build PEP 517 wheels offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""Plan introspection and comparison tooling.
+
+Deployments need to understand *why* a plan costs what it costs and
+where its accuracy comes from before installing it into a battery-
+powered network.  :func:`~repro.analysis.explain.explain_plan` breaks a
+plan down (cost split, per-edge expected utilization, bottlenecks,
+coverage of the sampled top-k), and
+:func:`~repro.analysis.explain.compare_plans` diffs two candidates —
+the decision the paper's §4.4 "Plan Re-calculation" policy makes before
+paying to disseminate a replacement.
+"""
+
+from repro.analysis.explain import (
+    EdgeUsage,
+    PlanComparison,
+    PlanReport,
+    compare_plans,
+    explain_plan,
+)
+from repro.analysis.lifetime import (
+    LifetimeReport,
+    NodeBurden,
+    compare_lifetimes,
+    estimate_lifetime,
+    node_burdens,
+)
+
+__all__ = [
+    "EdgeUsage",
+    "LifetimeReport",
+    "NodeBurden",
+    "PlanComparison",
+    "PlanReport",
+    "compare_lifetimes",
+    "compare_plans",
+    "estimate_lifetime",
+    "explain_plan",
+    "node_burdens",
+]

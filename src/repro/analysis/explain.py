@@ -1,0 +1,175 @@
+"""Explaining and comparing query plans against sample data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SamplingError
+from repro.network.energy import EnergyModel
+from repro.plans.execution import count_topk_hits, execute_plan
+from repro.plans.plan import QueryPlan
+
+
+@dataclass(frozen=True)
+class EdgeUsage:
+    """How one edge behaves across the samples."""
+
+    edge: int
+    depth: int
+    bandwidth: int
+    mean_transmitted: float
+    saturation: float
+    """Fraction of samples in which the edge ran full (transmitted ==
+    bandwidth) — persistent saturation marks an accuracy bottleneck."""
+
+
+@dataclass
+class PlanReport:
+    """The anatomy of one plan over a sample set."""
+
+    num_edges_used: int
+    visited_nodes: int
+    total_bandwidth: int
+    message_cost_mj: float
+    value_cost_mj: float
+    acquisition_cost_mj: float
+    expected_hits: float
+    expected_accuracy: float
+    edges: list[EdgeUsage] = field(default_factory=list)
+
+    @property
+    def total_cost_mj(self) -> float:
+        return (
+            self.message_cost_mj
+            + self.value_cost_mj
+            + self.acquisition_cost_mj
+        )
+
+    def bottlenecks(self, saturation_threshold: float = 0.9) -> list[EdgeUsage]:
+        """Edges saturated in at least this fraction of samples."""
+        return [
+            usage
+            for usage in self.edges
+            if usage.saturation >= saturation_threshold
+        ]
+
+    def rows(self) -> list[dict]:
+        """Edge table for :func:`repro.experiments.reporting.format_table`."""
+        return [
+            {
+                "edge": usage.edge,
+                "depth": usage.depth,
+                "bandwidth": usage.bandwidth,
+                "mean_sent": usage.mean_transmitted,
+                "saturation": usage.saturation,
+            }
+            for usage in self.edges
+        ]
+
+
+def explain_plan(
+    plan: QueryPlan,
+    sample_matrix,
+    energy: EnergyModel,
+) -> PlanReport:
+    """Dissect a plan against a sample matrix.
+
+    ``sample_matrix`` needs the :class:`~repro.sampling.matrix.
+    SampleMatrix` surface (``values``, ``ones_list``, ``num_samples``).
+    Edge utilization is measured by replaying the plan on every sample
+    row; expected hits use the exact tree recursion.
+    """
+    if sample_matrix.num_samples == 0:  # pragma: no cover - matrix forbids
+        raise SamplingError("sample matrix is empty")
+    topology = plan.topology
+    ones = sample_matrix.ones_list()
+
+    transmitted: dict[int, list[int]] = {e: [] for e in plan.used_edges}
+    for row in sample_matrix.values:
+        result = execute_plan(plan, row)
+        for edge in plan.used_edges:
+            transmitted[edge].append(result.transmitted.get(edge, 0))
+
+    edges = []
+    for edge in sorted(plan.used_edges):
+        sent = transmitted[edge]
+        bandwidth = plan.effective_bandwidth(edge)
+        saturated = sum(1 for s in sent if s >= bandwidth)
+        edges.append(
+            EdgeUsage(
+                edge=edge,
+                depth=topology.depth(edge),
+                bandwidth=plan.bandwidths[edge],
+                mean_transmitted=sum(sent) / len(sent),
+                saturation=saturated / len(sent),
+            )
+        )
+
+    active = plan.visited_nodes
+    active_edges = [e for e in plan.used_edges if e in active]
+    message_cost = sum(energy.message_cost(0) for __ in active_edges)
+    value_cost = sum(
+        energy.per_value_mj * plan.effective_bandwidth(e)
+        for e in active_edges
+    )
+    acquisition = energy.acquisition_mj * len(active)
+
+    total_hits = sum(count_topk_hits(plan, o) for o in ones)
+    k = max((len(o) for o in ones), default=1)
+    expected_hits = total_hits / len(ones)
+    return PlanReport(
+        num_edges_used=len(active_edges),
+        visited_nodes=len(active),
+        total_bandwidth=sum(plan.bandwidths.values()),
+        message_cost_mj=message_cost,
+        value_cost_mj=value_cost,
+        acquisition_cost_mj=acquisition,
+        expected_hits=expected_hits,
+        expected_accuracy=expected_hits / k if k else 0.0,
+        edges=edges,
+    )
+
+
+@dataclass(frozen=True)
+class PlanComparison:
+    """The §4.4 re-calculation decision input: is B worth installing?"""
+
+    hits_delta: float
+    cost_delta_mj: float
+    install_cost_mj: float
+    breakeven_queries: float
+    """Queries needed before B's per-query advantage (if its running
+    cost is lower) repays the installation; ``inf`` when it never does."""
+
+    def worth_installing(self, improvement_threshold: float = 0.10) -> bool:
+        """True when B's expected hits beat A's by the threshold
+        fraction (the engine's default dissemination rule)."""
+        return self.hits_delta > 0 and (
+            self.hits_delta >= improvement_threshold
+        )
+
+
+def compare_plans(
+    current: QueryPlan,
+    candidate: QueryPlan,
+    sample_matrix,
+    energy: EnergyModel,
+) -> PlanComparison:
+    """Compare an installed plan with a re-optimized candidate."""
+    from repro.simulation.distribution import initial_distribution_cost
+
+    report_a = explain_plan(current, sample_matrix, energy)
+    report_b = explain_plan(candidate, sample_matrix, energy)
+    hits_delta = report_b.expected_hits - report_a.expected_hits
+    cost_delta = report_b.total_cost_mj - report_a.total_cost_mj
+    install = initial_distribution_cost(candidate, energy)
+    if cost_delta < 0:
+        breakeven = install / -cost_delta
+    else:
+        breakeven = float("inf")
+    return PlanComparison(
+        hits_delta=hits_delta,
+        cost_delta_mj=cost_delta,
+        install_cost_mj=install,
+        breakeven_queries=breakeven,
+    )

@@ -1,0 +1,177 @@
+"""Per-node energy burdens and network lifetime estimation.
+
+The paper's very first motivation: "Because sensors are often
+battery-powered, the lifetime of the network is tied to the rate at
+which it consumes energy."  Total energy (what the planners optimize)
+is a proxy; what actually kills a deployment is the *first* node to
+exhaust its battery — typically a relay near the root, the classic
+energy-hole effect.
+
+This module splits every message's cost between its sender and receiver
+(using the radio's send/receive power ratio), charges acquisition to
+the measuring node, aggregates per-node burdens over a plan's
+collection phase, and converts battery capacities into a lifetime in
+collection rounds, identifying the bottleneck node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.network.energy import EnergyModel
+from repro.network.topology import Topology
+from repro.plans.execution import execute_plan
+from repro.plans.plan import QueryPlan
+
+
+@dataclass
+class NodeBurden:
+    """Energy one node spends in one collection round, by source."""
+
+    node: int
+    transmit_mj: float = 0.0
+    receive_mj: float = 0.0
+    acquisition_mj: float = 0.0
+
+    @property
+    def total_mj(self) -> float:
+        return self.transmit_mj + self.receive_mj + self.acquisition_mj
+
+
+@dataclass
+class LifetimeReport:
+    """Per-node burdens and the resulting network lifetime."""
+
+    burdens: dict[int, NodeBurden]
+    lifetime_rounds: float
+    bottleneck_node: int
+    battery_mj: float
+
+    def hottest(self, count: int = 5) -> list[NodeBurden]:
+        """The most burdened nodes, heaviest first."""
+        return sorted(
+            self.burdens.values(), key=lambda b: -b.total_mj
+        )[:count]
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "node": b.node,
+                "tx_mj": b.transmit_mj,
+                "rx_mj": b.receive_mj,
+                "acq_mj": b.acquisition_mj,
+                "total_mj": b.total_mj,
+            }
+            for b in self.hottest(len(self.burdens))
+        ]
+
+
+def _split_fractions(energy: EnergyModel) -> tuple[float, float]:
+    """Sender/receiver shares of a message's cost, from radio powers."""
+    total = energy.sending_mw + energy.receiving_mw
+    if total <= 0:
+        return 0.5, 0.5
+    return energy.sending_mw / total, energy.receiving_mw / total
+
+
+def node_burdens(
+    plan: QueryPlan,
+    energy: EnergyModel,
+    sample_rows,
+) -> dict[int, NodeBurden]:
+    """Mean per-node energy of one collection round over sample rows.
+
+    The plan is replayed on every row; each message's cost is split
+    between the transmitting child and the receiving parent, and
+    acquisition is charged to every visited node.
+    """
+    rows = np.asarray(list(sample_rows), dtype=float)
+    if rows.size == 0:
+        raise PlanError("need at least one sample row")
+    topology = plan.topology
+    tx_share, rx_share = _split_fractions(energy)
+    burdens = {node: NodeBurden(node) for node in topology.nodes}
+
+    for row in rows:
+        result = execute_plan(plan, row)
+        for message in result.messages:
+            cost = message.cost(energy)
+            sender = message.edge
+            receiver = topology.parent(sender)
+            burdens[sender].transmit_mj += tx_share * cost
+            burdens[receiver].receive_mj += rx_share * cost
+    scale = 1.0 / rows.shape[0]
+    for burden in burdens.values():
+        burden.transmit_mj *= scale
+        burden.receive_mj *= scale
+    if energy.acquisition_mj:
+        for node in plan.visited_nodes:
+            burdens[node].acquisition_mj = energy.acquisition_mj
+    return burdens
+
+
+def estimate_lifetime(
+    plan: QueryPlan,
+    energy: EnergyModel,
+    sample_rows,
+    battery_mj: float,
+    exclude_root: bool = True,
+) -> LifetimeReport:
+    """Collection rounds until the first battery dies.
+
+    ``exclude_root`` reflects the usual deployment where the query
+    station is mains-powered; set False for fully battery-powered
+    networks.
+    """
+    if battery_mj <= 0:
+        raise PlanError("battery capacity must be positive")
+    burdens = node_burdens(plan, energy, sample_rows)
+    candidates = [
+        b
+        for b in burdens.values()
+        if not (exclude_root and b.node == plan.topology.root)
+    ]
+    loaded = [b for b in candidates if b.total_mj > 0]
+    if not loaded:
+        return LifetimeReport(
+            burdens=burdens,
+            lifetime_rounds=float("inf"),
+            bottleneck_node=-1,
+            battery_mj=battery_mj,
+        )
+    bottleneck = max(loaded, key=lambda b: b.total_mj)
+    return LifetimeReport(
+        burdens=burdens,
+        lifetime_rounds=battery_mj / bottleneck.total_mj,
+        bottleneck_node=bottleneck.node,
+        battery_mj=battery_mj,
+    )
+
+
+def compare_lifetimes(
+    plans: dict[str, QueryPlan],
+    energy: EnergyModel,
+    sample_rows,
+    battery_mj: float,
+) -> list[dict]:
+    """Lifetime leaderboard across candidate plans."""
+    rows = []
+    for name, plan in plans.items():
+        report = estimate_lifetime(plan, energy, sample_rows, battery_mj)
+        rows.append(
+            {
+                "plan": name,
+                "lifetime_rounds": report.lifetime_rounds,
+                "bottleneck_node": report.bottleneck_node,
+                "bottleneck_mj_per_round": (
+                    report.burdens[report.bottleneck_node].total_mj
+                    if report.bottleneck_node >= 0
+                    else 0.0
+                ),
+            }
+        )
+    rows.sort(key=lambda r: -r["lifetime_rounds"])
+    return rows

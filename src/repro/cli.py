@@ -1,0 +1,114 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig3
+    python -m repro run fig5 --out /tmp/fig5.txt
+    python -m repro run all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.experiments import (
+    fig3_comparison,
+    fig4_variance,
+    fig5_zones,
+    fig7_num_zones,
+    fig8_exact,
+    fig9_intel,
+    lp_timing,
+    sample_size,
+)
+from repro.experiments.reporting import ascii_chart, format_table
+
+EXPERIMENTS: dict[str, tuple[Callable[[], list[dict]], str]] = {
+    "fig3": (fig3_comparison.run, "Figure 3: comparison of algorithms"),
+    "fig4": (fig4_variance.run, "Figure 4: effect of variance"),
+    "fig5": (fig5_zones.run, "Figure 5: contention zones"),
+    "fig7": (fig7_num_zones.run, "Figure 7: varying the number of zones"),
+    "fig8": (fig8_exact.run, "Figure 8: PROSPECTOR-Exact phase breakdown"),
+    "fig9": (fig9_intel.run, "Figure 9: Intel Lab surrogate"),
+    "samples": (sample_size.run, "Sample-size study (§5 'Other Results')"),
+    "lptime": (lp_timing.run, "LP solve-time study (§5 'Other Results')"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Sampling-Based Approach to Optimizing"
+            " Top-k Queries in Sensor Networks' (ICDE 2006)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (see 'list')",
+    )
+    run.add_argument(
+        "--out",
+        default=None,
+        help="also write the table(s) to this file",
+    )
+    run.add_argument(
+        "--chart",
+        action="store_true",
+        help="append an ASCII accuracy-vs-energy chart when applicable",
+    )
+    return parser
+
+
+def _run_one(name: str, chart: bool = False) -> str:
+    run_fn, title = EXPERIMENTS[name]
+    rows = run_fn()
+    text = format_table(rows, title=title)
+    if chart:
+        numeric = [
+            r for r in rows
+            if isinstance(r.get("energy_mj"), (int, float))
+            and isinstance(r.get("accuracy"), (int, float))
+        ]
+        if numeric:
+            series = "algorithm" if "algorithm" in numeric[0] else None
+            text += "\n\n" + ascii_chart(
+                numeric, x="energy_mj", y="accuracy", series=series,
+                title=f"{title} (chart)",
+            )
+    return text
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (__, title) in sorted(EXPERIMENTS.items()):
+            print(f"{name.ljust(width)}  {title}")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    outputs = []
+    for name in names:
+        text = _run_one(name, chart=args.chart)
+        print(text)
+        print()
+        outputs.append(text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write("\n\n".join(outputs) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

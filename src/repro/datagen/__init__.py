@@ -1,0 +1,25 @@
+"""Workload generators for the paper's experiments.
+
+- :mod:`repro.datagen.gaussian` — independent normal readings with
+  randomly drawn means/variances (Figures 3 and 4);
+- :mod:`repro.datagen.zones` — the "contention zone" negative
+  correlation scenario (Figures 5-7);
+- :mod:`repro.datagen.intel` — a synthetic surrogate of the Intel
+  Berkeley Lab temperature trace (Figure 9; see DESIGN.md §4 for the
+  substitution rationale);
+- :mod:`repro.datagen.trace` — the epoch-trace container shared by all.
+"""
+
+from repro.datagen.gaussian import GaussianField, random_gaussian_field
+from repro.datagen.intel import IntelLabSurrogate, intel_lab_network
+from repro.datagen.trace import Trace
+from repro.datagen.zones import ZoneWorkload
+
+__all__ = [
+    "GaussianField",
+    "IntelLabSurrogate",
+    "Trace",
+    "ZoneWorkload",
+    "intel_lab_network",
+    "random_gaussian_field",
+]

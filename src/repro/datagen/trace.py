@@ -1,0 +1,62 @@
+"""Epoch traces of network-wide readings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.sampling.matrix import SampleMatrix
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A sequence of full-network readings, one row per epoch.
+
+    The standard experimental split (paper §5, Intel Lab experiment)
+    uses the first ``t`` epochs as training samples and queries the
+    rest; :meth:`split` implements that.
+    """
+
+    values: np.ndarray  # shape (epochs, nodes)
+
+    def __post_init__(self) -> None:
+        if self.values.ndim != 2 or self.values.shape[0] == 0:
+            raise TraceError(f"trace must be (epochs, nodes), got {self.values.shape}")
+
+    @property
+    def num_epochs(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.values.shape[1])
+
+    def epoch(self, index: int) -> np.ndarray:
+        """Readings of one epoch (raises TraceError when out of range)."""
+        if not 0 <= index < self.num_epochs:
+            raise TraceError(f"epoch {index} out of range [0, {self.num_epochs})")
+        return self.values[index]
+
+    def split(self, training_epochs: int) -> tuple["Trace", "Trace"]:
+        """(training, evaluation) traces; both must be non-empty."""
+        if not 0 < training_epochs < self.num_epochs:
+            raise TraceError(
+                f"training_epochs must be in (0, {self.num_epochs}),"
+                f" got {training_epochs}"
+            )
+        return (
+            Trace(self.values[:training_epochs]),
+            Trace(self.values[training_epochs:]),
+        )
+
+    def sample_matrix(self, k: int) -> SampleMatrix:
+        """Digest the whole trace into a sample matrix."""
+        return SampleMatrix(self.values, k)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return self.num_epochs

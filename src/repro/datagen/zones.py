@@ -1,0 +1,99 @@
+"""Contention-zone workloads (paper §5, Figures 5-7).
+
+The scenario behind Figure 6: ``z`` zones around the network perimeter,
+each holding ``2k`` nodes.  Nodes outside zones have a fixed mean
+``mu`` and low variance; nodes inside a zone have lower means but
+variances tuned so each has probability ``p = 1 / (2 z)`` of exceeding
+``mu``.  The expected number of zone nodes above ``mu`` is then
+``z * 2k * p = k``: each zone supplies top values, but *which* of its
+nodes supply them varies sample to sample — the negative correlation
+that only local filtering exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import stats
+
+from repro.datagen.gaussian import GaussianField
+from repro.datagen.trace import Trace
+from repro.errors import TraceError
+from repro.network.builder import zone_members, zone_relays, zoned_topology
+from repro.network.topology import Topology
+
+
+@dataclass
+class ZoneWorkload:
+    """A contention-zone topology plus its value distribution.
+
+    Parameters
+    ----------
+    num_zones:
+        ``z``; the paper uses 6 in Figure 5 and sweeps 1..6 in Figure 7.
+    k:
+        Query size; each zone holds ``2k`` nodes.
+    background_mean / background_std:
+        The fixed distribution of non-zone nodes (``mu`` and its low
+        variance).
+    zone_mean:
+        Zone nodes' (lower) mean.
+    relay_hops:
+        Length of the relay chain from the root to each zone.
+    """
+
+    num_zones: int = 6
+    k: int = 10
+    background_mean: float = 50.0
+    background_std: float = 0.5
+    zone_mean: float = 45.0
+    relay_hops: int = 3
+    exceed_probability: float | None = None
+    topology: Topology = field(init=False)
+    fieldmodel: GaussianField = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_zones < 1 or self.k < 1:
+            raise TraceError("num_zones and k must be >= 1")
+        if self.zone_mean >= self.background_mean:
+            raise TraceError("zone mean must sit below the background mean")
+        self.topology = zoned_topology(
+            self.num_zones, zone_size=2 * self.k, relay_hops=self.relay_hops
+        )
+        p = self.exceed_probability
+        if p is None:
+            # clamped below 1/2: at p = 1/2 the required variance would
+            # be infinite (the single-zone corner of Figure 7)
+            p = min(0.45, 1.0 / (2.0 * self.num_zones))
+        if not 0.0 < p < 0.5:
+            raise TraceError("exceed probability must be in (0, 0.5)")
+        # sigma such that P(N(zone_mean, sigma) > background_mean) = p
+        sigma = (self.background_mean - self.zone_mean) / stats.norm.ppf(1.0 - p)
+
+        n = self.topology.n
+        means = np.full(n, self.background_mean)
+        stds = np.full(n, self.background_std)
+        for zone in self.members():
+            for node in zone:
+                means[node] = self.zone_mean
+                stds[node] = sigma
+        # the root measures too; keep it background-like
+        self.fieldmodel = GaussianField(means, stds)
+
+    def members(self) -> list[list[int]]:
+        """Node ids of each zone."""
+        return zone_members(
+            self.num_zones, zone_size=2 * self.k, relay_hops=self.relay_hops
+        )
+
+    def relays(self) -> list[int]:
+        return zone_relays(
+            self.num_zones, zone_size=2 * self.k, relay_hops=self.relay_hops
+        )
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        return self.fieldmodel.sample(rng)
+
+    def trace(self, epochs: int, rng: np.random.Generator) -> Trace:
+        return self.fieldmodel.trace(epochs, rng)

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ModelError(ReproError):
+    """An LP model was constructed or used inconsistently.
+
+    Raised, for example, when a variable from one model is used in a
+    constraint added to a different model, or when an objective is
+    requested before one has been set.
+    """
+
+
+class SolverError(ReproError):
+    """An LP solve failed (infeasible, unbounded, or backend failure)."""
+
+    def __init__(self, message: str, status: str = "error") -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class TopologyError(ReproError):
+    """A sensor network topology is invalid or cannot be constructed.
+
+    Raised when placement parameters make a connected spanning tree
+    impossible (radio range too small) or when tree invariants are
+    violated (multiple roots, cycles, unknown node ids).
+    """
+
+
+class PlanError(ReproError):
+    """A query plan is malformed or inconsistent with its topology."""
+
+
+class BudgetError(ReproError):
+    """An energy budget is too small to admit any feasible plan."""
+
+
+class SamplingError(ReproError):
+    """Sample data is missing, malformed, or inconsistent with the network."""
+
+
+class TraceError(ReproError):
+    """A sensor reading trace is malformed or exhausted."""

@@ -1,0 +1,33 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Every module exposes a ``run(...) -> list[dict]`` returning one row per
+plotted point, plus a ``main()`` that prints the rows as an ASCII
+table.  The benchmarks under ``benchmarks/`` call these same functions,
+so ``pytest benchmarks/ --benchmark-only`` regenerates the whole
+evaluation; EXPERIMENTS.md records the measured shapes against the
+paper's.
+"""
+
+from repro.experiments import (
+    fig3_comparison,
+    fig4_variance,
+    fig5_zones,
+    fig7_num_zones,
+    fig8_exact,
+    fig9_intel,
+    lp_timing,
+    sample_size,
+)
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "fig3_comparison",
+    "fig4_variance",
+    "fig5_zones",
+    "fig7_num_zones",
+    "fig8_exact",
+    "fig9_intel",
+    "format_table",
+    "lp_timing",
+    "sample_size",
+]

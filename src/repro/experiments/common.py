@@ -1,0 +1,94 @@
+"""Shared plumbing for the experiment modules.
+
+The paper's evaluation installs a plan once and runs it over many
+epochs ("install-once, run-many-times usage", §5), measuring the
+average per-query energy (trigger + collection) and the average
+accuracy against ground truth.  :func:`evaluate_plan` implements that
+loop; :func:`evaluate_planner` plans first from a training trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.trace import Trace
+from repro.network.energy import EnergyModel
+from repro.network.topology import Topology
+from repro.plans.plan import QueryPlan
+from repro.planners.base import Planner, PlanningContext
+from repro.query.accuracy import accuracy
+from repro.simulation.runtime import Simulator
+
+
+@dataclass
+class Evaluation:
+    """Averaged outcome of running one plan over an evaluation trace."""
+
+    algorithm: str
+    mean_accuracy: float
+    mean_energy_mj: float
+    static_cost_mj: float
+    plan: QueryPlan | None = None
+
+    def row(self, **extra) -> dict:
+        base = {
+            "algorithm": self.algorithm,
+            "accuracy": self.mean_accuracy,
+            "energy_mj": self.mean_energy_mj,
+        }
+        base.update(extra)
+        return base
+
+
+def evaluate_plan(
+    name: str,
+    plan: QueryPlan,
+    topology: Topology,
+    energy: EnergyModel,
+    eval_trace: Trace,
+    k: int,
+) -> Evaluation:
+    """Run an installed plan over every epoch of the evaluation trace."""
+    simulator = Simulator(topology, energy)
+    accuracies = []
+    energies = []
+    for readings in eval_trace:
+        report = simulator.run_collection(plan, readings)
+        answer_nodes = {node for __, node in report.returned[:k]}
+        accuracies.append(accuracy(answer_nodes, readings, k))
+        energies.append(report.energy_mj)
+    return Evaluation(
+        algorithm=name,
+        mean_accuracy=float(np.mean(accuracies)),
+        mean_energy_mj=float(np.mean(energies)),
+        static_cost_mj=plan.static_cost(energy),
+        plan=plan,
+    )
+
+
+def evaluate_planner(
+    planner: Planner,
+    topology: Topology,
+    energy: EnergyModel,
+    train_trace: Trace,
+    eval_trace: Trace,
+    k: int,
+    budget: float,
+) -> Evaluation:
+    """Plan from the training trace, then evaluate the plan."""
+    context = PlanningContext(
+        topology=topology,
+        energy=energy,
+        samples=train_trace.sample_matrix(k),
+        k=k,
+        budget=budget,
+    )
+    plan = planner.plan(context)
+    return evaluate_plan(planner.name, plan, topology, energy, eval_trace, k)
+
+
+def budget_sweep(base: float, steps: int, factor: float = 1.6) -> list[float]:
+    """A geometric ladder of energy budgets starting at ``base``."""
+    return [base * factor**i for i in range(steps)]

@@ -1,0 +1,66 @@
+"""Figure 7: varying the number of contention zones.
+
+Starting from the Figure 5 scenario, the zone count sweeps 1..6 while
+each zone keeps 2k nodes; the per-node probability of exceeding the
+background rises to ``1/(2z)`` so the network always expects k zone
+values above the background.  The budget is fixed at a level where
+Figure 5 shows a large LP+LF/LP−LF gap.
+
+Paper shape to reproduce: both algorithms degrade as zones multiply
+(more zones must be traversed to collect the same k values), and the
+LP−LF penalty for swallowing whole zones grows since any single zone
+holds a smaller share of the top k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.zones import ZoneWorkload
+from repro.experiments.common import evaluate_planner
+from repro.experiments.reporting import print_table
+from repro.network.energy import EnergyModel
+from repro.planners.lp_lf import LPLFPlanner
+from repro.planners.lp_no_lf import LPNoLFPlanner
+
+
+def run(
+    seed: int = 2006,
+    zone_counts: tuple[int, ...] = (1, 2, 3, 4, 5, 6),
+    k: int = 10,
+    num_samples: int = 25,
+    eval_epochs: int = 20,
+    budget: float | None = None,
+) -> list[dict]:
+    """One row per (algorithm, zone count) point of Figure 7."""
+    rng = np.random.default_rng(seed)
+    energy = EnergyModel.mica2()
+    if budget is None:
+        # a mid-ladder Figure 5 budget: large LP+LF advantage there
+        budget = energy.message_cost(1) * 5 * 1.8**3
+
+    rows: list[dict] = []
+    for zones in zone_counts:
+        workload = ZoneWorkload(num_zones=zones, k=k)
+        train = workload.trace(num_samples, rng)
+        eval_trace = workload.trace(eval_epochs, rng)
+        for planner in (LPNoLFPlanner(), LPLFPlanner()):
+            evaluation = evaluate_planner(
+                planner, workload.topology, energy, train, eval_trace, k, budget
+            )
+            rows.append(evaluation.row(num_zones=zones))
+    return rows
+
+
+def main() -> list[dict]:
+    rows = run()
+    print_table(
+        rows,
+        columns=["algorithm", "num_zones", "energy_mj", "accuracy"],
+        title="Figure 7: varying the number of contention zones",
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""LP solve-time study (§5 "Other Results").
+
+The paper reports CPLEX 8.1 timings on a 250(?) MHz desktop: usually a
+few seconds, slower near budgets where many plans tie.  This experiment
+measures build+solve wall time of each PROSPECTOR formulation across
+network and sample sizes on our HiGHS backend.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.datagen.gaussian import random_gaussian_field
+from repro.experiments.reporting import print_table
+from repro.network.builder import random_topology
+from repro.network.energy import EnergyModel
+from repro.planners.base import PlanningContext
+from repro.planners.lp_lf import LPLFPlanner
+from repro.planners.lp_no_lf import LPNoLFPlanner
+from repro.planners.proof import ProofPlanner
+
+
+def run(
+    seed: int = 2006,
+    node_counts: tuple[int, ...] = (20, 40, 60),
+    sample_counts: tuple[int, ...] = (10, 25),
+    k: int = 10,
+    include_proof: bool = True,
+) -> list[dict]:
+    """One row per (formulation, n, m) combination."""
+    rng = np.random.default_rng(seed)
+    energy = EnergyModel.mica2()
+    rows: list[dict] = []
+    for n in node_counts:
+        # keep sparse instances connectable: widen the radio range as
+        # the node count shrinks
+        radio_range = max(25.0, 200.0 / n**0.5)
+        topology = random_topology(n, rng=rng, radio_range=radio_range)
+        field = random_gaussian_field(n, rng).scaled_variance(4.0)
+        for m in sample_counts:
+            samples = field.trace(m, rng).sample_matrix(k)
+            budget = energy.message_cost(1) * 2 * k
+            context = PlanningContext(topology, energy, samples, k, budget)
+            planners = [LPNoLFPlanner(), LPLFPlanner()]
+            if include_proof:
+                planners.append(ProofPlanner())
+            for planner in planners:
+                if isinstance(planner, ProofPlanner):
+                    context_p = PlanningContext(
+                        topology, energy, samples, k,
+                        budget=planner.minimum_cost(context) * 1.5,
+                    )
+                else:
+                    context_p = context
+                start = time.perf_counter()
+                model, *__ = planner.build_model(context_p)
+                build_seconds = time.perf_counter() - start
+                solution = model.solve()
+                rows.append(
+                    {
+                        "formulation": planner.name,
+                        "n": n,
+                        "m": m,
+                        "variables": model.num_variables,
+                        "constraints": model.num_constraints,
+                        "build_s": build_seconds,
+                        "solve_s": solution.stats.wall_seconds,
+                    }
+                )
+    return rows
+
+
+def main() -> list[dict]:
+    rows = run()
+    print_table(
+        rows,
+        columns=[
+            "formulation", "n", "m", "variables", "constraints",
+            "build_s", "solve_s",
+        ],
+        title="LP solve-time study",
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+"""ASCII tables and charts for experiment output.
+
+The harness is terminal-only (no plotting dependencies), so the figures
+the paper draws as line charts are rendered as scatter plots in text:
+one glyph per series, budget/variance on the x axis, accuracy or cost
+on the y axis.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str = "",
+) -> str:
+    """Render rows of dicts as a fixed-width ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in table))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "-" * len(header)
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in table
+    )
+    parts = [title, header, rule, body] if title else [header, rule, body]
+    return "\n".join(parts)
+
+
+def print_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str = "",
+) -> None:
+    print(format_table(rows, columns, title))
+
+
+def ascii_chart(
+    rows: Sequence[Mapping[str, object]],
+    x: str,
+    y: str,
+    series: str | None = None,
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Render rows as a text scatter plot.
+
+    Parameters
+    ----------
+    x, y:
+        Column names for the axes (numeric values only; rows with
+        non-numeric entries in either column are skipped).
+    series:
+        Optional column whose values split the rows into glyph-coded
+        series (a legend is appended).
+    """
+    GLYPHS = "ox+*#@%&"
+
+    points: list[tuple[float, float, str]] = []
+    labels: list[str] = []
+    for row in rows:
+        try:
+            px = float(row[x])  # type: ignore[arg-type]
+            py = float(row[y])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError):
+            continue
+        label = str(row.get(series, "")) if series else ""
+        if label and label not in labels:
+            labels.append(label)
+        points.append((px, py, label))
+    if not points:
+        return f"{title}\n(no plottable points)" if title else "(no plottable points)"
+
+    xs = [p for p, __, __ in points]
+    ys = [p for __, p, __ in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for __ in range(height)]
+    for px, py, label in points:
+        col = int((px - x_lo) / x_span * (width - 1))
+        row_index = height - 1 - int((py - y_lo) / y_span * (height - 1))
+        glyph = GLYPHS[labels.index(label) % len(GLYPHS)] if label else "o"
+        grid[row_index][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:g}"
+    bottom_label = f"{y_lo:g}"
+    margin = max(len(top_label), len(bottom_label))
+    for index, grid_row in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(margin)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |" + "".join(grid_row))
+    lines.append(" " * margin + " +" + "-" * width)
+    lines.append(
+        " " * margin
+        + f"  {x_lo:g}".ljust(width // 2)
+        + f"{x_hi:g} ({x})".rjust(width // 2)
+    )
+    if labels:
+        legend = "   ".join(
+            f"{GLYPHS[i % len(GLYPHS)]}={label}"
+            for i, label in enumerate(labels)
+        )
+        lines.append(" " * margin + "  " + legend)
+    return "\n".join(lines)
+
+
+def print_chart(
+    rows: Sequence[Mapping[str, object]],
+    x: str,
+    y: str,
+    series: str | None = None,
+    **kwargs,
+) -> None:
+    print(ascii_chart(rows, x, y, series=series, **kwargs))

@@ -1,0 +1,76 @@
+"""Sample-size study (§5 "Other Results").
+
+The paper: a single sample yields very poor accuracy; 5-25 samples
+improve it dramatically; beyond ~25-50 the benefit levels out.  This
+experiment sweeps the training-window size on the Figure 3 workload
+(and optionally the Intel surrogate) at a fixed budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.gaussian import random_gaussian_field
+from repro.datagen.intel import IntelLabSurrogate, intel_lab_network
+from repro.datagen.trace import Trace
+from repro.experiments.common import evaluate_planner
+from repro.experiments.reporting import print_table
+from repro.network.builder import random_topology
+from repro.network.energy import EnergyModel
+from repro.planners.lp_lf import LPLFPlanner
+
+DEFAULT_SIZES = (1, 2, 5, 10, 25, 50)
+
+
+def run(
+    seed: int = 2006,
+    n: int = 60,
+    k: int = 10,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    eval_epochs: int = 20,
+    variance_scale: float = 9.0,
+    workload: str = "gaussian",
+) -> list[dict]:
+    """One row per window size; ``workload`` is 'gaussian' or 'intel'."""
+    rng = np.random.default_rng(seed)
+    energy = EnergyModel.mica2()
+
+    if workload == "gaussian":
+        topology = random_topology(n, rng=rng)
+        field = random_gaussian_field(n, rng).scaled_variance(variance_scale)
+        train_full = field.trace(max(sizes), rng)
+        eval_trace = field.trace(eval_epochs, rng)
+        budget = energy.message_cost(1) * 1.5 * k
+    elif workload == "intel":
+        topology = intel_lab_network(rng)
+        surrogate = IntelLabSurrogate()
+        trace = surrogate.generate(topology, max(sizes) + eval_epochs, rng)
+        train_full, eval_trace = trace.split(max(sizes))
+        k = min(k, 5)
+        budget = energy.message_cost(1) * 1.5 * k
+    else:
+        raise ValueError(f"unknown workload {workload!r}")
+
+    planner = LPLFPlanner()
+    rows: list[dict] = []
+    for size in sizes:
+        train = Trace(train_full.values[-size:])
+        evaluation = evaluate_planner(
+            planner, topology, energy, train, eval_trace, k, budget
+        )
+        rows.append(evaluation.row(num_samples=size, workload=workload))
+    return rows
+
+
+def main() -> list[dict]:
+    rows = run()
+    print_table(
+        rows,
+        columns=["workload", "num_samples", "energy_mj", "accuracy"],
+        title="Sample-size study (§5 'Other Results')",
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,204 @@
+"""Linear expressions and decision variables.
+
+These are deliberately lightweight: a :class:`Variable` is an index into
+its owning model, and a :class:`LinExpr` is a sparse mapping from
+variable index to coefficient plus a constant.  Arithmetic operators
+build expressions; comparison operators build
+:class:`~repro.lp.model.Constraint` objects.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping, Union
+
+from repro.errors import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lp.model import Constraint, Model
+
+Number = Union[int, float]
+ExprLike = Union["Variable", "LinExpr", Number]
+
+
+class Variable:
+    """A single decision variable owned by a :class:`~repro.lp.model.Model`.
+
+    Variables are created through :meth:`Model.add_variable`; they should
+    never be instantiated directly by user code.
+    """
+
+    __slots__ = ("model", "index", "name", "lb", "ub")
+
+    def __init__(
+        self,
+        model: "Model",
+        index: int,
+        name: str,
+        lb: float | None,
+        ub: float | None,
+    ) -> None:
+        self.model = model
+        self.index = index
+        self.name = name
+        self.lb = lb
+        self.ub = ub
+
+    def to_expr(self) -> "LinExpr":
+        """Return this variable as a single-term linear expression."""
+        return LinExpr({self.index: 1.0}, 0.0, self.model)
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        return self.to_expr() + other
+
+    def __radd__(self, other: ExprLike) -> "LinExpr":
+        return self.to_expr() + other
+
+    def __sub__(self, other: ExprLike) -> "LinExpr":
+        return self.to_expr() - other
+
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
+        return (-1.0) * self.to_expr() + other
+
+    def __mul__(self, coeff: Number) -> "LinExpr":
+        return self.to_expr() * coeff
+
+    def __rmul__(self, coeff: Number) -> "LinExpr":
+        return self.to_expr() * coeff
+
+    def __neg__(self) -> "LinExpr":
+        return self.to_expr() * -1.0
+
+    # -- comparisons build constraints ---------------------------------
+    def __le__(self, other: ExprLike) -> "Constraint":
+        return self.to_expr() <= other
+
+    def __ge__(self, other: ExprLike) -> "Constraint":
+        return self.to_expr() >= other
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            return self.to_expr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((id(self.model), self.index))
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+class LinExpr:
+    """A sparse linear expression ``sum(coeff * var) + constant``."""
+
+    __slots__ = ("terms", "constant", "model")
+
+    def __init__(
+        self,
+        terms: Mapping[int, float] | None = None,
+        constant: float = 0.0,
+        model: "Model | None" = None,
+    ) -> None:
+        self.terms: dict[int, float] = dict(terms) if terms else {}
+        self.constant = float(constant)
+        self.model = model
+
+    # -- construction helpers -------------------------------------------
+    @staticmethod
+    def sum_of(items: Iterable[ExprLike]) -> "LinExpr":
+        """Sum an iterable of variables/expressions/numbers.
+
+        Unlike the builtin ``sum``, this never materializes intermediate
+        expressions quadratically: terms are accumulated in one dict.
+        """
+        total = LinExpr()
+        for item in items:
+            total._iadd(item)
+        return total
+
+    def _merge_model(self, other: "Variable | LinExpr") -> None:
+        other_model = other.model
+        if other_model is None:
+            return
+        if self.model is None:
+            self.model = other_model
+        elif self.model is not other_model:
+            raise ModelError("cannot mix variables from different models")
+
+    def _iadd(self, other: ExprLike, sign: float = 1.0) -> "LinExpr":
+        if isinstance(other, (int, float)):
+            self.constant += sign * other
+            return self
+        if isinstance(other, Variable):
+            self._merge_model(other)
+            self.terms[other.index] = self.terms.get(other.index, 0.0) + sign
+            return self
+        if isinstance(other, LinExpr):
+            self._merge_model(other)
+            for idx, coeff in other.terms.items():
+                self.terms[idx] = self.terms.get(idx, 0.0) + sign * coeff
+            self.constant += sign * other.constant
+            return self
+        raise TypeError(f"cannot add {type(other).__name__} to LinExpr")
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(self.terms, self.constant, self.model)
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        return self.copy()._iadd(other)
+
+    def __radd__(self, other: ExprLike) -> "LinExpr":
+        return self.copy()._iadd(other)
+
+    def __sub__(self, other: ExprLike) -> "LinExpr":
+        return self.copy()._iadd(other, sign=-1.0)
+
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
+        return (self * -1.0)._iadd(other)
+
+    def __mul__(self, coeff: Number) -> "LinExpr":
+        if not isinstance(coeff, (int, float)):
+            raise TypeError("LinExpr can only be scaled by a number")
+        scaled = {idx: c * coeff for idx, c in self.terms.items()}
+        return LinExpr(scaled, self.constant * coeff, self.model)
+
+    def __rmul__(self, coeff: Number) -> "LinExpr":
+        return self * coeff
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- comparisons build constraints -------------------------------------
+    def __le__(self, other: ExprLike) -> "Constraint":
+        from repro.lp.model import Constraint
+
+        return Constraint.build(self, other, "<=")
+
+    def __ge__(self, other: ExprLike) -> "Constraint":
+        from repro.lp.model import Constraint
+
+        return Constraint.build(self, other, ">=")
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        from repro.lp.model import Constraint
+
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            return Constraint.build(self, other, "==")
+        return NotImplemented
+
+    def __hash__(self) -> int:  # expressions are mutable; identity hash
+        return id(self)
+
+    def evaluate(self, values) -> float:
+        """Evaluate the expression given an indexable of variable values."""
+        total = self.constant
+        for idx, coeff in self.terms.items():
+            total += coeff * float(values[idx])
+        return total
+
+    def __repr__(self) -> str:
+        parts = [f"{c:+g}*x{i}" for i, c in sorted(self.terms.items())]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return "LinExpr(" + " ".join(parts) + ")"

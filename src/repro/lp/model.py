@@ -1,0 +1,185 @@
+"""The LP model container: variables, constraints, objective, solve().
+
+A :class:`Model` owns its variables and constraints and knows how to
+compile itself into the standard-form arrays consumed by the solver
+backends (see :mod:`repro.lp.standard_form`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ModelError
+from repro.lp.expr import ExprLike, LinExpr, Variable
+from repro.lp.result import Solution
+
+_SENSES = ("<=", ">=", "==")
+
+
+class Constraint:
+    """A linear constraint ``expr (<=|>=|==) rhs``.
+
+    The right-hand side is folded so that ``expr`` carries all variable
+    terms and ``rhs`` is a plain float.
+    """
+
+    __slots__ = ("expr", "sense", "rhs", "name")
+
+    def __init__(self, expr: LinExpr, sense: str, rhs: float, name: str = "") -> None:
+        if sense not in _SENSES:
+            raise ModelError(f"unknown constraint sense {sense!r}")
+        self.expr = expr
+        self.sense = sense
+        self.rhs = float(rhs)
+        self.name = name
+
+    @classmethod
+    def build(cls, lhs: LinExpr, rhs: ExprLike, sense: str) -> "Constraint":
+        """Build a constraint from ``lhs sense rhs``, folding both sides."""
+        folded = lhs - rhs  # all terms on the left
+        constant = folded.constant
+        folded.constant = 0.0
+        return cls(folded, sense, -constant)
+
+    def is_satisfied(self, values: Sequence[float], tol: float = 1e-7) -> bool:
+        """Check the constraint against a candidate solution vector."""
+        lhs = self.expr.evaluate(values)
+        if self.sense == "<=":
+            return lhs <= self.rhs + tol
+        if self.sense == ">=":
+            return lhs >= self.rhs - tol
+        return abs(lhs - self.rhs) <= tol
+
+    def __repr__(self) -> str:
+        label = f" [{self.name}]" if self.name else ""
+        return f"Constraint({self.expr!r} {self.sense} {self.rhs:g}{label})"
+
+
+class Model:
+    """An LP model: ``min/max c'x`` subject to linear constraints and bounds.
+
+    Parameters
+    ----------
+    name:
+        Optional label used in error messages and reprs.
+
+    Notes
+    -----
+    Integrality is handled *outside* the model, as in the paper: the
+    PROSPECTOR formulations declare 0/1 or integer variables, relax them
+    to the continuous ranges here, and round the fractional solution
+    afterwards (:mod:`repro.planners.rounding`).
+    """
+
+    def __init__(self, name: str = "lp") -> None:
+        self.name = name
+        self.variables: list[Variable] = []
+        self.constraints: list[Constraint] = []
+        self.objective: LinExpr | None = None
+        self.sense: str = "min"
+        self._names: dict[str, Variable] = {}
+
+    # -- variables --------------------------------------------------------
+    def add_variable(
+        self,
+        name: str,
+        lb: float | None = 0.0,
+        ub: float | None = None,
+    ) -> Variable:
+        """Create a variable with the given bounds (default ``x >= 0``)."""
+        if name in self._names:
+            raise ModelError(f"duplicate variable name {name!r} in model {self.name!r}")
+        if lb is not None and ub is not None and lb > ub:
+            raise ModelError(f"variable {name!r} has lb {lb} > ub {ub}")
+        var = Variable(self, len(self.variables), name, lb, ub)
+        self.variables.append(var)
+        self._names[name] = var
+        return var
+
+    def add_variables(
+        self, names: Iterable[str], lb: float | None = 0.0, ub: float | None = None
+    ) -> list[Variable]:
+        """Create several variables sharing the same bounds."""
+        return [self.add_variable(name, lb=lb, ub=ub) for name in names]
+
+    def variable(self, name: str) -> Variable:
+        """Look up a variable by name."""
+        try:
+            return self._names[name]
+        except KeyError:
+            raise ModelError(f"no variable named {name!r} in model {self.name!r}") from None
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    # -- constraints -------------------------------------------------------
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Attach a constraint (built via expression comparisons)."""
+        if not isinstance(constraint, Constraint):
+            raise ModelError(
+                "add_constraint expects a Constraint; did you compare two"
+                " plain numbers instead of expressions?"
+            )
+        self._check_ownership(constraint.expr)
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def _check_ownership(self, expr: LinExpr) -> None:
+        if expr.model is not None and expr.model is not self:
+            raise ModelError(
+                f"expression belongs to model {expr.model.name!r}, not {self.name!r}"
+            )
+        for idx in expr.terms:
+            if idx >= len(self.variables):
+                raise ModelError(f"expression references unknown variable index {idx}")
+
+    # -- objective ----------------------------------------------------------
+    def minimize(self, expr: ExprLike) -> None:
+        """Set a minimization objective."""
+        self._set_objective(expr, "min")
+
+    def maximize(self, expr: ExprLike) -> None:
+        """Set a maximization objective."""
+        self._set_objective(expr, "max")
+
+    def _set_objective(self, expr: ExprLike, sense: str) -> None:
+        if isinstance(expr, Variable):
+            expr = expr.to_expr()
+        elif isinstance(expr, (int, float)):
+            expr = LinExpr({}, float(expr), self)
+        if not isinstance(expr, LinExpr):
+            raise ModelError("objective must be a linear expression")
+        self._check_ownership(expr)
+        self.objective = expr
+        self.sense = sense
+
+    # -- solving ---------------------------------------------------------------
+    def solve(self, backend=None) -> Solution:
+        """Solve the model and return a :class:`~repro.lp.result.Solution`.
+
+        Parameters
+        ----------
+        backend:
+            A solver backend instance.  Defaults to
+            :class:`~repro.lp.scipy_backend.ScipyBackend` (HiGHS).
+        """
+        if self.objective is None:
+            raise ModelError(f"model {self.name!r} has no objective")
+        if backend is None:
+            from repro.lp.scipy_backend import ScipyBackend
+
+            backend = ScipyBackend()
+        return backend.solve(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Model({self.name!r}, vars={self.num_variables},"
+            f" constraints={self.num_constraints}, sense={self.sense})"
+        )

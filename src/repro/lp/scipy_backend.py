@@ -1,0 +1,99 @@
+"""Production LP backend built on ``scipy.optimize.linprog`` (HiGHS).
+
+This stands in for the ILOG CPLEX 8.1 solver the paper used; the LPs
+are identical, only the solver implementation differs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import SolverError
+from repro.lp.model import Model
+from repro.lp.result import Solution, SolveStats
+from repro.lp.standard_form import compile_model
+
+_STATUS_BY_CODE = {
+    0: "optimal",
+    1: "iteration_limit",
+    2: "infeasible",
+    3: "unbounded",
+    4: "numerical",
+}
+
+
+class ScipyBackend:
+    """Solve models with scipy's HiGHS wrapper.
+
+    Parameters
+    ----------
+    method:
+        scipy ``linprog`` method name.  ``"highs"`` lets HiGHS choose
+        between dual simplex and interior point.
+    """
+
+    name = "scipy-highs"
+
+    def __init__(self, method: str = "highs") -> None:
+        self.method = method
+
+    def solve(self, model: Model) -> Solution:
+        form = compile_model(model)
+        start = time.perf_counter()
+        result = linprog(
+            form.c,
+            A_ub=form.a_ub if form.a_ub.shape[0] else None,
+            b_ub=form.b_ub if form.b_ub.size else None,
+            A_eq=form.a_eq if form.a_eq.shape[0] else None,
+            b_eq=form.b_eq if form.b_eq.size else None,
+            bounds=form.bounds,
+            method=self.method,
+        )
+        elapsed = time.perf_counter() - start
+        if not result.success:
+            status = _STATUS_BY_CODE.get(result.status, "error")
+            raise SolverError(
+                f"LP {model.name!r} failed: {result.message}", status=status
+            )
+        values = np.asarray(result.x, dtype=float)
+        stats = SolveStats(
+            backend=self.name,
+            wall_seconds=elapsed,
+            iterations=int(getattr(result, "nit", 0) or 0),
+            num_variables=model.num_variables,
+            num_constraints=model.num_constraints,
+        )
+        return Solution(
+            status="optimal",
+            objective=form.report_objective(float(result.fun)),
+            values=values,
+            stats=stats,
+            inequality_duals=self._duals(model, form, result),
+        )
+
+    @staticmethod
+    def _duals(model, form, result) -> np.ndarray | None:
+        """Shadow prices in the model's own sense.
+
+        HiGHS reports ``d(minimized objective)/d(b_ub)``; we convert to
+        ``d(model objective)/d(original rhs)`` by undoing the
+        maximization negation and the ``>=``-to-``<=`` row flips.
+        """
+        ineqlin = getattr(result, "ineqlin", None)
+        marginals = getattr(ineqlin, "marginals", None)
+        if marginals is None:
+            return None
+        duals = np.asarray(marginals, dtype=float).copy()
+        if form.maximize:
+            duals = -duals
+        row = 0
+        for constraint in model.constraints:
+            if constraint.sense == "==":
+                continue
+            if constraint.sense == ">=":
+                duals[row] = -duals[row]
+            row += 1
+        return duals

@@ -1,0 +1,271 @@
+"""A self-contained two-phase primal simplex solver.
+
+This backend exists so the library does not take the production solver
+on faith: tests cross-check :class:`~repro.lp.scipy_backend.ScipyBackend`
+against this independent implementation on every formulation.  It is a
+dense tableau simplex with Bland's anti-cycling rule, intended for the
+small-to-medium LPs that arise in tests; the HiGHS backend remains the
+default for real planning.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.lp.model import Model
+from repro.lp.result import Solution, SolveStats
+from repro.lp.standard_form import StandardForm, compile_model
+
+_FEAS_TOL = 1e-9
+_OPT_TOL = 1e-9
+
+
+class _Column:
+    """Mapping from a transformed nonnegative column back to a model variable."""
+
+    __slots__ = ("var_index", "scale", "shift")
+
+    def __init__(self, var_index: int, scale: float, shift: float) -> None:
+        self.var_index = var_index
+        self.scale = scale
+        self.shift = shift
+
+
+class SimplexBackend:
+    """Two-phase dense simplex over the model's standard form."""
+
+    name = "pure-simplex"
+
+    def __init__(self, max_iterations: int = 100_000) -> None:
+        self.max_iterations = max_iterations
+
+    def solve(self, model: Model) -> Solution:
+        form = compile_model(model)
+        start = time.perf_counter()
+        x, iterations = self._solve_form(form, model.name)
+        elapsed = time.perf_counter() - start
+        minimized = float(form.c @ x)
+        stats = SolveStats(
+            backend=self.name,
+            wall_seconds=elapsed,
+            iterations=iterations,
+            num_variables=model.num_variables,
+            num_constraints=model.num_constraints,
+        )
+        return Solution(
+            status="optimal",
+            objective=form.report_objective(minimized),
+            values=x,
+            stats=stats,
+        )
+
+    # -- transformation to x >= 0 form ------------------------------------
+    def _solve_form(self, form: StandardForm, name: str) -> tuple[np.ndarray, int]:
+        columns: list[_Column] = []
+        extra_ub_rows: list[tuple[int, float]] = []  # (column, rhs) for x' <= rhs
+
+        for i, (lb, ub) in enumerate(form.bounds):
+            if lb is None and ub is None:
+                # free variable: x = p - q
+                columns.append(_Column(i, 1.0, 0.0))
+                columns.append(_Column(i, -1.0, 0.0))
+            elif lb is None:
+                # x <= ub: x = ub - x'
+                columns.append(_Column(i, -1.0, float(ub)))  # type: ignore[arg-type]
+            else:
+                # x >= lb: x = lb + x'
+                col = len(columns)
+                columns.append(_Column(i, 1.0, float(lb)))
+                if ub is not None:
+                    extra_ub_rows.append((col, float(ub) - float(lb)))
+
+        n_cols = len(columns)
+        n_orig = form.num_variables
+
+        # each original variable contributes its shift once, even when it
+        # is split into two columns (free variables have shift 0 anyway)
+        shifts = np.zeros(n_orig)
+        shifted: set[int] = set()
+        for col in columns:
+            if col.var_index not in shifted:
+                shifts[col.var_index] = col.shift
+                shifted.add(col.var_index)
+
+        def transform_matrix(a) -> tuple[np.ndarray, np.ndarray]:
+            dense = (
+                np.asarray(a.todense()) if a.shape[0] else np.zeros((0, n_orig))
+            )
+            out = np.zeros((dense.shape[0], n_cols))
+            for col_idx, col in enumerate(columns):
+                out[:, col_idx] = dense[:, col.var_index] * col.scale
+            return out, dense @ shifts
+
+        a_ub_t, ub_shift = transform_matrix(form.a_ub)
+        a_eq_t, eq_shift = transform_matrix(form.a_eq)
+        b_ub = form.b_ub - ub_shift if form.b_ub.size else form.b_ub
+        b_eq = form.b_eq - eq_shift if form.b_eq.size else form.b_eq
+
+        if extra_ub_rows:
+            extra = np.zeros((len(extra_ub_rows), n_cols))
+            extra_b = np.zeros(len(extra_ub_rows))
+            for row, (col, rhs) in enumerate(extra_ub_rows):
+                extra[row, col] = 1.0
+                extra_b[row] = rhs
+            a_ub_t = np.vstack([a_ub_t, extra]) if a_ub_t.size else extra
+            b_ub = np.concatenate([b_ub, extra_b]) if b_ub.size else extra_b
+
+        c_t = np.zeros(n_cols)
+        for col_idx, col in enumerate(columns):
+            c_t[col_idx] = form.c[col.var_index] * col.scale
+
+        x_t, iterations = self._two_phase(c_t, a_ub_t, b_ub, a_eq_t, b_eq, name)
+
+        x = np.zeros(n_orig)
+        seen_shift: set[int] = set()
+        for col_idx, col in enumerate(columns):
+            x[col.var_index] += col.scale * x_t[col_idx]
+            if col.var_index not in seen_shift:
+                x[col.var_index] += col.shift
+                seen_shift.add(col.var_index)
+        return x, iterations
+
+    # -- core two-phase tableau simplex -------------------------------------
+    def _two_phase(
+        self,
+        c: np.ndarray,
+        a_ub: np.ndarray,
+        b_ub: np.ndarray,
+        a_eq: np.ndarray,
+        b_eq: np.ndarray,
+        name: str,
+    ) -> tuple[np.ndarray, int]:
+        n = len(c)
+        m_ub = len(b_ub)
+        m_eq = len(b_eq)
+        m = m_ub + m_eq
+
+        # rows: [A_ub | slack I | artificials?] ; [A_eq | 0 | artificials]
+        a = np.zeros((m, n + m_ub))
+        b = np.zeros(m)
+        if m_ub:
+            a[:m_ub, :n] = a_ub
+            a[:m_ub, n : n + m_ub] = np.eye(m_ub)
+            b[:m_ub] = b_ub
+        if m_eq:
+            a[m_ub:, :n] = a_eq
+            b[m_ub:] = b_eq
+
+        # normalize to b >= 0
+        for row in range(m):
+            if b[row] < 0:
+                a[row] *= -1.0
+                b[row] *= -1.0
+
+        total = n + m_ub
+        # artificial variables for every row (simple and robust; slack rows
+        # whose slack coefficient is +1 could reuse the slack as basis, but
+        # after sign flips that is not guaranteed).
+        art = np.eye(m)
+        tableau = np.hstack([a, art])
+        basis = list(range(total, total + m))
+
+        # phase 1: minimize sum of artificials
+        cost1 = np.zeros(total + m)
+        cost1[total:] = 1.0
+        value, iterations1 = self._optimize(tableau, b, cost1, basis)
+        if value > 1e-6:
+            raise SolverError(f"LP {name!r} infeasible (phase-1 = {value:g})",
+                              status="infeasible")
+
+        # drive any lingering artificial out of the basis if possible
+        for row, bvar in enumerate(basis):
+            if bvar >= total:
+                pivot_col = next(
+                    (
+                        j
+                        for j in range(total)
+                        if abs(tableau[row, j]) > _FEAS_TOL
+                    ),
+                    None,
+                )
+                if pivot_col is not None:
+                    self._pivot(tableau, b, basis, row, pivot_col)
+        # phase 2 on original costs; forbid artificials by dropping them
+        tableau2 = tableau[:, :total]
+        cost2 = np.zeros(total)
+        cost2[:n] = c
+        redundant = [row for row, bvar in enumerate(basis) if bvar >= total]
+        if redundant:
+            keep = [row for row in range(m) if row not in redundant]
+            tableau2 = tableau2[keep]
+            b = b[keep]
+            basis = [basis[row] for row in keep]
+        value, iterations2 = self._optimize(tableau2, b, cost2, basis)
+
+        x = np.zeros(total)
+        for row, bvar in enumerate(basis):
+            if bvar < total:
+                x[bvar] = b[row]
+        return x[:n], iterations1 + iterations2
+
+    def _optimize(
+        self,
+        tableau: np.ndarray,
+        b: np.ndarray,
+        cost: np.ndarray,
+        basis: list[int],
+    ) -> tuple[float, int]:
+        """Run primal simplex in place; return (objective, iterations)."""
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > self.max_iterations:
+                raise SolverError("simplex iteration limit exceeded",
+                                  status="iteration_limit")
+            duals = self._reduced_costs(tableau, cost, basis)
+            entering = next(
+                (j for j in range(tableau.shape[1]) if duals[j] < -_OPT_TOL), None
+            )
+            if entering is None:
+                break
+            column = tableau[:, entering]
+            ratios = [
+                (b[row] / column[row], basis[row], row)
+                for row in range(len(b))
+                if column[row] > _FEAS_TOL
+            ]
+            if not ratios:
+                raise SolverError("LP unbounded", status="unbounded")
+            # Bland: smallest ratio, ties by smallest basis variable index
+            __, __, leave_row = min(ratios, key=lambda t: (t[0], t[1]))
+            self._pivot(tableau, b, basis, leave_row, entering)
+        objective = sum(cost[bvar] * b[row] for row, bvar in enumerate(basis))
+        return float(objective), iterations
+
+    @staticmethod
+    def _reduced_costs(
+        tableau: np.ndarray, cost: np.ndarray, basis: list[int]
+    ) -> np.ndarray:
+        basic_cost = cost[basis]
+        return cost - basic_cost @ tableau
+
+    @staticmethod
+    def _pivot(
+        tableau: np.ndarray,
+        b: np.ndarray,
+        basis: list[int],
+        row: int,
+        col: int,
+    ) -> None:
+        pivot = tableau[row, col]
+        tableau[row] /= pivot
+        b[row] /= pivot
+        for other in range(tableau.shape[0]):
+            if other != row and abs(tableau[other, col]) > 0:
+                factor = tableau[other, col]
+                tableau[other] -= factor * tableau[row]
+                b[other] -= factor * b[row]
+        basis[row] = col

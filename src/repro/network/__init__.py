@@ -1,0 +1,38 @@
+"""Sensor-network substrate: topology, energy model, link failures.
+
+The paper assumes a network of MICA2-class motes organized as a
+spanning tree rooted at a query station (§2).  This subpackage builds
+that substrate: node placement, radio-range-constrained min-hop
+spanning trees, the per-message/per-byte communication energy model,
+and transient link-failure statistics used to inflate edge costs during
+optimization (§4.4).
+"""
+
+from repro.network.builder import (
+    balanced_tree,
+    grid_topology,
+    line_topology,
+    random_topology,
+    star_topology,
+    zoned_topology,
+)
+from repro.network.energy import EnergyModel
+from repro.network.failures import LinkFailureModel
+from repro.network.ghs import GHSOutcome, build_mst
+from repro.network.maintenance import remove_node
+from repro.network.topology import Topology
+
+__all__ = [
+    "EnergyModel",
+    "GHSOutcome",
+    "LinkFailureModel",
+    "Topology",
+    "build_mst",
+    "remove_node",
+    "balanced_tree",
+    "grid_topology",
+    "line_topology",
+    "random_topology",
+    "star_topology",
+    "zoned_topology",
+]

@@ -1,0 +1,252 @@
+"""Topology builders.
+
+``random_topology`` implements the paper's §5 procedure: place nodes
+uniformly at random in a rectangle, connect pairs within radio range,
+and build a spanning tree in which every node is as few hops from the
+root as possible (BFS layers; ties broken by physical proximity to the
+candidate parent).  The remaining builders produce deterministic shapes
+used by tests and by the contention-zone experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.network.topology import ROOT, Topology
+
+
+def random_topology(
+    n: int,
+    width: float = 100.0,
+    height: float = 100.0,
+    radio_range: float = 25.0,
+    rng: np.random.Generator | None = None,
+    root_position: tuple[float, float] | None = None,
+    max_attempts: int = 25,
+) -> Topology:
+    """Random connected sensor field with a min-hop spanning tree.
+
+    Parameters
+    ----------
+    n:
+        Total node count *including* the root.
+    root_position:
+        Where the query station sits; defaults to the rectangle center.
+    max_attempts:
+        Placements are re-drawn until the radio graph is connected;
+        gives up with :class:`~repro.errors.TopologyError` after this
+        many tries (radio range too small for the density).
+    """
+    if n < 1:
+        raise TopologyError("need at least one node")
+    rng = rng or np.random.default_rng()
+    if root_position is None:
+        root_position = (width / 2.0, height / 2.0)
+
+    for __ in range(max_attempts):
+        xs = rng.uniform(0.0, width, size=n)
+        ys = rng.uniform(0.0, height, size=n)
+        xs[ROOT], ys[ROOT] = root_position
+        positions = list(zip(xs.tolist(), ys.tolist()))
+        parents = _min_hop_tree(positions, radio_range)
+        if parents is not None:
+            return Topology(parents, positions=positions)
+    raise TopologyError(
+        f"could not build a connected network of {n} nodes with radio range"
+        f" {radio_range} in {width}x{height} after {max_attempts} attempts"
+    )
+
+
+def _min_hop_tree(
+    positions: list[tuple[float, float]], radio_range: float
+) -> list[int] | None:
+    """BFS min-hop tree over the radio graph; None if disconnected.
+
+    Among parents at the minimal hop distance, the physically nearest
+    one is chosen, which keeps links robust.
+    """
+    n = len(positions)
+    range_sq = radio_range * radio_range
+
+    def dist_sq(a: int, b: int) -> float:
+        ax, ay = positions[a]
+        bx, by = positions[b]
+        return (ax - bx) ** 2 + (ay - by) ** 2
+
+    neighbors: list[list[int]] = [[] for _ in range(n)]
+    for a in range(n):
+        for b in range(a + 1, n):
+            if dist_sq(a, b) <= range_sq:
+                neighbors[a].append(b)
+                neighbors[b].append(a)
+
+    hops = [-1] * n
+    parents = [-1] * n
+    hops[ROOT] = 0
+    frontier = [ROOT]
+    while frontier:
+        next_frontier: list[int] = []
+        for node in frontier:
+            for other in neighbors[node]:
+                if hops[other] == -1:
+                    hops[other] = hops[node] + 1
+                    parents[other] = node
+                    next_frontier.append(other)
+                elif hops[other] == hops[node] + 1:
+                    # same BFS layer: prefer the physically closer parent
+                    if dist_sq(other, node) < dist_sq(other, parents[other]):
+                        parents[other] = node
+        frontier = next_frontier
+
+    if any(h == -1 for h in hops):
+        return None
+    return parents
+
+
+def line_topology(n: int) -> Topology:
+    """A chain 0 - 1 - 2 - ... - (n-1)."""
+    parents = [-1] + list(range(n - 1))
+    positions = [(float(i), 0.0) for i in range(n)]
+    return Topology(parents, positions=positions)
+
+
+def star_topology(n: int) -> Topology:
+    """Root with ``n - 1`` direct children."""
+    parents = [-1] + [ROOT] * (n - 1)
+    positions = [(0.0, 0.0)] + [
+        (math.cos(2 * math.pi * i / max(1, n - 1)),
+         math.sin(2 * math.pi * i / max(1, n - 1)))
+        for i in range(n - 1)
+    ]
+    return Topology(parents, positions=positions)
+
+
+def balanced_tree(branching: int, depth: int) -> Topology:
+    """Complete ``branching``-ary tree of the given depth (root depth 0)."""
+    if branching < 1 or depth < 0:
+        raise TopologyError("branching must be >= 1 and depth >= 0")
+    parents = [-1]
+    frontier = [ROOT]
+    for __ in range(depth):
+        next_frontier = []
+        for node in frontier:
+            for __child in range(branching):
+                parents.append(node)
+                next_frontier.append(len(parents) - 1)
+        frontier = next_frontier
+    return Topology(parents)
+
+
+def grid_topology(rows: int, cols: int, spacing: float = 1.0) -> Topology:
+    """Grid of nodes; tree edges follow min-hop BFS from corner root."""
+    n = rows * cols
+    positions = [
+        (spacing * (i % cols), spacing * (i // cols)) for i in range(n)
+    ]
+    parents = _min_hop_tree(positions, radio_range=spacing * 1.01)
+    if parents is None:  # pragma: no cover - grid is always connected
+        raise TopologyError("grid unexpectedly disconnected")
+    return Topology(parents, positions=positions)
+
+
+def zoned_topology(
+    num_zones: int,
+    zone_size: int,
+    relay_hops: int = 3,
+    radius: float = 60.0,
+) -> Topology:
+    """Contention-zone layout of Figure 6: root in the center, zones
+    evenly spaced around the perimeter, each reached via a relay chain.
+
+    Returns a topology whose node ordering is: root, then for each zone
+    its ``relay_hops`` relays (root-side first) followed by its
+    ``zone_size`` member nodes.  Use :func:`zone_members` to recover the
+    per-zone node sets.
+    """
+    if num_zones < 1 or zone_size < 1 or relay_hops < 1:
+        raise TopologyError("zones, zone size and relay hops must be positive")
+    parents = [-1]
+    positions = [(0.0, 0.0)]
+    for zone in range(num_zones):
+        angle = 2 * math.pi * zone / num_zones
+        previous = ROOT
+        for hop in range(1, relay_hops + 1):
+            r = radius * hop / (relay_hops + 1)
+            positions.append((r * math.cos(angle), r * math.sin(angle)))
+            parents.append(previous)
+            previous = len(parents) - 1
+        head = previous
+        for member in range(zone_size):
+            # zone members fan out around the zone head
+            jitter = 2 * math.pi * member / zone_size
+            positions.append(
+                (
+                    radius * math.cos(angle) + 3.0 * math.cos(jitter),
+                    radius * math.sin(angle) + 3.0 * math.sin(jitter),
+                )
+            )
+            parents.append(head)
+    return Topology(parents, positions=positions)
+
+
+def zone_members(num_zones: int, zone_size: int, relay_hops: int = 3) -> list[list[int]]:
+    """Node ids of each zone's members in a :func:`zoned_topology`."""
+    members: list[list[int]] = []
+    node = 1
+    for __ in range(num_zones):
+        node += relay_hops
+        members.append(list(range(node, node + zone_size)))
+        node += zone_size
+    return members
+
+
+def zone_relays(num_zones: int, zone_size: int, relay_hops: int = 3) -> list[int]:
+    """Node ids of all relay nodes in a :func:`zoned_topology`."""
+    relays: list[int] = []
+    node = 1
+    for __ in range(num_zones):
+        relays.extend(range(node, node + relay_hops))
+        node += relay_hops + zone_size
+    return relays
+
+
+def nearest_neighbor_tree(
+    positions: list[tuple[float, float]],
+) -> Topology:
+    """Spanning tree connecting each node greedily to the nearest
+    already-connected node (Prim's order).  Used by the Intel-Lab
+    surrogate where radio range is tuned afterwards.
+    """
+    n = len(positions)
+    if n == 0:
+        raise TopologyError("no positions given")
+    parents = [-1] * n
+    in_tree = [False] * n
+    in_tree[ROOT] = True
+
+    def dist_sq(a: int, b: int) -> float:
+        ax, ay = positions[a]
+        bx, by = positions[b]
+        return (ax - bx) ** 2 + (ay - by) ** 2
+
+    heap: list[tuple[float, int, int]] = []
+    for other in range(1, n):
+        heapq.heappush(heap, (dist_sq(ROOT, other), ROOT, other))
+    added = 1
+    while added < n and heap:
+        __, parent, node = heapq.heappop(heap)
+        if in_tree[node]:
+            continue
+        parents[node] = parent
+        in_tree[node] = True
+        added += 1
+        for other in range(1, n):
+            if not in_tree[other]:
+                heapq.heappush(heap, (dist_sq(node, other), node, other))
+    if added != n:  # pragma: no cover - complete graph is connected
+        raise TopologyError("nearest-neighbor tree failed to connect")
+    return Topology(parents, positions=positions)

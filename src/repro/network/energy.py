@@ -1,0 +1,95 @@
+"""Radio communication energy model (paper §2).
+
+The cost of a unicast message carrying ``w`` bytes of content is
+``s + beta * w`` where ``s`` is the per-message cost (handshake of the
+reliable protocol + header) and ``beta`` the per-byte cost derived from
+the radio's send/receive power and byte rate.
+
+The paper's printed MICA2 constants are partially illegible in the
+available text; :meth:`EnergyModel.mica2` encodes the relationship the
+paper stresses — the per-message cost dominates per-byte costs, which
+motivates visiting few nodes and batching values — with plausible
+MICA2-scale magnitudes (documented in DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-message/per-byte communication costs, in millijoules.
+
+    Attributes
+    ----------
+    sending_mw / receiving_mw / byte_rate:
+        Radio characteristics; ``per_byte_mj`` is derived from them as
+        ``(sending + receiving) / byte_rate`` exactly as in the paper's
+        table.  Defaults approximate the MICA2's CC1000 radio (TX
+        ~27mA, RX ~10mA at 3V; ~2400 effective bytes/s with Manchester
+        encoding).
+    per_message_mj:
+        Fixed cost of any unicast (handshake + header), paid by sender
+        and receiver together.  The paper stresses it is high compared
+        with the per-byte cost (here ~13x).
+    value_bytes:
+        Bytes used to encode one sensor value (reading + node id) in a
+        message payload.
+    """
+
+    sending_mw: float = 81.0
+    receiving_mw: float = 30.0
+    byte_rate: float = 2400.0
+    per_message_mj: float = 0.6
+    value_bytes: int = 8
+    acquisition_mj: float = 0.0
+    """Energy to take one sensor measurement (paper §4.4 "Modeling
+    Other Costs"); zero by default since radio dominates, but the
+    planners charge it per visited node when set."""
+
+    @property
+    def per_byte_mj(self) -> float:
+        return (self.sending_mw + self.receiving_mw) / self.byte_rate
+
+    @property
+    def per_value_mj(self) -> float:
+        """Cost of moving one sensor value across one edge (bytes only)."""
+        return self.per_byte_mj * self.value_bytes
+
+    def message_cost(self, num_values: int, extra_bytes: int = 0) -> float:
+        """Energy for one unicast carrying ``num_values`` values.
+
+        ``extra_bytes`` covers small control fields such as the proven
+        count in proof-carrying plans or the ``(t, l, h)`` triple of the
+        mop-up protocol.
+        """
+        if num_values < 0:
+            raise ValueError("num_values must be non-negative")
+        payload = num_values * self.value_bytes + extra_bytes
+        return self.per_message_mj + self.per_byte_mj * payload
+
+    def broadcast_cost(self, extra_bytes: int = 0) -> float:
+        """Energy for one local broadcast (e.g., a re-execute trigger).
+
+        Broadcasts skip the unicast handshake; we charge half the
+        per-message cost plus payload bytes.
+        """
+        return 0.5 * self.per_message_mj + self.per_byte_mj * extra_bytes
+
+    @classmethod
+    def mica2(cls) -> "EnergyModel":
+        """MICA2-mote-scale constants (see module docstring)."""
+        return cls()
+
+    @classmethod
+    def uniform(cls, per_message_mj: float = 1.0, per_value_mj: float = 0.1) -> "EnergyModel":
+        """A simplified model handy in tests: explicit message/value costs."""
+        # choose radio parameters that realize per_value_mj with 1-byte values
+        return cls(
+            sending_mw=per_value_mj,
+            receiving_mw=0.0,
+            byte_rate=1.0,
+            per_message_mj=per_message_mj,
+            value_bytes=1,
+        )

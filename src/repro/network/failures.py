@@ -1,0 +1,82 @@
+"""Transient link failures and failure-aware edge costs (paper §4.4).
+
+The paper's recipe: keep per-edge statistics on failure frequency and
+the extra cost of routing around the failed edge under the reliable
+protocol, then *inflate each edge's cost by failure_probability ×
+reroute_extra_cost* so the optimizer naturally avoids flaky links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.topology import Topology
+
+
+@dataclass
+class LinkFailureModel:
+    """Per-edge transient failure probabilities and re-route costs.
+
+    Attributes
+    ----------
+    failure_probability:
+        ``failure_probability[u]`` is the chance that a single unicast
+        over edge ``e_u = (u, parent(u))`` fails transiently.
+    reroute_extra_mj:
+        Expected extra energy spent delivering a message around edge
+        ``e_u`` when it fails (detour hops + retries).
+    """
+
+    failure_probability: dict[int, float] = field(default_factory=dict)
+    reroute_extra_mj: dict[int, float] = field(default_factory=dict)
+
+    def probability(self, edge: int) -> float:
+        return self.failure_probability.get(edge, 0.0)
+
+    def reroute_cost(self, edge: int) -> float:
+        return self.reroute_extra_mj.get(edge, 0.0)
+
+    def expected_penalty(self, edge: int) -> float:
+        """Expected extra cost per message on ``edge`` (paper §4.4)."""
+        return self.probability(edge) * self.reroute_cost(edge)
+
+    def record_failure(self, edge: int, failed: bool, alpha: float = 0.05) -> None:
+        """Update the failure-rate estimate with one observation (EWMA)."""
+        previous = self.probability(edge)
+        observation = 1.0 if failed else 0.0
+        self.failure_probability[edge] = (1 - alpha) * previous + alpha * observation
+
+    @classmethod
+    def uniform(
+        cls,
+        topology: Topology,
+        probability: float,
+        reroute_extra_mj: float,
+    ) -> "LinkFailureModel":
+        """Same failure behaviour on every edge."""
+        return cls(
+            failure_probability={e: probability for e in topology.edges},
+            reroute_extra_mj={e: reroute_extra_mj for e in topology.edges},
+        )
+
+    @classmethod
+    def random(
+        cls,
+        topology: Topology,
+        rng: np.random.Generator,
+        max_probability: float = 0.2,
+        reroute_extra_mj: float = 2.0,
+    ) -> "LinkFailureModel":
+        """Independent uniform failure rates, for experiments."""
+        return cls(
+            failure_probability={
+                e: float(rng.uniform(0.0, max_probability)) for e in topology.edges
+            },
+            reroute_extra_mj={e: reroute_extra_mj for e in topology.edges},
+        )
+
+    def sample_failure(self, edge: int, rng: np.random.Generator) -> bool:
+        """Draw whether one message on ``edge`` fails."""
+        return bool(rng.random() < self.probability(edge))

@@ -1,0 +1,192 @@
+"""Distributed minimum-spanning-tree construction (paper's citation [5]).
+
+The paper assumes "T is initially constructed and modified over time as
+needed ... using techniques such as those in [Gallager, Humblet &
+Spira]".  This module simulates that construction: a fragment-merging
+(Borůvka-style, as GHS executes) distributed MST over the radio graph,
+counting the messages the nodes would exchange — which is energy, the
+currency of everything else in this library.
+
+The simulation is round-based:
+
+1. every fragment locates its minimum-weight outgoing edge (MOE) by
+   testing incident edges (``test``/``accept``/``reject`` message
+   pairs, each edge tested once per endpoint per round) and
+   convergecasting reports up the fragment (one message per fragment
+   edge);
+2. fragments merge along the chosen MOEs (one ``connect`` message per
+   MOE);
+3. repeat until a single fragment spans the graph — at most
+   ``log2(n)`` rounds, the classic bound.
+
+The result is the exact MST (unique under distinct weights; ties are
+broken by the edge's node-id pair, which makes weights totally ordered
+the same way readings are), returned as a
+:class:`~repro.network.topology.Topology` rooted at node 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import math
+
+from repro.errors import TopologyError
+from repro.network.topology import ROOT, Topology
+
+EdgeKey = tuple[float, int, int]  # (weight, lower id, higher id): total order
+
+
+@dataclass
+class GHSOutcome:
+    """The built tree plus the distributed algorithm's cost profile."""
+
+    topology: Topology
+    mst_weight: float
+    rounds: int
+    messages: int
+    edges_tested: int
+    fragments_per_round: list[int] = field(default_factory=list)
+
+
+def _edge_key(weight: float, a: int, b: int) -> EdgeKey:
+    return (weight, min(a, b), max(a, b))
+
+
+def build_mst(
+    positions: list[tuple[float, float]],
+    radio_range: float,
+) -> GHSOutcome:
+    """Run the simulated distributed MST over a radio graph.
+
+    Edge weights are Euclidean distances; only pairs within
+    ``radio_range`` can communicate.  Raises
+    :class:`~repro.errors.TopologyError` if the radio graph is
+    disconnected (no spanning tree exists to build).
+    """
+    n = len(positions)
+    if n == 0:
+        raise TopologyError("no positions given")
+    if n == 1:
+        return GHSOutcome(
+            topology=Topology([-1], positions=list(positions)),
+            mst_weight=0.0,
+            rounds=0,
+            messages=0,
+            edges_tested=0,
+        )
+
+    range_sq = radio_range * radio_range
+    adjacency: list[list[tuple[int, float]]] = [[] for __ in range(n)]
+    for a in range(n):
+        ax, ay = positions[a]
+        for b in range(a + 1, n):
+            bx, by = positions[b]
+            dist_sq = (ax - bx) ** 2 + (ay - by) ** 2
+            if dist_sq <= range_sq:
+                weight = math.sqrt(dist_sq)
+                adjacency[a].append((b, weight))
+                adjacency[b].append((a, weight))
+
+    fragment = list(range(n))  # fragment id per node
+    mst_edges: set[tuple[int, int]] = set()
+    mst_weight = 0.0
+    rounds = 0
+    messages = 0
+    edges_tested = 0
+    fragments_per_round: list[int] = []
+
+    num_fragments = n
+    while num_fragments > 1:
+        rounds += 1
+        fragments_per_round.append(num_fragments)
+        if rounds > n:  # pragma: no cover - merge always progresses
+            raise TopologyError("distributed MST failed to converge")
+
+        # 1. each fragment finds its minimum outgoing edge
+        best_moe: dict[int, tuple[EdgeKey, int, int]] = {}
+        for node in range(n):
+            for neighbor, weight in adjacency[node]:
+                if fragment[neighbor] == fragment[node]:
+                    continue
+                # test/accept message pair on this candidate edge
+                edges_tested += 1
+                messages += 2
+                key = _edge_key(weight, node, neighbor)
+                current = best_moe.get(fragment[node])
+                if current is None or key < current[0]:
+                    best_moe[fragment[node]] = (key, node, neighbor)
+        if not best_moe:
+            raise TopologyError(
+                "radio graph is disconnected: some fragments have no"
+                " outgoing edges"
+            )
+        # convergecast of reports inside each fragment: one message per
+        # fragment tree edge (fragment size - 1), plus the connect
+        fragment_sizes: dict[int, int] = {}
+        for f in fragment:
+            fragment_sizes[f] = fragment_sizes.get(f, 0) + 1
+        messages += sum(size - 1 for size in fragment_sizes.values())
+
+        # 2. merge along the chosen MOEs (union-find over fragment ids)
+        parent_of = {f: f for f in fragment_sizes}
+
+        def find(f: int) -> int:
+            while parent_of[f] != f:
+                parent_of[f] = parent_of[parent_of[f]]
+                f = parent_of[f]
+            return f
+
+        for f, (key, node, neighbor) in best_moe.items():
+            messages += 1  # the connect message
+            a, b = find(fragment[node]), find(fragment[neighbor])
+            edge = (min(node, neighbor), max(node, neighbor))
+            if a == b and edge in mst_edges:
+                continue  # both endpoints chose the same edge
+            if edge not in mst_edges:
+                mst_edges.add(edge)
+                mst_weight += key[0]
+            if a != b:
+                parent_of[a] = b
+
+        # 3. relabel nodes with their merged fragment id
+        fragment = [find(fragment[node]) for node in range(n)]
+        num_fragments = len(set(fragment))
+
+    topology = _orient(mst_edges, positions)
+    return GHSOutcome(
+        topology=topology,
+        mst_weight=mst_weight,
+        rounds=rounds,
+        messages=messages,
+        edges_tested=edges_tested,
+        fragments_per_round=fragments_per_round,
+    )
+
+
+def _orient(
+    mst_edges: set[tuple[int, int]],
+    positions: list[tuple[float, float]],
+) -> Topology:
+    """Root the undirected MST at node 0 (the query station)."""
+    n = len(positions)
+    neighbors: list[list[int]] = [[] for __ in range(n)]
+    for a, b in mst_edges:
+        neighbors[a].append(b)
+        neighbors[b].append(a)
+    parents = [-1] * n
+    seen = [False] * n
+    seen[ROOT] = True
+    frontier = [ROOT]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            for other in neighbors[node]:
+                if not seen[other]:
+                    seen[other] = True
+                    parents[other] = node
+                    nxt.append(other)
+        frontier = nxt
+    if not all(seen):  # pragma: no cover - mst spans by construction
+        raise TopologyError("MST does not span all nodes")
+    return Topology(parents, positions=list(positions))

@@ -1,0 +1,113 @@
+"""Topology maintenance after permanent node failures (paper §4.4).
+
+"We assume that permanent node failure is possible, but rare ... If a
+node is non-functioning for an extended period of time, T adjusts to
+exclude the node.  The plan is then re-optimized based on the new
+topology."
+
+:func:`remove_node` excludes a dead node and re-attaches its orphaned
+child subtrees; surviving nodes are renumbered to stay contiguous
+(0..n-2), and the returned mapping lets callers migrate per-node state
+such as sample windows (:meth:`repro.query.engine.TopKEngine.
+handle_permanent_failure` does exactly that).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import TopologyError
+from repro.network.topology import ROOT, Topology
+
+
+def remove_node(
+    topology: Topology,
+    dead: int,
+    radio_range: float | None = None,
+) -> tuple[Topology, dict[int, int]]:
+    """Exclude a dead node; return the new tree and an old→new id map.
+
+    Re-attachment strategy for the dead node's children:
+
+    - default: adopt them at the dead node's parent ("grandparenting"),
+      which needs no position information;
+    - with ``radio_range`` and node positions available, each orphan
+      instead connects to the nearest surviving node within radio range
+      that is not its own descendant (falling back to grandparenting
+      when none is in range).
+    """
+    if dead == ROOT:
+        raise TopologyError("the root (query station) cannot be removed")
+    if not 0 <= dead < topology.n:
+        raise TopologyError(f"node {dead} is not in the topology")
+    if topology.n <= 1:
+        raise TopologyError("cannot remove the only node")
+
+    survivors = [node for node in topology.nodes if node != dead]
+    id_map = {old: new for new, old in enumerate(survivors)}
+
+    new_parents = [-1] * len(survivors)
+    positions = topology.positions
+    orphan_subtrees = {
+        child: frozenset(topology.descendants(child))
+        for child in topology.children(dead)
+    }
+    # candidates must lie outside EVERY orphan subtree: two orphans
+    # adopting into each other's subtrees would detach both from the
+    # root (they'd form a cycle among themselves)
+    all_orphaned: set[int] = set()
+    for subtree in orphan_subtrees.values():
+        all_orphaned |= subtree
+
+    for old in survivors:
+        if old == ROOT:
+            continue
+        parent = topology.parent(old)
+        if parent != dead:
+            new_parents[id_map[old]] = id_map[parent]
+            continue
+        # orphan: pick a new parent among still-rooted survivors
+        new_parent = topology.parent(dead)
+        if radio_range is not None and positions is not None:
+            candidate = _nearest_survivor(
+                topology, old, all_orphaned, dead, radio_range
+            )
+            if candidate is not None:
+                new_parent = candidate
+        new_parents[id_map[old]] = id_map[new_parent]
+
+    new_positions = (
+        [positions[old] for old in survivors] if positions is not None else None
+    )
+    return Topology(new_parents, positions=new_positions), id_map
+
+
+def _nearest_survivor(
+    topology: Topology,
+    orphan: int,
+    excluded: set[int],
+    dead: int,
+    radio_range: float,
+) -> int | None:
+    """Closest in-range node that is neither dead nor inside any
+    orphaned subtree (those are not reliably rooted yet)."""
+    positions = topology.positions
+    assert positions is not None
+    ox, oy = positions[orphan]
+    best: tuple[float, int] | None = None
+    for node in topology.nodes:
+        if node == dead or node in excluded:
+            continue
+        x, y = positions[node]
+        distance = math.hypot(ox - x, oy - y)
+        if distance <= radio_range and (best is None or distance < best[0]):
+            best = (distance, node)
+    return best[1] if best else None
+
+
+def remap_readings(readings, id_map: dict[int, int], new_size: int):
+    """Project a readings vector onto the surviving node ids."""
+    projected = [0.0] * new_size
+    for old, new in id_map.items():
+        projected[new] = float(readings[old])
+    return projected

@@ -1,0 +1,41 @@
+"""The PROSPECTOR query-planning algorithms (paper §3-§4).
+
+All planners consume a :class:`~repro.planners.base.PlanningContext`
+(topology + energy model + sample matrix + k + budget) and emit a
+:class:`~repro.plans.plan.QueryPlan`:
+
+- :class:`~repro.planners.greedy.GreedyPlanner` — PROSPECTOR Greedy (§3)
+- :class:`~repro.planners.lp_no_lf.LPNoLFPlanner` — PROSPECTOR LP−LF (§4.1)
+- :class:`~repro.planners.lp_lf.LPLFPlanner` — PROSPECTOR LP+LF (§4.2)
+- :class:`~repro.planners.proof.ProofPlanner` — PROSPECTOR-Proof (§4.3)
+- :class:`~repro.planners.exact.ExactTopK` — PROSPECTOR-Exact two-phase (§4.3)
+- :class:`~repro.planners.oracle.OraclePlanner` /
+  :class:`~repro.planners.oracle.OracleProofPlanner` — the implausible
+  baselines of §5.
+"""
+
+from repro.planners.base import Planner, PlanningContext
+from repro.planners.dp import DPPlanner
+from repro.planners.ensemble import WeightedMajorityPlanner
+from repro.planners.exact import ExactOutcome, ExactTopK, mop_up
+from repro.planners.greedy import GreedyPlanner
+from repro.planners.lp_lf import LPLFPlanner
+from repro.planners.lp_no_lf import LPNoLFPlanner
+from repro.planners.oracle import OraclePlanner, OracleProofPlanner
+from repro.planners.proof import ProofPlanner
+
+__all__ = [
+    "DPPlanner",
+    "ExactOutcome",
+    "ExactTopK",
+    "GreedyPlanner",
+    "LPLFPlanner",
+    "LPNoLFPlanner",
+    "OraclePlanner",
+    "OracleProofPlanner",
+    "Planner",
+    "PlanningContext",
+    "ProofPlanner",
+    "WeightedMajorityPlanner",
+    "mop_up",
+]

@@ -1,0 +1,76 @@
+"""Shared planner interfaces and the planning context.
+
+A :class:`PlanningContext` bundles everything the PROSPECTOR
+formulations need: the tree, the energy model (optionally inflated for
+flaky links, paper §4.4), the sample matrix, ``k`` and the energy
+budget ``E``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import BudgetError, SamplingError
+from repro.network.energy import EnergyModel
+from repro.network.failures import LinkFailureModel
+from repro.network.topology import Topology
+from repro.plans.plan import QueryPlan
+from repro.sampling.matrix import SampleMatrix
+
+
+@dataclass
+class PlanningContext:
+    """Inputs common to every PROSPECTOR planner."""
+
+    topology: Topology
+    energy: EnergyModel
+    samples: SampleMatrix
+    k: int
+    budget: float
+    failures: LinkFailureModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.samples.num_nodes != self.topology.n:
+            raise SamplingError(
+                f"sample matrix covers {self.samples.num_nodes} nodes,"
+                f" topology has {self.topology.n}"
+            )
+        if self.k < 1:
+            raise BudgetError("k must be >= 1")
+        if self.budget < 0:
+            raise BudgetError("energy budget must be non-negative")
+
+    def edge_cost(self, edge: int) -> float:
+        """Per-message cost of one edge, inflated by expected failure
+        re-routing cost when a failure model is attached (§4.4)."""
+        base = self.energy.per_message_mj
+        if self.failures is not None:
+            base += self.failures.expected_penalty(edge)
+        return base
+
+    @property
+    def per_value(self) -> float:
+        """Cost of moving one value across one edge."""
+        return self.energy.per_value_mj
+
+    def plan_cost(self, plan: QueryPlan) -> float:
+        """Static (budgeted) cost of a plan under this context's costs.
+
+        Includes per-node acquisition energy for every visited node
+        when the energy model charges it (§4.4 "Modeling Other Costs").
+        """
+        cost = plan.static_cost(self.energy, self.failures)
+        if self.energy.acquisition_mj:
+            cost += self.energy.acquisition_mj * len(plan.visited_nodes)
+        return cost
+
+
+class Planner(Protocol):
+    """Anything that turns a planning context into a query plan."""
+
+    name: str
+
+    def plan(self, context: PlanningContext) -> QueryPlan:
+        """Produce a plan whose static cost respects the budget."""
+        ...  # pragma: no cover - protocol definition

@@ -1,0 +1,174 @@
+"""Dynamic-programming alternative to PROSPECTOR LP−LF.
+
+The paper's footnote 1: "P ROSPECTOR LP−LF with integrality constraints
+might be solvable to an arbitrarily good approximation factor by
+dynamic programming.  In particular, our NP-hardness proof for this
+problem reduces from the KNAPSACK problem for which such a guarantee is
+achievable."
+
+This module implements that DP: a tree knapsack over a discretized
+budget.  Using a subtree at all costs its edge's per-message price
+(the "activation"); choosing a node additionally costs its root-path
+value transport.  Costs are rounded *up* to the budget quantum, so the
+returned plan is always strictly feasible; shrinking the quantum drives
+the approximation arbitrarily close, exactly the FPTAS-style guarantee
+the footnote refers to.
+
+Unlike the LP, the DP needs no solver — and unlike the LP's rounding,
+its solution is integral by construction.  Its weakness is the same one
+the footnote concedes: it does not generalize to local filtering or
+proofs, which is why the paper (and this library) use LP as the common
+framework.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import BudgetError
+from repro.plans.plan import QueryPlan
+from repro.planners.base import PlanningContext
+
+
+class DPPlanner:
+    """Tree-knapsack planner for the LP−LF problem.
+
+    Parameters
+    ----------
+    buckets:
+        Number of budget quanta.  More buckets = finer discretization =
+        better plans and more work (time scales with ``buckets**2``).
+    """
+
+    name = "dp-no-lf"
+
+    def __init__(self, buckets: int = 150) -> None:
+        if buckets < 1:
+            raise BudgetError("buckets must be >= 1")
+        self.buckets = buckets
+
+    def plan(self, context: PlanningContext) -> QueryPlan:
+        topology = context.topology
+        counts = context.samples.column_counts()
+        budget = context.budget
+        if budget <= 0:
+            return QueryPlan.from_chosen_nodes(topology, {topology.root})
+
+        quantum = budget / self.buckets
+        acquisition = context.energy.acquisition_mj
+
+        def quantize(cost: float) -> int:
+            return int(math.ceil(cost / quantum - 1e-12))
+
+        # per-node choice cost: full-path value transport
+        choice_cost = {
+            node: quantize(topology.depth(node) * context.per_value)
+            for node in topology.nodes
+        }
+        # per-edge activation: message cost (+ the child's acquisition)
+        activation = {
+            edge: quantize(context.edge_cost(edge) + acquisition)
+            for edge in topology.edges
+        }
+        capacity = self.buckets
+
+        # g[node] : list over budget 0..capacity of (count, traceback)
+        # where the budget covers everything inside the subtree
+        # INCLUDING the node's own edge activation.
+        best: dict[int, list[int]] = {}
+        picks: dict[int, list[tuple[bool, dict[int, int]]]] = {}
+
+        for node in topology.post_order():
+            if node == topology.root:
+                continue
+            best[node], picks[node] = self._solve_subtree(
+                node, topology, counts, choice_cost, activation, best,
+                picks, capacity,
+            )
+
+        # the root: knapsack over its children, no activation of its own
+        root = topology.root
+        table, trace = self._combine_children(
+            topology.children(root), best, capacity
+        )
+        chosen = {root}
+        budget_index = max(range(capacity + 1), key=lambda b: table[b])
+        self._traceback(
+            root, budget_index, trace, picks, topology, chosen, is_root=True
+        )
+        return QueryPlan.from_chosen_nodes(topology, chosen)
+
+    # -- DP internals ----------------------------------------------------
+    def _solve_subtree(
+        self, node, topology, counts, choice_cost, activation, best, picks,
+        capacity,
+    ):
+        """Best (count, traceback) per budget for one activated subtree."""
+        children_table, children_trace = self._combine_children(
+            topology.children(node), best, capacity
+        )
+        table = [0] * (capacity + 1)
+        trace: list[tuple[bool, dict[int, int]]] = [
+            (False, {}) for __ in range(capacity + 1)
+        ]
+        act = activation[node]
+        own = choice_cost[node]
+        for b in range(capacity + 1):
+            remaining = b - act
+            if remaining < 0:
+                continue  # cannot even activate the edge
+            # without choosing the node's own value
+            value = children_table[remaining]
+            choice = (False, children_trace[remaining])
+            # with the node's own value
+            if counts[node] > 0 and remaining - own >= 0:
+                with_own = children_table[remaining - own] + counts[node]
+                if with_own > value:
+                    value = with_own
+                    choice = (True, children_trace[remaining - own])
+            table[b] = value
+            trace[b] = choice
+        # budgets are monotone: more budget never hurts
+        for b in range(1, capacity + 1):
+            if table[b] < table[b - 1]:
+                table[b] = table[b - 1]
+                trace[b] = trace[b - 1]
+        return table, trace
+
+    @staticmethod
+    def _combine_children(children, best, capacity):
+        """Knapsack-combine child subtree tables."""
+        table = [0] * (capacity + 1)
+        trace: list[dict[int, int]] = [{} for __ in range(capacity + 1)]
+        for child in children:
+            child_table = best[child]
+            new_table = list(table)
+            new_trace = [dict(t) for t in trace]
+            for b in range(capacity + 1):
+                for spend in range(1, b + 1):
+                    if child_table[spend] == 0:
+                        continue
+                    candidate = table[b - spend] + child_table[spend]
+                    if candidate > new_table[b]:
+                        new_table[b] = candidate
+                        allocation = dict(trace[b - spend])
+                        allocation[child] = spend
+                        new_trace[b] = allocation
+            table = new_table
+            trace = new_trace
+        return table, trace
+
+    def _traceback(
+        self, node, budget_index, trace, picks, topology, chosen, is_root,
+    ):
+        """Recover the chosen node set from the DP tables."""
+        if is_root:
+            allocation = trace[budget_index]
+        else:
+            took_own, allocation = picks[node][budget_index]
+            if took_own:
+                chosen.add(node)
+        for child, spend in allocation.items():
+            self._traceback(
+                child, spend, None, picks, topology, chosen, is_root=False
+            )

@@ -1,0 +1,128 @@
+"""Weighted-majority planner selection (paper's citation [9]).
+
+The paper borrows its exploration/exploitation framing from Littlestone
+& Warmuth's weighted majority algorithm.  This module applies the
+algorithm itself one level up: *which PROSPECTOR should be planning?*
+The right answer depends on the workload (Figure 9's predictable data
+favours LP−LF's simplicity; contention zones demand LP+LF; tiny
+networks do fine with Greedy), and it can drift.
+
+:class:`WeightedMajorityPlanner` keeps one weight per expert planner,
+plans with the current best expert, and multiplies down the weights of
+experts whose plans would have performed worse on observed epochs —
+the standard multiplicative update, giving the usual regret guarantee
+against the best fixed expert in hindsight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.plans.execution import count_topk_hits
+from repro.plans.plan import QueryPlan, top_k_set
+from repro.planners.base import Planner, PlanningContext
+
+
+@dataclass
+class ExpertState:
+    """One expert planner and its standing."""
+
+    planner: Planner
+    weight: float = 1.0
+    last_plan: QueryPlan | None = None
+    cumulative_hits: int = 0
+    epochs_scored: int = 0
+
+
+class WeightedMajorityPlanner:
+    """Multiplicative-weights selection over expert planners.
+
+    Parameters
+    ----------
+    experts:
+        The candidate planners (at least one).
+    beta:
+        Weight multiplier applied to under-performing experts per
+        feedback epoch; the classic algorithm's ``beta`` in (0, 1).
+    """
+
+    name = "weighted-majority"
+
+    def __init__(self, experts: list[Planner], beta: float = 0.8) -> None:
+        if not experts:
+            raise PlanError("at least one expert planner is required")
+        if not 0.0 < beta < 1.0:
+            raise PlanError("beta must be in (0, 1)")
+        self.beta = beta
+        self.experts = [ExpertState(planner=p) for p in experts]
+
+    # -- selection ----------------------------------------------------------
+    @property
+    def weights(self) -> dict[str, float]:
+        return {e.planner.name: e.weight for e in self.experts}
+
+    def leader(self) -> ExpertState:
+        """The currently heaviest expert (ties: earliest registered)."""
+        return max(self.experts, key=lambda e: e.weight)
+
+    def plan(self, context: PlanningContext) -> QueryPlan:
+        """Plan with every expert (caching each plan for scoring) and
+        return the leader's plan."""
+        for expert in self.experts:
+            expert.last_plan = expert.planner.plan(context)
+        chosen = self.leader().last_plan
+        assert chosen is not None
+        return chosen
+
+    # -- feedback -------------------------------------------------------------
+    def observe(self, readings, k: int) -> None:
+        """Score each expert's cached plan on an observed epoch and
+        apply the multiplicative update to the laggards.
+
+        Experts matching the epoch's best hit count keep their weight;
+        everyone else is multiplied by ``beta`` once per hit of
+        shortfall (the standard loss-scaled update).
+        """
+        scored = [e for e in self.experts if e.last_plan is not None]
+        if not scored:
+            raise PlanError("observe() called before plan()")
+        truth = top_k_set(readings, k)
+        hits = {
+            id(expert): count_topk_hits(expert.last_plan, truth)
+            for expert in scored
+        }
+        best = max(hits.values())
+        for expert in scored:
+            expert.epochs_scored += 1
+            expert.cumulative_hits += hits[id(expert)]
+            shortfall = best - hits[id(expert)]
+            if shortfall > 0:
+                expert.weight *= self.beta**shortfall
+        self._renormalize()
+
+    def _renormalize(self) -> None:
+        total = sum(e.weight for e in self.experts)
+        if total <= 0:  # pragma: no cover - beta in (0,1) keeps weights > 0
+            raise PlanError("expert weights collapsed")
+        for expert in self.experts:
+            expert.weight /= total
+
+    def standings(self) -> list[dict]:
+        """Leaderboard rows for reporting."""
+        return sorted(
+            (
+                {
+                    "expert": e.planner.name,
+                    "weight": e.weight,
+                    "mean_hits": (
+                        e.cumulative_hits / e.epochs_scored
+                        if e.epochs_scored
+                        else 0.0
+                    ),
+                    "epochs": e.epochs_scored,
+                }
+                for e in self.experts
+            ),
+            key=lambda row: -row["weight"],
+        )

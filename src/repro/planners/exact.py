@@ -1,0 +1,168 @@
+"""PROSPECTOR-Exact: the two-phase exact top-k algorithm (paper §4.3).
+
+Phase 1 runs a PROSPECTOR-Proof plan under a chosen energy budget.  If
+the root proves at least ``k`` values, the answer is exact and we are
+done.  Otherwise a "mop-up" phase retrieves the missing values, using
+what every node remembers from phase 1 (its ``retrieved`` and
+``proven`` sets) to prune the search: requests are triples
+``(t, l, h)`` asking for the top ``t`` subtree values strictly inside
+the open range ``(l, h)``.
+
+The pruning logic at each node receiving ``(t, l, h)``:
+- proven values already inside the range can be served from memory, so
+  only ``t' = t - |proven ∩ (l, h)|`` are requested from below;
+- any new value must beat the ``t``-th best in-range value already
+  retrieved (raising ``l``);
+- no subtree value above ``min(proven)`` can exist outside ``proven``
+  (they are the true top values, Lemma 1), so ``h`` drops to it.
+
+Correctness of the answer is independent of the samples' accuracy —
+they only affect how much energy the mop-up needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.network.topology import Topology
+from repro.plans.plan import Message, QueryPlan, Reading
+from repro.plans.proof_execution import NodeState, ProofResult, execute_proof_plan
+from repro.planners.base import PlanningContext
+from repro.planners.proof import ProofPlanner
+
+_LOW: Reading = (float("-inf"), -1)
+_HIGH: Reading = (float("inf"), 1 << 60)
+_REQUEST_BYTES = 12  # t (4 bytes) + two range endpoints (4 bytes each)
+
+
+@dataclass
+class ExactOutcome:
+    """Result and per-phase accounting of one PROSPECTOR-Exact run."""
+
+    answer: list[Reading]
+    proven_in_phase1: int
+    phase1_messages: list[Message]
+    phase2_messages: list[Message] = field(default_factory=list)
+    plan: QueryPlan | None = None
+
+    @property
+    def used_mop_up(self) -> bool:
+        return bool(self.phase2_messages)
+
+    def answer_nodes(self) -> set[int]:
+        return {node for __, node in self.answer}
+
+
+def mop_up(
+    topology: Topology,
+    states: dict[int, NodeState],
+    k: int,
+    skip_known_subtrees: bool = True,
+) -> tuple[list[Reading], list[Message]]:
+    """Run the mop-up phase over the phase-1 node states.
+
+    Mutates the states (merging fetched values into ``retrieved``) the
+    way real nodes would, and returns the exact top-k plus the message
+    log for energy accounting.
+
+    ``skip_known_subtrees`` implements the refinement the paper alludes
+    to ("sending to children requests with different bounds ... further
+    improve"): a child that already delivered its *entire* subtree in
+    phase 1 has nothing new to offer, so it is exempted from the
+    request (its values are all in the parent's ``retrieved``).
+    """
+    messages: list[Message] = []
+
+    def serve(node: int, t: int, low: Reading, high: Reading) -> list[Reading]:
+        state = states[node]
+        proven_in_range = [r for r in state.proven if low < r < high]
+        t_children = t - len(proven_in_range)
+
+        in_range = [r for r in state.retrieved if low < r < high]
+        new_low = max(low, in_range[t - 1]) if len(in_range) >= t else low
+        new_high = min(high, min(state.proven)) if state.proven else high
+
+        children = list(topology.children(node))
+        if skip_known_subtrees:
+            children = [
+                child
+                for child in children
+                if state.received_from.get(child, 0)
+                < topology.subtree_size(child)
+            ]
+        if t_children > 0 and new_low < new_high and children:
+            messages.append(
+                Message(node, 0, extra_bytes=_REQUEST_BYTES, kind="broadcast")
+            )
+            merged = set(state.retrieved)
+            for child in children:
+                response = serve(child, t_children, new_low, new_high)
+                messages.append(Message(child, len(response)))
+                merged.update(response)
+            state.retrieved = sorted(merged, reverse=True)
+
+        return [r for r in state.retrieved if low < r < high][:t]
+
+    # The root's initiation (paper: broadcast (k - |proven(root)|, l, h))
+    # is exactly the generic node procedure applied to an unbounded
+    # request for the top k, so we reuse it.
+    answer = serve(topology.root, k, _LOW, _HIGH)
+    return answer, messages
+
+
+class ExactTopK:
+    """Two-phase exact top-k: PROSPECTOR-Proof + mop-up.
+
+    Parameters
+    ----------
+    proof_planner:
+        The phase-1 planner (budget comes from the planning context
+        handed to :meth:`run`; the paper's Figure 8 sweeps it).
+    skip_known_subtrees:
+        Mop-up refinement: do not re-query subtrees fully delivered in
+        phase 1 (see :func:`mop_up`).
+    """
+
+    name = "prospector-exact"
+
+    def __init__(
+        self,
+        proof_planner: ProofPlanner | None = None,
+        skip_known_subtrees: bool = True,
+    ) -> None:
+        self.proof_planner = proof_planner or ProofPlanner()
+        self.skip_known_subtrees = skip_known_subtrees
+
+    def run(self, context: PlanningContext, readings) -> ExactOutcome:
+        """Answer the top-k query exactly on ``readings``."""
+        plan = self.proof_planner.plan(context)
+        return self.run_with_plan(plan, context.k, readings)
+
+    def run_with_plan(
+        self, plan: QueryPlan, k: int, readings
+    ) -> ExactOutcome:
+        """Run both phases with a pre-computed phase-1 proof plan."""
+        if k < 1:
+            raise PlanError("k must be >= 1")
+        phase1: ProofResult = execute_proof_plan(plan, readings)
+        if phase1.proven_count >= k:
+            return ExactOutcome(
+                answer=phase1.returned[:k],
+                proven_in_phase1=phase1.proven_count,
+                phase1_messages=phase1.messages,
+                plan=plan,
+            )
+        answer, phase2_messages = mop_up(
+            plan.topology,
+            phase1.states,
+            k,
+            skip_known_subtrees=self.skip_known_subtrees,
+        )
+        return ExactOutcome(
+            answer=answer,
+            proven_in_phase1=phase1.proven_count,
+            phase1_messages=phase1.messages,
+            phase2_messages=phase2_messages,
+            plan=plan,
+        )

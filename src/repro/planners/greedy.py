@@ -1,0 +1,57 @@
+"""PROSPECTOR Greedy (paper §3).
+
+Builds a plan incrementally: as long as the plan's cost stays within
+the budget, it picks the unvisited node whose sample column count
+(how often the node held a top-k value) is largest, and extends the
+plan to fetch that node's value all the way to the root.
+
+Greedy is deliberately topology-blind — it never reasons about sharing
+per-message costs between clustered picks — which is exactly the
+deficiency LP−LF fixes in the evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.plans.plan import QueryPlan
+from repro.planners.base import PlanningContext
+
+
+class GreedyPlanner:
+    """The greedy PROSPECTOR.
+
+    Parameters
+    ----------
+    skip_unaffordable:
+        The paper's description stops as soon as the next-best node
+        would exceed the budget.  With this flag set, the planner keeps
+        scanning for cheaper lower-count nodes instead — a slightly
+        stronger variant used by the rounding ablation.
+    """
+
+    name = "greedy"
+
+    def __init__(self, skip_unaffordable: bool = False) -> None:
+        self.skip_unaffordable = skip_unaffordable
+
+    def plan(self, context: PlanningContext) -> QueryPlan:
+        topology = context.topology
+        counts = context.samples.column_counts()
+        # highest count first; prefer shallower nodes on ties (cheaper),
+        # then lower ids for determinism
+        order = sorted(
+            (node for node in topology.nodes if node != topology.root),
+            key=lambda node: (-counts[node], topology.depth(node), node),
+        )
+
+        chosen: set[int] = {topology.root}
+        plan = QueryPlan.from_chosen_nodes(topology, chosen)
+        for node in order:
+            if counts[node] == 0:
+                break  # nodes that never appeared in the top k add nothing
+            trial = QueryPlan.from_chosen_nodes(topology, chosen | {node})
+            if context.plan_cost(trial) <= context.budget:
+                chosen.add(node)
+                plan = trial
+            elif not self.skip_unaffordable:
+                break
+        return plan

@@ -1,0 +1,151 @@
+"""PROSPECTOR LP−LF: topology-aware planning without local filtering
+(paper §4.1).
+
+One 0/1 variable ``x_i`` per node ("fetch i's value to the root") and
+one 0/1 variable ``y_e`` per edge ("the plan communicates over e").
+Choosing a node forces every edge above it on (line 2), the budget
+bounds per-message plus per-value costs (line 3), and the objective
+maximizes the total sample column count of the chosen nodes — i.e.,
+minimizes the expected number of missed top-k values (line 1).
+
+The only input the formulation needs from the sample matrix is its
+vector of column sums, the observation at the end of §4.1.
+"""
+
+from __future__ import annotations
+
+from repro.lp import LinExpr, Model
+from repro.plans.plan import QueryPlan
+from repro.planners.base import PlanningContext
+from repro.planners.rounding import (
+    ROUND_THRESHOLD,
+    fill_chosen_nodes,
+    repair_chosen_nodes,
+)
+
+
+class LPNoLFPlanner:
+    """PROSPECTOR LP−LF.
+
+    Parameters
+    ----------
+    strict_budget:
+        When True (default), the rounded plan is repaired to fit the
+        budget exactly by dropping the lowest-count chosen nodes; when
+        False the paper's raw ½-rounding (cost <= 2E guarantee) is
+        returned as-is.
+    fill_budget:
+        After rounding/repair, spend leftover budget on additional
+        nodes in order of their LP fractional value (then sample
+        count).  The ½-threshold alone strands budget whenever the LP
+        optimum is fractional; filling keeps the plan LP-guided while
+        using the full allocation.  On by default; the rounding
+        ablation benchmark compares.
+    backend:
+        LP solver backend; defaults to HiGHS.
+    """
+
+    name = "lp-no-lf"
+
+    def __init__(
+        self,
+        strict_budget: bool = True,
+        fill_budget: bool = True,
+        backend=None,
+    ) -> None:
+        self.strict_budget = strict_budget
+        self.fill_budget = fill_budget
+        self.backend = backend
+
+    def build_model(self, context: PlanningContext) -> tuple[Model, dict, dict]:
+        """Construct the LP; exposed separately for tests and timing."""
+        topology = context.topology
+        counts = context.samples.column_counts()
+        model = Model("prospector-lp-no-lf")
+
+        x = {
+            node: model.add_variable(f"x_{node}", lb=0.0, ub=1.0)
+            for node in topology.nodes
+        }
+        y = {
+            edge: model.add_variable(f"y_{edge}", lb=0.0, ub=1.0)
+            for edge in topology.edges
+        }
+
+        # (2) fetching node i uses every edge above it
+        for node in topology.nodes:
+            if node == topology.root:
+                continue
+            for edge in topology.path_edges(node):
+                model.add_constraint(x[node] <= y[edge], name=f"path_{node}_{edge}")
+
+        # (3) energy budget: per-message on used edges + per-value along
+        # paths. Per-node acquisition (§4.4 "Modeling Other Costs")
+        # attaches to each edge's child endpoint — every node on an
+        # active path measures, since execution merges its own reading;
+        # the root always measures, so its share is constant.
+        acquisition = context.energy.acquisition_mj
+        cost = LinExpr.sum_of(
+            [
+                (context.edge_cost(edge) + acquisition) * y[edge]
+                for edge in topology.edges
+            ]
+            + [
+                (topology.depth(node) * context.per_value) * x[node]
+                for node in topology.nodes
+                if node != topology.root
+            ]
+        )
+        model.add_constraint(
+            cost <= context.budget - acquisition, name="budget"
+        )
+
+        # (1) maximize covered top-k appearances == minimize misses
+        model.maximize(
+            LinExpr.sum_of(
+                int(counts[node]) * x[node] for node in topology.nodes
+            )
+        )
+        return model, x, y
+
+    def plan(self, context: PlanningContext) -> QueryPlan:
+        topology = context.topology
+        model, x, __ = self.build_model(context)
+        solution = model.solve(self.backend)
+
+        chosen = {
+            node
+            for node in topology.nodes
+            if solution.value(x[node]) >= ROUND_THRESHOLD
+        }
+        chosen.add(topology.root)
+
+        def build(keep: set[int]) -> QueryPlan:
+            return QueryPlan.from_chosen_nodes(topology, keep)
+
+        if not self.strict_budget:
+            return build(chosen)
+
+        counts = context.samples.column_counts()
+        plan, kept = repair_chosen_nodes(
+            chosen=sorted(chosen),
+            scores=counts,
+            build_plan=build,
+            cost_of=context.plan_cost,
+            budget=context.budget,
+            protected=frozenset({topology.root}),
+        )
+        if not self.fill_budget:
+            return plan
+
+        # expected contribution = sample count, with the LP's fractional
+        # preference as a mild tie-break
+        priorities = [
+            float(counts[node]) + 0.5 * solution.value(x[node])
+            if counts[node] > 0
+            else 0.0
+            for node in topology.nodes
+        ]
+        return fill_chosen_nodes(
+            kept, priorities, build, context.plan_cost, context.budget
+        )

@@ -1,0 +1,55 @@
+"""The implausible oracle baselines of the evaluation (paper §5).
+
+ORACLE knows exactly where the top-k values sit and fetches precisely
+those nodes; its cost lower-bounds every approximate algorithm at 100%
+accuracy (and, run for the top ``j < k``, at accuracy ``j/k``).
+
+ORACLE-PROOF also knows the locations but must still *prove* the
+result, so it touches every node; it lower-bounds the exact
+algorithms.  Its bandwidths give each subtree one slot per top-k value
+it holds plus one "witness" slot, so that every ancestor can certify
+the top-k values against the subtree (condition c.2 needs a proven
+smaller value from each sibling subtree).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.network.topology import Topology
+from repro.plans.plan import QueryPlan, top_k_set
+
+
+class OraclePlanner:
+    """ORACLE: fetch exactly the true top-``j`` nodes (j defaults to k)."""
+
+    name = "oracle"
+
+    def plan_for_readings(
+        self, topology: Topology, readings, j: int
+    ) -> QueryPlan:
+        if j < 1:
+            raise PlanError("oracle needs j >= 1")
+        chosen = top_k_set(readings, j) | {topology.root}
+        return QueryPlan.from_chosen_nodes(topology, chosen)
+
+
+class OracleProofPlanner:
+    """ORACLE-PROOF: prove the true top-k while touching every node."""
+
+    name = "oracle-proof"
+
+    def plan_for_readings(
+        self, topology: Topology, readings, k: int
+    ) -> QueryPlan:
+        if k < 1:
+            raise PlanError("oracle-proof needs k >= 1")
+        topk = top_k_set(readings, k)
+        descendant_sets = topology.descendant_sets()
+        bandwidths = {
+            edge: min(
+                topology.subtree_size(edge),
+                len(topk & descendant_sets[edge]) + 1,
+            )
+            for edge in topology.edges
+        }
+        return QueryPlan(topology, bandwidths, requires_all_edges=True)

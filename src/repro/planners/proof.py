@@ -1,0 +1,224 @@
+"""PROSPECTOR-Proof: optimizing proof-carrying plans (paper §4.3).
+
+A proof-carrying plan must use *every* edge (an unvisited node could
+hold the maximum), so the decision is purely how much bandwidth each
+edge gets.  The LP uses one variable ``p_{j,i,a}`` per sample and
+descendant-ancestor pair, meaning "node i's value is proven at ancestor
+a when the plan runs on sample j", and maximizes the expected number of
+top-k values proven at the root.
+
+Constraints (paper line numbers):
+- (13) a value proven at ``a`` is proven at every node between its
+  owner and ``a`` (chain monotonicity);
+- (12) values from a subtree proven at its parent are capped by the
+  subtree edge's bandwidth;
+- (14) proving ``i``'s value at ``a`` requires every sibling child
+  subtree ``c`` to prove some smaller value; when ``c``'s subtree holds
+  no smaller value in the sample the paper generates no constraint
+  (runtime condition c.3 covers that case — a documented optimism of
+  the formulation);
+- (11) cost bounds per-message plus bandwidth costs, with a reserved
+  allowance on each non-leaf edge for the proven-count control field.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BudgetError
+from repro.lp import LinExpr, Model
+from repro.plans.plan import QueryPlan
+from repro.planners.base import PlanningContext
+from repro.planners.rounding import repair_bandwidths, round_bandwidth
+
+_PROVEN_COUNT_BYTES = 2
+
+
+class ProofPlanner:
+    """PROSPECTOR-Proof bandwidth optimizer.
+
+    Parameters
+    ----------
+    strict_budget:
+        Repair the rounded plan back under the budget (default).
+    fill_budget:
+        After optimizing, spend any leftover allocation on extra
+        bandwidth (prioritizing subtrees that held top-k values in the
+        samples).  The paper's Figure 8 phase-1 costs grow with the
+        allocated energy — "the first phase acquires more values than
+        needed" — which is this behaviour; the extra margin also
+        hedges against model error.  Off by default.
+    """
+
+    name = "prospector-proof"
+
+    def __init__(
+        self,
+        strict_budget: bool = True,
+        fill_budget: bool = False,
+        backend=None,
+    ) -> None:
+        self.strict_budget = strict_budget
+        self.fill_budget = fill_budget
+        self.backend = backend
+
+    def minimum_cost(self, context: PlanningContext) -> float:
+        """Cost of the cheapest legal proof plan (bandwidth 1 everywhere),
+        including the control-field reserve and the acquisition total
+        (a proof plan visits, and hence measures at, every node)."""
+        return (
+            self._reserve(context)
+            + self._acquisition_total(context)
+            + sum(
+                context.edge_cost(edge) + context.per_value
+                for edge in context.topology.edges
+            )
+        )
+
+    def _reserve(self, context: PlanningContext) -> float:
+        topology = context.topology
+        non_leaf_edges = sum(
+            1 for edge in topology.edges if not topology.is_leaf(edge)
+        )
+        return non_leaf_edges * context.energy.per_byte_mj * _PROVEN_COUNT_BYTES
+
+    @staticmethod
+    def _acquisition_total(context: PlanningContext) -> float:
+        """Constant §4.4 acquisition cost: every node measures."""
+        return context.energy.acquisition_mj * context.topology.n
+
+    def build_model(self, context: PlanningContext) -> tuple[Model, dict, dict]:
+        topology = context.topology
+        samples = context.samples
+        model = Model("prospector-proof")
+
+        b = {
+            edge: model.add_variable(
+                f"b_{edge}", lb=1.0, ub=float(topology.subtree_size(edge))
+            )
+            for edge in topology.edges
+        }
+
+        p: dict[tuple[int, int, int], object] = {}
+        for j in range(samples.num_samples):
+            for node in topology.nodes:
+                for anc in topology.ancestors(node):
+                    p[j, node, anc] = model.add_variable(
+                        f"p_{j}_{node}_{anc}", lb=0.0, ub=1.0
+                    )
+
+        descendant_sets = topology.descendant_sets()
+        for j in range(samples.num_samples):
+            # (13) chain monotonicity along each node's ancestor path
+            for node in topology.nodes:
+                chain = topology.ancestors(node)
+                for below, above in zip(chain, chain[1:]):
+                    model.add_constraint(
+                        p[j, node, above] <= p[j, node, below],
+                        name=f"chain_{j}_{node}_{above}",
+                    )
+
+            # (12) bandwidth caps proven flow through each edge
+            for edge in topology.edges:
+                parent = topology.parent(edge)
+                flow = LinExpr.sum_of(
+                    p[j, node, parent] for node in descendant_sets[edge]
+                )
+                model.add_constraint(flow <= b[edge], name=f"bw_{j}_{edge}")
+
+            # (14) sibling subtrees must prove smaller values
+            for node in topology.nodes:
+                smaller = samples.smaller_than(node, j)
+                for anc in topology.ancestors(node):
+                    for sibling in topology.sibling_children(node, anc):
+                        support = descendant_sets[sibling] & smaller
+                        if not support:
+                            continue  # paper's exception: no constraint
+                        model.add_constraint(
+                            p[j, node, anc]
+                            <= LinExpr.sum_of(p[j, s, sibling] for s in support),
+                            name=f"sup_{j}_{node}_{anc}_{sibling}",
+                        )
+
+        # (11) budget with the proven-count reserve
+        cost = LinExpr.sum_of(
+            [
+                context.edge_cost(edge) + context.per_value * b[edge]
+                for edge in topology.edges
+            ]
+        )
+        model.add_constraint(
+            cost
+            <= context.budget
+            - self._reserve(context)
+            - self._acquisition_total(context),
+            name="budget",
+        )
+
+        # (10) expected number of top-k values proven at the root
+        root = topology.root
+        model.maximize(
+            LinExpr.sum_of(
+                p[j, node, root]
+                for j in range(samples.num_samples)
+                for node in samples.ones(j)
+            )
+        )
+        return model, b, p
+
+    def plan(self, context: PlanningContext) -> QueryPlan:
+        minimum = self.minimum_cost(context)
+        if context.budget < minimum:
+            raise BudgetError(
+                f"budget {context.budget:.1f} mJ below the minimum proof plan"
+                f" cost {minimum:.1f} mJ (every edge must carry a value)"
+            )
+        topology = context.topology
+        model, b, __ = self.build_model(context)
+        solution = model.solve(self.backend)
+
+        bandwidths = {
+            edge: max(1, round_bandwidth(solution.value(b[edge])))
+            for edge in topology.edges
+        }
+        plan = QueryPlan(topology, bandwidths, requires_all_edges=True)
+        effective_budget = context.budget - self._reserve(context)
+        if self.strict_budget:
+            # static_cost excludes the proven-count reserve, so repair
+            # against the budget net of it
+            plan = repair_bandwidths(
+                plan,
+                context.samples.ones_list(),
+                cost_of=context.plan_cost,
+                budget=effective_budget,
+                min_bandwidth=1,
+            )
+        if self.fill_budget:
+            plan = self._fill(plan, context, effective_budget)
+        return plan
+
+    def _fill(
+        self, plan: QueryPlan, context: PlanningContext, budget: float
+    ) -> QueryPlan:
+        """Spend leftover budget on extra bandwidth, hottest subtrees first."""
+        topology = context.topology
+        descendant_sets = topology.descendant_sets()
+        ones = context.samples.ones_list()
+        heat = {
+            edge: max(len(o & descendant_sets[edge]) for o in ones)
+            for edge in topology.edges
+        }
+        # deterministic priority: hot, deep subtrees first
+        order = sorted(
+            topology.edges,
+            key=lambda e: (-heat[e], -topology.depth(e), e),
+        )
+        grew = True
+        while grew:
+            grew = False
+            for edge in order:
+                if plan.bandwidths[edge] >= topology.subtree_size(edge):
+                    continue
+                trial = plan.with_bandwidth(edge, plan.bandwidths[edge] + 1)
+                if context.plan_cost(trial) <= budget:
+                    plan = trial
+                    grew = True
+        return plan

@@ -1,0 +1,201 @@
+"""Converting fractional LP solutions into integral plans.
+
+The paper rounds indicator variables at threshold ½, which provably
+loses at most a factor of 2 in the objective and costs at most ``2E``
+(§4.1).  Because our experiment harness charges plans their *actual*
+cost against the budget, we additionally offer deterministic repair
+passes that restore strict budget feasibility; the repair is an
+implementation extension the paper leaves implicit, and it is ablated
+in ``benchmarks/bench_ablation_rounding.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.plans.execution import count_topk_hits
+from repro.plans.plan import QueryPlan
+
+ROUND_THRESHOLD = 0.5
+
+
+def round_indicator(value: float, threshold: float = ROUND_THRESHOLD) -> int:
+    """The paper's ½-threshold rounding for 0/1-intended variables."""
+    return 1 if value >= threshold else 0
+
+
+def round_bandwidth(value: float) -> int:
+    """Round a fractional bandwidth to the nearest integer (half up)."""
+    return max(0, int(value + 0.5))
+
+
+def repair_chosen_nodes(
+    chosen: Sequence[int],
+    scores: Sequence[float],
+    build_plan: Callable[[set[int]], QueryPlan],
+    cost_of: Callable[[QueryPlan], float],
+    budget: float,
+    protected: frozenset[int] = frozenset(),
+) -> tuple[QueryPlan, set[int]]:
+    """Drop the least valuable chosen nodes until the plan fits budget.
+
+    ``scores`` gives each node's value (e.g., its sample column count);
+    nodes in ``protected`` (the root) are never dropped.  Returns the
+    repaired plan together with the surviving node set.
+    """
+    keep = set(chosen)
+    plan = build_plan(keep)
+    droppable = sorted(
+        (node for node in keep if node not in protected),
+        key=lambda node: scores[node],
+    )
+    index = 0
+    while cost_of(plan) > budget and index < len(droppable):
+        keep.discard(droppable[index])
+        index += 1
+        plan = build_plan(keep)
+    return plan, keep
+
+
+def fill_chosen_nodes(
+    chosen: set[int],
+    priorities: Sequence[float],
+    build_plan: Callable[[set[int]], QueryPlan],
+    cost_of: Callable[[QueryPlan], float],
+    budget: float,
+) -> QueryPlan:
+    """Spend leftover budget on additional nodes by gain per millijoule.
+
+    ``priorities`` measure each node's expected contribution (sample
+    column counts, optionally LP-fraction-weighted); at each step the
+    affordable candidate with the best priority-to-marginal-cost ratio
+    is added — marginal, because a node sharing its path with already
+    chosen nodes is much cheaper than a fresh subtree.
+    """
+    plan = build_plan(chosen)
+    current_cost = cost_of(plan)
+    candidates = {
+        node
+        for node in range(len(priorities))
+        if node not in chosen and priorities[node] > 0
+    }
+    while candidates:
+        best = None  # (ratio, priority, -node, node, trial, trial_cost)
+        for node in candidates:
+            trial = build_plan(chosen | {node})
+            trial_cost = cost_of(trial)
+            if trial_cost > budget:
+                continue
+            marginal = max(trial_cost - current_cost, 1e-9)
+            key = (priorities[node] / marginal, priorities[node], -node)
+            if best is None or key > best[0]:
+                best = (key, node, trial, trial_cost)
+        if best is None:
+            return plan
+        __, node, plan, current_cost = best
+        chosen.add(node)
+        candidates.discard(node)
+    return plan
+
+
+def fill_bandwidths(
+    plan: QueryPlan,
+    ones_per_sample: list[frozenset[int]] | list[set[int]],
+    cost_of: Callable[[QueryPlan], float],
+    budget: float,
+) -> QueryPlan:
+    """Spend leftover budget on extra bandwidth by exact marginal gain.
+
+    Candidate moves are single-edge increments and whole-path
+    increments (one unit on every edge from a node to the root — needed
+    to open up a not-yet-reachable subtree); the move with the best
+    expected-hit gain per extra millijoule is applied until no move
+    gains anything or fits the budget.
+    """
+    topology = plan.topology
+
+    def total_hits(candidate: QueryPlan) -> int:
+        return sum(count_topk_hits(candidate, ones) for ones in ones_per_sample)
+
+    def bump(base: QueryPlan, edges: list[int]) -> QueryPlan:
+        bandwidths = dict(base.bandwidths)
+        for edge in edges:
+            bandwidths[edge] = min(
+                bandwidths[edge] + 1, topology.subtree_size(edge)
+            )
+        return QueryPlan(
+            topology, bandwidths, requires_all_edges=base.requires_all_edges
+        )
+
+    moves: list[list[int]] = [[edge] for edge in topology.edges]
+    moves.extend(topology.path_edges(node) for node in topology.nodes
+                 if node != topology.root)
+
+    current_hits = total_hits(plan)
+    current_cost = cost_of(plan)
+    while True:
+        best = None  # (gain_per_mj, gain, trial, trial_cost)
+        for move in moves:
+            trial = bump(plan, move)
+            if trial.bandwidths == plan.bandwidths:
+                continue
+            trial_cost = cost_of(trial)
+            if trial_cost > budget:
+                continue
+            gain = total_hits(trial) - current_hits
+            if gain <= 0:
+                continue
+            extra = max(trial_cost - current_cost, 1e-9)
+            key = (gain / extra, gain)
+            if best is None or key > best[0]:
+                best = (key, gain, trial, trial_cost)
+        if best is None:
+            return plan
+        __, gain, plan, current_cost = best
+        current_hits += gain
+
+
+def repair_bandwidths(
+    plan: QueryPlan,
+    ones_per_sample: list[frozenset[int]] | list[set[int]],
+    cost_of: Callable[[QueryPlan], float],
+    budget: float,
+    min_bandwidth: int = 0,
+) -> QueryPlan:
+    """Greedily decrement bandwidths until the plan fits budget.
+
+    Each step removes one unit from the edge whose decrement loses the
+    fewest expected top-k hits over the samples (evaluated exactly with
+    the tree recursion of :func:`~repro.plans.execution.count_topk_hits`).
+    ``min_bandwidth=1`` keeps proof-carrying plans valid.
+    """
+    topology = plan.topology
+
+    def total_hits(candidate: QueryPlan) -> int:
+        return sum(count_topk_hits(candidate, ones) for ones in ones_per_sample)
+
+    # clip pointless over-allocation first: bandwidth beyond the subtree
+    # size can never be used and only inflates the budgeted cost
+    clipped = dict(plan.bandwidths)
+    for edge in topology.edges:
+        clipped[edge] = min(clipped[edge], topology.subtree_size(edge))
+    plan = QueryPlan(topology, clipped, requires_all_edges=plan.requires_all_edges)
+
+    while cost_of(plan) > budget:
+        candidates = [e for e in topology.edges if plan.bandwidths[e] > min_bandwidth]
+        if not candidates:
+            break  # nothing left to shed; caller decides what to do
+        current = total_hits(plan)
+        best_edge = None
+        best_loss = None
+        for edge in candidates:
+            trial = plan.with_bandwidth(edge, plan.bandwidths[edge] - 1)
+            loss = current - total_hits(trial)
+            if best_loss is None or loss < best_loss:
+                best_loss = loss
+                best_edge = edge
+                if loss == 0:
+                    break  # free decrement: take it immediately
+        assert best_edge is not None
+        plan = plan.with_bandwidth(best_edge, plan.bandwidths[best_edge] - 1)
+    return plan

@@ -1,0 +1,47 @@
+"""Query plans and their execution semantics.
+
+A single-pass approximate plan is a bandwidth assignment to tree edges
+(paper §2); executing it is bottom-up sort-and-forward with local
+filtering (§4.2).  Proof-carrying plans additionally certify a prefix
+of the returned values as the true top values of each subtree (§4.3).
+The NAIVE-k and NAIVE-1 exact baselines of §2 live here too.
+"""
+
+from repro.plans.adaptive import (
+    ThresholdPlan,
+    ThresholdPlanner,
+    execute_threshold_plan,
+)
+from repro.plans.execution import (
+    CollectionResult,
+    count_topk_hits,
+    execute_plan,
+    expected_hits,
+)
+from repro.plans.merge import merge_plans, merge_savings
+from repro.plans.naive import naive_k_collect, naive_one_collect
+from repro.plans.serialize import load_plan, plan_from_dict, plan_to_dict, save_plan
+from repro.plans.plan import Message, QueryPlan
+from repro.plans.proof_execution import ProofResult, execute_proof_plan
+
+__all__ = [
+    "CollectionResult",
+    "Message",
+    "ProofResult",
+    "QueryPlan",
+    "ThresholdPlan",
+    "ThresholdPlanner",
+    "count_topk_hits",
+    "execute_plan",
+    "execute_proof_plan",
+    "execute_threshold_plan",
+    "expected_hits",
+    "load_plan",
+    "merge_plans",
+    "merge_savings",
+    "naive_k_collect",
+    "naive_one_collect",
+    "plan_from_dict",
+    "plan_to_dict",
+    "save_plan",
+]

@@ -1,0 +1,169 @@
+"""Adaptive threshold plans — the §7 future-work direction.
+
+"The second [line of research] is to build more flexible plans that
+leverage actual network conditions once they are observed during query
+execution."
+
+A :class:`ThresholdPlan` gives every node a *forwarding rule* instead
+of a fixed bandwidth: forward the values observed to exceed a threshold
+``theta`` (up to a cap), and stay silent otherwise.  Cost therefore
+tracks the data — quiet regions send nothing — and the plan keeps
+working when the top values *move*, because any node whose reading
+crosses the threshold speaks up, whether or not history predicted it.
+
+The trade against the LP plans:
+
+- fixed-bandwidth LP plans have a deterministic worst-case cost and
+  exploit locations; they break when locations shift;
+- threshold plans have a *data-dependent* cost (bounded in expectation
+  from the samples) and exploit magnitudes; they survive location
+  shifts but pay for every unexpected loud region.
+
+``bench_extension_adaptive.py`` measures exactly this trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PlanError, SamplingError
+from repro.network.energy import EnergyModel
+from repro.network.topology import Topology, validate_readings
+from repro.plans.plan import Message, Reading, tag_readings
+
+
+@dataclass(frozen=True)
+class ThresholdPlan:
+    """Forward readings above ``threshold``, at most ``cap`` per edge."""
+
+    topology: Topology
+    threshold: float
+    cap: int
+
+    def __post_init__(self) -> None:
+        if self.cap < 1:
+            raise PlanError("cap must be >= 1")
+
+
+@dataclass
+class ThresholdResult:
+    """Outcome of one threshold-plan collection."""
+
+    returned: list[Reading]
+    messages: list[Message] = field(default_factory=list)
+    silent_nodes: int = 0
+    """Nodes that observed nothing above the threshold and sent nothing."""
+
+    @property
+    def returned_nodes(self) -> set[int]:
+        return {node for __, node in self.returned}
+
+    def top_k_nodes(self, k: int) -> set[int]:
+        return {node for __, node in self.returned[:k]}
+
+
+def execute_threshold_plan(plan: ThresholdPlan, readings) -> ThresholdResult:
+    """Bottom-up collection under the forwarding rule.
+
+    A node merges its own reading with whatever children reported,
+    keeps the values strictly above the threshold, and forwards the
+    top ``cap`` of them; with nothing above the threshold it sends no
+    message at all (that is where the adaptivity saves energy).
+    """
+    topology = plan.topology
+    values = validate_readings(topology, readings)
+    tagged = tag_readings(values)
+
+    buffers: dict[int, list[Reading]] = {}
+    messages: list[Message] = []
+    silent = 0
+
+    for node in topology.post_order():
+        local: list[Reading] = [tagged[node]]
+        for child in topology.children(node):
+            local.extend(buffers.pop(child, []))
+        local.sort(reverse=True)
+        if node == topology.root:
+            return ThresholdResult(
+                returned=local, messages=messages, silent_nodes=silent
+            )
+        outgoing = [r for r in local if r[0] > plan.threshold][: plan.cap]
+        if outgoing:
+            buffers[node] = outgoing
+            messages.append(Message(node, len(outgoing)))
+        else:
+            silent += 1
+    raise PlanError("post-order walk did not end at the root")  # pragma: no cover
+
+
+def expected_cost(
+    plan: ThresholdPlan, sample_rows, energy: EnergyModel
+) -> float:
+    """Mean collection cost of the plan over sample rows.
+
+    Exact per sample: replays the forwarding rule and prices the
+    resulting messages (plus acquisition for every node — thresholds
+    require everyone to measure).
+    """
+    rows = np.asarray(list(sample_rows), dtype=float)
+    if rows.size == 0:
+        raise SamplingError("need at least one sample row")
+    total = 0.0
+    for row in rows:
+        result = execute_threshold_plan(plan, row)
+        total += sum(m.cost(energy) for m in result.messages)
+    total /= rows.shape[0]
+    return total + energy.acquisition_mj * plan.topology.n
+
+
+class ThresholdPlanner:
+    """Pick the lowest threshold whose expected cost fits the budget.
+
+    Lower thresholds deliver more (higher accuracy) and cost more; the
+    planner binary-searches the threshold over the samples' value range
+    so the *expected* cost meets the budget.  The per-edge cap defaults
+    to ``k`` (values beyond the k-th largest cannot matter for top-k).
+    """
+
+    name = "threshold"
+
+    def __init__(self, iterations: int = 30) -> None:
+        self.iterations = iterations
+
+    def plan(
+        self,
+        topology: Topology,
+        energy: EnergyModel,
+        sample_rows,
+        k: int,
+        budget: float,
+    ) -> ThresholdPlan:
+        if k < 1:
+            raise PlanError("k must be >= 1")
+        rows = np.asarray(list(sample_rows), dtype=float)
+        if rows.size == 0:
+            raise SamplingError("need at least one sample row")
+        low = float(rows.min()) - 1.0   # forwards everything observed
+        high = float(rows.max())        # forwards nothing
+
+        def cost_at(threshold: float) -> float:
+            return expected_cost(
+                ThresholdPlan(topology, threshold, cap=k), rows, energy
+            )
+
+        if cost_at(low) <= budget:
+            return ThresholdPlan(topology, low, cap=k)
+        if cost_at(high) > budget:
+            raise PlanError(
+                f"budget {budget:.1f} mJ cannot cover even an"
+                " everything-suppressed threshold plan"
+            )
+        for __ in range(self.iterations):
+            mid = (low + high) / 2.0
+            if cost_at(mid) <= budget:
+                high = mid
+            else:
+                low = mid
+        return ThresholdPlan(topology, high, cap=k)

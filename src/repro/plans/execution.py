@@ -1,0 +1,120 @@
+"""Executing approximate plans: bottom-up sort-and-forward.
+
+Upon receiving its children's value lists, a node sorts them together
+with its own reading and sends the top ``b_e`` up its edge (paper §2).
+Local filtering is exactly the case where a node receives more values
+than its own bandwidth lets it forward.
+
+This module also provides the fast analytic evaluation of a plan over a
+sample matrix (:func:`count_topk_hits`): because any value outranking a
+top-k value is itself a top-k value, the number of sample-``j`` top-k
+values surviving to the root obeys the tree recursion
+
+    survivors(u) = min(b_u, own(u) + sum over children survivors(c))
+
+which is also how we prove (and test) that the LP+LF objective equals
+the executed hit count for integral plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.network.topology import Topology, validate_readings
+from repro.plans.plan import Message, QueryPlan, Reading, tag_readings
+
+
+@dataclass
+class CollectionResult:
+    """Outcome of one collection phase for an approximate plan."""
+
+    returned: list[Reading]
+    """Values available at the root after collection, sorted descending."""
+
+    messages: list[Message] = field(default_factory=list)
+    """One entry per used edge that actually transmitted."""
+
+    transmitted: dict[int, int] = field(default_factory=dict)
+    """Actual number of values sent on each used edge."""
+
+    @property
+    def returned_nodes(self) -> set[int]:
+        return {node for __, node in self.returned}
+
+    def top_k_nodes(self, k: int) -> set[int]:
+        return {node for __, node in self.returned[:k]}
+
+
+def execute_plan(plan: QueryPlan, readings, priority=None) -> CollectionResult:
+    """Run one collection phase of ``plan`` over a readings vector.
+
+    Returns the values available at the root plus the message log for
+    energy accounting.  Nodes below a zero-bandwidth edge neither send
+    nor receive anything.
+
+    ``priority`` optionally replaces the forwarding order: each node
+    keeps the ``b`` readings with the highest ``priority(reading)``
+    instead of the plainly largest.  Top-k and selection queries use
+    the default (value order); quantile queries (see
+    :mod:`repro.queries`) forward the readings nearest their target
+    value instead.
+    """
+    topology = plan.topology
+    values = validate_readings(topology, readings)
+    tagged = tag_readings(values)
+    sort_key = priority if priority is not None else lambda reading: reading
+
+    # Only subtrees reachable through positive bandwidths are triggered
+    # at all (the distribution phase skips the rest), so nodes cut off
+    # by a zero-bandwidth ancestor edge never transmit.
+    active = plan.visited_nodes
+
+    buffers: dict[int, list[Reading]] = {}
+    messages: list[Message] = []
+    transmitted: dict[int, int] = {}
+
+    for node in topology.post_order():
+        if node not in active:
+            continue
+        local: list[Reading] = [tagged[node]]
+        for child in topology.children(node):
+            local.extend(buffers.pop(child, []))
+        local.sort(key=sort_key, reverse=True)
+        if node == topology.root:
+            local.sort(reverse=True)  # the answer is reported by value
+            return CollectionResult(
+                returned=local, messages=messages, transmitted=transmitted
+            )
+        outgoing = local[: plan.bandwidths[node]]
+        buffers[node] = outgoing
+        messages.append(Message(node, len(outgoing)))
+        transmitted[node] = len(outgoing)
+    raise PlanError("post-order walk did not end at the root")  # pragma: no cover
+
+
+def count_topk_hits(plan: QueryPlan, topology_ones: set[int]) -> int:
+    """Number of a sample's top-k nodes whose values reach the root.
+
+    ``topology_ones`` is ``ones(j)``: the node set holding the sample's
+    top-k values.  Uses the tree min-recursion described in the module
+    docstring; agrees with :func:`execute_plan` (tested property).
+    """
+    topology = plan.topology
+    survivors = [0] * topology.n
+    for node in topology.post_order():
+        count = (1 if node in topology_ones else 0) + sum(
+            survivors[child] for child in topology.children(node)
+        )
+        if node != topology.root:
+            count = min(count, plan.bandwidths[node])
+        survivors[node] = count
+    return survivors[topology.root]
+
+
+def expected_hits(plan: QueryPlan, ones_per_sample: list[set[int]]) -> float:
+    """Average top-k hits of a plan over a list of ``ones(j)`` sets."""
+    if not ones_per_sample:
+        return 0.0
+    total = sum(count_topk_hits(plan, ones) for ones in ones_per_sample)
+    return total / len(ones_per_sample)

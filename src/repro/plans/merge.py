@@ -1,0 +1,65 @@
+"""Serving several queries with one collection phase.
+
+Deployments rarely run a single query: different users want different
+``k``s, a selection alarm runs beside the daily top-k, and so on.  One
+collection under the edge-wise **maximum** of the plans' bandwidths can
+serve them all, sharing the dominant per-message costs that separate
+executions would each pay.
+
+The guarantee is about *answer quality*, not the literal delivered set:
+for any up-closed query (top-k, selection — anything where outranking
+an answer value means being an answer value), the number of answer
+values delivered is monotone in bandwidths, so the merged plan covers
+at least as much of every constituent query's answer as that
+constituent plan would have.  (The delivered set itself is NOT a
+superset in general: under local filtering, values opened up by one
+query's bandwidth can displace another query's marginal non-answer
+values.)  Quantile plans forward by target distance, not value, and
+should not be merged with value-ordered plans.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import PlanError
+from repro.network.energy import EnergyModel
+from repro.plans.plan import QueryPlan
+
+
+def merge_plans(plans: Sequence[QueryPlan]) -> QueryPlan:
+    """The edge-wise maximum of several plans over one topology."""
+    if not plans:
+        raise PlanError("at least one plan is required")
+    topology = plans[0].topology
+    for plan in plans[1:]:
+        if plan.topology is not topology and not plan.topology.same_structure(
+            topology
+        ):
+            raise PlanError("plans were built for different topologies")
+    merged = {
+        edge: max(plan.bandwidths[edge] for plan in plans)
+        for edge in topology.edges
+    }
+    return QueryPlan(
+        topology,
+        merged,
+        requires_all_edges=any(p.requires_all_edges for p in plans),
+    )
+
+
+def merge_savings(
+    plans: Sequence[QueryPlan], energy: EnergyModel
+) -> dict[str, float]:
+    """Static-cost comparison: merged collection vs separate runs."""
+    merged = merge_plans(plans)
+    separate = sum(plan.static_cost(energy) for plan in plans)
+    combined = merged.static_cost(energy)
+    return {
+        "separate_mj": separate,
+        "merged_mj": combined,
+        "saved_mj": separate - combined,
+        "saved_fraction": (
+            (separate - combined) / separate if separate > 0 else 0.0
+        ),
+    }

@@ -1,0 +1,109 @@
+"""The two naive exact top-k algorithms of paper §2.
+
+NAIVE-k: one bottom-up pass; every node forwards the top ``min(k,
+|subtree|)`` values of its subtree.  Minimum possible number of
+messages, but large messages.
+
+NAIVE-1: fully pipelined; each node requests one value at a time from
+its children, keeps a heap of the latest candidate per child plus its
+own value, and pops the maximum per parent request.  Minimum number of
+values transmitted, but every value (and every request) is its own
+message, so the per-message overhead is prohibitive.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import PlanError
+from repro.network.topology import Topology, validate_readings
+from repro.plans.execution import CollectionResult, execute_plan
+from repro.plans.plan import Message, QueryPlan, Reading, tag_readings
+
+_REQUEST_BYTES = 1  # "send me one more value" control message payload
+
+
+def naive_k_collect(topology: Topology, readings, k: int) -> CollectionResult:
+    """Run NAIVE-k; the returned top-k values are exact."""
+    plan = QueryPlan.naive_k(topology, k)
+    result = execute_plan(plan, readings)
+    result.returned = result.returned[:k]
+    return result
+
+
+class _PipelinedNode:
+    """Per-node state of the NAIVE-1 protocol."""
+
+    def __init__(self, node: int, reading: Reading, children: list["_PipelinedNode"]):
+        self.node = node
+        self.children = children
+        self.exhausted: set[int] = set()  # child indices with no values left
+        self.has_candidate: set[int] = set()  # child indices present in heap
+        # heap of (negated reading, source index); own value is source -1
+        self.heap: list[tuple[tuple[float, int], int]] = [(_neg(reading), -1)]
+
+    def pop_max(self, messages: list[Message]) -> Reading | None:
+        """Return the next-largest value of this subtree, or None.
+
+        Before answering, the node makes sure its heap holds one
+        candidate from every non-exhausted child, requesting one value
+        (one request message + one response message) where missing.
+        """
+        for index, child in enumerate(self.children):
+            if index in self.exhausted or index in self.has_candidate:
+                continue
+            messages.append(Message(child.node, 0, extra_bytes=_REQUEST_BYTES))
+            value = child.pop_max(messages)
+            if value is None:
+                messages.append(Message(child.node, 0))  # "no more" reply
+                self.exhausted.add(index)
+            else:
+                messages.append(Message(child.node, 1))
+                heapq.heappush(self.heap, (_neg(value), index))
+                self.has_candidate.add(index)
+        if not self.heap:
+            return None
+        neg_reading, source = heapq.heappop(self.heap)
+        if source >= 0:
+            self.has_candidate.discard(source)
+        return _unneg(neg_reading)
+
+
+def _neg(reading: Reading) -> tuple[float, int]:
+    return (-reading[0], -reading[1])
+
+
+def _unneg(neg: tuple[float, int]) -> Reading:
+    return (-neg[0], -neg[1])
+
+
+def naive_one_collect(topology: Topology, readings, k: int) -> CollectionResult:
+    """Run NAIVE-1; exact answer, one message per value and per request."""
+    if k < 1:
+        raise PlanError("k must be >= 1")
+    values = validate_readings(topology, readings)
+    tagged = tag_readings(values)
+
+    nodes: dict[int, _PipelinedNode] = {}
+    for node in topology.post_order():
+        children = [nodes[c] for c in topology.children(node)]
+        nodes[node] = _PipelinedNode(node, tagged[node], children)
+
+    messages: list[Message] = []
+    returned: list[Reading] = []
+    root = nodes[topology.root]
+    for __ in range(min(k, topology.n)):
+        value = root.pop_max(messages)
+        if value is None:
+            break
+        returned.append(value)
+
+    transmitted: dict[int, int] = {}
+    for message in messages:
+        if message.num_values:
+            transmitted[message.edge] = (
+                transmitted.get(message.edge, 0) + message.num_values
+            )
+    return CollectionResult(
+        returned=returned, messages=messages, transmitted=transmitted
+    )

@@ -1,0 +1,166 @@
+"""Proof-carrying plan execution (paper §4.3).
+
+Each node passes up at most ``b_e`` values, together with the count of
+how many of them it *proves* — certifies to be the true top values of
+its subtree.  A value ``v`` handled by node ``u`` is proven iff for
+every child ``c`` of ``u`` one of:
+
+- (c.1) ``v`` came from ``c`` and ``c`` proved it;
+- (c.2) ``c`` proved some value ``w < v``;
+- (c.3) ``c`` passed up its entire subtree (checked at runtime as
+  "number of values received from c equals |desc(c)|", the operational
+  meaning of the paper's ``b_e = |desc(c)|`` condition).
+
+Lemma 1 (tested as a property): the values a node proves are exactly
+the largest values in its subtree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.network.topology import Topology, validate_readings
+from repro.plans.plan import Message, QueryPlan, Reading, tag_readings
+
+_PROVEN_COUNT_BYTES = 2  # control field carrying the proven count
+
+
+@dataclass
+class NodeState:
+    """What one node remembers after the proof phase — the raw material
+    of PROSPECTOR-Exact's mop-up phase (§4.3 step descriptions)."""
+
+    retrieved: list[Reading] = field(default_factory=list)
+    """Own value plus every value received from children, sorted desc."""
+
+    proven: list[Reading] = field(default_factory=list)
+    """The values this node proved (a prefix of what it passed up)."""
+
+    received_from: dict[int, int] = field(default_factory=dict)
+    """Number of values received from each child in the proof phase."""
+
+
+@dataclass
+class ProofResult:
+    """Outcome of one proof-carrying collection phase."""
+
+    returned: list[Reading]
+    """Values available at the root, sorted descending."""
+
+    proven_count: int
+    """How many of the leading returned values are proven top values."""
+
+    messages: list[Message] = field(default_factory=list)
+    states: dict[int, NodeState] = field(default_factory=dict)
+
+    @property
+    def proven(self) -> list[Reading]:
+        return self.returned[: self.proven_count]
+
+
+def execute_proof_plan(plan: QueryPlan, readings) -> ProofResult:
+    """Run one collection phase of a proof-carrying plan.
+
+    The plan must use every edge (any unvisited node could hold the
+    maximum, so nothing could be proven otherwise).
+    """
+    topology = plan.topology
+    zero = [e for e in topology.edges if plan.bandwidths[e] < 1]
+    if zero:
+        raise PlanError(
+            f"proof-carrying execution needs bandwidth >= 1 everywhere;"
+            f" zero on edges {zero[:5]}"
+        )
+    values = validate_readings(topology, readings)
+    tagged = tag_readings(values)
+
+    # per-child reports seen by each parent: child -> (values, proven_count)
+    reports: dict[int, tuple[list[Reading], int]] = {}
+    messages: list[Message] = []
+    states: dict[int, NodeState] = {}
+
+    for node in topology.post_order():
+        state = NodeState()
+        merged: list[Reading] = [tagged[node]]
+        origin: dict[Reading, int] = {}  # reading -> child it came from
+        child_reports: dict[int, tuple[list[Reading], int]] = {}
+        for child in topology.children(node):
+            child_values, child_proven = reports.pop(child)
+            child_reports[child] = (child_values, child_proven)
+            state.received_from[child] = len(child_values)
+            for reading in child_values:
+                origin[reading] = child
+                merged.append(reading)
+        merged.sort(reverse=True)
+        state.retrieved = merged
+
+        if node == topology.root:
+            outgoing = merged
+        else:
+            outgoing = merged[: plan.bandwidths[node]]
+
+        proven_count = _proven_prefix(
+            topology, node, outgoing, origin, child_reports
+        )
+        state.proven = outgoing[:proven_count]
+        states[node] = state
+
+        if node == topology.root:
+            return ProofResult(
+                returned=outgoing,
+                proven_count=proven_count,
+                messages=messages,
+                states=states,
+            )
+        reports[node] = (outgoing, proven_count)
+        # leaf nodes prove everything they send, so the proven-count
+        # field is omitted for them (paper §4.3 step 4)
+        extra = 0 if topology.is_leaf(node) else _PROVEN_COUNT_BYTES
+        messages.append(Message(node, len(outgoing), extra_bytes=extra))
+    raise PlanError("post-order walk did not end at the root")  # pragma: no cover
+
+
+def _proven_prefix(
+    topology: Topology,
+    node: int,
+    outgoing: list[Reading],
+    origin: dict[Reading, int],
+    child_reports: dict[int, tuple[list[Reading], int]],
+) -> int:
+    """Longest prefix of ``outgoing`` (descending) that ``node`` proves."""
+    proven_count = 0
+    for reading in outgoing:
+        if _is_proven(topology, node, reading, origin, child_reports):
+            proven_count += 1
+        else:
+            break
+    return proven_count
+
+
+def _is_proven(
+    topology: Topology,
+    node: int,
+    reading: Reading,
+    origin: dict[Reading, int],
+    child_reports: dict[int, tuple[list[Reading], int]],
+) -> bool:
+    source = origin.get(reading)  # None when it is the node's own value
+    for child in topology.children(node):
+        child_values, child_proven = child_reports[child]
+        if child == source:
+            # (c.1) the value must be proven by the child it came from
+            index = child_values.index(reading)
+            if index >= child_proven:
+                return False
+            continue
+        if len(child_values) >= topology.subtree_size(child):
+            # (c.3) the child passed up its entire subtree
+            continue
+        # (c.2) the child proved some smaller value; proven values are
+        # the leading entries of the (descending) child list, so it
+        # suffices to check the smallest proven one
+        if child_proven > 0 and child_values[child_proven - 1] < reading:
+            continue
+        return False
+    return True

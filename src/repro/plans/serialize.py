@@ -1,0 +1,86 @@
+"""Plan (de)serialization.
+
+A deployment computes plans at the base station and installs them into
+the network; operators also archive them ("which plan ran last week?").
+This module round-trips plans through plain JSON-compatible dicts, with
+a topology fingerprint so a plan cannot silently be rehydrated against
+the wrong tree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.errors import PlanError
+from repro.network.topology import Topology
+from repro.plans.plan import QueryPlan
+
+_FORMAT_VERSION = 1
+
+
+def topology_fingerprint(topology: Topology) -> str:
+    """A stable hash of the tree structure (parents vector)."""
+    payload = ",".join(
+        str(topology.parent(node)) for node in topology.nodes
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def plan_to_dict(plan: QueryPlan) -> dict:
+    """Serialize a plan to a JSON-compatible dict."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "topology_fingerprint": topology_fingerprint(plan.topology),
+        "num_nodes": plan.topology.n,
+        "requires_all_edges": plan.requires_all_edges,
+        "bandwidths": {
+            str(edge): bandwidth
+            for edge, bandwidth in sorted(plan.bandwidths.items())
+            if bandwidth > 0
+        },
+    }
+
+
+def plan_from_dict(data: dict, topology: Topology) -> QueryPlan:
+    """Rehydrate a plan against the topology it was computed for."""
+    if data.get("format_version") != _FORMAT_VERSION:
+        raise PlanError(
+            f"unsupported plan format version {data.get('format_version')!r}"
+        )
+    expected = topology_fingerprint(topology)
+    actual = data.get("topology_fingerprint")
+    if actual != expected:
+        raise PlanError(
+            "plan was computed for a different topology"
+            f" (fingerprint {actual!r}, expected {expected!r})"
+        )
+    try:
+        bandwidths = {
+            int(edge): int(b) for edge, b in data["bandwidths"].items()
+        }
+    except (KeyError, TypeError, ValueError) as err:
+        raise PlanError(f"malformed plan payload: {err}") from err
+    return QueryPlan(
+        topology,
+        bandwidths,
+        requires_all_edges=bool(data.get("requires_all_edges", False)),
+    )
+
+
+def save_plan(plan: QueryPlan, path: str | Path) -> None:
+    """Write a plan to a JSON file."""
+    Path(path).write_text(json.dumps(plan_to_dict(plan), indent=2) + "\n")
+
+
+def load_plan(path: str | Path, topology: Topology) -> QueryPlan:
+    """Read a plan from a JSON file, validating the topology match."""
+    path = Path(path)
+    if not path.exists():
+        raise PlanError(f"plan file not found: {path}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as err:
+        raise PlanError(f"plan file is not valid JSON: {err}") from err
+    return plan_from_dict(data, topology)

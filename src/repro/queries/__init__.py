@@ -1,0 +1,37 @@
+"""Generalized subset queries (paper §3).
+
+"Note that this approach can be easily generalized to queries that
+return subsets of all sensor values, e.g., selection and quantile
+queries.  In the general case, we would set B[j, i] = 1 if node i
+contributes to the answer in the j-th sample ... The optimization goal
+would still be to minimize the total number of 1's in B missed by the
+plan."
+
+This subpackage implements that generalization: a
+:class:`~repro.queries.base.QuerySpec` defines which nodes contribute
+to a query's answer, :class:`~repro.queries.matrix.AnswerMatrix`
+digests samples into the generalized Boolean matrix, and
+:class:`~repro.queries.planner.SubsetQueryPlanner` reuses the
+PROSPECTOR LP machinery unchanged on top of it.  Concrete specs:
+top-k (for symmetry), selection (``value > threshold``), and quantile
+neighborhoods.
+"""
+
+from repro.queries.base import QuerySpec, TopKQuery
+from repro.queries.clusters import ClusterTopKQuery, plan_whole_clusters
+from repro.queries.matrix import AnswerMatrix
+from repro.queries.planner import SubsetQueryPlanner, run_subset_query
+from repro.queries.quantile import QuantileQuery
+from repro.queries.selection import SelectionQuery
+
+__all__ = [
+    "AnswerMatrix",
+    "ClusterTopKQuery",
+    "QuantileQuery",
+    "QuerySpec",
+    "SelectionQuery",
+    "SubsetQueryPlanner",
+    "TopKQuery",
+    "plan_whole_clusters",
+    "run_subset_query",
+]

@@ -1,0 +1,77 @@
+"""Query specifications: which nodes contribute to the answer.
+
+A :class:`QuerySpec` turns a readings vector into the set of
+contributing node ids — the generalized ``B[j, i] = 1`` rule of
+paper §3 — and supplies the forwarding priority used during
+sort-and-forward execution (descending value for *up-closed* queries
+like top-k and selection, where anything outranking an answer value is
+itself an answer value; target-distance for quantile neighborhoods).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.plans.plan import Reading, tag_readings
+
+
+class QuerySpec(ABC):
+    """A subset query over one epoch of network readings."""
+
+    name: str = "subset"
+
+    up_closed: bool = True
+    """True when any value outranking an answer value is itself in the
+    answer (top-k, selection).  For up-closed specs the analytic tree
+    recursion on delivered answers is exact; otherwise it is an upper
+    bound and execution uses :meth:`forward_priority`."""
+
+    @abstractmethod
+    def answer_nodes(self, readings) -> frozenset[int]:
+        """Node ids contributing to the answer for these readings."""
+
+    def forward_priority(self, samples=None):
+        """Return a key function ordering readings for forwarding.
+
+        ``samples`` (recent sample rows) lets non-up-closed specs aim
+        at an estimated target.  The default — plain value order — is
+        correct for up-closed specs.
+        """
+        return None  # value order
+
+    def answer_readings(self, readings) -> list[Reading]:
+        """The answer as sorted ``(value, node)`` pairs."""
+        nodes = self.answer_nodes(readings)
+        tagged = tag_readings(readings)
+        return sorted((tagged[n] for n in nodes), reverse=True)
+
+    def recall(self, returned_nodes, readings) -> float:
+        """Fraction of the true answer present in ``returned_nodes``.
+
+        An empty true answer counts as fully answered (nothing to
+        miss), which keeps selection queries well-defined on quiet
+        epochs.
+        """
+        truth = self.answer_nodes(readings)
+        if not truth:
+            return 1.0
+        return len(set(returned_nodes) & truth) / len(truth)
+
+
+@dataclass(frozen=True)
+class TopKQuery(QuerySpec):
+    """The paper's core query, expressed as a subset spec."""
+
+    k: int
+    name: str = "top-k"
+    up_closed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise PlanError("k must be >= 1")
+
+    def answer_nodes(self, readings) -> frozenset[int]:
+        tagged = sorted(tag_readings(readings), reverse=True)
+        return frozenset(node for __, node in tagged[: self.k])

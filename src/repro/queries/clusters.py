@@ -1,0 +1,188 @@
+"""Cluster top-k queries (paper §1).
+
+"...the researchers might want to group nearby feeders into clusters
+for purposes of observation, and obtain the top clusters ordered by
+average bird count.  Nevertheless, the basic form of the query remains
+top-k."
+
+A :class:`ClusterTopKQuery` partitions (a subset of) the nodes into
+named clusters, scores each cluster by the mean of its members'
+readings, and declares the members of the ``k`` best clusters the
+contributing nodes — every member's value is needed to compute its
+cluster's average.  Because whole clusters contribute or not together,
+the sample matrix exhibits exactly the subtree-level patterns (§3) the
+LP planners exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.plans.plan import Reading
+from repro.queries.base import QuerySpec
+
+
+class ClusterTopKQuery(QuerySpec):
+    """Top-k clusters by mean member reading.
+
+    Parameters
+    ----------
+    clusters:
+        ``{cluster_name: member node ids}``; clusters must be disjoint
+        and non-empty.  Nodes outside every cluster never contribute.
+    k:
+        How many clusters to return.
+    """
+
+    name = "cluster-top-k"
+    up_closed = False  # a small value in a strong cluster still matters
+
+    def __init__(
+        self, clusters: Mapping[str, Sequence[int]], k: int
+    ) -> None:
+        if k < 1:
+            raise PlanError("k must be >= 1")
+        if not clusters:
+            raise PlanError("at least one cluster is required")
+        if k > len(clusters):
+            raise PlanError(
+                f"k={k} exceeds the number of clusters ({len(clusters)})"
+            )
+        self.k = k
+        self.clusters: dict[str, tuple[int, ...]] = {}
+        seen: set[int] = set()
+        for name, members in clusters.items():
+            members = tuple(members)
+            if not members:
+                raise PlanError(f"cluster {name!r} is empty")
+            overlap = seen & set(members)
+            if overlap:
+                raise PlanError(
+                    f"clusters must be disjoint; {sorted(overlap)} repeated"
+                )
+            seen |= set(members)
+            self.clusters[name] = members
+
+    # -- scoring ----------------------------------------------------------
+    def cluster_scores(self, readings) -> dict[str, float]:
+        """Mean reading per cluster."""
+        values = np.asarray(readings, dtype=float)
+        return {
+            name: float(values[list(members)].mean())
+            for name, members in self.clusters.items()
+        }
+
+    def top_clusters(self, readings) -> list[str]:
+        """The k best cluster names (score desc, name asc on ties)."""
+        scores = self.cluster_scores(readings)
+        ranked = sorted(scores, key=lambda name: (-scores[name], name))
+        return ranked[: self.k]
+
+    def answer_nodes(self, readings) -> frozenset[int]:
+        winners = self.top_clusters(readings)
+        return frozenset(
+            node for name in winners for node in self.clusters[name]
+        )
+
+    # -- execution support -------------------------------------------------
+    def forward_priority(self, samples=None):
+        """Order readings by their cluster's historical strength.
+
+        Members of clusters that scored well in the samples are
+        forwarded first; non-members last.  (A cluster average needs
+        *all* members, so value order alone would starve the weak
+        members of strong clusters.)
+        """
+        if samples is None:
+            raise PlanError(
+                "cluster execution needs samples to rank clusters"
+            )
+        rows = np.asarray(list(samples), dtype=float)
+        if rows.size == 0:
+            raise PlanError("need at least one sample row")
+        mean_scores = {
+            name: float(rows[:, list(members)].mean())
+            for name, members in self.clusters.items()
+        }
+        cluster_of = {
+            node: name
+            for name, members in self.clusters.items()
+            for node in members
+        }
+        floor = min(mean_scores.values()) - 1.0
+
+        def priority(reading: Reading):
+            value, node = reading
+            name = cluster_of.get(node)
+            score = mean_scores[name] if name is not None else floor
+            return (score, value, node)
+
+        return priority
+
+    def answered_clusters(self, returned_nodes) -> list[str]:
+        """Clusters whose members were fully delivered (answerable)."""
+        delivered = set(returned_nodes)
+        return [
+            name
+            for name, members in self.clusters.items()
+            if set(members) <= delivered
+        ]
+
+
+def plan_whole_clusters(
+    spec: ClusterTopKQuery,
+    topology,
+    energy,
+    samples,
+    budget: float,
+    failures=None,
+):
+    """A cluster-aware planner: deliver *complete* clusters or nothing.
+
+    A cluster average needs every member, so the generic per-node LP —
+    which happily delivers 15 of 16 members — wastes budget on
+    unanswerable clusters.  This planner instead ranks clusters by
+    their historical mean score and greedily admits whole clusters
+    (all member paths, full bandwidth) while the plan fits the budget.
+    At least ``spec.k`` admitted clusters are attempted; fewer fit only
+    if the budget forbids them.
+    """
+    import numpy as np
+
+    from repro.plans.plan import QueryPlan
+
+    rows = np.asarray(list(samples), dtype=float)
+    if rows.size == 0:
+        raise PlanError("need at least one sample row")
+    scores = {
+        name: float(rows[:, list(members)].mean())
+        for name, members in spec.clusters.items()
+    }
+    order = sorted(scores, key=lambda name: (-scores[name], name))
+
+    def build(names) -> QueryPlan:
+        chosen = {
+            node for name in names for node in spec.clusters[name]
+        }
+        chosen.add(topology.root)
+        return QueryPlan.from_chosen_nodes(topology, chosen)
+
+    def cost(plan) -> float:
+        base = plan.static_cost(energy, failures)
+        if energy.acquisition_mj:
+            base += energy.acquisition_mj * len(plan.visited_nodes)
+        return base
+
+    admitted: list[str] = []
+    plan = build(admitted)
+    for name in order:
+        trial = build(admitted + [name])
+        if cost(trial) <= budget:
+            admitted.append(name)
+            plan = trial
+        if len(admitted) >= spec.k:
+            break
+    return plan, admitted

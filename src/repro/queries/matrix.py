@@ -1,0 +1,63 @@
+"""The generalized Boolean answer matrix (paper §3).
+
+``B[j, i] = 1`` iff node ``i`` contributes to the answer of the
+``j``-th sample under an arbitrary :class:`~repro.queries.base.QuerySpec`.
+Exposes the same surface the PROSPECTOR LP formulations consume from
+:class:`~repro.sampling.matrix.SampleMatrix` (``ones``, ``ones_list``,
+``column_counts``, shapes), so the planners work on it unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.queries.base import QuerySpec
+
+
+class AnswerMatrix:
+    """Sample digests for an arbitrary subset query."""
+
+    def __init__(self, samples, spec: QuerySpec) -> None:
+        values = np.asarray(samples, dtype=float)
+        if values.ndim != 2 or values.shape[0] == 0:
+            raise SamplingError(
+                f"samples must be a non-empty (m, n) array, got {values.shape}"
+            )
+        self.values = values
+        self.spec = spec
+        self._ones = [frozenset(spec.answer_nodes(row)) for row in values]
+        self.matrix = np.zeros(values.shape, dtype=bool)
+        for j, ones in enumerate(self._ones):
+            for node in ones:
+                self.matrix[j, node] = True
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.values.shape[1])
+
+    def ones(self, j: int) -> frozenset[int]:
+        """Nodes contributing to the answer of sample ``j``."""
+        return self._ones[j]
+
+    def ones_list(self) -> list[frozenset[int]]:
+        return list(self._ones)
+
+    def column_counts(self) -> np.ndarray:
+        """How often each node contributed across the samples."""
+        return self.matrix.sum(axis=0).astype(int)
+
+    def max_answer_size(self) -> int:
+        """Largest per-sample answer (stands in for ``k`` where the
+        planning context wants one)."""
+        return max((len(ones) for ones in self._ones), default=0)
+
+    def __repr__(self) -> str:
+        return (
+            f"AnswerMatrix(spec={self.spec.name!r}, m={self.num_samples},"
+            f" n={self.num_nodes})"
+        )

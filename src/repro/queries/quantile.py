@@ -1,0 +1,77 @@
+"""Quantile-neighborhood queries.
+
+A quantile query wants the value(s) around a rank — the median, the
+90th percentile — rather than the extremes (paper §3 names quantile
+queries as the other natural subset query; §6 discusses q-digest as
+prior art).  The contributing nodes of sample ``j`` are those whose
+readings rank within ``band`` positions of the target rank.
+
+Quantile answers are *not* up-closed: larger values are not more
+likely to be answers, so plain sort-and-forward would crowd the
+quantile band out with maxima.  :meth:`QuantileQuery.forward_priority`
+therefore orders readings by closeness to the target value estimated
+from recent samples, which is what an installed plan's nodes would be
+configured with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.plans.plan import tag_readings
+from repro.queries.base import QuerySpec
+
+
+@dataclass(frozen=True)
+class QuantileQuery(QuerySpec):
+    """Nodes ranking within ``band`` positions of the ``phi``-quantile.
+
+    ``phi = 0.5, band = 1`` asks for the median reading and its two
+    rank-neighbours.
+    """
+
+    phi: float
+    band: int = 1
+    name: str = "quantile"
+    up_closed: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.phi <= 1.0:
+            raise PlanError("phi must be within [0, 1]")
+        if self.band < 0:
+            raise PlanError("band must be non-negative")
+
+    def target_rank(self, num_nodes: int) -> int:
+        """Rank (0 = smallest) of the phi-quantile among n readings."""
+        return min(num_nodes - 1, int(round(self.phi * (num_nodes - 1))))
+
+    def answer_nodes(self, readings) -> frozenset[int]:
+        tagged = sorted(tag_readings(readings))  # ascending
+        rank = self.target_rank(len(tagged))
+        low = max(0, rank - self.band)
+        high = min(len(tagged), rank + self.band + 1)
+        return frozenset(node for __, node in tagged[low:high])
+
+    def estimate_target_value(self, samples) -> float:
+        """The phi-quantile value estimated from sample rows."""
+        rows = np.asarray(list(samples), dtype=float)
+        if rows.size == 0:
+            raise PlanError("need at least one sample row")
+        return float(np.quantile(rows, self.phi))
+
+    def forward_priority(self, samples=None):
+        """Forward the readings nearest the estimated target value."""
+        if samples is None:
+            raise PlanError(
+                "quantile execution needs samples to estimate its target"
+            )
+        target = self.estimate_target_value(samples)
+
+        def priority(reading):
+            value, node = reading
+            return (-abs(value - target), node)
+
+        return priority

@@ -1,0 +1,39 @@
+"""Selection queries: return all readings above a threshold.
+
+The classic acquisitional query ("return all readings greater than
+sigma", paper §1).  Selection answers are up-closed in value order, so
+standard sort-and-forward execution delivers them whenever bandwidth
+allows, and the analytic tree recursion on delivered answers is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.queries.base import QuerySpec
+
+
+@dataclass(frozen=True)
+class SelectionQuery(QuerySpec):
+    """``SELECT nodes WHERE value > threshold``."""
+
+    threshold: float
+    name: str = "selection"
+    up_closed: bool = True
+
+    def answer_nodes(self, readings) -> frozenset[int]:
+        return frozenset(
+            node
+            for node, value in enumerate(readings)
+            if float(value) > self.threshold
+        )
+
+    def expected_answer_size(self, samples) -> float:
+        """Average answer cardinality over sample rows (used to size
+        bandwidth-related defaults)."""
+        rows = list(samples)
+        if not rows:
+            raise PlanError("need at least one sample row")
+        total = sum(len(self.answer_nodes(row)) for row in rows)
+        return total / len(rows)

@@ -1,0 +1,25 @@
+"""High-level top-k query engine.
+
+:class:`~repro.query.engine.TopKEngine` ties the substrates together
+the way a deployment would: it maintains the sample window, plans under
+an energy budget with a chosen PROSPECTOR, executes queries epoch by
+epoch through the simulator, tracks accuracy, and applies the paper's
+operational policies (adaptive re-sampling, re-plan only when the
+re-optimized plan is considerably better, §4.4).
+"""
+
+from repro.query.accuracy import accuracy, recall_of_nodes
+from repro.query.engine import EngineConfig, TopKEngine
+from repro.query.history import EngineHistory, HistorySummary
+from repro.query.result import EpochOutcome, QueryResult
+
+__all__ = [
+    "EngineConfig",
+    "EngineHistory",
+    "HistorySummary",
+    "EpochOutcome",
+    "QueryResult",
+    "TopKEngine",
+    "accuracy",
+    "recall_of_nodes",
+]

@@ -1,0 +1,27 @@
+"""Accuracy metrics.
+
+The paper's headline metric: "Accuracy is measured as the percentage of
+actual top-k values returned by the query."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import PlanError
+from repro.plans.plan import top_k_set
+
+
+def recall_of_nodes(returned_nodes: Iterable[int], true_topk: set[int]) -> float:
+    """Fraction of the true top-k node set present in the answer."""
+    if not true_topk:
+        raise PlanError("true top-k set is empty")
+    hits = len(set(returned_nodes) & true_topk)
+    return hits / len(true_topk)
+
+
+def accuracy(returned_nodes: Iterable[int], readings, k: int) -> float:
+    """Paper's accuracy: |answer ∩ true top-k| / k for a readings vector."""
+    if k < 1:
+        raise PlanError("k must be >= 1")
+    return recall_of_nodes(returned_nodes, top_k_set(readings, k))

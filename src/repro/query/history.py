@@ -1,0 +1,105 @@
+"""Engine run history: per-epoch records and summaries.
+
+Long-running deployments need to answer "how has the query been doing?"
+— mean accuracy over the last day, energy split between querying and
+exploration, how often plans were re-installed.  ``EngineHistory``
+accumulates :class:`~repro.query.result.EpochOutcome` records and
+produces those summaries; attach it by passing engine outcomes to
+:meth:`record`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.query.result import EpochOutcome
+
+
+@dataclass
+class HistorySummary:
+    """Aggregates over a window of epochs."""
+
+    epochs: int
+    queries: int
+    samples: int
+    replans: int
+    mean_accuracy: float
+    mean_query_energy_mj: float
+    total_energy_mj: float
+    sample_energy_fraction: float
+
+
+@dataclass
+class EngineHistory:
+    """Accumulated engine outcomes.
+
+    Parameters
+    ----------
+    capacity:
+        Keep at most this many most-recent epochs (None = unbounded).
+    """
+
+    capacity: int | None = None
+    outcomes: list[EpochOutcome] = field(default_factory=list)
+
+    def record(self, outcome: EpochOutcome) -> None:
+        self.outcomes.append(outcome)
+        if self.capacity is not None and len(self.outcomes) > self.capacity:
+            del self.outcomes[: len(self.outcomes) - self.capacity]
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def summary(self, last: int | None = None) -> HistorySummary:
+        """Aggregate the last ``last`` epochs (default: everything)."""
+        window = self.outcomes[-last:] if last else list(self.outcomes)
+        if not window:
+            raise ReproError("no epochs recorded yet")
+        queries = [o for o in window if o.action == "query"]
+        samples = [o for o in window if o.action == "sample"]
+        accuracies = [
+            o.result.accuracy
+            for o in queries
+            if o.result is not None and not np.isnan(o.result.accuracy)
+        ]
+        query_energy = [o.energy_mj for o in queries]
+        sample_energy = sum(o.energy_mj for o in samples)
+        total = sum(o.energy_mj for o in window)
+        replans = sum(1 for o in queries if o.notes.get("replanned"))
+        return HistorySummary(
+            epochs=len(window),
+            queries=len(queries),
+            samples=len(samples),
+            replans=replans,
+            mean_accuracy=float(np.mean(accuracies)) if accuracies else float("nan"),
+            mean_query_energy_mj=(
+                float(np.mean(query_energy)) if query_energy else 0.0
+            ),
+            total_energy_mj=total,
+            sample_energy_fraction=(
+                sample_energy / total if total > 0 else 0.0
+            ),
+        )
+
+    def accuracy_series(self) -> list[tuple[int, float]]:
+        """(epoch, accuracy) pairs for plotting/drift detection."""
+        return [
+            (o.epoch, o.result.accuracy)
+            for o in self.outcomes
+            if o.action == "query"
+            and o.result is not None
+            and not np.isnan(o.result.accuracy)
+        ]
+
+    def detect_drift(self, window: int = 10, drop: float = 0.2) -> bool:
+        """Crude drift alarm: the recent mean accuracy fell by ``drop``
+        relative to the preceding window of the same size."""
+        series = [a for __, a in self.accuracy_series()]
+        if len(series) < 2 * window:
+            return False
+        recent = float(np.mean(series[-window:]))
+        before = float(np.mean(series[-2 * window : -window]))
+        return before - recent >= drop

@@ -1,0 +1,36 @@
+"""Result records produced by the query engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.plans.plan import Reading
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Answer of one top-k query execution."""
+
+    returned: list[Reading]
+    """The answer values, sorted descending, at most k of them."""
+
+    energy_mj: float
+    """Energy the collection (plus trigger) consumed."""
+
+    accuracy: float
+    """Fraction of the true top-k captured (1.0 for exact algorithms)."""
+
+    @property
+    def returned_nodes(self) -> set[int]:
+        return {node for __, node in self.returned}
+
+
+@dataclass
+class EpochOutcome:
+    """What the engine did in one epoch: query, sample, or both."""
+
+    epoch: int
+    action: str  # "query" | "sample" | "replan"
+    result: QueryResult | None = None
+    energy_mj: float = 0.0
+    notes: dict = field(default_factory=dict)

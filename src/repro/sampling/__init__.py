@@ -1,0 +1,24 @@
+"""Sample maintenance: the Boolean top-k matrix and its upkeep (paper §3).
+
+Instead of maintaining explicit probabilistic models, the paper keeps
+recent full-network samples, translates each into a Boolean vector of
+"was this node in the top k", and optimizes plans against the resulting
+matrix.  :class:`~repro.sampling.matrix.SampleMatrix` is that matrix
+plus the derived quantities the LPs need (``ones(j)``, column sums,
+``smaller(i, j)``); :class:`~repro.sampling.window.SampleWindow` keeps
+a sliding window of recent samples; and
+:class:`~repro.sampling.collector.AdaptiveSampler` decides *when* to
+spend energy on a fresh full sample (exploration/exploitation, §3 and
+§4.4 "Re-sampling").
+"""
+
+from repro.sampling.collector import AdaptiveSampler, SamplingDecision
+from repro.sampling.matrix import SampleMatrix
+from repro.sampling.window import SampleWindow
+
+__all__ = [
+    "AdaptiveSampler",
+    "SampleMatrix",
+    "SampleWindow",
+    "SamplingDecision",
+]

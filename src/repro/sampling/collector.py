@@ -1,0 +1,86 @@
+"""Deciding when to collect a fresh full-network sample.
+
+Paper §3: "At randomly chosen timesteps, we spend more energy to
+collect all values in the network and use them as a sample" — the
+exploration/exploitation idea.  Paper §4.4 "Re-sampling": the rate
+adapts to how well the current model predicts the top-k, measured by
+periodically running a proof-carrying plan.
+
+:class:`AdaptiveSampler` implements both: a base epsilon-greedy
+exploration rate, multiplied up whenever observed accuracy drops below
+a target and decayed back when accuracy recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SamplingError
+
+
+@dataclass(frozen=True)
+class SamplingDecision:
+    """What to do this epoch: run the plan, or pay for a full sample."""
+
+    explore: bool
+    rate: float
+
+    @property
+    def exploit(self) -> bool:
+        return not self.explore
+
+
+class AdaptiveSampler:
+    """Epsilon-greedy full-sample scheduling with accuracy feedback.
+
+    Parameters
+    ----------
+    base_rate:
+        Baseline probability of taking a full sample in any epoch.
+    target_accuracy:
+        When feedback (from a proof run or ground truth) falls below
+        this, the exploration rate is boosted.
+    boost / decay:
+        Multiplicative adjustment factors applied on bad / good
+        feedback.  The rate stays within ``[base_rate, max_rate]``.
+    """
+
+    def __init__(
+        self,
+        base_rate: float = 0.05,
+        target_accuracy: float = 0.85,
+        boost: float = 2.0,
+        decay: float = 0.8,
+        max_rate: float = 0.5,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 < base_rate <= 1.0:
+            raise SamplingError("base_rate must be in (0, 1]")
+        if not 0.0 < max_rate <= 1.0 or max_rate < base_rate:
+            raise SamplingError("max_rate must be in [base_rate, 1]")
+        if boost < 1.0 or not 0.0 < decay <= 1.0:
+            raise SamplingError("boost must be >= 1 and decay in (0, 1]")
+        self.base_rate = base_rate
+        self.target_accuracy = target_accuracy
+        self.boost = boost
+        self.decay = decay
+        self.max_rate = max_rate
+        self.rate = base_rate
+        self._rng = rng or np.random.default_rng()
+
+    def decide(self) -> SamplingDecision:
+        """Draw this epoch's explore/exploit decision."""
+        return SamplingDecision(
+            explore=bool(self._rng.random() < self.rate), rate=self.rate
+        )
+
+    def record_accuracy(self, accuracy: float) -> None:
+        """Feed back observed plan accuracy (e.g., from a proof run)."""
+        if not 0.0 <= accuracy <= 1.0:
+            raise SamplingError("accuracy must be within [0, 1]")
+        if accuracy < self.target_accuracy:
+            self.rate = min(self.max_rate, self.rate * self.boost)
+        else:
+            self.rate = max(self.base_rate, self.rate * self.decay)

@@ -1,0 +1,116 @@
+"""The Boolean sample matrix ``B`` of paper §3.
+
+``B[j, i] = 1`` iff node ``i`` holds one of the top ``k`` values in the
+``j``-th sample.  Ties are broken by node id (higher id wins), matching
+the total ordering used everywhere else in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SamplingError
+
+
+class SampleMatrix:
+    """Samples of past network readings, digested for plan optimization.
+
+    Parameters
+    ----------
+    samples:
+        Array of shape ``(m, n)``: ``m`` full-network samples over
+        ``n`` nodes.
+    k:
+        The query's ``k``; defines which entries of ``B`` are ones.
+
+    Notes
+    -----
+    The raw values are retained because PROSPECTOR-Proof needs them
+    (its ``smaller(i, j)`` sets compare actual magnitudes), but the
+    approximate planners only consume ``ones(j)`` and the column sums —
+    the optimization the paper notes at the end of §4.1.
+    """
+
+    def __init__(self, samples, k: int) -> None:
+        values = np.asarray(samples, dtype=float)
+        if values.ndim != 2:
+            raise SamplingError(
+                f"samples must be a 2-D (m, n) array, got shape {values.shape}"
+            )
+        if values.shape[0] == 0:
+            raise SamplingError("at least one sample is required")
+        if k < 1:
+            raise SamplingError("k must be >= 1")
+        self.values = values
+        self.k = int(min(k, values.shape[1]))
+        self.requested_k = int(k)
+        self._ones = [self._top_k_nodes(row) for row in values]
+        self.matrix = np.zeros(values.shape, dtype=bool)
+        for j, ones in enumerate(self._ones):
+            for node in ones:
+                self.matrix[j, node] = True
+
+    def _top_k_nodes(self, row: np.ndarray) -> frozenset[int]:
+        tagged = sorted(
+            ((float(v), node) for node, v in enumerate(row)), reverse=True
+        )
+        return frozenset(node for __, node in tagged[: self.k])
+
+    # -- shape -------------------------------------------------------------
+    @property
+    def num_samples(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.values.shape[1])
+
+    # -- LP inputs ---------------------------------------------------------
+    def ones(self, j: int) -> frozenset[int]:
+        """``ones(j)``: nodes holding the top-k values of sample ``j``."""
+        return self._ones[j]
+
+    def ones_list(self) -> list[frozenset[int]]:
+        return list(self._ones)
+
+    def column_counts(self) -> np.ndarray:
+        """``cnt_i = sum_j B[j, i]``, the Greedy/LP−LF scores."""
+        return self.matrix.sum(axis=0).astype(int)
+
+    def value(self, j: int, node: int) -> float:
+        return float(self.values[j, node])
+
+    def smaller_than(self, node: int, j: int) -> frozenset[int]:
+        """Nodes whose sample-``j`` reading ranks below ``node``'s.
+
+        Ranking uses the ``(value, node_id)`` total order, so the result
+        is well-defined under ties.  Intersecting with a subtree's
+        descendant set yields the paper's ``smaller`` sets for the
+        PROSPECTOR-Proof constraints.
+        """
+        row = self.values[j]
+        pivot = (float(row[node]), node)
+        return frozenset(
+            other
+            for other in range(self.num_nodes)
+            if other != node and (float(row[other]), other) < pivot
+        )
+
+    # -- maintenance ---------------------------------------------------------
+    def with_sample(self, reading: Sequence[float]) -> "SampleMatrix":
+        """New matrix with one more sample appended (immutably)."""
+        row = np.asarray(reading, dtype=float).reshape(1, -1)
+        if row.shape[1] != self.num_nodes:
+            raise SamplingError(
+                f"sample has {row.shape[1]} nodes, expected {self.num_nodes}"
+            )
+        return SampleMatrix(np.vstack([self.values, row]), self.requested_k)
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Sequence[float]], k: int) -> "SampleMatrix":
+        return cls(np.asarray(list(rows), dtype=float), k)
+
+    def __repr__(self) -> str:
+        return f"SampleMatrix(m={self.num_samples}, n={self.num_nodes}, k={self.k})"

@@ -1,0 +1,78 @@
+"""A sliding window of recent full-network samples.
+
+The paper maintains "the most recent samples" and expires old ones so
+the encoded model tracks drift in the joint distribution (§3).  The
+window stores raw rows; :meth:`SampleWindow.matrix` digests the current
+contents into a :class:`~repro.sampling.matrix.SampleMatrix` on demand.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.sampling.matrix import SampleMatrix
+
+
+class SampleWindow:
+    """Keep the ``capacity`` most recent samples.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of samples retained; the paper finds 25-50
+        samples suffice (§5 "Other Results"), which our sample-size
+        experiment reproduces.
+    """
+
+    def __init__(self, capacity: int = 25) -> None:
+        if capacity < 1:
+            raise SamplingError("window capacity must be >= 1")
+        self.capacity = capacity
+        self._rows: deque[np.ndarray] = deque(maxlen=capacity)
+        self._num_nodes: int | None = None
+
+    def add(self, reading: Sequence[float]) -> None:
+        """Record one full-network sample (evicting the oldest if full)."""
+        row = np.asarray(reading, dtype=float)
+        if row.ndim != 1:
+            raise SamplingError("a sample must be a flat vector of node values")
+        if self._num_nodes is None:
+            self._num_nodes = row.shape[0]
+        elif row.shape[0] != self._num_nodes:
+            raise SamplingError(
+                f"sample has {row.shape[0]} nodes, window holds {self._num_nodes}"
+            )
+        self._rows.append(row)
+
+    def extend(self, rows) -> None:
+        for row in rows:
+            self.add(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._rows
+
+    @property
+    def num_nodes(self) -> int | None:
+        return self._num_nodes
+
+    def rows(self) -> list[np.ndarray]:
+        """The retained sample rows, oldest first (copies)."""
+        return [row.copy() for row in self._rows]
+
+    def matrix(self, k: int) -> SampleMatrix:
+        """Digest the current window into a sample matrix for planning."""
+        if not self._rows:
+            raise SamplingError("sample window is empty; collect samples first")
+        return SampleMatrix(np.vstack(list(self._rows)), k)
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._num_nodes = None

@@ -1,0 +1,29 @@
+"""Message-level network simulator.
+
+The paper evaluates on "our own simulator of a network of Crossbow
+MICA2 motes ... We model only communication costs" (§5).  This
+subpackage is that simulator: it executes plans produced elsewhere in
+the library, charges the energy model for every message (including the
+distribution phases and failure retries), and reports measured costs.
+"""
+
+from repro.simulation.distribution import (
+    initial_distribution_cost,
+    trigger_cost,
+)
+from repro.simulation.lossy import (
+    LossyCollectionResult,
+    execute_plan_lossy,
+    redundancy_plan,
+)
+from repro.simulation.runtime import SimulationReport, Simulator
+
+__all__ = [
+    "LossyCollectionResult",
+    "SimulationReport",
+    "Simulator",
+    "execute_plan_lossy",
+    "initial_distribution_cost",
+    "redundancy_plan",
+    "trigger_cost",
+]

@@ -1,0 +1,56 @@
+"""Energy costs of the distribution phases (paper §2).
+
+Initial distribution installs the plan: each node unicasts a subplan to
+each child that participates (how many values the child owes, and the
+child's own subtree's assignments travel onward).  Subsequent
+executions are triggered by an empty "re-execute" broadcast that
+recursively reaches only subtrees from which values are expected.
+"""
+
+from __future__ import annotations
+
+from repro.network.energy import EnergyModel
+from repro.plans.plan import QueryPlan
+
+_BANDWIDTH_FIELD_BYTES = 2  # one bandwidth assignment entry in a subplan
+
+
+def initial_distribution_cost(plan: QueryPlan, energy: EnergyModel) -> float:
+    """Cost of installing ``plan`` into the network.
+
+    Each participating node receives one unicast from its parent whose
+    payload encodes the bandwidth assignments for its entire subtree
+    (one small field per participating subtree edge).  The paper notes
+    this is on the order of one collection phase; our
+    ``bench_distribution_cost`` benchmark confirms the same ratio.
+    """
+    topology = plan.topology
+    active = plan.visited_nodes
+    total = 0.0
+    for node in active:
+        if node == topology.root:
+            continue
+        subtree_edges = sum(
+            1 for d in topology.descendants(node) if d in active and d != topology.root
+        )
+        payload = subtree_edges * _BANDWIDTH_FIELD_BYTES
+        total += energy.per_message_mj + energy.per_byte_mj * payload
+    return total
+
+
+def trigger_cost(plan: QueryPlan, energy: EnergyModel) -> float:
+    """Cost of one re-execute trigger for an already-installed plan.
+
+    An empty message is broadcast recursively into every subtree that
+    owes values; each non-leaf participating node broadcasts once.
+    """
+    topology = plan.topology
+    active = plan.visited_nodes
+    total = 0.0
+    for node in active:
+        has_active_child = any(
+            child in active for child in topology.children(node)
+        )
+        if has_active_child:
+            total += energy.broadcast_cost()
+    return total

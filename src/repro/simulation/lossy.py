@@ -1,0 +1,106 @@
+"""Unreliable (lossy) plan execution — the alternative of paper §4.4.
+
+"An alternative is to develop query plans that directly cope with
+transient failures during execution without using a reliable
+communication protocol.  This approach has the potential of delivering
+better performance, and would be an interesting problem for future
+research."
+
+Here a failed unicast is simply *lost*: the sender still pays for the
+transmission, the receiver gets nothing, and everything the lost
+message carried vanishes from the collection.  Comparing this mode with
+the reliable default quantifies the energy/accuracy trade the paper
+gestures at (``bench_ablation_reliability``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.failures import LinkFailureModel
+from repro.network.topology import validate_readings
+from repro.plans.plan import Message, QueryPlan, Reading, tag_readings
+
+
+@dataclass
+class LossyCollectionResult:
+    """Outcome of one unreliable collection phase."""
+
+    returned: list[Reading]
+    messages: list[Message] = field(default_factory=list)
+    lost_messages: int = 0
+    lost_values: int = 0
+
+    @property
+    def returned_nodes(self) -> set[int]:
+        return {node for __, node in self.returned}
+
+    def top_k_nodes(self, k: int) -> set[int]:
+        return {node for __, node in self.returned[:k]}
+
+
+def execute_plan_lossy(
+    plan: QueryPlan,
+    readings,
+    failures: LinkFailureModel,
+    rng: np.random.Generator,
+) -> LossyCollectionResult:
+    """Sort-and-forward where each transmission may silently fail.
+
+    Identical to :func:`repro.plans.execution.execute_plan` except that
+    a message on edge ``e`` is dropped with the failure model's
+    probability; the message log still records it (the sender spent the
+    energy) but its values never reach the parent.
+    """
+    topology = plan.topology
+    values = validate_readings(topology, readings)
+    tagged = tag_readings(values)
+    active = plan.visited_nodes
+
+    buffers: dict[int, list[Reading]] = {}
+    messages: list[Message] = []
+    lost_messages = 0
+    lost_values = 0
+
+    for node in topology.post_order():
+        if node not in active:
+            continue
+        local: list[Reading] = [tagged[node]]
+        for child in topology.children(node):
+            local.extend(buffers.pop(child, []))
+        local.sort(reverse=True)
+        if node == topology.root:
+            return LossyCollectionResult(
+                returned=local,
+                messages=messages,
+                lost_messages=lost_messages,
+                lost_values=lost_values,
+            )
+        outgoing = local[: plan.bandwidths[node]]
+        messages.append(Message(node, len(outgoing)))
+        if failures.sample_failure(node, rng):
+            lost_messages += 1
+            lost_values += len(outgoing)
+            # the subtree's entire contribution evaporates here
+        else:
+            buffers[node] = outgoing
+    raise AssertionError("post-order walk did not end at the root")
+
+
+def redundancy_plan(plan: QueryPlan, extra: int = 1) -> QueryPlan:
+    """A simple loss-coping plan transform: widen every used edge by
+    ``extra`` slots so surviving messages carry spare candidates.
+
+    This is the obvious first answer to the paper's open question —
+    redundancy instead of retries — and the reliability ablation
+    measures what it buys.
+    """
+    bandwidths = {
+        edge: (b + extra if b > 0 else 0)
+        for edge, b in plan.bandwidths.items()
+    }
+    return QueryPlan(
+        plan.topology, bandwidths, requires_all_edges=plan.requires_all_edges
+    )

@@ -1,0 +1,160 @@
+"""The simulator: execute plans, charge energy, inject failures.
+
+:class:`Simulator` wraps the pure execution functions from
+:mod:`repro.plans` with energy accounting.  When a
+:class:`~repro.network.failures.LinkFailureModel` is attached, each
+unicast may transiently fail; the reliable protocol then routes around
+the edge, costing the message again plus the model's re-route penalty
+(paper §4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.energy import EnergyModel
+from repro.network.failures import LinkFailureModel
+from repro.network.topology import Topology
+from repro.plans.execution import CollectionResult, execute_plan
+from repro.plans.naive import naive_k_collect, naive_one_collect
+from repro.plans.plan import Message, QueryPlan, Reading
+from repro.plans.proof_execution import ProofResult, execute_proof_plan
+from repro.simulation.distribution import initial_distribution_cost, trigger_cost
+
+
+@dataclass
+class SimulationReport:
+    """Measured outcome of one simulated collection phase."""
+
+    returned: list[Reading]
+    energy_mj: float
+    num_messages: int
+    num_values_sent: int
+    num_retries: int = 0
+    proven_count: int = 0
+    detail: object = None
+    """The underlying CollectionResult / ProofResult, for inspection."""
+
+    edge_outcomes: list[tuple[int, bool]] = field(default_factory=list)
+    """Per unicast: (edge, failed) — the raw material for the §4.4
+    failure statistics (see LinkFailureModel.record_failure)."""
+
+    def top_k_nodes(self, k: int) -> set[int]:
+        return {node for __, node in self.returned[:k]}
+
+
+@dataclass
+class Simulator:
+    """Charges an :class:`~repro.network.energy.EnergyModel` for the
+    messages produced by plan executions over a topology.
+
+    Parameters
+    ----------
+    failures:
+        Optional transient-failure model; when present each unicast is
+        retried on failure, costing the message again plus the re-route
+        penalty.
+    rng:
+        Randomness source for failure draws (ignored without failures).
+    """
+
+    topology: Topology
+    energy: EnergyModel
+    failures: LinkFailureModel | None = None
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    # -- message accounting ---------------------------------------------------
+    def _charge(
+        self, messages: list[Message]
+    ) -> tuple[float, int, int, list[tuple[int, bool]]]:
+        """Energy, value count, retries and per-edge outcomes of a log."""
+        total = 0.0
+        values = 0
+        retries = 0
+        outcomes: list[tuple[int, bool]] = []
+        for message in messages:
+            total += message.cost(self.energy)
+            values += message.num_values
+            if self.failures is None or message.kind != "unicast":
+                continue
+            failed = self.failures.sample_failure(message.edge, self.rng)
+            outcomes.append((message.edge, failed))
+            if failed:
+                retries += 1
+                total += message.cost(self.energy)
+                total += self.failures.reroute_cost(message.edge)
+        return total, values, retries, outcomes
+
+    def _report(
+        self,
+        result: CollectionResult | ProofResult,
+        extra_energy: float = 0.0,
+    ) -> SimulationReport:
+        energy, values, retries, outcomes = self._charge(result.messages)
+        return SimulationReport(
+            returned=result.returned,
+            energy_mj=energy + extra_energy,
+            num_messages=len(result.messages),
+            num_values_sent=values,
+            num_retries=retries,
+            proven_count=getattr(result, "proven_count", 0),
+            detail=result,
+            edge_outcomes=outcomes,
+        )
+
+    # -- phases ---------------------------------------------------------------
+    def _acquisition(self, num_nodes: int) -> float:
+        """Measurement energy for the nodes that sampled (§4.4)."""
+        return self.energy.acquisition_mj * num_nodes
+
+    def run_collection(
+        self,
+        plan: QueryPlan,
+        readings,
+        include_trigger: bool = True,
+        priority=None,
+    ) -> SimulationReport:
+        """One triggered execution of an installed approximate plan.
+
+        ``priority`` overrides the forwarding order (used by subset
+        queries that are not up-closed, see :mod:`repro.queries`).
+        """
+        result = execute_plan(plan, readings, priority=priority)
+        extra = trigger_cost(plan, self.energy) if include_trigger else 0.0
+        extra += self._acquisition(len(plan.visited_nodes))
+        return self._report(result, extra_energy=extra)
+
+    def run_proof_collection(
+        self, plan: QueryPlan, readings, include_trigger: bool = True
+    ) -> SimulationReport:
+        """One triggered execution of a proof-carrying plan."""
+        result = execute_proof_plan(plan, readings)
+        extra = trigger_cost(plan, self.energy) if include_trigger else 0.0
+        extra += self._acquisition(self.topology.n)  # every node measures
+        return self._report(result, extra_energy=extra)
+
+    def run_naive_k(self, readings, k: int) -> SimulationReport:
+        """The NAIVE-k exact algorithm (needs no installed plan; the
+        query is pushed down, charged as a trigger of the full tree)."""
+        result = naive_k_collect(self.topology, readings, k)
+        extra = trigger_cost(QueryPlan.full(self.topology), self.energy)
+        extra += self._acquisition(self.topology.n)
+        return self._report(result, extra_energy=extra)
+
+    def run_naive_one(self, readings, k: int) -> SimulationReport:
+        """The NAIVE-1 pipelined exact algorithm."""
+        result = naive_one_collect(self.topology, readings, k)
+        # only nodes that were actually asked take a measurement
+        asked = {m.edge for m in result.messages} | {self.topology.root}
+        return self._report(result, extra_energy=self._acquisition(len(asked)))
+
+    def install_cost(self, plan: QueryPlan) -> float:
+        """Energy of the initial distribution phase for ``plan``."""
+        return initial_distribution_cost(plan, self.energy)
+
+    def collect_full_sample(self, readings) -> SimulationReport:
+        """Gather every node's value (the exploration step of §3),
+        executed as a full-bandwidth collection."""
+        return self.run_collection(QueryPlan.full(self.topology), readings)

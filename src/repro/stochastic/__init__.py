@@ -1,0 +1,37 @@
+"""The theoretical foundation of sampling-based planning (paper §3.1).
+
+The paper grounds its sample-complexity claims in Shmoys & Swamy's
+framework for two-stage stochastic optimization with recourse,
+instantiated as STOCHASTIC-STEINER-TREE, and proves (Theorem 1) that
+SIMPLE-TOP-K — "pick C nodes to query so as to minimize the expected
+number of top-k values missed" — is a special case of it.
+
+This subpackage makes that concrete and testable:
+
+- :class:`~repro.stochastic.scenarios.ScenarioSet` — sampled demand
+  scenarios (for top-k: the ``ones(j)`` sets);
+- :class:`~repro.stochastic.steiner.TwoStageSteinerTree` — the
+  two-stage LP on a tree network, in both total-cost and
+  budgeted-first-stage forms;
+- :mod:`~repro.stochastic.simple_topk` — SIMPLE-TOP-K solved directly
+  *and* through the Theorem 1 reduction, with the equivalence asserted
+  in tests, plus the sample-complexity sweep behind §3.1's "polynomial
+  samples suffice" claim.
+"""
+
+from repro.stochastic.scenarios import ScenarioSet
+from repro.stochastic.simple_topk import (
+    SimpleTopKInstance,
+    solve_direct,
+    solve_via_steiner,
+)
+from repro.stochastic.steiner import SteinerSolution, TwoStageSteinerTree
+
+__all__ = [
+    "ScenarioSet",
+    "SimpleTopKInstance",
+    "SteinerSolution",
+    "TwoStageSteinerTree",
+    "solve_direct",
+    "solve_via_steiner",
+]

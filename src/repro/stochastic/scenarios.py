@@ -1,0 +1,80 @@
+"""Demand scenarios for two-stage stochastic optimization.
+
+A scenario is a set of nodes that will require connectivity to the
+root "on day 2" (paper §3.1).  For the top-k instantiation, scenarios
+are exactly the sampled ``ones(j)`` sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.sampling.matrix import SampleMatrix
+
+
+class ScenarioSet:
+    """A finite collection of equally likely demand scenarios."""
+
+    def __init__(self, scenarios: Iterable[Iterable[int]]) -> None:
+        self.scenarios: list[frozenset[int]] = [
+            frozenset(s) for s in scenarios
+        ]
+        if not self.scenarios:
+            raise SamplingError("at least one scenario is required")
+
+    @classmethod
+    def from_sample_matrix(cls, matrix: SampleMatrix) -> "ScenarioSet":
+        """Top-k scenarios: one per sample, per Theorem 1."""
+        return cls(matrix.ones_list())
+
+    @classmethod
+    def from_distribution(
+        cls,
+        num_scenarios: int,
+        draw,
+    ) -> "ScenarioSet":
+        """Sample scenarios from a generator function ``draw() -> set``."""
+        if num_scenarios < 1:
+            raise SamplingError("num_scenarios must be >= 1")
+        return cls(draw() for __ in range(num_scenarios))
+
+    @property
+    def num_scenarios(self) -> int:
+        return len(self.scenarios)
+
+    @property
+    def probability(self) -> float:
+        """Each sampled scenario's weight (uniform empirical measure)."""
+        return 1.0 / self.num_scenarios
+
+    def terminals(self) -> frozenset[int]:
+        """Union of all scenario node sets."""
+        union: set[int] = set()
+        for scenario in self.scenarios:
+            union |= scenario
+        return frozenset(union)
+
+    def demand_counts(self, num_nodes: int) -> np.ndarray:
+        """How many scenarios demand each node (the column sums)."""
+        counts = np.zeros(num_nodes, dtype=int)
+        for scenario in self.scenarios:
+            for node in scenario:
+                counts[node] += 1
+        return counts
+
+    def subset(self, count: int) -> "ScenarioSet":
+        """The first ``count`` scenarios (for sample-complexity sweeps)."""
+        if not 1 <= count <= self.num_scenarios:
+            raise SamplingError(
+                f"count must be within [1, {self.num_scenarios}]"
+            )
+        return ScenarioSet(self.scenarios[:count])
+
+    def __iter__(self):
+        return iter(self.scenarios)
+
+    def __len__(self) -> int:
+        return self.num_scenarios

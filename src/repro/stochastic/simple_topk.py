@@ -1,0 +1,151 @@
+"""SIMPLE-TOP-K and its reduction to STOCHASTIC-STEINER-TREE.
+
+SIMPLE-TOP-K (paper §3.1): the root can query any node at unit cost,
+may query at most ``C`` nodes, and wants to minimize the expected
+number of top-k values it fails to query — expectation over sampled
+scenarios.
+
+Theorem 1 reduces it to the two-stage Steiner problem on a star: every
+node hangs off the root by a unit-cost edge, scenarios are the sampled
+top-k sets, day-1 purchases are the queried nodes (budget ``C``), and
+the day-2 cost of an un-bought demanded edge is exactly one missed
+top-k value (``sigma = 1``; day 2 is the paper's "thought experiment").
+
+Both solution paths are provided; their agreement is a tested property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BudgetError
+from repro.network.builder import star_topology
+from repro.stochastic.scenarios import ScenarioSet
+from repro.stochastic.steiner import TwoStageSteinerTree
+
+
+@dataclass(frozen=True)
+class SimpleTopKInstance:
+    """An instance: ``num_nodes`` queryable nodes, sampled scenarios,
+    and a budget of ``C`` unit-cost queries."""
+
+    num_nodes: int
+    scenarios: ScenarioSet
+    budget: int
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise BudgetError("need at least one node")
+        if not 0 <= self.budget <= self.num_nodes:
+            raise BudgetError(
+                f"budget must be within [0, {self.num_nodes}]"
+            )
+        out_of_range = {
+            node
+            for scenario in self.scenarios
+            for node in scenario
+            if not 0 <= node < self.num_nodes
+        }
+        if out_of_range:
+            raise BudgetError(f"scenario nodes out of range: {out_of_range}")
+
+
+@dataclass(frozen=True)
+class SimpleTopKSolution:
+    chosen: frozenset[int]
+    expected_misses: float
+    method: str
+
+
+def expected_misses(instance: SimpleTopKInstance, chosen) -> float:
+    """Expected top-k values not covered by the queried set."""
+    chosen = set(chosen)
+    total = sum(
+        len(scenario - chosen) for scenario in instance.scenarios
+    )
+    return total * instance.scenarios.probability
+
+
+def solve_direct(instance: SimpleTopKInstance) -> SimpleTopKSolution:
+    """The separable optimum: query the most frequently demanded nodes.
+
+    With unit costs the objective decomposes per node, so taking the
+    ``C`` highest demand counts is exactly optimal.
+    """
+    counts = instance.scenarios.demand_counts(instance.num_nodes)
+    order = sorted(
+        range(instance.num_nodes), key=lambda node: (-counts[node], node)
+    )
+    chosen = frozenset(
+        node for node in order[: instance.budget] if counts[node] > 0
+    )
+    return SimpleTopKSolution(
+        chosen=chosen,
+        expected_misses=expected_misses(instance, chosen),
+        method="direct",
+    )
+
+
+def solve_via_steiner(
+    instance: SimpleTopKInstance, backend=None
+) -> SimpleTopKSolution:
+    """Theorem 1's route: budgeted two-stage Steiner on a star.
+
+    Star node ``i + 1`` represents instance node ``i`` (0 is the star's
+    root).  Day-2 purchases are the thought-experiment misses, so the
+    expected second-stage cost *is* the expected miss count.
+    """
+    star = star_topology(instance.num_nodes + 1)
+    scenarios = ScenarioSet(
+        [{node + 1 for node in scenario} for scenario in instance.scenarios]
+    )
+    problem = TwoStageSteinerTree(star, inflation=1.0)
+    solution = problem.solve_budgeted(
+        scenarios, first_stage_budget=float(instance.budget), backend=backend
+    )
+    chosen = frozenset(edge - 1 for edge in solution.first_stage_edges)
+    return SimpleTopKSolution(
+        chosen=chosen,
+        expected_misses=expected_misses(instance, chosen),
+        method="steiner-reduction",
+    )
+
+
+def sample_complexity_curve(
+    num_nodes: int,
+    k: int,
+    budget: int,
+    draw_scenario,
+    scenario_counts,
+    evaluation_scenarios: int = 400,
+    rng: np.random.Generator | None = None,
+) -> list[dict]:
+    """How solution quality converges with the number of sampled
+    scenarios — the empirical face of §3.1's polynomial-sample bound.
+
+    ``draw_scenario()`` must return one top-k node set drawn from the
+    true distribution.  For each training size the instance is solved
+    directly and scored on a large held-out scenario set.
+    """
+    held_out = ScenarioSet.from_distribution(
+        evaluation_scenarios, draw_scenario
+    )
+    rows = []
+    for m in scenario_counts:
+        training = ScenarioSet.from_distribution(m, draw_scenario)
+        instance = SimpleTopKInstance(num_nodes, training, budget)
+        solution = solve_direct(instance)
+        eval_instance = SimpleTopKInstance(num_nodes, held_out, budget)
+        rows.append(
+            {
+                "training_scenarios": m,
+                "train_misses": solution.expected_misses,
+                "heldout_misses": expected_misses(
+                    eval_instance, solution.chosen
+                ),
+                "k": k,
+            }
+        )
+    return rows

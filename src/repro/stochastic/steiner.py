@@ -1,0 +1,154 @@
+"""Two-stage stochastic Steiner tree on a tree network (paper §3.1).
+
+Day 1: buy edges at cost ``c_e`` knowing only the scenario
+distribution.  Day 2: a scenario (a set of nodes needing connectivity
+to the root) is revealed; missing edges must be bought at inflated
+cost ``sigma * c_e``.  On a *tree*, connecting a node means buying
+every edge on its root path, so the LP is simply::
+
+    minimize   sum c_e x_e  +  (1/m) sum_s sum_e sigma c_e y_{e,s}
+    subject to x_e + y_{e,s} >= 1   for every edge e on the root path
+                                    of any terminal of scenario s
+
+The budgeted form bounds the first-stage spend instead and minimizes
+the expected second stage — exactly the shape the paper bounds its
+top-k planning with ("we bound the first stage cost and optimize the
+second stage cost").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BudgetError, ModelError
+from repro.lp import LinExpr, Model
+from repro.network.topology import Topology
+from repro.stochastic.scenarios import ScenarioSet
+
+
+@dataclass
+class SteinerSolution:
+    """A solved two-stage instance."""
+
+    first_stage_edges: frozenset[int]
+    """Edges bought on day 1 (after ½-threshold rounding)."""
+
+    first_stage_cost: float
+    expected_second_stage_cost: float
+    lp_objective: float
+    fractional_first_stage: dict[int, float]
+
+    @property
+    def total_expected_cost(self) -> float:
+        return self.first_stage_cost + self.expected_second_stage_cost
+
+
+class TwoStageSteinerTree:
+    """The two-stage stochastic Steiner LP over a tree.
+
+    Parameters
+    ----------
+    topology:
+        The tree; terminals connect to its root.
+    edge_costs:
+        Day-1 cost per edge (keyed by child endpoint); default 1.0.
+    inflation:
+        ``sigma``: how much more expensive edges are on day 2.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        edge_costs: dict[int, float] | None = None,
+        inflation: float = 2.0,
+    ) -> None:
+        if inflation <= 0:
+            raise ModelError("inflation must be positive")
+        self.topology = topology
+        self.inflation = inflation
+        self.edge_costs = {
+            edge: (edge_costs or {}).get(edge, 1.0) for edge in topology.edges
+        }
+        for edge, cost in self.edge_costs.items():
+            if cost < 0:
+                raise ModelError(f"edge {edge} has negative cost {cost}")
+
+    # -- shared LP skeleton ---------------------------------------------------
+    def _scenario_edges(self, scenario: frozenset[int]) -> set[int]:
+        needed: set[int] = set()
+        for terminal in scenario:
+            needed.update(self.topology.path_edges(terminal))
+        return needed
+
+    def _build(self, scenarios: ScenarioSet):
+        model = Model("two-stage-steiner")
+        x = {
+            edge: model.add_variable(f"x_{edge}", lb=0.0, ub=1.0)
+            for edge in self.topology.edges
+        }
+        y: dict[tuple[int, int], object] = {}
+        for s, scenario in enumerate(scenarios):
+            for edge in self._scenario_edges(scenario):
+                y[edge, s] = model.add_variable(f"y_{edge}_{s}", lb=0.0, ub=1.0)
+                model.add_constraint(
+                    x[edge] + y[edge, s] >= 1.0, name=f"cover_{edge}_{s}"
+                )
+        return model, x, y
+
+    def _stage_costs(self, scenarios: ScenarioSet, x, y):
+        first = LinExpr.sum_of(
+            self.edge_costs[edge] * var for edge, var in x.items()
+        )
+        second = LinExpr.sum_of(
+            (scenarios.probability * self.inflation * self.edge_costs[edge])
+            * var
+            for (edge, __), var in y.items()
+        )
+        return first, second
+
+    def _extract(
+        self, scenarios: ScenarioSet, solution, x
+    ) -> SteinerSolution:
+        fractional = {
+            edge: solution.value(var) for edge, var in x.items()
+        }
+        bought = frozenset(e for e, v in fractional.items() if v >= 0.5)
+        first_cost = sum(self.edge_costs[e] for e in bought)
+        # expected recourse of the *rounded* first stage
+        second = 0.0
+        for scenario in scenarios:
+            missing = self._scenario_edges(scenario) - bought
+            second += self.inflation * sum(
+                self.edge_costs[e] for e in missing
+            )
+        second *= scenarios.probability
+        return SteinerSolution(
+            first_stage_edges=bought,
+            first_stage_cost=first_cost,
+            expected_second_stage_cost=second,
+            lp_objective=solution.objective,
+            fractional_first_stage=fractional,
+        )
+
+    # -- the two problem forms ---------------------------------------------
+    def solve_total_cost(self, scenarios: ScenarioSet, backend=None) -> SteinerSolution:
+        """Minimize day-1 cost plus expected day-2 recourse."""
+        model, x, y = self._build(scenarios)
+        first, second = self._stage_costs(scenarios, x, y)
+        model.minimize(first + second)
+        return self._extract(scenarios, model.solve(backend), x)
+
+    def solve_budgeted(
+        self,
+        scenarios: ScenarioSet,
+        first_stage_budget: float,
+        backend=None,
+    ) -> SteinerSolution:
+        """Bound the day-1 spend; minimize the expected day-2 cost."""
+        if first_stage_budget < 0:
+            raise BudgetError("first-stage budget must be non-negative")
+        model, x, y = self._build(scenarios)
+        first, second = self._stage_costs(scenarios, x, y)
+        model.add_constraint(first <= first_stage_budget, name="budget")
+        model.minimize(second)
+        return self._extract(scenarios, model.solve(backend), x)

@@ -1,0 +1,95 @@
+"""Tests for plan introspection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare_plans, explain_plan
+from repro.network.energy import EnergyModel
+from repro.plans.plan import QueryPlan
+from repro.sampling.matrix import SampleMatrix
+
+UNIFORM = EnergyModel.uniform(per_message_mj=1.0, per_value_mj=0.5)
+
+
+@pytest.fixture
+def samples(small_tree, rng):
+    return SampleMatrix(rng.normal(10, 3, size=(12, small_tree.n)), 2)
+
+
+class TestExplainPlan:
+    def test_cost_breakdown_sums_to_static(self, small_tree, samples):
+        plan = QueryPlan.naive_k(small_tree, 2)
+        report = explain_plan(plan, samples, UNIFORM)
+        assert report.total_cost_mj == pytest.approx(
+            plan.static_cost(UNIFORM)
+        )
+        assert report.message_cost_mj == pytest.approx(
+            len(plan.used_edges) * 1.0
+        )
+        assert report.acquisition_cost_mj == 0.0
+
+    def test_acquisition_included_when_charged(self, small_tree, samples):
+        import dataclasses
+
+        charged = dataclasses.replace(UNIFORM, acquisition_mj=0.5)
+        plan = QueryPlan.naive_k(small_tree, 2)
+        report = explain_plan(plan, samples, charged)
+        assert report.acquisition_cost_mj == pytest.approx(0.5 * 7)
+
+    def test_full_plan_perfect_accuracy(self, small_tree, samples):
+        report = explain_plan(QueryPlan.full(small_tree), samples, UNIFORM)
+        assert report.expected_accuracy == pytest.approx(1.0)
+        assert report.visited_nodes == 7
+
+    def test_edge_usage_and_saturation(self, small_tree):
+        # nodes 3 and 4 always hold the top-2: edge 1 (bandwidth 1)
+        # saturates every sample, edge 2 never transmits anything useful
+        rows = np.zeros((6, 7))
+        rows[:, 3] = 50.0
+        rows[:, 4] = 60.0
+        samples = SampleMatrix(rows, 2)
+        plan = QueryPlan(small_tree, {1: 1, 3: 1, 4: 1})
+        report = explain_plan(plan, samples, UNIFORM)
+        by_edge = {u.edge: u for u in report.edges}
+        assert by_edge[1].saturation == 1.0
+        assert by_edge[1].mean_transmitted == 1.0
+        assert report.bottlenecks() != []
+        assert report.expected_hits == pytest.approx(1.0)  # capped by edge 1
+
+    def test_rows_align_with_edges(self, small_tree, samples):
+        plan = QueryPlan.naive_k(small_tree, 2)
+        report = explain_plan(plan, samples, UNIFORM)
+        rows = report.rows()
+        assert len(rows) == len(report.edges)
+        assert {r["edge"] for r in rows} == {u.edge for u in report.edges}
+
+    def test_cut_off_edges_excluded(self, small_tree, samples):
+        plan = QueryPlan(small_tree, {6: 3})  # unreachable subtree
+        report = explain_plan(plan, samples, UNIFORM)
+        assert report.num_edges_used == 0
+        assert report.total_cost_mj == 0.0
+
+
+class TestComparePlans:
+    def test_wider_plan_wins_hits(self, small_tree, samples):
+        narrow = QueryPlan(small_tree, {1: 1, 3: 1, 4: 1})
+        wide = QueryPlan.naive_k(small_tree, 2)
+        comparison = compare_plans(narrow, wide, samples, UNIFORM)
+        assert comparison.hits_delta > 0
+        assert comparison.install_cost_mj > 0
+        assert comparison.worth_installing(improvement_threshold=0.01)
+
+    def test_identical_plans_not_worth_installing(self, small_tree, samples):
+        plan = QueryPlan.naive_k(small_tree, 2)
+        comparison = compare_plans(plan, plan, samples, UNIFORM)
+        assert comparison.hits_delta == 0.0
+        assert not comparison.worth_installing()
+
+    def test_breakeven_for_cheaper_candidate(self, small_tree, samples):
+        expensive = QueryPlan.full(small_tree)
+        cheaper = QueryPlan.naive_k(small_tree, 2)
+        comparison = compare_plans(expensive, cheaper, samples, UNIFORM)
+        assert comparison.cost_delta_mj < 0
+        assert np.isfinite(comparison.breakeven_queries)
+        costlier = compare_plans(cheaper, expensive, samples, UNIFORM)
+        assert costlier.breakeven_queries == float("inf")

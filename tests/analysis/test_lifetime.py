@@ -1,0 +1,133 @@
+"""Tests for per-node burdens and lifetime estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.lifetime import (
+    compare_lifetimes,
+    estimate_lifetime,
+    node_burdens,
+)
+from repro.errors import PlanError
+from repro.network.builder import line_topology, star_topology
+from repro.network.energy import EnergyModel
+from repro.plans.plan import QueryPlan
+
+ENERGY = EnergyModel(
+    sending_mw=60.0, receiving_mw=30.0, byte_rate=3000.0,
+    per_message_mj=1.0, value_bytes=4,
+)
+
+
+class TestNodeBurdens:
+    def test_split_matches_power_ratio(self):
+        topo = line_topology(2)
+        plan = QueryPlan.full(topo)
+        rows = [[1.0, 2.0]]
+        burdens = node_burdens(plan, ENERGY, rows)
+        message = ENERGY.message_cost(1)
+        assert burdens[1].transmit_mj == pytest.approx(message * 2 / 3)
+        assert burdens[0].receive_mj == pytest.approx(message * 1 / 3)
+        assert burdens[1].receive_mj == 0.0
+        assert burdens[0].transmit_mj == 0.0
+
+    def test_totals_conserve_message_energy(self, medium_random, rng):
+        plan = QueryPlan.naive_k(medium_random, 4)
+        rows = rng.normal(size=(5, medium_random.n))
+        burdens = node_burdens(plan, ENERGY, rows)
+        from repro.plans.execution import execute_plan
+
+        expected = np.mean(
+            [
+                sum(m.cost(ENERGY) for m in execute_plan(plan, row).messages)
+                for row in rows
+            ]
+        )
+        total = sum(b.total_mj for b in burdens.values())
+        assert total == pytest.approx(expected)
+
+    def test_relays_bear_more_than_leaves(self, rng):
+        chain = line_topology(5)
+        plan = QueryPlan.full(chain)
+        rows = rng.normal(size=(4, 5))
+        burdens = node_burdens(plan, ENERGY, rows)
+        # node 1 relays the whole chain; node 4 only sends its own value
+        assert burdens[1].total_mj > burdens[4].total_mj
+
+    def test_acquisition_charged_to_visited(self, rng):
+        import dataclasses
+
+        charged = dataclasses.replace(ENERGY, acquisition_mj=0.25)
+        topo = star_topology(4)
+        plan = QueryPlan.from_chosen_nodes(topo, {1})
+        burdens = node_burdens(plan, charged, rng.normal(size=(3, 4)))
+        assert burdens[1].acquisition_mj == 0.25
+        assert burdens[2].acquisition_mj == 0.0
+
+    def test_requires_samples(self, small_tree):
+        with pytest.raises(PlanError):
+            node_burdens(QueryPlan.full(small_tree), ENERGY, [])
+
+
+class TestEstimateLifetime:
+    def test_bottleneck_is_root_relay(self, rng):
+        chain = line_topology(5)
+        plan = QueryPlan.full(chain)
+        rows = rng.normal(size=(4, 5))
+        report = estimate_lifetime(plan, ENERGY, rows, battery_mj=1000.0)
+        assert report.bottleneck_node == 1
+        assert report.lifetime_rounds == pytest.approx(
+            1000.0 / report.burdens[1].total_mj
+        )
+
+    def test_root_excluded_by_default(self, rng):
+        star = star_topology(4)
+        plan = QueryPlan.full(star)
+        rows = rng.normal(size=(3, 4))
+        report = estimate_lifetime(plan, ENERGY, rows, battery_mj=100.0)
+        assert report.bottleneck_node != 0
+        mains_free = estimate_lifetime(
+            plan, ENERGY, rows, battery_mj=100.0, exclude_root=False
+        )
+        # the root receives everything: including it shortens lifetime
+        assert mains_free.lifetime_rounds <= report.lifetime_rounds
+
+    def test_empty_plan_lives_forever(self, small_tree, rng):
+        plan = QueryPlan(small_tree, {})
+        report = estimate_lifetime(
+            plan, ENERGY, rng.normal(size=(2, 7)), battery_mj=10.0
+        )
+        assert report.lifetime_rounds == float("inf")
+
+    def test_battery_validation(self, small_tree, rng):
+        with pytest.raises(PlanError):
+            estimate_lifetime(
+                QueryPlan.full(small_tree), ENERGY,
+                rng.normal(size=(2, 7)), battery_mj=0.0,
+            )
+
+    def test_hottest_and_rows(self, rng):
+        chain = line_topology(4)
+        plan = QueryPlan.full(chain)
+        report = estimate_lifetime(
+            plan, ENERGY, rng.normal(size=(3, 4)), battery_mj=50.0
+        )
+        hottest = report.hottest(2)
+        assert len(hottest) == 2
+        assert hottest[0].total_mj >= hottest[1].total_mj
+        assert len(report.rows()) == chain.n
+
+
+class TestCompareLifetimes:
+    def test_cheaper_plan_lives_longer(self, medium_random, rng):
+        rows = rng.normal(size=(5, medium_random.n))
+        plans = {
+            "naive-k": QueryPlan.naive_k(medium_random, 5),
+            "narrow": QueryPlan.naive_k(medium_random, 1),
+        }
+        leaderboard = compare_lifetimes(plans, ENERGY, rows, battery_mj=5000.0)
+        assert leaderboard[0]["plan"] == "narrow"
+        assert (
+            leaderboard[0]["lifetime_rounds"]
+            >= leaderboard[1]["lifetime_rounds"]
+        )

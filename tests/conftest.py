@@ -1,0 +1,112 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.network.builder import balanced_tree, line_topology, random_topology
+from repro.network.energy import EnergyModel
+from repro.network.topology import Topology
+
+# ---------------------------------------------------------------------------
+# fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def energy() -> EnergyModel:
+    return EnergyModel.mica2()
+
+
+@pytest.fixture
+def small_tree() -> Topology:
+    """A hand-checkable 7-node tree.
+
+    ::
+
+            0
+           / \\
+          1   2
+         / \\   \\
+        3   4   5
+                 \\
+                  6
+    """
+    return Topology([-1, 0, 0, 1, 1, 2, 5])
+
+
+@pytest.fixture
+def chain() -> Topology:
+    return line_topology(5)
+
+
+@pytest.fixture
+def bushy() -> Topology:
+    return balanced_tree(branching=3, depth=2)
+
+
+@pytest.fixture
+def medium_random(rng) -> Topology:
+    return random_topology(30, rng=rng)
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def tree_strategy(draw, min_nodes: int = 2, max_nodes: int = 16) -> Topology:
+    """Random rooted trees: each node's parent precedes it."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    parents = [-1]
+    for node in range(1, n):
+        parents.append(draw(st.integers(min_value=0, max_value=node - 1)))
+    return Topology(parents)
+
+
+@st.composite
+def tree_with_readings(draw, min_nodes: int = 2, max_nodes: int = 14):
+    """A random tree plus one reading per node (ties allowed)."""
+    topology = draw(tree_strategy(min_nodes=min_nodes, max_nodes=max_nodes))
+    readings = draw(
+        st.lists(
+            st.integers(min_value=-50, max_value=50),
+            min_size=topology.n,
+            max_size=topology.n,
+        )
+    )
+    return topology, [float(v) for v in readings]
+
+
+@st.composite
+def tree_plan_readings(draw, min_nodes: int = 2, max_nodes: int = 12):
+    """Tree + arbitrary bandwidth plan + readings."""
+    topology, readings = draw(
+        tree_with_readings(min_nodes=min_nodes, max_nodes=max_nodes)
+    )
+    bandwidths = {
+        edge: draw(st.integers(min_value=0, max_value=topology.n))
+        for edge in topology.edges
+    }
+    return topology, bandwidths, readings
+
+
+@st.composite
+def proof_plan_readings(draw, min_nodes: int = 2, max_nodes: int = 12):
+    """Tree + all-edges-used plan (b >= 1) + readings."""
+    topology, readings = draw(
+        tree_with_readings(min_nodes=min_nodes, max_nodes=max_nodes)
+    )
+    bandwidths = {
+        edge: draw(st.integers(min_value=1, max_value=topology.n))
+        for edge in topology.edges
+    }
+    return topology, bandwidths, readings

@@ -1,0 +1,52 @@
+"""Unit tests for Gaussian field generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.gaussian import GaussianField, random_gaussian_field
+from repro.errors import TraceError
+
+
+class TestGaussianField:
+    def test_shape_validation(self):
+        with pytest.raises(TraceError):
+            GaussianField(np.zeros(3), np.zeros(2))
+        with pytest.raises(TraceError):
+            GaussianField(np.zeros((2, 2)), np.zeros((2, 2)))
+        with pytest.raises(TraceError):
+            GaussianField(np.zeros(2), np.array([-1.0, 1.0]))
+
+    def test_sampling_statistics(self, rng):
+        field = GaussianField(np.array([10.0, -5.0]), np.array([1.0, 2.0]))
+        trace = field.trace(4000, rng)
+        means = trace.values.mean(axis=0)
+        stds = trace.values.std(axis=0)
+        assert means == pytest.approx([10.0, -5.0], abs=0.2)
+        assert stds == pytest.approx([1.0, 2.0], abs=0.15)
+
+    def test_sample_single_epoch(self, rng):
+        field = GaussianField(np.zeros(3), np.ones(3))
+        assert field.sample(rng).shape == (3,)
+
+    def test_trace_requires_epochs(self, rng):
+        field = GaussianField(np.zeros(2), np.ones(2))
+        with pytest.raises(TraceError):
+            field.trace(0, rng)
+
+    def test_scaled_variance(self, rng):
+        field = GaussianField(np.array([0.0]), np.array([2.0]))
+        scaled = field.scaled_variance(4.0)
+        assert scaled.stds[0] == pytest.approx(4.0)
+        assert scaled.means[0] == 0.0
+        with pytest.raises(TraceError):
+            field.scaled_variance(-1.0)
+
+    def test_random_field_ranges(self, rng):
+        field = random_gaussian_field(
+            100, rng, mean_range=(5.0, 6.0), std_range=(0.5, 0.6)
+        )
+        assert field.num_nodes == 100
+        assert np.all((field.means >= 5.0) & (field.means <= 6.0))
+        assert np.all((field.stds >= 0.5) & (field.stds <= 0.6))
+        with pytest.raises(TraceError):
+            random_gaussian_field(0, rng)

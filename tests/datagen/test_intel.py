@@ -1,0 +1,97 @@
+"""Unit tests for the Intel Lab surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.intel import (
+    LAB_HEIGHT,
+    LAB_WIDTH,
+    NUM_MOTES,
+    IntelLabSurrogate,
+    intel_lab_network,
+)
+from repro.errors import TraceError
+from repro.sampling.matrix import SampleMatrix
+
+
+class TestNetwork:
+    def test_54_motes_connected_with_hierarchy(self, rng):
+        topology = intel_lab_network(rng)
+        assert topology.n == NUM_MOTES
+        # the short radio range must force real hierarchy (paper point)
+        assert topology.height >= 5
+        for x, y in topology.positions:
+            assert 0 <= x <= LAB_WIDTH and 0 <= y <= LAB_HEIGHT
+
+    def test_default_rng_reproducible(self):
+        assert intel_lab_network().same_structure(intel_lab_network())
+
+
+class TestSurrogate:
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            IntelLabSurrogate(missing_probability=1.0)
+        with pytest.raises(TraceError):
+            IntelLabSurrogate(epochs_per_day=1)
+
+    def test_trace_shape(self, rng):
+        topology = intel_lab_network(rng)
+        trace = IntelLabSurrogate().generate(topology, 40, rng)
+        assert trace.num_epochs == 40
+        assert trace.num_nodes == NUM_MOTES
+        with pytest.raises(TraceError):
+            IntelLabSurrogate().generate(topology, 2, rng)
+
+    def test_temperatures_are_plausible(self, rng):
+        topology = intel_lab_network(rng)
+        trace = IntelLabSurrogate().generate(topology, 200, rng)
+        assert trace.values.min() > 5.0
+        assert trace.values.max() < 40.0
+
+    def test_topk_locations_are_predictable(self, rng):
+        """The property that drives Figure 9: nodes frequently in the
+        top k early in the trace stay frequent later."""
+        topology = intel_lab_network(rng)
+        trace = IntelLabSurrogate().generate(topology, 100, rng)
+        first = SampleMatrix(trace.values[:50], 5).column_counts()
+        second = SampleMatrix(trace.values[50:], 5).column_counts()
+        top_first = set(np.argsort(-first)[:5])
+        top_second = set(np.argsort(-second)[:5])
+        assert len(top_first & top_second) >= 3
+
+    def test_hotspots_are_hot(self, rng):
+        topology = intel_lab_network(rng)
+        surrogate = IntelLabSurrogate()
+        field = surrogate.static_field(topology)
+        hottest = int(np.argmax(field))
+        x, y = topology.positions[hottest]
+        # the hottest mote sits near one of the two warm corners
+        near_server = x > LAB_WIDTH * 0.6 and y > LAB_HEIGHT * 0.5
+        near_kitchen = x < LAB_WIDTH * 0.4 and y > LAB_HEIGHT * 0.5
+        assert near_server or near_kitchen
+
+    def test_missing_values_are_filled(self, rng):
+        topology = intel_lab_network(rng)
+        surrogate = IntelLabSurrogate(missing_probability=0.3)
+        trace = surrogate.generate(topology, 50, rng)
+        assert np.isfinite(trace.values).all()
+
+    def test_zero_missing_probability(self, rng):
+        topology = intel_lab_network(rng)
+        a = IntelLabSurrogate(missing_probability=0.0).generate(
+            topology, 10, np.random.default_rng(3)
+        )
+        b = IntelLabSurrogate(missing_probability=0.0).generate(
+            topology, 10, np.random.default_rng(3)
+        )
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_diurnal_cycle_visible(self, rng):
+        topology = intel_lab_network(rng)
+        surrogate = IntelLabSurrogate(
+            missing_probability=0.0, noise_std_c=0.01, epochs_per_day=24
+        )
+        trace = surrogate.generate(topology, 48, rng)
+        node_series = trace.values[:, 10]
+        # afternoon (3/4 through the day) warmer than dawn
+        assert node_series[18] > node_series[6]

@@ -1,0 +1,133 @@
+"""Tests for the real Intel Lab trace parser."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.intel_parser import (
+    fill_missing,
+    load_intel_trace,
+    parse_line,
+)
+from repro.errors import TraceError
+
+GOOD_LINE = "2004-02-28 00:59:16.02785 3 1 19.9884 37.0933 45.08 2.69964"
+
+
+class TestParseLine:
+    def test_good_line(self):
+        parsed = parse_line(GOOD_LINE)
+        assert parsed is not None
+        assert parsed.epoch == 3
+        assert parsed.mote == 1
+        assert parsed.temperature == pytest.approx(19.9884)
+
+    def test_truncated_line_skipped(self):
+        assert parse_line("2004-02-28 00:59:16.02785 3 1") is None
+        assert parse_line("") is None
+
+    def test_garbage_fields_skipped(self):
+        assert parse_line("date time x y z w v u") is None
+
+    def test_glitch_temperatures_skipped(self):
+        glitch = "2004-03-10 10:00:00.0 100 5 122.153 -4 11 2.03"
+        assert parse_line(glitch) is None
+        frozen = "2004-03-10 10:00:00.0 100 5 -38.4 -4 11 2.03"
+        assert parse_line(frozen) is None
+
+    def test_negative_ids_skipped(self):
+        assert parse_line("d t -1 1 20.0 0 0 0") is None
+        assert parse_line("d t 1 0 20.0 0 0 0") is None
+
+
+def write_trace(tmp_path, lines):
+    path = tmp_path / "data.txt"
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def make_lines(num_epochs=6, motes=(1, 2, 3), base=20.0, skip=()):
+    lines = []
+    for epoch in range(num_epochs):
+        for mote in motes:
+            if (epoch, mote) in skip:
+                continue
+            temp = base + mote + 0.1 * epoch
+            lines.append(
+                f"2004-02-28 00:{epoch:02d}:00.0 {epoch} {mote} {temp:.4f}"
+                f" 37.0 45.0 2.7"
+            )
+    return lines
+
+
+class TestLoadIntelTrace:
+    def test_happy_path(self, tmp_path):
+        path = write_trace(tmp_path, make_lines())
+        trace, motes = load_intel_trace(path)
+        assert motes == [1, 2, 3]
+        assert trace.num_epochs == 6
+        assert trace.num_nodes == 3
+        assert trace.values[0, 0] == pytest.approx(21.0)
+        assert trace.values[5, 2] == pytest.approx(23.5)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="not found"):
+            load_intel_trace(tmp_path / "nope.txt")
+
+    def test_empty_file(self, tmp_path):
+        path = write_trace(tmp_path, ["garbage", "more garbage"])
+        with pytest.raises(TraceError, match="no parsable"):
+            load_intel_trace(path)
+
+    def test_max_epochs(self, tmp_path):
+        path = write_trace(tmp_path, make_lines(num_epochs=10))
+        trace, __ = load_intel_trace(path, max_epochs=4)
+        assert trace.num_epochs == 4
+
+    def test_low_coverage_motes_dropped(self, tmp_path):
+        # mote 3 reports only once in six epochs
+        skip = {(e, 3) for e in range(1, 6)}
+        path = write_trace(tmp_path, make_lines(skip=skip))
+        trace, motes = load_intel_trace(path, min_coverage=0.5)
+        assert motes == [1, 2]
+        assert trace.num_nodes == 2
+
+    def test_missing_values_repaired(self, tmp_path):
+        path = write_trace(tmp_path, make_lines(skip={(2, 2)}))
+        trace, motes = load_intel_trace(path, min_coverage=0.5)
+        col = motes.index(2)
+        # filled with the average of epochs 1 and 3 readings
+        expected = (trace.values[1, col] + trace.values[3, col]) / 2
+        assert trace.values[2, col] == pytest.approx(expected)
+        assert np.isfinite(trace.values).all()
+
+    def test_too_few_epochs(self, tmp_path):
+        path = write_trace(tmp_path, make_lines(num_epochs=2))
+        with pytest.raises(TraceError, match="3 epochs"):
+            load_intel_trace(path)
+
+
+class TestFillMissing:
+    def test_interior_gap(self):
+        values = np.array([[1.0], [np.nan], [3.0]])
+        assert fill_missing(values)[1, 0] == pytest.approx(2.0)
+
+    def test_boundary_gaps_copy_neighbour(self):
+        values = np.array([[np.nan], [5.0], [np.nan]])
+        filled = fill_missing(values)
+        assert filled[0, 0] == 5.0
+        assert filled[2, 0] == 5.0
+
+    def test_run_of_gaps(self):
+        values = np.array([[2.0], [np.nan], [np.nan], [6.0]])
+        filled = fill_missing(values)
+        assert filled[1, 0] == pytest.approx(4.0)
+        assert filled[2, 0] == pytest.approx(4.0)
+
+    def test_all_missing_column_rejected(self):
+        with pytest.raises(TraceError, match="no readings"):
+            fill_missing(np.array([[np.nan], [np.nan]]))
+
+    def test_input_not_mutated(self):
+        values = np.array([[1.0], [np.nan], [3.0]])
+        fill_missing(values)
+        assert np.isnan(values[1, 0])

@@ -1,0 +1,50 @@
+"""Unit tests for the trace container."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.trace import Trace
+from repro.errors import TraceError
+
+
+@pytest.fixture
+def trace():
+    return Trace(np.arange(12, dtype=float).reshape(4, 3))
+
+
+class TestTrace:
+    def test_shape_validation(self):
+        with pytest.raises(TraceError):
+            Trace(np.zeros(3))
+        with pytest.raises(TraceError):
+            Trace(np.zeros((0, 3)))
+
+    def test_accessors(self, trace):
+        assert trace.num_epochs == 4
+        assert trace.num_nodes == 3
+        assert len(trace) == 4
+        assert trace.epoch(1).tolist() == [3.0, 4.0, 5.0]
+        assert len(list(trace)) == 4
+
+    def test_epoch_bounds(self, trace):
+        with pytest.raises(TraceError, match="out of range"):
+            trace.epoch(4)
+        with pytest.raises(TraceError):
+            trace.epoch(-1)
+
+    def test_split(self, trace):
+        train, evaluation = trace.split(3)
+        assert train.num_epochs == 3
+        assert evaluation.num_epochs == 1
+        assert evaluation.epoch(0).tolist() == [9.0, 10.0, 11.0]
+
+    def test_split_bounds(self, trace):
+        with pytest.raises(TraceError):
+            trace.split(0)
+        with pytest.raises(TraceError):
+            trace.split(4)
+
+    def test_sample_matrix(self, trace):
+        matrix = trace.sample_matrix(1)
+        assert matrix.num_samples == 4
+        assert matrix.ones(0) == frozenset({2})

@@ -1,0 +1,56 @@
+"""Unit tests for the contention-zone workload."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.zones import ZoneWorkload
+from repro.errors import TraceError
+
+
+class TestZoneWorkload:
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            ZoneWorkload(num_zones=0)
+        with pytest.raises(TraceError):
+            ZoneWorkload(zone_mean=60.0, background_mean=50.0)
+        with pytest.raises(TraceError):
+            ZoneWorkload(exceed_probability=0.7)
+
+    def test_structure(self):
+        workload = ZoneWorkload(num_zones=3, k=4)
+        members = workload.members()
+        assert len(members) == 3
+        assert all(len(zone) == 8 for zone in members)
+        assert workload.topology.n == 1 + 3 * (workload.relay_hops + 8)
+        member_set = {m for zone in members for m in zone}
+        assert member_set.isdisjoint(workload.relays())
+
+    def test_exceed_probability_calibration(self, rng):
+        """Each zone node must exceed the background mean with the
+        designed probability p = 1/(2z)."""
+        workload = ZoneWorkload(num_zones=4, k=5)
+        members = [m for zone in workload.members() for m in zone]
+        trace = workload.trace(3000, rng)
+        exceed = (trace.values[:, members] > workload.background_mean).mean()
+        assert exceed == pytest.approx(1.0 / 8.0, abs=0.01)
+
+    def test_expected_topk_supply(self, rng):
+        """Across the network, ~k zone nodes exceed background per epoch."""
+        k = 6
+        workload = ZoneWorkload(num_zones=3, k=k)
+        members = [m for zone in workload.members() for m in zone]
+        trace = workload.trace(2000, rng)
+        per_epoch = (trace.values[:, members] > workload.background_mean).sum(axis=1)
+        assert per_epoch.mean() == pytest.approx(k, abs=0.5)
+
+    def test_background_nodes_are_stable(self, rng):
+        workload = ZoneWorkload(num_zones=2, k=3)
+        relays = workload.relays()
+        trace = workload.trace(500, rng)
+        stds = trace.values[:, relays].std(axis=0)
+        assert np.all(stds < 1.0)
+
+    def test_single_zone_probability_clamped(self):
+        workload = ZoneWorkload(num_zones=1, k=3)
+        # p would be 0.5; the clamp keeps the variance finite
+        assert np.isfinite(workload.fieldmodel.stds).all()

@@ -1,0 +1,228 @@
+"""Smoke + shape tests for the experiment harness.
+
+Each experiment runs at a reduced scale and the paper's qualitative
+claims are asserted on the output rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig3_comparison,
+    fig4_variance,
+    fig5_zones,
+    fig7_num_zones,
+    fig8_exact,
+    fig9_intel,
+    lp_timing,
+    sample_size,
+)
+from repro.experiments.common import budget_sweep
+from repro.experiments.reporting import format_table
+
+
+def by_algorithm(rows, name):
+    return [r for r in rows if r.get("algorithm") == name]
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig3_comparison.run(
+            n=40, k=5, num_samples=12, eval_epochs=6, budget_steps=4,
+            include_naive_one=True,
+        )
+
+    def test_all_algorithms_present(self, rows):
+        names = {r["algorithm"] for r in rows}
+        assert names == {
+            "greedy", "lp-no-lf", "lp-lf", "oracle", "naive-k", "naive-1",
+        }
+
+    def test_naive_k_much_more_expensive_than_approximates(self, rows):
+        naive_full = max(
+            r["energy_mj"] for r in by_algorithm(rows, "naive-k")
+        )
+        lp_best = max(
+            r["energy_mj"] for r in by_algorithm(rows, "lp-lf")
+        )
+        assert naive_full > lp_best
+
+    def test_oracle_is_cheapest_at_full_accuracy(self, rows):
+        oracle_full = [
+            r for r in by_algorithm(rows, "oracle") if r["accuracy"] == 1.0
+        ][0]
+        naive_full = [
+            r for r in by_algorithm(rows, "naive-k") if r["accuracy"] == 1.0
+        ][0]
+        assert oracle_full["energy_mj"] < naive_full["energy_mj"]
+
+    def test_naive_one_worst_messages(self, rows):
+        one = min(r["energy_mj"] for r in by_algorithm(rows, "naive-1"))
+        k_cost = min(r["energy_mj"] for r in by_algorithm(rows, "naive-k"))
+        assert one > k_cost * 0.9  # already expensive at j=1
+
+    def test_accuracy_improves_with_budget(self, rows):
+        for name in ("lp-no-lf", "lp-lf"):
+            series = by_algorithm(rows, name)
+            assert series[-1]["accuracy"] >= series[0]["accuracy"]
+
+
+class TestFig4:
+    def test_degradation_with_variance(self):
+        rows = fig4_variance.run(
+            n=30, k=5, num_samples=10, eval_epochs=8,
+            variances=(0.05, 4.0, 14.0),
+        )
+        lf = by_algorithm(rows, "lp-lf")
+        assert lf[0]["accuracy"] >= 0.8       # predictable: near perfect
+        assert lf[-1]["accuracy"] < lf[0]["accuracy"]  # diluted: degraded
+
+
+class TestFig5:
+    def test_lf_wins_at_high_budget(self):
+        rows = fig5_zones.run(
+            num_zones=4, k=6, num_samples=15, eval_epochs=8, budget_steps=4
+        )
+        budgets = sorted({r["budget_mj"] for r in rows})
+        top = budgets[-1]
+        lf = [r for r in rows if r["algorithm"] == "lp-lf"
+              and r["budget_mj"] == top][0]
+        no_lf = [r for r in rows if r["algorithm"] == "lp-no-lf"
+                 and r["budget_mj"] == top][0]
+        assert lf["accuracy"] >= no_lf["accuracy"]
+
+
+class TestFig7:
+    def test_more_zones_lower_accuracy(self):
+        rows = fig7_num_zones.run(
+            zone_counts=(1, 4), k=5, num_samples=12, eval_epochs=8
+        )
+        lf = by_algorithm(rows, "lp-lf")
+        assert lf[0]["accuracy"] > lf[-1]["accuracy"]
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig8_exact.run(
+            n=30, k=5, num_samples=8, eval_epochs=5,
+            budget_factors=(1.0, 1.3, 1.8),
+        )
+
+    def test_phase2_shrinks_with_phase1_budget(self, rows):
+        phase2 = [r["phase2_cost_mj"] for r in rows]
+        assert phase2[0] >= phase2[-1]
+
+    def test_baselines_are_constant_lines(self, rows):
+        assert len({r["naive_k_mj"] for r in rows}) == 1
+        assert len({r["oracle_proof_mj"] for r in rows}) == 1
+
+    def test_oracle_proof_below_naive(self, rows):
+        assert rows[0]["oracle_proof_mj"] < rows[0]["naive_k_mj"]
+
+    def test_some_trial_beats_naive(self, rows):
+        assert min(r["total_cost_mj"] for r in rows) < rows[0]["naive_k_mj"]
+
+
+class TestFig9:
+    def test_shapes(self):
+        rows = fig9_intel.run(
+            training_epochs=30, eval_epochs=8, budget_steps=3
+        )
+        names = {r["algorithm"] for r in rows}
+        assert "naive-k" in names and "greedy" in names
+        naive = by_algorithm(rows, "naive-k")[0]
+        lp = by_algorithm(rows, "lp-no-lf")
+        # the paper's prose point: naive-k needs much more energy than
+        # the approximate planners' budgets
+        assert naive["energy_mj"] > max(r["energy_mj"] for r in lp)
+
+
+class TestSampleSize:
+    def test_more_samples_not_worse(self):
+        rows = sample_size.run(
+            n=30, k=5, sizes=(1, 25), eval_epochs=10
+        )
+        assert rows[-1]["accuracy"] >= rows[0]["accuracy"]
+
+    def test_intel_workload_variant(self):
+        rows = sample_size.run(sizes=(2, 10), eval_epochs=5, workload="intel")
+        assert all(r["workload"] == "intel" for r in rows)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            sample_size.run(workload="nope")
+
+
+class TestLPTiming:
+    def test_rows_and_growth(self):
+        rows = lp_timing.run(
+            node_counts=(10, 20), sample_counts=(5,), include_proof=False
+        )
+        assert len(rows) == 4
+        lf_rows = [r for r in rows if r["formulation"] == "lp-lf"]
+        assert lf_rows[1]["variables"] > lf_rows[0]["variables"]
+        assert all(r["solve_s"] >= 0 for r in rows)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 0.12345}, {"a": 22, "b": 3.0}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "0.123" in text
+        assert len({len(line) for line in lines[2:]}) == 1
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_budget_sweep(self):
+        ladder = budget_sweep(2.0, 3, factor=2.0)
+        assert ladder == [2.0, 4.0, 8.0]
+
+
+class TestAsciiChart:
+    def _rows(self):
+        return [
+            {"b": 1.0, "acc": 0.1, "alg": "x1"},
+            {"b": 2.0, "acc": 0.5, "alg": "x1"},
+            {"b": 1.0, "acc": 0.3, "alg": "x2"},
+            {"b": 2.0, "acc": 0.9, "alg": "x2"},
+        ]
+
+    def test_chart_contains_axes_and_legend(self):
+        from repro.experiments.reporting import ascii_chart
+
+        text = ascii_chart(self._rows(), x="b", y="acc", series="alg",
+                           title="demo")
+        assert text.startswith("demo")
+        assert "o=x1" in text and "x=x2" in text
+        assert "(b)" in text
+        assert "0.9" in text and "0.1" in text
+
+    def test_chart_without_series(self):
+        from repro.experiments.reporting import ascii_chart
+
+        text = ascii_chart(self._rows(), x="b", y="acc")
+        assert "o" in text
+        assert "=" not in text.splitlines()[-1]  # no legend line
+
+    def test_chart_skips_non_numeric(self):
+        from repro.experiments.reporting import ascii_chart
+
+        rows = self._rows() + [{"b": "", "acc": 0.5}]
+        text = ascii_chart(rows, x="b", y="acc")
+        assert "(no plottable points)" not in text
+
+    def test_chart_empty(self):
+        from repro.experiments.reporting import ascii_chart
+
+        assert "(no plottable points)" in ascii_chart([], x="b", y="acc")
+
+    def test_chart_single_point(self):
+        from repro.experiments.reporting import ascii_chart
+
+        text = ascii_chart([{"b": 1.0, "acc": 0.5}], x="b", y="acc")
+        assert "o" in text

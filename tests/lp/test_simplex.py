@@ -1,0 +1,108 @@
+"""Unit tests for the pure-Python simplex backend."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.lp import Model, SimplexBackend
+
+
+@pytest.fixture
+def backend():
+    return SimplexBackend()
+
+
+class TestSimplexBasics:
+    def test_textbook_maximization(self, backend):
+        m = Model()
+        x, y = m.add_variables(["x", "y"])
+        m.add_constraint(x + 2 * y <= 14)
+        m.add_constraint(3 * x - y >= 0)
+        m.add_constraint(x - y <= 2)
+        m.maximize(3 * x + 4 * y)
+        sol = m.solve(backend)
+        assert sol.objective == pytest.approx(34.0)
+        assert sol.value(x) == pytest.approx(6.0)
+        assert sol.value(y) == pytest.approx(4.0)
+
+    def test_equality_constraints(self, backend):
+        m = Model()
+        x, y = m.add_variables(["x", "y"])
+        m.add_constraint(x + y == 4)
+        m.minimize(x - y)
+        assert m.solve(backend).objective == pytest.approx(-4.0)
+
+    def test_free_variables(self, backend):
+        m = Model()
+        a = m.add_variable("a", lb=None)
+        b = m.add_variable("b", lb=None)
+        m.add_constraint(a + b == 1)
+        m.add_constraint(a - b == 5)
+        m.minimize(a + b)
+        sol = m.solve(backend)
+        assert sol.value(a) == pytest.approx(3.0)
+        assert sol.value(b) == pytest.approx(-2.0)
+
+    def test_upper_bounded_variables(self, backend):
+        m = Model()
+        x = m.add_variable("x", lb=1.0, ub=2.5)
+        m.maximize(x)
+        assert m.solve(backend).objective == pytest.approx(2.5)
+
+    def test_ub_only_variable(self, backend):
+        m = Model()
+        x = m.add_variable("x", lb=None, ub=3.0)
+        m.maximize(x)
+        assert m.solve(backend).objective == pytest.approx(3.0)
+
+    def test_negative_bounds(self, backend):
+        m = Model()
+        x = m.add_variable("x", lb=-5.0, ub=-1.0)
+        m.minimize(x)
+        assert m.solve(backend).objective == pytest.approx(-5.0)
+
+    def test_infeasible_detected(self, backend):
+        m = Model()
+        x = m.add_variable("x")
+        m.add_constraint(x <= 1)
+        m.add_constraint(x >= 2)
+        m.minimize(x)
+        with pytest.raises(SolverError) as err:
+            m.solve(backend)
+        assert err.value.status == "infeasible"
+
+    def test_unbounded_detected(self, backend):
+        m = Model()
+        x = m.add_variable("x")
+        m.maximize(x)
+        with pytest.raises(SolverError) as err:
+            m.solve(backend)
+        assert err.value.status == "unbounded"
+
+    def test_degenerate_lp_terminates(self, backend):
+        # classic Beale-style cycling candidate; Bland's rule must finish
+        m = Model()
+        x1, x2, x3, x4 = m.add_variables(["x1", "x2", "x3", "x4"])
+        m.add_constraint(0.5 * x1 - 5.5 * x2 - 2.5 * x3 + 9 * x4 <= 0)
+        m.add_constraint(0.5 * x1 - 1.5 * x2 - 0.5 * x3 + x4 <= 0)
+        m.add_constraint(x1 <= 1)
+        m.maximize(10 * x1 - 57 * x2 - 9 * x3 - 24 * x4)
+        sol = m.solve(backend)
+        assert sol.objective == pytest.approx(1.0)
+
+    def test_stats_backend_name(self, backend):
+        m = Model()
+        x = m.add_variable("x", ub=1.0)
+        m.maximize(x)
+        sol = m.solve(backend)
+        assert sol.stats.backend == "pure-simplex"
+        assert sol.stats.iterations >= 1
+
+    def test_iteration_limit(self):
+        tight = SimplexBackend(max_iterations=1)
+        m = Model()
+        x, y = m.add_variables(["x", "y"])
+        m.add_constraint(x + y <= 10)
+        m.add_constraint(x - y <= 3)
+        m.maximize(x + 2 * y)
+        with pytest.raises(SolverError):
+            m.solve(tight)

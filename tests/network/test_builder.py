@@ -1,0 +1,142 @@
+"""Unit tests for topology builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.builder import (
+    balanced_tree,
+    grid_topology,
+    line_topology,
+    nearest_neighbor_tree,
+    random_topology,
+    star_topology,
+    zone_members,
+    zone_relays,
+    zoned_topology,
+)
+
+
+class TestRandomTopology:
+    def test_shape_and_positions(self, rng):
+        t = random_topology(50, rng=rng)
+        assert t.n == 50
+        assert t.positions is not None and len(t.positions) == 50
+        # root at the rectangle center by default
+        assert t.positions[0] == (50.0, 50.0)
+
+    def test_min_hop_property(self, rng):
+        """Every node's tree depth equals its BFS hop distance in the
+        radio graph (the paper's 'as few hops as possible')."""
+        t = random_topology(40, rng=rng, radio_range=30.0)
+        positions = t.positions
+        range_sq = 30.0**2
+
+        def neighbors(a):
+            ax, ay = positions[a]
+            for b in range(t.n):
+                if b != a:
+                    bx, by = positions[b]
+                    if (ax - bx) ** 2 + (ay - by) ** 2 <= range_sq:
+                        yield b
+
+        hops = {0: 0}
+        frontier = [0]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in neighbors(u):
+                    if v not in hops:
+                        hops[v] = hops[u] + 1
+                        nxt.append(v)
+            frontier = nxt
+        for node in t.nodes:
+            assert t.depth(node) == hops[node]
+
+    def test_edges_respect_radio_range(self, rng):
+        t = random_topology(40, rng=rng, radio_range=22.0)
+        for edge in t.edges:
+            (x1, y1) = t.positions[edge]
+            (x2, y2) = t.positions[t.parent(edge)]
+            assert (x1 - x2) ** 2 + (y1 - y2) ** 2 <= 22.0**2 + 1e-9
+
+    def test_impossible_range_raises(self, rng):
+        with pytest.raises(TopologyError, match="connected"):
+            random_topology(30, radio_range=0.5, rng=rng, max_attempts=3)
+
+    def test_needs_positive_node_count(self, rng):
+        with pytest.raises(TopologyError):
+            random_topology(0, rng=rng)
+
+    def test_deterministic_given_seed(self):
+        a = random_topology(30, rng=np.random.default_rng(5))
+        b = random_topology(30, rng=np.random.default_rng(5))
+        assert a.same_structure(b)
+
+
+class TestDeterministicShapes:
+    def test_line(self):
+        t = line_topology(4)
+        assert t.height == 3
+        assert t.parent(3) == 2
+
+    def test_star(self):
+        t = star_topology(6)
+        assert t.height == 1
+        assert len(t.children(0)) == 5
+
+    def test_balanced(self):
+        t = balanced_tree(branching=2, depth=3)
+        assert t.n == 15
+        assert t.height == 3
+        assert all(len(t.children(n)) in (0, 2) for n in t.nodes)
+
+    def test_balanced_rejects_bad_args(self):
+        with pytest.raises(TopologyError):
+            balanced_tree(0, 2)
+
+    def test_grid(self):
+        t = grid_topology(3, 4)
+        assert t.n == 12
+        # min-hop from corner root: manhattan distance
+        assert t.depth(11) == (11 % 4) + (11 // 4)
+
+    def test_nearest_neighbor_tree(self):
+        t = nearest_neighbor_tree([(0, 0), (1, 0), (2, 0), (10, 0)])
+        assert t.parent(1) == 0
+        assert t.parent(2) == 1
+        assert t.parent(3) == 2
+
+    def test_nearest_neighbor_rejects_empty(self):
+        with pytest.raises(TopologyError):
+            nearest_neighbor_tree([])
+
+
+class TestZonedTopology:
+    def test_structure(self):
+        z, size, hops = 3, 4, 2
+        t = zoned_topology(z, size, relay_hops=hops)
+        assert t.n == 1 + z * (hops + size)
+        members = zone_members(z, size, relay_hops=hops)
+        assert len(members) == z
+        for zone in members:
+            assert len(zone) == size
+            heads = {t.parent(m) for m in zone}
+            assert len(heads) == 1  # zone hangs off one head relay
+        relays = zone_relays(z, size, relay_hops=hops)
+        assert len(relays) == z * hops
+        member_set = {m for zone in members for m in zone}
+        assert member_set.isdisjoint(relays)
+        assert member_set | set(relays) | {0} == set(t.nodes)
+
+    def test_zone_members_are_deep(self):
+        t = zoned_topology(2, 3, relay_hops=4)
+        for zone in zone_members(2, 3, relay_hops=4):
+            for member in zone:
+                assert t.depth(member) == 5
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(TopologyError):
+            zoned_topology(0, 3)
+        with pytest.raises(TopologyError):
+            zoned_topology(2, 0)

@@ -1,0 +1,58 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.network.energy import EnergyModel
+
+
+class TestEnergyModel:
+    def test_per_byte_derivation(self):
+        model = EnergyModel(sending_mw=60.0, receiving_mw=30.0, byte_rate=3000.0)
+        assert model.per_byte_mj == pytest.approx(0.03)
+
+    def test_per_value(self):
+        model = EnergyModel(
+            sending_mw=60.0, receiving_mw=30.0, byte_rate=3000.0, value_bytes=4
+        )
+        assert model.per_value_mj == pytest.approx(0.12)
+
+    def test_message_cost_structure(self, energy):
+        empty = energy.message_cost(0)
+        assert empty == pytest.approx(energy.per_message_mj)
+        one = energy.message_cost(1)
+        assert one == pytest.approx(
+            energy.per_message_mj + energy.per_value_mj
+        )
+        # linear in the payload
+        assert energy.message_cost(5) - energy.message_cost(4) == pytest.approx(
+            energy.per_value_mj
+        )
+
+    def test_message_cost_extra_bytes(self, energy):
+        base = energy.message_cost(2)
+        assert energy.message_cost(2, extra_bytes=10) == pytest.approx(
+            base + 10 * energy.per_byte_mj
+        )
+
+    def test_message_cost_rejects_negative(self, energy):
+        with pytest.raises(ValueError):
+            energy.message_cost(-1)
+
+    def test_broadcast_cheaper_than_unicast(self, energy):
+        assert energy.broadcast_cost() < energy.message_cost(0)
+
+    def test_mica2_per_message_dominates_per_byte(self):
+        """The paper's observation that motivates approximation: merely
+        contacting a node costs a lot regardless of payload size."""
+        model = EnergyModel.mica2()
+        assert model.per_message_mj > 10 * model.per_byte_mj
+
+    def test_uniform_helper(self):
+        model = EnergyModel.uniform(per_message_mj=2.0, per_value_mj=0.5)
+        assert model.per_message_mj == 2.0
+        assert model.per_value_mj == pytest.approx(0.5)
+        assert model.message_cost(3) == pytest.approx(2.0 + 1.5)
+
+    def test_frozen(self, energy):
+        with pytest.raises(AttributeError):
+            energy.per_message_mj = 0.0

@@ -1,0 +1,51 @@
+"""Unit tests for the link failure model."""
+
+import numpy as np
+import pytest
+
+from repro.network.builder import line_topology
+from repro.network.failures import LinkFailureModel
+
+
+class TestLinkFailureModel:
+    def test_defaults_are_reliable(self):
+        model = LinkFailureModel()
+        assert model.probability(3) == 0.0
+        assert model.reroute_cost(3) == 0.0
+        assert model.expected_penalty(3) == 0.0
+
+    def test_uniform_constructor(self):
+        topo = line_topology(4)
+        model = LinkFailureModel.uniform(topo, probability=0.1, reroute_extra_mj=5.0)
+        for edge in topo.edges:
+            assert model.probability(edge) == pytest.approx(0.1)
+            assert model.expected_penalty(edge) == pytest.approx(0.5)
+
+    def test_random_constructor_within_bounds(self):
+        topo = line_topology(10)
+        model = LinkFailureModel.random(
+            topo, np.random.default_rng(0), max_probability=0.3
+        )
+        for edge in topo.edges:
+            assert 0.0 <= model.probability(edge) <= 0.3
+
+    def test_record_failure_moves_estimate(self):
+        model = LinkFailureModel()
+        for __ in range(50):
+            model.record_failure(1, failed=True)
+        assert model.probability(1) > 0.8
+        for __ in range(100):
+            model.record_failure(1, failed=False)
+        assert model.probability(1) < 0.1
+
+    def test_sample_failure_statistics(self):
+        topo = line_topology(2)
+        model = LinkFailureModel.uniform(topo, probability=0.25, reroute_extra_mj=1.0)
+        rng = np.random.default_rng(7)
+        draws = [model.sample_failure(1, rng) for __ in range(4000)]
+        assert 0.2 < np.mean(draws) < 0.3
+
+    def test_sample_failure_never_fires_on_reliable_edges(self):
+        model = LinkFailureModel()
+        rng = np.random.default_rng(7)
+        assert not any(model.sample_failure(1, rng) for __ in range(100))

@@ -1,0 +1,115 @@
+"""Tests for the simulated distributed MST construction (citation [5])."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.network.ghs import build_mst
+
+
+def random_positions(rng, n, width=100.0):
+    return [tuple(p) for p in rng.uniform(0, width, size=(n, 2))]
+
+
+def networkx_mst_weight(positions, radio_range):
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(positions)))
+    for a in range(len(positions)):
+        for b in range(a + 1, len(positions)):
+            d = math.dist(positions[a], positions[b])
+            if d <= radio_range:
+                graph.add_edge(a, b, weight=d)
+    if not nx.is_connected(graph):
+        return None
+    return nx.minimum_spanning_tree(graph).size(weight="weight")
+
+
+class TestBuildMST:
+    def test_trivial_sizes(self):
+        outcome = build_mst([(0.0, 0.0)], radio_range=1.0)
+        assert outcome.topology.n == 1
+        assert outcome.messages == 0
+        with pytest.raises(TopologyError):
+            build_mst([], radio_range=1.0)
+
+    def test_two_nodes(self):
+        outcome = build_mst([(0.0, 0.0), (3.0, 4.0)], radio_range=6.0)
+        assert outcome.mst_weight == pytest.approx(5.0)
+        assert outcome.topology.parent(1) == 0
+        assert outcome.rounds == 1
+
+    def test_matches_networkx_weight(self, rng):
+        positions = random_positions(rng, 40)
+        reference = networkx_mst_weight(positions, 40.0)
+        assert reference is not None
+        outcome = build_mst(positions, radio_range=40.0)
+        assert outcome.mst_weight == pytest.approx(reference)
+
+    def test_result_is_spanning_tree(self, rng):
+        positions = random_positions(rng, 30)
+        outcome = build_mst(positions, radio_range=50.0)
+        topology = outcome.topology
+        assert topology.n == 30
+        assert topology.num_edges == 29
+        # every tree edge respects the radio range
+        for edge in topology.edges:
+            d = math.dist(
+                topology.positions[edge],
+                topology.positions[topology.parent(edge)],
+            )
+            assert d <= 50.0 + 1e-9
+
+    def test_disconnected_rejected(self):
+        positions = [(0.0, 0.0), (1.0, 0.0), (500.0, 500.0)]
+        with pytest.raises(TopologyError, match="disconnected"):
+            build_mst(positions, radio_range=5.0)
+
+    def test_logarithmic_rounds(self, rng):
+        """Fragment count at least halves per round (the GHS bound)."""
+        positions = random_positions(rng, 60)
+        outcome = build_mst(positions, radio_range=40.0)
+        assert outcome.rounds <= math.ceil(math.log2(60)) + 1
+        for before, after in zip(
+            outcome.fragments_per_round, outcome.fragments_per_round[1:]
+        ):
+            assert after <= math.ceil(before / 2) + before // 2  # halving-ish
+        assert outcome.fragments_per_round[0] == 60
+
+    def test_message_count_reasonable(self, rng):
+        """Messages stay within the O(E log n + n log n) regime."""
+        positions = random_positions(rng, 50)
+        outcome = build_mst(positions, radio_range=45.0)
+        edges = sum(
+            1
+            for a in range(50)
+            for b in range(a + 1, 50)
+            if math.dist(positions[a], positions[b]) <= 45.0
+        )
+        bound = 4 * (edges + 50) * (math.ceil(math.log2(50)) + 1)
+        assert 0 < outcome.messages <= bound
+
+    def test_deterministic(self, rng):
+        positions = random_positions(rng, 25)
+        first = build_mst(positions, radio_range=60.0)
+        second = build_mst(positions, radio_range=60.0)
+        assert first.topology.same_structure(second.topology)
+        assert first.messages == second.messages
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=25),
+       st.integers(min_value=0, max_value=2**32 - 1))
+def test_mst_weight_property(n, seed):
+    """The simulated distributed MST always matches networkx's MST."""
+    rng = np.random.default_rng(seed)
+    positions = random_positions(rng, n, width=30.0)
+    radio_range = 50.0  # dense: always connected within a 30x30 field
+    reference = networkx_mst_weight(positions, radio_range)
+    outcome = build_mst(positions, radio_range=radio_range)
+    assert outcome.mst_weight == pytest.approx(reference)
+    assert outcome.topology.n == n

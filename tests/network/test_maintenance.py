@@ -1,0 +1,153 @@
+"""Tests for permanent-failure topology maintenance (paper §4.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.network.builder import line_topology, random_topology
+from repro.network.maintenance import remap_readings, remove_node
+from repro.network.topology import Topology
+from tests.conftest import tree_strategy
+
+
+class TestRemoveNode:
+    def test_cannot_remove_root_or_unknown(self, small_tree):
+        with pytest.raises(TopologyError, match="root"):
+            remove_node(small_tree, 0)
+        with pytest.raises(TopologyError, match="not in"):
+            remove_node(small_tree, 99)
+        with pytest.raises(TopologyError):
+            remove_node(Topology([-1]), 0)
+
+    def test_leaf_removal(self, small_tree):
+        topology, id_map = remove_node(small_tree, 3)
+        assert topology.n == 6
+        assert 3 not in id_map
+        # node 4 (old) keeps its parent 1
+        assert topology.parent(id_map[4]) == id_map[1]
+
+    def test_internal_removal_grandparents_children(self, small_tree):
+        # removing node 1 re-attaches 3 and 4 at the root
+        topology, id_map = remove_node(small_tree, 1)
+        assert topology.parent(id_map[3]) == 0
+        assert topology.parent(id_map[4]) == 0
+        assert topology.parent(id_map[6]) == id_map[5]
+
+    def test_chain_removal_preserves_order(self):
+        chain = line_topology(5)
+        topology, id_map = remove_node(chain, 2)
+        assert topology.parent(id_map[3]) == id_map[1]
+        assert topology.parent(id_map[4]) == id_map[3]
+        assert topology.height == 3
+
+    def test_nearest_reattachment_uses_positions(self):
+        # a "Y": orphan 3 is physically nearer node 2 than the root
+        positions = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (2.0, 1.0)]
+        topology = Topology([-1, 0, 0, 1], positions=positions)
+        adjusted, id_map = remove_node(topology, 1, radio_range=1.5)
+        assert adjusted.parent(id_map[3]) == id_map[2]
+
+    def test_nearest_falls_back_to_grandparent(self):
+        positions = [(0.0, 0.0), (1.0, 0.0), (50.0, 50.0), (2.0, 0.0)]
+        topology = Topology([-1, 0, 0, 1], positions=positions)
+        adjusted, id_map = remove_node(topology, 1, radio_range=0.1)
+        assert adjusted.parent(id_map[3]) == 0  # nothing in range
+
+    def test_positions_carried_over(self, rng):
+        topology = random_topology(20, rng=rng, radio_range=40.0)
+        adjusted, id_map = remove_node(topology, 5)
+        for old, new in id_map.items():
+            assert adjusted.positions[new] == topology.positions[old]
+
+
+class TestRemapReadings:
+    def test_projection(self):
+        id_map = {0: 0, 2: 1, 3: 2}
+        assert remap_readings([9.0, 8.0, 7.0, 6.0], id_map, 3) == [9.0, 7.0, 6.0]
+
+
+@settings(max_examples=80, deadline=None)
+@given(tree_strategy(min_nodes=3, max_nodes=20), st.data())
+def test_removal_invariants(topology, data):
+    dead = data.draw(st.integers(min_value=1, max_value=topology.n - 1))
+    adjusted, id_map = remove_node(topology, dead)
+    # one fewer node, contiguous ids, all survivors mapped
+    assert adjusted.n == topology.n - 1
+    assert sorted(id_map.values()) == list(range(adjusted.n))
+    assert dead not in id_map
+    # nodes keep their parent unless orphaned, and orphans move up
+    for old, new in id_map.items():
+        if old == 0:
+            continue
+        old_parent = topology.parent(old)
+        if old_parent == dead:
+            assert adjusted.parent(new) == id_map[topology.parent(dead)]
+        else:
+            assert adjusted.parent(new) == id_map[old_parent]
+
+
+class TestEngineIntegration:
+    def test_engine_survives_permanent_failure(self, rng):
+        from repro.datagen.gaussian import random_gaussian_field
+        from repro.network.energy import EnergyModel
+        from repro.planners.lp_no_lf import LPNoLFPlanner
+        from repro.query.engine import EngineConfig, TopKEngine
+
+        topology = random_topology(25, rng=rng, radio_range=35.0)
+        field = random_gaussian_field(25, rng)
+        engine = TopKEngine(
+            topology,
+            EnergyModel.mica2(),
+            k=4,
+            planner=LPNoLFPlanner(),
+            config=EngineConfig(budget_mj=40.0),
+            rng=np.random.default_rng(0),
+        )
+        for __ in range(8):
+            engine.feed_sample(field.sample(rng))
+        engine.ensure_plan()
+
+        id_map = engine.handle_permanent_failure(7)
+        assert engine.topology.n == 24
+        assert engine.plan is None
+        assert len(engine.window) == 8  # samples migrated
+
+        # querying still works on the shrunken network
+        survivors_reading = [
+            field.sample(rng)[old] for old in sorted(id_map, key=id_map.get)
+        ]
+        result = engine.query(survivors_reading)
+        assert 0.0 <= result.accuracy <= 1.0
+
+
+def test_mutual_adoption_cycle_prevented():
+    """Regression: two orphan subtrees physically closest to *each
+    other* must not adopt into one another (that detaches both)."""
+    from repro.network.topology import Topology
+
+    # dead node 1 has two children, 2 and 3, sitting side by side far
+    # from everyone else
+    positions = [(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (20.0, 1.0)]
+    topology = Topology([-1, 0, 1, 1], positions=positions)
+    adjusted, id_map = remove_node(topology, 1, radio_range=100.0)
+    # both orphans must re-root outside each other's subtrees
+    assert adjusted.parent(id_map[2]) == 0
+    assert adjusted.parent(id_map[3]) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree_strategy(min_nodes=3, max_nodes=20),
+       st.integers(min_value=0, max_value=2**32 - 1),
+       st.data())
+def test_removal_with_positions_stays_connected(topology, seed, data):
+    """Position-aware re-attachment always yields a valid rooted tree."""
+    rng = np.random.default_rng(seed)
+    positions = [tuple(p) for p in rng.uniform(0, 50, size=(topology.n, 2))]
+    positioned = Topology(
+        [topology.parent(i) for i in topology.nodes], positions=positions
+    )
+    dead = data.draw(st.integers(min_value=1, max_value=topology.n - 1))
+    adjusted, id_map = remove_node(positioned, dead, radio_range=30.0)
+    assert adjusted.n == topology.n - 1  # Topology() validated rootedness

@@ -1,0 +1,155 @@
+"""Unit and property tests for the tree topology."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import TopologyError
+from repro.network.topology import Topology, validate_readings
+from tests.conftest import tree_strategy
+
+
+class TestConstruction:
+    def test_single_node(self):
+        t = Topology([-1])
+        assert t.n == 1
+        assert t.root == 0
+        assert t.edges == []
+        assert t.height == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(TopologyError):
+            Topology([])
+
+    def test_rejects_rooted_elsewhere(self):
+        with pytest.raises(TopologyError, match="root"):
+            Topology([1, -1])
+
+    def test_rejects_self_parent(self):
+        with pytest.raises(TopologyError, match="own parent"):
+            Topology([-1, 1])
+
+    def test_rejects_out_of_range_parent(self):
+        with pytest.raises(TopologyError, match="out-of-range"):
+            Topology([-1, 7])
+
+    def test_rejects_positions_mismatch(self):
+        with pytest.raises(TopologyError, match="positions"):
+            Topology([-1, 0], positions=[(0, 0)])
+
+    def test_from_parent_map(self):
+        t = Topology.from_parent_map({1: 0, 2: 0, 3: 1})
+        assert t.parent(3) == 1
+        assert t.children(0) == (1, 2)
+
+    def test_from_parent_map_missing_parent(self):
+        with pytest.raises(TopologyError, match="no parent"):
+            Topology.from_parent_map({2: 0})
+
+    def test_from_parent_map_rejects_reparented_root(self):
+        with pytest.raises(TopologyError, match="root"):
+            Topology.from_parent_map({0: 1, 1: 0})
+
+
+class TestAccessors:
+    def test_small_tree_shape(self, small_tree):
+        assert small_tree.parent(0) == -1
+        assert small_tree.children(1) == (3, 4)
+        assert small_tree.depth(6) == 3
+        assert small_tree.height == 3
+        assert small_tree.subtree_size(1) == 3
+        assert small_tree.subtree_size(2) == 3
+        assert small_tree.subtree_size(0) == 7
+        assert small_tree.is_leaf(3)
+        assert not small_tree.is_leaf(2)
+        assert small_tree.num_edges == 6
+        assert len(small_tree) == 7
+        assert sorted(small_tree.leaves()) == [3, 4, 6]
+
+    def test_ancestors_includes_self_by_default(self, small_tree):
+        assert small_tree.ancestors(6) == [6, 5, 2, 0]
+        assert small_tree.ancestors(6, include_self=False) == [5, 2, 0]
+        assert small_tree.ancestors(0) == [0]
+
+    def test_path_edges(self, small_tree):
+        assert small_tree.path_edges(6) == [6, 5, 2]
+        assert small_tree.path_edges(0) == []
+
+    def test_descendants(self, small_tree):
+        assert sorted(small_tree.descendants(1)) == [1, 3, 4]
+        assert small_tree.descendants(3) == [3]
+        assert sorted(small_tree.descendants(0, include_self=False)) == [1, 2, 3, 4, 5, 6]
+
+    def test_descendant_sets_match_descendants(self, small_tree):
+        sets = small_tree.descendant_sets()
+        for node in small_tree.nodes:
+            assert sets[node] == frozenset(small_tree.descendants(node))
+
+    def test_is_ancestor(self, small_tree):
+        assert small_tree.is_ancestor(0, 6)
+        assert small_tree.is_ancestor(6, 6)
+        assert not small_tree.is_ancestor(1, 6)
+
+    def test_child_toward(self, small_tree):
+        assert small_tree.child_toward(0, 6) == 2
+        assert small_tree.child_toward(2, 6) == 5
+        with pytest.raises(TopologyError):
+            small_tree.child_toward(1, 6)
+        with pytest.raises(TopologyError):
+            small_tree.child_toward(6, 6)
+
+    def test_sibling_children(self, small_tree):
+        assert small_tree.sibling_children(6, 0) == [1]
+        assert small_tree.sibling_children(3, 1) == [4]
+        # ancestor == node: all children
+        assert small_tree.sibling_children(1, 1) == [3, 4]
+
+    def test_same_structure(self, small_tree):
+        assert small_tree.same_structure(Topology([-1, 0, 0, 1, 1, 2, 5]))
+        assert not small_tree.same_structure(Topology([-1, 0]))
+
+
+class TestWalks:
+    def test_post_order_children_first(self, small_tree):
+        order = small_tree.post_order()
+        position = {node: i for i, node in enumerate(order)}
+        for node in small_tree.nodes:
+            for child in small_tree.children(node):
+                assert position[child] < position[node]
+        assert order[-1] == 0
+
+    def test_pre_order_parents_first(self, small_tree):
+        order = small_tree.pre_order()
+        position = {node: i for i, node in enumerate(order)}
+        for node in small_tree.nodes:
+            if node != 0:
+                assert position[small_tree.parent(node)] < position[node]
+        assert order[0] == 0
+
+
+class TestValidateReadings:
+    def test_accepts_matching_length(self, small_tree):
+        assert validate_readings(small_tree, range(7)) == [float(i) for i in range(7)]
+
+    def test_rejects_wrong_length(self, small_tree):
+        with pytest.raises(TopologyError, match="length"):
+            validate_readings(small_tree, [1.0])
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree_strategy(max_nodes=25))
+def test_tree_invariants(topology):
+    # every node reachable exactly once; sizes and depths consistent
+    assert len(topology.post_order()) == topology.n
+    assert set(topology.post_order()) == set(topology.nodes)
+    assert topology.subtree_size(topology.root) == topology.n
+    total = sum(topology.subtree_size(leaf) for leaf in topology.leaves())
+    assert total == len(topology.leaves())  # leaves have size exactly 1
+    for node in topology.nodes:
+        # anc/desc duality
+        for anc in topology.ancestors(node):
+            assert node in topology.descendants(anc)
+        assert topology.depth(node) == len(topology.path_edges(node))
+        expected = 1 + sum(
+            topology.subtree_size(c) for c in topology.children(node)
+        )
+        assert topology.subtree_size(node) == expected

@@ -1,0 +1,122 @@
+"""Tests for acquisition-cost modeling (paper §4.4 "Modeling Other Costs")."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.network.builder import star_topology, zoned_topology
+from repro.network.energy import EnergyModel
+from repro.planners.base import PlanningContext
+from repro.planners.lp_lf import LPLFPlanner
+from repro.planners.lp_no_lf import LPNoLFPlanner
+from repro.planners.proof import ProofPlanner
+from repro.plans.plan import QueryPlan
+from repro.sampling.matrix import SampleMatrix
+from repro.simulation.runtime import Simulator
+
+BASE = EnergyModel.uniform(per_message_mj=1.0, per_value_mj=0.2)
+WITH_ACQ = dataclasses.replace(BASE, acquisition_mj=0.5)
+
+
+def make_context(topology, samples_array, k, budget, energy):
+    return PlanningContext(
+        topology=topology,
+        energy=energy,
+        samples=SampleMatrix(samples_array, k),
+        k=k,
+        budget=budget,
+    )
+
+
+class TestPlanCost:
+    def test_plan_cost_includes_visited_acquisitions(self, small_tree):
+        plan = QueryPlan.from_chosen_nodes(small_tree, {3})  # visits 0,1,3
+        samples = np.zeros((1, 7))
+        free = make_context(small_tree, samples, 1, 100.0, BASE)
+        charged = make_context(small_tree, samples, 1, 100.0, WITH_ACQ)
+        assert charged.plan_cost(plan) == pytest.approx(
+            free.plan_cost(plan) + 0.5 * 3
+        )
+
+    def test_empty_plan_still_charges_root(self, small_tree):
+        plan = QueryPlan(small_tree, {})
+        samples = np.zeros((1, 7))
+        charged = make_context(small_tree, samples, 1, 100.0, WITH_ACQ)
+        assert charged.plan_cost(plan) == pytest.approx(0.5)
+
+
+class TestPlannersRespectAcquisition:
+    def test_lp_no_lf_budget_includes_acquisition(self):
+        topo = star_topology(8)
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10, 3, size=(10, 8))
+        budget = 6.0
+        context = make_context(topo, samples, 4, budget, WITH_ACQ)
+        plan = LPNoLFPlanner().plan(context)
+        assert context.plan_cost(plan) <= budget + 1e-9
+        # acquisition shrinks how many nodes fit the same budget
+        free = make_context(topo, samples, 4, budget, BASE)
+        free_plan = LPNoLFPlanner().plan(free)
+        assert len(plan.visited_nodes) <= len(free_plan.visited_nodes)
+
+    def test_lp_lf_budget_includes_acquisition(self):
+        topo = zoned_topology(2, 4, relay_hops=2)
+        rng = np.random.default_rng(1)
+        samples = rng.normal(10, 3, size=(8, topo.n))
+        budget = 12.0
+        context = make_context(topo, samples, 3, budget, WITH_ACQ)
+        plan = LPLFPlanner().plan(context)
+        assert context.plan_cost(plan) <= budget + 1e-9
+
+    def test_proof_minimum_includes_acquisition(self):
+        topo = star_topology(5)
+        samples = np.zeros((2, 5))
+        free = make_context(topo, samples, 1, 100.0, BASE)
+        charged = make_context(topo, samples, 1, 100.0, WITH_ACQ)
+        planner = ProofPlanner()
+        assert planner.minimum_cost(charged) == pytest.approx(
+            planner.minimum_cost(free) + 0.5 * 5
+        )
+
+    def test_proof_plan_respects_budget_with_acquisition(self):
+        topo = zoned_topology(2, 3, relay_hops=2)
+        rng = np.random.default_rng(2)
+        samples = rng.normal(10, 3, size=(5, topo.n))
+        planner = ProofPlanner()
+        probe = make_context(topo, samples, 2, float("inf"), WITH_ACQ)
+        budget = planner.minimum_cost(probe) * 1.3
+        context = make_context(topo, samples, 2, budget, WITH_ACQ)
+        plan = planner.plan(context)
+        assert context.plan_cost(plan) <= budget + 1e-9
+
+
+class TestSimulatorCharges:
+    def test_collection_charges_visited(self, small_tree, rng):
+        plan = QueryPlan.from_chosen_nodes(small_tree, {3})
+        readings = rng.normal(size=7)
+        free = Simulator(small_tree, BASE).run_collection(
+            plan, readings, include_trigger=False
+        )
+        charged = Simulator(small_tree, WITH_ACQ).run_collection(
+            plan, readings, include_trigger=False
+        )
+        assert charged.energy_mj == pytest.approx(free.energy_mj + 0.5 * 3)
+
+    def test_naive_k_charges_everyone(self, small_tree, rng):
+        readings = rng.normal(size=7)
+        free = Simulator(small_tree, BASE).run_naive_k(readings, 2)
+        charged = Simulator(small_tree, WITH_ACQ).run_naive_k(readings, 2)
+        assert charged.energy_mj == pytest.approx(free.energy_mj + 0.5 * 7)
+
+    def test_naive_one_charges_asked_nodes(self, small_tree, rng):
+        # the pipelined protocol needs one candidate per child before it
+        # can pop anything, so the first request reaches every node
+        readings = np.array([9.0, 1, 2, 3, 4, 5, 6])
+        free = Simulator(small_tree, BASE).run_naive_one(readings, 1)
+        charged = Simulator(small_tree, WITH_ACQ).run_naive_one(readings, 1)
+        asked = {m.edge for m in free.detail.messages} | {0}
+        assert asked == set(small_tree.nodes)
+        assert charged.energy_mj == pytest.approx(
+            free.energy_mj + 0.5 * len(asked)
+        )

@@ -1,0 +1,67 @@
+"""Unit tests for the planning context."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BudgetError, SamplingError
+from repro.network.builder import star_topology
+from repro.network.energy import EnergyModel
+from repro.network.failures import LinkFailureModel
+from repro.planners.base import PlanningContext
+from repro.plans.plan import QueryPlan
+from repro.sampling.matrix import SampleMatrix
+
+UNIFORM = EnergyModel.uniform(per_message_mj=1.0, per_value_mj=0.25)
+
+
+@pytest.fixture
+def topology():
+    return star_topology(5)
+
+
+@pytest.fixture
+def samples():
+    return SampleMatrix(np.random.default_rng(0).normal(size=(4, 5)), 2)
+
+
+class TestValidation:
+    def test_node_count_mismatch(self, topology):
+        wrong = SampleMatrix(np.zeros((2, 3)), 1)
+        with pytest.raises(SamplingError, match="covers"):
+            PlanningContext(topology, UNIFORM, wrong, 1, 10.0)
+
+    def test_bad_k(self, topology, samples):
+        with pytest.raises(BudgetError):
+            PlanningContext(topology, UNIFORM, samples, 0, 10.0)
+
+    def test_negative_budget(self, topology, samples):
+        with pytest.raises(BudgetError):
+            PlanningContext(topology, UNIFORM, samples, 2, -1.0)
+
+
+class TestCosts:
+    def test_edge_cost_without_failures(self, topology, samples):
+        context = PlanningContext(topology, UNIFORM, samples, 2, 10.0)
+        assert context.edge_cost(1) == pytest.approx(1.0)
+        assert context.per_value == pytest.approx(0.25)
+
+    def test_edge_cost_inflated_by_failures(self, topology, samples):
+        failures = LinkFailureModel(
+            failure_probability={1: 0.5}, reroute_extra_mj={1: 4.0}
+        )
+        context = PlanningContext(
+            topology, UNIFORM, samples, 2, 10.0, failures=failures
+        )
+        assert context.edge_cost(1) == pytest.approx(3.0)
+        assert context.edge_cost(2) == pytest.approx(1.0)
+
+    def test_plan_cost_matches_static_plus_failures(self, topology, samples):
+        failures = LinkFailureModel(
+            failure_probability={1: 1.0}, reroute_extra_mj={1: 2.0}
+        )
+        context = PlanningContext(
+            topology, UNIFORM, samples, 2, 10.0, failures=failures
+        )
+        plan = QueryPlan(topology, {1: 1, 2: 1})
+        base = QueryPlan(topology, {1: 1, 2: 1}).static_cost(UNIFORM)
+        assert context.plan_cost(plan) == pytest.approx(base + 2.0)

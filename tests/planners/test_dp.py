@@ -1,0 +1,146 @@
+"""Tests for the DP alternative to LP−LF (paper footnote 1)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BudgetError
+from repro.network.builder import line_topology, star_topology
+from repro.network.energy import EnergyModel
+from repro.planners.base import PlanningContext
+from repro.planners.dp import DPPlanner
+from repro.planners.greedy import GreedyPlanner
+from repro.plans.plan import QueryPlan
+from repro.sampling.matrix import SampleMatrix
+from tests.conftest import tree_strategy
+
+UNIFORM = EnergyModel.uniform(per_message_mj=1.0, per_value_mj=0.3)
+
+
+def make_context(topology, samples_array, k, budget):
+    return PlanningContext(
+        topology=topology,
+        energy=UNIFORM,
+        samples=SampleMatrix(samples_array, k),
+        k=k,
+        budget=budget,
+    )
+
+
+def brute_force_best(context):
+    """Exhaustive optimum of the integral LP−LF problem."""
+    topology = context.topology
+    counts = context.samples.column_counts()
+    nodes = [n for n in topology.nodes if n != topology.root]
+    best = 0
+    for r in range(len(nodes) + 1):
+        for subset in itertools.combinations(nodes, r):
+            plan = QueryPlan.from_chosen_nodes(topology, set(subset))
+            if context.plan_cost(plan) <= context.budget + 1e-9:
+                value = int(counts[list(subset)].sum()) if subset else 0
+                best = max(best, value)
+    return best
+
+
+class TestDPPlanner:
+    def test_validation(self):
+        with pytest.raises(BudgetError):
+            DPPlanner(buckets=0)
+
+    def test_zero_budget(self):
+        topo = star_topology(4)
+        context = make_context(topo, np.ones((2, 4)), 1, budget=0.0)
+        plan = DPPlanner().plan(context)
+        assert plan.used_edges == []
+
+    def test_budget_respected(self):
+        topo = star_topology(8)
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10, 4, size=(10, 8))
+        for budget in (1.5, 3.0, 6.0):
+            context = make_context(topo, samples, 3, budget)
+            plan = DPPlanner().plan(context)
+            assert context.plan_cost(plan) <= budget + 1e-9
+
+    def test_prefers_shared_paths(self):
+        # two hot leaves under one relay vs one equally hot isolated
+        # leaf: the shared activation makes the pair the better buy
+        from repro.network.topology import Topology
+
+        topo = Topology([-1, 0, 1, 1, 0])
+        samples = np.zeros((4, 5))
+        samples[:, 2] = 10.0
+        samples[:, 3] = 9.0
+        samples[:1, 4] = 11.0
+        # {2,3} costs 4.2 (3 edges + 2 deep values) for count 7;
+        # {2,4} costs 3.9 for count 5: the shared relay wins
+        context = make_context(topo, samples, 2, budget=4.5)
+        plan = DPPlanner().plan(context)
+        assert plan.bandwidth(2) == 1 and plan.bandwidth(3) == 1
+        assert plan.bandwidth(4) == 0
+
+    def test_matches_brute_force_on_small_instances(self):
+        rng = np.random.default_rng(1)
+        from repro.network.topology import Topology
+
+        for parents in ([-1, 0, 0, 1, 1], [-1, 0, 1, 2, 0, 4]):
+            topo = Topology(parents)
+            samples = rng.normal(5, 3, size=(6, topo.n))
+            context = make_context(topo, samples, 2, budget=4.0)
+            counts = context.samples.column_counts()
+            plan = DPPlanner(buckets=400).plan(context)
+            achieved = sum(
+                counts[n]
+                for n in plan.visited_nodes
+                if plan.bandwidths.get(n, 0) > 0 or n == 0
+            )
+            # count covered nodes properly: a node is covered when its
+            # own value flows (bandwidth accounts for descendants too),
+            # so recompute from the chosen set encoded in bandwidths
+            chosen = {
+                n
+                for n in topo.nodes
+                if n != 0
+                and plan.bandwidths[n]
+                == 1 + sum(plan.bandwidths[c] for c in topo.children(n))
+            }
+            value = int(counts[list(chosen)].sum()) if chosen else 0
+            assert value >= brute_force_best(context) - 1  # quantization slack
+
+    def test_at_least_greedy_on_chain(self):
+        topo = line_topology(6)
+        rng = np.random.default_rng(3)
+        samples = rng.normal(8, 4, size=(8, 6))
+        context = make_context(topo, samples, 2, budget=6.0)
+        counts = context.samples.column_counts()
+
+        def covered(plan):
+            total = 0
+            for node in topo.nodes:
+                if node == 0:
+                    continue
+                expected = 1 + sum(
+                    plan.bandwidths[c] for c in topo.children(node)
+                )
+                if plan.bandwidths[node] == expected and node in plan.visited_nodes:
+                    total += counts[node]
+            return total
+
+        dp_plan = DPPlanner(buckets=300).plan(context)
+        greedy_plan = GreedyPlanner().plan(context)
+        assert covered(dp_plan) >= covered(greedy_plan)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree_strategy(min_nodes=2, max_nodes=8),
+       st.integers(min_value=0, max_value=2**32 - 1),
+       st.floats(min_value=0.5, max_value=8.0))
+def test_dp_always_feasible(topology, seed, budget):
+    rng = np.random.default_rng(seed)
+    samples = rng.normal(5, 3, size=(4, topology.n))
+    context = make_context(topology, samples, 2, budget)
+    plan = DPPlanner(buckets=80).plan(context)
+    assert context.plan_cost(plan) <= budget + 1e-9

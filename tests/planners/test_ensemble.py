@@ -1,0 +1,146 @@
+"""Tests for the weighted-majority planner ensemble (citation [9])."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.network.builder import star_topology, zoned_topology
+from repro.network.energy import EnergyModel
+from repro.planners.base import PlanningContext
+from repro.planners.ensemble import WeightedMajorityPlanner
+from repro.planners.greedy import GreedyPlanner
+from repro.planners.lp_lf import LPLFPlanner
+from repro.planners.lp_no_lf import LPNoLFPlanner
+from repro.plans.plan import QueryPlan
+from repro.sampling.matrix import SampleMatrix
+
+UNIFORM = EnergyModel.uniform(per_message_mj=1.0, per_value_mj=0.3)
+
+
+class _FixedPlanner:
+    """Test double returning a pre-built plan."""
+
+    def __init__(self, name, plan):
+        self.name = name
+        self._plan = plan
+
+    def plan(self, context):
+        return self._plan
+
+
+def make_context(topology, samples_array, k, budget):
+    return PlanningContext(
+        topology=topology,
+        energy=UNIFORM,
+        samples=SampleMatrix(samples_array, k),
+        k=k,
+        budget=budget,
+    )
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            WeightedMajorityPlanner([])
+        with pytest.raises(PlanError):
+            WeightedMajorityPlanner([GreedyPlanner()], beta=1.0)
+
+    def test_initial_weights_equal(self):
+        ensemble = WeightedMajorityPlanner([GreedyPlanner(), LPNoLFPlanner()])
+        weights = ensemble.weights
+        assert weights["greedy"] == weights["lp-no-lf"]
+
+    def test_observe_before_plan_rejected(self):
+        ensemble = WeightedMajorityPlanner([GreedyPlanner()])
+        with pytest.raises(PlanError, match="before plan"):
+            ensemble.observe([1.0, 2.0], 1)
+
+
+class TestUpdates:
+    def _fixed_ensemble(self, topology):
+        good = QueryPlan.from_chosen_nodes(topology, {1, 2})
+        bad = QueryPlan(topology, {})
+        return WeightedMajorityPlanner(
+            [_FixedPlanner("good", good), _FixedPlanner("bad", bad)],
+            beta=0.5,
+        )
+
+    def test_laggards_lose_weight(self):
+        topology = star_topology(4)
+        ensemble = self._fixed_ensemble(topology)
+        samples = np.tile([0, 9, 8, 1.0], (3, 1))
+        context = make_context(topology, samples, 2, budget=100.0)
+        ensemble.plan(context)
+        ensemble.observe([0, 9, 8, 1.0], k=2)
+        weights = ensemble.weights
+        assert weights["good"] > weights["bad"]
+        # shortfall of 2 hits at beta 0.5 -> quarter of the good weight
+        assert weights["bad"] / weights["good"] == pytest.approx(0.25)
+
+    def test_weights_stay_normalized(self):
+        topology = star_topology(4)
+        ensemble = self._fixed_ensemble(topology)
+        samples = np.tile([0, 9, 8, 1.0], (3, 1))
+        context = make_context(topology, samples, 2, budget=100.0)
+        for __ in range(5):
+            ensemble.plan(context)
+            ensemble.observe([0, 9, 8, 1.0], k=2)
+        assert sum(ensemble.weights.values()) == pytest.approx(1.0)
+
+    def test_equal_performance_keeps_weights(self):
+        topology = star_topology(3)
+        plan = QueryPlan.from_chosen_nodes(topology, {1, 2})
+        ensemble = WeightedMajorityPlanner(
+            [_FixedPlanner("a", plan), _FixedPlanner("b", plan)]
+        )
+        context = make_context(
+            topology, np.tile([0, 5, 4.0], (2, 1)), 2, budget=100.0
+        )
+        ensemble.plan(context)
+        ensemble.observe([0, 5, 4.0], k=2)
+        weights = ensemble.weights
+        assert weights["a"] == pytest.approx(weights["b"])
+
+    def test_standings_sorted_by_weight(self):
+        topology = star_topology(4)
+        ensemble = self._fixed_ensemble(topology)
+        samples = np.tile([0, 9, 8, 1.0], (3, 1))
+        context = make_context(topology, samples, 2, budget=100.0)
+        ensemble.plan(context)
+        ensemble.observe([0, 9, 8, 1.0], k=2)
+        standings = ensemble.standings()
+        assert standings[0]["expert"] == "good"
+        assert standings[0]["mean_hits"] >= standings[1]["mean_hits"]
+
+
+class TestConvergence:
+    def test_converges_to_lf_on_contention_zones(self):
+        """On the Figure 5 workload the ensemble must learn to follow
+        LP+LF."""
+        rng = np.random.default_rng(0)
+        from repro.datagen.zones import ZoneWorkload
+
+        workload = ZoneWorkload(num_zones=3, k=5)
+        topology = workload.topology
+        train = workload.trace(20, rng)
+        energy = EnergyModel.mica2()
+        budget = energy.message_cost(1) * (workload.relay_hops + 10) * 2.5
+
+        ensemble = WeightedMajorityPlanner(
+            [GreedyPlanner(), LPNoLFPlanner(), LPLFPlanner()], beta=0.7
+        )
+        context = PlanningContext(
+            topology, energy, train.sample_matrix(5), 5, budget
+        )
+        ensemble.plan(context)
+        for __ in range(25):
+            ensemble.observe(workload.sample(rng), k=5)
+        assert ensemble.leader().planner.name == "lp-lf"
+
+    def test_plan_returns_leaders_plan(self):
+        topology = star_topology(5)
+        samples = np.tile([0, 9, 8, 1, 1.0], (4, 1))
+        context = make_context(topology, samples, 2, budget=100.0)
+        ensemble = WeightedMajorityPlanner([GreedyPlanner(), LPNoLFPlanner()])
+        plan = ensemble.plan(context)
+        assert plan is ensemble.leader().last_plan

@@ -1,0 +1,159 @@
+"""Unit and property tests for PROSPECTOR-Exact and its mop-up phase.
+
+The central property: regardless of topology, readings, phase-1 plan,
+or how wrong the samples were, the algorithm returns the exact top-k.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.network.builder import line_topology, random_topology
+from repro.network.energy import EnergyModel
+from repro.planners.base import PlanningContext
+from repro.planners.exact import ExactTopK, mop_up
+from repro.planners.proof import ProofPlanner
+from repro.plans.plan import QueryPlan, top_k_set
+from repro.plans.proof_execution import execute_proof_plan
+from repro.sampling.matrix import SampleMatrix
+from tests.conftest import proof_plan_readings
+
+UNIFORM = EnergyModel.uniform(per_message_mj=1.0, per_value_mj=0.3)
+
+
+class TestExactTopK:
+    def test_run_with_minimal_plan_is_exact(self, medium_random, rng):
+        readings = rng.normal(25, 8, size=medium_random.n)
+        plan = QueryPlan(
+            medium_random,
+            {e: 1 for e in medium_random.edges},
+            requires_all_edges=True,
+        )
+        outcome = ExactTopK().run_with_plan(plan, 5, readings)
+        assert outcome.answer_nodes() == top_k_set(readings, 5)
+        assert outcome.used_mop_up  # bandwidth 1 cannot prove 5 values
+
+    def test_no_mop_up_when_phase1_proves_k(self, medium_random, rng):
+        readings = rng.normal(25, 8, size=medium_random.n)
+        outcome = ExactTopK().run_with_plan(
+            QueryPlan.full(medium_random), 5, readings
+        )
+        assert not outcome.used_mop_up
+        assert outcome.proven_in_phase1 == medium_random.n
+        assert outcome.answer_nodes() == top_k_set(readings, 5)
+
+    def test_run_plans_and_answers(self):
+        topo = random_topology(15, rng=np.random.default_rng(0), radio_range=45.0)
+        rng = np.random.default_rng(1)
+        samples = rng.normal(10, 3, size=(6, 15))
+        planner = ProofPlanner()
+        probe = PlanningContext(
+            topo, UNIFORM, SampleMatrix(samples, 3), 3, budget=float("inf")
+        )
+        context = PlanningContext(
+            topo, UNIFORM, SampleMatrix(samples, 3), 3,
+            budget=planner.minimum_cost(probe) * 1.3,
+        )
+        readings = rng.normal(10, 3, size=15)
+        outcome = ExactTopK(planner).run(context, readings)
+        assert outcome.answer_nodes() == top_k_set(readings, 3)
+        assert outcome.plan is not None
+
+    def test_misleading_samples_still_exact(self):
+        """Samples point at entirely the wrong nodes; correctness must
+        not depend on them (paper: knowledge 'does not need to be
+        accurate in any way to guarantee correctness')."""
+        topo = line_topology(8)
+        # samples say the top values live near the root ...
+        samples = np.tile(np.arange(8, 0, -1, dtype=float), (5, 1))
+        planner = ProofPlanner()
+        probe = PlanningContext(
+            topo, UNIFORM, SampleMatrix(samples, 3), 3, budget=float("inf")
+        )
+        context = PlanningContext(
+            topo, UNIFORM, SampleMatrix(samples, 3), 3,
+            budget=planner.minimum_cost(probe) * 1.2,
+        )
+        # ... but reality puts them at the leaf end
+        readings = np.arange(8, dtype=float)
+        outcome = ExactTopK(planner).run(context, readings)
+        assert outcome.answer_nodes() == top_k_set(readings, 3)
+
+    def test_rejects_bad_k(self, small_tree):
+        plan = QueryPlan.full(small_tree)
+        with pytest.raises(PlanError):
+            ExactTopK().run_with_plan(plan, 0, range(7))
+
+    def test_k_exceeding_network_size(self, small_tree):
+        plan = QueryPlan(
+            small_tree, {e: 1 for e in small_tree.edges}, requires_all_edges=True
+        )
+        outcome = ExactTopK().run_with_plan(plan, 20, range(7))
+        assert outcome.answer_nodes() == set(small_tree.nodes)
+
+    def test_phase2_messages_are_accounted(self, medium_random, rng):
+        readings = rng.normal(25, 8, size=medium_random.n)
+        plan = QueryPlan(
+            medium_random,
+            {e: 1 for e in medium_random.edges},
+            requires_all_edges=True,
+        )
+        outcome = ExactTopK().run_with_plan(plan, 5, readings)
+        assert outcome.phase1_messages
+        assert outcome.phase2_messages
+        phase2 = sum(m.cost(UNIFORM) for m in outcome.phase2_messages)
+        assert phase2 > 0
+
+
+class TestMopUpDirect:
+    def test_noop_when_root_proves_enough(self, small_tree):
+        result = execute_proof_plan(QueryPlan.full(small_tree), range(7))
+        answer, messages = mop_up(small_tree, result.states, 3)
+        assert messages == []
+        assert {n for __, n in answer} == {4, 5, 6}
+
+
+@settings(max_examples=120, deadline=None)
+@given(proof_plan_readings(max_nodes=14), st.integers(min_value=1, max_value=6))
+def test_exact_for_arbitrary_phase1_plans(data, k):
+    """Exactness survives any legal phase-1 bandwidth assignment,
+    including ties in the readings."""
+    topology, bandwidths, readings = data
+    plan = QueryPlan(topology, bandwidths, requires_all_edges=True)
+    outcome = ExactTopK().run_with_plan(plan, k, readings)
+    expected = sorted(
+        ((float(v), node) for node, v in enumerate(readings)), reverse=True
+    )[: min(k, topology.n)]
+    assert outcome.answer == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(proof_plan_readings(max_nodes=12), st.integers(min_value=1, max_value=5))
+def test_skip_known_subtrees_preserves_exactness(data, k):
+    """The mop-up refinement (skip fully-delivered subtrees) changes
+    cost, never the answer."""
+    topology, bandwidths, readings = data
+    plan = QueryPlan(topology, bandwidths, requires_all_edges=True)
+    fast = ExactTopK(skip_known_subtrees=True).run_with_plan(plan, k, readings)
+    slow = ExactTopK(skip_known_subtrees=False).run_with_plan(plan, k, readings)
+    assert fast.answer == slow.answer
+    fast_cost = sum(m.cost(UNIFORM) for m in fast.phase2_messages)
+    slow_cost = sum(m.cost(UNIFORM) for m in slow.phase2_messages)
+    assert fast_cost <= slow_cost + 1e-9
+
+
+def test_skip_known_subtrees_saves_messages(small_tree):
+    """With generous phase-1 bandwidth on one branch, mop-up must not
+    re-query it."""
+    readings = [0, 1, 2, 3, 4, 5, 6]
+    bandwidths = {e: 1 for e in small_tree.edges}
+    bandwidths[1] = 3  # node 1's whole subtree is delivered in phase 1
+    bandwidths[3] = 1
+    bandwidths[4] = 1
+    plan = QueryPlan(small_tree, bandwidths, requires_all_edges=True)
+    fast = ExactTopK(skip_known_subtrees=True).run_with_plan(plan, 4, readings)
+    slow = ExactTopK(skip_known_subtrees=False).run_with_plan(plan, 4, readings)
+    assert fast.answer == slow.answer
+    assert len(fast.phase2_messages) < len(slow.phase2_messages)

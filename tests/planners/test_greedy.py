@@ -1,0 +1,85 @@
+"""Unit tests for PROSPECTOR Greedy."""
+
+import numpy as np
+import pytest
+
+from repro.network.builder import line_topology, star_topology
+from repro.network.energy import EnergyModel
+from repro.planners.base import PlanningContext
+from repro.planners.greedy import GreedyPlanner
+from repro.sampling.matrix import SampleMatrix
+
+
+def make_context(topology, samples_array, k, budget, energy=None):
+    return PlanningContext(
+        topology=topology,
+        energy=energy or EnergyModel.uniform(per_message_mj=1.0, per_value_mj=0.1),
+        samples=SampleMatrix(samples_array, k),
+        k=k,
+        budget=budget,
+    )
+
+
+class TestGreedy:
+    def test_picks_highest_count_nodes_first(self):
+        topo = star_topology(4)
+        # node 3 always in the top-1, others never
+        samples = np.array([[0, 1, 2, 9], [0, 2, 1, 9], [0, 1, 2, 9.5]])
+        context = make_context(topo, samples, k=1, budget=1.2)
+        plan = GreedyPlanner().plan(context)
+        assert plan.bandwidth(3) == 1
+        assert plan.bandwidth(1) == 0
+
+    def test_respects_budget(self):
+        topo = star_topology(6)
+        samples = np.tile([0, 6, 5, 4, 3, 2], (4, 1)).astype(float)
+        context = make_context(topo, samples, k=5, budget=2.3)
+        plan = GreedyPlanner().plan(context)
+        assert context.plan_cost(plan) <= 2.3
+        # budget buys exactly two star edges at 1.1 each
+        assert len(plan.used_edges) == 2
+        assert plan.bandwidth(1) == 1 and plan.bandwidth(2) == 1
+
+    def _count_order_scenario(self, budget):
+        """Node 3 (deep, count 4) outranks node 1 (shallow, count 1);
+        the budget affords only node 1."""
+        from repro.network.topology import Topology
+
+        topo = Topology([-1, 0, 0, 2])
+        samples = np.array([[0, 1, 0, 9.0]] * 4 + [[0, 9, 0, 1.0]])
+        return make_context(topo, samples, k=1, budget=budget)
+
+    def test_strict_mode_stops_at_first_unaffordable(self):
+        # the paper's greedy stops at the unaffordable top-count node,
+        # even though a lower-count node would still fit
+        context = self._count_order_scenario(budget=1.2)
+        strict = GreedyPlanner(skip_unaffordable=False).plan(context)
+        assert strict.used_edges == []
+
+    def test_skip_mode_takes_cheaper_nodes(self):
+        context = self._count_order_scenario(budget=1.2)
+        relaxed = GreedyPlanner(skip_unaffordable=True).plan(context)
+        assert relaxed.bandwidth(1) == 1  # node 1 is affordable
+
+    def test_ignores_nodes_never_in_topk(self):
+        topo = star_topology(4)
+        samples = np.array([[0, 9, 8, 1], [0, 9, 8, 1]], dtype=float)
+        context = make_context(topo, samples, k=2, budget=100.0)
+        plan = GreedyPlanner().plan(context)
+        assert plan.bandwidth(3) == 0
+
+    def test_zero_budget_yields_empty_plan(self):
+        topo = star_topology(3)
+        samples = np.array([[0, 1, 2]], dtype=float)
+        context = make_context(topo, samples, k=1, budget=0.0)
+        plan = GreedyPlanner().plan(context)
+        assert plan.used_edges == []
+        assert context.plan_cost(plan) == 0.0
+
+    def test_root_only_counts_are_free(self):
+        # the root holding top values needs no communication
+        topo = star_topology(3)
+        samples = np.array([[9, 1, 2]], dtype=float)
+        context = make_context(topo, samples, k=1, budget=0.0)
+        plan = GreedyPlanner().plan(context)
+        assert context.plan_cost(plan) == 0.0

@@ -1,0 +1,88 @@
+"""Unit and property tests for the ORACLE baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.network.energy import EnergyModel
+from repro.planners.oracle import OraclePlanner, OracleProofPlanner
+from repro.plans.execution import execute_plan
+from repro.plans.plan import QueryPlan, top_k_set
+from repro.plans.proof_execution import execute_proof_plan
+from tests.conftest import tree_with_readings
+
+UNIFORM = EnergyModel.uniform(per_message_mj=1.0, per_value_mj=0.1)
+
+
+class TestOracle:
+    def test_fetches_exactly_the_topk(self, medium_random, rng):
+        readings = rng.normal(20, 5, size=medium_random.n)
+        k = 4
+        plan = OraclePlanner().plan_for_readings(medium_random, readings, k)
+        result = execute_plan(plan, readings)
+        assert top_k_set(readings, k) <= result.returned_nodes
+
+    def test_cost_grows_with_j(self, medium_random, rng):
+        readings = rng.normal(20, 5, size=medium_random.n)
+        oracle = OraclePlanner()
+        costs = [
+            oracle.plan_for_readings(medium_random, readings, j).static_cost(UNIFORM)
+            for j in range(1, 6)
+        ]
+        assert costs == sorted(costs)
+
+    def test_rejects_bad_j(self, small_tree):
+        with pytest.raises(PlanError):
+            OraclePlanner().plan_for_readings(small_tree, range(7), 0)
+
+    def test_oracle_is_cheapest_way_to_the_answer(self, small_tree):
+        """No plan returning the full top-k can cost less than a plan
+        touching only the top-k nodes' paths (spot check)."""
+        readings = [0, 5, 1, 9, 2, 8, 3]
+        k = 2
+        oracle_plan = OraclePlanner().plan_for_readings(small_tree, readings, k)
+        oracle_cost = oracle_plan.static_cost(UNIFORM)
+        naive_cost = QueryPlan.naive_k(small_tree, k).static_cost(UNIFORM)
+        assert oracle_cost < naive_cost
+
+
+class TestOracleProof:
+    def test_proves_at_least_k(self, medium_random, rng):
+        readings = rng.normal(20, 5, size=medium_random.n)
+        k = 5
+        plan = OracleProofPlanner().plan_for_readings(medium_random, readings, k)
+        result = execute_proof_plan(plan, readings)
+        assert result.proven_count >= k
+        assert {n for __, n in result.proven[:k]} == top_k_set(readings, k)
+
+    def test_uses_every_edge(self, small_tree):
+        plan = OracleProofPlanner().plan_for_readings(small_tree, range(7), 2)
+        assert all(plan.bandwidth(e) >= 1 for e in small_tree.edges)
+
+    def test_cheaper_than_naive_k_for_clustered_topk(self):
+        from repro.network.builder import zoned_topology
+
+        topo = zoned_topology(2, 6, relay_hops=3)
+        readings = np.zeros(topo.n)
+        readings[4:10] = 50  # all top values in zone 1
+        k = 5
+        proof = OracleProofPlanner().plan_for_readings(topo, readings, k)
+        naive = QueryPlan.naive_k(topo, k)
+        assert proof.static_cost(UNIFORM) < naive.static_cost(UNIFORM)
+
+    def test_rejects_bad_k(self, small_tree):
+        with pytest.raises(PlanError):
+            OracleProofPlanner().plan_for_readings(small_tree, range(7), 0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree_with_readings(), st.integers(min_value=1, max_value=6))
+def test_oracle_proof_always_proves_k(data, k):
+    """The witness-slot construction proves the top-k on any tree."""
+    topology, readings = data
+    k = min(k, topology.n)
+    plan = OracleProofPlanner().plan_for_readings(topology, readings, k)
+    result = execute_proof_plan(plan, readings)
+    assert result.proven_count >= k

@@ -1,0 +1,145 @@
+"""Tests for adaptive threshold plans (§7 future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError, SamplingError
+from repro.network.energy import EnergyModel
+from repro.plans.adaptive import (
+    ThresholdPlan,
+    ThresholdPlanner,
+    execute_threshold_plan,
+    expected_cost,
+)
+from repro.plans.plan import top_k_set
+from tests.conftest import tree_with_readings
+
+UNIFORM = EnergyModel.uniform(per_message_mj=1.0, per_value_mj=0.2)
+
+
+class TestExecution:
+    def test_only_above_threshold_delivered(self, small_tree):
+        readings = [0, 5, 1, 9, 2, 8, 3]
+        plan = ThresholdPlan(small_tree, threshold=4.0, cap=10)
+        result = execute_threshold_plan(plan, readings)
+        # the root's own value arrives regardless; others must exceed
+        assert result.returned_nodes == {0, 1, 3, 5}
+
+    def test_threshold_is_strict(self, small_tree):
+        plan = ThresholdPlan(small_tree, threshold=5.0, cap=10)
+        result = execute_threshold_plan(plan, [0, 5, 0, 0, 0, 0, 0])
+        assert 1 not in result.returned_nodes
+
+    def test_quiet_nodes_send_nothing(self, small_tree):
+        plan = ThresholdPlan(small_tree, threshold=100.0, cap=10)
+        result = execute_threshold_plan(plan, range(7))
+        assert result.messages == []
+        assert result.silent_nodes == small_tree.n - 1
+        assert result.returned_nodes == {0}
+
+    def test_cap_limits_forwarding(self, small_tree):
+        readings = [0, 50, 0, 60, 70, 0, 0]
+        plan = ThresholdPlan(small_tree, threshold=10.0, cap=1)
+        result = execute_threshold_plan(plan, readings)
+        # node 1 may forward only its best observation (70 from node 4)
+        assert 4 in result.returned_nodes
+        assert 3 not in result.returned_nodes
+
+    def test_rejects_bad_cap(self, small_tree):
+        with pytest.raises(PlanError):
+            ThresholdPlan(small_tree, threshold=0.0, cap=0)
+
+    def test_cost_tracks_data(self, small_tree):
+        plan = ThresholdPlan(small_tree, threshold=10.0, cap=5)
+        quiet = execute_threshold_plan(plan, [0] * 7)
+        loud = execute_threshold_plan(plan, [0, 20, 20, 20, 20, 20, 20])
+        assert len(quiet.messages) == 0
+        assert len(loud.messages) == small_tree.n - 1
+
+
+class TestExpectedCost:
+    def test_matches_replay(self, small_tree):
+        rows = [[0, 20, 0, 0, 0, 0, 0], [0, 0, 0, 0, 0, 0, 20]]
+        plan = ThresholdPlan(small_tree, threshold=10.0, cap=5)
+        # row 1: one message (edge 1); row 2: three (6 -> 5 -> 2)
+        per_message = UNIFORM.message_cost(1)
+        expected = (per_message + 3 * per_message) / 2
+        assert expected_cost(plan, rows, UNIFORM) == pytest.approx(expected)
+
+    def test_needs_samples(self, small_tree):
+        plan = ThresholdPlan(small_tree, threshold=0.0, cap=1)
+        with pytest.raises(SamplingError):
+            expected_cost(plan, [], UNIFORM)
+
+
+class TestThresholdPlanner:
+    def _samples(self, rng, n=7, m=20):
+        return rng.normal(10, 3, size=(m, n))
+
+    def test_expected_cost_fits_budget(self, small_tree, rng):
+        samples = self._samples(rng)
+        budget = 3.0
+        plan = ThresholdPlanner().plan(small_tree, UNIFORM, samples, 3, budget)
+        assert expected_cost(plan, samples, UNIFORM) <= budget + 1e-6
+
+    def test_bigger_budget_lower_threshold(self, small_tree, rng):
+        samples = self._samples(rng)
+        planner = ThresholdPlanner()
+        tight = planner.plan(small_tree, UNIFORM, samples, 3, budget=2.0)
+        loose = planner.plan(small_tree, UNIFORM, samples, 3, budget=6.0)
+        assert loose.threshold <= tight.threshold
+
+    def test_huge_budget_forwards_everything(self, small_tree, rng):
+        samples = self._samples(rng)
+        plan = ThresholdPlanner().plan(
+            small_tree, UNIFORM, samples, 3, budget=1e9
+        )
+        assert plan.threshold < samples.min()
+
+    def test_impossible_budget_rejected(self, small_tree, rng):
+        samples = self._samples(rng)
+        charged = EnergyModel.uniform(per_message_mj=1.0, per_value_mj=0.2)
+        import dataclasses
+
+        acq = dataclasses.replace(charged, acquisition_mj=1.0)
+        with pytest.raises(PlanError, match="cannot cover"):
+            ThresholdPlanner().plan(small_tree, acq, samples, 3, budget=1.0)
+
+    def test_rejects_bad_inputs(self, small_tree, rng):
+        with pytest.raises(PlanError):
+            ThresholdPlanner().plan(small_tree, UNIFORM, [[1.0] * 7], 0, 1.0)
+        with pytest.raises(SamplingError):
+            ThresholdPlanner().plan(small_tree, UNIFORM, [], 3, 1.0)
+
+
+class TestLocationShiftRobustness:
+    def test_survives_moved_hotspot(self, small_tree):
+        """The headline property: when the hot node moves, the
+        threshold plan still catches it."""
+        plan = ThresholdPlan(small_tree, threshold=50.0, cap=3)
+        before = execute_threshold_plan(plan, [0, 99, 0, 0, 0, 0, 0])
+        after = execute_threshold_plan(plan, [0, 0, 0, 0, 0, 0, 99])
+        assert 1 in before.returned_nodes
+        assert 6 in after.returned_nodes
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree_with_readings(), st.integers(min_value=-20, max_value=20),
+       st.integers(min_value=1, max_value=5))
+def test_threshold_delivery_property(data, threshold, cap):
+    """Everything delivered (beyond the root's own value) exceeds the
+    threshold, and the exact top-k is delivered whenever k <= cap and
+    the k-th value clears the threshold."""
+    topology, readings = data
+    plan = ThresholdPlan(topology, float(threshold), cap=cap)
+    result = execute_threshold_plan(plan, readings)
+    for value, node in result.returned:
+        assert node == topology.root or value > threshold
+    truth = top_k_set(readings, cap)
+    kth = sorted((float(v) for v in readings), reverse=True)[
+        min(cap, len(readings)) - 1
+    ]
+    if kth > threshold:
+        assert truth <= result.returned_nodes

@@ -1,0 +1,80 @@
+"""Unit tests for approximate-plan execution (sort-and-forward)."""
+
+import pytest
+
+from repro.plans.execution import count_topk_hits, execute_plan, expected_hits
+from repro.plans.plan import QueryPlan, top_k_set
+
+
+class TestExecutePlan:
+    def test_full_plan_returns_everything(self, small_tree):
+        readings = [10, 20, 30, 40, 50, 60, 70]
+        result = execute_plan(QueryPlan.full(small_tree), readings)
+        assert result.returned_nodes == set(small_tree.nodes)
+        assert [v for v, __ in result.returned] == sorted(
+            (float(r) for r in readings), reverse=True
+        )
+
+    def test_local_filtering_drops_small_values(self, small_tree):
+        # node 1 receives 3,4 but may pass only one value up
+        readings = [0, 5, 0, 80, 90, 0, 0]
+        plan = QueryPlan(small_tree, {1: 1, 3: 1, 4: 1})
+        result = execute_plan(plan, readings)
+        assert result.returned_nodes == {0, 4}
+        assert result.transmitted[1] == 1
+
+    def test_zero_bandwidth_subtree_is_silent(self, small_tree):
+        readings = [0, 0, 0, 99, 99, 99, 99]
+        plan = QueryPlan(small_tree, {3: 1})  # edge 1 is unused
+        result = execute_plan(plan, readings)
+        assert result.returned_nodes == {0}
+        assert result.messages == []
+
+    def test_messages_match_transmitted(self, small_tree):
+        readings = [1, 2, 3, 4, 5, 6, 7]
+        plan = QueryPlan.naive_k(small_tree, 2)
+        result = execute_plan(plan, readings)
+        by_edge = {m.edge: m.num_values for m in result.messages}
+        assert by_edge == result.transmitted
+        # a subtree never sends more than its bandwidth
+        for edge, sent in result.transmitted.items():
+            assert sent <= plan.bandwidth(edge)
+
+    def test_top_k_nodes_helper(self, small_tree):
+        readings = [1, 2, 3, 4, 5, 6, 7]
+        result = execute_plan(QueryPlan.full(small_tree), readings)
+        assert result.top_k_nodes(2) == {5, 6}
+
+    def test_single_node_network(self):
+        from repro.network.topology import Topology
+
+        topo = Topology([-1])
+        result = execute_plan(QueryPlan(topo, {}), [5.0])
+        assert result.returned == [(5.0, 0)]
+
+
+class TestCountHits:
+    def test_matches_manual_example(self, small_tree):
+        # top-2 nodes are 4 and 6; plan reaches only node 4's side
+        readings = [0, 0, 0, 1, 9, 0, 8]
+        ones = top_k_set(readings, 2)
+        plan = QueryPlan(small_tree, {1: 1, 4: 1})
+        assert count_topk_hits(plan, ones) == 1
+
+    def test_bandwidth_caps_flow(self, small_tree):
+        ones = {3, 4}
+        narrow = QueryPlan(small_tree, {1: 1, 3: 1, 4: 1})
+        wide = QueryPlan(small_tree, {1: 2, 3: 1, 4: 1})
+        assert count_topk_hits(narrow, ones) == 1
+        assert count_topk_hits(wide, ones) == 2
+
+    def test_root_always_counts(self, small_tree):
+        plan = QueryPlan(small_tree, {})
+        assert count_topk_hits(plan, {0}) == 1
+
+    def test_expected_hits_average(self, small_tree):
+        plan = QueryPlan.full(small_tree)
+        assert expected_hits(plan, [{1, 2}, {3}]) == pytest.approx(1.5)
+
+    def test_expected_hits_empty(self, small_tree):
+        assert expected_hits(QueryPlan.full(small_tree), []) == 0.0

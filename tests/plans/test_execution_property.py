@@ -1,0 +1,79 @@
+"""Property tests for execution semantics.
+
+The load-bearing one: the analytic tree recursion
+(:func:`count_topk_hits`) agrees with actually executing the plan, for
+*arbitrary* plans, trees and readings — the fact that makes the LP+LF
+objective meaningful.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plans.execution import count_topk_hits, execute_plan
+from repro.plans.plan import QueryPlan, top_k_set
+from tests.conftest import tree_plan_readings, tree_with_readings
+
+
+@settings(max_examples=150, deadline=None)
+@given(tree_plan_readings(), st.integers(min_value=1, max_value=6))
+def test_analytic_hits_equal_executed_hits(data, k):
+    topology, bandwidths, readings = data
+    plan = QueryPlan(topology, bandwidths)
+    truth = top_k_set(readings, k)
+    result = execute_plan(plan, readings)
+    executed = len(result.returned_nodes & truth)
+    assert executed == count_topk_hits(plan, truth)
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree_plan_readings())
+def test_returned_values_are_real_readings(data):
+    topology, bandwidths, readings = data
+    plan = QueryPlan(topology, bandwidths)
+    result = execute_plan(plan, readings)
+    for value, node in result.returned:
+        assert readings[node] == value
+    # no duplicates: each node contributes at most one value
+    nodes = [node for __, node in result.returned]
+    assert len(nodes) == len(set(nodes))
+    # output sorted descending in the (value, node) total order
+    assert result.returned == sorted(result.returned, reverse=True)
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree_plan_readings())
+def test_transmissions_respect_bandwidths(data):
+    topology, bandwidths, readings = data
+    plan = QueryPlan(topology, bandwidths)
+    result = execute_plan(plan, readings)
+    for edge, sent in result.transmitted.items():
+        assert 0 <= sent <= plan.bandwidth(edge)
+        assert sent <= topology.subtree_size(edge)
+
+
+@settings(max_examples=80, deadline=None)
+@given(tree_with_readings(), st.integers(min_value=1, max_value=5),
+       st.data())
+def test_accuracy_is_bandwidth_monotone(data, k, draw):
+    """Raising any single edge's bandwidth never loses top-k hits."""
+    topology, readings = data
+    bandwidths = {
+        edge: draw.draw(st.integers(min_value=0, max_value=3))
+        for edge in topology.edges
+    }
+    plan = QueryPlan(topology, bandwidths)
+    truth = top_k_set(readings, k)
+    base_hits = count_topk_hits(plan, truth)
+    edge = draw.draw(st.sampled_from(topology.edges))
+    grown = plan.with_bandwidth(edge, bandwidths[edge] + 1)
+    assert count_topk_hits(grown, truth) >= base_hits
+
+
+@settings(max_examples=80, deadline=None)
+@given(tree_with_readings(), st.integers(min_value=1, max_value=5))
+def test_full_plan_is_perfect(data, k):
+    topology, readings = data
+    truth = top_k_set(readings, k)
+    result = execute_plan(QueryPlan.full(topology), readings)
+    assert truth <= result.returned_nodes
+    assert result.top_k_nodes(min(k, topology.n)) == truth

@@ -1,0 +1,95 @@
+"""Tests for multi-query plan merging."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.network.builder import line_topology
+from repro.network.energy import EnergyModel
+from repro.plans.execution import execute_plan
+from repro.plans.merge import merge_plans, merge_savings
+from repro.plans.plan import QueryPlan
+from tests.conftest import tree_with_readings
+
+UNIFORM = EnergyModel.uniform(per_message_mj=1.0, per_value_mj=0.2)
+
+
+class TestMergePlans:
+    def test_edgewise_maximum(self, small_tree):
+        a = QueryPlan(small_tree, {1: 2, 3: 1})
+        b = QueryPlan(small_tree, {1: 1, 5: 3})
+        merged = merge_plans([a, b])
+        assert merged.bandwidth(1) == 2
+        assert merged.bandwidth(3) == 1
+        assert merged.bandwidth(5) == 3
+
+    def test_requires_plans(self):
+        with pytest.raises(PlanError):
+            merge_plans([])
+
+    def test_rejects_mixed_topologies(self, small_tree):
+        other = line_topology(7)
+        with pytest.raises(PlanError, match="different topologies"):
+            merge_plans([QueryPlan(small_tree, {}), QueryPlan(other, {})])
+
+    def test_same_structure_accepted(self, small_tree):
+        from repro.network.topology import Topology
+
+        twin = Topology([-1, 0, 0, 1, 1, 2, 5])
+        merged = merge_plans(
+            [QueryPlan(small_tree, {1: 1}), QueryPlan(twin, {2: 2})]
+        )
+        assert merged.bandwidth(1) == 1 and merged.bandwidth(2) == 2
+
+    def test_proof_flag_propagates(self, small_tree):
+        ones = {e: 1 for e in small_tree.edges}
+        proof = QueryPlan(small_tree, ones, requires_all_edges=True)
+        merged = merge_plans([proof, QueryPlan(small_tree, {})])
+        assert merged.requires_all_edges
+
+
+class TestMergeSavings:
+    def test_shared_messages_save_energy(self, small_tree):
+        a = QueryPlan.naive_k(small_tree, 2)
+        b = QueryPlan.naive_k(small_tree, 3)
+        savings = merge_savings([a, b], UNIFORM)
+        assert savings["merged_mj"] < savings["separate_mj"]
+        # the merged plan is just the wider of the two here
+        assert savings["merged_mj"] == pytest.approx(
+            b.static_cost(UNIFORM)
+        )
+        assert 0.0 < savings["saved_fraction"] < 1.0
+
+    def test_disjoint_plans_save_nothing(self, small_tree):
+        a = QueryPlan(small_tree, {3: 1, 1: 1})
+        b = QueryPlan(small_tree, {6: 1, 5: 1, 2: 1})
+        savings = merge_savings([a, b], UNIFORM)
+        assert savings["saved_mj"] == pytest.approx(0.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(tree_with_readings(), st.data(),
+       st.integers(min_value=1, max_value=6))
+def test_merged_plan_covers_every_upclosed_answer(data, draw, k):
+    """One merged collection serves every constituent query: for any
+    up-closed answer set (here: top-k sets of the epoch), the merged
+    plan delivers at least as many answer values as each constituent."""
+    from repro.plans.plan import top_k_set
+
+    topology, readings = data
+    plans = []
+    for __ in range(draw.draw(st.integers(min_value=1, max_value=3))):
+        bandwidths = {
+            e: draw.draw(st.integers(min_value=0, max_value=3))
+            for e in topology.edges
+        }
+        plans.append(QueryPlan(topology, bandwidths))
+    merged = merge_plans(plans)
+    truth = top_k_set(readings, k)
+    merged_hits = len(execute_plan(merged, readings).returned_nodes & truth)
+    for plan in plans:
+        constituent = len(
+            execute_plan(plan, readings).returned_nodes & truth
+        )
+        assert merged_hits >= constituent

@@ -1,0 +1,96 @@
+"""Unit and property tests for the NAIVE-k / NAIVE-1 baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.plans.naive import naive_k_collect, naive_one_collect
+from repro.plans.plan import top_k_set
+from tests.conftest import tree_with_readings
+
+
+class TestNaiveK:
+    def test_exactness(self, small_tree):
+        readings = [3, 9, 1, 7, 5, 8, 2]
+        result = naive_k_collect(small_tree, readings, 3)
+        assert {n for __, n in result.returned} == top_k_set(readings, 3)
+
+    def test_returns_at_most_k(self, small_tree):
+        result = naive_k_collect(small_tree, range(7), 4)
+        assert len(result.returned) == 4
+
+    def test_every_edge_sends_one_message(self, small_tree):
+        result = naive_k_collect(small_tree, range(7), 2)
+        assert len(result.messages) == small_tree.num_edges
+        edges = {m.edge for m in result.messages}
+        assert edges == set(small_tree.edges)
+
+    def test_small_subtrees_send_everything(self, small_tree):
+        result = naive_k_collect(small_tree, range(7), 5)
+        assert result.transmitted[3] == 1
+        assert result.transmitted[1] == 3  # whole subtree, below k
+
+
+class TestNaiveOne:
+    def test_exactness(self, small_tree):
+        readings = [3, 9, 1, 7, 5, 8, 2]
+        result = naive_one_collect(small_tree, readings, 3)
+        assert {n for __, n in result.returned} == top_k_set(readings, 3)
+        assert [v for v, __ in result.returned] == [9.0, 8.0, 7.0]
+
+    def test_k_larger_than_network(self, small_tree):
+        result = naive_one_collect(small_tree, range(7), 50)
+        assert len(result.returned) == 7
+
+    def test_rejects_bad_k(self, small_tree):
+        with pytest.raises(PlanError):
+            naive_one_collect(small_tree, range(7), 0)
+
+    def test_single_value_messages(self, small_tree):
+        result = naive_one_collect(small_tree, range(7), 3)
+        assert all(m.num_values <= 1 for m in result.messages)
+
+    def test_uses_more_messages_than_naive_k(self, medium_random, rng):
+        readings = rng.normal(size=medium_random.n)
+        k = 5
+        pipelined = naive_one_collect(medium_random, readings, k)
+        batch = naive_k_collect(medium_random, readings, k)
+        assert len(pipelined.messages) > len(batch.messages)
+
+    def test_transmits_fewer_values_than_naive_k(self, medium_random, rng):
+        """The tradeoff of §2: NAIVE-1 minimizes values, NAIVE-k messages."""
+        readings = rng.normal(size=medium_random.n)
+        k = 3
+        pipelined = naive_one_collect(medium_random, readings, k)
+        batch = naive_k_collect(medium_random, readings, k)
+        assert sum(pipelined.transmitted.values()) <= sum(
+            batch.transmitted.values()
+        )
+
+    def test_value_message_bound(self, small_tree):
+        """A node with fan-out f answers at most f + k' value messages
+        (paper §2's bound on values received per node)."""
+        readings = [3, 9, 1, 7, 5, 8, 2]
+        k = 4
+        result = naive_one_collect(small_tree, readings, k)
+        for node in small_tree.nodes:
+            if node == 0:
+                continue
+            received = sum(
+                m.num_values
+                for m in result.messages
+                if m.edge in small_tree.children(node)
+            )
+            fan_out = len(small_tree.children(node))
+            assert received <= fan_out + k
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree_with_readings(), st.integers(min_value=1, max_value=8))
+def test_both_naive_algorithms_are_exact(data, k):
+    topology, readings = data
+    truth = top_k_set(readings, k)
+    for collect in (naive_k_collect, naive_one_collect):
+        result = collect(topology, readings, k)
+        assert {n for __, n in result.returned} == truth

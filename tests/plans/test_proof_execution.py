@@ -1,0 +1,117 @@
+"""Unit and property tests for proof-carrying execution.
+
+The headline property is the paper's Lemma 1: the values proven by any
+node are exactly the largest values of its subtree.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import PlanError
+from repro.plans.plan import QueryPlan, tag_readings
+from repro.plans.proof_execution import execute_proof_plan
+from tests.conftest import proof_plan_readings
+
+
+class TestProofExecutionBasics:
+    def test_rejects_zero_bandwidth(self, small_tree):
+        bandwidths = {e: 1 for e in small_tree.edges}
+        bandwidths[3] = 0
+        broken = QueryPlan(small_tree, bandwidths)
+        with pytest.raises(PlanError, match="bandwidth"):
+            execute_proof_plan(broken, range(7))
+
+    def test_full_plan_proves_everything(self, small_tree):
+        result = execute_proof_plan(QueryPlan.full(small_tree), range(7))
+        assert result.proven_count == 7
+        assert len(result.returned) == 7
+
+    def test_paper_figure_2_scenario(self):
+        """The §1 example: a node receives (9,8,7,6,4), (8,6), (7,3)
+        from three fully-reporting child subtrees plus its own value;
+        with bandwidth 5 the first four values are provable but the
+        fifth is not when the middle subtree might hold more."""
+        from repro.network.topology import Topology
+
+        # root 0 - relay 1; relay 1 has three chains below it
+        # child A: chain of 5 (values 9,8,7,6,4), child B: 2 (8,6),
+        # child C: 2 (7,3); relay's own value tiny
+        parents = [-1, 0,
+                   1, 2, 3, 4, 5,     # chain A: nodes 2..6
+                   1, 7,              # chain B: nodes 7..8
+                   1, 9]              # chain C: nodes 9..10
+        topo = Topology(parents)
+        values = [0.0, 0.1,
+                  9.0, 8.0, 7.0, 6.0, 4.0,
+                  8.5, 6.5,
+                  7.5, 3.0]
+        bandwidths = {e: topo.subtree_size(e) for e in topo.edges}
+        bandwidths[7] = 2   # B reports all (size 2): values 8.5, 6.5
+        bandwidths[9] = 1   # C reports only its top value: 7.5
+        bandwidths[1] = 5   # the relay may pass up five values
+        plan = QueryPlan(topo, bandwidths)
+        result = execute_proof_plan(plan, values)
+        returned = [v for v, __ in result.returned]
+        assert returned[:5] == [9.0, 8.5, 8.0, 7.5, 7.0]
+        # 9, 8.5, 8 are provable: every other subtree showed something
+        # smaller; 7.5 is provable (C's own proven value); 7.0 is NOT:
+        # C only reported one value, so it might hide something in (3,7.5)
+        assert result.proven_count == 4
+
+    def test_leaf_proves_its_own_value(self):
+        from repro.network.topology import Topology
+
+        topo = Topology([-1, 0])
+        plan = QueryPlan(topo, {1: 1})
+        result = execute_proof_plan(plan, [1.0, 2.0])
+        assert result.proven_count == 2  # both values known and ordered
+
+    def test_proven_count_field_charged_for_non_leaves(self, small_tree):
+        plan = QueryPlan.full(small_tree)
+        result = execute_proof_plan(plan, range(7))
+        extra = {m.edge: m.extra_bytes for m in result.messages}
+        for edge in small_tree.edges:
+            if small_tree.is_leaf(edge):
+                assert extra[edge] == 0
+            else:
+                assert extra[edge] > 0
+
+    def test_states_recorded_for_every_node(self, small_tree):
+        plan = QueryPlan.full(small_tree)
+        result = execute_proof_plan(plan, range(7))
+        assert set(result.states) == set(small_tree.nodes)
+        for node in small_tree.nodes:
+            state = result.states[node]
+            subtree = set(small_tree.descendants(node))
+            assert {n for __, n in state.retrieved} <= subtree
+
+
+@settings(max_examples=150, deadline=None)
+@given(proof_plan_readings())
+def test_lemma_1_proven_values_are_subtree_top(data):
+    """Lemma 1 at every node, for arbitrary proof plans and readings."""
+    topology, bandwidths, readings = data
+    plan = QueryPlan(topology, bandwidths)
+    result = execute_proof_plan(plan, readings)
+    tagged = tag_readings(readings)
+    for node in topology.nodes:
+        state = result.states[node]
+        subtree_values = sorted(
+            (tagged[d] for d in topology.descendants(node)), reverse=True
+        )
+        count = len(state.proven)
+        assert state.proven == subtree_values[:count]
+
+
+@settings(max_examples=100, deadline=None)
+@given(proof_plan_readings())
+def test_root_proven_prefix_is_global_top(data):
+    topology, bandwidths, readings = data
+    plan = QueryPlan(topology, bandwidths)
+    result = execute_proof_plan(plan, readings)
+    tagged = sorted(tag_readings(readings), reverse=True)
+    assert result.proven == tagged[: result.proven_count]
+    # the returned list is sorted and contains no duplicates
+    assert result.returned == sorted(result.returned, reverse=True)
+    nodes = [n for __, n in result.returned]
+    assert len(nodes) == len(set(nodes))

@@ -1,0 +1,98 @@
+"""Tests for plan serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.network.builder import line_topology
+from repro.plans.plan import QueryPlan
+from repro.plans.serialize import (
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+    topology_fingerprint,
+)
+from tests.conftest import tree_plan_readings
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, small_tree):
+        plan = QueryPlan(small_tree, {1: 2, 3: 1, 6: 4})
+        restored = plan_from_dict(plan_to_dict(plan), small_tree)
+        assert restored == plan
+
+    def test_file_round_trip(self, small_tree, tmp_path):
+        plan = QueryPlan.naive_k(small_tree, 3)
+        path = tmp_path / "plan.json"
+        save_plan(plan, path)
+        assert load_plan(path, small_tree) == plan
+
+    def test_zero_bandwidths_not_stored(self, small_tree):
+        plan = QueryPlan(small_tree, {1: 2})
+        data = plan_to_dict(plan)
+        assert list(data["bandwidths"]) == ["1"]
+
+    def test_proof_flag_preserved(self, small_tree):
+        plan = QueryPlan(
+            small_tree, {e: 1 for e in small_tree.edges},
+            requires_all_edges=True,
+        )
+        restored = plan_from_dict(plan_to_dict(plan), small_tree)
+        assert restored.requires_all_edges
+
+    def test_json_serializable(self, small_tree):
+        plan = QueryPlan.full(small_tree)
+        json.dumps(plan_to_dict(plan))  # must not raise
+
+
+class TestValidation:
+    def test_wrong_topology_rejected(self, small_tree):
+        plan = QueryPlan(small_tree, {1: 1})
+        other = line_topology(7)
+        with pytest.raises(PlanError, match="different topology"):
+            plan_from_dict(plan_to_dict(plan), other)
+
+    def test_fingerprint_is_structural(self, small_tree):
+        from repro.network.topology import Topology
+
+        same = Topology([-1, 0, 0, 1, 1, 2, 5])
+        assert topology_fingerprint(small_tree) == topology_fingerprint(same)
+        different = line_topology(7)
+        assert topology_fingerprint(small_tree) != topology_fingerprint(
+            different
+        )
+
+    def test_bad_version_rejected(self, small_tree):
+        plan = QueryPlan(small_tree, {1: 1})
+        data = plan_to_dict(plan)
+        data["format_version"] = 99
+        with pytest.raises(PlanError, match="version"):
+            plan_from_dict(data, small_tree)
+
+    def test_malformed_payload_rejected(self, small_tree):
+        data = plan_to_dict(QueryPlan(small_tree, {1: 1}))
+        del data["bandwidths"]
+        with pytest.raises(PlanError, match="malformed"):
+            plan_from_dict(data, small_tree)
+
+    def test_missing_file(self, small_tree, tmp_path):
+        with pytest.raises(PlanError, match="not found"):
+            load_plan(tmp_path / "nope.json", small_tree)
+
+    def test_invalid_json(self, small_tree, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(PlanError, match="valid JSON"):
+            load_plan(path, small_tree)
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree_plan_readings())
+def test_round_trip_property(data):
+    topology, bandwidths, __ = data
+    plan = QueryPlan(topology, bandwidths)
+    assert plan_from_dict(plan_to_dict(plan), topology) == plan

@@ -1,0 +1,187 @@
+"""Tests for cluster top-k queries (the paper's intro refinement)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.network.builder import zone_members, zoned_topology
+from repro.network.energy import EnergyModel
+from repro.plans.execution import execute_plan
+from repro.plans.plan import QueryPlan
+from repro.queries import ClusterTopKQuery, SubsetQueryPlanner, run_subset_query
+from repro.simulation.runtime import Simulator
+
+UNIFORM = EnergyModel.uniform(per_message_mj=1.0, per_value_mj=0.2)
+
+
+@pytest.fixture
+def spec():
+    return ClusterTopKQuery({"a": [1, 2], "b": [3, 4], "c": [5, 6]}, k=2)
+
+
+class TestValidation:
+    def test_rejects_bad_k(self):
+        with pytest.raises(PlanError):
+            ClusterTopKQuery({"a": [1]}, k=0)
+        with pytest.raises(PlanError, match="exceeds"):
+            ClusterTopKQuery({"a": [1]}, k=2)
+
+    def test_rejects_empty_or_overlapping(self):
+        with pytest.raises(PlanError, match="empty"):
+            ClusterTopKQuery({"a": []}, k=1)
+        with pytest.raises(PlanError, match="disjoint"):
+            ClusterTopKQuery({"a": [1], "b": [1, 2]}, k=1)
+        with pytest.raises(PlanError):
+            ClusterTopKQuery({}, k=1)
+
+
+class TestScoring:
+    def test_cluster_scores(self, spec):
+        readings = [0, 10, 20, 5, 5, 1, 1]
+        scores = spec.cluster_scores(readings)
+        assert scores == {"a": 15.0, "b": 5.0, "c": 1.0}
+
+    def test_top_clusters_and_answer(self, spec):
+        readings = [0, 10, 20, 5, 5, 1, 1]
+        assert spec.top_clusters(readings) == ["a", "b"]
+        assert spec.answer_nodes(readings) == {1, 2, 3, 4}
+
+    def test_tie_broken_by_name(self):
+        spec = ClusterTopKQuery({"x": [1], "y": [2]}, k=1)
+        assert spec.top_clusters([0, 5, 5]) == ["x"]
+
+    def test_low_value_in_strong_cluster_contributes(self, spec):
+        # node 1 reads tiny but its cluster still wins on the average
+        readings = [0, 1, 100, 5, 5, 1, 1]
+        assert 1 in spec.answer_nodes(readings)
+
+
+class TestExecution:
+    def test_priority_prefers_strong_clusters(self, spec):
+        samples = [[0, 10, 10, 2, 2, 1, 1]] * 3
+        priority = spec.forward_priority(samples)
+        # a weak member of the strong cluster beats a strong member of
+        # a weak cluster
+        assert priority((0.5, 1)) > priority((50.0, 5))
+
+    def test_priority_requires_samples(self, spec):
+        with pytest.raises(PlanError):
+            spec.forward_priority()
+
+    def test_answered_clusters(self, spec):
+        assert spec.answered_clusters({1, 2, 5}) == ["a"]
+        assert spec.answered_clusters(set()) == []
+
+    def test_cluster_aware_forwarding_keeps_clusters_whole(self):
+        """Narrow bandwidth: value-order forwarding splits clusters;
+        cluster-aware forwarding delivers whole winners."""
+        topo = zoned_topology(2, zone_size=3, relay_hops=2)
+        zones = zone_members(2, zone_size=3, relay_hops=2)
+        spec = ClusterTopKQuery({"z0": zones[0], "z1": zones[1]}, k=1)
+        # z0 wins on average, but z1 holds the single largest value
+        readings = np.zeros(topo.n)
+        readings[zones[0]] = [30.0, 29.0, 28.0]
+        readings[zones[1]] = [50.0, 1.0, 1.0]
+        samples = [readings.tolist()] * 4
+
+        # squeeze the shared relay edges to 3 values each
+        bandwidths = dict(QueryPlan.full(topo).bandwidths)
+        for zone in zones:
+            head_path = topo.path_edges(zone[0])
+            for edge in head_path[1:]:
+                bandwidths[edge] = 3
+        plan = QueryPlan(topo, bandwidths)
+
+        aware = execute_plan(
+            plan, readings, priority=spec.forward_priority(samples)
+        )
+        assert spec.answered_clusters(aware.returned_nodes) != []
+        assert "z0" in spec.answered_clusters(aware.returned_nodes)
+
+
+class TestPlanning:
+    def test_end_to_end_on_zones(self):
+        topo = zoned_topology(3, zone_size=4, relay_hops=2)
+        zones = zone_members(3, zone_size=4, relay_hops=2)
+        spec = ClusterTopKQuery(
+            {f"z{i}": zone for i, zone in enumerate(zones)}, k=1
+        )
+        rng = np.random.default_rng(0)
+        base = np.zeros(topo.n)
+        base[zones[0]] = 40.0  # zone 0 is reliably the best
+        base[zones[1]] = 20.0
+        base[zones[2]] = 10.0
+        samples = base + rng.normal(0, 1.0, size=(10, topo.n))
+
+        plan = SubsetQueryPlanner(spec).plan(
+            topo, UNIFORM, samples, budget=12.0
+        )
+        simulator = Simulator(topo, UNIFORM)
+        readings = base + rng.normal(0, 1.0, size=topo.n)
+        result = run_subset_query(
+            simulator, plan, spec, readings, samples=samples
+        )
+        assert result.recall == 1.0
+        assert spec.answered_clusters(
+            {n for __, n in result.report.returned}
+        ) == ["z0"]
+
+
+class TestWholeClusterPlanner:
+    def test_admits_best_clusters_within_budget(self):
+        from repro.network.energy import EnergyModel
+        from repro.queries.clusters import plan_whole_clusters
+
+        energy = EnergyModel.uniform(per_message_mj=1.0, per_value_mj=0.2)
+        topo = zoned_topology(3, zone_size=4, relay_hops=2)
+        zones = zone_members(3, zone_size=4, relay_hops=2)
+        spec = ClusterTopKQuery(
+            {f"z{i}": zone for i, zone in enumerate(zones)}, k=2
+        )
+        samples = np.zeros((5, topo.n))
+        samples[:, zones[1]] = 30.0   # z1 best
+        samples[:, zones[0]] = 20.0   # z0 second
+        samples[:, zones[2]] = 10.0
+
+        # enough for two whole zones, not three
+        plan, admitted = plan_whole_clusters(
+            spec, topo, energy, samples, budget=22.0
+        )
+        assert admitted == ["z1", "z0"]
+        for zone_name in admitted:
+            for member in spec.clusters[zone_name]:
+                assert member in plan.visited_nodes
+        assert plan.static_cost(energy) <= 22.0
+
+    def test_stops_at_k_clusters(self):
+        from repro.network.energy import EnergyModel
+        from repro.queries.clusters import plan_whole_clusters
+
+        energy = EnergyModel.uniform(per_message_mj=1.0, per_value_mj=0.0)
+        topo = zoned_topology(3, zone_size=2, relay_hops=1)
+        zones = zone_members(3, zone_size=2, relay_hops=1)
+        spec = ClusterTopKQuery(
+            {f"z{i}": zone for i, zone in enumerate(zones)}, k=1
+        )
+        samples = np.ones((3, topo.n))
+        __, admitted = plan_whole_clusters(
+            spec, topo, energy, samples, budget=1e9
+        )
+        assert len(admitted) == 1  # no point paying for more than k
+
+    def test_tiny_budget_admits_nothing(self):
+        from repro.network.energy import EnergyModel
+        from repro.queries.clusters import plan_whole_clusters
+
+        energy = EnergyModel.uniform(per_message_mj=1.0, per_value_mj=0.2)
+        topo = zoned_topology(2, zone_size=3, relay_hops=2)
+        zones = zone_members(2, zone_size=3, relay_hops=2)
+        spec = ClusterTopKQuery(
+            {f"z{i}": zone for i, zone in enumerate(zones)}, k=1
+        )
+        samples = np.ones((2, topo.n))
+        plan, admitted = plan_whole_clusters(
+            spec, topo, energy, samples, budget=0.5
+        )
+        assert admitted == []
+        assert plan.used_edges == []

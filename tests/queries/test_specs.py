@@ -1,0 +1,88 @@
+"""Unit tests for query specifications."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.queries import QuantileQuery, SelectionQuery, TopKQuery
+
+
+class TestTopKQuery:
+    def test_answer(self):
+        spec = TopKQuery(2)
+        assert spec.answer_nodes([5.0, 9.0, 1.0, 7.0]) == {1, 3}
+
+    def test_answer_readings_sorted(self):
+        spec = TopKQuery(2)
+        assert spec.answer_readings([5.0, 9.0, 1.0, 7.0]) == [(9.0, 1), (7.0, 3)]
+
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            TopKQuery(0)
+
+    def test_up_closed(self):
+        assert TopKQuery(3).up_closed
+        assert TopKQuery(3).forward_priority() is None
+
+
+class TestSelectionQuery:
+    def test_answer_strictly_above(self):
+        spec = SelectionQuery(threshold=5.0)
+        assert spec.answer_nodes([5.0, 6.0, 4.9, 5.1]) == {1, 3}
+
+    def test_empty_answer_possible(self):
+        spec = SelectionQuery(threshold=100.0)
+        assert spec.answer_nodes([1.0, 2.0]) == frozenset()
+
+    def test_recall_with_empty_truth_is_one(self):
+        spec = SelectionQuery(threshold=100.0)
+        assert spec.recall(set(), [1.0, 2.0]) == 1.0
+        assert spec.recall({0}, [1.0, 2.0]) == 1.0
+
+    def test_recall_partial(self):
+        spec = SelectionQuery(threshold=0.0)
+        assert spec.recall({0}, [1.0, 2.0]) == 0.5
+
+    def test_expected_answer_size(self):
+        spec = SelectionQuery(threshold=1.5)
+        rows = [[1.0, 2.0], [2.0, 2.0]]
+        assert spec.expected_answer_size(rows) == pytest.approx(1.5)
+        with pytest.raises(PlanError):
+            spec.expected_answer_size([])
+
+
+class TestQuantileQuery:
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            QuantileQuery(phi=1.5)
+        with pytest.raises(PlanError):
+            QuantileQuery(phi=0.5, band=-1)
+
+    def test_median_band(self):
+        spec = QuantileQuery(phi=0.5, band=1)
+        # ascending ranks of [40, 10, 30, 20, 50]: 10<20<30<40<50;
+        # median is 30 (node 2); band-1 neighbourhood adds 20 and 40
+        assert spec.answer_nodes([40.0, 10.0, 30.0, 20.0, 50.0]) == {0, 2, 3}
+
+    def test_extreme_quantiles(self):
+        readings = [1.0, 2.0, 3.0, 4.0]
+        assert QuantileQuery(phi=1.0, band=0).answer_nodes(readings) == {3}
+        assert QuantileQuery(phi=0.0, band=0).answer_nodes(readings) == {0}
+
+    def test_not_up_closed(self):
+        assert not QuantileQuery(phi=0.5).up_closed
+
+    def test_target_estimation(self):
+        spec = QuantileQuery(phi=0.5)
+        assert spec.estimate_target_value([[1.0, 3.0], [1.0, 3.0]]) == 2.0
+        with pytest.raises(PlanError):
+            spec.estimate_target_value([])
+
+    def test_priority_prefers_near_target(self):
+        spec = QuantileQuery(phi=0.5)
+        priority = spec.forward_priority([[0.0, 10.0]])  # target 5.0
+        assert priority((5.0, 0)) > priority((9.0, 1))
+        assert priority((4.0, 0)) > priority((0.0, 1))
+
+    def test_priority_requires_samples(self):
+        with pytest.raises(PlanError):
+            QuantileQuery(phi=0.5).forward_priority()

@@ -1,0 +1,146 @@
+"""Integration + property tests for generalized subset queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SamplingError
+from repro.network.builder import random_topology, star_topology
+from repro.network.energy import EnergyModel
+from repro.plans.execution import count_topk_hits, execute_plan
+from repro.plans.plan import QueryPlan
+from repro.queries import (
+    AnswerMatrix,
+    QuantileQuery,
+    SelectionQuery,
+    SubsetQueryPlanner,
+    TopKQuery,
+    run_subset_query,
+)
+from repro.simulation.runtime import Simulator
+from tests.conftest import tree_plan_readings
+
+UNIFORM = EnergyModel.uniform(per_message_mj=1.0, per_value_mj=0.2)
+
+
+class TestAnswerMatrix:
+    def test_interface_matches_sample_matrix(self):
+        values = np.array([[5, 1, 9], [1, 8, 2.0]])
+        matrix = AnswerMatrix(values, TopKQuery(1))
+        assert matrix.num_samples == 2 and matrix.num_nodes == 3
+        assert matrix.ones(0) == frozenset({2})
+        assert matrix.column_counts().tolist() == [0, 1, 1]
+        assert matrix.max_answer_size() == 1
+        assert "top-k" in repr(matrix)
+
+    def test_selection_matrix(self):
+        values = np.array([[5, 1, 9], [1, 8, 2.0]])
+        matrix = AnswerMatrix(values, SelectionQuery(threshold=4.0))
+        assert matrix.ones(0) == frozenset({0, 2})
+        assert matrix.ones(1) == frozenset({1})
+
+    def test_shape_validation(self):
+        with pytest.raises(SamplingError):
+            AnswerMatrix(np.zeros(3), TopKQuery(1))
+
+
+class TestSelectionPlanning:
+    def test_planner_finds_hot_nodes(self):
+        topo = star_topology(6)
+        rng = np.random.default_rng(0)
+        samples = np.full((10, 6), 10.0) + rng.normal(0, 0.1, (10, 6))
+        samples[:, 2] = 50.0  # node 2 always fires the predicate
+        samples[:, 4] = 50.0
+        spec = SelectionQuery(threshold=40.0)
+        planner = SubsetQueryPlanner(spec)
+        plan = planner.plan(topo, UNIFORM, samples, budget=3.0)
+        assert plan.bandwidth(2) >= 1
+        assert plan.bandwidth(4) >= 1
+
+    def test_budget_respected(self):
+        topo = random_topology(25, rng=np.random.default_rng(1), radio_range=35.0)
+        rng = np.random.default_rng(2)
+        samples = rng.normal(10, 4, size=(12, 25))
+        spec = SelectionQuery(threshold=14.0)
+        for budget in (5.0, 12.0):
+            plan = SubsetQueryPlanner(spec).plan(topo, UNIFORM, samples, budget)
+            assert plan.static_cost(UNIFORM) <= budget + 1e-9
+
+    def test_unsatisfiable_spec_rejected(self):
+        topo = star_topology(3)
+        samples = np.zeros((4, 3))
+        spec = SelectionQuery(threshold=99.0)
+        with pytest.raises(SamplingError, match="non-empty"):
+            SubsetQueryPlanner(spec).plan(topo, UNIFORM, samples, budget=5.0)
+
+    def test_run_subset_query_scores_recall(self):
+        topo = star_topology(5)
+        samples = np.tile([0.0, 50, 1, 50, 1], (6, 1))
+        spec = SelectionQuery(threshold=40.0)
+        plan = SubsetQueryPlanner(spec).plan(topo, UNIFORM, samples, budget=4.0)
+        simulator = Simulator(topo, UNIFORM)
+        readings = np.array([0.0, 50, 1, 50, 1])
+        result = run_subset_query(simulator, plan, spec, readings)
+        assert result.recall == 1.0
+        assert {n for __, n in result.answer} == {1, 3}
+        assert result.report.energy_mj > 0
+
+
+class TestQuantilePlanning:
+    def test_priority_execution_beats_value_order(self):
+        """Without target-aware forwarding, maxima crowd out the median
+        band at narrow bandwidths."""
+        from repro.network.builder import line_topology
+
+        topo = line_topology(9)  # deep chain, narrow bandwidth below
+        rng = np.random.default_rng(3)
+        samples = rng.normal(20, 5, size=(30, 9))
+        spec = QuantileQuery(phi=0.5, band=1)
+
+        bandwidths = {e: 3 for e in topo.edges}
+        plan = QueryPlan(topo, bandwidths)
+        priority = spec.forward_priority(samples)
+
+        wins = ties = losses = 0
+        for __ in range(40):
+            readings = rng.normal(20, 5, size=9)
+            truth = spec.answer_nodes(readings)
+            aware = execute_plan(plan, readings, priority=priority)
+            naive = execute_plan(plan, readings)
+            aware_hits = len(aware.returned_nodes & truth)
+            naive_hits = len(naive.returned_nodes & truth)
+            if aware_hits > naive_hits:
+                wins += 1
+            elif aware_hits == naive_hits:
+                ties += 1
+            else:
+                losses += 1
+        assert wins > losses
+
+    def test_end_to_end_quantile_query(self):
+        topo = random_topology(20, rng=np.random.default_rng(4), radio_range=40.0)
+        rng = np.random.default_rng(5)
+        samples = rng.normal(15, 3, size=(20, 20))
+        spec = QuantileQuery(phi=0.9, band=1)
+        plan = SubsetQueryPlanner(spec).plan(topo, UNIFORM, samples, budget=15.0)
+        simulator = Simulator(topo, UNIFORM)
+        readings = rng.normal(15, 3, size=20)
+        result = run_subset_query(
+            simulator, plan, spec, readings, samples=samples
+        )
+        assert 0.0 <= result.recall <= 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree_plan_readings(), st.integers(min_value=-20, max_value=20))
+def test_selection_hits_match_tree_recursion(data, threshold):
+    """Selection answers are up-closed, so the analytic recursion on
+    delivered answer nodes is exact — same law as for top-k."""
+    topology, bandwidths, readings = data
+    plan = QueryPlan(topology, bandwidths)
+    spec = SelectionQuery(threshold=float(threshold))
+    truth = set(spec.answer_nodes(readings))
+    result = execute_plan(plan, readings)
+    executed = len(result.returned_nodes & truth)
+    assert executed == count_topk_hits(plan, truth)

@@ -1,0 +1,35 @@
+"""Unit tests for accuracy metrics."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.query.accuracy import accuracy, recall_of_nodes
+
+
+class TestRecall:
+    def test_full_and_partial(self):
+        assert recall_of_nodes({1, 2, 3}, {1, 2, 3}) == 1.0
+        assert recall_of_nodes({1, 9}, {1, 2}) == 0.5
+        assert recall_of_nodes(set(), {1, 2}) == 0.0
+
+    def test_extra_nodes_do_not_help(self):
+        assert recall_of_nodes({1, 2, 3, 4, 5}, {1, 2}) == 1.0
+
+    def test_accepts_any_iterable(self):
+        assert recall_of_nodes([1, 1, 2], {1, 2}) == 1.0
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(PlanError):
+            recall_of_nodes({1}, set())
+
+
+class TestAccuracy:
+    def test_against_readings(self):
+        readings = [10.0, 50.0, 30.0, 40.0]
+        assert accuracy({1, 3}, readings, 2) == 1.0
+        assert accuracy({1, 0}, readings, 2) == 0.5
+        assert accuracy({0}, readings, 2) == 0.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(PlanError):
+            accuracy({0}, [1.0, 2.0], 0)

@@ -1,0 +1,205 @@
+"""Integration tests for the end-to-end query engine."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.gaussian import random_gaussian_field
+from repro.errors import SamplingError
+from repro.network.builder import random_topology
+from repro.network.energy import EnergyModel
+from repro.planners.greedy import GreedyPlanner
+from repro.planners.lp_no_lf import LPNoLFPlanner
+from repro.query.engine import EngineConfig, TopKEngine
+from repro.sampling.collector import AdaptiveSampler
+
+
+@pytest.fixture
+def setting():
+    rng = np.random.default_rng(9)
+    topology = random_topology(30, rng=rng)
+    field = random_gaussian_field(30, rng)
+    return rng, topology, field
+
+
+def make_engine(topology, planner=None, rng=None, budget_mj=40.0, **config):
+    return TopKEngine(
+        topology,
+        EnergyModel.mica2(),
+        k=4,
+        planner=planner or LPNoLFPlanner(),
+        config=EngineConfig(budget_mj=budget_mj, **config),
+        rng=rng or np.random.default_rng(0),
+    )
+
+
+class TestEngineLifecycle:
+    def test_query_requires_samples(self, setting):
+        __, topology, __ = setting
+        engine = make_engine(topology)
+        with pytest.raises(SamplingError, match="feed_sample"):
+            engine.query(np.zeros(topology.n))
+
+    def test_feed_then_query(self, setting):
+        rng, topology, field = setting
+        engine = make_engine(topology)
+        for __ in range(10):
+            engine.feed_sample(field.sample(rng))
+        result = engine.query(field.sample(rng))
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.energy_mj > 0
+        assert len(result.returned) <= 4
+        assert result.returned_nodes <= set(topology.nodes)
+
+    def test_feed_sample_can_charge_energy(self, setting):
+        rng, topology, field = setting
+        engine = make_engine(topology)
+        engine.feed_sample(field.sample(rng), charge_energy=True)
+        assert engine.total_energy_mj > 0
+
+    def test_plan_cached_between_queries(self, setting):
+        rng, topology, field = setting
+        engine = make_engine(topology)
+        for __ in range(5):
+            engine.feed_sample(field.sample(rng))
+        first = engine.ensure_plan()
+        engine.query(field.sample(rng))
+        assert engine.ensure_plan() is first
+
+    def test_new_sample_invalidates_plan(self, setting):
+        rng, topology, field = setting
+        engine = make_engine(topology)
+        for __ in range(5):
+            engine.feed_sample(field.sample(rng))
+        engine.ensure_plan()
+        engine.feed_sample(field.sample(rng))
+        assert engine.plan is None
+
+    def test_accuracy_reasonable_on_predictable_field(self, setting):
+        rng, topology, __ = setting
+        means = np.zeros(topology.n)
+        means[[5, 11, 17, 23]] = 100.0  # fixed, obvious winners
+        from repro.datagen.gaussian import GaussianField
+
+        field = GaussianField(means, np.full(topology.n, 0.5))
+        engine = make_engine(topology)
+        for __ in range(8):
+            engine.feed_sample(field.sample(rng))
+        accuracies = [engine.query(field.sample(rng)).accuracy for __ in range(5)]
+        assert np.mean(accuracies) == 1.0
+
+
+class TestStepLoop:
+    def test_explore_and_query_mix(self, setting):
+        rng, topology, field = setting
+        engine = make_engine(
+            topology, rng=np.random.default_rng(1)
+        )
+        engine.sampler = AdaptiveSampler(
+            base_rate=0.3, rng=np.random.default_rng(2)
+        )
+        actions = [engine.step(field.sample(rng)).action for __ in range(40)]
+        assert "sample" in actions and "query" in actions
+        # the first step must sample (empty window)
+        assert actions[0] == "sample"
+
+    def test_energy_accumulates(self, setting):
+        rng, topology, field = setting
+        engine = make_engine(topology)
+        for __ in range(10):
+            engine.step(field.sample(rng))
+        assert engine.total_energy_mj > 0
+
+    def test_replan_only_on_improvement(self, setting):
+        rng, topology, field = setting
+        engine = make_engine(topology, replan_every=1, replan_improvement=1e9)
+        for __ in range(6):
+            engine.feed_sample(field.sample(rng))
+        engine.ensure_plan()
+        plan = engine.plan
+        # impossible improvement threshold: the plan must never change
+        assert engine.maybe_replan() is False
+        assert engine.plan is plan
+
+    def test_maybe_replan_installs_when_absent(self, setting):
+        rng, topology, field = setting
+        engine = make_engine(topology)
+        for __ in range(5):
+            engine.feed_sample(field.sample(rng))
+        assert engine.maybe_replan() is True
+        assert engine.plan is not None
+
+    def test_greedy_engine_works_too(self, setting):
+        rng, topology, field = setting
+        engine = make_engine(topology, planner=GreedyPlanner())
+        for __ in range(6):
+            engine.feed_sample(field.sample(rng))
+        result = engine.query(field.sample(rng))
+        assert result.energy_mj >= 0
+
+    def test_track_truth_off(self, setting):
+        rng, topology, field = setting
+        engine = make_engine(topology, track_truth=False)
+        for __ in range(5):
+            engine.feed_sample(field.sample(rng))
+        result = engine.query(field.sample(rng))
+        assert np.isnan(result.accuracy)
+
+
+class TestFailureStatistics:
+    def test_observed_failures_update_model(self, setting):
+        from repro.network.failures import LinkFailureModel
+
+        rng, topology, field = setting
+        failures = LinkFailureModel.uniform(
+            topology, probability=0.5, reroute_extra_mj=1.0
+        )
+        engine = TopKEngine(
+            topology,
+            EnergyModel.mica2(),
+            k=4,
+            planner=LPNoLFPlanner(),
+            config=EngineConfig(budget_mj=60.0),
+            failures=failures,
+            rng=np.random.default_rng(1),
+        )
+        for __ in range(6):
+            engine.feed_sample(field.sample(rng))
+        before = dict(failures.failure_probability)
+        for __ in range(15):
+            engine.query(field.sample(rng))
+        # at least one observed edge's estimate moved
+        assert any(
+            failures.failure_probability[e] != before[e]
+            for e in engine.plan.used_edges
+            if e in before
+        )
+
+    def test_no_failure_model_is_noop(self, setting):
+        rng, topology, field = setting
+        engine = make_engine(topology)
+        for __ in range(5):
+            engine.feed_sample(field.sample(rng))
+        engine.query(field.sample(rng))  # must not raise
+
+
+class TestAudit:
+    def test_audit_scores_against_proof_truth(self, setting):
+        rng, topology, field = setting
+        engine = make_engine(topology)
+        for __ in range(8):
+            engine.feed_sample(field.sample(rng))
+        before = engine.total_energy_mj
+        estimated, audit_energy = engine.audit(field.sample(rng))
+        assert 0.0 <= estimated <= 1.0
+        assert audit_energy > 0
+        assert engine.total_energy_mj > before
+
+    def test_bad_audit_boosts_sampling_rate(self, setting):
+        rng, topology, field = setting
+        engine = make_engine(topology, budget_mj=5.0)  # starved plan
+        for __ in range(8):
+            engine.feed_sample(field.sample(rng))
+        base_rate = engine.sampler.rate
+        estimated, __ = engine.audit(field.sample(rng))
+        if estimated < engine.sampler.target_accuracy:
+            assert engine.sampler.rate > base_rate

@@ -1,0 +1,124 @@
+"""Tests for the engine history recorder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.query.history import EngineHistory
+from repro.query.result import EpochOutcome, QueryResult
+
+
+def query_outcome(epoch, accuracy, energy=2.0, replanned=False):
+    return EpochOutcome(
+        epoch=epoch,
+        action="query",
+        result=QueryResult(returned=[], energy_mj=energy, accuracy=accuracy),
+        energy_mj=energy,
+        notes={"replanned": replanned},
+    )
+
+
+def sample_outcome(epoch, energy=10.0):
+    return EpochOutcome(epoch=epoch, action="sample", energy_mj=energy)
+
+
+class TestRecording:
+    def test_capacity_evicts_oldest(self):
+        history = EngineHistory(capacity=3)
+        for epoch in range(5):
+            history.record(query_outcome(epoch, 0.5))
+        assert len(history) == 3
+        assert history.outcomes[0].epoch == 2
+
+    def test_unbounded_by_default(self):
+        history = EngineHistory()
+        for epoch in range(100):
+            history.record(sample_outcome(epoch))
+        assert len(history) == 100
+
+
+class TestSummary:
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            EngineHistory().summary()
+
+    def test_aggregates(self):
+        history = EngineHistory()
+        history.record(sample_outcome(1, energy=10.0))
+        history.record(query_outcome(2, 0.8, energy=2.0))
+        history.record(query_outcome(3, 0.6, energy=4.0, replanned=True))
+        summary = history.summary()
+        assert summary.epochs == 3
+        assert summary.queries == 2
+        assert summary.samples == 1
+        assert summary.replans == 1
+        assert summary.mean_accuracy == pytest.approx(0.7)
+        assert summary.mean_query_energy_mj == pytest.approx(3.0)
+        assert summary.total_energy_mj == pytest.approx(16.0)
+        assert summary.sample_energy_fraction == pytest.approx(10 / 16)
+
+    def test_windowed_summary(self):
+        history = EngineHistory()
+        history.record(query_outcome(1, 0.0))
+        history.record(query_outcome(2, 1.0))
+        assert history.summary(last=1).mean_accuracy == 1.0
+
+    def test_nan_accuracies_skipped(self):
+        history = EngineHistory()
+        history.record(query_outcome(1, float("nan")))
+        history.record(query_outcome(2, 0.5))
+        assert history.summary().mean_accuracy == pytest.approx(0.5)
+
+
+class TestDrift:
+    def test_detects_sustained_drop(self):
+        history = EngineHistory()
+        for epoch in range(10):
+            history.record(query_outcome(epoch, 0.9))
+        for epoch in range(10, 20):
+            history.record(query_outcome(epoch, 0.4))
+        assert history.detect_drift(window=10, drop=0.2)
+
+    def test_quiet_on_stable_accuracy(self):
+        history = EngineHistory()
+        for epoch in range(20):
+            history.record(query_outcome(epoch, 0.85))
+        assert not history.detect_drift(window=10)
+
+    def test_needs_enough_data(self):
+        history = EngineHistory()
+        for epoch in range(5):
+            history.record(query_outcome(epoch, 0.9))
+        assert not history.detect_drift(window=10)
+
+    def test_series_exposed(self):
+        history = EngineHistory()
+        history.record(sample_outcome(1))
+        history.record(query_outcome(2, 0.75))
+        assert history.accuracy_series() == [(2, 0.75)]
+
+
+class TestEngineIntegration:
+    def test_records_step_outcomes(self):
+        from repro.datagen.gaussian import random_gaussian_field
+        from repro.network.builder import random_topology
+        from repro.network.energy import EnergyModel
+        from repro.planners.lp_no_lf import LPNoLFPlanner
+        from repro.query.engine import EngineConfig, TopKEngine
+
+        rng = np.random.default_rng(0)
+        topology = random_topology(20, rng=rng, radio_range=40.0)
+        field = random_gaussian_field(20, rng)
+        engine = TopKEngine(
+            topology, EnergyModel.mica2(), k=3,
+            planner=LPNoLFPlanner(),
+            config=EngineConfig(budget_mj=30.0),
+            rng=np.random.default_rng(1),
+        )
+        history = EngineHistory()
+        for __ in range(12):
+            history.record(engine.step(field.sample(rng)))
+        summary = history.summary()
+        assert summary.epochs == 12
+        assert summary.queries + summary.samples == 12
+        assert summary.total_energy_mj > 0

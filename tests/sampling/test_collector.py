@@ -1,0 +1,46 @@
+"""Unit tests for the adaptive sampling scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.collector import AdaptiveSampler
+
+
+class TestAdaptiveSampler:
+    def test_parameter_validation(self):
+        with pytest.raises(SamplingError):
+            AdaptiveSampler(base_rate=0.0)
+        with pytest.raises(SamplingError):
+            AdaptiveSampler(base_rate=0.5, max_rate=0.1)
+        with pytest.raises(SamplingError):
+            AdaptiveSampler(boost=0.5)
+        with pytest.raises(SamplingError):
+            AdaptiveSampler(decay=0.0)
+
+    def test_explore_rate_statistics(self):
+        sampler = AdaptiveSampler(base_rate=0.2, rng=np.random.default_rng(0))
+        decisions = [sampler.decide() for __ in range(5000)]
+        rate = np.mean([d.explore for d in decisions])
+        assert 0.17 < rate < 0.23
+        assert all(d.rate == 0.2 for d in decisions)
+        assert decisions[0].exploit != decisions[0].explore
+
+    def test_bad_accuracy_boosts_rate(self):
+        sampler = AdaptiveSampler(base_rate=0.05, target_accuracy=0.9)
+        for __ in range(10):
+            sampler.record_accuracy(0.2)
+        assert sampler.rate == sampler.max_rate
+
+    def test_good_accuracy_decays_back(self):
+        sampler = AdaptiveSampler(base_rate=0.05, target_accuracy=0.9)
+        sampler.record_accuracy(0.1)
+        boosted = sampler.rate
+        for __ in range(50):
+            sampler.record_accuracy(1.0)
+        assert sampler.rate < boosted
+        assert sampler.rate == pytest.approx(sampler.base_rate)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(SamplingError):
+            AdaptiveSampler().record_accuracy(1.5)

@@ -1,0 +1,101 @@
+"""Unit and property tests for the sample matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SamplingError
+from repro.sampling.matrix import SampleMatrix
+
+
+class TestConstruction:
+    def test_shape_checks(self):
+        with pytest.raises(SamplingError, match="2-D"):
+            SampleMatrix(np.zeros(5), 1)
+        with pytest.raises(SamplingError, match="at least one"):
+            SampleMatrix(np.zeros((0, 5)), 1)
+        with pytest.raises(SamplingError, match="k must"):
+            SampleMatrix(np.zeros((2, 5)), 0)
+
+    def test_k_clamped_to_node_count(self):
+        matrix = SampleMatrix(np.zeros((2, 3)), 10)
+        assert matrix.k == 3
+        assert matrix.requested_k == 10
+        assert len(matrix.ones(0)) == 3
+
+    def test_from_rows(self):
+        matrix = SampleMatrix.from_rows([[1, 2], [2, 1]], 1)
+        assert matrix.num_samples == 2
+        assert matrix.num_nodes == 2
+
+    def test_repr(self):
+        assert "m=2" in repr(SampleMatrix(np.zeros((2, 3)), 1))
+
+
+class TestDerivedQuantities:
+    def test_ones_and_matrix_agree(self):
+        values = np.array([[5, 1, 9], [1, 8, 2.0]])
+        matrix = SampleMatrix(values, 1)
+        assert matrix.ones(0) == frozenset({2})
+        assert matrix.ones(1) == frozenset({1})
+        assert matrix.matrix[0].tolist() == [False, False, True]
+        assert matrix.ones_list() == [frozenset({2}), frozenset({1})]
+
+    def test_ties_broken_by_node_id(self):
+        matrix = SampleMatrix(np.array([[7.0, 7.0, 7.0]]), 2)
+        assert matrix.ones(0) == frozenset({1, 2})
+
+    def test_column_counts(self):
+        values = np.array([[5, 1, 9], [1, 8, 2], [9, 1, 5.0]])
+        matrix = SampleMatrix(values, 1)
+        assert matrix.column_counts().tolist() == [1, 1, 1]
+        matrix2 = SampleMatrix(values, 2)
+        assert matrix2.column_counts().tolist() == [2, 1, 3]
+
+    def test_value_accessor(self):
+        matrix = SampleMatrix(np.array([[5.0, 1.0]]), 1)
+        assert matrix.value(0, 1) == 1.0
+
+    def test_smaller_than(self):
+        matrix = SampleMatrix(np.array([[5, 1, 9, 5.0]]), 1)
+        # node 0 has value 5; ties resolve by id: node 3 (same value,
+        # higher id) ranks above node 0
+        assert matrix.smaller_than(0, 0) == frozenset({1})
+        assert matrix.smaller_than(3, 0) == frozenset({0, 1})
+        assert matrix.smaller_than(2, 0) == frozenset({0, 1, 3})
+
+    def test_with_sample_appends_immutably(self):
+        matrix = SampleMatrix(np.array([[1.0, 2.0]]), 1)
+        grown = matrix.with_sample([3.0, 0.0])
+        assert matrix.num_samples == 1
+        assert grown.num_samples == 2
+        assert grown.ones(1) == frozenset({0})
+
+    def test_with_sample_rejects_wrong_width(self):
+        matrix = SampleMatrix(np.array([[1.0, 2.0]]), 1)
+        with pytest.raises(SamplingError, match="nodes"):
+            matrix.with_sample([1.0])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_matrix_invariants(m, n, k, seed):
+    values = np.random.default_rng(seed).normal(size=(m, n))
+    matrix = SampleMatrix(values, k)
+    effective = min(k, n)
+    assert matrix.matrix.sum() == m * effective
+    for j in range(m):
+        ones = matrix.ones(j)
+        assert len(ones) == effective
+        # every one-node's value >= every zero-node's value
+        floor = min(values[j, node] for node in ones)
+        for other in range(n):
+            if other not in ones:
+                assert values[j, other] <= floor
+    assert matrix.column_counts().sum() == m * effective

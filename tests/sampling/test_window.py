@@ -1,0 +1,53 @@
+"""Unit tests for the sample window."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.window import SampleWindow
+
+
+class TestSampleWindow:
+    def test_capacity_eviction(self):
+        window = SampleWindow(capacity=2)
+        window.add([1.0, 0.0])
+        window.add([2.0, 0.0])
+        window.add([3.0, 0.0])
+        assert len(window) == 2
+        matrix = window.matrix(1)
+        assert matrix.values[:, 0].tolist() == [2.0, 3.0]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(SamplingError):
+            SampleWindow(capacity=0)
+
+    def test_rejects_shape_mismatch(self):
+        window = SampleWindow()
+        window.add([1.0, 2.0])
+        with pytest.raises(SamplingError, match="nodes"):
+            window.add([1.0])
+        with pytest.raises(SamplingError, match="flat"):
+            window.add(np.zeros((2, 2)))
+
+    def test_matrix_requires_samples(self):
+        with pytest.raises(SamplingError, match="empty"):
+            SampleWindow().matrix(1)
+
+    def test_extend_and_clear(self):
+        window = SampleWindow(capacity=10)
+        window.extend(np.arange(6, dtype=float).reshape(3, 2))
+        assert len(window) == 3
+        assert window.num_nodes == 2
+        assert not window.is_empty
+        window.clear()
+        assert window.is_empty
+        assert window.num_nodes is None
+
+    def test_matrix_reflects_current_window(self):
+        window = SampleWindow(capacity=3)
+        window.add([9.0, 1.0])
+        assert window.matrix(1).ones(0) == frozenset({0})
+        window.add([1.0, 9.0])
+        matrix = window.matrix(1)
+        assert matrix.num_samples == 2
+        assert matrix.ones(1) == frozenset({1})

@@ -1,0 +1,60 @@
+"""Unit tests for distribution-phase costs."""
+
+import pytest
+
+from repro.network.builder import line_topology, star_topology
+from repro.network.energy import EnergyModel
+from repro.plans.plan import QueryPlan
+from repro.simulation.distribution import initial_distribution_cost, trigger_cost
+
+UNIFORM = EnergyModel.uniform(per_message_mj=1.0, per_value_mj=0.5)
+
+
+class TestInitialDistribution:
+    def test_empty_plan_costs_nothing(self, small_tree):
+        plan = QueryPlan(small_tree, {})
+        assert initial_distribution_cost(plan, UNIFORM) == 0.0
+
+    def test_one_unicast_per_participating_node(self, small_tree):
+        plan = QueryPlan.from_chosen_nodes(small_tree, {3})  # path 3-1-0
+        cost = initial_distribution_cost(plan, UNIFORM)
+        # two participating non-root nodes, each >= one message cost
+        assert cost >= 2 * UNIFORM.per_message_mj
+        # subplan payloads make deeper installs dearer than 2 bare messages
+        assert cost > 2 * UNIFORM.per_message_mj
+
+    def test_install_on_order_of_collection(self, medium_random):
+        """Paper §5: installing the plan costs on the order of one
+        collection phase."""
+        plan = QueryPlan.naive_k(medium_random, 5)
+        install = initial_distribution_cost(plan, UNIFORM)
+        collection = plan.static_cost(UNIFORM)
+        assert 0.2 * collection <= install <= 5 * collection
+
+
+class TestTrigger:
+    def test_only_internal_nodes_broadcast(self):
+        star = star_topology(5)
+        plan = QueryPlan.full(star)
+        # only the root has active children
+        assert trigger_cost(plan, UNIFORM) == pytest.approx(
+            UNIFORM.broadcast_cost()
+        )
+
+    def test_chain_broadcasts_along_path(self):
+        chain = line_topology(4)
+        plan = QueryPlan.full(chain)
+        assert trigger_cost(plan, UNIFORM) == pytest.approx(
+            3 * UNIFORM.broadcast_cost()
+        )
+
+    def test_trigger_much_cheaper_than_collection(self, medium_random):
+        """Paper §2: subsequent distribution phases cost much less than
+        a collection phase."""
+        plan = QueryPlan.naive_k(medium_random, 5)
+        assert trigger_cost(plan, UNIFORM) < 0.5 * plan.static_cost(UNIFORM)
+
+    def test_unused_subtrees_not_triggered(self, small_tree):
+        plan = QueryPlan.from_chosen_nodes(small_tree, {3})
+        full = QueryPlan.full(small_tree)
+        assert trigger_cost(plan, UNIFORM) < trigger_cost(full, UNIFORM)

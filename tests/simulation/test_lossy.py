@@ -1,0 +1,133 @@
+"""Tests for lossy (non-reliable) execution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.builder import line_topology
+from repro.network.failures import LinkFailureModel
+from repro.plans.execution import execute_plan
+from repro.plans.plan import QueryPlan, top_k_set
+from repro.simulation.lossy import execute_plan_lossy, redundancy_plan
+from tests.conftest import tree_plan_readings
+
+
+def reliable_failures(topology):
+    return LinkFailureModel.uniform(topology, probability=0.0,
+                                    reroute_extra_mj=0.0)
+
+
+class TestLossyExecution:
+    def test_no_failures_matches_reliable(self, medium_random, rng):
+        readings = rng.normal(size=medium_random.n)
+        plan = QueryPlan.naive_k(medium_random, 5)
+        lossy = execute_plan_lossy(
+            plan, readings, reliable_failures(medium_random), rng
+        )
+        reliable = execute_plan(plan, readings)
+        assert lossy.returned == reliable.returned
+        assert lossy.lost_messages == 0
+
+    def test_certain_failure_loses_everything_below(self):
+        topo = line_topology(4)
+        failures = LinkFailureModel.uniform(topo, probability=1.0,
+                                            reroute_extra_mj=0.0)
+        plan = QueryPlan.full(topo)
+        result = execute_plan_lossy(
+            plan, [1.0, 2.0, 3.0, 4.0], failures, np.random.default_rng(0)
+        )
+        assert result.returned == [(1.0, 0)]  # only the root's own value
+        assert result.lost_messages >= 1
+        # the sender still paid: every edge logged a message
+        assert len(result.messages) >= 1
+
+    def test_partial_failure_degrades_accuracy(self, medium_random):
+        failures = LinkFailureModel.uniform(medium_random, probability=0.3,
+                                            reroute_extra_mj=0.0)
+        rng = np.random.default_rng(1)
+        plan = QueryPlan.naive_k(medium_random, 5)
+        hits = 0
+        trials = 60
+        for __ in range(trials):
+            readings = rng.normal(size=medium_random.n)
+            truth = top_k_set(readings, 5)
+            result = execute_plan_lossy(plan, readings, failures, rng)
+            hits += len(result.returned_nodes & truth)
+        mean_accuracy = hits / (5 * trials)
+        assert 0.1 < mean_accuracy < 0.95  # degraded but not destroyed
+
+    def test_lost_values_counted(self):
+        topo = line_topology(3)
+        failures = LinkFailureModel(
+            failure_probability={1: 1.0}, reroute_extra_mj={}
+        )
+        plan = QueryPlan.full(topo)
+        result = execute_plan_lossy(
+            plan, [1.0, 2.0, 3.0], failures, np.random.default_rng(0)
+        )
+        assert result.lost_messages == 1
+        assert result.lost_values == 2  # nodes 1 and 2's values
+
+
+class TestRedundancyPlan:
+    def test_widens_only_used_edges(self, small_tree):
+        plan = QueryPlan(small_tree, {1: 2, 3: 1, 4: 1})
+        widened = redundancy_plan(plan, extra=2)
+        assert widened.bandwidth(1) == 4
+        assert widened.bandwidth(3) == 3
+        assert widened.bandwidth(2) == 0  # untouched: was unused
+
+    def test_redundancy_improves_lossy_accuracy(self, medium_random):
+        """Wider messages survive losses better (the §4.4 trade)."""
+        failures = LinkFailureModel.uniform(medium_random, probability=0.25,
+                                            reroute_extra_mj=0.0)
+        base = QueryPlan.naive_k(medium_random, 3)
+        wide = redundancy_plan(base, extra=3)
+        rng_a = np.random.default_rng(2)
+        rng_b = np.random.default_rng(2)  # identical failure draws
+        data_rng = np.random.default_rng(3)
+        base_hits = wide_hits = 0
+        for __ in range(60):
+            readings = data_rng.normal(size=medium_random.n)
+            truth = top_k_set(readings, 3)
+            base_hits += len(
+                execute_plan_lossy(base, readings, failures, rng_a)
+                .returned_nodes & truth
+            )
+            wide_hits += len(
+                execute_plan_lossy(wide, readings, failures, rng_b)
+                .returned_nodes & truth
+            )
+        assert wide_hits >= base_hits
+
+
+@settings(max_examples=80, deadline=None)
+@given(tree_plan_readings(),
+       st.integers(min_value=0, max_value=2**32 - 1),
+       st.floats(min_value=0.0, max_value=1.0),
+       st.integers(min_value=1, max_value=5))
+def test_lossy_never_beats_reliable(data, seed, probability, k):
+    """Losing messages can only reduce delivered top-k hits: the flow
+    through each edge is monotone in what survives below it.  (Note the
+    *returned set* is not a subset of the reliable one — losses free up
+    bandwidth for values that were otherwise filtered.)"""
+    topology, bandwidths, readings = data
+    plan = QueryPlan(topology, bandwidths)
+    failures = LinkFailureModel.uniform(
+        topology, probability=probability, reroute_extra_mj=0.0
+    )
+    lossy = execute_plan_lossy(
+        plan, readings, failures, np.random.default_rng(seed)
+    )
+    reliable = execute_plan(plan, readings)
+    truth = top_k_set(readings, k)
+    assert len(lossy.returned_nodes & truth) <= len(
+        reliable.returned_nodes & truth
+    )
+    # returned values are genuine readings, sorted, no duplicates
+    for value, node in lossy.returned:
+        assert float(readings[node]) == value
+    nodes = [node for __, node in lossy.returned]
+    assert len(nodes) == len(set(nodes))
+    assert lossy.returned == sorted(lossy.returned, reverse=True)

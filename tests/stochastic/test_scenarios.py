@@ -1,0 +1,49 @@
+"""Unit tests for scenario sets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.matrix import SampleMatrix
+from repro.stochastic.scenarios import ScenarioSet
+
+
+class TestScenarioSet:
+    def test_requires_scenarios(self):
+        with pytest.raises(SamplingError):
+            ScenarioSet([])
+
+    def test_from_sample_matrix(self):
+        matrix = SampleMatrix(np.array([[5, 1, 9], [1, 8, 2.0]]), 1)
+        scenarios = ScenarioSet.from_sample_matrix(matrix)
+        assert scenarios.scenarios == [frozenset({2}), frozenset({1})]
+
+    def test_probability_uniform(self):
+        scenarios = ScenarioSet([{1}, {2}, {3, 4}])
+        assert scenarios.probability == pytest.approx(1 / 3)
+        assert len(scenarios) == 3
+
+    def test_terminals_union(self):
+        scenarios = ScenarioSet([{1, 2}, {2, 3}])
+        assert scenarios.terminals() == {1, 2, 3}
+
+    def test_demand_counts(self):
+        scenarios = ScenarioSet([{0, 2}, {2}])
+        assert scenarios.demand_counts(3).tolist() == [1, 0, 2]
+
+    def test_subset(self):
+        scenarios = ScenarioSet([{1}, {2}, {3}])
+        assert len(scenarios.subset(2)) == 2
+        with pytest.raises(SamplingError):
+            scenarios.subset(0)
+        with pytest.raises(SamplingError):
+            scenarios.subset(4)
+
+    def test_from_distribution(self):
+        rng = np.random.default_rng(0)
+        scenarios = ScenarioSet.from_distribution(
+            5, lambda: {int(rng.integers(0, 3))}
+        )
+        assert len(scenarios) == 5
+        with pytest.raises(SamplingError):
+            ScenarioSet.from_distribution(0, lambda: {1})

@@ -1,0 +1,121 @@
+"""Tests for SIMPLE-TOP-K and the Theorem 1 reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BudgetError
+from repro.stochastic.scenarios import ScenarioSet
+from repro.stochastic.simple_topk import (
+    SimpleTopKInstance,
+    expected_misses,
+    sample_complexity_curve,
+    solve_direct,
+    solve_via_steiner,
+)
+
+
+class TestInstanceValidation:
+    def test_bounds(self):
+        scenarios = ScenarioSet([{0}])
+        with pytest.raises(BudgetError):
+            SimpleTopKInstance(0, scenarios, 0)
+        with pytest.raises(BudgetError):
+            SimpleTopKInstance(2, scenarios, 3)
+        with pytest.raises(BudgetError):
+            SimpleTopKInstance(2, ScenarioSet([{5}]), 1)
+
+
+class TestDirect:
+    def test_picks_highest_counts(self):
+        scenarios = ScenarioSet([{0, 1}, {1, 2}, {1, 3}])
+        instance = SimpleTopKInstance(4, scenarios, budget=1)
+        solution = solve_direct(instance)
+        assert solution.chosen == {1}
+        assert solution.expected_misses == pytest.approx(1.0)
+
+    def test_never_queries_undemanded_nodes(self):
+        scenarios = ScenarioSet([{0}])
+        instance = SimpleTopKInstance(5, scenarios, budget=3)
+        assert solve_direct(instance).chosen == {0}
+
+    def test_zero_budget(self):
+        scenarios = ScenarioSet([{0, 1}])
+        instance = SimpleTopKInstance(2, scenarios, budget=0)
+        solution = solve_direct(instance)
+        assert solution.chosen == frozenset()
+        assert solution.expected_misses == pytest.approx(2.0)
+
+    def test_full_budget_no_misses(self):
+        scenarios = ScenarioSet([{0, 1}, {2}])
+        instance = SimpleTopKInstance(3, scenarios, budget=3)
+        assert solve_direct(instance).expected_misses == 0.0
+
+
+class TestExpectedMisses:
+    def test_manual(self):
+        scenarios = ScenarioSet([{0, 1}, {1, 2}])
+        instance = SimpleTopKInstance(3, scenarios, budget=1)
+        assert expected_misses(instance, {1}) == pytest.approx(1.0)
+        assert expected_misses(instance, {0, 1, 2}) == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=8),     # nodes
+    st.integers(min_value=1, max_value=8),     # scenarios
+    st.integers(min_value=1, max_value=4),     # k
+    st.data(),
+)
+def test_theorem_1_reduction_matches_direct(n, m, k, data):
+    """Solving through the budgeted stochastic Steiner tree yields the
+    same expected miss count as the direct separable optimum."""
+    k = min(k, n)
+    scenarios = ScenarioSet(
+        [
+            frozenset(
+                data.draw(
+                    st.sets(
+                        st.integers(min_value=0, max_value=n - 1),
+                        min_size=k,
+                        max_size=k,
+                    )
+                )
+            )
+            for __ in range(m)
+        ]
+    )
+    budget = data.draw(st.integers(min_value=0, max_value=n))
+    instance = SimpleTopKInstance(n, scenarios, budget)
+    direct = solve_direct(instance)
+    reduced = solve_via_steiner(instance)
+    assert reduced.expected_misses == pytest.approx(
+        direct.expected_misses, abs=1e-6
+    )
+    assert len(reduced.chosen) <= budget
+
+
+class TestSampleComplexity:
+    def test_heldout_quality_improves_with_samples(self):
+        """More sampled scenarios -> better held-out decisions: the
+        empirical content of §3.1's polynomial-sample bound."""
+        rng = np.random.default_rng(0)
+        n, k = 20, 3
+        # a skewed distribution: some nodes are much likelier top-k
+        weights = rng.dirichlet(np.ones(n) * 0.3)
+
+        def draw():
+            return set(
+                rng.choice(n, size=k, replace=False, p=weights).tolist()
+            )
+
+        rows = sample_complexity_curve(
+            n, k, budget=5, draw_scenario=draw,
+            scenario_counts=(1, 5, 25, 100), rng=rng,
+        )
+        assert rows[0]["training_scenarios"] == 1
+        # held-out misses shrink (weakly) from 1 sample to 100
+        assert rows[-1]["heldout_misses"] <= rows[0]["heldout_misses"]
+        # training loss is an optimistic estimate of held-out loss early
+        assert rows[0]["train_misses"] <= rows[0]["heldout_misses"] + 1e-9

@@ -1,0 +1,99 @@
+"""Unit tests for the two-stage stochastic Steiner tree."""
+
+import pytest
+
+from repro.errors import BudgetError, ModelError
+from repro.network.builder import line_topology, star_topology
+from repro.stochastic.scenarios import ScenarioSet
+from repro.stochastic.steiner import TwoStageSteinerTree
+
+
+class TestConstruction:
+    def test_validation(self, small_tree):
+        with pytest.raises(ModelError):
+            TwoStageSteinerTree(small_tree, inflation=0.0)
+        with pytest.raises(ModelError):
+            TwoStageSteinerTree(small_tree, edge_costs={1: -1.0})
+
+    def test_default_unit_costs(self, small_tree):
+        problem = TwoStageSteinerTree(small_tree)
+        assert all(c == 1.0 for c in problem.edge_costs.values())
+
+
+class TestTotalCost:
+    def test_certain_demand_bought_up_front(self):
+        """A node demanded in every scenario should be connected on
+        day 1 when day 2 is more expensive."""
+        topo = line_topology(4)
+        problem = TwoStageSteinerTree(topo, inflation=3.0)
+        scenarios = ScenarioSet([{3}, {3}, {3}])
+        solution = problem.solve_total_cost(scenarios)
+        assert solution.first_stage_edges == {1, 2, 3}
+        assert solution.expected_second_stage_cost == 0.0
+        assert solution.total_expected_cost == pytest.approx(3.0)
+
+    def test_rare_demand_deferred(self):
+        """A node demanded once in many scenarios is cheaper to connect
+        on day 2 despite the inflation."""
+        topo = star_topology(3)
+        problem = TwoStageSteinerTree(topo, inflation=2.0)
+        scenarios = ScenarioSet([{1}] * 9 + [{2}])
+        solution = problem.solve_total_cost(scenarios)
+        assert 1 in solution.first_stage_edges
+        assert 2 not in solution.first_stage_edges
+        # recourse: scenario {2} pays 2.0 with probability 1/10
+        assert solution.expected_second_stage_cost == pytest.approx(0.2)
+
+    def test_breakeven_probability(self):
+        """Buying up front wins iff demand probability > 1/inflation."""
+        topo = star_topology(2)
+        problem = TwoStageSteinerTree(topo, inflation=4.0)
+        frequent = ScenarioSet([{1}] * 2 + [frozenset()] * 2)  # p = 1/2
+        rare = ScenarioSet([{1}] + [frozenset()] * 9)          # p = 1/10
+        assert 1 in problem.solve_total_cost(frequent).first_stage_edges
+        assert 1 not in problem.solve_total_cost(rare).first_stage_edges
+
+    def test_shared_path_amortized(self, small_tree):
+        """Scenarios in one subtree share the relay edge purchase."""
+        problem = TwoStageSteinerTree(small_tree, inflation=2.0)
+        scenarios = ScenarioSet([{3}, {4}, {3, 4}])
+        solution = problem.solve_total_cost(scenarios)
+        assert 1 in solution.first_stage_edges  # the shared relay edge
+
+    def test_lp_objective_lower_bounds_rounded(self):
+        topo = star_topology(5)
+        problem = TwoStageSteinerTree(topo, inflation=1.5)
+        scenarios = ScenarioSet([{1, 2}, {3}, {2, 4}])
+        solution = problem.solve_total_cost(scenarios)
+        assert solution.lp_objective <= solution.total_expected_cost + 1e-9
+
+
+class TestBudgeted:
+    def test_budget_zero_buys_nothing(self):
+        topo = star_topology(3)
+        problem = TwoStageSteinerTree(topo, inflation=1.0)
+        scenarios = ScenarioSet([{1}, {2}])
+        solution = problem.solve_budgeted(scenarios, first_stage_budget=0.0)
+        assert solution.first_stage_edges == frozenset()
+        assert solution.expected_second_stage_cost == pytest.approx(1.0)
+
+    def test_budget_prefers_frequent_demands(self):
+        topo = star_topology(4)
+        problem = TwoStageSteinerTree(topo, inflation=1.0)
+        scenarios = ScenarioSet([{1, 2}, {1, 3}, {1, 2}])
+        solution = problem.solve_budgeted(scenarios, first_stage_budget=2.0)
+        assert 1 in solution.first_stage_edges  # demanded every time
+        assert 2 in solution.first_stage_edges  # demanded twice
+        assert solution.first_stage_cost <= 2.0
+
+    def test_negative_budget_rejected(self):
+        topo = star_topology(2)
+        problem = TwoStageSteinerTree(topo)
+        with pytest.raises(BudgetError):
+            problem.solve_budgeted(ScenarioSet([{1}]), -1.0)
+
+    def test_generous_budget_eliminates_recourse(self, small_tree):
+        problem = TwoStageSteinerTree(small_tree, inflation=2.0)
+        scenarios = ScenarioSet([{3, 6}, {4}])
+        solution = problem.solve_budgeted(scenarios, first_stage_budget=10.0)
+        assert solution.expected_second_stage_cost == 0.0

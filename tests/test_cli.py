@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_all_experiments_registered(self):
+        for name in ("fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
+                     "samples", "lptime"):
+            assert name in EXPERIMENTS
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "Figure 3" in out
+        assert out.count("\n") == len(EXPERIMENTS)
+
+    def test_run_prints_table(self, capsys, monkeypatch):
+        monkeypatch.setitem(
+            EXPERIMENTS, "fig4",
+            (lambda: [{"a": 1, "b": 2.0}], "Figure 4: effect of variance"),
+        )
+        assert main(["run", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "a" in out and "1" in out
+
+    def test_run_writes_out_file(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setitem(
+            EXPERIMENTS, "fig4",
+            (lambda: [{"a": 1}], "Figure 4: effect of variance"),
+        )
+        target = tmp_path / "table.txt"
+        assert main(["run", "fig4", "--out", str(target)]) == 0
+        assert "Figure 4" in target.read_text()
+
+    def test_run_all_uses_every_experiment(self, capsys, monkeypatch):
+        for name in list(EXPERIMENTS):
+            monkeypatch.setitem(
+                EXPERIMENTS, name,
+                (lambda name=name: [{"id": name}], f"title {name}"),
+            )
+        assert main(["run", "all"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert f"title {name}" in out
+
+
+class TestChartFlag:
+    def test_chart_appended(self, capsys, monkeypatch):
+        from repro.cli import EXPERIMENTS, main
+
+        monkeypatch.setitem(
+            EXPERIMENTS, "fig4",
+            (
+                lambda: [
+                    {"algorithm": "a", "energy_mj": 1.0, "accuracy": 0.2},
+                    {"algorithm": "a", "energy_mj": 2.0, "accuracy": 0.8},
+                ],
+                "Figure 4: effect of variance",
+            ),
+        )
+        assert main(["run", "fig4", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "(chart)" in out
+        assert "o=a" in out
+
+    def test_chart_skipped_without_numeric_columns(self, capsys, monkeypatch):
+        from repro.cli import EXPERIMENTS, main
+
+        monkeypatch.setitem(
+            EXPERIMENTS, "fig4",
+            (lambda: [{"trial": 1}], "Figure 4: effect of variance"),
+        )
+        assert main(["run", "fig4", "--chart"]) == 0
+        assert "(chart)" not in capsys.readouterr().out

@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BudgetError,
+    ModelError,
+    PlanError,
+    ReproError,
+    SamplingError,
+    SolverError,
+    TopologyError,
+    TraceError,
+)
+
+ALL_ERRORS = [
+    BudgetError,
+    ModelError,
+    PlanError,
+    SamplingError,
+    SolverError,
+    TopologyError,
+    TraceError,
+]
+
+
+def test_all_derive_from_repro_error():
+    for error in ALL_ERRORS:
+        assert issubclass(error, ReproError)
+        assert issubclass(error, Exception)
+
+
+def test_catching_the_base_catches_everything():
+    for error in ALL_ERRORS:
+        with pytest.raises(ReproError):
+            raise error("boom")
+
+
+def test_solver_error_carries_status():
+    err = SolverError("infeasible model", status="infeasible")
+    assert err.status == "infeasible"
+    assert "infeasible model" in str(err)
+    assert SolverError("x").status == "error"  # default

@@ -1,0 +1,51 @@
+"""Public API surface tests."""
+
+import doctest
+
+import repro
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    assert repro.__version__.count(".") == 2
+
+
+def test_package_docstring_example():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0
+
+
+def test_subpackage_imports():
+    import repro.cli
+    import repro.datagen
+    import repro.experiments
+    import repro.lp
+    import repro.network
+    import repro.planners
+    import repro.plans
+    import repro.queries
+    import repro.query
+    import repro.sampling
+    import repro.simulation
+    import repro.stochastic
+
+    for module in (
+        repro.lp,
+        repro.network,
+        repro.plans,
+        repro.planners,
+        repro.sampling,
+        repro.simulation,
+        repro.datagen,
+        repro.queries,
+        repro.query,
+        repro.stochastic,
+        repro.experiments,
+        repro.cli,
+    ):
+        assert module.__doc__
