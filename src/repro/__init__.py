@@ -37,6 +37,7 @@ from repro.datagen import (
 from repro.errors import (
     BudgetError,
     ModelError,
+    ObservabilityError,
     PlanError,
     ReproError,
     SamplingError,
@@ -44,6 +45,7 @@ from repro.errors import (
     TopologyError,
     TraceError,
 )
+from repro.lp import available_backends, get_backend
 from repro.network import (
     EnergyModel,
     GHSOutcome,
@@ -71,6 +73,7 @@ from repro.planners import (
     ProofPlanner,
     WeightedMajorityPlanner,
 )
+from repro.obs import EventTrace, Instrumentation, MetricsRegistry, render_report
 from repro.plans import (
     QueryPlan,
     ThresholdPlan,
@@ -92,7 +95,13 @@ from repro.queries import (
     TopKQuery,
     run_subset_query,
 )
-from repro.query import EngineConfig, QueryResult, TopKEngine, accuracy
+from repro.query import (
+    AuditResult,
+    EngineConfig,
+    QueryResult,
+    TopKEngine,
+    accuracy,
+)
 from repro.sampling import AdaptiveSampler, SampleMatrix, SampleWindow
 from repro.simulation import SimulationReport, Simulator
 from repro.stochastic import (
@@ -105,22 +114,27 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveSampler",
+    "AuditResult",
     "AnswerMatrix",
     "BudgetError",
     "ClusterTopKQuery",
     "DPPlanner",
     "EnergyModel",
     "EngineConfig",
+    "EventTrace",
     "ExactOutcome",
     "ExactTopK",
     "GHSOutcome",
     "GaussianField",
     "GreedyPlanner",
+    "Instrumentation",
     "IntelLabSurrogate",
     "LPLFPlanner",
     "LPNoLFPlanner",
     "LinkFailureModel",
+    "MetricsRegistry",
     "ModelError",
+    "ObservabilityError",
     "OraclePlanner",
     "OracleProofPlanner",
     "PlanError",
@@ -152,6 +166,7 @@ __all__ = [
     "TraceError",
     "ZoneWorkload",
     "accuracy",
+    "available_backends",
     "balanced_tree",
     "build_mst",
     "compare_plans",
@@ -161,6 +176,7 @@ __all__ = [
     "execute_threshold_plan",
     "expected_hits",
     "explain_plan",
+    "get_backend",
     "grid_topology",
     "intel_lab_network",
     "line_topology",
@@ -169,6 +185,7 @@ __all__ = [
     "random_gaussian_field",
     "random_topology",
     "remove_node",
+    "render_report",
     "run_subset_query",
     "star_topology",
     "zoned_topology",

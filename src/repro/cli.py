@@ -6,6 +6,8 @@ Usage::
     python -m repro run fig3
     python -m repro run fig5 --out /tmp/fig5.txt
     python -m repro run all
+    python -m repro stats --demo
+    python -m repro stats --demo --json --out /tmp/stats.json
 """
 
 from __future__ import annotations
@@ -66,7 +68,91 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append an ASCII accuracy-vs-energy chart when applicable",
     )
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="observability report of an instrumented run (repro.obs)",
+    )
+    stats.add_argument(
+        "--demo",
+        action="store_true",
+        help=(
+            "run a small instrumented fig3-style sweep plus an engine"
+            " loop and report its metrics"
+        ),
+    )
+    stats.add_argument(
+        "--epochs",
+        type=int,
+        default=12,
+        help="engine epochs for the demo run (default 12)",
+    )
+    stats.add_argument(
+        "--nodes",
+        type=int,
+        default=24,
+        help="network size for the demo run (default 24)",
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw metrics/trace dump as JSON instead of tables",
+    )
+    stats.add_argument(
+        "--out",
+        default=None,
+        help="also write the report to this file",
+    )
     return parser
+
+
+def _stats_demo(epochs: int = 12, nodes: int = 24, k: int = 5, seed: int = 7):
+    """A small instrumented run: a fig3-style planner sweep plus an
+    engine explore/exploit loop, all feeding one Instrumentation."""
+    import numpy as np
+
+    from repro.datagen.gaussian import random_gaussian_field
+    from repro.experiments.common import evaluate_planner
+    from repro.network.builder import random_topology
+    from repro.network.energy import EnergyModel
+    from repro.obs import Instrumentation
+    from repro.planners.greedy import GreedyPlanner
+    from repro.planners.lp_lf import LPLFPlanner
+    from repro.planners.lp_no_lf import LPNoLFPlanner
+    from repro.query.engine import EngineConfig, TopKEngine
+
+    obs = Instrumentation()
+    rng = np.random.default_rng(seed)
+    energy = EnergyModel.mica2()
+    # widen the radio range as the network shrinks so sparse demo
+    # instances stay connectable (same rule as the lp-timing study)
+    radio_range = max(25.0, 200.0 / nodes**0.5)
+    topology = random_topology(nodes, rng=rng, radio_range=radio_range)
+    field = random_gaussian_field(nodes, rng)
+    train = field.trace(8, rng)
+    eval_trace = field.trace(4, rng)
+    budget = energy.message_cost(1) * 2.5 * k
+
+    for planner in (GreedyPlanner(), LPNoLFPlanner(), LPLFPlanner()):
+        evaluate_planner(
+            planner, topology, energy, train, eval_trace, k, budget,
+            instrumentation=obs,
+        )
+
+    engine = TopKEngine(
+        topology,
+        energy,
+        k=k,
+        planner=LPLFPlanner(),
+        config=EngineConfig(budget_mj=budget, replan_every=3),
+        rng=np.random.default_rng(seed + 1),
+        instrumentation=obs,
+    )
+    for __ in range(3):
+        engine.feed_sample(field.sample(rng))
+    for __ in range(epochs):
+        engine.step(field.sample(rng))
+    return obs
 
 
 def _run_one(name: str, chart: bool = False) -> str:
@@ -89,7 +175,25 @@ def _run_one(name: str, chart: bool = False) -> str:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "stats":
+        if not args.demo:
+            parser.error("stats requires --demo (no live run to report on)")
+        from repro.obs import render_report, to_json
+
+        obs = _stats_demo(epochs=args.epochs, nodes=args.nodes)
+        text = (
+            to_json(obs)
+            if args.json
+            else render_report(obs, title="repro stats (demo run)")
+        )
+        print(text)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+        return 0
 
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)

@@ -52,3 +52,12 @@ class SamplingError(ReproError):
 
 class TraceError(ReproError):
     """A sensor reading trace is malformed or exhausted."""
+
+
+class ObservabilityError(ReproError):
+    """The observability subsystem was used inconsistently.
+
+    Raised for unknown event kinds, malformed metric dumps, and other
+    misuse of :mod:`repro.obs`; never raised on the hot path when
+    instrumentation is disabled.
+    """

@@ -16,6 +16,7 @@ import numpy as np
 from repro.datagen.trace import Trace
 from repro.network.energy import EnergyModel
 from repro.network.topology import Topology
+from repro.obs import Instrumentation
 from repro.plans.plan import QueryPlan
 from repro.planners.base import Planner, PlanningContext
 from repro.query.accuracy import accuracy
@@ -49,9 +50,10 @@ def evaluate_plan(
     energy: EnergyModel,
     eval_trace: Trace,
     k: int,
+    instrumentation: Instrumentation | None = None,
 ) -> Evaluation:
     """Run an installed plan over every epoch of the evaluation trace."""
-    simulator = Simulator(topology, energy)
+    simulator = Simulator(topology, energy, instrumentation=instrumentation)
     accuracies = []
     energies = []
     for readings in eval_trace:
@@ -76,6 +78,7 @@ def evaluate_planner(
     eval_trace: Trace,
     k: int,
     budget: float,
+    instrumentation: Instrumentation | None = None,
 ) -> Evaluation:
     """Plan from the training trace, then evaluate the plan."""
     context = PlanningContext(
@@ -84,9 +87,13 @@ def evaluate_planner(
         samples=train_trace.sample_matrix(k),
         k=k,
         budget=budget,
+        instrumentation=instrumentation,
     )
     plan = planner.plan(context)
-    return evaluate_plan(planner.name, plan, topology, energy, eval_trace, k)
+    return evaluate_plan(
+        planner.name, plan, topology, energy, eval_trace, k,
+        instrumentation=instrumentation,
+    )
 
 
 def budget_sweep(base: float, steps: int, factor: float = 1.6) -> list[float]:

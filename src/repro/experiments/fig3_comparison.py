@@ -38,8 +38,14 @@ def run(
     budget_steps: int = 7,
     variance_scale: float = 9.0,
     include_naive_one: bool = False,
+    instrumentation=None,
 ) -> list[dict]:
-    """Regenerate the Figure 3 point cloud; one row per plotted point."""
+    """Regenerate the Figure 3 point cloud; one row per plotted point.
+
+    ``instrumentation`` (an optional :class:`~repro.obs.Instrumentation`)
+    collects per-planner LP solve-time histograms and per-collection
+    energy counters across the whole sweep.
+    """
     rng = np.random.default_rng(seed)
     energy = EnergyModel.mica2()
     topology = random_topology(n, rng=rng)
@@ -55,12 +61,13 @@ def run(
     for planner in planners:
         for budget in budgets:
             evaluation = evaluate_planner(
-                planner, topology, energy, train, eval_trace, k, budget
+                planner, topology, energy, train, eval_trace, k, budget,
+                instrumentation=instrumentation,
             )
             rows.append(evaluation.row(budget_mj=round(budget, 2)))
 
     # exact algorithms: sweep j and report accuracy j / k
-    simulator = Simulator(topology, energy)
+    simulator = Simulator(topology, energy, instrumentation=instrumentation)
     oracle = OraclePlanner()
     for j in range(1, k + 1):
         oracle_costs = []

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.datagen.gaussian import random_gaussian_field
 from repro.experiments.reporting import print_table
+from repro.lp.backend import get_backend
 from repro.network.builder import random_topology
 from repro.network.energy import EnergyModel
 from repro.planners.base import PlanningContext
@@ -28,10 +29,18 @@ def run(
     sample_counts: tuple[int, ...] = (10, 25),
     k: int = 10,
     include_proof: bool = True,
+    backend: str | None = None,
+    instrumentation=None,
 ) -> list[dict]:
-    """One row per (formulation, n, m) combination."""
+    """One row per (formulation, n, m) combination.
+
+    ``backend`` is a registered solver name (see
+    :func:`repro.lp.backend.available_backends`); the default is the
+    production HiGHS backend.
+    """
     rng = np.random.default_rng(seed)
     energy = EnergyModel.mica2()
+    solver = get_backend(backend, instrumentation=instrumentation)
     rows: list[dict] = []
     for n in node_counts:
         # keep sparse instances connectable: widen the radio range as
@@ -57,7 +66,7 @@ def run(
                 start = time.perf_counter()
                 model, *__ = planner.build_model(context_p)
                 build_seconds = time.perf_counter() - start
-                solution = model.solve()
+                solution = model.solve(solver)
                 rows.append(
                     {
                         "formulation": planner.name,

@@ -21,6 +21,12 @@ Example
 34.0
 """
 
+from repro.lp.backend import (
+    Backend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
 from repro.lp.expr import LinExpr, Variable
 from repro.lp.model import Constraint, Model
 from repro.lp.result import Solution, SolveStats
@@ -28,6 +34,7 @@ from repro.lp.scipy_backend import ScipyBackend
 from repro.lp.simplex import SimplexBackend
 
 __all__ = [
+    "Backend",
     "Constraint",
     "LinExpr",
     "Model",
@@ -36,4 +43,7 @@ __all__ = [
     "Solution",
     "SolveStats",
     "Variable",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
 ]

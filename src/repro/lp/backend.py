@@ -1,0 +1,100 @@
+"""The solver-backend protocol and the one factory that selects one.
+
+Everything that solves an LP — planners, experiments, ``Model.solve``
+— goes through :func:`get_backend` (or :func:`resolve_backend` when a
+caller may already hold an instance) instead of importing a concrete
+backend class.  Registering a name here is all a new solver needs to
+become selectable everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.errors import SolverError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lp.model import Model
+    from repro.lp.result import Solution
+    from repro.obs import Instrumentation
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Anything that can solve a compiled LP model."""
+
+    name: str
+
+    def solve(self, model: "Model") -> "Solution":
+        """Return an optimal solution or raise :class:`SolverError`."""
+        ...  # pragma: no cover - protocol definition
+
+
+def _make_scipy(instrumentation=None) -> "Backend":
+    from repro.lp.scipy_backend import ScipyBackend
+
+    return ScipyBackend(instrumentation=instrumentation)
+
+
+def _make_simplex(instrumentation=None) -> "Backend":
+    from repro.lp.simplex import SimplexBackend
+
+    return SimplexBackend(instrumentation=instrumentation)
+
+
+_FACTORIES = {
+    "scipy-highs": _make_scipy,
+    "scipy": _make_scipy,
+    "highs": _make_scipy,
+    "pure-simplex": _make_simplex,
+    "simplex": _make_simplex,
+}
+
+DEFAULT_BACKEND = "scipy-highs"
+
+
+def available_backends() -> tuple[str, ...]:
+    """The names :func:`get_backend` accepts."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_backend(
+    name: str | None = None,
+    instrumentation: "Instrumentation | None" = None,
+) -> Backend:
+    """Build the backend registered under ``name`` (default: HiGHS).
+
+    Parameters
+    ----------
+    name:
+        A registered backend name (see :func:`available_backends`);
+        ``None`` selects the production default.
+    instrumentation:
+        Optional :class:`~repro.obs.Instrumentation`; when given, the
+        backend records every solve (an ``lp_solve`` event plus
+        per-formulation solve-time histograms).
+    """
+    key = DEFAULT_BACKEND if name is None else name
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise SolverError(
+            f"unknown LP backend {name!r}; available:"
+            f" {', '.join(available_backends())}"
+        ) from None
+    return factory(instrumentation=instrumentation)
+
+
+def resolve_backend(
+    spec: "Backend | str | None",
+    instrumentation: "Instrumentation | None" = None,
+) -> Backend:
+    """Turn a backend spec — instance, name, or ``None`` — into a backend.
+
+    An already-constructed instance is returned unchanged (its own
+    ``instrumentation``, if any, governs); names and ``None`` go
+    through :func:`get_backend` with the given instrumentation.
+    """
+    if spec is None or isinstance(spec, str):
+        return get_backend(spec, instrumentation=instrumentation)
+    return spec

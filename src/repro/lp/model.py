@@ -167,16 +167,15 @@ class Model:
         Parameters
         ----------
         backend:
-            A solver backend instance.  Defaults to
-            :class:`~repro.lp.scipy_backend.ScipyBackend` (HiGHS).
+            A solver backend instance, a registered backend name (see
+            :func:`repro.lp.backend.available_backends`), or ``None``
+            for the production default (HiGHS).
         """
         if self.objective is None:
             raise ModelError(f"model {self.name!r} has no objective")
-        if backend is None:
-            from repro.lp.scipy_backend import ScipyBackend
+        from repro.lp.backend import resolve_backend
 
-            backend = ScipyBackend()
-        return backend.solve(self)
+        return resolve_backend(backend).solve(self)
 
     def __repr__(self) -> str:
         return (

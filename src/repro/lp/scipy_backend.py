@@ -33,12 +33,16 @@ class ScipyBackend:
     method:
         scipy ``linprog`` method name.  ``"highs"`` lets HiGHS choose
         between dual simplex and interior point.
+    instrumentation:
+        Optional :class:`~repro.obs.Instrumentation`; when set, every
+        solve records an ``lp_solve`` event and solve-time histograms.
     """
 
     name = "scipy-highs"
 
-    def __init__(self, method: str = "highs") -> None:
+    def __init__(self, method: str = "highs", instrumentation=None) -> None:
         self.method = method
+        self.instrumentation = instrumentation
 
     def solve(self, model: Model) -> Solution:
         form = compile_model(model)
@@ -66,6 +70,8 @@ class ScipyBackend:
             num_variables=model.num_variables,
             num_constraints=model.num_constraints,
         )
+        if self.instrumentation is not None:
+            self.instrumentation.record_lp_solve(model.name, stats)
         return Solution(
             status="optimal",
             objective=form.report_objective(float(result.fun)),

@@ -35,12 +35,22 @@ class _Column:
 
 
 class SimplexBackend:
-    """Two-phase dense simplex over the model's standard form."""
+    """Two-phase dense simplex over the model's standard form.
+
+    Parameters
+    ----------
+    instrumentation:
+        Optional :class:`~repro.obs.Instrumentation`; when set, every
+        solve records an ``lp_solve`` event and solve-time histograms.
+    """
 
     name = "pure-simplex"
 
-    def __init__(self, max_iterations: int = 100_000) -> None:
+    def __init__(
+        self, max_iterations: int = 100_000, instrumentation=None
+    ) -> None:
         self.max_iterations = max_iterations
+        self.instrumentation = instrumentation
 
     def solve(self, model: Model) -> Solution:
         form = compile_model(model)
@@ -55,6 +65,8 @@ class SimplexBackend:
             num_variables=model.num_variables,
             num_constraints=model.num_constraints,
         )
+        if self.instrumentation is not None:
+            self.instrumentation.record_lp_solve(model.name, stats)
         return Solution(
             status="optimal",
             objective=form.report_objective(minimized),

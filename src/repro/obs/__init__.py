@@ -1,0 +1,62 @@
+"""Observability: metrics, typed event traces, and reporters.
+
+The library's cross-cutting layers (LP backends, planners, simulator,
+query engine) all accept one optional :class:`Instrumentation` object.
+When present, every LP solve records variables/constraints/iterations/
+wall-time, every collection records messages/bytes/mJ per edge depth,
+and every engine epoch records its explore/exploit/replan decision
+path; when absent (the default), the hot paths do no observability
+work at all.
+
+Quick tour::
+
+    from repro.obs import Instrumentation, render_report
+
+    obs = Instrumentation()
+    engine = TopKEngine(..., instrumentation=obs)
+    ...
+    print(render_report(obs))          # ASCII tables
+    obs.trace.events("lp_solve")       # structured event log
+    obs.metrics.histogram("lp.solve_seconds.prospector-lp-lf").summary()
+"""
+
+from repro.obs.events import EVENT_KINDS, Event, EventTrace
+from repro.obs.instrument import (
+    NULL_TIMER,
+    Instrumentation,
+    maybe_timer,
+    record_event,
+    timed,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import (
+    counter_rows,
+    event_rows,
+    from_json,
+    gauge_rows,
+    histogram_rows,
+    render_report,
+    to_json,
+)
+
+__all__ = [
+    "Counter",
+    "EVENT_KINDS",
+    "Event",
+    "EventTrace",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NULL_TIMER",
+    "counter_rows",
+    "event_rows",
+    "from_json",
+    "gauge_rows",
+    "histogram_rows",
+    "maybe_timer",
+    "record_event",
+    "render_report",
+    "timed",
+    "to_json",
+]

@@ -1,0 +1,195 @@
+"""The :class:`Instrumentation` facade and its no-op helpers.
+
+One ``Instrumentation`` object bundles a metrics registry with an
+event trace and is threaded — always optionally — through the layers
+that do measurable work: LP backends, planners (via
+``PlanningContext``), the simulator, and the query engine.  Call
+sites never branch on feature flags; they either hold an
+``Instrumentation`` or ``None``, and the module-level helpers
+(:func:`maybe_timer`, :func:`record_event`) collapse to no-ops for
+``None`` so the disabled path allocates nothing.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.obs.events import EventTrace
+from repro.obs.metrics import MetricsRegistry
+
+
+class Instrumentation:
+    """A metrics registry plus an event trace, with domain helpers.
+
+    Parameters
+    ----------
+    trace_capacity:
+        Ring-buffer size of the event trace; old events are evicted
+        (and counted as dropped) beyond this.
+    """
+
+    def __init__(self, trace_capacity: int = 1024) -> None:
+        self.metrics = MetricsRegistry()
+        self.trace = EventTrace(capacity=trace_capacity)
+
+    # -- primitive API --------------------------------------------------
+    def counter(self, name: str):
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str):
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str):
+        return self.metrics.histogram(name)
+
+    def timer(self, name: str):
+        """A fresh, nestable timing context over ``histogram(name)``."""
+        return self.metrics.timer(name)
+
+    def event(self, kind: str, **data):
+        """Record a typed event and bump its ``events.<kind>`` counter."""
+        self.metrics.counter(f"events.{kind}").inc()
+        return self.trace.record(kind, **data)
+
+    # -- domain helpers (one per cross-cutting record shape) -----------
+    def record_lp_solve(self, model_name: str, stats) -> None:
+        """One LP solve: per-formulation latency histogram + event.
+
+        ``stats`` is a :class:`~repro.lp.result.SolveStats` (duck-typed
+        so :mod:`repro.obs` stays dependency-free).
+        """
+        self.metrics.counter("lp.solves").inc()
+        self.metrics.counter("lp.iterations").inc(stats.iterations)
+        self.metrics.histogram(f"lp.solve_seconds.{model_name}").observe(
+            stats.wall_seconds
+        )
+        self.metrics.histogram("lp.variables").observe(stats.num_variables)
+        self.metrics.histogram("lp.constraints").observe(stats.num_constraints)
+        self.event(
+            "lp_solve",
+            model=model_name,
+            backend=stats.backend,
+            variables=stats.num_variables,
+            constraints=stats.num_constraints,
+            iterations=stats.iterations,
+            wall_seconds=stats.wall_seconds,
+        )
+
+    def record_plan_built(
+        self, planner: str, *, edges_used: int, static_cost_mj: float,
+        budget_mj: float, seconds: float,
+    ) -> None:
+        """One planner invocation (LP-based or combinatorial).
+
+        The build-time histogram is fed by the caller's timer (see
+        ``repro.planners.base.observed``); this records the rest.
+        """
+        self.metrics.counter("plan.builds").inc()
+        self.metrics.counter(f"plan.builds.{planner}").inc()
+        self.metrics.gauge(f"plan.static_cost_mj.{planner}").set(static_cost_mj)
+        self.event(
+            "plan_built",
+            planner=planner,
+            edges_used=edges_used,
+            static_cost_mj=static_cost_mj,
+            budget_mj=budget_mj,
+            seconds=seconds,
+        )
+
+    def record_collection(
+        self, label: str, *, messages: int, values: int, retries: int,
+        energy_mj: float, by_depth: dict | None = None,
+    ) -> None:
+        """One simulated collection phase, with per-edge-depth detail."""
+        self.metrics.counter("sim.collections").inc()
+        self.metrics.counter(f"sim.collections.{label}").inc()
+        self.metrics.counter("sim.messages").inc(messages)
+        self.metrics.counter("sim.values_sent").inc(values)
+        self.metrics.counter("sim.retries").inc(retries)
+        self.metrics.counter("sim.energy_mj").inc(energy_mj)
+        if by_depth:
+            for depth, detail in by_depth.items():
+                self.metrics.counter(f"sim.messages.depth{depth}").inc(
+                    detail["messages"]
+                )
+                self.metrics.counter(f"sim.bytes.depth{depth}").inc(
+                    detail["bytes"]
+                )
+                self.metrics.counter(f"sim.energy_mj.depth{depth}").inc(
+                    detail["energy_mj"]
+                )
+        self.event(
+            "collection_run",
+            label=label,
+            messages=messages,
+            values=values,
+            retries=retries,
+            energy_mj=energy_mj,
+            by_depth={str(d): dict(v) for d, v in (by_depth or {}).items()},
+        )
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"metrics": self.metrics.to_dict(), "trace": self.trace.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Instrumentation":
+        obs = cls()
+        obs.metrics = MetricsRegistry.from_dict(data.get("metrics", {}))
+        obs.trace = EventTrace.from_dict(
+            data.get("trace", {"capacity": 1024, "next_seq": 0, "events": []})
+        )
+        return obs
+
+
+class _NullTimer:
+    """Shared do-nothing context for the disabled-instrumentation path."""
+
+    __slots__ = ()
+    elapsed = 0.0
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+NULL_TIMER = _NullTimer()
+"""The singleton no-op timer; proof that the disabled path allocates
+nothing (tests assert identity against this object)."""
+
+
+def maybe_timer(instrumentation: Instrumentation | None, name: str):
+    """``instrumentation.timer(name)``, or the shared no-op context."""
+    if instrumentation is None:
+        return NULL_TIMER
+    return instrumentation.timer(name)
+
+
+def record_event(instrumentation: Instrumentation | None, kind: str, **data):
+    """``instrumentation.event(kind, ...)``, or nothing at all."""
+    if instrumentation is None:
+        return None
+    return instrumentation.event(kind, **data)
+
+
+def timed(name: str, attr: str = "instrumentation"):
+    """Decorate a method so its wall time lands in ``histogram(name)``.
+
+    The owning object's ``attr`` attribute supplies the
+    :class:`Instrumentation`; when it is ``None`` the method runs bare.
+    """
+
+    def decorate(method):
+        @functools.wraps(method)
+        def wrapper(self, *args, **kwargs):
+            instrumentation = getattr(self, attr, None)
+            if instrumentation is None:
+                return method(self, *args, **kwargs)
+            with instrumentation.timer(name):
+                return method(self, *args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -1,0 +1,210 @@
+"""Counters, gauges, and histogram timers.
+
+The registry is dependency-free and deliberately small: metrics are
+plain Python objects keyed by name, created on first touch, with a
+JSON-serializable dump/restore so a run's measurements can be written
+to disk and re-rendered later (``python -m repro stats``).
+
+Histograms keep exact ``count``/``total``/``min``/``max`` plus a
+bounded reservoir of observations for percentile estimates; with the
+default limit the reservoir holds every observation the planning and
+simulation layers produce in a realistic run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ObservabilityError
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value:g})"
+
+
+class Gauge:
+    """A last-write-wins level (e.g. installed plan cost)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> dict:
+        return {"value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value:g})"
+
+
+class Histogram:
+    """A distribution summary with a bounded sample reservoir."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "sample",
+                 "sample_limit")
+
+    def __init__(self, name: str, sample_limit: int = 4096) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.sample: list[float] = []
+        self.sample_limit = sample_limit
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self.sample) < self.sample_limit:
+            self.sample.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the q-th percentile (0..100) from the reservoir."""
+        if not self.sample:
+            return 0.0
+        ordered = sorted(self.sample)
+        index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def summary(self) -> dict:
+        """The row rendered by the ASCII reporter."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": self.max if self.count else 0.0,
+            "total": self.total,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "sample": list(self.sample),
+            "sample_limit": self.sample_limit,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:g})"
+
+
+class _Timer:
+    """Context manager recording elapsed wall time into a histogram.
+
+    Each ``registry.timer(name)`` call returns a fresh instance, so
+    timers nest freely (an outer timer keeps running while an inner
+    one, on the same or another histogram, starts and stops).
+    """
+
+    __slots__ = ("histogram", "_start", "elapsed")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self.histogram = histogram
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self.histogram.observe(self.elapsed)
+
+
+class MetricsRegistry:
+    """Named metrics, created on first touch."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- access (get-or-create) ---------------------------------------
+    def counter(self, name: str) -> Counter:
+        try:
+            return self.counters[name]
+        except KeyError:
+            metric = self.counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self.gauges[name]
+        except KeyError:
+            metric = self.gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        try:
+            return self.histograms[name]
+        except KeyError:
+            metric = self.histograms[name] = Histogram(name)
+            return metric
+
+    def timer(self, name: str) -> _Timer:
+        """A fresh (nestable) timing context over ``histogram(name)``."""
+        return _Timer(self.histogram(name))
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "counters": {n: c.to_dict() for n, c in self.counters.items()},
+            "gauges": {n: g.to_dict() for n, g in self.gauges.items()},
+            "histograms": {n: h.to_dict() for n, h in self.histograms.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        try:
+            registry = cls()
+            for name, dump in data.get("counters", {}).items():
+                registry.counter(name).value = float(dump["value"])
+            for name, dump in data.get("gauges", {}).items():
+                registry.gauge(name).set(dump["value"])
+            for name, dump in data.get("histograms", {}).items():
+                hist = registry.histogram(name)
+                hist.count = int(dump["count"])
+                hist.total = float(dump["total"])
+                hist.min = float("inf") if dump["min"] is None else float(dump["min"])
+                hist.max = float("-inf") if dump["max"] is None else float(dump["max"])
+                hist.sample = [float(v) for v in dump.get("sample", [])]
+                hist.sample_limit = int(dump.get("sample_limit", 4096))
+            return registry
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ObservabilityError(f"malformed metrics dump: {exc}") from exc

@@ -8,6 +8,7 @@ budget ``E``.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Protocol
 
@@ -15,6 +16,7 @@ from repro.errors import BudgetError, SamplingError
 from repro.network.energy import EnergyModel
 from repro.network.failures import LinkFailureModel
 from repro.network.topology import Topology
+from repro.obs import Instrumentation
 from repro.plans.plan import QueryPlan
 from repro.sampling.matrix import SampleMatrix
 
@@ -29,6 +31,10 @@ class PlanningContext:
     k: int
     budget: float
     failures: LinkFailureModel | None = None
+    instrumentation: Instrumentation | None = None
+    """Optional observability sink: planners decorated with
+    :func:`observed` record build timers and ``plan_built`` events
+    here, and LP-based planners hand it to their solver backend."""
 
     def __post_init__(self) -> None:
         if self.samples.num_nodes != self.topology.n:
@@ -74,3 +80,31 @@ class Planner(Protocol):
     def plan(self, context: PlanningContext) -> QueryPlan:
         """Produce a plan whose static cost respects the budget."""
         ...  # pragma: no cover - protocol definition
+
+
+def observed(plan_method):
+    """Wrap a planner's ``plan`` so instrumented contexts measure it.
+
+    With ``context.instrumentation`` unset the original method runs
+    bare (no timers, no allocations); otherwise the build is timed
+    into ``plan.build_seconds.<planner>`` and summarized as a
+    ``plan_built`` event.
+    """
+
+    @functools.wraps(plan_method)
+    def wrapper(self, context: PlanningContext) -> QueryPlan:
+        obs = context.instrumentation
+        if obs is None:
+            return plan_method(self, context)
+        with obs.timer(f"plan.build_seconds.{self.name}") as timer:
+            plan = plan_method(self, context)
+        obs.record_plan_built(
+            self.name,
+            edges_used=len(plan.used_edges),
+            static_cost_mj=context.plan_cost(plan),
+            budget_mj=context.budget,
+            seconds=timer.elapsed,
+        )
+        return plan
+
+    return wrapper

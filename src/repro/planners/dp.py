@@ -27,7 +27,7 @@ import math
 
 from repro.errors import BudgetError
 from repro.plans.plan import QueryPlan
-from repro.planners.base import PlanningContext
+from repro.planners.base import PlanningContext, observed
 
 
 class DPPlanner:
@@ -47,6 +47,7 @@ class DPPlanner:
             raise BudgetError("buckets must be >= 1")
         self.buckets = buckets
 
+    @observed
     def plan(self, context: PlanningContext) -> QueryPlan:
         topology = context.topology
         counts = context.samples.column_counts()

@@ -13,7 +13,7 @@ deficiency LP−LF fixes in the evaluation.
 from __future__ import annotations
 
 from repro.plans.plan import QueryPlan
-from repro.planners.base import PlanningContext
+from repro.planners.base import PlanningContext, observed
 
 
 class GreedyPlanner:
@@ -33,6 +33,7 @@ class GreedyPlanner:
     def __init__(self, skip_unaffordable: bool = False) -> None:
         self.skip_unaffordable = skip_unaffordable
 
+    @observed
     def plan(self, context: PlanningContext) -> QueryPlan:
         topology = context.topology
         counts = context.samples.column_counts()

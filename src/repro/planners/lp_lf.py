@@ -19,8 +19,9 @@ the objective really is the expected number of returned top-k values.
 from __future__ import annotations
 
 from repro.lp import LinExpr, Model
+from repro.lp.backend import resolve_backend
 from repro.plans.plan import QueryPlan
-from repro.planners.base import PlanningContext
+from repro.planners.base import PlanningContext, observed
 from repro.planners.rounding import (
     fill_bandwidths,
     repair_bandwidths,
@@ -42,7 +43,9 @@ class LPLFPlanner:
         hit gain per millijoule.  On by default; ablated in the
         rounding benchmark.
     backend:
-        LP solver backend; defaults to HiGHS.
+        LP solver backend instance or registered name (see
+        :func:`repro.lp.backend.available_backends`); defaults to
+        HiGHS.
     """
 
     name = "lp-lf"
@@ -117,10 +120,12 @@ class LPLFPlanner:
         model.maximize(LinExpr.sum_of(z.values()))
         return model, b, y, z
 
+    @observed
     def plan(self, context: PlanningContext) -> QueryPlan:
         topology = context.topology
         model, b, __, __ = self.build_model(context)
-        solution = model.solve(self.backend)
+        backend = resolve_backend(self.backend, context.instrumentation)
+        solution = model.solve(backend)
 
         bandwidths = {
             edge: round_bandwidth(solution.value(b[edge]))

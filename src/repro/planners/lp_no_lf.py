@@ -15,8 +15,9 @@ vector of column sums, the observation at the end of §4.1.
 from __future__ import annotations
 
 from repro.lp import LinExpr, Model
+from repro.lp.backend import resolve_backend
 from repro.plans.plan import QueryPlan
-from repro.planners.base import PlanningContext
+from repro.planners.base import PlanningContext, observed
 from repro.planners.rounding import (
     ROUND_THRESHOLD,
     fill_chosen_nodes,
@@ -42,7 +43,9 @@ class LPNoLFPlanner:
         using the full allocation.  On by default; the rounding
         ablation benchmark compares.
     backend:
-        LP solver backend; defaults to HiGHS.
+        LP solver backend instance or registered name (see
+        :func:`repro.lp.backend.available_backends`); defaults to
+        HiGHS.
     """
 
     name = "lp-no-lf"
@@ -108,10 +111,12 @@ class LPNoLFPlanner:
         )
         return model, x, y
 
+    @observed
     def plan(self, context: PlanningContext) -> QueryPlan:
         topology = context.topology
         model, x, __ = self.build_model(context)
-        solution = model.solve(self.backend)
+        backend = resolve_backend(self.backend, context.instrumentation)
+        solution = model.solve(backend)
 
         chosen = {
             node

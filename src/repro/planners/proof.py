@@ -25,8 +25,9 @@ from __future__ import annotations
 
 from repro.errors import BudgetError
 from repro.lp import LinExpr, Model
+from repro.lp.backend import resolve_backend
 from repro.plans.plan import QueryPlan
-from repro.planners.base import PlanningContext
+from repro.planners.base import PlanningContext, observed
 from repro.planners.rounding import repair_bandwidths, round_bandwidth
 
 _PROVEN_COUNT_BYTES = 2
@@ -164,6 +165,7 @@ class ProofPlanner:
         )
         return model, b, p
 
+    @observed
     def plan(self, context: PlanningContext) -> QueryPlan:
         minimum = self.minimum_cost(context)
         if context.budget < minimum:
@@ -173,7 +175,8 @@ class ProofPlanner:
             )
         topology = context.topology
         model, b, __ = self.build_model(context)
-        solution = model.solve(self.backend)
+        backend = resolve_backend(self.backend, context.instrumentation)
+        solution = model.solve(backend)
 
         bandwidths = {
             edge: max(1, round_bandwidth(solution.value(b[edge])))

@@ -11,9 +11,10 @@ re-optimized plan is considerably better, §4.4).
 from repro.query.accuracy import accuracy, recall_of_nodes
 from repro.query.engine import EngineConfig, TopKEngine
 from repro.query.history import EngineHistory, HistorySummary
-from repro.query.result import EpochOutcome, QueryResult
+from repro.query.result import AuditResult, EpochOutcome, QueryResult
 
 __all__ = [
+    "AuditResult",
     "EngineConfig",
     "EngineHistory",
     "HistorySummary",

@@ -27,11 +27,12 @@ from repro.errors import SamplingError
 from repro.network.energy import EnergyModel
 from repro.network.failures import LinkFailureModel
 from repro.network.topology import Topology
+from repro.obs import Instrumentation, record_event
 from repro.plans.execution import expected_hits
 from repro.plans.plan import QueryPlan
 from repro.planners.base import Planner, PlanningContext
 from repro.query.accuracy import accuracy
-from repro.query.result import EpochOutcome, QueryResult
+from repro.query.result import AuditResult, EpochOutcome, QueryResult
 from repro.sampling.collector import AdaptiveSampler
 from repro.sampling.window import SampleWindow
 from repro.simulation.runtime import Simulator
@@ -67,10 +68,12 @@ class TopKEngine:
         energy: EnergyModel,
         k: int,
         planner: Planner,
+        *,
         config: EngineConfig | None = None,
         failures: LinkFailureModel | None = None,
         sampler: AdaptiveSampler | None = None,
         rng: np.random.Generator | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         self.topology = topology
         self.energy = energy
@@ -78,14 +81,30 @@ class TopKEngine:
         self.planner = planner
         self.config = config or EngineConfig()
         self.failures = failures
+        self.instrumentation = instrumentation
         rng = rng or np.random.default_rng()
         self.sampler = sampler or AdaptiveSampler(rng=rng)
         self.window = SampleWindow(self.config.window_capacity)
-        self.simulator = Simulator(topology, energy, failures=failures, rng=rng)
+        self.simulator = Simulator(
+            topology,
+            energy,
+            failures=failures,
+            rng=rng,
+            instrumentation=instrumentation,
+        )
         self.plan: QueryPlan | None = None
         self.total_energy_mj = 0.0
         self.epoch = 0
         self._queries_since_replan = 0
+
+    def _charge(self, category: str, energy_mj: float) -> None:
+        """Accumulate energy and mirror it into the per-category counters."""
+        self.total_energy_mj += energy_mj
+        if self.instrumentation is not None:
+            self.instrumentation.counter("engine.energy_mj").inc(energy_mj)
+            self.instrumentation.counter(
+                f"engine.energy_mj.{category}"
+            ).inc(energy_mj)
 
     # -- topology maintenance (paper §4.4) -----------------------------
     def handle_permanent_failure(
@@ -113,6 +132,7 @@ class TopKEngine:
             self.energy,
             failures=self.failures,
             rng=self.simulator.rng,
+            instrumentation=self.instrumentation,
         )
         self.plan = None
         return id_map
@@ -120,9 +140,18 @@ class TopKEngine:
     # -- sample maintenance ----------------------------------------------
     def feed_sample(self, readings, charge_energy: bool = False) -> None:
         """Record one full-network sample (bootstrap or exploration)."""
+        energy_mj = 0.0
         if charge_energy:
             report = self.simulator.collect_full_sample(readings)
-            self.total_energy_mj += report.energy_mj
+            energy_mj = report.energy_mj
+            self._charge("sample", energy_mj)
+        record_event(
+            self.instrumentation,
+            "sample_collected",
+            source="feed",
+            charged=charge_energy,
+            energy_mj=energy_mj,
+        )
         self.window.add(readings)
         self.plan = None  # force a re-plan with the fresh window
 
@@ -138,6 +167,7 @@ class TopKEngine:
             k=self.k,
             budget=self.config.budget_mj,
             failures=self.failures,
+            instrumentation=self.instrumentation,
         )
 
     # -- planning -----------------------------------------------------------
@@ -146,14 +176,26 @@ class TopKEngine:
         none is installed yet."""
         if self.plan is None:
             self.plan = self.planner.plan(self._context())
-            self.total_energy_mj += self.simulator.install_cost(self.plan)
+            install_mj = self.simulator.install_cost(self.plan)
+            self._charge("install", install_mj)
             self._queries_since_replan = 0
+            record_event(
+                self.instrumentation,
+                "plan_installed",
+                reason="initial",
+                install_mj=install_mj,
+                edges_used=len(self.plan.used_edges),
+            )
         return self.plan
 
     def maybe_replan(self) -> bool:
         """Re-optimize; disseminate only on sufficient improvement.
 
-        Returns True when a new plan was installed.
+        Returns True when a new plan was installed.  A declined
+        candidate is counted (``engine.replans_skipped`` /
+        ``replan_skipped`` event) and does *not* reset the replan
+        clock, so the next query re-attempts instead of waiting a full
+        ``replan_every`` cycle.
         """
         if self.plan is None:
             self.ensure_plan()
@@ -166,9 +208,27 @@ class TopKEngine:
         threshold = current_hits * (1.0 + self.config.replan_improvement)
         if candidate_hits > threshold:
             self.plan = candidate
-            self.total_energy_mj += self.simulator.install_cost(candidate)
+            install_mj = self.simulator.install_cost(candidate)
+            self._charge("install", install_mj)
             self._queries_since_replan = 0
+            record_event(
+                self.instrumentation,
+                "plan_installed",
+                reason="replan",
+                install_mj=install_mj,
+                edges_used=len(candidate.used_edges),
+                current_hits=current_hits,
+                candidate_hits=candidate_hits,
+            )
             return True
+        if self.instrumentation is not None:
+            self.instrumentation.counter("engine.replans_skipped").inc()
+            self.instrumentation.event(
+                "replan_skipped",
+                current_hits=current_hits,
+                candidate_hits=candidate_hits,
+                threshold=threshold,
+            )
         return False
 
     # -- execution -------------------------------------------------------------
@@ -176,7 +236,7 @@ class TopKEngine:
         """Execute the installed plan on this epoch's readings."""
         plan = self.ensure_plan()
         report = self.simulator.run_collection(plan, readings)
-        self.total_energy_mj += report.energy_mj
+        self._charge("query", report.energy_mj)
         self.observe_failures(report)
         answer = report.returned[: self.k]
         score = (
@@ -195,8 +255,15 @@ class TopKEngine:
             return
         for edge, failed in report.edge_outcomes:
             self.failures.record_failure(edge, failed)
+            if failed and self.instrumentation is not None:
+                self.instrumentation.counter("engine.failures_observed").inc()
+                self.instrumentation.event(
+                    "failure_observed",
+                    edge=edge,
+                    probability=self.failures.failure_probability.get(edge),
+                )
 
-    def audit(self, readings, budget_factor: float = 1.25):
+    def audit(self, readings, budget_factor: float = 1.25) -> AuditResult:
         """Estimate the installed plan's accuracy with a proof run.
 
         Paper §4.4 "Re-sampling": "This confidence can be measured by
@@ -206,7 +273,9 @@ class TopKEngine:
         plan's answer; the resulting accuracy estimate feeds the
         adaptive sampler, and the audit's energy is charged.
 
-        Returns ``(estimated_accuracy, audit_energy_mj)``.
+        Returns an :class:`~repro.query.result.AuditResult`; the old
+        ``(estimated_accuracy, audit_energy_mj)`` tuple unpacking still
+        works via its ``__iter__``.
         """
         from repro.planners.exact import ExactTopK
         from repro.planners.proof import ProofPlanner
@@ -238,22 +307,45 @@ class TopKEngine:
             m.cost(self.energy)
             for m in outcome.phase1_messages + outcome.phase2_messages
         )
-        self.total_energy_mj += audit_energy
+        self._charge("audit", audit_energy)
 
         truth = outcome.answer_nodes()
         estimated = len(answer.returned_nodes & truth) / self.k
         self.sampler.record_accuracy(estimated)
-        return estimated, audit_energy
+        result = AuditResult(
+            estimated_accuracy=estimated,
+            audit_energy_mj=audit_energy,
+            truth_nodes=frozenset(truth),
+            answer_nodes=frozenset(answer.returned_nodes),
+        )
+        record_event(
+            self.instrumentation,
+            "audit_run",
+            estimated_accuracy=estimated,
+            audit_energy_mj=audit_energy,
+            budget_factor=budget_factor,
+        )
+        return result
 
     def step(self, readings) -> EpochOutcome:
         """One epoch of the explore/exploit loop."""
         self.epoch += 1
+        if self.instrumentation is not None:
+            self.instrumentation.counter("engine.epochs").inc()
         decision = self.sampler.decide()
         if decision.explore or self.window.is_empty:
             report = self.simulator.collect_full_sample(readings)
-            self.total_energy_mj += report.energy_mj
+            self._charge("sample", report.energy_mj)
             self.window.add(readings)
             self.plan = None
+            if self.instrumentation is not None:
+                self.instrumentation.counter("engine.samples").inc()
+                self.instrumentation.event(
+                    "sample_collected",
+                    source="explore",
+                    rate=decision.rate,
+                    energy_mj=report.energy_mj,
+                )
             return EpochOutcome(
                 epoch=self.epoch,
                 action="sample",
@@ -267,10 +359,15 @@ class TopKEngine:
             self.plan is not None
             and self._queries_since_replan >= self.config.replan_every
         ):
+            # the clock only resets when a plan is actually installed
+            # (inside maybe_replan); a declined candidate leaves it
+            # running so the next query re-attempts immediately instead
+            # of silently waiting another replan_every cycle
             replanned = self.maybe_replan()
-            self._queries_since_replan = 0
 
         result = self.query(readings)
+        if self.instrumentation is not None:
+            self.instrumentation.counter("engine.queries").inc()
         if self.config.track_truth and not np.isnan(result.accuracy):
             self.sampler.record_accuracy(result.accuracy)
         return EpochOutcome(

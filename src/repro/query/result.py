@@ -34,3 +34,30 @@ class EpochOutcome:
     result: QueryResult | None = None
     energy_mj: float = 0.0
     notes: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AuditResult:
+    """Outcome of one :meth:`~repro.query.engine.TopKEngine.audit` run.
+
+    Iterating yields ``(estimated_accuracy, audit_energy_mj)`` so
+    legacy tuple unpacking keeps working for one deprecation cycle;
+    new code should read the named fields.
+    """
+
+    estimated_accuracy: float
+    """Fraction of the proof run's certified top-k that the installed
+    plan's answer captured."""
+
+    audit_energy_mj: float
+    """Energy the proof run itself consumed (charged to the engine)."""
+
+    truth_nodes: frozenset[int] = frozenset()
+    """The certified top-k node ids the audit scored against."""
+
+    answer_nodes: frozenset[int] = frozenset()
+    """The installed plan's answer node ids."""
+
+    def __iter__(self):
+        yield self.estimated_accuracy
+        yield self.audit_energy_mj

@@ -17,6 +17,7 @@ import numpy as np
 from repro.network.energy import EnergyModel
 from repro.network.failures import LinkFailureModel
 from repro.network.topology import Topology
+from repro.obs import Instrumentation
 from repro.plans.execution import CollectionResult, execute_plan
 from repro.plans.naive import naive_k_collect, naive_one_collect
 from repro.plans.plan import Message, QueryPlan, Reading
@@ -58,41 +59,81 @@ class Simulator:
         penalty.
     rng:
         Randomness source for failure draws (ignored without failures).
+    instrumentation:
+        Optional :class:`~repro.obs.Instrumentation`; when set, every
+        collection phase records a ``collection_run`` event plus
+        messages/bytes/mJ counters broken down by edge depth.
     """
 
     topology: Topology
     energy: EnergyModel
     failures: LinkFailureModel | None = None
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    instrumentation: Instrumentation | None = None
 
     # -- message accounting ---------------------------------------------------
     def _charge(
         self, messages: list[Message]
-    ) -> tuple[float, int, int, list[tuple[int, bool]]]:
-        """Energy, value count, retries and per-edge outcomes of a log."""
+    ) -> tuple[float, int, int, list[tuple[int, bool]], dict | None]:
+        """Energy, value count, retries, per-edge outcomes, and (when
+        instrumented) the per-edge-depth breakdown of a message log."""
         total = 0.0
         values = 0
         retries = 0
         outcomes: list[tuple[int, bool]] = []
+        by_depth: dict[int, dict] | None = (
+            {} if self.instrumentation is not None else None
+        )
         for message in messages:
-            total += message.cost(self.energy)
+            cost = message.cost(self.energy)
+            total += cost
             values += message.num_values
+            if by_depth is not None:
+                depth = self.topology.depth(message.edge)
+                bucket = by_depth.setdefault(
+                    depth, {"messages": 0, "bytes": 0, "energy_mj": 0.0}
+                )
+                bucket["messages"] += 1
+                bucket["bytes"] += (
+                    message.num_values * self.energy.value_bytes
+                    + message.extra_bytes
+                )
+                bucket["energy_mj"] += cost
             if self.failures is None or message.kind != "unicast":
                 continue
             failed = self.failures.sample_failure(message.edge, self.rng)
             outcomes.append((message.edge, failed))
             if failed:
                 retries += 1
-                total += message.cost(self.energy)
-                total += self.failures.reroute_cost(message.edge)
-        return total, values, retries, outcomes
+                retry_cost = (
+                    message.cost(self.energy)
+                    + self.failures.reroute_cost(message.edge)
+                )
+                total += retry_cost
+                if by_depth is not None:
+                    bucket = by_depth[self.topology.depth(message.edge)]
+                    bucket["messages"] += 1
+                    bucket["energy_mj"] += retry_cost
+        return total, values, retries, outcomes, by_depth
 
     def _report(
         self,
         result: CollectionResult | ProofResult,
         extra_energy: float = 0.0,
+        label: str = "collection",
     ) -> SimulationReport:
-        energy, values, retries, outcomes = self._charge(result.messages)
+        energy, values, retries, outcomes, by_depth = self._charge(
+            result.messages
+        )
+        if self.instrumentation is not None:
+            self.instrumentation.record_collection(
+                label,
+                messages=len(result.messages),
+                values=values,
+                retries=retries,
+                energy_mj=energy + extra_energy,
+                by_depth=by_depth,
+            )
         return SimulationReport(
             returned=result.returned,
             energy_mj=energy + extra_energy,
@@ -115,16 +156,18 @@ class Simulator:
         readings,
         include_trigger: bool = True,
         priority=None,
+        label: str = "collection",
     ) -> SimulationReport:
         """One triggered execution of an installed approximate plan.
 
         ``priority`` overrides the forwarding order (used by subset
-        queries that are not up-closed, see :mod:`repro.queries`).
+        queries that are not up-closed, see :mod:`repro.queries`);
+        ``label`` tags the phase in the observability event stream.
         """
         result = execute_plan(plan, readings, priority=priority)
         extra = trigger_cost(plan, self.energy) if include_trigger else 0.0
         extra += self._acquisition(len(plan.visited_nodes))
-        return self._report(result, extra_energy=extra)
+        return self._report(result, extra_energy=extra, label=label)
 
     def run_proof_collection(
         self, plan: QueryPlan, readings, include_trigger: bool = True
@@ -133,7 +176,7 @@ class Simulator:
         result = execute_proof_plan(plan, readings)
         extra = trigger_cost(plan, self.energy) if include_trigger else 0.0
         extra += self._acquisition(self.topology.n)  # every node measures
-        return self._report(result, extra_energy=extra)
+        return self._report(result, extra_energy=extra, label="proof")
 
     def run_naive_k(self, readings, k: int) -> SimulationReport:
         """The NAIVE-k exact algorithm (needs no installed plan; the
@@ -141,14 +184,18 @@ class Simulator:
         result = naive_k_collect(self.topology, readings, k)
         extra = trigger_cost(QueryPlan.full(self.topology), self.energy)
         extra += self._acquisition(self.topology.n)
-        return self._report(result, extra_energy=extra)
+        return self._report(result, extra_energy=extra, label="naive-k")
 
     def run_naive_one(self, readings, k: int) -> SimulationReport:
         """The NAIVE-1 pipelined exact algorithm."""
         result = naive_one_collect(self.topology, readings, k)
         # only nodes that were actually asked take a measurement
         asked = {m.edge for m in result.messages} | {self.topology.root}
-        return self._report(result, extra_energy=self._acquisition(len(asked)))
+        return self._report(
+            result,
+            extra_energy=self._acquisition(len(asked)),
+            label="naive-1",
+        )
 
     def install_cost(self, plan: QueryPlan) -> float:
         """Energy of the initial distribution phase for ``plan``."""
@@ -157,4 +204,6 @@ class Simulator:
     def collect_full_sample(self, readings) -> SimulationReport:
         """Gather every node's value (the exploration step of §3),
         executed as a full-bandwidth collection."""
-        return self.run_collection(QueryPlan.full(self.topology), readings)
+        return self.run_collection(
+            QueryPlan.full(self.topology), readings, label="full-sample"
+        )

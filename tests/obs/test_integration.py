@@ -1,0 +1,219 @@
+"""Integration: an instrumented end-to-end engine run emits the
+expected event sequence, and disabled instrumentation (None) leaves
+behavior untouched with the shared no-op fast path."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.gaussian import random_gaussian_field
+from repro.network.builder import random_topology
+from repro.network.energy import EnergyModel
+from repro.obs import NULL_TIMER, Instrumentation, maybe_timer, record_event
+from repro.planners.lp_no_lf import LPNoLFPlanner
+from repro.query.engine import EngineConfig, TopKEngine
+
+
+@pytest.fixture
+def setting():
+    rng = np.random.default_rng(5)
+    topology = random_topology(24, rng=rng, radio_range=40.0)
+    field = random_gaussian_field(24, rng)
+    return rng, topology, field
+
+
+def make_engine(topology, instrumentation=None, **config):
+    return TopKEngine(
+        topology,
+        EnergyModel.mica2(),
+        k=4,
+        planner=LPNoLFPlanner(),
+        config=EngineConfig(budget_mj=40.0, **config),
+        rng=np.random.default_rng(0),
+        instrumentation=instrumentation,
+    )
+
+
+class TestEventSequence:
+    def test_bootstrap_then_query_sequence(self, setting):
+        rng, topology, field = setting
+        obs = Instrumentation()
+        engine = make_engine(topology, instrumentation=obs)
+        for __ in range(5):
+            engine.feed_sample(field.sample(rng))
+        engine.query(field.sample(rng))
+
+        kinds = obs.trace.kinds()
+        # five bootstrap samples, then the first query triggers an LP
+        # solve, a plan build, an install, and one collection
+        assert kinds[:5] == ["sample_collected"] * 5
+        assert kinds[5:] == [
+            "lp_solve", "plan_built", "plan_installed", "collection_run",
+        ]
+        installed = obs.trace.events("plan_installed")[0]
+        assert installed.data["reason"] == "initial"
+        assert installed.data["install_mj"] > 0
+
+    def test_lp_solve_event_carries_solver_stats(self, setting):
+        rng, topology, field = setting
+        obs = Instrumentation()
+        engine = make_engine(topology, instrumentation=obs)
+        for __ in range(4):
+            engine.feed_sample(field.sample(rng))
+        engine.ensure_plan()
+        event = obs.trace.events("lp_solve")[0]
+        assert event.data["model"] == "prospector-lp-no-lf"
+        assert event.data["backend"] == "scipy-highs"
+        assert event.data["variables"] > 0
+        assert event.data["constraints"] > 0
+        assert event.data["wall_seconds"] >= 0
+        hist = obs.metrics.histogram("lp.solve_seconds.prospector-lp-no-lf")
+        assert hist.count == 1
+
+    def test_collection_depth_breakdown_sums_to_totals(self, setting):
+        rng, topology, field = setting
+        obs = Instrumentation()
+        engine = make_engine(topology, instrumentation=obs)
+        for __ in range(4):
+            engine.feed_sample(field.sample(rng))
+        engine.query(field.sample(rng))
+        event = obs.trace.events("collection_run")[0]
+        by_depth = event.data["by_depth"]
+        assert by_depth  # a non-trivial plan crosses at least one edge
+        assert sum(d["messages"] for d in by_depth.values()) == (
+            event.data["messages"]
+        )
+        # per-depth energy covers the messages; the event total also
+        # includes trigger + acquisition extras, so it is strictly more
+        message_energy = sum(d["energy_mj"] for d in by_depth.values())
+        assert 0 < message_energy < event.data["energy_mj"]
+
+    def test_declined_replan_is_counted_and_retried(self, setting):
+        rng, topology, field = setting
+        obs = Instrumentation()
+        engine = make_engine(
+            topology, instrumentation=obs,
+            replan_every=2, replan_improvement=1e9,
+        )
+        # exploit-only: zero the floor too, or accuracy feedback
+        # (max(base_rate, rate * decay)) restores exploration
+        engine.sampler.rate = 0.0
+        engine.sampler.base_rate = 0.0
+        for __ in range(5):
+            engine.feed_sample(field.sample(rng))
+        outcomes = [engine.step(field.sample(rng)) for __ in range(5)]
+        assert all(o.action == "query" for o in outcomes)
+        # step 1 installs the initial plan (clock 0); the clock reaches
+        # replan_every=2 on step 3.  The impossible threshold declines
+        # every candidate, and a declined candidate must NOT reset the
+        # clock, so steps 3, 4, AND 5 all re-attempt — the pre-fix code
+        # reset the clock on decline and would only re-attempt on step 5.
+        assert obs.metrics.counter("engine.replans_skipped").value == 3
+        assert len(obs.trace.events("replan_skipped")) == 3
+        assert engine._queries_since_replan == 4
+
+    def test_energy_counters_match_engine_total(self, setting):
+        rng, topology, field = setting
+        obs = Instrumentation()
+        engine = make_engine(topology, instrumentation=obs)
+        engine.feed_sample(field.sample(rng), charge_energy=True)
+        for __ in range(6):
+            engine.step(field.sample(rng))
+        engine.audit(field.sample(rng))
+        assert obs.metrics.counter("engine.energy_mj").value == (
+            pytest.approx(engine.total_energy_mj)
+        )
+        categories = sum(
+            obs.metrics.counter(f"engine.energy_mj.{cat}").value
+            for cat in ("sample", "query", "install", "audit")
+        )
+        assert categories == pytest.approx(engine.total_energy_mj)
+
+    def test_audit_records_event(self, setting):
+        rng, topology, field = setting
+        obs = Instrumentation()
+        engine = make_engine(topology, instrumentation=obs)
+        for __ in range(6):
+            engine.feed_sample(field.sample(rng))
+        result = engine.audit(field.sample(rng))
+        event = obs.trace.events("audit_run")[0]
+        assert event.data["estimated_accuracy"] == result.estimated_accuracy
+        assert event.data["audit_energy_mj"] == result.audit_energy_mj
+
+    def test_failure_observations_recorded(self, setting):
+        from repro.network.failures import LinkFailureModel
+
+        rng, topology, field = setting
+        obs = Instrumentation()
+        failures = LinkFailureModel.uniform(
+            topology, probability=0.6, reroute_extra_mj=1.0
+        )
+        engine = TopKEngine(
+            topology,
+            EnergyModel.mica2(),
+            k=4,
+            planner=LPNoLFPlanner(),
+            config=EngineConfig(budget_mj=60.0),
+            failures=failures,
+            rng=np.random.default_rng(1),
+            instrumentation=obs,
+        )
+        for __ in range(5):
+            engine.feed_sample(field.sample(rng))
+        for __ in range(10):
+            engine.query(field.sample(rng))
+        observed = obs.metrics.counter("engine.failures_observed").value
+        assert observed > 0
+        assert len(obs.trace.events("failure_observed")) == observed
+
+
+class TestDisabledInstrumentation:
+    def test_default_is_none_everywhere(self, setting):
+        __, topology, __ = setting
+        engine = make_engine(topology)
+        assert engine.instrumentation is None
+        assert engine.simulator.instrumentation is None
+
+    def test_disabled_run_matches_enabled_run(self, setting):
+        rng, topology, field = setting
+        samples = [field.sample(rng) for __ in range(10)]
+
+        def run(instrumentation):
+            engine = make_engine(topology, instrumentation=instrumentation)
+            for reading in samples[:4]:
+                engine.feed_sample(reading)
+            outcomes = [engine.step(r) for r in samples[4:]]
+            return engine.total_energy_mj, [o.action for o in outcomes]
+
+        assert run(None) == run(Instrumentation())
+
+    def test_noop_helpers_allocate_nothing(self):
+        # the shared singleton IS the disabled fast path: no fresh
+        # objects, no events, no exceptions
+        assert maybe_timer(None, "anything") is NULL_TIMER
+        assert maybe_timer(None, "other") is NULL_TIMER
+        with maybe_timer(None, "x") as timer:
+            assert timer is NULL_TIMER
+        assert record_event(None, "lp_solve", ignored=1) is None
+
+    def test_planner_path_untimed_when_disabled(self, setting):
+        rng, topology, field = setting
+        obs = Instrumentation()
+        # same planner instance, two contexts: only the instrumented
+        # context records anything
+        from repro.planners.base import PlanningContext
+
+        planner = LPNoLFPlanner()
+        window = [field.sample(rng) for __ in range(5)]
+        from repro.sampling.window import SampleWindow
+
+        win = SampleWindow(10)
+        for row in window:
+            win.add(row)
+        base = dict(
+            topology=topology, energy=EnergyModel.mica2(),
+            samples=win.matrix(4), k=4, budget=40.0,
+        )
+        planner.plan(PlanningContext(**base))
+        assert obs.metrics.histograms == {}
+        planner.plan(PlanningContext(**base, instrumentation=obs))
+        assert obs.metrics.counter("plan.builds.lp-no-lf").value == 1

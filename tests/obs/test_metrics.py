@@ -1,0 +1,133 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms,
+timers, and the JSON-able dump/restore."""
+
+import time
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Instrumentation, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("queries")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ObservabilityError, match="cannot decrease"):
+            MetricsRegistry().counter("x").inc(-1.0)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("budget")
+        gauge.set(10.0)
+        gauge.set(4.0)
+        assert gauge.value == 4.0
+
+
+class TestHistogram:
+    def test_summary_math(self):
+        hist = MetricsRegistry().histogram("latency")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == 10.0
+        assert hist.mean == 2.5
+        assert hist.min == 1.0
+        assert hist.max == 4.0
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["p50"] == pytest.approx(3.0)
+        assert summary["max"] == 4.0
+
+    def test_empty_summary_is_zeroed(self):
+        summary = MetricsRegistry().histogram("empty").summary()
+        assert summary == {
+            "count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+            "max": 0.0, "total": 0.0,
+        }
+
+    def test_reservoir_is_bounded_but_count_exact(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram("bounded", sample_limit=10)
+        for value in range(100):
+            hist.observe(float(value))
+        assert hist.count == 100
+        assert len(hist.sample) == 10
+        assert hist.max == 99.0
+
+
+class TestTimer:
+    def test_timer_observes_elapsed(self):
+        registry = MetricsRegistry()
+        with registry.timer("work") as timer:
+            time.sleep(0.01)
+        hist = registry.histogram("work")
+        assert hist.count == 1
+        assert timer.elapsed >= 0.01
+        assert hist.total == timer.elapsed
+
+    def test_timers_nest(self):
+        registry = MetricsRegistry()
+        with registry.timer("outer"):
+            with registry.timer("inner"):
+                time.sleep(0.005)
+            with registry.timer("inner"):
+                pass
+        assert registry.histogram("outer").count == 1
+        assert registry.histogram("inner").count == 2
+        # the outer span covers both inner spans
+        assert (
+            registry.histogram("outer").total
+            >= registry.histogram("inner").total
+        )
+
+    def test_same_name_nests_independently(self):
+        registry = MetricsRegistry()
+        with registry.timer("t"):
+            with registry.timer("t"):
+                pass
+        assert registry.histogram("t").count == 2
+
+
+class TestRoundTrip:
+    def test_registry_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(3)
+        registry.gauge("b").set(1.5)
+        registry.histogram("c").observe(2.0)
+        registry.histogram("c").observe(6.0)
+
+        restored = MetricsRegistry.from_dict(registry.to_dict())
+        assert restored.counter("a").value == 3
+        assert restored.gauge("b").value == 1.5
+        assert restored.histogram("c").count == 2
+        assert restored.histogram("c").summary() == (
+            registry.histogram("c").summary()
+        )
+
+    def test_malformed_dump_raises(self):
+        with pytest.raises(ObservabilityError, match="malformed"):
+            MetricsRegistry.from_dict({"counters": {"a": {}}})
+
+    def test_instrumentation_json_round_trip(self):
+        from repro.obs import from_json, to_json
+
+        obs = Instrumentation()
+        obs.counter("n").inc()
+        obs.event("lp_solve", model="m", wall_seconds=0.1)
+        restored = from_json(to_json(obs))
+        assert restored.metrics.counter("n").value == 1
+        assert restored.trace.kinds() == ["lp_solve"]
+        assert restored.trace.events("lp_solve")[0].data["model"] == "m"

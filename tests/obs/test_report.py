@@ -1,0 +1,38 @@
+"""Tests for the ASCII/JSON reporters."""
+
+from repro.obs import Instrumentation, from_json, render_report, to_json
+
+
+def populated() -> Instrumentation:
+    obs = Instrumentation(trace_capacity=2)
+    obs.counter("engine.queries").inc(7)
+    obs.gauge("plan.static_cost_mj.lp-lf").set(12.5)
+    obs.histogram("lp.solve_seconds.prospector-lp-lf").observe(0.02)
+    for __ in range(3):
+        obs.event("lp_solve", model="prospector-lp-lf")
+    return obs
+
+
+class TestRender:
+    def test_sections_and_names_present(self):
+        text = render_report(populated(), title="demo")
+        assert "demo" in text
+        assert "counters" in text
+        assert "engine.queries" in text
+        assert "plan.static_cost_mj.lp-lf" in text
+        assert "lp.solve_seconds.prospector-lp-lf" in text
+        assert "lp_solve" in text
+
+    def test_reports_dropped_events(self):
+        text = render_report(populated())
+        assert "dropped 1 of 3 events" in text
+
+    def test_empty_instrumentation_renders(self):
+        assert "(no metrics recorded)" in render_report(Instrumentation())
+
+
+class TestJson:
+    def test_round_trip_preserves_report(self):
+        obs = populated()
+        restored = from_json(to_json(obs))
+        assert render_report(restored) == render_report(obs)

@@ -203,3 +203,64 @@ class TestAudit:
         estimated, __ = engine.audit(field.sample(rng))
         if estimated < engine.sampler.target_accuracy:
             assert engine.sampler.rate > base_rate
+
+    def test_audit_returns_named_result(self, setting):
+        from repro.query import AuditResult
+
+        rng, topology, field = setting
+        engine = make_engine(topology)
+        for __ in range(8):
+            engine.feed_sample(field.sample(rng))
+        result = engine.audit(field.sample(rng))
+        assert isinstance(result, AuditResult)
+        assert 0.0 <= result.estimated_accuracy <= 1.0
+        assert result.audit_energy_mj > 0
+        # the node sets behind the score are exposed for inspection
+        assert len(result.truth_nodes) == engine.k
+        assert result.answer_nodes <= set(topology.nodes)
+        overlap = len(result.truth_nodes & result.answer_nodes) / engine.k
+        assert result.estimated_accuracy == pytest.approx(overlap)
+        # legacy tuple unpacking still works during the deprecation cycle
+        estimated, audit_energy = result
+        assert estimated == result.estimated_accuracy
+        assert audit_energy == result.audit_energy_mj
+
+
+class TestApiSurface:
+    def test_constructor_is_keyword_only_after_planner(self, setting):
+        __, topology, __ = setting
+        with pytest.raises(TypeError):
+            TopKEngine(
+                topology, EnergyModel.mica2(), 4, LPNoLFPlanner(),
+                EngineConfig(),
+            )
+
+    def test_declined_replan_does_not_reset_clock(self, setting):
+        rng, topology, field = setting
+        engine = make_engine(topology, replan_every=3, replan_improvement=1e9)
+        # exploit-only so every step is a query (zero the floor too,
+        # or accuracy feedback restores the base exploration rate)
+        engine.sampler.rate = 0.0
+        engine.sampler.base_rate = 0.0
+        for __ in range(6):
+            engine.feed_sample(field.sample(rng))
+
+        engine.step(field.sample(rng))  # installs initial plan, clock 0
+        assert engine._queries_since_replan == 0
+        engine.step(field.sample(rng))  # clock 1
+        engine.step(field.sample(rng))  # clock 2
+        engine.step(field.sample(rng))  # clock 3 -> replan declined
+        assert engine._queries_since_replan == 3
+        # the declined attempt must NOT have reset the clock: the very
+        # next query re-attempts instead of waiting replan_every again
+        engine.step(field.sample(rng))
+        assert engine._queries_since_replan == 4
+
+    def test_installed_replan_resets_clock(self, setting):
+        rng, topology, field = setting
+        engine = make_engine(topology)
+        for __ in range(6):
+            engine.feed_sample(field.sample(rng))
+        engine._queries_since_replan = 7
+        assert engine.maybe_replan() is True  # no plan yet -> installs
+        assert engine._queries_since_replan == 0

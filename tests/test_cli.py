@@ -86,3 +86,32 @@ class TestChartFlag:
         )
         assert main(["run", "fig4", "--chart"]) == 0
         assert "(chart)" not in capsys.readouterr().out
+
+
+class TestStats:
+    DEMO = ["stats", "--demo", "--epochs", "2", "--nodes", "16"]
+
+    def test_stats_requires_demo(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["stats"])
+        assert "--demo" in capsys.readouterr().err
+
+    def test_demo_prints_report(self, capsys):
+        assert main(self.DEMO) == 0
+        out = capsys.readouterr().out
+        assert "repro stats (demo run)" in out
+        assert "counters" in out
+        # per-planner LP solve-time histograms and engine energy
+        # counters are the acceptance bar for the instrumented run
+        assert "lp.solve_seconds.prospector-lp-lf" in out
+        assert "engine.energy_mj" in out
+        assert "plan_installed" in out
+
+    def test_demo_json_round_trips(self, capsys, tmp_path):
+        from repro.obs import from_json
+
+        target = tmp_path / "stats.json"
+        assert main(self.DEMO + ["--json", "--out", str(target)]) == 0
+        restored = from_json(target.read_text())
+        assert restored.metrics.counter("lp.solves").value > 0
+        assert "plan_built" in restored.trace.kinds()
