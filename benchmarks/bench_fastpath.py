@@ -1,0 +1,116 @@
+"""Fast-path LP compilation benchmark (ISSUE acceptance numbers).
+
+Measures, per formulation and problem size, how long it takes to get a
+solver-ready :class:`~repro.lp.StandardForm` three ways:
+
+- ``algebraic_s``: ``build_model`` + ``compile_model`` (the reference
+  object-graph path);
+- ``fast_cold_s``: the direct array compiler with an empty replan cache;
+- ``fast_warm_s``: the same compiler after a prior compile on the same
+  topology/k/costs (the :class:`~repro.query.engine.TopKEngine` replan
+  regime — only the sample-dependent rows are rebuilt).
+
+The acceptance bar from the issue — >= 5x at LP+LF n=60, m=25 with an
+identical optimum — is asserted here, against the cold cache.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from _helpers import record
+
+from repro.datagen.gaussian import random_gaussian_field
+from repro.lp import ScipyBackend, compile_model
+from repro.network.builder import random_topology
+from repro.network.energy import EnergyModel
+from repro.planners.base import PlanningContext
+from repro.planners.lp_lf import LPLFPlanner
+from repro.planners.lp_no_lf import LPNoLFPlanner
+from repro.planners.proof import ProofPlanner
+
+SIZES = ((20, 10), (40, 25), (60, 25))
+K = 10
+
+
+def _context(planner, n: int, m: int, rng) -> PlanningContext:
+    energy = EnergyModel.mica2()
+    topology = random_topology(n, rng=rng, radio_range=max(25.0, 200.0 / n**0.5))
+    field = random_gaussian_field(n, rng).scaled_variance(4.0)
+    samples = field.trace(m, rng).sample_matrix(K)
+    budget = energy.message_cost(1) * 2 * K
+    context = PlanningContext(topology, energy, samples, K, budget)
+    if isinstance(planner, ProofPlanner):
+        context.budget = planner.minimum_cost(context) * 1.5
+    return context
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run() -> list[dict]:
+    rng = np.random.default_rng(2006)
+    rows: list[dict] = []
+    for n, m in SIZES:
+        # proof's p-variable count explodes cubically; keep it small
+        planners = [LPNoLFPlanner(), LPLFPlanner()]
+        if n <= 20:
+            planners.append(ProofPlanner())
+        for planner in planners:
+            context = _context(planner, n, m, rng)
+            algebraic = _best_of(
+                lambda: compile_model(planner.build_model(context)[0])
+            )
+            fast_cold = _best_of(
+                lambda: type(planner)().compile_fast(context)
+            )
+            planner.compile_fast(context)  # prime the replan cache
+            fast_warm = _best_of(lambda: planner.compile_fast(context))
+            rows.append(
+                {
+                    "formulation": planner.name,
+                    "n": n,
+                    "m": m,
+                    "algebraic_s": algebraic,
+                    "fast_cold_s": fast_cold,
+                    "fast_warm_s": fast_warm,
+                    "speedup_cold": algebraic / max(fast_cold, 1e-12),
+                    "speedup_warm": algebraic / max(fast_warm, 1e-12),
+                }
+            )
+    return rows
+
+
+def test_fastpath(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "fastpath",
+        rows,
+        columns=[
+            "formulation", "n", "m", "algebraic_s", "fast_cold_s",
+            "fast_warm_s", "speedup_cold", "speedup_warm",
+        ],
+        title="LP compilation: fast path vs algebraic oracle",
+    )
+
+    # ISSUE acceptance: >= 5x for LP+LF at n=60, m=25, same optimum
+    target = next(
+        r for r in rows
+        if r["formulation"] == "lp-lf" and r["n"] == 60 and r["m"] == 25
+    )
+    assert target["speedup_cold"] >= 5.0
+
+    planner = LPLFPlanner()
+    context = _context(planner, 60, 25, np.random.default_rng(2006))
+    compiled = planner.compile_fast(context)
+    backend = ScipyBackend()
+    fast = backend.solve_form(compiled.form, compiled.name)
+    slow = planner.build_model(context)[0].solve(backend)
+    assert fast.objective == slow.objective

@@ -28,22 +28,37 @@ from repro.lp.backend import (
     resolve_backend,
 )
 from repro.lp.expr import LinExpr, Variable
+from repro.lp.fastbuild import (
+    CompiledLP,
+    ReplanCache,
+    compile_lp_lf,
+    compile_lp_no_lf,
+    compile_proof,
+)
 from repro.lp.model import Constraint, Model
 from repro.lp.result import Solution, SolveStats
 from repro.lp.scipy_backend import ScipyBackend
 from repro.lp.simplex import SimplexBackend
+from repro.lp.standard_form import StandardForm, compile_model
 
 __all__ = [
     "Backend",
+    "CompiledLP",
     "Constraint",
     "LinExpr",
     "Model",
+    "ReplanCache",
     "ScipyBackend",
     "SimplexBackend",
     "Solution",
     "SolveStats",
+    "StandardForm",
     "Variable",
     "available_backends",
+    "compile_lp_lf",
+    "compile_lp_no_lf",
+    "compile_model",
+    "compile_proof",
     "get_backend",
     "resolve_backend",
 ]

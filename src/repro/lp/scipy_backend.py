@@ -45,7 +45,19 @@ class ScipyBackend:
         self.instrumentation = instrumentation
 
     def solve(self, model: Model) -> Solution:
-        form = compile_model(model)
+        return self._solve_compiled(compile_model(model), model.name, model=model)
+
+    def solve_form(self, form, name: str = "lp") -> Solution:
+        """Solve a pre-compiled :class:`StandardForm` (fast-path entry).
+
+        Used by :mod:`repro.lp.fastbuild`, which lowers the PROSPECTOR
+        formulations to arrays without an algebraic model.  All
+        inequality rows of a ``StandardForm`` are already in ``<=``
+        orientation, so the reported duals need no per-row flips.
+        """
+        return self._solve_compiled(form, name, model=None)
+
+    def _solve_compiled(self, form, name: str, model: Model | None) -> Solution:
         start = time.perf_counter()
         result = linprog(
             form.c,
@@ -60,18 +72,18 @@ class ScipyBackend:
         if not result.success:
             status = _STATUS_BY_CODE.get(result.status, "error")
             raise SolverError(
-                f"LP {model.name!r} failed: {result.message}", status=status
+                f"LP {name!r} failed: {result.message}", status=status
             )
         values = np.asarray(result.x, dtype=float)
         stats = SolveStats(
             backend=self.name,
             wall_seconds=elapsed,
             iterations=int(getattr(result, "nit", 0) or 0),
-            num_variables=model.num_variables,
-            num_constraints=model.num_constraints,
+            num_variables=form.num_variables,
+            num_constraints=form.a_ub.shape[0] + form.a_eq.shape[0],
         )
         if self.instrumentation is not None:
-            self.instrumentation.record_lp_solve(model.name, stats)
+            self.instrumentation.record_lp_solve(name, stats)
         return Solution(
             status="optimal",
             objective=form.report_objective(float(result.fun)),
@@ -86,7 +98,9 @@ class ScipyBackend:
 
         HiGHS reports ``d(minimized objective)/d(b_ub)``; we convert to
         ``d(model objective)/d(original rhs)`` by undoing the
-        maximization negation and the ``>=``-to-``<=`` row flips.
+        maximization negation and the ``>=``-to-``<=`` row flips.  The
+        form-only path (``model is None``) has no original ``>=`` rows
+        to report against, so only the sense negation applies.
         """
         ineqlin = getattr(result, "ineqlin", None)
         marginals = getattr(ineqlin, "marginals", None)
@@ -95,6 +109,8 @@ class ScipyBackend:
         duals = np.asarray(marginals, dtype=float).copy()
         if form.maximize:
             duals = -duals
+        if model is None:
+            return duals
         row = 0
         for constraint in model.constraints:
             if constraint.sense == "==":

@@ -53,20 +53,27 @@ class SimplexBackend:
         self.instrumentation = instrumentation
 
     def solve(self, model: Model) -> Solution:
-        form = compile_model(model)
+        return self.solve_form(compile_model(model), model.name)
+
+    def solve_form(self, form: StandardForm, name: str = "lp") -> Solution:
+        """Solve a pre-compiled :class:`StandardForm` (fast-path entry).
+
+        Used by :mod:`repro.lp.fastbuild`; also keeps this backend
+        usable as a cross-check oracle for array-level compilers.
+        """
         start = time.perf_counter()
-        x, iterations = self._solve_form(form, model.name)
+        x, iterations = self._solve_form(form, name)
         elapsed = time.perf_counter() - start
         minimized = float(form.c @ x)
         stats = SolveStats(
             backend=self.name,
             wall_seconds=elapsed,
             iterations=iterations,
-            num_variables=model.num_variables,
-            num_constraints=model.num_constraints,
+            num_variables=form.num_variables,
+            num_constraints=form.a_ub.shape[0] + form.a_eq.shape[0],
         )
         if self.instrumentation is not None:
-            self.instrumentation.record_lp_solve(model.name, stats)
+            self.instrumentation.record_lp_solve(name, stats)
         return Solution(
             status="optimal",
             objective=form.report_objective(minimized),

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping, Sequence
 
+import numpy as np
+
 from repro.errors import TopologyError
 
 ROOT = 0
@@ -65,6 +67,14 @@ class Topology:
         self._validate_and_compute_depths()
         self._post_order = self._compute_post_order()
         self._subtree_size = self._compute_subtree_sizes()
+        # lazily-built derived structures; a Topology is immutable, so
+        # each is computed at most once (repro.lp.fastbuild relies on
+        # these staying cheap across repeated replans)
+        self._descendant_sets: list[frozenset[int]] | None = None
+        self._descendant_matrix: np.ndarray | None = None
+        self._path_arrays: tuple[np.ndarray, np.ndarray] | None = None
+        self._subtree_size_array: np.ndarray | None = None
+        self._depth_array: np.ndarray | None = None
 
     # -- construction helpers ------------------------------------------
     @classmethod
@@ -203,12 +213,73 @@ class Topology:
         return out
 
     def descendant_sets(self) -> list[frozenset[int]]:
-        """``desc(u)`` (with self) for all nodes, computed in one pass."""
-        sets: list[set[int]] = [{node} for node in range(self.n)]
-        for node in self._post_order:
-            for child in self._children[node]:
-                sets[node] |= sets[child]
-        return [frozenset(s) for s in sets]
+        """``desc(u)`` (with self) for all nodes, computed once and cached."""
+        if self._descendant_sets is None:
+            sets: list[set[int]] = [{node} for node in range(self.n)]
+            for node in self._post_order:
+                for child in self._children[node]:
+                    sets[node] |= sets[child]
+            self._descendant_sets = [frozenset(s) for s in sets]
+        return list(self._descendant_sets)
+
+    def descendant_matrix(self) -> np.ndarray:
+        """Cached boolean matrix ``D[u, v] = v in desc(u)`` (with self).
+
+        Rows are nodes; the fast LP compiler uses row ``e`` of this
+        matrix as the membership mask of edge ``e``'s subtree.  The
+        returned array is shared — treat it as read-only.
+        """
+        if self._descendant_matrix is None:
+            matrix = np.zeros((self.n, self.n), dtype=bool)
+            for node in self._post_order:
+                matrix[node, node] = True
+                for child in self._children[node]:
+                    matrix[node] |= matrix[child]
+            matrix.setflags(write=False)
+            self._descendant_matrix = matrix
+        return self._descendant_matrix
+
+    def path_edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached CSR-style ``(indptr, edges)`` encoding of every root path.
+
+        ``edges[indptr[u]:indptr[u+1]]`` equals :meth:`path_edges`\\ ``(u)``
+        (bottom-up, edge = child endpoint).  Both arrays are shared —
+        treat them as read-only.
+        """
+        if self._path_arrays is None:
+            indptr = np.zeros(self.n + 1, dtype=np.int64)
+            chunks: list[list[int]] = []
+            total = 0
+            for node in range(self.n):
+                path = self.path_edges(node)
+                total += len(path)
+                indptr[node + 1] = total
+                chunks.append(path)
+            flat = np.fromiter(
+                (edge for path in chunks for edge in path),
+                dtype=np.int64,
+                count=total,
+            )
+            indptr.setflags(write=False)
+            flat.setflags(write=False)
+            self._path_arrays = (indptr, flat)
+        return self._path_arrays
+
+    def subtree_size_array(self) -> np.ndarray:
+        """Cached ``|desc(u)|`` per node as an int array (read-only)."""
+        if self._subtree_size_array is None:
+            array = np.asarray(self._subtree_size, dtype=np.int64)
+            array.setflags(write=False)
+            self._subtree_size_array = array
+        return self._subtree_size_array
+
+    def depth_array(self) -> np.ndarray:
+        """Cached node depths as an int array (read-only)."""
+        if self._depth_array is None:
+            array = np.asarray(self._depth, dtype=np.int64)
+            array.setflags(write=False)
+            self._depth_array = array
+        return self._depth_array
 
     def is_ancestor(self, ancestor: int, node: int) -> bool:
         """True iff ``ancestor`` is on the path node -> root (or is node)."""

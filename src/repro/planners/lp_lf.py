@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.lp import LinExpr, Model
 from repro.lp.backend import resolve_backend
+from repro.lp.fastbuild import CompiledLP, ReplanCache, compile_lp_lf
 from repro.plans.plan import QueryPlan
 from repro.planners.base import PlanningContext, observed
 from repro.planners.rounding import (
@@ -46,6 +47,13 @@ class LPLFPlanner:
         LP solver backend instance or registered name (see
         :func:`repro.lp.backend.available_backends`); defaults to
         HiGHS.
+    compiler:
+        ``"fast"`` (default) lowers the formulation straight to
+        standard-form arrays (:mod:`repro.lp.fastbuild`) with a replan
+        cache for the sample-independent blocks; ``"algebraic"`` builds
+        the reference :class:`~repro.lp.Model` object graph.  The two
+        produce identical arrays (property-tested), so this only trades
+        build time.
     """
 
     name = "lp-lf"
@@ -55,10 +63,15 @@ class LPLFPlanner:
         strict_budget: bool = True,
         fill_budget: bool = True,
         backend=None,
+        compiler: str = "fast",
     ) -> None:
+        if compiler not in ("fast", "algebraic"):
+            raise ValueError(f"unknown compiler {compiler!r}")
         self.strict_budget = strict_budget
         self.fill_budget = fill_budget
         self.backend = backend
+        self.compiler = compiler
+        self.replan_cache = ReplanCache()
 
     def build_model(self, context: PlanningContext) -> tuple[Model, dict, dict, dict]:
         topology = context.topology
@@ -76,7 +89,9 @@ class LPLFPlanner:
         }
         z: dict[tuple[int, int], object] = {}
         for j in range(samples.num_samples):
-            for node in samples.ones(j):
+            # sorted so the column order is deterministic and matches
+            # the fast-path compiler (frozenset order is not)
+            for node in sorted(samples.ones(j)):
                 z[j, node] = model.add_variable(f"z_{j}_{node}", lb=0.0, ub=1.0)
 
         # an unused edge carries no bandwidth (ties b to y so the
@@ -120,17 +135,33 @@ class LPLFPlanner:
         model.maximize(LinExpr.sum_of(z.values()))
         return model, b, y, z
 
+    def compile_fast(self, context: PlanningContext) -> CompiledLP:
+        """Lower the formulation straight to standard-form arrays.
+
+        Bit-compatible with ``compile_model(build_model(context))``;
+        sample-independent blocks come from ``self.replan_cache``.
+        """
+        return compile_lp_lf(context, cache=self.replan_cache)
+
     @observed
     def plan(self, context: PlanningContext) -> QueryPlan:
         topology = context.topology
-        model, b, __, __ = self.build_model(context)
         backend = resolve_backend(self.backend, context.instrumentation)
-        solution = model.solve(backend)
-
-        bandwidths = {
-            edge: round_bandwidth(solution.value(b[edge]))
-            for edge in topology.edges
-        }
+        if self.compiler == "fast" and hasattr(backend, "solve_form"):
+            compiled = self.compile_fast(context)
+            solution = backend.solve_form(compiled.form, compiled.name)
+            bandwidth_of = compiled.primary_columns
+            bandwidths = {
+                edge: round_bandwidth(float(solution.values[bandwidth_of[edge]]))
+                for edge in topology.edges
+            }
+        else:
+            model, b, __, __ = self.build_model(context)
+            solution = model.solve(backend)
+            bandwidths = {
+                edge: round_bandwidth(solution.value(b[edge]))
+                for edge in topology.edges
+            }
         plan = QueryPlan(topology, bandwidths)
         if not self.strict_budget:
             return plan

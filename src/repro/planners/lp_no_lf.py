@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.lp import LinExpr, Model
 from repro.lp.backend import resolve_backend
+from repro.lp.fastbuild import CompiledLP, ReplanCache, compile_lp_no_lf
 from repro.plans.plan import QueryPlan
 from repro.planners.base import PlanningContext, observed
 from repro.planners.rounding import (
@@ -46,6 +47,11 @@ class LPNoLFPlanner:
         LP solver backend instance or registered name (see
         :func:`repro.lp.backend.available_backends`); defaults to
         HiGHS.
+    compiler:
+        ``"fast"`` (default) lowers the formulation straight to
+        standard-form arrays (:mod:`repro.lp.fastbuild`) with a replan
+        cache for the sample-independent blocks; ``"algebraic"`` builds
+        the reference :class:`~repro.lp.Model` object graph.
     """
 
     name = "lp-no-lf"
@@ -55,10 +61,15 @@ class LPNoLFPlanner:
         strict_budget: bool = True,
         fill_budget: bool = True,
         backend=None,
+        compiler: str = "fast",
     ) -> None:
+        if compiler not in ("fast", "algebraic"):
+            raise ValueError(f"unknown compiler {compiler!r}")
         self.strict_budget = strict_budget
         self.fill_budget = fill_budget
         self.backend = backend
+        self.compiler = compiler
+        self.replan_cache = ReplanCache()
 
     def build_model(self, context: PlanningContext) -> tuple[Model, dict, dict]:
         """Construct the LP; exposed separately for tests and timing."""
@@ -111,17 +122,37 @@ class LPNoLFPlanner:
         )
         return model, x, y
 
+    def compile_fast(self, context: PlanningContext) -> CompiledLP:
+        """Lower the formulation straight to standard-form arrays.
+
+        Bit-compatible with ``compile_model(build_model(context))``;
+        sample-independent blocks come from ``self.replan_cache``.
+        """
+        return compile_lp_no_lf(context, cache=self.replan_cache)
+
     @observed
     def plan(self, context: PlanningContext) -> QueryPlan:
         topology = context.topology
-        model, x, __ = self.build_model(context)
         backend = resolve_backend(self.backend, context.instrumentation)
-        solution = model.solve(backend)
+        if self.compiler == "fast" and hasattr(backend, "solve_form"):
+            compiled = self.compile_fast(context)
+            solution = backend.solve_form(compiled.form, compiled.name)
+            columns = compiled.primary_columns
+
+            def x_value(node: int) -> float:
+                return float(solution.values[columns[node]])
+
+        else:
+            model, x, __ = self.build_model(context)
+            solution = model.solve(backend)
+
+            def x_value(node: int) -> float:
+                return solution.value(x[node])
 
         chosen = {
             node
             for node in topology.nodes
-            if solution.value(x[node]) >= ROUND_THRESHOLD
+            if x_value(node) >= ROUND_THRESHOLD
         }
         chosen.add(topology.root)
 
@@ -146,7 +177,7 @@ class LPNoLFPlanner:
         # expected contribution = sample count, with the LP's fractional
         # preference as a mild tie-break
         priorities = [
-            float(counts[node]) + 0.5 * solution.value(x[node])
+            float(counts[node]) + 0.5 * x_value(node)
             if counts[node] > 0
             else 0.0
             for node in topology.nodes

@@ -26,6 +26,7 @@ from __future__ import annotations
 from repro.errors import BudgetError
 from repro.lp import LinExpr, Model
 from repro.lp.backend import resolve_backend
+from repro.lp.fastbuild import CompiledLP, compile_proof
 from repro.plans.plan import QueryPlan
 from repro.planners.base import PlanningContext, observed
 from repro.planners.rounding import repair_bandwidths, round_bandwidth
@@ -47,6 +48,11 @@ class ProofPlanner:
         allocated energy — "the first phase acquires more values than
         needed" — which is this behaviour; the extra margin also
         hedges against model error.  Off by default.
+    compiler:
+        ``"fast"`` (default) lowers the formulation straight to
+        standard-form arrays (:mod:`repro.lp.fastbuild`);
+        ``"algebraic"`` builds the reference :class:`~repro.lp.Model`
+        object graph.
     """
 
     name = "prospector-proof"
@@ -56,10 +62,14 @@ class ProofPlanner:
         strict_budget: bool = True,
         fill_budget: bool = False,
         backend=None,
+        compiler: str = "fast",
     ) -> None:
+        if compiler not in ("fast", "algebraic"):
+            raise ValueError(f"unknown compiler {compiler!r}")
         self.strict_budget = strict_budget
         self.fill_budget = fill_budget
         self.backend = backend
+        self.compiler = compiler
 
     def minimum_cost(self, context: PlanningContext) -> float:
         """Cost of the cheapest legal proof plan (bandwidth 1 everywhere),
@@ -165,6 +175,20 @@ class ProofPlanner:
         )
         return model, b, p
 
+    def compile_fast(self, context: PlanningContext) -> CompiledLP:
+        """Lower the formulation straight to standard-form arrays.
+
+        The reserve/acquisition policy stays here: the compiler only
+        sees the net budget right-hand side, exactly as ``build_model``
+        passes it to the budget constraint.
+        """
+        budget_rhs = (
+            context.budget
+            - self._reserve(context)
+            - self._acquisition_total(context)
+        )
+        return compile_proof(context, budget_rhs=budget_rhs)
+
     @observed
     def plan(self, context: PlanningContext) -> QueryPlan:
         minimum = self.minimum_cost(context)
@@ -174,14 +198,22 @@ class ProofPlanner:
                 f" cost {minimum:.1f} mJ (every edge must carry a value)"
             )
         topology = context.topology
-        model, b, __ = self.build_model(context)
         backend = resolve_backend(self.backend, context.instrumentation)
-        solution = model.solve(backend)
-
-        bandwidths = {
-            edge: max(1, round_bandwidth(solution.value(b[edge])))
-            for edge in topology.edges
-        }
+        if self.compiler == "fast" and hasattr(backend, "solve_form"):
+            compiled = self.compile_fast(context)
+            solution = backend.solve_form(compiled.form, compiled.name)
+            columns = compiled.primary_columns
+            bandwidths = {
+                edge: max(1, round_bandwidth(float(solution.values[columns[edge]])))
+                for edge in topology.edges
+            }
+        else:
+            model, b, __ = self.build_model(context)
+            solution = model.solve(backend)
+            bandwidths = {
+                edge: max(1, round_bandwidth(solution.value(b[edge])))
+                for edge in topology.edges
+            }
         plan = QueryPlan(topology, bandwidths, requires_all_edges=True)
         effective_budget = context.budget - self._reserve(context)
         if self.strict_budget:

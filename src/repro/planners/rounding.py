@@ -13,7 +13,13 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
-from repro.plans.execution import count_topk_hits
+import numpy as np
+
+from repro.plans.execution import (
+    bandwidth_vector,
+    batch_count_topk_hits,
+    ones_to_matrix,
+)
 from repro.plans.plan import QueryPlan
 
 ROUND_THRESHOLD = 0.5
@@ -111,38 +117,64 @@ def fill_bandwidths(
     to open up a not-yet-reachable subtree); the move with the best
     expected-hit gain per extra millijoule is applied until no move
     gains anything or fits the budget.
+
+    The move set is constructed once (from the topology's cached path
+    arrays) and every surviving candidate's hit count is evaluated in
+    one :func:`~repro.plans.execution.batch_count_topk_hits` call per
+    round.  A move whose trial cost exceeds the budget is dropped for
+    good: bandwidths only grow during filling and the static cost is
+    nondecreasing in them, so such a move can never fit later.
     """
     topology = plan.topology
+    subtree = topology.subtree_size_array()
+    ones_matrix = ones_to_matrix(topology.n, ones_per_sample)
 
-    def total_hits(candidate: QueryPlan) -> int:
-        return sum(count_topk_hits(candidate, ones) for ones in ones_per_sample)
+    # hoisted move set: single-edge bumps first, then whole-path bumps
+    # (same order as the scalar implementation, so ties resolve alike)
+    indptr, path_flat = topology.path_edge_arrays()
+    moves: list[np.ndarray] = [
+        np.array([edge], dtype=np.int64) for edge in topology.edges
+    ]
+    moves.extend(
+        path_flat[indptr[node] : indptr[node + 1]]
+        for node in topology.nodes
+        if node != topology.root
+    )
+    alive = np.ones(len(moves), dtype=bool)
 
-    def bump(base: QueryPlan, edges: list[int]) -> QueryPlan:
-        bandwidths = dict(base.bandwidths)
-        for edge in edges:
-            bandwidths[edge] = min(
-                bandwidths[edge] + 1, topology.subtree_size(edge)
-            )
-        return QueryPlan(
-            topology, bandwidths, requires_all_edges=base.requires_all_edges
-        )
-
-    moves: list[list[int]] = [[edge] for edge in topology.edges]
-    moves.extend(topology.path_edges(node) for node in topology.nodes
-                 if node != topology.root)
-
-    current_hits = total_hits(plan)
+    bw = bandwidth_vector(plan)
+    current_hits = int(batch_count_topk_hits(topology, bw, ones_matrix).sum())
     current_cost = cost_of(plan)
     while True:
-        best = None  # (gain_per_mj, gain, trial, trial_cost)
-        for move in moves:
-            trial = bump(plan, move)
-            if trial.bandwidths == plan.bandwidths:
+        trials: list[tuple[QueryPlan, float]] = []
+        trial_rows: list[np.ndarray] = []
+        for index, move in enumerate(moves):
+            if not alive[index]:
                 continue
+            trial_bw = bw.copy()
+            trial_bw[move] = np.minimum(trial_bw[move] + 1, subtree[move])
+            if np.array_equal(trial_bw, bw):
+                continue  # every edge of the move is already at capacity
+            bandwidths = dict(plan.bandwidths)
+            for edge in move:
+                bandwidths[int(edge)] = int(trial_bw[edge])
+            trial = QueryPlan(
+                topology, bandwidths, requires_all_edges=plan.requires_all_edges
+            )
             trial_cost = cost_of(trial)
             if trial_cost > budget:
+                alive[index] = False  # can never fit again; see docstring
                 continue
-            gain = total_hits(trial) - current_hits
+            trials.append((trial, trial_cost))
+            trial_rows.append(trial_bw)
+        if not trials:
+            return plan
+        totals = batch_count_topk_hits(
+            topology, np.stack(trial_rows), ones_matrix
+        ).sum(axis=1)
+        best = None  # (gain_per_mj, gain, trial, trial_cost)
+        for (trial, trial_cost), total in zip(trials, totals):
+            gain = int(total) - current_hits
             if gain <= 0:
                 continue
             extra = max(trial_cost - current_cost, 1e-9)
@@ -152,6 +184,7 @@ def fill_bandwidths(
         if best is None:
             return plan
         __, gain, plan, current_cost = best
+        bw = bandwidth_vector(plan)
         current_hits += gain
 
 
@@ -165,14 +198,13 @@ def repair_bandwidths(
     """Greedily decrement bandwidths until the plan fits budget.
 
     Each step removes one unit from the edge whose decrement loses the
-    fewest expected top-k hits over the samples (evaluated exactly with
-    the tree recursion of :func:`~repro.plans.execution.count_topk_hits`).
+    fewest expected top-k hits over the samples; all candidate
+    decrements of a step are evaluated together with the vectorized
+    tree recursion (:func:`~repro.plans.execution.batch_count_topk_hits`).
     ``min_bandwidth=1`` keeps proof-carrying plans valid.
     """
     topology = plan.topology
-
-    def total_hits(candidate: QueryPlan) -> int:
-        return sum(count_topk_hits(candidate, ones) for ones in ones_per_sample)
+    ones_matrix = ones_to_matrix(topology.n, ones_per_sample)
 
     # clip pointless over-allocation first: bandwidth beyond the subtree
     # size can never be used and only inflates the budgeted cost
@@ -185,12 +217,15 @@ def repair_bandwidths(
         candidates = [e for e in topology.edges if plan.bandwidths[e] > min_bandwidth]
         if not candidates:
             break  # nothing left to shed; caller decides what to do
-        current = total_hits(plan)
+        bw = bandwidth_vector(plan)
+        current = int(batch_count_topk_hits(topology, bw, ones_matrix).sum())
+        trial_bw = np.repeat(bw[None, :], len(candidates), axis=0)
+        trial_bw[np.arange(len(candidates)), candidates] -= 1
+        totals = batch_count_topk_hits(topology, trial_bw, ones_matrix).sum(axis=1)
         best_edge = None
         best_loss = None
-        for edge in candidates:
-            trial = plan.with_bandwidth(edge, plan.bandwidths[edge] - 1)
-            loss = current - total_hits(trial)
+        for edge, total in zip(candidates, totals):
+            loss = current - int(total)
             if best_loss is None or loss < best_loss:
                 best_loss = loss
                 best_edge = edge

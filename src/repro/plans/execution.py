@@ -19,6 +19,9 @@ the executed hit count for integral plans.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
 
 from repro.errors import PlanError
 from repro.network.topology import Topology, validate_readings
@@ -110,6 +113,63 @@ def count_topk_hits(plan: QueryPlan, topology_ones: set[int]) -> int:
             count = min(count, plan.bandwidths[node])
         survivors[node] = count
     return survivors[topology.root]
+
+
+def ones_to_matrix(n: int, ones_per_sample: Iterable[set[int]]) -> np.ndarray:
+    """Pack ``ones(j)`` sets into an ``(m, n)`` boolean matrix."""
+    ones_list = list(ones_per_sample)
+    matrix = np.zeros((len(ones_list), n), dtype=bool)
+    for j, ones in enumerate(ones_list):
+        if ones:
+            matrix[j, list(ones)] = True
+    return matrix
+
+
+def bandwidth_vector(plan: QueryPlan) -> np.ndarray:
+    """A plan's bandwidths as an int array indexed by edge child id
+    (the root slot is 0 and ignored by the flow recursion)."""
+    vector = np.zeros(plan.topology.n, dtype=np.int64)
+    for edge, bandwidth in plan.bandwidths.items():
+        vector[edge] = bandwidth
+    return vector
+
+
+def batch_count_topk_hits(
+    topology: Topology, bandwidths: np.ndarray, ones_matrix: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`count_topk_hits` over candidates × samples.
+
+    Parameters
+    ----------
+    bandwidths:
+        ``(C, n)`` integer array of candidate bandwidth vectors indexed
+        by edge child id (a 1-D vector is treated as ``C = 1``).
+    ones_matrix:
+        ``(m, n)`` boolean matrix with ``ones_matrix[j, i] = 1`` iff
+        node ``i`` holds one of sample ``j``'s top-k values.
+
+    Returns
+    -------
+    ``(C, m)`` array of root survivor counts.  The tree min-recursion
+    runs once per node with numpy ops across all candidates and samples,
+    which is what makes the rounding repair/fill loops cheap.
+    """
+    bw = np.atleast_2d(np.asarray(bandwidths, dtype=np.int64))
+    own = np.asarray(ones_matrix, dtype=np.int64)
+    num_candidates = bw.shape[0]
+    num_samples = own.shape[0]
+    root = topology.root
+    survivors: dict[int, np.ndarray] = {}
+    for node in topology.post_order():
+        count = np.broadcast_to(
+            own[:, node], (num_candidates, num_samples)
+        ).copy()
+        for child in topology.children(node):
+            count += survivors.pop(child)
+        if node != root:
+            np.minimum(count, bw[:, node, None], out=count)
+        survivors[node] = count
+    return survivors[root]
 
 
 def expected_hits(plan: QueryPlan, ones_per_sample: list[set[int]]) -> float:

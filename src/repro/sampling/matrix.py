@@ -14,6 +14,25 @@ import numpy as np
 from repro.errors import SamplingError
 
 
+def _top_k_mask(values: np.ndarray, k: int) -> np.ndarray:
+    """Per-row boolean top-k mask under the ``(value, node_id)`` order.
+
+    A tie at the k-th largest value is broken toward higher node ids,
+    matching the total order used everywhere else in the library.
+    """
+    m, n = values.shape
+    if k >= n:
+        return np.ones((m, n), dtype=bool)
+    kth = np.partition(values, n - k, axis=1)[:, n - k : n - k + 1]
+    above = values > kth
+    ties = values == kth
+    needed = k - above.sum(axis=1, keepdims=True)
+    # among the tied columns, keep the `needed` right-most (highest id):
+    # count ties from the right and admit while within the quota
+    from_right = np.cumsum(ties[:, ::-1], axis=1)[:, ::-1]
+    return above | (ties & (from_right <= needed))
+
+
 class SampleMatrix:
     """Samples of past network readings, digested for plan optimization.
 
@@ -46,17 +65,14 @@ class SampleMatrix:
         self.values = values
         self.k = int(min(k, values.shape[1]))
         self.requested_k = int(k)
-        self._ones = [self._top_k_nodes(row) for row in values]
-        self.matrix = np.zeros(values.shape, dtype=bool)
-        for j, ones in enumerate(self._ones):
-            for node in ones:
-                self.matrix[j, node] = True
+        self.matrix = _top_k_mask(values, self.k)
+        self._ones = [
+            frozenset(map(int, np.flatnonzero(row))) for row in self.matrix
+        ]
 
     def _top_k_nodes(self, row: np.ndarray) -> frozenset[int]:
-        tagged = sorted(
-            ((float(v), node) for node, v in enumerate(row)), reverse=True
-        )
-        return frozenset(node for __, node in tagged[: self.k])
+        mask = _top_k_mask(np.asarray(row, dtype=float).reshape(1, -1), self.k)
+        return frozenset(map(int, np.flatnonzero(mask[0])))
 
     # -- shape -------------------------------------------------------------
     @property
@@ -91,22 +107,36 @@ class SampleMatrix:
         PROSPECTOR-Proof constraints.
         """
         row = self.values[j]
-        pivot = (float(row[node]), node)
-        return frozenset(
-            other
-            for other in range(self.num_nodes)
-            if other != node and (float(row[other]), other) < pivot
+        pivot = row[node]
+        mask = (row < pivot) | (
+            (row == pivot) & (np.arange(self.num_nodes) < node)
         )
+        return frozenset(map(int, np.flatnonzero(mask)))
 
     # -- maintenance ---------------------------------------------------------
     def with_sample(self, reading: Sequence[float]) -> "SampleMatrix":
-        """New matrix with one more sample appended (immutably)."""
+        """New matrix with one more sample appended (immutably).
+
+        Incremental: existing rows' digests (``ones(j)`` sets and the
+        Boolean matrix rows) are reused verbatim — only the new row is
+        digested, which keeps window slides O(n) instead of O(m·n).
+        """
         row = np.asarray(reading, dtype=float).reshape(1, -1)
         if row.shape[1] != self.num_nodes:
             raise SamplingError(
                 f"sample has {row.shape[1]} nodes, expected {self.num_nodes}"
             )
-        return SampleMatrix(np.vstack([self.values, row]), self.requested_k)
+        new = object.__new__(SampleMatrix)
+        new.values = np.vstack([self.values, row])
+        new.k = self.k
+        new.requested_k = self.requested_k
+        new_mask = _top_k_mask(row, self.k)
+        new.matrix = np.vstack([self.matrix, new_mask])
+        new._ones = [
+            *self._ones,
+            frozenset(map(int, np.flatnonzero(new_mask[0]))),
+        ]
+        return new
 
     @classmethod
     def from_rows(cls, rows: Iterable[Sequence[float]], k: int) -> "SampleMatrix":

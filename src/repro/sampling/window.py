@@ -34,6 +34,13 @@ class SampleWindow:
         self.capacity = capacity
         self._rows: deque[np.ndarray] = deque(maxlen=capacity)
         self._num_nodes: int | None = None
+        # digest cache: {k: (version, SampleMatrix)}.  While the window
+        # only grows (no eviction since the cached version), a stale
+        # digest is promoted with SampleMatrix.with_sample instead of
+        # re-digesting all m rows.
+        self._version = 0
+        self._evict_version = 0
+        self._digests: dict[int, tuple[int, SampleMatrix]] = {}
 
     def add(self, reading: Sequence[float]) -> None:
         """Record one full-network sample (evicting the oldest if full)."""
@@ -46,7 +53,13 @@ class SampleWindow:
             raise SamplingError(
                 f"sample has {row.shape[0]} nodes, window holds {self._num_nodes}"
             )
+        evicting = len(self._rows) == self.capacity
         self._rows.append(row)
+        self._version += 1
+        if evicting:
+            # a dropped row invalidates append-only digest promotion
+            self._evict_version = self._version
+            self._digests.clear()
 
     def extend(self, rows) -> None:
         for row in rows:
@@ -68,11 +81,34 @@ class SampleWindow:
         return [row.copy() for row in self._rows]
 
     def matrix(self, k: int) -> SampleMatrix:
-        """Digest the current window into a sample matrix for planning."""
+        """Digest the current window into a sample matrix for planning.
+
+        Digests are cached per ``k``: an unchanged window returns the
+        same :class:`~repro.sampling.matrix.SampleMatrix` object (it is
+        immutable), and appended-only growth digests just the new rows.
+        """
         if not self._rows:
             raise SamplingError("sample window is empty; collect samples first")
-        return SampleMatrix(np.vstack(list(self._rows)), k)
+        key = int(k)
+        cached = self._digests.get(key)
+        if cached is not None:
+            version, digest = cached
+            if version == self._version:
+                return digest
+            if version >= self._evict_version:
+                for row in list(self._rows)[digest.num_samples :]:
+                    digest = digest.with_sample(row)
+                self._digests[key] = (self._version, digest)
+                return digest
+        digest = SampleMatrix(np.vstack(list(self._rows)), k)
+        if len(self._digests) > 4:  # a window rarely serves many k values
+            self._digests.clear()
+        self._digests[key] = (self._version, digest)
+        return digest
 
     def clear(self) -> None:
         self._rows.clear()
         self._num_nodes = None
+        self._version += 1
+        self._evict_version = self._version
+        self._digests.clear()

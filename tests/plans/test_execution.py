@@ -78,3 +78,54 @@ class TestCountHits:
 
     def test_expected_hits_empty(self, small_tree):
         assert expected_hits(QueryPlan.full(small_tree), []) == 0.0
+
+
+class TestBatchCountTopkHits:
+    """The vectorized recursion must agree with the scalar counter."""
+
+    def _random_case(self, seed):
+        import numpy as np
+
+        from repro.network.builder import random_topology
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 25))
+        topology = random_topology(
+            n, radio_range=max(25.0, 200.0 / n**0.5), rng=rng
+        )
+        bandwidths = {
+            e: int(rng.integers(0, topology.subtree_size(e) + 2))
+            for e in topology.edges
+        }
+        k = int(rng.integers(1, n + 1))
+        ones = [
+            frozenset(
+                map(int, rng.choice(n, size=min(k, n), replace=False))
+            )
+            for _ in range(int(rng.integers(1, 8)))
+        ]
+        return topology, bandwidths, ones
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_scalar_counter(self, seed):
+        import numpy as np
+
+        from repro.plans.execution import (
+            bandwidth_vector,
+            batch_count_topk_hits,
+            ones_to_matrix,
+        )
+
+        topology, bandwidths, ones = self._random_case(seed)
+        plans = [
+            QueryPlan(topology, bandwidths),
+            QueryPlan(topology, {e: 0 for e in topology.edges}),
+            QueryPlan.full(topology),
+        ]
+        stacked = np.stack([bandwidth_vector(p) for p in plans])
+        batched = batch_count_topk_hits(
+            topology, stacked, ones_to_matrix(topology.n, ones)
+        )
+        for row, plan in zip(batched, plans):
+            scalar = [count_topk_hits(plan, set(o)) for o in ones]
+            assert row.tolist() == scalar

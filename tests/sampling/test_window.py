@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import SamplingError
+from repro.sampling.matrix import SampleMatrix
 from repro.sampling.window import SampleWindow
 
 
@@ -51,3 +52,44 @@ class TestSampleWindow:
         matrix = window.matrix(1)
         assert matrix.num_samples == 2
         assert matrix.ones(1) == frozenset({1})
+
+
+class TestDigestCache:
+    def test_unchanged_window_returns_same_object(self):
+        window = SampleWindow(capacity=5)
+        window.add([1.0, 2.0, 3.0])
+        first = window.matrix(2)
+        assert window.matrix(2) is first
+
+    def test_append_promotes_digest_incrementally(self):
+        window = SampleWindow(capacity=10)
+        rng = np.random.default_rng(0)
+        window.add(rng.normal(size=4))
+        stale = window.matrix(2)
+        window.add(rng.normal(size=4))
+        window.add(rng.normal(size=4))
+        promoted = window.matrix(2)
+        fresh = SampleMatrix(np.vstack(window.rows()), 2)
+        assert promoted.num_samples == 3
+        assert promoted.ones_list() == fresh.ones_list()
+        assert np.array_equal(promoted.values, fresh.values)
+        assert stale.num_samples == 1  # the cached digest was not mutated
+
+    def test_eviction_invalidates_digest(self):
+        window = SampleWindow(capacity=2)
+        window.add([9.0, 1.0])
+        window.add([1.0, 9.0])
+        window.matrix(1)
+        window.add([5.0, 6.0])  # evicts the first row
+        fresh = SampleMatrix(np.vstack(window.rows()), 1)
+        rebuilt = window.matrix(1)
+        assert rebuilt.ones_list() == fresh.ones_list()
+        assert np.array_equal(rebuilt.values, fresh.values)
+
+    def test_clear_invalidates_digest(self):
+        window = SampleWindow(capacity=3)
+        window.add([1.0, 2.0])
+        window.matrix(1)
+        window.clear()
+        window.add([4.0, 3.0])
+        assert window.matrix(1).ones(0) == frozenset({0})
