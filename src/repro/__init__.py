@@ -103,7 +103,12 @@ from repro.query import (
     accuracy,
 )
 from repro.sampling import AdaptiveSampler, SampleMatrix, SampleWindow
-from repro.simulation import SimulationReport, Simulator
+from repro.simulation import (
+    BatchSimulationReport,
+    BatchSimulator,
+    SimulationReport,
+    Simulator,
+)
 from repro.stochastic import (
     ScenarioSet,
     SimpleTopKInstance,
@@ -116,6 +121,8 @@ __all__ = [
     "AdaptiveSampler",
     "AuditResult",
     "AnswerMatrix",
+    "BatchSimulationReport",
+    "BatchSimulator",
     "BudgetError",
     "ClusterTopKQuery",
     "DPPlanner",

@@ -5,6 +5,17 @@ epochs ("install-once, run-many-times usage", §5), measuring the
 average per-query energy (trigger + collection) and the average
 accuracy against ground truth.  :func:`evaluate_plan` implements that
 loop; :func:`evaluate_planner` plans first from a training trace.
+
+Two execution engines are available (see DESIGN.md):
+
+- ``engine="batch"`` (default) replays the whole evaluation trace in
+  one vectorized pass through
+  :class:`~repro.simulation.batch.BatchSimulator`;
+- ``engine="scalar"`` is the epoch-by-epoch reference oracle through
+  :class:`~repro.simulation.runtime.Simulator`.
+
+Both produce identical node sets and energies to float round-off
+(equivalence-tested), including failure retries under a shared seed.
 """
 
 from __future__ import annotations
@@ -14,12 +25,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.datagen.trace import Trace
+from repro.errors import PlanError
 from repro.network.energy import EnergyModel
+from repro.network.failures import LinkFailureModel
 from repro.network.topology import Topology
 from repro.obs import Instrumentation
 from repro.plans.plan import QueryPlan
 from repro.planners.base import Planner, PlanningContext
-from repro.query.accuracy import accuracy
+from repro.query.accuracy import accuracy, batch_accuracy
+from repro.simulation.batch import BatchSimulator
 from repro.simulation.runtime import Simulator
 
 
@@ -43,6 +57,21 @@ class Evaluation:
         return base
 
 
+def _resolve_rng(rng, seed) -> np.random.Generator:
+    """One randomness source for the failure draws of an evaluation.
+
+    Accepting either an explicit generator or a seed (but not both)
+    makes failure-model experiments reproducible; the previous
+    behaviour — a fresh unseeded ``default_rng`` per evaluation — is
+    kept only when neither is given.
+    """
+    if rng is not None and seed is not None:
+        raise PlanError("pass either rng or seed, not both")
+    if rng is not None:
+        return rng
+    return np.random.default_rng(seed)
+
+
 def evaluate_plan(
     name: str,
     plan: QueryPlan,
@@ -51,16 +80,37 @@ def evaluate_plan(
     eval_trace: Trace,
     k: int,
     instrumentation: Instrumentation | None = None,
+    *,
+    failures: LinkFailureModel | None = None,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    engine: str = "batch",
 ) -> Evaluation:
     """Run an installed plan over every epoch of the evaluation trace."""
-    simulator = Simulator(topology, energy, instrumentation=instrumentation)
-    accuracies = []
-    energies = []
-    for readings in eval_trace:
-        report = simulator.run_collection(plan, readings)
-        answer_nodes = {node for __, node in report.returned[:k]}
-        accuracies.append(accuracy(answer_nodes, readings, k))
-        energies.append(report.energy_mj)
+    if engine not in ("batch", "scalar"):
+        raise PlanError(f"unknown evaluation engine {engine!r}")
+    generator = _resolve_rng(rng, seed)
+    if engine == "batch":
+        simulator = BatchSimulator(
+            topology, energy, failures=failures, rng=generator,
+            instrumentation=instrumentation,
+        )
+        report = simulator.run_collection(plan, eval_trace.values)
+        accuracies = batch_accuracy(
+            report.top_k_nodes(k), eval_trace.values, k
+        )
+        energies = report.energy_mj
+    else:
+        simulator = Simulator(
+            topology, energy, failures=failures, rng=generator,
+            instrumentation=instrumentation,
+        )
+        accuracies = []
+        energies = []
+        for readings in eval_trace:
+            report = simulator.run_collection(plan, readings)
+            accuracies.append(accuracy(report.top_k_nodes(k), readings, k))
+            energies.append(report.energy_mj)
     return Evaluation(
         algorithm=name,
         mean_accuracy=float(np.mean(accuracies)),
@@ -79,6 +129,11 @@ def evaluate_planner(
     k: int,
     budget: float,
     instrumentation: Instrumentation | None = None,
+    *,
+    failures: LinkFailureModel | None = None,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    engine: str = "batch",
 ) -> Evaluation:
     """Plan from the training trace, then evaluate the plan."""
     context = PlanningContext(
@@ -87,12 +142,14 @@ def evaluate_planner(
         samples=train_trace.sample_matrix(k),
         k=k,
         budget=budget,
+        failures=failures,
         instrumentation=instrumentation,
     )
     plan = planner.plan(context)
     return evaluate_plan(
         planner.name, plan, topology, energy, eval_trace, k,
         instrumentation=instrumentation,
+        failures=failures, rng=rng, seed=seed, engine=engine,
     )
 
 

@@ -10,6 +10,12 @@ Paper shape to reproduce: NAIVE-k far right (most expensive); the
 approximate algorithms reach high accuracy at a fraction of its cost,
 ordered Greedy < LP−LF < LP+LF; ORACLE is the unreachable left
 frontier; NAIVE-1's cost at k=1 already matches NAIVE-k at k=50.
+
+The (planner, budget) sweep is a bag of independent trials routed
+through :class:`~repro.experiments.runner.ExperimentRunner`
+(deterministic per-trial seeds, cached, optionally parallel), and the
+replay loops use the batched simulation engine; ``engine="scalar"``
+reruns the original epoch-by-epoch loops for reference timing.
 """
 
 from __future__ import annotations
@@ -17,8 +23,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datagen.gaussian import random_gaussian_field
-from repro.experiments.common import budget_sweep, evaluate_plan, evaluate_planner
+from repro.experiments.common import budget_sweep, evaluate_planner
 from repro.experiments.reporting import print_table
+from repro.experiments.runner import ExperimentRunner
 from repro.network.builder import random_topology
 from repro.network.energy import EnergyModel
 from repro.planners.greedy import GreedyPlanner
@@ -26,7 +33,26 @@ from repro.planners.lp_lf import LPLFPlanner
 from repro.planners.lp_no_lf import LPNoLFPlanner
 from repro.planners.oracle import OraclePlanner
 from repro.query.accuracy import accuracy as accuracy_metric
+from repro.query.accuracy import batch_accuracy
+from repro.simulation.batch import BatchSimulator
 from repro.simulation.runtime import Simulator
+
+
+def _planner_trial(params: dict, rng: np.random.Generator) -> dict:
+    """One (planner, budget) point, runnable in a worker process."""
+    evaluation = evaluate_planner(
+        params["planner"],
+        params["topology"],
+        params["energy"],
+        params["train"],
+        params["eval_trace"],
+        params["k"],
+        params["budget"],
+        instrumentation=params.get("instrumentation"),
+        rng=rng,
+        engine=params["engine"],
+    )
+    return evaluation.row(budget_mj=round(params["budget"], 2))
 
 
 def run(
@@ -39,12 +65,19 @@ def run(
     variance_scale: float = 9.0,
     include_naive_one: bool = False,
     instrumentation=None,
+    engine: str = "batch",
+    processes: int | None = None,
+    runner: ExperimentRunner | None = None,
 ) -> list[dict]:
     """Regenerate the Figure 3 point cloud; one row per plotted point.
 
     ``instrumentation`` (an optional :class:`~repro.obs.Instrumentation`)
     collects per-planner LP solve-time histograms and per-collection
-    energy counters across the whole sweep.
+    energy counters across the whole sweep (inline trials only — it
+    cannot cross process boundaries, so it is dropped when
+    ``processes > 1``).  ``engine`` selects the batched replay path
+    (default) or the scalar reference; ``processes``/``runner`` control
+    trial parallelism and result caching.
     """
     rng = np.random.default_rng(seed)
     energy = EnergyModel.mica2()
@@ -53,22 +86,116 @@ def run(
     train = field.trace(num_samples, rng)
     eval_trace = field.trace(eval_epochs, rng)
 
-    rows: list[dict] = []
+    if runner is None:
+        runner = ExperimentRunner(processes=processes, seed=seed)
+    parallel = runner.processes > 1
 
     base_budget = energy.message_cost(1) * 4
     budgets = budget_sweep(base_budget, budget_steps)
     planners = [GreedyPlanner(), LPNoLFPlanner(), LPLFPlanner()]
-    for planner in planners:
-        for budget in budgets:
-            evaluation = evaluate_planner(
-                planner, topology, energy, train, eval_trace, k, budget,
-                instrumentation=instrumentation,
-            )
-            rows.append(evaluation.row(budget_mj=round(budget, 2)))
+    trial_params = [
+        {
+            "planner": planner,
+            "topology": topology,
+            "energy": energy,
+            "train": train,
+            "eval_trace": eval_trace,
+            "k": k,
+            "budget": budget,
+            "engine": engine,
+            **(
+                {}
+                if parallel or instrumentation is None
+                else {"instrumentation": instrumentation}
+            ),
+        }
+        for planner in planners
+        for budget in budgets
+    ]
+    rows: list[dict] = list(runner.map(_planner_trial, trial_params, seed=seed))
 
     # exact algorithms: sweep j and report accuracy j / k
+    if engine == "batch":
+        rows.extend(
+            _exact_sweep_batch(
+                topology, energy, eval_trace, k, include_naive_one,
+                instrumentation,
+            )
+        )
+    else:
+        rows.extend(
+            _exact_sweep_scalar(
+                topology, energy, eval_trace, k, include_naive_one,
+                instrumentation,
+            )
+        )
+    return rows
+
+
+def _exact_sweep_batch(
+    topology, energy, eval_trace, k, include_naive_one, instrumentation
+) -> list[dict]:
+    """The ORACLE / NAIVE sweeps on the batched engine.
+
+    ORACLE replans every epoch, so its energies come from one
+    vectorized plan sweep per ``j`` instead of per-epoch simulations;
+    NAIVE-k replays one installed plan per ``j``.  NAIVE-1's pipelined
+    protocol has no batch formulation and stays scalar.
+    """
+    simulator = BatchSimulator(topology, energy, instrumentation=instrumentation)
+    scalar = Simulator(topology, energy, instrumentation=instrumentation)
+    oracle = OraclePlanner()
+    values = eval_trace.values
+    rows: list[dict] = []
+    for j in range(1, k + 1):
+        plans = [
+            oracle.plan_for_readings(topology, readings, j)
+            for readings in values
+        ]
+        oracle_costs = simulator.run_plan_sweep(plans)
+        rows.append(
+            {
+                "algorithm": "oracle",
+                "accuracy": j / k,
+                "energy_mj": float(np.mean(oracle_costs)),
+                "budget_mj": "",
+            }
+        )
+
+        report = simulator.run_naive_k(values, j)
+        naive_acc = batch_accuracy(report.top_k_nodes(j), values, j) * j / k
+        rows.append(
+            {
+                "algorithm": "naive-k",
+                "accuracy": float(np.mean(naive_acc)),
+                "energy_mj": float(np.mean(report.energy_mj)),
+                "budget_mj": "",
+            }
+        )
+
+        if include_naive_one:
+            one_costs = [
+                scalar.run_naive_one(readings, j).energy_mj
+                for readings in values
+            ]
+            rows.append(
+                {
+                    "algorithm": "naive-1",
+                    "accuracy": j / k,
+                    "energy_mj": float(np.mean(one_costs)),
+                    "budget_mj": "",
+                }
+            )
+    return rows
+
+
+def _exact_sweep_scalar(
+    topology, energy, eval_trace, k, include_naive_one, instrumentation
+) -> list[dict]:
+    """The original per-epoch ORACLE / NAIVE loops (reference path)."""
     simulator = Simulator(topology, energy, instrumentation=instrumentation)
     oracle = OraclePlanner()
+    rows: list[dict] = []
     for j in range(1, k + 1):
         oracle_costs = []
         for readings in eval_trace:
@@ -90,9 +217,8 @@ def run(
         for readings in eval_trace:
             report = simulator.run_naive_k(readings, j)
             naive_costs.append(report.energy_mj)
-            answer = {node for __, node in report.returned[:j]}
             naive_acc.append(
-                accuracy_metric(answer, readings, j) * j / k
+                accuracy_metric(report.top_k_nodes(j), readings, j) * j / k
             )
         rows.append(
             {

@@ -19,12 +19,29 @@ import numpy as np
 from repro.datagen.gaussian import random_gaussian_field
 from repro.experiments.common import evaluate_planner
 from repro.experiments.reporting import print_table
+from repro.experiments.runner import ExperimentRunner
 from repro.network.builder import random_topology
 from repro.network.energy import EnergyModel
 from repro.planners.lp_lf import LPLFPlanner
 from repro.planners.lp_no_lf import LPNoLFPlanner
 
 DEFAULT_VARIANCES = (0.05, 0.5, 2.0, 4.0, 7.0, 10.0, 14.0)
+
+
+def _variance_trial(params: dict, rng: np.random.Generator) -> dict:
+    """One (planner, variance) point, runnable in a worker process."""
+    evaluation = evaluate_planner(
+        params["planner"],
+        params["topology"],
+        params["energy"],
+        params["train"],
+        params["eval_trace"],
+        params["k"],
+        params["budget"],
+        rng=rng,
+        engine=params["engine"],
+    )
+    return evaluation.row(variance=params["variance"])
 
 
 def run(
@@ -35,6 +52,9 @@ def run(
     eval_epochs: int = 20,
     variances: tuple[float, ...] = DEFAULT_VARIANCES,
     budget: float | None = None,
+    engine: str = "batch",
+    processes: int | None = None,
+    runner: ExperimentRunner | None = None,
 ) -> list[dict]:
     """One row per (algorithm, variance) point of Figure 4."""
     rng = np.random.default_rng(seed)
@@ -47,17 +67,31 @@ def run(
         # variance is negligible, stressed when it is not
         budget = energy.message_cost(1) * 3 * k
 
-    rows: list[dict] = []
+    if runner is None:
+        runner = ExperimentRunner(processes=processes, seed=seed)
+
+    # traces are drawn in sweep order first so the rng stream (and
+    # hence every row) is bit-identical to the original serial loop
+    trial_params = []
     for variance in variances:
         field = base.scaled_variance(variance)
         train = field.trace(num_samples, rng)
         eval_trace = field.trace(eval_epochs, rng)
         for planner in (LPNoLFPlanner(), LPLFPlanner()):
-            evaluation = evaluate_planner(
-                planner, topology, energy, train, eval_trace, k, budget
+            trial_params.append(
+                {
+                    "planner": planner,
+                    "topology": topology,
+                    "energy": energy,
+                    "train": train,
+                    "eval_trace": eval_trace,
+                    "k": k,
+                    "budget": budget,
+                    "variance": variance,
+                    "engine": engine,
+                }
             )
-            rows.append(evaluation.row(variance=variance))
-    return rows
+    return list(runner.map(_variance_trial, trial_params, seed=seed))
 
 
 def main() -> list[dict]:

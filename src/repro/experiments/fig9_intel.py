@@ -18,12 +18,31 @@ import numpy as np
 from repro.datagen.intel import IntelLabSurrogate, intel_lab_network
 from repro.experiments.common import budget_sweep, evaluate_planner
 from repro.experiments.reporting import print_table
+from repro.experiments.runner import ExperimentRunner
 from repro.network.energy import EnergyModel
 from repro.planners.greedy import GreedyPlanner
 from repro.planners.lp_lf import LPLFPlanner
 from repro.planners.lp_no_lf import LPNoLFPlanner
 from repro.query.accuracy import accuracy as accuracy_metric
+from repro.query.accuracy import batch_accuracy
+from repro.simulation.batch import BatchSimulator
 from repro.simulation.runtime import Simulator
+
+
+def _budget_trial(params: dict, rng: np.random.Generator) -> dict:
+    """One (planner, budget) point, runnable in a worker process."""
+    evaluation = evaluate_planner(
+        params["planner"],
+        params["topology"],
+        params["energy"],
+        params["train"],
+        params["eval_trace"],
+        params["k"],
+        params["budget"],
+        rng=rng,
+        engine=params["engine"],
+    )
+    return evaluation.row(budget_mj=round(params["budget"], 2))
 
 
 def run(
@@ -33,6 +52,9 @@ def run(
     eval_epochs: int = 25,
     budget_steps: int = 6,
     include_lp_lf: bool = True,
+    engine: str = "batch",
+    processes: int | None = None,
+    runner: ExperimentRunner | None = None,
 ) -> list[dict]:
     """One row per (algorithm, budget) point of Figure 9."""
     rng = np.random.default_rng(seed)
@@ -46,26 +68,44 @@ def run(
     if include_lp_lf:
         planners.append(LPLFPlanner())
 
+    if runner is None:
+        runner = ExperimentRunner(processes=processes, seed=seed)
+
     # the lab network is deep (radio range forced down to 6m), so even
     # one fetched value pays per-message along the whole root path
     base = energy.message_cost(1) * (topology.height + 2)
-    rows: list[dict] = []
-    for budget in budget_sweep(base, budget_steps, factor=1.5):
-        for planner in planners:
-            evaluation = evaluate_planner(
-                planner, topology, energy, train, eval_trace, k, budget
-            )
-            rows.append(evaluation.row(budget_mj=round(budget, 2)))
+    trial_params = [
+        {
+            "planner": planner,
+            "topology": topology,
+            "energy": energy,
+            "train": train,
+            "eval_trace": eval_trace,
+            "k": k,
+            "budget": budget,
+            "engine": engine,
+        }
+        for budget in budget_sweep(base, budget_steps, factor=1.5)
+        for planner in planners
+    ]
+    rows: list[dict] = list(runner.map(_budget_trial, trial_params, seed=seed))
 
     # the NAIVE-k reference point the paper quotes in prose
-    simulator = Simulator(topology, energy)
-    naive_costs = []
-    naive_accs = []
-    for readings in eval_trace:
-        report = simulator.run_naive_k(readings, k)
-        naive_costs.append(report.energy_mj)
-        answer = {node for __, node in report.returned[:k]}
-        naive_accs.append(accuracy_metric(answer, readings, k))
+    if engine == "batch":
+        simulator = BatchSimulator(topology, energy)
+        report = simulator.run_naive_k(eval_trace.values, k)
+        naive_accs = batch_accuracy(report.top_k_nodes(k), eval_trace.values, k)
+        naive_costs = report.energy_mj
+    else:
+        simulator = Simulator(topology, energy)
+        naive_costs = []
+        naive_accs = []
+        for readings in eval_trace:
+            report = simulator.run_naive_k(readings, k)
+            naive_costs.append(report.energy_mj)
+            naive_accs.append(
+                accuracy_metric(report.top_k_nodes(k), readings, k)
+            )
     rows.append(
         {
             "algorithm": "naive-k",

@@ -80,3 +80,31 @@ class LinkFailureModel:
     def sample_failure(self, edge: int, rng: np.random.Generator) -> bool:
         """Draw whether one message on ``edge`` fails."""
         return bool(rng.random() < self.probability(edge))
+
+    # -- vectorized accessors (the batch simulator's hot path) ----------
+    def probability_vector(self, edges) -> np.ndarray:
+        """Failure probabilities for a sequence of edges, as an array."""
+        return np.array([self.probability(e) for e in edges], dtype=np.float64)
+
+    def reroute_vector(self, edges) -> np.ndarray:
+        """Re-route penalties for a sequence of edges, as an array."""
+        return np.array([self.reroute_cost(e) for e in edges], dtype=np.float64)
+
+    def sample_failure_matrix(
+        self, edges, rng: np.random.Generator, num_draws: int
+    ) -> np.ndarray:
+        """Draw ``(num_draws, len(edges))`` failure outcomes at once.
+
+        One ``rng.random((num_draws, len(edges)))`` call consumes the
+        generator's uniform stream in exactly the order that
+        ``num_draws * len(edges)`` sequential :meth:`sample_failure`
+        calls would (row-major: all of draw 0's edges, then draw 1's,
+        ...), so a batch simulation seeded identically to a scalar
+        epoch-by-epoch loop sees the *same* failures — the shared-draw
+        discipline the equivalence tests rely on.
+        """
+        edges = list(edges)
+        if not edges:
+            return np.zeros((num_draws, 0), dtype=bool)
+        draws = rng.random((num_draws, len(edges)))
+        return draws < self.probability_vector(edges)[None, :]

@@ -330,6 +330,13 @@ class Topology:
     def same_structure(self, other: "Topology") -> bool:
         return self._parents == other._parents
 
+    def cache_token(self) -> tuple:
+        """Content identity for result caches (see
+        :mod:`repro.experiments.runner`): the parent vector determines
+        every derived structure, so two topologies with equal tokens
+        behave identically regardless of which lazy caches are built."""
+        return tuple(self._parents)
+
 
 def validate_readings(topology: Topology, readings: Iterable[float]) -> list[float]:
     """Check a readings vector against a topology; return it as a list."""

@@ -21,6 +21,7 @@ EVENT_KINDS = (
     "plan_built",
     "plan_installed",
     "collection_run",
+    "batch_collection_run",
     "sample_collected",
     "replan_skipped",
     "failure_observed",

@@ -128,6 +128,47 @@ class Instrumentation:
             by_depth={str(d): dict(v) for d, v in (by_depth or {}).items()},
         )
 
+    def record_batch_collection(
+        self, label: str, *, epochs: int, messages: int, values: int,
+        retries: int, energy_mj: float, seconds: float,
+    ) -> None:
+        """One batched collection phase: an entire trace evaluated in a
+        single vectorized tree recursion.
+
+        ``messages``/``values``/``retries``/``energy_mj`` are totals
+        over the whole batch; the batch-size histogram plus the
+        per-label timer are what the speedup benchmarks read back.
+        """
+        self.metrics.counter("sim.batch.collections").inc()
+        self.metrics.counter(f"sim.batch.collections.{label}").inc()
+        self.metrics.counter("sim.batch.epochs").inc(epochs)
+        self.metrics.counter("sim.batch.messages").inc(messages)
+        self.metrics.counter("sim.batch.values_sent").inc(values)
+        self.metrics.counter("sim.batch.retries").inc(retries)
+        self.metrics.counter("sim.batch.energy_mj").inc(energy_mj)
+        self.metrics.histogram("sim.batch.size").observe(epochs)
+        self.metrics.histogram(f"sim.batch.seconds.{label}").observe(seconds)
+        self.event(
+            "batch_collection_run",
+            label=label,
+            epochs=epochs,
+            messages=messages,
+            values=values,
+            retries=retries,
+            energy_mj=energy_mj,
+            seconds=seconds,
+        )
+
+    def record_runner_trial(self, *, cached: bool, seconds: float = 0.0) -> None:
+        """One experiment-runner trial: either served from the
+        content-keyed result cache or actually executed."""
+        self.metrics.counter("runner.trials").inc()
+        if cached:
+            self.metrics.counter("runner.cache.hits").inc()
+        else:
+            self.metrics.counter("runner.cache.misses").inc()
+            self.metrics.histogram("runner.trial_seconds").observe(seconds)
+
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> dict:
         return {"metrics": self.metrics.to_dict(), "trace": self.trace.to_dict()}

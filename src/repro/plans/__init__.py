@@ -13,9 +13,13 @@ from repro.plans.adaptive import (
     execute_threshold_plan,
 )
 from repro.plans.execution import (
+    BatchCollectionResult,
     CollectionResult,
+    batch_count_topk_hits,
+    batch_transmitted_counts,
     count_topk_hits,
     execute_plan,
+    execute_plan_batch,
     expected_hits,
 )
 from repro.plans.merge import merge_plans, merge_savings
@@ -25,14 +29,18 @@ from repro.plans.plan import Message, QueryPlan
 from repro.plans.proof_execution import ProofResult, execute_proof_plan
 
 __all__ = [
+    "BatchCollectionResult",
     "CollectionResult",
     "Message",
     "ProofResult",
     "QueryPlan",
     "ThresholdPlan",
     "ThresholdPlanner",
+    "batch_count_topk_hits",
+    "batch_transmitted_counts",
     "count_topk_hits",
     "execute_plan",
+    "execute_plan_batch",
     "execute_proof_plan",
     "execute_threshold_plan",
     "expected_hits",

@@ -96,6 +96,200 @@ def execute_plan(plan: QueryPlan, readings, priority=None) -> CollectionResult:
     raise PlanError("post-order walk did not end at the root")  # pragma: no cover
 
 
+@dataclass
+class BatchCollectionResult:
+    """Outcome of executing one plan over every epoch of a trace.
+
+    Transmitted counts are value-independent (each node sends
+    ``min(b_e, supply)`` values where supply follows the tree
+    recursion), so ``messages`` and ``transmitted`` describe *every*
+    epoch; only the identities of the returned values vary per epoch.
+    """
+
+    returned_values: np.ndarray
+    """``(E, R)`` float array, each row sorted descending."""
+
+    returned_nodes: np.ndarray
+    """``(E, R)`` int array of the owning node ids, aligned with
+    ``returned_values`` (ties broken by higher node id, exactly as the
+    scalar path's ``(value, node)`` tuple order)."""
+
+    messages: list[Message] = field(default_factory=list)
+    """The per-epoch message log (identical across epochs)."""
+
+    transmitted: dict[int, int] = field(default_factory=dict)
+    """Per-epoch values sent on each used edge (identical across epochs)."""
+
+    @property
+    def num_epochs(self) -> int:
+        return int(self.returned_values.shape[0])
+
+    @property
+    def returned_width(self) -> int:
+        """Number of values reaching the root each epoch."""
+        return int(self.returned_values.shape[1])
+
+    def top_k_nodes(self, k: int) -> np.ndarray:
+        """``(E, min(k, R))`` node ids of each epoch's best returned values."""
+        return self.returned_nodes[:, :k]
+
+    def top_k_node_sets(self, k: int) -> list[set[int]]:
+        return [set(map(int, row)) for row in self.returned_nodes[:, :k]]
+
+    def returned_node_sets(self) -> list[set[int]]:
+        return [set(map(int, row)) for row in self.returned_nodes]
+
+    def epoch_result(self, epoch: int) -> CollectionResult:
+        """The scalar-shaped :class:`CollectionResult` of one epoch."""
+        returned = [
+            (float(v), int(u))
+            for v, u in zip(self.returned_values[epoch], self.returned_nodes[epoch])
+        ]
+        return CollectionResult(
+            returned=returned,
+            messages=list(self.messages),
+            transmitted=dict(self.transmitted),
+        )
+
+
+def _sort_desc(
+    values: np.ndarray, nodes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise descending sort in the ``(value, node)`` total order."""
+    order = np.lexsort((nodes, values), axis=1)[:, ::-1]
+    return (
+        np.take_along_axis(values, order, axis=1),
+        np.take_along_axis(nodes, order, axis=1),
+    )
+
+
+def _batch_via_scalar(
+    plan: QueryPlan, values: np.ndarray, priority
+) -> BatchCollectionResult:
+    """Scalar fallback for a ``priority`` override (an arbitrary Python
+    key function cannot be vectorized); the per-epoch results are packed
+    into batch shape.  Message counts are still value-independent, so
+    the first epoch's log stands for all of them."""
+    results = [execute_plan(plan, row, priority=priority) for row in values]
+    returned_values = np.array(
+        [[v for v, __ in r.returned] for r in results], dtype=np.float64
+    )
+    returned_nodes = np.array(
+        [[u for __, u in r.returned] for r in results], dtype=np.int64
+    )
+    first = results[0]
+    return BatchCollectionResult(
+        returned_values=returned_values,
+        returned_nodes=returned_nodes,
+        messages=list(first.messages),
+        transmitted=dict(first.transmitted),
+    )
+
+
+def execute_plan_batch(
+    plan: QueryPlan, readings_matrix, priority=None
+) -> BatchCollectionResult:
+    """Run one collection phase of ``plan`` over an ``(E, n)`` trace.
+
+    The batch equivalent of :func:`execute_plan`: one numpy tree
+    recursion replaces ``E`` interpreted walks.  Each node's buffer is a
+    pair of ``(E, width)`` arrays; merging children is a concatenate +
+    row-wise lexsort (descending in the ``(value, node)`` order), and
+    forwarding keeps the first ``b_e`` columns.  Widths are
+    epoch-independent, so no padding is ever needed.
+
+    Results are exactly those of the scalar path (equivalence-tested):
+    same returned values/nodes per epoch, same message log, same
+    transmitted counts.  A non-``None`` ``priority`` falls back to the
+    scalar path per epoch (an arbitrary key function cannot be
+    vectorized) while still returning batch-shaped results.
+    """
+    topology = plan.topology
+    values = np.asarray(readings_matrix, dtype=np.float64)
+    if values.ndim != 2:
+        raise PlanError(
+            f"readings matrix must be 2-D (epochs, nodes), got {values.shape}"
+        )
+    if values.shape[0] == 0:
+        raise PlanError("readings matrix must contain at least one epoch")
+    if values.shape[1] != topology.n:
+        raise PlanError(
+            f"readings matrix covers {values.shape[1]} nodes,"
+            f" topology has {topology.n}"
+        )
+    if priority is not None:
+        return _batch_via_scalar(plan, values, priority)
+
+    num_epochs = values.shape[0]
+    active = plan.visited_nodes
+    buffers: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    messages: list[Message] = []
+    transmitted: dict[int, int] = {}
+
+    for node in topology.post_order():
+        if node not in active:
+            continue
+        local_v = [values[:, node : node + 1]]
+        local_n = [np.full((num_epochs, 1), node, dtype=np.int64)]
+        for child in topology.children(node):
+            if child in buffers:
+                child_v, child_n = buffers.pop(child)
+                local_v.append(child_v)
+                local_n.append(child_n)
+        merged_v = np.concatenate(local_v, axis=1) if len(local_v) > 1 else local_v[0]
+        merged_n = np.concatenate(local_n, axis=1) if len(local_n) > 1 else local_n[0]
+        if merged_v.shape[1] > 1:
+            merged_v, merged_n = _sort_desc(merged_v, merged_n)
+        if node == topology.root:
+            return BatchCollectionResult(
+                returned_values=merged_v,
+                returned_nodes=merged_n,
+                messages=messages,
+                transmitted=transmitted,
+            )
+        bandwidth = plan.bandwidths[node]
+        buffers[node] = (merged_v[:, :bandwidth], merged_n[:, :bandwidth])
+        count = min(bandwidth, merged_v.shape[1])
+        messages.append(Message(node, count))
+        transmitted[node] = count
+    raise PlanError("post-order walk did not end at the root")  # pragma: no cover
+
+
+def batch_transmitted_counts(
+    topology: Topology, bandwidths: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-edge transmitted counts and active-node masks for ``C`` plans.
+
+    ``bandwidths`` is a ``(C, n)`` int array of bandwidth vectors
+    indexed by edge child id (a 1-D vector is treated as ``C = 1``).
+    Returns ``(counts, active)``: ``counts[c, u]`` is the number of
+    values edge ``e_u`` transmits under plan ``c`` (0 for the root and
+    for cut-off nodes), and ``active[c, u]`` marks the plan's visited
+    nodes.  Counts are value-independent — each node sends ``min(b_e,
+    1 + sum of children's counts)`` values — which is what lets energy
+    sweeps over many plans (e.g. the per-epoch ORACLE baselines) run as
+    one vectorized recursion instead of ``C`` simulated collections.
+    """
+    bw = np.atleast_2d(np.asarray(bandwidths, dtype=np.int64))
+    num_plans = bw.shape[0]
+    root = topology.root
+    active = np.zeros((num_plans, topology.n), dtype=bool)
+    active[:, root] = True
+    for node in topology.pre_order():
+        if node == root:
+            continue
+        active[:, node] = (bw[:, node] > 0) & active[:, topology.parent(node)]
+    counts = np.zeros((num_plans, topology.n), dtype=np.int64)
+    for node in topology.post_order():
+        if node == root:
+            continue
+        supply = np.ones(num_plans, dtype=np.int64)
+        for child in topology.children(node):
+            supply += counts[:, child]
+        counts[:, node] = np.minimum(bw[:, node], supply) * active[:, node]
+    return counts, active
+
+
 def count_topk_hits(plan: QueryPlan, topology_ones: set[int]) -> int:
     """Number of a sample's top-k nodes whose values reach the root.
 

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
+import numpy as np
+
 from repro.errors import PlanError
 from repro.plans.plan import top_k_set
 
@@ -25,3 +27,47 @@ def accuracy(returned_nodes: Iterable[int], readings, k: int) -> float:
     if k < 1:
         raise PlanError("k must be >= 1")
     return recall_of_nodes(returned_nodes, top_k_set(readings, k))
+
+
+def batch_accuracy(answer_nodes: np.ndarray, readings_matrix, k: int) -> np.ndarray:
+    """Vectorized :func:`accuracy` over a whole trace.
+
+    Parameters
+    ----------
+    answer_nodes:
+        ``(E, a)`` int array of answered node ids per epoch (``a <= k``;
+        typically a batch report's ``top_k_nodes(k)``).
+    readings_matrix:
+        ``(E, n)`` ground-truth readings, one row per epoch.
+
+    Returns the ``(E,)`` per-epoch accuracies.  The true top-k per
+    epoch uses the same ``(value, node)`` total order as
+    :func:`~repro.plans.plan.top_k_set` (ties broken by higher node
+    id), computed with one row-wise lexsort instead of ``E`` Python
+    sorts.
+    """
+    if k < 1:
+        raise PlanError("k must be >= 1")
+    values = np.asarray(readings_matrix, dtype=np.float64)
+    if values.ndim != 2:
+        raise PlanError(
+            f"readings matrix must be 2-D (epochs, nodes), got {values.shape}"
+        )
+    num_epochs, n = values.shape
+    answers = np.asarray(answer_nodes, dtype=np.int64)
+    if answers.ndim != 2 or answers.shape[0] != num_epochs:
+        raise PlanError(
+            f"answer nodes must be (epochs, a) aligned with readings,"
+            f" got {answers.shape}"
+        )
+    node_ids = np.broadcast_to(np.arange(n, dtype=np.int64), (num_epochs, n))
+    # lexsort ascending by (value, node); column positions are node ids
+    true_topk = np.lexsort((node_ids, values), axis=1)[:, ::-1][:, :k]
+    truth = min(k, n)
+    true_mask = np.zeros((num_epochs, n), dtype=bool)
+    np.put_along_axis(true_mask, true_topk, True, axis=1)
+    answer_mask = np.zeros((num_epochs, n), dtype=bool)
+    if answers.shape[1]:
+        np.put_along_axis(answer_mask, answers, True, axis=1)
+    hits = (true_mask & answer_mask).sum(axis=1)
+    return hits / truth

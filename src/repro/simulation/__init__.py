@@ -18,7 +18,16 @@ from repro.simulation.lossy import (
 )
 from repro.simulation.runtime import SimulationReport, Simulator
 
+# imported after runtime on purpose: batch pulls in repro.query.accuracy,
+# whose package init imports Simulator back from repro.simulation.runtime
+from repro.simulation.batch import (  # noqa: E402  (see comment above)
+    BatchSimulationReport,
+    BatchSimulator,
+)
+
 __all__ = [
+    "BatchSimulationReport",
+    "BatchSimulator",
     "LossyCollectionResult",
     "SimulationReport",
     "Simulator",

@@ -1,0 +1,320 @@
+"""Batched trace-level simulation (the "install once, run many" path).
+
+The paper's evaluation installs a plan once and replays it over every
+epoch of a trace (§5).  :class:`~repro.simulation.runtime.Simulator`
+does that epoch-by-epoch in pure Python and stays as the reference
+oracle; :class:`BatchSimulator` evaluates the whole ``(E, n)`` readings
+matrix in one vectorized pass:
+
+- plan execution is one numpy tree recursion
+  (:func:`~repro.plans.execution.execute_plan_batch`) instead of ``E``
+  interpreted walks;
+- energy accounting exploits that per-epoch message counts are
+  value-independent: the base collection cost is a single scalar, and
+  only failure retries vary per epoch;
+- link-failure draws are one ``rng.random((E, edges))`` matrix whose
+  row-major order consumes the generator stream exactly as the scalar
+  loop's per-message ``sample_failure`` calls would, so a shared seed
+  yields *identical* retry patterns (equivalence-tested).
+
+Both engines agree exactly on returned node sets and retry counts, and
+on energies to float round-off (the equivalence suite pins 1e-9
+relative tolerance).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.network.energy import EnergyModel
+from repro.network.failures import LinkFailureModel
+from repro.network.topology import Topology
+from repro.obs import Instrumentation
+from repro.plans.execution import (
+    BatchCollectionResult,
+    batch_transmitted_counts,
+    execute_plan_batch,
+)
+from repro.plans.plan import Message, QueryPlan
+from repro.query.accuracy import batch_accuracy
+from repro.simulation.distribution import trigger_cost
+
+_EMPTY_BOOL = np.zeros((0, 0), dtype=bool)
+
+
+@dataclass
+class BatchSimulationReport:
+    """Measured outcome of one plan replayed over a whole trace.
+
+    Per-epoch quantities are arrays of length ``E``; per-epoch message
+    counts are value-independent and therefore plain ints.
+    """
+
+    returned_values: np.ndarray
+    """``(E, R)`` returned values, each row sorted descending."""
+
+    returned_nodes: np.ndarray
+    """``(E, R)`` owning node ids, aligned with ``returned_values``."""
+
+    energy_mj: np.ndarray
+    """``(E,)`` measured energy per epoch (trigger + acquisition +
+    collection + failure retries)."""
+
+    num_messages: int
+    """Messages per epoch (identical across epochs)."""
+
+    num_values_sent: int
+    """Values sent per epoch (identical across epochs)."""
+
+    num_retries: np.ndarray
+    """``(E,)`` failure retries per epoch."""
+
+    failure_edges: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+    """``(M,)`` edge ids of the per-epoch unicast messages, in message
+    order (empty without a failure model)."""
+
+    failure_matrix: np.ndarray = field(default_factory=lambda: _EMPTY_BOOL)
+    """``(E, M)`` per-unicast failure outcomes, aligned with
+    ``failure_edges`` — the batch analogue of the scalar report's
+    ``edge_outcomes`` list."""
+
+    detail: BatchCollectionResult | None = None
+    """The underlying batch collection result, for inspection."""
+
+    @property
+    def num_epochs(self) -> int:
+        return int(self.energy_mj.shape[0])
+
+    def top_k_nodes(self, k: int) -> np.ndarray:
+        """``(E, min(k, R))`` node ids of each epoch's answer."""
+        return self.returned_nodes[:, :k]
+
+    def top_k_node_sets(self, k: int) -> list[set[int]]:
+        return [set(map(int, row)) for row in self.returned_nodes[:, :k]]
+
+    def edge_outcomes(self, epoch: int) -> list[tuple[int, bool]]:
+        """The scalar report's ``edge_outcomes`` list for one epoch."""
+        if self.failure_matrix.size == 0 and self.failure_edges.size == 0:
+            return []
+        return [
+            (int(edge), bool(failed))
+            for edge, failed in zip(self.failure_edges, self.failure_matrix[epoch])
+        ]
+
+    def edge_outcome_counts(self) -> dict[int, tuple[int, int]]:
+        """Aggregate ``{edge: (attempts, failures)}`` over the batch —
+        the raw material for §4.4 failure statistics."""
+        counts: dict[int, tuple[int, int]] = {}
+        if self.failure_edges.size == 0:
+            return counts
+        epochs = self.failure_matrix.shape[0]
+        per_edge_failures = self.failure_matrix.sum(axis=0)
+        for column, edge in enumerate(self.failure_edges):
+            attempts, failures = counts.get(int(edge), (0, 0))
+            counts[int(edge)] = (
+                attempts + epochs,
+                failures + int(per_edge_failures[column]),
+            )
+        return counts
+
+
+@dataclass
+class BatchSimulator:
+    """Vectorized counterpart of :class:`~repro.simulation.runtime.Simulator`.
+
+    Same fields and semantics; the entry points take an ``(E, n)``
+    readings matrix (or a :class:`~repro.datagen.trace.Trace`) instead
+    of a single epoch's vector.  Under a shared seed the failure draws
+    match the scalar simulator's exactly (see
+    :meth:`~repro.network.failures.LinkFailureModel.sample_failure_matrix`).
+    """
+
+    topology: Topology
+    energy: EnergyModel
+    failures: LinkFailureModel | None = None
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    instrumentation: Instrumentation | None = None
+
+    # -- helpers --------------------------------------------------------
+    @staticmethod
+    def _as_matrix(readings_matrix) -> np.ndarray:
+        values = getattr(readings_matrix, "values", readings_matrix)
+        return np.asarray(values, dtype=np.float64)
+
+    def _charge_batch(
+        self, messages: list[Message], num_epochs: int
+    ) -> tuple[float, int, np.ndarray, np.ndarray, np.ndarray]:
+        """Base per-epoch energy plus vectorized failure accounting.
+
+        Returns ``(base_mj, values, retry_mj, edges, fail_matrix)``:
+        the deterministic per-epoch collection cost, the per-epoch
+        value count, the ``(E,)`` retry energies, and the unicast edge
+        ids with their ``(E, M)`` failure outcomes.
+        """
+        base = 0.0
+        values = 0
+        for message in messages:
+            base += message.cost(self.energy)
+            values += message.num_values
+        if self.failures is None:
+            return (
+                base,
+                values,
+                np.zeros(num_epochs, dtype=np.float64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros((num_epochs, 0), dtype=bool),
+            )
+        unicast = [m for m in messages if m.kind == "unicast"]
+        edges = np.array([m.edge for m in unicast], dtype=np.int64)
+        fails = self.failures.sample_failure_matrix(edges, self.rng, num_epochs)
+        retry_cost = np.array(
+            [
+                m.cost(self.energy) + self.failures.reroute_cost(m.edge)
+                for m in unicast
+            ],
+            dtype=np.float64,
+        )
+        return base, values, fails @ retry_cost, edges, fails
+
+    def _report(
+        self,
+        result: BatchCollectionResult,
+        extra_energy: float,
+        label: str,
+        started: float,
+    ) -> BatchSimulationReport:
+        num_epochs = result.num_epochs
+        base, values, retry_mj, edges, fails = self._charge_batch(
+            result.messages, num_epochs
+        )
+        retries = (
+            fails.sum(axis=1).astype(np.int64)
+            if edges.size
+            else np.zeros(num_epochs, dtype=np.int64)
+        )
+        energy = np.full(num_epochs, base + extra_energy, dtype=np.float64)
+        energy += retry_mj
+        report = BatchSimulationReport(
+            returned_values=result.returned_values,
+            returned_nodes=result.returned_nodes,
+            energy_mj=energy,
+            num_messages=len(result.messages),
+            num_values_sent=values,
+            num_retries=retries,
+            failure_edges=edges,
+            failure_matrix=fails,
+            detail=result,
+        )
+        if self.instrumentation is not None:
+            self.instrumentation.record_batch_collection(
+                label,
+                epochs=num_epochs,
+                messages=len(result.messages) * num_epochs,
+                values=values * num_epochs,
+                retries=int(retries.sum()),
+                energy_mj=float(energy.sum()),
+                seconds=time.perf_counter() - started,
+            )
+        return report
+
+    def _acquisition(self, num_nodes: int) -> float:
+        return self.energy.acquisition_mj * num_nodes
+
+    # -- entry points ---------------------------------------------------
+    def run_collection(
+        self,
+        plan: QueryPlan,
+        readings_matrix,
+        include_trigger: bool = True,
+        priority=None,
+        label: str = "collection",
+    ) -> BatchSimulationReport:
+        """Replay an installed plan over every epoch of a trace."""
+        started = time.perf_counter()
+        values = self._as_matrix(readings_matrix)
+        result = execute_plan_batch(plan, values, priority=priority)
+        extra = trigger_cost(plan, self.energy) if include_trigger else 0.0
+        extra += self._acquisition(len(plan.visited_nodes))
+        return self._report(result, extra, label, started)
+
+    def run_naive_k(self, readings_matrix, k: int) -> BatchSimulationReport:
+        """NAIVE-k over every epoch (exact top-k, full-tree trigger)."""
+        started = time.perf_counter()
+        values = self._as_matrix(readings_matrix)
+        plan = QueryPlan.naive_k(self.topology, k)
+        result = execute_plan_batch(plan, values)
+        result.returned_values = result.returned_values[:, :k]
+        result.returned_nodes = result.returned_nodes[:, :k]
+        extra = trigger_cost(QueryPlan.full(self.topology), self.energy)
+        extra += self._acquisition(self.topology.n)
+        return self._report(result, extra, label="naive-k", started=started)
+
+    def run_plan_sweep(
+        self, plans: list[QueryPlan], include_trigger: bool = True
+    ) -> np.ndarray:
+        """Measured per-execution energies for ``C`` different plans.
+
+        The sweep analogue of calling ``run_collection`` once per plan:
+        because transmitted counts are value-independent, the measured
+        collection energy of a plan needs no readings at all — one
+        :func:`~repro.plans.execution.batch_transmitted_counts`
+        recursion over all plans yields every message size, and trigger
+        plus acquisition costs vectorize over the active-node masks.
+        This is what makes per-epoch replanned baselines (ORACLE plans
+        a fresh node set every epoch) cheap to evaluate.
+
+        Failure injection is not supported here (each plan would need
+        its own draw matrix, breaking the shared-draw discipline);
+        attach the failure model to per-plan ``run_collection`` calls
+        instead.
+        """
+        if self.failures is not None:
+            raise PlanError(
+                "run_plan_sweep does not support failure injection;"
+                " use run_collection per plan instead"
+            )
+        if not plans:
+            return np.zeros(0, dtype=np.float64)
+        n = self.topology.n
+        bandwidths = np.zeros((len(plans), n), dtype=np.int64)
+        for row, plan in enumerate(plans):
+            if plan.topology is not self.topology:
+                raise PlanError("plan sweep requires plans on this topology")
+            for edge, b in plan.bandwidths.items():
+                bandwidths[row, edge] = b
+        counts, active = batch_transmitted_counts(self.topology, bandwidths)
+        per_message = self.energy.per_message_mj
+        per_value = self.energy.per_value_mj
+        sends = active.copy()
+        sends[:, self.topology.root] = False
+        energies = (
+            sends.sum(axis=1) * per_message + counts.sum(axis=1) * per_value
+        ).astype(np.float64)
+        if include_trigger:
+            parents = np.array(
+                [self.topology.parent(e) for e in self.topology.edges],
+                dtype=np.int64,
+            )
+            active_children = np.zeros((len(plans), n), dtype=np.int64)
+            np.add.at(
+                active_children,
+                (np.arange(len(plans))[:, None], parents[None, :]),
+                active[:, self.topology.edges].astype(np.int64),
+            )
+            broadcasters = ((active_children > 0) & active).sum(axis=1)
+            energies += broadcasters * self.energy.broadcast_cost()
+        energies += self._acquisition(1) * active.sum(axis=1)
+        return energies
+
+    def accuracies(
+        self, report: BatchSimulationReport, readings_matrix, k: int
+    ) -> np.ndarray:
+        """Per-epoch paper accuracies of a batch report's answers."""
+        values = self._as_matrix(readings_matrix)
+        return batch_accuracy(report.top_k_nodes(k), values, k)

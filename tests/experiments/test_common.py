@@ -5,9 +5,11 @@ import pytest
 
 from repro.datagen.gaussian import GaussianField
 from repro.datagen.trace import Trace
+from repro.errors import PlanError
 from repro.experiments.common import Evaluation, evaluate_plan, evaluate_planner
 from repro.network.builder import star_topology
 from repro.network.energy import EnergyModel
+from repro.network.failures import LinkFailureModel
 from repro.planners.greedy import GreedyPlanner
 from repro.plans.plan import QueryPlan
 
@@ -54,6 +56,86 @@ class TestEvaluatePlan:
         assert row["algorithm"] == "x"
         assert row["budget_mj"] == 3.0
         assert set(row) >= {"accuracy", "energy_mj"}
+
+
+class TestEngines:
+    def test_batch_matches_scalar(self, setting):
+        topology, __, eval_trace = setting
+        plan = QueryPlan.from_chosen_nodes(topology, {1, 2})
+        batch = evaluate_plan(
+            "p", plan, topology, UNIFORM, eval_trace, k=2, engine="batch"
+        )
+        scalar = evaluate_plan(
+            "p", plan, topology, UNIFORM, eval_trace, k=2, engine="scalar"
+        )
+        assert batch.mean_accuracy == scalar.mean_accuracy
+        assert batch.mean_energy_mj == pytest.approx(
+            scalar.mean_energy_mj, rel=1e-9
+        )
+
+    def test_engines_agree_under_shared_seed_with_failures(self, setting):
+        topology, __, eval_trace = setting
+        plan = QueryPlan.full(topology)
+        failures = LinkFailureModel.uniform(
+            topology, probability=0.3, reroute_extra_mj=1.0
+        )
+        results = [
+            evaluate_plan(
+                "p", plan, topology, UNIFORM, eval_trace, k=2,
+                failures=failures, seed=12, engine=engine,
+            )
+            for engine in ("batch", "scalar")
+        ]
+        assert results[0].mean_energy_mj == pytest.approx(
+            results[1].mean_energy_mj, rel=1e-9
+        )
+
+    def test_seed_makes_failure_runs_reproducible(self, setting):
+        topology, __, eval_trace = setting
+        plan = QueryPlan.full(topology)
+        failures = LinkFailureModel.uniform(
+            topology, probability=0.5, reroute_extra_mj=3.0
+        )
+        energies = {
+            evaluate_plan(
+                "p", plan, topology, UNIFORM, eval_trace, k=2,
+                failures=failures, seed=99,
+            ).mean_energy_mj
+            for __ in range(2)
+        }
+        assert len(energies) == 1
+
+    def test_explicit_rng_is_honoured(self, setting):
+        topology, __, eval_trace = setting
+        plan = QueryPlan.full(topology)
+        failures = LinkFailureModel.uniform(
+            topology, probability=0.5, reroute_extra_mj=3.0
+        )
+        by_seed = evaluate_plan(
+            "p", plan, topology, UNIFORM, eval_trace, k=2,
+            failures=failures, seed=42,
+        )
+        by_rng = evaluate_plan(
+            "p", plan, topology, UNIFORM, eval_trace, k=2,
+            failures=failures, rng=np.random.default_rng(42),
+        )
+        assert by_rng.mean_energy_mj == by_seed.mean_energy_mj
+
+    def test_rejects_rng_and_seed_together(self, setting):
+        topology, __, eval_trace = setting
+        with pytest.raises(PlanError, match="not both"):
+            evaluate_plan(
+                "p", QueryPlan.full(topology), topology, UNIFORM,
+                eval_trace, k=2, rng=np.random.default_rng(0), seed=1,
+            )
+
+    def test_rejects_unknown_engine(self, setting):
+        topology, __, eval_trace = setting
+        with pytest.raises(PlanError, match="engine"):
+            evaluate_plan(
+                "p", QueryPlan.full(topology), topology, UNIFORM,
+                eval_trace, k=2, engine="quantum",
+            )
 
 
 class TestEvaluatePlanner:

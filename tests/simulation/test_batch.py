@@ -1,0 +1,212 @@
+"""BatchSimulator vs the scalar Simulator: the equivalence suite.
+
+The batch engine must be bit-compatible with the reference oracle:
+identical node sets, energies within 1e-9 relative tolerance, and —
+under the shared-draw seed discipline — exactly the same failure
+retries, epoch by epoch and edge by edge.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.network.builder import random_topology
+from repro.network.energy import EnergyModel
+from repro.network.failures import LinkFailureModel
+from repro.obs import Instrumentation
+from repro.plans.plan import QueryPlan
+from repro.query.accuracy import accuracy
+from repro.simulation.batch import BatchSimulator
+from repro.simulation.runtime import Simulator
+from tests.conftest import tree_plan_readings
+
+MICA2 = EnergyModel.mica2()
+
+
+@pytest.fixture
+def workload():
+    rng = np.random.default_rng(11)
+    topology = random_topology(30, rng=rng)
+    plan = QueryPlan.from_chosen_nodes(
+        topology, set(rng.choice(topology.n, size=12, replace=False).tolist())
+    )
+    trace = rng.normal(size=(9, topology.n))
+    return topology, plan, trace
+
+
+def _scalar_reports(topology, plan, trace, failures=None, seed=None):
+    simulator = Simulator(
+        topology, MICA2, failures=failures,
+        rng=np.random.default_rng(seed),
+    )
+    return [simulator.run_collection(plan, readings) for readings in trace]
+
+
+def test_collection_equivalence(workload):
+    topology, plan, trace = workload
+    scalar = _scalar_reports(topology, plan, trace)
+    batch = BatchSimulator(topology, MICA2).run_collection(plan, trace)
+    assert batch.num_epochs == len(trace)
+    assert batch.num_messages == scalar[0].num_messages
+    assert batch.num_values_sent == scalar[0].num_values_sent
+    np.testing.assert_allclose(
+        batch.energy_mj, [r.energy_mj for r in scalar], rtol=1e-9
+    )
+    for epoch, report in enumerate(scalar):
+        assert batch.top_k_node_sets(5)[epoch] == report.top_k_nodes(5)
+        assert [
+            (float(v), int(u))
+            for v, u in zip(
+                batch.returned_values[epoch], batch.returned_nodes[epoch]
+            )
+        ] == report.returned
+
+
+def test_failure_equivalence_under_shared_seed(workload):
+    topology, plan, trace = workload
+    failures = LinkFailureModel.random(
+        topology, np.random.default_rng(5), max_probability=0.4
+    )
+    scalar = _scalar_reports(topology, plan, trace, failures, seed=7)
+    batch = BatchSimulator(
+        topology, MICA2, failures=failures, rng=np.random.default_rng(7)
+    ).run_collection(plan, trace)
+    assert int(batch.num_retries.sum()) > 0  # the draw actually bites
+    np.testing.assert_allclose(
+        batch.energy_mj, [r.energy_mj for r in scalar], rtol=1e-9
+    )
+    np.testing.assert_array_equal(
+        batch.num_retries, [r.num_retries for r in scalar]
+    )
+    for epoch, report in enumerate(scalar):
+        assert batch.edge_outcomes(epoch) == report.edge_outcomes
+
+
+def test_edge_outcome_aggregates_match_scalar(workload):
+    topology, plan, trace = workload
+    failures = LinkFailureModel.uniform(
+        topology, probability=0.3, reroute_extra_mj=2.0
+    )
+    scalar = _scalar_reports(topology, plan, trace, failures, seed=3)
+    batch = BatchSimulator(
+        topology, MICA2, failures=failures, rng=np.random.default_rng(3)
+    ).run_collection(plan, trace)
+    expected: dict[int, tuple[int, int]] = {}
+    for report in scalar:
+        for edge, failed in report.edge_outcomes:
+            attempts, fails = expected.get(edge, (0, 0))
+            expected[edge] = (attempts + 1, fails + int(failed))
+    assert batch.edge_outcome_counts() == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    tree_plan_readings(),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=2**31),
+    st.floats(min_value=0.0, max_value=0.9),
+)
+def test_retry_property(data, epochs, seed, probability):
+    """Satellite property: retry counts and edge-outcome aggregates are
+    identical to the scalar oracle for arbitrary plans, traces, seeds
+    and failure rates."""
+    topology, bandwidths, readings = data
+    plan = QueryPlan(topology, bandwidths)
+    trace = np.tile(np.asarray(readings, dtype=np.float64), (epochs, 1))
+    failures = LinkFailureModel.uniform(
+        topology, probability=probability, reroute_extra_mj=1.5
+    )
+    scalar = _scalar_reports(topology, plan, trace, failures, seed=seed)
+    batch = BatchSimulator(
+        topology, MICA2, failures=failures, rng=np.random.default_rng(seed)
+    ).run_collection(plan, trace)
+    np.testing.assert_array_equal(
+        batch.num_retries, [r.num_retries for r in scalar]
+    )
+    np.testing.assert_allclose(
+        batch.energy_mj, [r.energy_mj for r in scalar], rtol=1e-9
+    )
+    expected: dict[int, tuple[int, int]] = {}
+    for report in scalar:
+        for edge, failed in report.edge_outcomes:
+            attempts, fails = expected.get(edge, (0, 0))
+            expected[edge] = (attempts + 1, fails + int(failed))
+    assert batch.edge_outcome_counts() == expected
+
+
+def test_naive_k_equivalence(workload):
+    topology, __, trace = workload
+    simulator = Simulator(topology, MICA2)
+    batch = BatchSimulator(topology, MICA2).run_naive_k(trace, k=4)
+    for epoch, readings in enumerate(trace):
+        report = simulator.run_naive_k(readings, 4)
+        assert batch.top_k_node_sets(4)[epoch] == report.top_k_nodes(4)
+        assert batch.energy_mj[epoch] == pytest.approx(
+            report.energy_mj, rel=1e-9
+        )
+
+
+def test_plan_sweep_matches_per_plan_collections(workload):
+    topology, __, trace = workload
+    rng = np.random.default_rng(2)
+    plans = [
+        QueryPlan.from_chosen_nodes(
+            topology,
+            set(rng.choice(topology.n, size=size, replace=False).tolist()),
+        )
+        for size in (3, 8, 15, 29)
+    ]
+    simulator = BatchSimulator(topology, MICA2)
+    energies = simulator.run_plan_sweep(plans)
+    for plan, swept in zip(plans, energies):
+        report = simulator.run_collection(plan, trace[:1])
+        assert swept == pytest.approx(report.energy_mj[0], rel=1e-9)
+    assert simulator.run_plan_sweep([]).shape == (0,)
+
+
+def test_plan_sweep_rejects_failure_model(workload):
+    topology, plan, __ = workload
+    failures = LinkFailureModel.uniform(topology, 0.1, 1.0)
+    simulator = BatchSimulator(topology, MICA2, failures=failures)
+    with pytest.raises(PlanError, match="failure"):
+        simulator.run_plan_sweep([plan])
+
+
+def test_accuracies_match_scalar_metric(workload):
+    topology, plan, trace = workload
+    simulator = BatchSimulator(topology, MICA2)
+    report = simulator.run_collection(plan, trace)
+    batched = simulator.accuracies(report, trace, k=5)
+    for epoch, readings in enumerate(trace):
+        expected = accuracy(report.top_k_node_sets(5)[epoch], readings, 5)
+        assert batched[epoch] == pytest.approx(expected)
+
+
+def test_accepts_trace_objects(workload):
+    topology, plan, trace = workload
+
+    class TraceLike:
+        values = trace
+
+    batch = BatchSimulator(topology, MICA2).run_collection(plan, TraceLike())
+    assert batch.num_epochs == len(trace)
+
+
+def test_obs_counters_and_event(workload):
+    topology, plan, trace = workload
+    obs = Instrumentation()
+    simulator = BatchSimulator(topology, MICA2, instrumentation=obs)
+    report = simulator.run_collection(plan, trace, label="eval")
+    assert obs.metrics.counter("sim.batch.collections").value == 1
+    assert obs.metrics.counter("sim.batch.collections.eval").value == 1
+    assert obs.metrics.counter("sim.batch.epochs").value == len(trace)
+    assert (
+        obs.metrics.counter("sim.batch.messages").value
+        == report.num_messages * len(trace)
+    )
+    assert obs.metrics.histogram("sim.batch.size").count == 1
+    assert obs.metrics.histogram("sim.batch.seconds.eval").count == 1
+    (event,) = obs.trace.events("batch_collection_run")
+    assert event.data["epochs"] == len(trace)
