@@ -23,11 +23,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datagen.gaussian import random_gaussian_field
-from repro.experiments.common import budget_sweep, evaluate_planner
+from repro.experiments.common import budget_sweep, evaluate_plan, evaluate_planner
 from repro.experiments.reporting import print_table
 from repro.experiments.runner import ExperimentRunner
 from repro.network.builder import random_topology
 from repro.network.energy import EnergyModel
+from repro.planners.base import PlanningContext
 from repro.planners.greedy import GreedyPlanner
 from repro.planners.lp_lf import LPLFPlanner
 from repro.planners.lp_no_lf import LPNoLFPlanner
@@ -39,19 +40,38 @@ from repro.simulation.runtime import Simulator
 
 
 def _planner_trial(params: dict, rng: np.random.Generator) -> dict:
-    """One (planner, budget) point, runnable in a worker process."""
-    evaluation = evaluate_planner(
-        params["planner"],
-        params["topology"],
-        params["energy"],
-        params["train"],
-        params["eval_trace"],
-        params["k"],
-        params["budget"],
-        instrumentation=params.get("instrumentation"),
-        rng=rng,
-        engine=params["engine"],
-    )
+    """One (planner, budget) point, runnable in a worker process.
+
+    LP planners arrive with a precomputed ``plan`` (the whole budget
+    ladder is solved in one warm-started parametric sweep before the
+    trials fan out), so their trials are pure replays; planners without
+    sweep support plan inside the trial as before.
+    """
+    if "plan" in params:
+        evaluation = evaluate_plan(
+            params["name"],
+            params["plan"],
+            params["topology"],
+            params["energy"],
+            params["eval_trace"],
+            params["k"],
+            instrumentation=params.get("instrumentation"),
+            rng=rng,
+            engine=params["engine"],
+        )
+    else:
+        evaluation = evaluate_planner(
+            params["planner"],
+            params["topology"],
+            params["energy"],
+            params["train"],
+            params["eval_trace"],
+            params["k"],
+            params["budget"],
+            instrumentation=params.get("instrumentation"),
+            rng=rng,
+            engine=params["engine"],
+        )
     return evaluation.row(budget_mj=round(params["budget"], 2))
 
 
@@ -92,10 +112,14 @@ def run(
 
     base_budget = energy.message_cost(1) * 4
     budgets = budget_sweep(base_budget, budget_steps)
-    planners = [GreedyPlanner(), LPNoLFPlanner(), LPLFPlanner()]
+    obs_extra = (
+        {}
+        if parallel or instrumentation is None
+        else {"instrumentation": instrumentation}
+    )
     trial_params = [
         {
-            "planner": planner,
+            "planner": GreedyPlanner(),
             "topology": topology,
             "energy": energy,
             "train": train,
@@ -103,15 +127,38 @@ def run(
             "k": k,
             "budget": budget,
             "engine": engine,
-            **(
-                {}
-                if parallel or instrumentation is None
-                else {"instrumentation": instrumentation}
-            ),
+            **obs_extra,
         }
-        for planner in planners
         for budget in budgets
     ]
+    # the LP planners solve the whole budget ladder as one parametric
+    # sweep (compile once, warm-start each member); the trials then
+    # just replay the precomputed plans
+    samples = train.sample_matrix(k)
+    for planner in (LPNoLFPlanner(), LPLFPlanner()):
+        context = PlanningContext(
+            topology=topology,
+            energy=energy,
+            samples=samples,
+            k=k,
+            budget=budgets[0],
+            instrumentation=None if parallel else instrumentation,
+        )
+        plans = planner.plan_for_budgets(context, budgets)
+        trial_params.extend(
+            {
+                "name": planner.name,
+                "plan": plan,
+                "topology": topology,
+                "energy": energy,
+                "eval_trace": eval_trace,
+                "k": k,
+                "budget": budget,
+                "engine": engine,
+                **obs_extra,
+            }
+            for budget, plan in zip(budgets, plans)
+        )
     rows: list[dict] = list(runner.map(_planner_trial, trial_params, seed=seed))
 
     # exact algorithms: sweep j and report accuracy j / k

@@ -30,17 +30,14 @@ from repro.simulation.runtime import Simulator
 
 
 def _exact_trial(params: dict, rng: np.random.Generator) -> dict:
-    """One phase-1 budget level: plan, then run the two-phase exact
-    algorithm over the evaluation trace (the proof/mop-up protocol is
-    inherently per-epoch, so the inner loop stays scalar)."""
+    """One phase-1 budget level: run the two-phase exact algorithm over
+    the evaluation trace (the proof/mop-up protocol is inherently
+    per-epoch, so the inner loop stays scalar).  The proof plan arrives
+    precomputed — the whole budget ladder is solved as one warm-started
+    parametric sweep before the trials fan out."""
     energy = params["energy"]
-    proof_planner = ProofPlanner(fill_budget=True)
-    context = PlanningContext(
-        params["topology"], energy, params["samples"], params["k"],
-        budget=params["budget"],
-    )
-    plan = proof_planner.plan(context)
-    exact = ExactTopK(proof_planner)
+    plan = params["plan"]
+    exact = ExactTopK(ProofPlanner(fill_budget=True))
     phase1 = []
     phase2 = []
     for readings in params["eval_trace"]:
@@ -112,17 +109,22 @@ def run(
 
     if runner is None:
         runner = ExperimentRunner(processes=processes, seed=seed)
+    budgets = [minimum * factor for factor in budget_factors]
+    context = PlanningContext(
+        topology, energy, samples, k, budget=budgets[0]
+    )
+    plans = proof_planner.plan_for_budgets(context, budgets)
     trial_params = [
         {
             "trial": trial,
             "topology": topology,
             "energy": energy,
-            "samples": samples,
             "k": k,
-            "budget": minimum * factor,
+            "budget": budget,
+            "plan": plan,
             "eval_trace": eval_trace,
         }
-        for trial, factor in enumerate(budget_factors, start=1)
+        for trial, (budget, plan) in enumerate(zip(budgets, plans), start=1)
     ]
     rows = list(runner.map(_exact_trial, trial_params, seed=seed))
     for row in rows:

@@ -3,24 +3,79 @@
 The paper reports CPLEX 8.1 timings on a 250(?) MHz desktop: usually a
 few seconds, slower near budgets where many plans tie.  This experiment
 measures build+solve wall time of each PROSPECTOR formulation across
-network and sample sizes on our HiGHS backend.
+network and sample sizes on our HiGHS backend, plus the parametric
+budget-sweep columns: ``sweep_s`` is one compile + ``solve_sweep`` over
+an 8-budget ladder, ``sweep_speedup`` is how much faster that is than
+compiling and solving each budget cold.  (HiGHS has no warm-start entry
+point, so its sweep win is the shared compile; the pure simplex backend
+adds dual-simplex warm starts — see ``benchmarks/bench_lpsweep.py``.)
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
 import numpy as np
 
 from repro.datagen.gaussian import random_gaussian_field
 from repro.experiments.reporting import print_table
 from repro.lp.backend import get_backend
+from repro.lp.fastbuild import (
+    compile_lp_lf,
+    compile_lp_lf_parametric,
+    compile_lp_no_lf,
+    compile_lp_no_lf_parametric,
+    compile_proof_parametric,
+)
 from repro.network.builder import random_topology
 from repro.network.energy import EnergyModel
 from repro.planners.base import PlanningContext
 from repro.planners.lp_lf import LPLFPlanner
 from repro.planners.lp_no_lf import LPNoLFPlanner
 from repro.planners.proof import ProofPlanner
+
+_SWEEP_FACTORS = (0.7, 0.85, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0)
+
+
+def _parametric_for(planner, context):
+    """The planner's formulation as a :class:`ParametricForm`."""
+    if isinstance(planner, ProofPlanner):
+        reserve = planner._reserve(context)
+        acquisition = planner._acquisition_total(context)
+        return compile_proof_parametric(
+            context,
+            budget_rhs_of=lambda budget: budget - reserve - acquisition,
+        )
+    if isinstance(planner, LPLFPlanner):
+        return compile_lp_lf_parametric(context)
+    return compile_lp_no_lf_parametric(context)
+
+
+def _cold_compile(planner, context):
+    """One cold compile (no replan cache) of the planner's formulation."""
+    if isinstance(planner, ProofPlanner):
+        return planner.compile_fast(context)
+    if isinstance(planner, LPLFPlanner):
+        return compile_lp_lf(context)
+    return compile_lp_no_lf(context)
+
+
+def _sweep_timings(planner, context, solver) -> tuple[float, float]:
+    """(one-compile sweep seconds, per-budget cold seconds)."""
+    budgets = [context.budget * factor for factor in _SWEEP_FACTORS]
+    start = time.perf_counter()
+    parametric = _parametric_for(planner, context)
+    solver.solve_sweep(parametric, parametric.rhs_values(budgets))
+    sweep_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for budget in budgets:
+        member = replace(context, budget=budget)
+        compiled = _cold_compile(planner, member)
+        solver.solve_form(compiled.form, compiled.name)
+    cold_seconds = time.perf_counter() - start
+    return sweep_seconds, cold_seconds
 
 
 def run(
@@ -72,6 +127,9 @@ def run(
                 start = time.perf_counter()
                 planner.compile_fast(context_p)
                 fastbuild_seconds = time.perf_counter() - start
+                sweep_seconds, cold_seconds = _sweep_timings(
+                    planner, context_p, solver
+                )
                 rows.append(
                     {
                         "formulation": planner.name,
@@ -84,6 +142,9 @@ def run(
                         "build_speedup": build_seconds
                         / max(fastbuild_seconds, 1e-12),
                         "solve_s": solution.stats.wall_seconds,
+                        "sweep_s": sweep_seconds,
+                        "sweep_speedup": cold_seconds
+                        / max(sweep_seconds, 1e-12),
                     }
                 )
     return rows
@@ -96,6 +157,7 @@ def main() -> list[dict]:
         columns=[
             "formulation", "n", "m", "variables", "constraints",
             "build_s", "fastbuild_s", "build_speedup", "solve_s",
+            "sweep_s", "sweep_speedup",
         ],
         title="LP solve-time study",
     )

@@ -30,10 +30,14 @@ from repro.lp.backend import (
 from repro.lp.expr import LinExpr, Variable
 from repro.lp.fastbuild import (
     CompiledLP,
+    ParametricForm,
     ReplanCache,
     compile_lp_lf,
+    compile_lp_lf_parametric,
     compile_lp_no_lf,
+    compile_lp_no_lf_parametric,
     compile_proof,
+    compile_proof_parametric,
 )
 from repro.lp.model import Constraint, Model
 from repro.lp.result import Solution, SolveStats
@@ -47,6 +51,7 @@ __all__ = [
     "Constraint",
     "LinExpr",
     "Model",
+    "ParametricForm",
     "ReplanCache",
     "ScipyBackend",
     "SimplexBackend",
@@ -56,9 +61,12 @@ __all__ = [
     "Variable",
     "available_backends",
     "compile_lp_lf",
+    "compile_lp_lf_parametric",
     "compile_lp_no_lf",
+    "compile_lp_no_lf_parametric",
     "compile_model",
     "compile_proof",
+    "compile_proof_parametric",
     "get_backend",
     "resolve_backend",
 ]

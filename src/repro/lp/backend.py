@@ -21,7 +21,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @runtime_checkable
 class Backend(Protocol):
-    """Anything that can solve a compiled LP model."""
+    """Anything that can solve a compiled LP model.
+
+    Both shipped backends additionally implement two optional entry
+    points that callers feature-test with ``hasattr``:
+
+    ``solve_form(form, name)``
+        Solve a pre-compiled
+        :class:`~repro.lp.standard_form.StandardForm` (the
+        :mod:`repro.lp.fastbuild` fast path).
+
+    ``solve_sweep(parametric, rhs_values, name=None)``
+        Solve one :class:`~repro.lp.fastbuild.ParametricForm` for a
+        sequence of RHS-slot values, returning one ``Solution`` per
+        value — element-wise identical to independent cold solves.
+        The pure simplex warm-starts each member from the previous
+        optimal basis (dual-simplex restart); the scipy backend reuses
+        the compiled arrays across ``linprog`` calls.
+    """
 
     name: str
 

@@ -26,7 +26,8 @@ in :mod:`repro.obs` under ``fastbuild.cache.hits`` /
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Callable
 
 import numpy as np
 from scipy import sparse
@@ -36,10 +37,14 @@ from repro.obs.instrument import maybe_timer
 
 __all__ = [
     "CompiledLP",
+    "ParametricForm",
     "ReplanCache",
     "compile_lp_no_lf",
+    "compile_lp_no_lf_parametric",
     "compile_lp_lf",
+    "compile_lp_lf_parametric",
     "compile_proof",
+    "compile_proof_parametric",
 ]
 
 
@@ -68,6 +73,69 @@ class CompiledLP:
     form: StandardForm
     column_names: list[str]
     primary_columns: dict[int, int]
+
+
+@dataclass
+class ParametricForm:
+    """A compiled formulation with one designated scalar RHS slot.
+
+    All three PROSPECTOR formulations place the energy budget in
+    exactly one coefficient of the assembled arrays: the last ``b_ub``
+    entry (the budget row).  A budget sweep therefore compiles **once**
+    (through the :class:`ReplanCache` like any other compile) and each
+    sweep member just patches that one float — via
+    ``backend.solve_sweep`` for warm-started solving, or via
+    :meth:`form_for` for an independent cold oracle solve.
+
+    ``rhs_of`` maps a budget to the slot's value using the *same* float
+    arithmetic as a cold compile at that budget, so a patched form is
+    bitwise identical to a freshly compiled one.
+
+    Attributes
+    ----------
+    compiled:
+        The underlying :class:`CompiledLP` (compiled at the context's
+        own budget).
+    row:
+        Index of the scalar slot within ``form.b_ub``.
+    rhs_of:
+        Budget → RHS-slot value, replicating the cold-compile
+        arithmetic bit for bit.
+    """
+
+    compiled: CompiledLP
+    row: int
+    rhs_of: Callable[[float], float]
+
+    @property
+    def name(self) -> str:
+        return self.compiled.name
+
+    @property
+    def form(self) -> StandardForm:
+        return self.compiled.form
+
+    @property
+    def primary_columns(self) -> dict[int, int]:
+        return self.compiled.primary_columns
+
+    def rhs_values(self, budgets) -> np.ndarray:
+        """RHS-slot values for a sequence of budgets."""
+        return np.array([self.rhs_of(float(b)) for b in budgets])
+
+    def form_for_rhs(self, rhs: float) -> StandardForm:
+        """An independent :class:`StandardForm` with the slot patched.
+
+        The coefficient arrays are shared (they are never mutated by
+        the solvers); only ``b_ub`` is copied.
+        """
+        b_ub = self.form.b_ub.copy()
+        b_ub[self.row] = rhs
+        return replace(self.form, b_ub=b_ub)
+
+    def form_for(self, budget: float) -> StandardForm:
+        """Patched form for one budget — the cold-solve oracle entry."""
+        return self.form_for_rhs(self.rhs_of(float(budget)))
 
 
 class ReplanCache:
@@ -265,7 +333,7 @@ def compile_lp_no_lf(context, cache: ReplanCache | None = None) -> CompiledLP:
         static = _fetch_static(cache, obs, key, topology, build_static)
 
         b_ub = np.zeros(static["num_rows"])
-        b_ub[-1] = context.budget - context.energy.acquisition_mj
+        b_ub[-1] = context.budget - context.energy.acquisition_mj  # RHS slot
 
         counts = context.samples.column_counts()
         c = np.zeros(n + num_edges)
@@ -600,3 +668,60 @@ def compile_proof(context, *, budget_rhs: float) -> CompiledLP:
                 int(edge): position for position, edge in enumerate(edges)
             },
         )
+
+
+# -- parametric entry points ------------------------------------------------
+
+
+def _budget_slot(compiled: CompiledLP) -> int:
+    return len(compiled.form.b_ub) - 1
+
+
+def compile_lp_no_lf_parametric(
+    context, cache: ReplanCache | None = None
+) -> ParametricForm:
+    """LP−LF with the budget row's RHS exposed as the parametric slot."""
+    acquisition = context.energy.acquisition_mj
+    compiled = compile_lp_no_lf(context, cache)
+    return ParametricForm(
+        compiled=compiled,
+        row=_budget_slot(compiled),
+        rhs_of=lambda budget: budget - acquisition,
+    )
+
+
+def compile_lp_lf_parametric(
+    context, cache: ReplanCache | None = None
+) -> ParametricForm:
+    """LP+LF with the budget row's RHS exposed as the parametric slot."""
+    acquisition = context.energy.acquisition_mj
+    compiled = compile_lp_lf(context, cache)
+    return ParametricForm(
+        compiled=compiled,
+        row=_budget_slot(compiled),
+        rhs_of=lambda budget: budget - acquisition,
+    )
+
+
+def compile_proof_parametric(
+    context, *, budget_rhs_of: Callable[[float], float]
+) -> ParametricForm:
+    """Proof with the budget row's RHS exposed as the parametric slot.
+
+    ``budget_rhs_of`` maps a budget to the planner-level ``budget_rhs``
+    (budget minus reserve minus total acquisition), keeping the reserve
+    policy in :class:`~repro.planners.proof.ProofPlanner`.  The slot
+    value then folds the constant per-message costs with the same
+    left-associated float arithmetic as :func:`compile_proof`.
+    """
+    compiled = compile_proof(
+        context, budget_rhs=budget_rhs_of(context.budget)
+    )
+    constant = 0.0
+    for edge in context.topology.edges:
+        constant += context.edge_cost(int(edge))
+    return ParametricForm(
+        compiled=compiled,
+        row=_budget_slot(compiled),
+        rhs_of=lambda budget: -(constant - budget_rhs_of(budget)),
+    )

@@ -11,13 +11,23 @@ from repro.lp.expr import LinExpr, Variable
 
 @dataclass
 class SolveStats:
-    """Bookkeeping about a solve, for the LP-timing experiments."""
+    """Bookkeeping about a solve, for the LP-timing experiments.
+
+    ``warm_started`` and ``pivots`` describe parametric sweeps: a warm
+    member restarted the dual simplex from the previous optimal basis,
+    and ``pivots`` counts the basis changes (including bound flips)
+    this particular solve needed.  Cold solves report
+    ``warm_started=False`` and their full pivot count (zero for
+    backends that do not expose one).
+    """
 
     backend: str = ""
     wall_seconds: float = 0.0
     iterations: int = 0
     num_variables: int = 0
     num_constraints: int = 0
+    warm_started: bool = False
+    pivots: int = 0
 
 
 @dataclass

@@ -14,7 +14,7 @@ from scipy.optimize import linprog
 from repro.errors import SolverError
 from repro.lp.model import Model
 from repro.lp.result import Solution, SolveStats
-from repro.lp.standard_form import compile_model
+from repro.lp.standard_form import compile_model, orient_inequality_duals
 
 _STATUS_BY_CODE = {
     0: "optimal",
@@ -57,12 +57,15 @@ class ScipyBackend:
         """
         return self._solve_compiled(form, name, model=None)
 
-    def _solve_compiled(self, form, name: str, model: Model | None) -> Solution:
+    def _solve_compiled(
+        self, form, name: str, model: Model | None, b_ub=None
+    ) -> Solution:
         start = time.perf_counter()
+        rhs = form.b_ub if b_ub is None else b_ub
         result = linprog(
             form.c,
             A_ub=form.a_ub if form.a_ub.shape[0] else None,
-            b_ub=form.b_ub if form.b_ub.size else None,
+            b_ub=rhs if rhs.size else None,
             A_eq=form.a_eq if form.a_eq.shape[0] else None,
             b_eq=form.b_eq if form.b_eq.size else None,
             bounds=form.bounds,
@@ -92,30 +95,40 @@ class ScipyBackend:
             inequality_duals=self._duals(model, form, result),
         )
 
+    def solve_sweep(self, parametric, rhs_values, name: str | None = None):
+        """Solve one compiled form for many values of its RHS slot.
+
+        scipy's ``linprog`` has no warm-start entry point, so the win
+        here is structural: the sweep compiles once and every member
+        reuses the same ``c``/``A_ub``/``A_eq``/bounds arrays, patching
+        the single scalar RHS slot per solve.  Returns one
+        :class:`~repro.lp.result.Solution` per value, element-wise
+        identical to independent cold solves (the patched arrays are
+        bitwise equal to freshly compiled ones).
+        """
+        label = name or parametric.name
+        form = parametric.compiled.form
+        b_ub = form.b_ub.copy()
+        solutions = []
+        start = time.perf_counter()
+        for rhs in np.asarray(rhs_values, dtype=float):
+            b_ub[parametric.row] = rhs
+            solutions.append(
+                self._solve_compiled(form, label, model=None, b_ub=b_ub)
+            )
+        if self.instrumentation is not None:
+            self.instrumentation.record_lp_sweep(
+                label,
+                members=len(solutions),
+                warm_hits=0,
+                pivots_saved=0,
+                seconds=time.perf_counter() - start,
+            )
+        return solutions
+
     @staticmethod
     def _duals(model, form, result) -> np.ndarray | None:
-        """Shadow prices in the model's own sense.
-
-        HiGHS reports ``d(minimized objective)/d(b_ub)``; we convert to
-        ``d(model objective)/d(original rhs)`` by undoing the
-        maximization negation and the ``>=``-to-``<=`` row flips.  The
-        form-only path (``model is None``) has no original ``>=`` rows
-        to report against, so only the sense negation applies.
-        """
+        """HiGHS marginals oriented into the model's own sense."""
         ineqlin = getattr(result, "ineqlin", None)
         marginals = getattr(ineqlin, "marginals", None)
-        if marginals is None:
-            return None
-        duals = np.asarray(marginals, dtype=float).copy()
-        if form.maximize:
-            duals = -duals
-        if model is None:
-            return duals
-        row = 0
-        for constraint in model.constraints:
-            if constraint.sense == "==":
-                continue
-            if constraint.sense == ">=":
-                duals[row] = -duals[row]
-            row += 1
-        return duals
+        return orient_inequality_duals(marginals, form, model)

@@ -1,11 +1,28 @@
-"""A self-contained two-phase primal simplex solver.
+"""A self-contained revised-simplex solver with warm-started re-solves.
 
 This backend exists so the library does not take the production solver
 on faith: tests cross-check :class:`~repro.lp.scipy_backend.ScipyBackend`
-against this independent implementation on every formulation.  It is a
-dense tableau simplex with Bland's anti-cycling rule, intended for the
-small-to-medium LPs that arise in tests; the HiGHS backend remains the
-default for real planning.
+against this independent implementation on every formulation.
+
+The engine is a bounded-variable revised simplex over the standard-form
+arrays: variable bounds (including free and fixed variables) are handled
+natively instead of being rewritten into extra rows, the basis is kept
+as an LU factorization (:func:`scipy.linalg.lu_factor`) refreshed every
+few dozen pivots with product-form eta updates in between, and pricing
+is one vectorized reduced-cost pass per iteration (Dantzig's rule, with
+Bland's rule engaged after a run of degenerate pivots so cycling
+candidates still terminate).  Phase 1 only introduces artificial
+columns for rows the slack basis cannot satisfy, so the PROSPECTOR
+formulations — all ``<=`` rows with a feasible all-lower-bounds point —
+cold-start directly in phase 2.
+
+Because the factorized basis persists, the engine also supports the
+parametric sweeps of :mod:`repro.lp.fastbuild`: when only one
+right-hand-side entry changes between solves the optimal basis stays
+dual-feasible, so :meth:`SimplexBackend.solve_sweep` re-solves each
+sweep member with a dual-simplex restart from the previous optimum — a
+handful of pivots instead of a cold run (``warm_started``/``pivots`` in
+the returned :class:`~repro.lp.result.SolveStats`).
 """
 
 from __future__ import annotations
@@ -13,35 +30,515 @@ from __future__ import annotations
 import time
 
 import numpy as np
+from scipy import sparse
+from scipy.linalg import LinAlgError, lu_factor, lu_solve
 
 from repro.errors import SolverError
 from repro.lp.model import Model
 from repro.lp.result import Solution, SolveStats
-from repro.lp.standard_form import StandardForm, compile_model
+from repro.lp.standard_form import (
+    StandardForm,
+    compile_model,
+    orient_inequality_duals,
+)
 
-_FEAS_TOL = 1e-9
-_OPT_TOL = 1e-9
+_OPT_TOL = 1e-9          # reduced-cost threshold for entering candidates
+_FEAS_TOL = 1e-8         # bound-violation threshold (primal feasibility)
+_PIVOT_TOL = 1e-10       # minimum acceptable pivot magnitude
+_PHASE1_TOL = 1e-6       # residual artificial mass that means infeasible
+_RATIO_TIE = 1e-9        # ratio-test tie window
+_REFACTOR_EVERY = 64     # eta-file length before a fresh LU
+_BLAND_AFTER = 24        # consecutive degenerate pivots before Bland
+_TIE_BREAK = 1e-7        # pricing perturbation that pins a unique vertex
+_GOLDEN = 0.6180339887498949
 
 
-class _Column:
-    """Mapping from a transformed nonnegative column back to a model variable."""
+class _WarmRestartFailed(Exception):
+    """Internal: the dual restart could not finish; fall back to cold."""
 
-    __slots__ = ("var_index", "scale", "shift")
 
-    def __init__(self, var_index: int, scale: float, shift: float) -> None:
-        self.var_index = var_index
-        self.scale = scale
-        self.shift = shift
+class _RevisedSimplex:
+    """One LP instance with restartable basis state.
+
+    Holds the computational form ``A x = b`` with ``A = [[A_ub, I],
+    [A_eq, 0]]`` over structural + slack (+ late artificial) columns,
+    the current basis and its factorization.  ``solve()`` runs the cold
+    two-phase primal simplex; ``resolve(row, rhs)`` patches one entry
+    of ``b`` and restarts the dual simplex from the current optimal
+    basis, which stays dual-feasible because costs and columns are
+    untouched.
+    """
+
+    def __init__(self, form: StandardForm, name: str, max_iterations: int) -> None:
+        self.name = name
+        self.max_iterations = max_iterations
+        n = form.num_variables
+        m_ub = form.a_ub.shape[0]
+        m_eq = form.a_eq.shape[0]
+        self.n = n
+        self.m_ub = m_ub
+        self.m = m_ub + m_eq
+        self.cost = np.concatenate([np.asarray(form.c, dtype=float),
+                                    np.zeros(m_ub)])
+        # Degenerate formulations have whole faces of alternate optima,
+        # and a warm restart may reach a different optimal vertex than a
+        # cold run.  Phase-2 pricing therefore minimizes ``cost + tie``,
+        # a deterministic per-column perturbation (golden-ratio spread,
+        # so no two columns or small combinations cancel) that makes the
+        # optimal vertex generically unique: cold solves and warm sweep
+        # restarts land on the *same* vertex.  Objectives and duals are
+        # still reported against the true ``cost``.
+        ncols = n + m_ub
+        scale = max(1.0, float(np.abs(self.cost).max(initial=0.0)))
+        spread = np.modf((np.arange(ncols) + 1.0) * _GOLDEN)[0]
+        self.tie = _TIE_BREAK * scale * (0.5 + spread)
+        self.b = np.concatenate([form.b_ub, form.b_eq]).astype(float)
+
+        blocks = []
+        if m_ub:
+            blocks.append(sparse.hstack(
+                [form.a_ub, sparse.identity(m_ub, format="csc")], format="csc"
+            ))
+        if m_eq:
+            blocks.append(sparse.hstack(
+                [form.a_eq, sparse.csc_matrix((m_eq, m_ub))], format="csc"
+            ))
+        if blocks:
+            self.A = sparse.vstack(blocks, format="csc")
+        else:
+            self.A = sparse.csc_matrix((0, n + m_ub))
+
+        self.lo = np.zeros(n + m_ub)
+        self.hi = np.full(n + m_ub, np.inf)
+        for i, (lb, ub) in enumerate(form.bounds):
+            self.lo[i] = -np.inf if lb is None else float(lb)
+            self.hi[i] = np.inf if ub is None else float(ub)
+        self.free = np.isneginf(self.lo) & np.isposinf(self.hi)
+
+        # nonbasic start point: finite lower bound, else finite upper
+        # bound, else 0 for free columns
+        self.x = np.where(np.isfinite(self.lo), self.lo,
+                          np.where(np.isfinite(self.hi), self.hi, 0.0))
+        self.at_upper = ~np.isfinite(self.lo) & np.isfinite(self.hi)
+
+        self.allowed = np.ones(n + m_ub, dtype=bool)  # may enter the basis
+        self.in_basis = np.zeros(n + m_ub, dtype=bool)
+        self.basis = np.zeros(self.m, dtype=np.int64)
+        self.xB = np.zeros(self.m)
+        self._lu = None
+        self._etas: list[tuple[int, np.ndarray]] = []
+        self.pivots = 0
+
+    # -- linear algebra over the factorized basis -----------------------
+    def _refactor(self) -> None:
+        self._etas = []
+        if self.m == 0:
+            self._lu = None
+            return
+        dense = self.A[:, self.basis].toarray()
+        try:
+            self._lu = lu_factor(dense, check_finite=False)
+        except LinAlgError as err:  # pragma: no cover - defensive
+            raise SolverError(
+                f"LP {self.name!r} produced a singular basis",
+                status="numerical",
+            ) from err
+
+    def _ftran(self, v: np.ndarray) -> np.ndarray:
+        """``B^-1 v`` through the LU factors and the eta file."""
+        if self.m == 0:
+            return v
+        z = lu_solve(self._lu, v, check_finite=False)
+        for row, w in self._etas:
+            t = z[row] / w[row]
+            z -= w * t
+            z[row] = t
+        return z
+
+    def _btran(self, v: np.ndarray) -> np.ndarray:
+        """``B^-T v`` — etas applied in reverse, then the transposed LU."""
+        if self.m == 0:
+            return v
+        u = np.array(v, dtype=float)
+        for row, w in reversed(self._etas):
+            u[row] = (u[row] - w @ u + w[row] * u[row]) / w[row]
+        return lu_solve(self._lu, u, trans=1, check_finite=False)
+
+    def _column(self, j: int) -> np.ndarray:
+        start, end = self.A.indptr[j], self.A.indptr[j + 1]
+        col = np.zeros(self.m)
+        col[self.A.indices[start:end]] = self.A.data[start:end]
+        return col
+
+    def _recompute_xB(self) -> None:
+        """Fresh basic values from the nonbasic point (kills eta drift)."""
+        x = self.x.copy()
+        x[self.basis] = 0.0
+        self.xB = self._ftran(self.b - self.A @ x)
+
+    def _push_eta(self, row: int, w: np.ndarray) -> None:
+        self._etas.append((row, w))
+        self.pivots += 1
+        if len(self._etas) >= _REFACTOR_EVERY:
+            self._refactor()
+            self._recompute_xB()
+
+    # -- shared pivot bookkeeping ---------------------------------------
+    def _install(self, row: int, entering: int, value: float,
+                 leaving_to_upper: bool, w: np.ndarray) -> None:
+        leaving = self.basis[row]
+        bound = self.hi[leaving] if leaving_to_upper else self.lo[leaving]
+        self.x[leaving] = bound
+        self.at_upper[leaving] = leaving_to_upper
+        self.in_basis[leaving] = False
+        self.in_basis[entering] = True
+        self.basis[row] = entering
+        self.xB[row] = value
+        self._push_eta(row, w)
+
+    def _reduced_costs(self, cost: np.ndarray) -> np.ndarray:
+        y = self._btran(cost[self.basis])
+        d = cost - self.A.T @ y
+        d[self.basis] = 0.0
+        return d
+
+    # -- primal simplex --------------------------------------------------
+    def _primal(self, cost: np.ndarray, iterations: int) -> int:
+        """Minimize ``cost`` from the current (primal-feasible) basis."""
+        movable = self.allowed & (self.hi > self.lo)
+        bland = False
+        degenerate_run = 0
+        while True:
+            iterations += 1
+            if iterations > self.max_iterations:
+                raise SolverError("simplex iteration limit exceeded",
+                                  status="iteration_limit")
+            d = self._reduced_costs(cost)
+            active = movable & ~self.in_basis
+            enter_inc = active & (~self.at_upper | self.free) & (d < -_OPT_TOL)
+            enter_dec = active & (self.at_upper | self.free) & (d > _OPT_TOL)
+            candidates = enter_inc | enter_dec
+            if not candidates.any():
+                return iterations
+            if bland:
+                entering = int(np.flatnonzero(candidates)[0])
+            else:
+                score = np.where(enter_inc, -d, 0.0)
+                score = np.maximum(score, np.where(enter_dec, d, 0.0))
+                entering = int(np.argmax(score))
+            sigma = 1.0 if enter_inc[entering] else -1.0
+
+            w = self._ftran(self._column(entering))
+            step = sigma * w
+            lo_b = self.lo[self.basis]
+            hi_b = self.hi[self.basis]
+            ratios = np.full(self.m, np.inf)
+            dec = step > _PIVOT_TOL
+            ratios[dec] = (self.xB[dec] - lo_b[dec]) / step[dec]
+            inc = step < -_PIVOT_TOL
+            ratios[inc] = (hi_b[inc] - self.xB[inc]) / (-step[inc])
+            np.clip(ratios, 0.0, None, out=ratios)
+            row_min = float(ratios.min()) if self.m else np.inf
+            gap = self.hi[entering] - self.lo[entering]
+            if min(row_min, gap) == np.inf:
+                raise SolverError("LP unbounded", status="unbounded")
+
+            if gap <= row_min:
+                # the entering column flips to its other bound
+                self.xB -= step * gap
+                self.x[entering] = (
+                    self.hi[entering] if sigma > 0 else self.lo[entering]
+                )
+                self.at_upper[entering] = sigma > 0
+                self.pivots += 1
+                t = gap
+            else:
+                tied = np.flatnonzero(ratios <= row_min + _RATIO_TIE)
+                if bland:
+                    row = int(tied[np.argmin(self.basis[tied])])
+                else:
+                    row = int(tied[np.argmax(np.abs(step[tied]))])
+                t = float(ratios[row])
+                value = self.x[entering] + sigma * t
+                self.xB -= step * t
+                self._install(row, entering, value,
+                              leaving_to_upper=step[row] < 0, w=w)
+            if t <= _RATIO_TIE:
+                degenerate_run += 1
+                bland = bland or degenerate_run >= _BLAND_AFTER
+            else:
+                degenerate_run = 0
+                bland = False
+
+    # -- phase 1 ----------------------------------------------------------
+    def _start_basis(self) -> None:
+        """Slack basis where feasible; artificial columns elsewhere.
+
+        Rows whose slack can absorb the residual (``<=`` rows with a
+        non-negative residual at the nonbasic start point) take their
+        slack; every other row gets a signed artificial column so the
+        initial basic point is feasible by construction.
+        """
+        residual = self.b - self.A @ self.x
+        art_rows: list[int] = []
+        art_signs: list[float] = []
+        for row in range(self.m):
+            if row < self.m_ub and residual[row] >= 0:
+                slack = self.n + row
+                self.basis[row] = slack
+                self.in_basis[slack] = True
+                self.xB[row] = residual[row] - self.x[slack]
+            else:
+                art_rows.append(row)
+                art_signs.append(1.0 if residual[row] >= 0 else -1.0)
+
+        self.num_art = len(art_rows)
+        if not self.num_art:
+            self._refactor()
+            self._recompute_xB()
+            return
+        art_block = sparse.csc_matrix(
+            (np.asarray(art_signs), (np.asarray(art_rows, dtype=np.int64),
+                                     np.arange(self.num_art))),
+            shape=(self.m, self.num_art),
+        )
+        base_cols = self.A.shape[1]
+        self.A = sparse.hstack([self.A, art_block], format="csc")
+        self.cost = np.concatenate([self.cost, np.zeros(self.num_art)])
+        self.tie = np.concatenate([self.tie, np.zeros(self.num_art)])
+        self.lo = np.concatenate([self.lo, np.zeros(self.num_art)])
+        self.hi = np.concatenate([self.hi, np.full(self.num_art, np.inf)])
+        self.free = np.concatenate(
+            [self.free, np.zeros(self.num_art, dtype=bool)]
+        )
+        self.x = np.concatenate([self.x, np.zeros(self.num_art)])
+        self.at_upper = np.concatenate(
+            [self.at_upper, np.zeros(self.num_art, dtype=bool)]
+        )
+        # artificials may never (re-)enter the basis
+        self.allowed = np.concatenate(
+            [self.allowed, np.zeros(self.num_art, dtype=bool)]
+        )
+        self.in_basis = np.concatenate(
+            [self.in_basis, np.zeros(self.num_art, dtype=bool)]
+        )
+        for position, row in enumerate(art_rows):
+            col = base_cols + position
+            self.basis[row] = col
+            self.in_basis[col] = True
+        self._refactor()
+        self._recompute_xB()
+
+    def _drive_out_artificials(self) -> None:
+        """Pivot lingering zero-valued artificials out where possible.
+
+        A row whose artificial admits no nonzero pivot over the real
+        columns is linearly redundant; its artificial stays basic,
+        pinned at zero by its (now closed) bounds.
+        """
+        art_start = self.n + self.m_ub
+        self.lo[art_start:] = 0.0
+        self.hi[art_start:] = 0.0
+        for row in range(self.m):
+            if self.basis[row] < art_start:
+                continue
+            rho = np.zeros(self.m)
+            rho[row] = 1.0
+            alpha = self.A.T @ self._btran(rho)
+            alpha[self.in_basis] = 0.0
+            alpha[art_start:] = 0.0
+            entering = int(np.argmax(np.abs(alpha)))
+            if abs(alpha[entering]) <= _PIVOT_TOL:
+                continue  # redundant row
+            w = self._ftran(self._column(entering))
+            self._install(row, entering, self.x[entering],
+                          leaving_to_upper=False, w=w)
+
+    # -- cold and warm entry points --------------------------------------
+    def solve(self) -> int:
+        """Cold two-phase run; returns the iteration count."""
+        self._start_basis()
+        iterations = 0
+        if self.num_art:
+            phase1 = np.zeros(self.A.shape[1])
+            phase1[self.n + self.m_ub:] = 1.0
+            iterations = self._primal(phase1, iterations)
+            infeasibility = float(phase1[self.basis] @ self.xB)
+            if infeasibility > _PHASE1_TOL:
+                raise SolverError(
+                    f"LP {self.name!r} infeasible"
+                    f" (phase-1 = {infeasibility:g})",
+                    status="infeasible",
+                )
+            self._drive_out_artificials()
+        try:
+            return self._primal(self.cost + self.tie, iterations)
+        except SolverError as err:
+            if err.status != "unbounded":
+                raise
+            # a zero-cost recession direction can look unbounded under
+            # the perturbed pricing; re-check against the true costs
+            # (vertex uniqueness is lost, but correctness is not)
+            return self._primal(self.cost, iterations)
+
+    def resolve(self, row: int, rhs: float) -> int:
+        """Dual-simplex restart after patching ``b[row] = rhs``.
+
+        The basis from the previous optimum stays dual-feasible (costs
+        and columns are unchanged), so only primal feasibility must be
+        restored: repeatedly drop the most bound-violating basic
+        variable and re-enter the nonbasic column that keeps the
+        reduced costs correctly signed.  Raises
+        :class:`_WarmRestartFailed` when a long step would be needed or
+        the restart stalls; callers fall back to a cold solve.
+        """
+        self.b = self.b.copy()
+        self.b[row] = rhs
+        self._recompute_xB()
+        pricing = self.cost + self.tie
+        # dual reduced costs, updated incrementally per pivot (the
+        # pivot row is already in hand); refreshed from scratch after
+        # every refactorization to kill drift
+        d = self._reduced_costs(pricing)
+        iterations = 0
+        limit = min(self.max_iterations, max(200, 2 * self.m))
+        while True:
+            iterations += 1
+            if iterations > limit:
+                raise _WarmRestartFailed("dual restart stalled")
+            lo_b = self.lo[self.basis]
+            hi_b = self.hi[self.basis]
+            below = lo_b - self.xB
+            above = self.xB - hi_b
+            violation = np.maximum(below, above)
+            leave_row = int(np.argmax(violation)) if self.m else 0
+            if self.m == 0 or violation[leave_row] <= _FEAS_TOL:
+                # primal feasibility restored; polish with the primal
+                # simplex so any residual dual infeasibility (drift in
+                # the incremental reduced costs, or a ratio-test tie)
+                # cannot park the restart at a different vertex than a
+                # cold solve would reach
+                try:
+                    return self._primal(pricing, iterations)
+                except SolverError as err:
+                    raise _WarmRestartFailed(
+                        f"post-restart polish failed: {err}"
+                    ) from err
+            is_below = below[leave_row] >= above[leave_row]
+
+            # alpha in a unified orientation: positive entries are
+            # columns whose *increase* shrinks the violation
+            rho = np.zeros(self.m)
+            rho[leave_row] = 1.0
+            alpha = self.A.T @ self._btran(rho)
+            if is_below:
+                alpha = -alpha
+            delta = float(violation[leave_row])
+            movable = self.allowed & (self.hi > self.lo) & ~self.in_basis
+            from_lower = movable & (~self.at_upper | self.free)
+            from_upper = movable & (self.at_upper | self.free)
+            candidates = (from_lower & (alpha > _PIVOT_TOL)) | (
+                from_upper & (alpha < -_PIVOT_TOL)
+            )
+            if not candidates.any():
+                raise _WarmRestartFailed("dual step found no entering column")
+
+            # bound-flipping ratio test: walk the candidates by dual
+            # ratio; a boxed column whose full range cannot absorb the
+            # remaining violation flips to its other bound (the dual
+            # ratio having been passed, its reduced cost changes sign),
+            # and the next candidate continues the step
+            order = np.flatnonzero(candidates)
+            ratios = np.clip(d[order] / alpha[order], 0.0, None)
+            order = order[np.argsort(ratios, kind="stable")]
+            remaining = delta
+            entering = -1
+            flips: list[int] = []
+            for q in order:
+                absorb = abs(alpha[q]) * (self.hi[q] - self.lo[q])
+                if absorb < remaining:
+                    flips.append(int(q))
+                    remaining -= absorb
+                else:
+                    entering = int(q)
+                    break
+            if entering < 0:
+                raise _WarmRestartFailed("violation exceeds flip capacity")
+            for q in flips:
+                gap = self.hi[q] - self.lo[q]
+                w = self._ftran(self._column(q))
+                if self.at_upper[q]:
+                    self.x[q] = self.lo[q]
+                    self.at_upper[q] = False
+                    self.xB += w * gap
+                else:
+                    self.x[q] = self.hi[q]
+                    self.at_upper[q] = True
+                    self.xB -= w * gap
+                self.pivots += 1
+
+            tau = remaining / alpha[entering]
+            value = self.x[entering] + tau
+            if not (self.lo[entering] - _FEAS_TOL
+                    <= value <= self.hi[entering] + _FEAS_TOL):
+                raise _WarmRestartFailed("dual step left its bound range")
+            w = self._ftran(self._column(entering))
+            self.xB -= w * tau
+            theta = float(d[entering] / alpha[entering])
+            self._install(leave_row, entering, value,
+                          leaving_to_upper=not is_below, w=w)
+            if self._etas:
+                # the orientation sign cancels in the rank-one update
+                # (theta and alpha both carry it), and the leaving
+                # column falls out of the same formula via alpha = +-1
+                d -= theta * alpha
+                d[self.basis] = 0.0
+            else:  # a refactorization just happened: recompute exactly
+                d = self._reduced_costs(pricing)
+
+    # -- results ----------------------------------------------------------
+    def solution_values(self) -> np.ndarray:
+        x = self.x.copy()
+        x[self.basis] = self.xB
+        # snap to a 1e-9 grid: cold and warm runs reach the same vertex
+        # but along different pivot paths, and ~1e-15 arithmetic noise
+        # on a value that is analytically exactly .5 would otherwise
+        # flip the planners' rounding between the two
+        return np.round(x[: self.n], 9)
+
+    def duals(self) -> np.ndarray:
+        """Row prices ``y = B^-T c_B`` for the ``<=`` rows.
+
+        Same convention as the HiGHS marginals: the derivative of the
+        *minimized* objective with respect to ``b_ub``.
+        """
+        y = self._btran(self.cost[self.basis])
+        return np.asarray(y[: self.m_ub], dtype=float)
+
+    def verify(self) -> None:
+        """Cheap invariant check after a warm restart."""
+        x = self.x.copy()
+        x[self.basis] = self.xB
+        scale = 1.0 + float(np.abs(self.b).max(initial=0.0))
+        if np.abs(self.A @ x - self.b).max(initial=0.0) > 1e-6 * scale:
+            raise _WarmRestartFailed("restart left a row residual")
+        lo_gap = self.lo - x
+        hi_gap = x - self.hi
+        if max(lo_gap.max(initial=0.0), hi_gap.max(initial=0.0)) > 1e-6:
+            raise _WarmRestartFailed("restart left a bound violation")
 
 
 class SimplexBackend:
-    """Two-phase dense simplex over the model's standard form.
+    """Bounded-variable revised simplex over the model's standard form.
 
     Parameters
     ----------
+    max_iterations:
+        Pivot budget per solve before raising ``iteration_limit``.
     instrumentation:
         Optional :class:`~repro.obs.Instrumentation`; when set, every
-        solve records an ``lp_solve`` event and solve-time histograms.
+        solve records an ``lp_solve`` event and solve-time histograms,
+        and sweeps record ``lp.sweep.*`` counters.
     """
 
     name = "pure-simplex"
@@ -53,7 +550,7 @@ class SimplexBackend:
         self.instrumentation = instrumentation
 
     def solve(self, model: Model) -> Solution:
-        return self.solve_form(compile_model(model), model.name)
+        return self._solve_compiled(compile_model(model), model.name, model)
 
     def solve_form(self, form: StandardForm, name: str = "lp") -> Solution:
         """Solve a pre-compiled :class:`StandardForm` (fast-path entry).
@@ -61,230 +558,105 @@ class SimplexBackend:
         Used by :mod:`repro.lp.fastbuild`; also keeps this backend
         usable as a cross-check oracle for array-level compilers.
         """
+        return self._solve_compiled(form, name, None)
+
+    def _solve_compiled(
+        self, form: StandardForm, name: str, model: Model | None
+    ) -> Solution:
         start = time.perf_counter()
-        x, iterations = self._solve_form(form, name)
+        engine = _RevisedSimplex(form, name, self.max_iterations)
+        iterations = engine.solve()
+        return self._finish(
+            engine, form, name, model, start,
+            iterations=iterations, warm_started=False,
+        )
+
+    def _finish(
+        self,
+        engine: _RevisedSimplex,
+        form: StandardForm,
+        name: str,
+        model: Model | None,
+        start: float,
+        *,
+        iterations: int,
+        warm_started: bool,
+    ) -> Solution:
+        x = engine.solution_values()
+        duals = orient_inequality_duals(engine.duals(), form, model)
         elapsed = time.perf_counter() - start
-        minimized = float(form.c @ x)
         stats = SolveStats(
             backend=self.name,
             wall_seconds=elapsed,
             iterations=iterations,
             num_variables=form.num_variables,
             num_constraints=form.a_ub.shape[0] + form.a_eq.shape[0],
+            warm_started=warm_started,
+            pivots=engine.pivots,
         )
         if self.instrumentation is not None:
             self.instrumentation.record_lp_solve(name, stats)
         return Solution(
             status="optimal",
-            objective=form.report_objective(minimized),
+            objective=form.report_objective(float(form.c @ x)),
             values=x,
             stats=stats,
+            inequality_duals=duals,
         )
 
-    # -- transformation to x >= 0 form ------------------------------------
-    def _solve_form(self, form: StandardForm, name: str) -> tuple[np.ndarray, int]:
-        columns: list[_Column] = []
-        extra_ub_rows: list[tuple[int, float]] = []  # (column, rhs) for x' <= rhs
+    def solve_sweep(self, parametric, rhs_values, name: str | None = None):
+        """Solve one compiled form for many values of its RHS slot.
 
-        for i, (lb, ub) in enumerate(form.bounds):
-            if lb is None and ub is None:
-                # free variable: x = p - q
-                columns.append(_Column(i, 1.0, 0.0))
-                columns.append(_Column(i, -1.0, 0.0))
-            elif lb is None:
-                # x <= ub: x = ub - x'
-                columns.append(_Column(i, -1.0, float(ub)))  # type: ignore[arg-type]
-            else:
-                # x >= lb: x = lb + x'
-                col = len(columns)
-                columns.append(_Column(i, 1.0, float(lb)))
-                if ub is not None:
-                    extra_ub_rows.append((col, float(ub) - float(lb)))
-
-        n_cols = len(columns)
-        n_orig = form.num_variables
-
-        # each original variable contributes its shift once, even when it
-        # is split into two columns (free variables have shift 0 anyway)
-        shifts = np.zeros(n_orig)
-        shifted: set[int] = set()
-        for col in columns:
-            if col.var_index not in shifted:
-                shifts[col.var_index] = col.shift
-                shifted.add(col.var_index)
-
-        def transform_matrix(a) -> tuple[np.ndarray, np.ndarray]:
-            dense = (
-                np.asarray(a.todense()) if a.shape[0] else np.zeros((0, n_orig))
+        The first member runs cold; each later member restarts the dual
+        simplex from the previous optimal basis (falling back to a cold
+        solve if the restart cannot finish).  Returns one
+        :class:`~repro.lp.result.Solution` per value, element-wise
+        identical to independent cold solves.
+        """
+        label = name or parametric.name
+        form = parametric.compiled.form
+        row = parametric.row
+        solutions: list[Solution] = []
+        engine: _RevisedSimplex | None = None
+        cold_pivots = 0
+        warm_hits = 0
+        pivots_saved = 0
+        sweep_start = time.perf_counter()
+        for rhs in np.asarray(rhs_values, dtype=float):
+            start = time.perf_counter()
+            warm = False
+            iterations = 0
+            if engine is not None:
+                pivots_before = engine.pivots
+                try:
+                    iterations = engine.resolve(row, float(rhs))
+                    engine.verify()
+                    warm = True
+                    warm_hits += 1
+                    pivots_saved += max(
+                        0, cold_pivots - (engine.pivots - pivots_before)
+                    )
+                except _WarmRestartFailed:
+                    engine = None
+            if engine is None:
+                patched = parametric.form_for_rhs(float(rhs))
+                engine = _RevisedSimplex(patched, label, self.max_iterations)
+                pivots_before = engine.pivots
+                iterations = engine.solve()
+                cold_pivots = engine.pivots
+            member_pivots = engine.pivots - pivots_before
+            member = self._finish(
+                engine, form, label, None, start,
+                iterations=iterations, warm_started=warm,
             )
-            out = np.zeros((dense.shape[0], n_cols))
-            for col_idx, col in enumerate(columns):
-                out[:, col_idx] = dense[:, col.var_index] * col.scale
-            return out, dense @ shifts
-
-        a_ub_t, ub_shift = transform_matrix(form.a_ub)
-        a_eq_t, eq_shift = transform_matrix(form.a_eq)
-        b_ub = form.b_ub - ub_shift if form.b_ub.size else form.b_ub
-        b_eq = form.b_eq - eq_shift if form.b_eq.size else form.b_eq
-
-        if extra_ub_rows:
-            extra = np.zeros((len(extra_ub_rows), n_cols))
-            extra_b = np.zeros(len(extra_ub_rows))
-            for row, (col, rhs) in enumerate(extra_ub_rows):
-                extra[row, col] = 1.0
-                extra_b[row] = rhs
-            a_ub_t = np.vstack([a_ub_t, extra]) if a_ub_t.size else extra
-            b_ub = np.concatenate([b_ub, extra_b]) if b_ub.size else extra_b
-
-        c_t = np.zeros(n_cols)
-        for col_idx, col in enumerate(columns):
-            c_t[col_idx] = form.c[col.var_index] * col.scale
-
-        x_t, iterations = self._two_phase(c_t, a_ub_t, b_ub, a_eq_t, b_eq, name)
-
-        x = np.zeros(n_orig)
-        seen_shift: set[int] = set()
-        for col_idx, col in enumerate(columns):
-            x[col.var_index] += col.scale * x_t[col_idx]
-            if col.var_index not in seen_shift:
-                x[col.var_index] += col.shift
-                seen_shift.add(col.var_index)
-        return x, iterations
-
-    # -- core two-phase tableau simplex -------------------------------------
-    def _two_phase(
-        self,
-        c: np.ndarray,
-        a_ub: np.ndarray,
-        b_ub: np.ndarray,
-        a_eq: np.ndarray,
-        b_eq: np.ndarray,
-        name: str,
-    ) -> tuple[np.ndarray, int]:
-        n = len(c)
-        m_ub = len(b_ub)
-        m_eq = len(b_eq)
-        m = m_ub + m_eq
-
-        # rows: [A_ub | slack I | artificials?] ; [A_eq | 0 | artificials]
-        a = np.zeros((m, n + m_ub))
-        b = np.zeros(m)
-        if m_ub:
-            a[:m_ub, :n] = a_ub
-            a[:m_ub, n : n + m_ub] = np.eye(m_ub)
-            b[:m_ub] = b_ub
-        if m_eq:
-            a[m_ub:, :n] = a_eq
-            b[m_ub:] = b_eq
-
-        # normalize to b >= 0
-        for row in range(m):
-            if b[row] < 0:
-                a[row] *= -1.0
-                b[row] *= -1.0
-
-        total = n + m_ub
-        # artificial variables for every row (simple and robust; slack rows
-        # whose slack coefficient is +1 could reuse the slack as basis, but
-        # after sign flips that is not guaranteed).
-        art = np.eye(m)
-        tableau = np.hstack([a, art])
-        basis = list(range(total, total + m))
-
-        # phase 1: minimize sum of artificials
-        cost1 = np.zeros(total + m)
-        cost1[total:] = 1.0
-        value, iterations1 = self._optimize(tableau, b, cost1, basis)
-        if value > 1e-6:
-            raise SolverError(f"LP {name!r} infeasible (phase-1 = {value:g})",
-                              status="infeasible")
-
-        # drive any lingering artificial out of the basis if possible
-        for row, bvar in enumerate(basis):
-            if bvar >= total:
-                pivot_col = next(
-                    (
-                        j
-                        for j in range(total)
-                        if abs(tableau[row, j]) > _FEAS_TOL
-                    ),
-                    None,
-                )
-                if pivot_col is not None:
-                    self._pivot(tableau, b, basis, row, pivot_col)
-        # phase 2 on original costs; forbid artificials by dropping them
-        tableau2 = tableau[:, :total]
-        cost2 = np.zeros(total)
-        cost2[:n] = c
-        redundant = [row for row, bvar in enumerate(basis) if bvar >= total]
-        if redundant:
-            keep = [row for row in range(m) if row not in redundant]
-            tableau2 = tableau2[keep]
-            b = b[keep]
-            basis = [basis[row] for row in keep]
-        value, iterations2 = self._optimize(tableau2, b, cost2, basis)
-
-        x = np.zeros(total)
-        for row, bvar in enumerate(basis):
-            if bvar < total:
-                x[bvar] = b[row]
-        return x[:n], iterations1 + iterations2
-
-    def _optimize(
-        self,
-        tableau: np.ndarray,
-        b: np.ndarray,
-        cost: np.ndarray,
-        basis: list[int],
-    ) -> tuple[float, int]:
-        """Run primal simplex in place; return (objective, iterations)."""
-        iterations = 0
-        while True:
-            iterations += 1
-            if iterations > self.max_iterations:
-                raise SolverError("simplex iteration limit exceeded",
-                                  status="iteration_limit")
-            duals = self._reduced_costs(tableau, cost, basis)
-            entering = next(
-                (j for j in range(tableau.shape[1]) if duals[j] < -_OPT_TOL), None
+            member.stats.pivots = member_pivots
+            solutions.append(member)
+        if self.instrumentation is not None:
+            self.instrumentation.record_lp_sweep(
+                label,
+                members=len(solutions),
+                warm_hits=warm_hits,
+                pivots_saved=pivots_saved,
+                seconds=time.perf_counter() - sweep_start,
             )
-            if entering is None:
-                break
-            column = tableau[:, entering]
-            ratios = [
-                (b[row] / column[row], basis[row], row)
-                for row in range(len(b))
-                if column[row] > _FEAS_TOL
-            ]
-            if not ratios:
-                raise SolverError("LP unbounded", status="unbounded")
-            # Bland: smallest ratio, ties by smallest basis variable index
-            __, __, leave_row = min(ratios, key=lambda t: (t[0], t[1]))
-            self._pivot(tableau, b, basis, leave_row, entering)
-        objective = sum(cost[bvar] * b[row] for row, bvar in enumerate(basis))
-        return float(objective), iterations
-
-    @staticmethod
-    def _reduced_costs(
-        tableau: np.ndarray, cost: np.ndarray, basis: list[int]
-    ) -> np.ndarray:
-        basic_cost = cost[basis]
-        return cost - basic_cost @ tableau
-
-    @staticmethod
-    def _pivot(
-        tableau: np.ndarray,
-        b: np.ndarray,
-        basis: list[int],
-        row: int,
-        col: int,
-    ) -> None:
-        pivot = tableau[row, col]
-        tableau[row] /= pivot
-        b[row] /= pivot
-        for other in range(tableau.shape[0]):
-            if other != row and abs(tableau[other, col]) > 0:
-                factor = tableau[other, col]
-                tableau[other] -= factor * tableau[row]
-                b[other] -= factor * b[row]
-        basis[row] = col
+        return solutions

@@ -44,6 +44,35 @@ class StandardForm:
         return -value if self.maximize else value
 
 
+def orient_inequality_duals(
+    duals: np.ndarray | None, form: StandardForm, model: Model | None
+) -> np.ndarray | None:
+    """Shadow prices in the model's own sense.
+
+    Backends report ``d(minimized objective)/d(b_ub)`` for the compiled
+    ``<=`` rows; this converts to ``d(model objective)/d(original rhs)``
+    by undoing the maximization negation and the ``>=``-to-``<=`` row
+    flips of :func:`compile_model`.  The form-only path (``model is
+    None``) has no original ``>=`` rows to report against, so only the
+    sense negation applies.
+    """
+    if duals is None:
+        return None
+    duals = np.asarray(duals, dtype=float).copy()
+    if form.maximize:
+        duals = -duals
+    if model is None:
+        return duals
+    row = 0
+    for constraint in model.constraints:
+        if constraint.sense == "==":
+            continue
+        if constraint.sense == ">=":
+            duals[row] = -duals[row]
+        row += 1
+    return duals
+
+
 def compile_model(model: Model) -> StandardForm:
     """Lower an algebraic model into :class:`StandardForm` arrays.
 

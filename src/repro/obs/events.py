@@ -18,6 +18,7 @@ from repro.errors import ObservabilityError
 
 EVENT_KINDS = (
     "lp_solve",
+    "lp_sweep",
     "plan_built",
     "plan_installed",
     "collection_run",

@@ -58,8 +58,14 @@ class Instrumentation:
         ``stats`` is a :class:`~repro.lp.result.SolveStats` (duck-typed
         so :mod:`repro.obs` stays dependency-free).
         """
+        warm_started = bool(getattr(stats, "warm_started", False))
+        pivots = int(getattr(stats, "pivots", 0))
         self.metrics.counter("lp.solves").inc()
         self.metrics.counter("lp.iterations").inc(stats.iterations)
+        if warm_started:
+            self.metrics.counter("lp.warm_starts").inc()
+        if pivots:
+            self.metrics.counter("lp.pivots").inc(pivots)
         self.metrics.histogram(f"lp.solve_seconds.{model_name}").observe(
             stats.wall_seconds
         )
@@ -73,6 +79,35 @@ class Instrumentation:
             constraints=stats.num_constraints,
             iterations=stats.iterations,
             wall_seconds=stats.wall_seconds,
+            warm_started=warm_started,
+            pivots=pivots,
+        )
+
+    def record_lp_sweep(
+        self, model_name: str, *, members: int, warm_hits: int,
+        pivots_saved: int, seconds: float,
+    ) -> None:
+        """One parametric budget sweep solved through ``solve_sweep``.
+
+        ``warm_hits`` counts members restarted from the previous
+        optimal basis; ``pivots_saved`` is the pivot count a cold solve
+        would have needed minus what the warm restarts actually spent
+        (zero for backends without warm starts).
+        """
+        self.metrics.counter("lp.sweep.solves").inc()
+        self.metrics.counter("lp.sweep.members").inc(members)
+        self.metrics.counter("lp.sweep.warm_hits").inc(warm_hits)
+        self.metrics.counter("lp.sweep.pivots_saved").inc(pivots_saved)
+        self.metrics.histogram(f"lp.sweep.seconds.{model_name}").observe(
+            seconds
+        )
+        self.event(
+            "lp_sweep",
+            model=model_name,
+            members=members,
+            warm_hits=warm_hits,
+            pivots_saved=pivots_saved,
+            seconds=seconds,
         )
 
     def record_plan_built(

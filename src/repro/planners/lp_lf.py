@@ -18,9 +18,16 @@ the objective really is the expected number of returned top-k values.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.lp import LinExpr, Model
 from repro.lp.backend import resolve_backend
-from repro.lp.fastbuild import CompiledLP, ReplanCache, compile_lp_lf
+from repro.lp.fastbuild import (
+    CompiledLP,
+    ReplanCache,
+    compile_lp_lf,
+    compile_lp_lf_parametric,
+)
 from repro.plans.plan import QueryPlan
 from repro.planners.base import PlanningContext, observed
 from repro.planners.rounding import (
@@ -162,7 +169,50 @@ class LPLFPlanner:
                 edge: round_bandwidth(solution.value(b[edge]))
                 for edge in topology.edges
             }
-        plan = QueryPlan(topology, bandwidths)
+        return self._repair_and_fill(context, bandwidths)
+
+    def plan_for_budgets(
+        self, context: PlanningContext, budgets
+    ) -> list[QueryPlan]:
+        """One plan per budget, sharing a single compiled formulation.
+
+        With a sweep-capable backend the formulation compiles once
+        (through the replan cache) and each member patches the budget
+        row's RHS — warm-started where the backend supports it.  The
+        results are element-wise identical to calling :meth:`plan` once
+        per budget; backends without ``solve_sweep`` (or the algebraic
+        compiler) fall back to exactly that loop.
+        """
+        budgets = [float(b) for b in budgets]
+        backend = resolve_backend(self.backend, context.instrumentation)
+        if self.compiler != "fast" or not hasattr(backend, "solve_sweep"):
+            return [self.plan(replace(context, budget=b)) for b in budgets]
+        parametric = compile_lp_lf_parametric(context, cache=self.replan_cache)
+        solutions = backend.solve_sweep(
+            parametric, parametric.rhs_values(budgets)
+        )
+        bandwidth_of = parametric.primary_columns
+        topology = context.topology
+        plans = []
+        for budget, solution in zip(budgets, solutions):
+            bandwidths = {
+                edge: round_bandwidth(
+                    float(solution.values[bandwidth_of[edge]])
+                )
+                for edge in topology.edges
+            }
+            plans.append(
+                self._repair_and_fill(
+                    replace(context, budget=budget), bandwidths
+                )
+            )
+        return plans
+
+    def _repair_and_fill(
+        self, context: PlanningContext, bandwidths: dict[int, int]
+    ) -> QueryPlan:
+        """Shared post-solve path: repair and fill one rounded solution."""
+        plan = QueryPlan(context.topology, bandwidths)
         if not self.strict_budget:
             return plan
         plan = repair_bandwidths(

@@ -14,9 +14,16 @@ vector of column sums, the observation at the end of §4.1.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.lp import LinExpr, Model
 from repro.lp.backend import resolve_backend
-from repro.lp.fastbuild import CompiledLP, ReplanCache, compile_lp_no_lf
+from repro.lp.fastbuild import (
+    CompiledLP,
+    ReplanCache,
+    compile_lp_no_lf,
+    compile_lp_no_lf_parametric,
+)
 from repro.plans.plan import QueryPlan
 from repro.planners.base import PlanningContext, observed
 from repro.planners.rounding import (
@@ -132,7 +139,6 @@ class LPNoLFPlanner:
 
     @observed
     def plan(self, context: PlanningContext) -> QueryPlan:
-        topology = context.topology
         backend = resolve_backend(self.backend, context.instrumentation)
         if self.compiler == "fast" and hasattr(backend, "solve_form"):
             compiled = self.compile_fast(context)
@@ -149,6 +155,45 @@ class LPNoLFPlanner:
             def x_value(node: int) -> float:
                 return solution.value(x[node])
 
+        return self._round_and_fill(context, x_value)
+
+    def plan_for_budgets(
+        self, context: PlanningContext, budgets
+    ) -> list[QueryPlan]:
+        """One plan per budget, sharing a single compiled formulation.
+
+        With a sweep-capable backend the formulation compiles once
+        (through the replan cache) and each member patches the budget
+        row's RHS — warm-started where the backend supports it.  The
+        results are element-wise identical to calling :meth:`plan` once
+        per budget; backends without ``solve_sweep`` (or the algebraic
+        compiler) fall back to exactly that loop.
+        """
+        budgets = [float(b) for b in budgets]
+        backend = resolve_backend(self.backend, context.instrumentation)
+        if self.compiler != "fast" or not hasattr(backend, "solve_sweep"):
+            return [self.plan(replace(context, budget=b)) for b in budgets]
+        parametric = compile_lp_no_lf_parametric(
+            context, cache=self.replan_cache
+        )
+        solutions = backend.solve_sweep(
+            parametric, parametric.rhs_values(budgets)
+        )
+        columns = parametric.primary_columns
+        plans = []
+        for budget, solution in zip(budgets, solutions):
+            values = solution.values
+            plans.append(
+                self._round_and_fill(
+                    replace(context, budget=budget),
+                    lambda node, values=values: float(values[columns[node]]),
+                )
+            )
+        return plans
+
+    def _round_and_fill(self, context: PlanningContext, x_value) -> QueryPlan:
+        """Shared post-solve path: round, repair, and fill one solution."""
+        topology = context.topology
         chosen = {
             node
             for node in topology.nodes

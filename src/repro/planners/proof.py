@@ -23,10 +23,12 @@ Constraints (paper line numbers):
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.errors import BudgetError
 from repro.lp import LinExpr, Model
 from repro.lp.backend import resolve_backend
-from repro.lp.fastbuild import CompiledLP, compile_proof
+from repro.lp.fastbuild import CompiledLP, compile_proof, compile_proof_parametric
 from repro.plans.plan import QueryPlan
 from repro.planners.base import PlanningContext, observed
 from repro.planners.rounding import repair_bandwidths, round_bandwidth
@@ -214,7 +216,61 @@ class ProofPlanner:
                 edge: max(1, round_bandwidth(solution.value(b[edge])))
                 for edge in topology.edges
             }
-        plan = QueryPlan(topology, bandwidths, requires_all_edges=True)
+        return self._repair_and_fill(context, bandwidths)
+
+    def plan_for_budgets(
+        self, context: PlanningContext, budgets
+    ) -> list[QueryPlan]:
+        """One proof plan per budget from a single compiled formulation.
+
+        Mirrors :meth:`plan` member for member (including the
+        :class:`~repro.errors.BudgetError` below :meth:`minimum_cost`,
+        raised for the first offending budget); with a sweep-capable
+        backend the LP compiles once and each member patches the budget
+        row's RHS.
+        """
+        budgets = [float(b) for b in budgets]
+        minimum = self.minimum_cost(context)
+        for budget in budgets:
+            if budget < minimum:
+                raise BudgetError(
+                    f"budget {budget:.1f} mJ below the minimum proof plan"
+                    f" cost {minimum:.1f} mJ (every edge must carry a value)"
+                )
+        backend = resolve_backend(self.backend, context.instrumentation)
+        if self.compiler != "fast" or not hasattr(backend, "solve_sweep"):
+            return [self.plan(replace(context, budget=b)) for b in budgets]
+        reserve = self._reserve(context)
+        acquisition_total = self._acquisition_total(context)
+        parametric = compile_proof_parametric(
+            context,
+            budget_rhs_of=lambda budget: budget - reserve - acquisition_total,
+        )
+        solutions = backend.solve_sweep(
+            parametric, parametric.rhs_values(budgets)
+        )
+        columns = parametric.primary_columns
+        topology = context.topology
+        plans = []
+        for budget, solution in zip(budgets, solutions):
+            bandwidths = {
+                edge: max(
+                    1, round_bandwidth(float(solution.values[columns[edge]]))
+                )
+                for edge in topology.edges
+            }
+            plans.append(
+                self._repair_and_fill(
+                    replace(context, budget=budget), bandwidths
+                )
+            )
+        return plans
+
+    def _repair_and_fill(
+        self, context: PlanningContext, bandwidths: dict[int, int]
+    ) -> QueryPlan:
+        """Shared post-solve path: repair and fill one rounded solution."""
+        plan = QueryPlan(context.topology, bandwidths, requires_all_edges=True)
         effective_budget = context.budget - self._reserve(context)
         if self.strict_budget:
             # static_cost excludes the proven-count reserve, so repair

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import SolverError
-from repro.lp import Model, SimplexBackend
+from repro.lp import Model, ScipyBackend, SimplexBackend
 
 
 def solve_with_budget(capacity):
@@ -57,14 +57,13 @@ class TestDuals:
         with pytest.raises(SolverError, match="inequality"):
             sol.dual_of(m, eq)
 
-    def test_simplex_backend_has_no_duals(self):
-        m = Model()
-        x = m.add_variable("x", ub=1.0)
-        cap = m.add_constraint(x <= 1.0)
-        m.maximize(x)
+    def test_simplex_backend_returns_duals(self):
+        """Revised simplex yields ``y = c_B B^-T`` for free, so the
+        cross-check backend is no longer HiGHS-only for shadow prices."""
+        m, budget, __ = solve_with_budget(10.0)
         sol = m.solve(SimplexBackend())
-        with pytest.raises(SolverError, match="dual"):
-            sol.dual_of(m, cap)
+        assert sol.inequality_duals is not None
+        assert sol.dual_of(m, budget) == pytest.approx(2.2)
 
     def test_planner_budget_shadow_price(self):
         """The practical use: marginal accuracy per mJ of budget."""
@@ -85,3 +84,59 @@ class TestDuals:
         sol = model.solve()
         price = sol.dual_of(model, budget_row)
         assert price >= 0  # extra budget never hurts coverage
+
+
+class TestCrossBackendDuals:
+    """The two backends must agree on shadow prices wherever the dual
+    solution is unique (non-degenerate optima); dual-degenerate rows of
+    the planner LPs are legitimately backend-dependent and not compared.
+    """
+
+    def test_budget_model_duals_agree(self):
+        m, budget, __ = solve_with_budget(10.0)
+        ours = m.solve(SimplexBackend())
+        reference = m.solve(ScipyBackend())
+        np.testing.assert_allclose(
+            ours.inequality_duals, reference.inequality_duals, atol=1e-6
+        )
+        assert ours.dual_of(m, budget) == pytest.approx(
+            reference.dual_of(m, budget), abs=1e-6
+        )
+
+    def test_ge_row_orientation_agrees(self):
+        m = Model()
+        x = m.add_variable("x", ub=100.0)
+        floor = m.add_constraint(x >= 3.0, name="floor")
+        m.minimize(x)
+        ours = m.solve(SimplexBackend())
+        reference = m.solve(ScipyBackend())
+        assert ours.dual_of(m, floor) == pytest.approx(1.0, abs=1e-6)
+        assert reference.dual_of(m, floor) == pytest.approx(1.0, abs=1e-6)
+
+    def test_maximization_sign_agrees(self):
+        m = Model()
+        x = m.add_variable("x", ub=4.0)
+        y = m.add_variable("y", ub=4.0)
+        cap = m.add_constraint(x + y <= 5.0, name="cap")
+        m.maximize(3 * x + y)
+        ours = m.solve(SimplexBackend())
+        reference = m.solve(ScipyBackend())
+        assert ours.dual_of(m, cap) == pytest.approx(
+            reference.dual_of(m, cap), abs=1e-6
+        )
+        assert ours.dual_of(m, cap) > 0
+
+    def test_planner_budget_row_agrees(self):
+        from tests.lp.test_fastbuild import make_context
+        from repro.planners.lp_no_lf import LPNoLFPlanner
+
+        context = make_context(5, 12, 8, 4, planner_key="lp-no-lf")
+        model, __, __ = LPNoLFPlanner().build_model(context)
+        budget_row = next(
+            c for c in model.constraints if c.name == "budget"
+        )
+        ours = model.solve(SimplexBackend())
+        reference = model.solve(ScipyBackend())
+        assert ours.dual_of(model, budget_row) == pytest.approx(
+            reference.dual_of(model, budget_row), abs=1e-6
+        )

@@ -217,3 +217,67 @@ class TestDisabledInstrumentation:
         assert obs.metrics.histograms == {}
         planner.plan(PlanningContext(**base, instrumentation=obs))
         assert obs.metrics.counter("plan.builds.lp-no-lf").value == 1
+
+
+class TestSweepInstrumentation:
+    """The lp.sweep.* counters and lp_sweep event from solve_sweep."""
+
+    def _sweep(self, backend_cls):
+        from repro.lp.fastbuild import compile_lp_lf_parametric
+        from tests.lp.test_fastbuild import make_context
+
+        obs = Instrumentation()
+        context = make_context(1, 10, 6, 3)
+        backend = backend_cls(instrumentation=obs)
+        parametric = compile_lp_lf_parametric(context)
+        budgets = [context.budget * f for f in (0.8, 1.0, 1.3, 1.7)]
+        members = backend.solve_sweep(parametric, parametric.rhs_values(budgets))
+        return obs, members
+
+    def test_simplex_sweep_counters_and_event(self):
+        from repro.lp import SimplexBackend
+
+        obs, members = self._sweep(SimplexBackend)
+        assert obs.metrics.counter("lp.sweep.solves").value == 1
+        assert obs.metrics.counter("lp.sweep.members").value == len(members)
+        warm = sum(1 for m in members if m.stats.warm_started)
+        assert obs.metrics.counter("lp.sweep.warm_hits").value == warm
+        assert warm >= 1
+        assert obs.metrics.counter("lp.warm_starts").value == warm
+        event = obs.trace.events("lp_sweep")[0]
+        assert event.data["model"] == "prospector-lp-lf"
+        assert event.data["members"] == len(members)
+        assert event.data["warm_hits"] == warm
+        assert event.data["seconds"] >= 0
+        hist = obs.metrics.histogram("lp.sweep.seconds.prospector-lp-lf")
+        assert hist.count == 1
+        # every member still records an ordinary lp_solve event too
+        solves = obs.trace.events("lp_solve")
+        assert len(solves) == len(members)
+        assert solves[0].data["warm_started"] is False
+        assert any(e.data["warm_started"] for e in solves[1:])
+
+    def test_scipy_sweep_counts_no_warm_hits(self):
+        from repro.lp import ScipyBackend
+
+        obs, members = self._sweep(ScipyBackend)
+        assert obs.metrics.counter("lp.sweep.solves").value == 1
+        assert obs.metrics.counter("lp.sweep.warm_hits").value == 0
+        assert obs.metrics.counter("lp.sweep.pivots_saved").value == 0
+        assert obs.trace.events("lp_sweep")[0].data["members"] == len(members)
+
+    def test_record_lp_solve_tuple_compat(self):
+        """Stats objects without the new fields still record cleanly."""
+        class LegacyStats:
+            backend = "legacy"
+            wall_seconds = 0.01
+            iterations = 3
+            num_variables = 2
+            num_constraints = 1
+
+        obs = Instrumentation()
+        obs.record_lp_solve("legacy-model", LegacyStats())
+        event = obs.trace.events("lp_solve")[0]
+        assert event.data["warm_started"] is False
+        assert event.data["pivots"] == 0
+        assert obs.metrics.counter("lp.warm_starts").value == 0
