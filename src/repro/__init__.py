@@ -73,7 +73,17 @@ from repro.planners import (
     ProofPlanner,
     WeightedMajorityPlanner,
 )
-from repro.obs import EventTrace, Instrumentation, MetricsRegistry, render_report
+from repro.obs import (
+    EnergyLedger,
+    EventTrace,
+    Instrumentation,
+    MetricsRegistry,
+    SpanTracer,
+    chrome_trace_json,
+    prometheus_text,
+    render_flame,
+    render_report,
+)
 from repro.plans import (
     QueryPlan,
     ThresholdPlan,
@@ -126,6 +136,7 @@ __all__ = [
     "BudgetError",
     "ClusterTopKQuery",
     "DPPlanner",
+    "EnergyLedger",
     "EnergyModel",
     "EngineConfig",
     "EventTrace",
@@ -160,6 +171,7 @@ __all__ = [
     "SimulationReport",
     "Simulator",
     "SolverError",
+    "SpanTracer",
     "SubsetQueryPlanner",
     "ThresholdPlan",
     "ThresholdPlanner",
@@ -176,6 +188,7 @@ __all__ = [
     "available_backends",
     "balanced_tree",
     "build_mst",
+    "chrome_trace_json",
     "compare_plans",
     "count_topk_hits",
     "execute_plan",
@@ -189,9 +202,11 @@ __all__ = [
     "line_topology",
     "naive_k_collect",
     "naive_one_collect",
+    "prometheus_text",
     "random_gaussian_field",
     "random_topology",
     "remove_node",
+    "render_flame",
     "render_report",
     "run_subset_query",
     "star_topology",

@@ -8,6 +8,8 @@ Usage::
     python -m repro run all
     python -m repro stats --demo
     python -m repro stats --demo --json --out /tmp/stats.json
+    python -m repro trace --demo
+    python -m repro trace --demo --chrome /tmp/trace.json --prom /tmp/metrics.prom
 """
 
 from __future__ import annotations
@@ -103,56 +105,167 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the report to this file",
     )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="span tree + energy telemetry of an instrumented demo run",
+    )
+    trace.add_argument(
+        "--demo",
+        action="store_true",
+        help="run the instrumented demo (same pipeline as 'stats --demo')",
+    )
+    trace.add_argument(
+        "--epochs", type=int, default=12,
+        help="engine epochs for the demo run (default 12)",
+    )
+    trace.add_argument(
+        "--nodes", type=int, default=24,
+        help="network size for the demo run (default 24)",
+    )
+    trace.add_argument(
+        "--capacity",
+        type=float,
+        default=200.0,
+        help="per-node battery capacity in mJ for lifetime projection"
+        " (default 200)",
+    )
+    trace.add_argument(
+        "--chrome",
+        default=None,
+        help="write a Chrome trace-event JSON (load in ui.perfetto.dev)",
+    )
+    trace.add_argument(
+        "--prom",
+        default=None,
+        help="write the metrics in Prometheus text exposition format",
+    )
+    trace.add_argument(
+        "--out",
+        default=None,
+        help="also write the flame/energy report to this file",
+    )
     return parser
 
 
-def _stats_demo(epochs: int = 12, nodes: int = 24, k: int = 5, seed: int = 7):
+def _stats_demo(
+    epochs: int = 12,
+    nodes: int = 24,
+    k: int = 5,
+    seed: int = 7,
+    capacity_mj: float = 200.0,
+):
     """A small instrumented run: a fig3-style planner sweep plus an
-    engine explore/exploit loop, all feeding one Instrumentation."""
+    engine explore/exploit loop, all feeding one Instrumentation.
+
+    Returns ``(obs, ledger)``.  The run is wrapped in a root ``run``
+    span with contiguous ``phase.*`` child spans (setup, plan sweep,
+    engine loop) so the exported span tree shows where the wall time
+    went; the engine's simulator charges a per-node
+    :class:`~repro.obs.EnergyLedger` whose headline numbers are
+    published back into the metrics registry.
+    """
     import numpy as np
 
     from repro.datagen.gaussian import random_gaussian_field
     from repro.experiments.common import evaluate_planner
     from repro.network.builder import random_topology
     from repro.network.energy import EnergyModel
-    from repro.obs import Instrumentation
+    from repro.obs import EnergyLedger, Instrumentation
     from repro.planners.greedy import GreedyPlanner
     from repro.planners.lp_lf import LPLFPlanner
     from repro.planners.lp_no_lf import LPNoLFPlanner
     from repro.query.engine import EngineConfig, TopKEngine
 
     obs = Instrumentation()
-    rng = np.random.default_rng(seed)
-    energy = EnergyModel.mica2()
-    # widen the radio range as the network shrinks so sparse demo
-    # instances stay connectable (same rule as the lp-timing study)
-    radio_range = max(25.0, 200.0 / nodes**0.5)
-    topology = random_topology(nodes, rng=rng, radio_range=radio_range)
-    field = random_gaussian_field(nodes, rng)
-    train = field.trace(8, rng)
-    eval_trace = field.trace(4, rng)
-    budget = energy.message_cost(1) * 2.5 * k
+    ledger = EnergyLedger(nodes, capacity_mj=capacity_mj)
+    with obs.span("run", epochs=epochs, nodes=nodes, k=k):
+        with obs.span("phase.setup"):
+            rng = np.random.default_rng(seed)
+            energy = EnergyModel.mica2()
+            # widen the radio range as the network shrinks so sparse
+            # demo instances stay connectable (same rule as the
+            # lp-timing study)
+            radio_range = max(25.0, 200.0 / nodes**0.5)
+            topology = random_topology(
+                nodes, rng=rng, radio_range=radio_range
+            )
+            field = random_gaussian_field(nodes, rng)
+            train = field.trace(8, rng)
+            eval_trace = field.trace(4, rng)
+            budget = energy.message_cost(1) * 2.5 * k
 
-    for planner in (GreedyPlanner(), LPNoLFPlanner(), LPLFPlanner()):
-        evaluate_planner(
-            planner, topology, energy, train, eval_trace, k, budget,
-            instrumentation=obs,
+        with obs.span("phase.plan_sweep"):
+            for planner in (GreedyPlanner(), LPNoLFPlanner(), LPLFPlanner()):
+                evaluate_planner(
+                    planner, topology, energy, train, eval_trace, k, budget,
+                    instrumentation=obs,
+                )
+            # a warm-started budget sweep, so the span tree shows
+            # warm/cold sweep members side by side
+            from repro.planners.base import PlanningContext
+            from repro.sampling.matrix import SampleMatrix
+
+            sweep_context = PlanningContext(
+                topology=topology,
+                energy=energy,
+                samples=SampleMatrix(train.values, k=k),
+                k=k,
+                budget=budget,
+                instrumentation=obs,
+            )
+            LPLFPlanner(backend="pure-simplex").plan_for_budgets(
+                sweep_context, [budget * f for f in (0.8, 1.0, 1.2)]
+            )
+
+        with obs.span("phase.engine"):
+            engine = TopKEngine(
+                topology,
+                energy,
+                k=k,
+                planner=LPLFPlanner(),
+                config=EngineConfig(budget_mj=budget, replan_every=3),
+                rng=np.random.default_rng(seed + 1),
+                instrumentation=obs,
+                ledger=ledger,
+            )
+            for __ in range(3):
+                engine.feed_sample(field.sample(rng))
+            for __ in range(epochs):
+                engine.step(field.sample(rng))
+    ledger.publish(obs)
+    return obs, ledger
+
+
+def _energy_section(ledger) -> str:
+    """ASCII rendering of the ledger's headline telemetry."""
+    from repro.experiments.reporting import format_table
+
+    lines = [format_table(ledger.hottest(5), title="hottest nodes")]
+    if ledger.capacity_mj is not None and ledger.num_epochs:
+        burn = ledger.burn_down()
+        lines.append(
+            "burn-down (worst-node remaining fraction): "
+            + " ".join(f"{fraction:.3f}" for fraction in burn)
         )
-
-    engine = TopKEngine(
-        topology,
-        energy,
-        k=k,
-        planner=LPLFPlanner(),
-        config=EngineConfig(budget_mj=budget, replan_every=3),
-        rng=np.random.default_rng(seed + 1),
-        instrumentation=obs,
-    )
-    for __ in range(3):
-        engine.feed_sample(field.sample(rng))
-    for __ in range(epochs):
-        engine.step(field.sample(rng))
-    return obs
+        death = ledger.lifetime_epoch()
+        projected = ledger.projected_lifetime()
+        lines.append(
+            "network lifetime: "
+            + (
+                f"first node died during epoch {death}"
+                if death is not None
+                else "no node death observed"
+            )
+            + (
+                f"; projected first death after {projected:.0f} epochs"
+                f" at the observed burn rate"
+                if projected is not None
+                else ""
+            )
+        )
+    title = "energy ledger"
+    return "\n".join([title, "-" * len(title)] + lines)
 
 
 def _run_one(name: str, chart: bool = False) -> str:
@@ -183,13 +296,38 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error("stats requires --demo (no live run to report on)")
         from repro.obs import render_report, to_json
 
-        obs = _stats_demo(epochs=args.epochs, nodes=args.nodes)
+        obs, ledger = _stats_demo(epochs=args.epochs, nodes=args.nodes)
         text = (
             to_json(obs)
             if args.json
             else render_report(obs, title="repro stats (demo run)")
+            + "\n\n"
+            + _energy_section(ledger)
         )
         print(text)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+        return 0
+
+    if args.command == "trace":
+        if not args.demo:
+            parser.error("trace requires --demo (no live run to trace)")
+        from repro.obs import chrome_trace_json, prometheus_text, render_flame
+
+        obs, ledger = _stats_demo(
+            epochs=args.epochs, nodes=args.nodes, capacity_mj=args.capacity
+        )
+        text = render_flame(obs) + "\n\n" + _energy_section(ledger)
+        print(text)
+        if args.chrome:
+            with open(args.chrome, "w") as handle:
+                handle.write(chrome_trace_json(obs))
+            print(f"\nwrote Chrome trace to {args.chrome}")
+        if args.prom:
+            with open(args.prom, "w") as handle:
+                handle.write(prometheus_text(obs))
+            print(f"wrote Prometheus exposition to {args.prom}")
         if args.out:
             with open(args.out, "w") as handle:
                 handle.write(text + "\n")

@@ -34,6 +34,7 @@ from scipy import sparse
 
 from repro.lp.standard_form import StandardForm
 from repro.obs.instrument import maybe_timer
+from repro.obs.spans import maybe_span
 
 __all__ = [
     "CompiledLP",
@@ -195,7 +196,9 @@ def _fetch_static(cache, obs, key, topology, build):
     """Cache lookup with obs counters; ``cache=None`` always builds."""
     if cache is None:
         return build()
-    entry = cache.get(key, topology)
+    with maybe_span(obs, "cache") as span:
+        entry = cache.get(key, topology)
+        span.annotate(hit=entry is not None)
     if entry is not None:
         if obs is not None:
             obs.counter("fastbuild.cache.hits").inc()
@@ -272,7 +275,8 @@ def compile_lp_no_lf(context, cache: ReplanCache | None = None) -> CompiledLP:
     the exact order of the algebraic ``build_model``.
     """
     obs = context.instrumentation
-    with maybe_timer(obs, "fastbuild.compile_seconds.prospector-lp-no-lf"):
+    with maybe_span(obs, "compile", formulation="prospector-lp-no-lf"), \
+            maybe_timer(obs, "fastbuild.compile_seconds.prospector-lp-no-lf"):
         topology = context.topology
         n = topology.n
         edges = np.asarray(topology.edges, dtype=np.int64)
@@ -369,7 +373,8 @@ def compile_lp_lf(context, cache: ReplanCache | None = None) -> CompiledLP:
     matching the algebraic ``build_model`` exactly.
     """
     obs = context.instrumentation
-    with maybe_timer(obs, "fastbuild.compile_seconds.prospector-lp-lf"):
+    with maybe_span(obs, "compile", formulation="prospector-lp-lf"), \
+            maybe_timer(obs, "fastbuild.compile_seconds.prospector-lp-lf"):
         topology = context.topology
         samples = context.samples
         n = topology.n
@@ -521,7 +526,8 @@ def compile_proof(context, *, budget_rhs: float) -> CompiledLP:
     memberships and the objective consult the sample values.
     """
     obs = context.instrumentation
-    with maybe_timer(obs, "fastbuild.compile_seconds.prospector-proof"):
+    with maybe_span(obs, "compile", formulation="prospector-proof"), \
+            maybe_timer(obs, "fastbuild.compile_seconds.prospector-proof"):
         topology = context.topology
         samples = context.samples
         n = topology.n

@@ -15,6 +15,7 @@ from repro.errors import SolverError
 from repro.lp.model import Model
 from repro.lp.result import Solution, SolveStats
 from repro.lp.standard_form import compile_model, orient_inequality_duals
+from repro.obs.spans import maybe_span
 
 _STATUS_BY_CODE = {
     0: "optimal",
@@ -62,15 +63,19 @@ class ScipyBackend:
     ) -> Solution:
         start = time.perf_counter()
         rhs = form.b_ub if b_ub is None else b_ub
-        result = linprog(
-            form.c,
-            A_ub=form.a_ub if form.a_ub.shape[0] else None,
-            b_ub=rhs if rhs.size else None,
-            A_eq=form.a_eq if form.a_eq.shape[0] else None,
-            b_eq=form.b_eq if form.b_eq.size else None,
-            bounds=form.bounds,
-            method=self.method,
-        )
+        with maybe_span(
+            self.instrumentation, "solve", model=name, backend=self.name
+        ) as span:
+            result = linprog(
+                form.c,
+                A_ub=form.a_ub if form.a_ub.shape[0] else None,
+                b_ub=rhs if rhs.size else None,
+                A_eq=form.a_eq if form.a_eq.shape[0] else None,
+                b_eq=form.b_eq if form.b_eq.size else None,
+                bounds=form.bounds,
+                method=self.method,
+            )
+            span.annotate(iterations=int(getattr(result, "nit", 0) or 0))
         elapsed = time.perf_counter() - start
         if not result.success:
             status = _STATUS_BY_CODE.get(result.status, "error")
@@ -113,9 +118,13 @@ class ScipyBackend:
         start = time.perf_counter()
         for rhs in np.asarray(rhs_values, dtype=float):
             b_ub[parametric.row] = rhs
-            solutions.append(
-                self._solve_compiled(form, label, model=None, b_ub=b_ub)
-            )
+            with maybe_span(
+                self.instrumentation, "sweep.member",
+                model=label, rhs=float(rhs), mode="cold",
+            ):
+                solutions.append(
+                    self._solve_compiled(form, label, model=None, b_ub=b_ub)
+                )
         if self.instrumentation is not None:
             self.instrumentation.record_lp_sweep(
                 label,

@@ -41,6 +41,7 @@ from repro.lp.standard_form import (
     compile_model,
     orient_inequality_duals,
 )
+from repro.obs.spans import maybe_span
 
 _OPT_TOL = 1e-9          # reduced-cost threshold for entering candidates
 _FEAS_TOL = 1e-8         # bound-violation threshold (primal feasibility)
@@ -564,8 +565,12 @@ class SimplexBackend:
         self, form: StandardForm, name: str, model: Model | None
     ) -> Solution:
         start = time.perf_counter()
-        engine = _RevisedSimplex(form, name, self.max_iterations)
-        iterations = engine.solve()
+        with maybe_span(
+            self.instrumentation, "solve", model=name, backend=self.name
+        ) as span:
+            engine = _RevisedSimplex(form, name, self.max_iterations)
+            iterations = engine.solve()
+            span.annotate(iterations=iterations, pivots=engine.pivots)
         return self._finish(
             engine, form, name, model, start,
             iterations=iterations, warm_started=False,
@@ -626,25 +631,34 @@ class SimplexBackend:
             start = time.perf_counter()
             warm = False
             iterations = 0
-            if engine is not None:
-                pivots_before = engine.pivots
-                try:
-                    iterations = engine.resolve(row, float(rhs))
-                    engine.verify()
-                    warm = True
-                    warm_hits += 1
-                    pivots_saved += max(
-                        0, cold_pivots - (engine.pivots - pivots_before)
+            with maybe_span(
+                self.instrumentation, "sweep.member",
+                model=label, rhs=float(rhs),
+            ) as span:
+                if engine is not None:
+                    pivots_before = engine.pivots
+                    try:
+                        iterations = engine.resolve(row, float(rhs))
+                        engine.verify()
+                        warm = True
+                        warm_hits += 1
+                        pivots_saved += max(
+                            0, cold_pivots - (engine.pivots - pivots_before)
+                        )
+                    except _WarmRestartFailed:
+                        engine = None
+                if engine is None:
+                    patched = parametric.form_for_rhs(float(rhs))
+                    engine = _RevisedSimplex(
+                        patched, label, self.max_iterations
                     )
-                except _WarmRestartFailed:
-                    engine = None
-            if engine is None:
-                patched = parametric.form_for_rhs(float(rhs))
-                engine = _RevisedSimplex(patched, label, self.max_iterations)
-                pivots_before = engine.pivots
-                iterations = engine.solve()
-                cold_pivots = engine.pivots
-            member_pivots = engine.pivots - pivots_before
+                    pivots_before = engine.pivots
+                    iterations = engine.solve()
+                    cold_pivots = engine.pivots
+                member_pivots = engine.pivots - pivots_before
+                span.annotate(
+                    mode="warm" if warm else "cold", pivots=member_pivots
+                )
             member = self._finish(
                 engine, form, label, None, start,
                 iterations=iterations, warm_started=warm,

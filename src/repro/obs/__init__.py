@@ -1,26 +1,40 @@
-"""Observability: metrics, typed event traces, and reporters.
+"""Observability: metrics, events, hierarchical spans, and exporters.
 
 The library's cross-cutting layers (LP backends, planners, simulator,
 query engine) all accept one optional :class:`Instrumentation` object.
 When present, every LP solve records variables/constraints/iterations/
 wall-time, every collection records messages/bytes/mJ per edge depth,
-and every engine epoch records its explore/exploit/replan decision
-path; when absent (the default), the hot paths do no observability
-work at all.
+every engine epoch records its explore/exploit/replan decision path,
+and the whole pipeline builds a hierarchical span tree (plan → compile
+→ solve → round; epoch → collect → replan); when absent (the default),
+the hot paths do no observability work at all.
 
 Quick tour::
 
-    from repro.obs import Instrumentation, render_report
+    from repro.obs import Instrumentation, render_report, render_flame
 
     obs = Instrumentation()
     engine = TopKEngine(..., instrumentation=obs)
     ...
     print(render_report(obs))          # ASCII tables
+    print(render_flame(obs))           # span tree with wall times
+    chrome_trace_json(obs)             # load in ui.perfetto.dev
+    prometheus_text(obs)               # text exposition for scrapes
     obs.trace.events("lp_solve")       # structured event log
-    obs.metrics.histogram("lp.solve_seconds.prospector-lp-lf").summary()
+
+Per-node battery telemetry lives in :class:`EnergyLedger`; attach one
+to a simulator (``Simulator(..., ledger=ledger)``) and read back
+burn-down curves, projected lifetime, and the hottest nodes.
 """
 
+from repro.obs.energy import EnergyLedger
 from repro.obs.events import EVENT_KINDS, Event, EventTrace
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    prometheus_text,
+    render_flame,
+)
 from repro.obs.instrument import (
     NULL_TIMER,
     Instrumentation,
@@ -36,27 +50,39 @@ from repro.obs.report import (
     gauge_rows,
     histogram_rows,
     render_report,
+    span_rows,
     to_json,
 )
+from repro.obs.spans import NULL_SPAN, Span, SpanTracer, maybe_span
 
 __all__ = [
     "Counter",
     "EVENT_KINDS",
+    "EnergyLedger",
     "Event",
     "EventTrace",
     "Gauge",
     "Histogram",
     "Instrumentation",
     "MetricsRegistry",
+    "NULL_SPAN",
     "NULL_TIMER",
+    "Span",
+    "SpanTracer",
+    "chrome_trace",
+    "chrome_trace_json",
     "counter_rows",
     "event_rows",
     "from_json",
     "gauge_rows",
     "histogram_rows",
+    "maybe_span",
     "maybe_timer",
+    "prometheus_text",
     "record_event",
+    "render_flame",
     "render_report",
+    "span_rows",
     "timed",
     "to_json",
 ]

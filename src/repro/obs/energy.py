@@ -1,0 +1,250 @@
+"""Per-node energy telemetry: who is spending the battery, and when.
+
+The :class:`~repro.network.energy.EnergyModel` prices messages; the
+simulators sum those prices into per-collection totals.  What neither
+answers is the paper's real deployment question (§4.4): *which node*
+dies first, and after how many epochs.  :class:`EnergyLedger`
+accumulates radio cost per sending node — energy, messages, bytes —
+from both the scalar :class:`~repro.simulation.runtime.Simulator` and
+the vectorized :class:`~repro.simulation.batch.BatchSimulator` (the
+two charge paths agree to float round-off; the equivalence suite pins
+1e-9 relative tolerance), and derives:
+
+- budget burn-down curves (worst-node remaining fraction per epoch),
+- projected network lifetime (the epoch the first node exhausts its
+  capacity),
+- the top-N hottest nodes.
+
+Scope: the ledger attributes the *collection* radio costs (including
+failure retries) to the sending node of each message.  Trigger
+broadcasts and acquisition energy are whole-phase extras with no
+single owner and stay in the report-level ``energy_mj`` totals only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ObservabilityError
+
+__all__ = ["EnergyLedger"]
+
+
+class EnergyLedger:
+    """Per-node accumulation of radio spend, with epoch snapshots.
+
+    Parameters
+    ----------
+    num_nodes:
+        Size of the network; node ids index the accumulation arrays.
+    capacity_mj:
+        Optional battery capacity per node (scalar, or an array of
+        per-node capacities).  Required for burn-down curves and
+        lifetime projection; without it the ledger only accumulates.
+    """
+
+    def __init__(
+        self, num_nodes: int, capacity_mj: float | np.ndarray | None = None
+    ) -> None:
+        if num_nodes < 1:
+            raise ObservabilityError("energy ledger needs >= 1 node")
+        self.num_nodes = int(num_nodes)
+        self.energy_mj = np.zeros(self.num_nodes, dtype=np.float64)
+        self.messages = np.zeros(self.num_nodes, dtype=np.int64)
+        self.bytes = np.zeros(self.num_nodes, dtype=np.int64)
+        if capacity_mj is None:
+            self.capacity_mj = None
+        else:
+            capacity = np.broadcast_to(
+                np.asarray(capacity_mj, dtype=np.float64), (self.num_nodes,)
+            ).copy()
+            if (capacity <= 0).any():
+                raise ObservabilityError("node capacity must be positive")
+            self.capacity_mj = capacity
+        self.epoch_energy: list[np.ndarray] = []
+        self._epoch_start = np.zeros(self.num_nodes, dtype=np.float64)
+
+    # -- charging (scalar path) -----------------------------------------
+    def charge(
+        self, node: int, energy_mj: float, messages: int = 0, nbytes: int = 0
+    ) -> None:
+        """Attribute one message's (or retry's) cost to ``node``."""
+        self.energy_mj[node] += energy_mj
+        self.messages[node] += messages
+        self.bytes[node] += nbytes
+
+    def end_epoch(self) -> int:
+        """Close the current epoch; returns its index (0-based).
+
+        The per-epoch delta since the previous boundary becomes one
+        point of the burn-down curve.
+        """
+        delta = self.energy_mj - self._epoch_start
+        self.epoch_energy.append(delta)
+        self._epoch_start = self.energy_mj.copy()
+        return len(self.epoch_energy) - 1
+
+    # -- charging (batch path) ------------------------------------------
+    def charge_epochs(
+        self,
+        energy_mj: np.ndarray,
+        messages: np.ndarray | None = None,
+        nbytes: np.ndarray | None = None,
+    ) -> None:
+        """Attribute a whole ``(E, n)`` block of per-epoch, per-node
+        energies at once, recording each epoch boundary.
+
+        ``messages``/``nbytes`` may be ``(E, n)`` or ``(n,)`` (the
+        value-independent per-epoch counts, applied to every epoch).
+        """
+        energy_mj = np.asarray(energy_mj, dtype=np.float64)
+        if energy_mj.ndim != 2 or energy_mj.shape[1] != self.num_nodes:
+            raise ObservabilityError(
+                f"charge_epochs wants (E, {self.num_nodes}) energies,"
+                f" got {energy_mj.shape}"
+            )
+        num_epochs = energy_mj.shape[0]
+        for name, counts, target in (
+            ("messages", messages, self.messages),
+            ("nbytes", nbytes, self.bytes),
+        ):
+            if counts is None:
+                continue
+            counts = np.asarray(counts)
+            if counts.ndim == 1:
+                target += counts.astype(np.int64) * num_epochs
+            elif counts.shape == energy_mj.shape:
+                target += counts.sum(axis=0).astype(np.int64)
+            else:
+                raise ObservabilityError(
+                    f"charge_epochs {name} shape {counts.shape} matches"
+                    f" neither ({self.num_nodes},) nor {energy_mj.shape}"
+                )
+        for epoch in range(num_epochs):
+            self.energy_mj += energy_mj[epoch]
+            self.end_epoch()
+
+    # -- derived views ---------------------------------------------------
+    @property
+    def num_epochs(self) -> int:
+        return len(self.epoch_energy)
+
+    @property
+    def total_mj(self) -> float:
+        return float(self.energy_mj.sum())
+
+    def cumulative_energy(self) -> np.ndarray:
+        """``(E, n)`` cumulative per-node spend after each epoch."""
+        if not self.epoch_energy:
+            return np.zeros((0, self.num_nodes), dtype=np.float64)
+        return np.cumsum(np.stack(self.epoch_energy), axis=0)
+
+    def remaining_fraction(self) -> np.ndarray:
+        """``(E, n)`` battery fraction left after each epoch."""
+        if self.capacity_mj is None:
+            raise ObservabilityError(
+                "remaining_fraction needs a ledger capacity_mj"
+            )
+        fraction = 1.0 - self.cumulative_energy() / self.capacity_mj
+        return np.clip(fraction, 0.0, 1.0)
+
+    def burn_down(self) -> np.ndarray:
+        """``(E,)`` worst-node remaining fraction after each epoch —
+        the curve whose zero crossing is the network lifetime."""
+        remaining = self.remaining_fraction()
+        if remaining.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        return remaining.min(axis=1)
+
+    def lifetime_epoch(self) -> int | None:
+        """Index of the epoch during which the first node exhausted its
+        capacity, or ``None`` if every node survived the run so far."""
+        if self.capacity_mj is None:
+            raise ObservabilityError(
+                "lifetime_epoch needs a ledger capacity_mj"
+            )
+        dead = (self.cumulative_energy() >= self.capacity_mj).any(axis=1)
+        indices = np.nonzero(dead)[0]
+        return int(indices[0]) if indices.size else None
+
+    def projected_lifetime(self) -> float | None:
+        """Epochs until first node death at the observed average burn
+        rate (``None`` without capacity data or recorded epochs)."""
+        if self.capacity_mj is None or not self.epoch_energy:
+            return None
+        rate = self.energy_mj / self.num_epochs
+        with np.errstate(divide="ignore"):
+            horizon = np.where(rate > 0, self.capacity_mj / rate, np.inf)
+        first = float(horizon.min())
+        return None if first == float("inf") else first
+
+    def hottest(self, n: int = 5) -> list[dict]:
+        """The ``n`` highest-spend nodes, hottest first."""
+        order = np.argsort(self.energy_mj)[::-1][: max(0, n)]
+        return [
+            {
+                "node": int(node),
+                "energy_mj": float(self.energy_mj[node]),
+                "messages": int(self.messages[node]),
+                "bytes": int(self.bytes[node]),
+            }
+            for node in order
+        ]
+
+    def publish(self, instrumentation) -> None:
+        """Push the ledger's headline numbers into a metrics registry
+        (so Prometheus scrapes see them without a custom collector)."""
+        gauge = instrumentation.gauge
+        gauge("energy.ledger.total_mj").set(self.total_mj)
+        gauge("energy.ledger.epochs").set(self.num_epochs)
+        hottest = self.hottest(1)
+        if hottest:
+            gauge("energy.ledger.hottest_node").set(hottest[0]["node"])
+            gauge("energy.ledger.hottest_mj").set(hottest[0]["energy_mj"])
+        if self.capacity_mj is not None and self.num_epochs:
+            burn = self.burn_down()
+            gauge("energy.ledger.min_remaining_fraction").set(
+                float(burn[-1])
+            )
+            lifetime = self.projected_lifetime()
+            if lifetime is not None:
+                gauge("energy.ledger.projected_lifetime_epochs").set(lifetime)
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "num_nodes": self.num_nodes,
+            "capacity_mj": (
+                None if self.capacity_mj is None else self.capacity_mj.tolist()
+            ),
+            "energy_mj": self.energy_mj.tolist(),
+            "messages": self.messages.tolist(),
+            "bytes": self.bytes.tolist(),
+            "epoch_energy": [epoch.tolist() for epoch in self.epoch_energy],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyLedger":
+        try:
+            ledger = cls(
+                int(data["num_nodes"]), capacity_mj=data.get("capacity_mj")
+            )
+            ledger.energy_mj = np.asarray(data["energy_mj"], dtype=np.float64)
+            ledger.messages = np.asarray(data["messages"], dtype=np.int64)
+            ledger.bytes = np.asarray(data["bytes"], dtype=np.int64)
+            ledger.epoch_energy = [
+                np.asarray(epoch, dtype=np.float64)
+                for epoch in data.get("epoch_energy", [])
+            ]
+            ledger._epoch_start = ledger.energy_mj.copy()
+            return ledger
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ObservabilityError(
+                f"malformed energy ledger dump: {exc}"
+            ) from exc
+
+    def __repr__(self) -> str:
+        return (
+            f"EnergyLedger(nodes={self.num_nodes}, epochs={self.num_epochs},"
+            f" total_mj={self.total_mj:g})"
+        )

@@ -10,9 +10,10 @@ bound but the reporter can still say so.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.errors import ObservabilityError
 
@@ -43,17 +44,36 @@ class Event:
     kind: str
     data: dict = field(default_factory=dict)
 
+    ts: float = 0.0
+    """Clock reading at record time (tracer clock; perf-counter
+    seconds by default, so only differences are meaningful)."""
+
     def to_dict(self) -> dict:
-        return {"seq": self.seq, "kind": self.kind, "data": dict(self.data)}
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "data": dict(self.data),
+            "ts": self.ts,
+        }
 
 
 class EventTrace:
-    """Bounded, ordered log of :class:`Event` records."""
+    """Bounded, ordered log of :class:`Event` records.
 
-    def __init__(self, capacity: int = 1024) -> None:
+    The clock is injectable (default ``time.perf_counter``) and stamps
+    each event's ``ts``, which the Chrome-trace exporter uses to place
+    instant events on the span timeline.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
         if capacity < 1:
             raise ObservabilityError("event trace capacity must be >= 1")
         self.capacity = capacity
+        self.clock = clock or time.perf_counter
         self._events: deque[Event] = deque(maxlen=capacity)
         self._next_seq = 0
 
@@ -63,7 +83,7 @@ class EventTrace:
             raise ObservabilityError(
                 f"unknown event kind {kind!r}; expected one of {EVENT_KINDS}"
             )
-        event = Event(self._next_seq, kind, data)
+        event = Event(self._next_seq, kind, data, ts=self.clock())
         self._next_seq += 1
         self._events.append(event)
         return event
@@ -115,7 +135,12 @@ class EventTrace:
             trace = cls(capacity=int(data["capacity"]))
             for dump in data["events"]:
                 trace._events.append(
-                    Event(int(dump["seq"]), dump["kind"], dict(dump["data"]))
+                    Event(
+                        int(dump["seq"]),
+                        dump["kind"],
+                        dict(dump["data"]),
+                        ts=float(dump.get("ts", 0.0)),
+                    )
                 )
             trace._next_seq = int(data["next_seq"])
             return trace

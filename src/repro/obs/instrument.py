@@ -13,24 +13,40 @@ sites never branch on feature flags; they either hold an
 from __future__ import annotations
 
 import functools
+import time
 
 from repro.obs.events import EventTrace
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
 
 
 class Instrumentation:
-    """A metrics registry plus an event trace, with domain helpers.
+    """Metrics registry, event trace, and span tracer with domain helpers.
 
     Parameters
     ----------
     trace_capacity:
         Ring-buffer size of the event trace; old events are evicted
         (and counted as dropped) beyond this.
+    span_capacity:
+        Maximum retained spans in the latency tree (further spans are
+        counted as dropped).
+    clock:
+        Monotonic seconds source shared by timers, event timestamps,
+        and spans (default ``time.perf_counter``); injectable so tests
+        assert exact durations.
     """
 
-    def __init__(self, trace_capacity: int = 1024) -> None:
-        self.metrics = MetricsRegistry()
-        self.trace = EventTrace(capacity=trace_capacity)
+    def __init__(
+        self,
+        trace_capacity: int = 1024,
+        span_capacity: int = 8192,
+        clock=None,
+    ) -> None:
+        self.clock = clock or time.perf_counter
+        self.metrics = MetricsRegistry(clock=self.clock)
+        self.trace = EventTrace(capacity=trace_capacity, clock=self.clock)
+        self.spans = SpanTracer(clock=self.clock, capacity=span_capacity)
 
     # -- primitive API --------------------------------------------------
     def counter(self, name: str):
@@ -45,6 +61,10 @@ class Instrumentation:
     def timer(self, name: str):
         """A fresh, nestable timing context over ``histogram(name)``."""
         return self.metrics.timer(name)
+
+    def span(self, name: str, **attributes):
+        """A fresh span; nests under the currently open span on enter."""
+        return self.spans.span(name, **attributes)
 
     def event(self, kind: str, **data):
         """Record a typed event and bump its ``events.<kind>`` counter."""
@@ -206,7 +226,11 @@ class Instrumentation:
 
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> dict:
-        return {"metrics": self.metrics.to_dict(), "trace": self.trace.to_dict()}
+        return {
+            "metrics": self.metrics.to_dict(),
+            "trace": self.trace.to_dict(),
+            "spans": self.spans.to_dict(),
+        }
 
     @classmethod
     def from_dict(cls, data: dict) -> "Instrumentation":
@@ -215,6 +239,7 @@ class Instrumentation:
         obs.trace = EventTrace.from_dict(
             data.get("trace", {"capacity": 1024, "next_seq": 0, "events": []})
         )
+        obs.spans = SpanTracer.from_dict(data.get("spans", {}))
         return obs
 
 

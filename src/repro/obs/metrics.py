@@ -6,14 +6,24 @@ JSON-serializable dump/restore so a run's measurements can be written
 to disk and re-rendered later (``python -m repro stats``).
 
 Histograms keep exact ``count``/``total``/``min``/``max`` plus a
-bounded reservoir of observations for percentile estimates; with the
-default limit the reservoir holds every observation the planning and
-simulation layers produce in a realistic run.
+bounded reservoir of observations for percentile estimates.  Beyond
+the limit the reservoir is maintained with Algorithm R (Vitter 1985):
+every observation — not just the first ``sample_limit`` — has equal
+probability of being retained, so p50/p95 of a long run reflect the
+whole run rather than its warm-up.  The replacement draws come from a
+private generator seeded deterministically from the histogram name, so
+two identical runs produce identical dumps.
+
+Timers read an injectable clock (default ``time.perf_counter``) so
+tests can assert exact durations instead of sleeping.
 """
 
 from __future__ import annotations
 
+import random
 import time
+import zlib
+from typing import Callable
 
 from repro.errors import ObservabilityError
 
@@ -61,12 +71,22 @@ class Gauge:
 
 
 class Histogram:
-    """A distribution summary with a bounded sample reservoir."""
+    """A distribution summary with a bounded uniform sample reservoir.
+
+    The reservoir is filled with Algorithm R: the first ``sample_limit``
+    observations are kept verbatim; afterwards observation ``i`` (from
+    1) replaces a uniformly chosen slot with probability
+    ``sample_limit / i``, leaving every observation equally likely to
+    be in the reservoir.  ``seed`` defaults to a CRC of the name, so
+    reservoirs — and therefore dumps — are reproducible run to run.
+    """
 
     __slots__ = ("name", "count", "total", "min", "max", "sample",
-                 "sample_limit")
+                 "sample_limit", "seed", "_rng")
 
-    def __init__(self, name: str, sample_limit: int = 4096) -> None:
+    def __init__(
+        self, name: str, sample_limit: int = 4096, seed: int | None = None
+    ) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
@@ -74,6 +94,8 @@ class Histogram:
         self.max = float("-inf")
         self.sample: list[float] = []
         self.sample_limit = sample_limit
+        self.seed = zlib.crc32(name.encode()) if seed is None else seed
+        self._rng = random.Random(self.seed)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -85,6 +107,10 @@ class Histogram:
             self.max = value
         if len(self.sample) < self.sample_limit:
             self.sample.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.sample_limit:
+                self.sample[slot] = value
 
     @property
     def mean(self) -> float:
@@ -117,6 +143,7 @@ class Histogram:
             "max": self.max if self.count else None,
             "sample": list(self.sample),
             "sample_limit": self.sample_limit,
+            "seed": self.seed,
         }
 
     def __repr__(self) -> str:
@@ -128,29 +155,36 @@ class _Timer:
 
     Each ``registry.timer(name)`` call returns a fresh instance, so
     timers nest freely (an outer timer keeps running while an inner
-    one, on the same or another histogram, starts and stops).
+    one, on the same or another histogram, starts and stops).  The
+    clock is injectable for deterministic tests.
     """
 
-    __slots__ = ("histogram", "_start", "elapsed")
+    __slots__ = ("histogram", "clock", "_start", "elapsed")
 
-    def __init__(self, histogram: Histogram) -> None:
+    def __init__(
+        self,
+        histogram: Histogram,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
         self.histogram = histogram
+        self.clock = clock or time.perf_counter
         self._start = 0.0
         self.elapsed = 0.0
 
     def __enter__(self) -> "_Timer":
-        self._start = time.perf_counter()
+        self._start = self.clock()
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.elapsed = time.perf_counter() - self._start
+        self.elapsed = self.clock() - self._start
         self.histogram.observe(self.elapsed)
 
 
 class MetricsRegistry:
     """Named metrics, created on first touch."""
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self.clock = clock or time.perf_counter
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
@@ -179,7 +213,7 @@ class MetricsRegistry:
 
     def timer(self, name: str) -> _Timer:
         """A fresh (nestable) timing context over ``histogram(name)``."""
-        return _Timer(self.histogram(name))
+        return _Timer(self.histogram(name), clock=self.clock)
 
     # -- serialization -------------------------------------------------
     def to_dict(self) -> dict:
@@ -205,6 +239,13 @@ class MetricsRegistry:
                 hist.max = float("-inf") if dump["max"] is None else float(dump["max"])
                 hist.sample = [float(v) for v in dump.get("sample", [])]
                 hist.sample_limit = int(dump.get("sample_limit", 4096))
+                if dump.get("seed") is not None:
+                    hist.seed = int(dump["seed"])
+                # replay determinism: a restored histogram draws its
+                # reservoir replacements from the same seeded stream a
+                # fresh one would (dumps are for offline rendering, not
+                # for resuming a half-finished stream)
+                hist._rng = random.Random(hist.seed)
             return registry
         except (KeyError, TypeError, ValueError) as exc:
             raise ObservabilityError(f"malformed metrics dump: {exc}") from exc

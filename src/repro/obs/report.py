@@ -48,6 +48,20 @@ def event_rows(obs: Instrumentation) -> list[dict]:
     ]
 
 
+def span_rows(obs: Instrumentation) -> list[dict]:
+    """Per-span-name aggregates over every retained tree."""
+    totals: dict[str, dict] = {}
+    for span, __ in obs.spans.walk():
+        row = totals.setdefault(
+            span.name, {"span": span.name, "count": 0, "total_s": 0.0,
+                        "self_s": 0.0}
+        )
+        row["count"] += 1
+        row["total_s"] += span.duration_s
+        row["self_s"] += span.self_s()
+    return sorted(totals.values(), key=lambda row: -row["total_s"])
+
+
 def render_report(obs: Instrumentation, title: str = "observability report") -> str:
     """All four sections as one ASCII document."""
     # imported lazily: repro.experiments pulls in the figure modules,
@@ -60,6 +74,7 @@ def render_report(obs: Instrumentation, title: str = "observability report") -> 
         ("gauges", gauge_rows(obs)),
         ("timers / histograms", histogram_rows(obs)),
         ("events", event_rows(obs)),
+        ("spans", span_rows(obs)),
     ):
         if rows:
             sections.append(format_table(rows, title=heading))
@@ -67,6 +82,11 @@ def render_report(obs: Instrumentation, title: str = "observability report") -> 
         sections.append(
             f"(event trace dropped {obs.trace.dropped} of"
             f" {obs.trace.total_recorded} events)"
+        )
+    if obs.spans.dropped:
+        sections.append(
+            f"(span tracer dropped {obs.spans.dropped} of"
+            f" {obs.spans.total_recorded} spans)"
         )
     if len(sections) == 2:
         sections.append("(no metrics recorded)")

@@ -1,0 +1,265 @@
+"""Hierarchical span tracing: a latency tree instead of flat timers.
+
+A :class:`Span` is one timed region of work with a name, wall-clock
+start/end, a flat attribute payload, and child spans.  The
+:class:`SpanTracer` hands out spans as context managers and maintains
+the enter/exit stack, so nesting follows lexical structure: whatever
+span is open when a new one starts becomes its parent, across module
+boundaries (a ``plan`` span opened by a planner adopts the ``solve``
+span opened later by the LP backend, because both hang off the same
+:class:`~repro.obs.instrument.Instrumentation`).
+
+The same None-collapses-to-no-op discipline as
+:func:`~repro.obs.instrument.maybe_timer` applies:
+:func:`maybe_span` returns the shared :data:`NULL_SPAN` singleton when
+instrumentation is disabled, so the disabled path allocates nothing.
+
+The clock is injectable (default ``time.perf_counter``) so tests can
+assert exact durations instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator
+
+from repro.errors import ObservabilityError
+
+
+class Span:
+    """One timed region: name, wall time, attributes, children.
+
+    Spans are context managers; entering starts the clock and attaches
+    the span to the tracer's currently open span (or the root list),
+    exiting stops it.  ``duration_s`` is valid once exited (and is the
+    elapsed-so-far for a still-open span).
+    """
+
+    __slots__ = ("name", "attributes", "start_s", "end_s", "children",
+                 "_tracer")
+
+    def __init__(
+        self, name: str, attributes: dict | None = None, tracer=None
+    ) -> None:
+        self.name = name
+        self.attributes: dict = dict(attributes or {})
+        self.start_s = 0.0
+        self.end_s: float | None = None
+        self.children: list[Span] = []
+        self._tracer = tracer
+
+    # -- timing ---------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        """Wall seconds covered (elapsed-so-far while still open)."""
+        if self.end_s is not None:
+            return self.end_s - self.start_s
+        if self._tracer is not None:
+            return self._tracer.clock() - self.start_s
+        return 0.0
+
+    def self_s(self) -> float:
+        """Duration not covered by direct children (own work)."""
+        return self.duration_s - sum(c.duration_s for c in self.children)
+
+    # -- attributes -----------------------------------------------------
+    def annotate(self, **attributes) -> "Span":
+        """Attach (or overwrite) attribute values; returns the span."""
+        self.attributes.update(attributes)
+        return self
+
+    # -- context management --------------------------------------------
+    def __enter__(self) -> "Span":
+        if self._tracer is None:
+            raise ObservabilityError(
+                f"span {self.name!r} is detached (restored from a dump?)"
+                " and cannot be re-entered"
+            )
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._exit(self)
+
+    # -- traversal ------------------------------------------------------
+    def walk(self, depth: int = 0) -> Iterator[tuple["Span", int]]:
+        """Depth-first (self, depth) pairs over the subtree."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        try:
+            span = cls(data["name"], dict(data.get("attributes", {})))
+            span.start_s = float(data["start_s"])
+            end = data.get("end_s")
+            span.end_s = None if end is None else float(end)
+            span.children = [
+                cls.from_dict(child) for child in data.get("children", [])
+            ]
+            return span
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ObservabilityError(f"malformed span dump: {exc}") from exc
+
+    def __repr__(self) -> str:
+        state = f"{self.duration_s * 1e3:.3f}ms" if self.finished else "open"
+        return (
+            f"Span({self.name!r}, {state}, children={len(self.children)})"
+        )
+
+
+class SpanTracer:
+    """Hands out spans and maintains the open-span stack.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic seconds source (default ``time.perf_counter``);
+        injectable so tests assert exact durations.
+    capacity:
+        Maximum retained spans across all trees.  Beyond it, new spans
+        still time their region (so control flow never changes) but are
+        not attached to the tree; ``dropped`` reports how many.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        capacity: int = 8192,
+    ) -> None:
+        if capacity < 1:
+            raise ObservabilityError("span tracer capacity must be >= 1")
+        self.clock = clock or time.perf_counter
+        self.capacity = capacity
+        self.roots: list[Span] = []
+        self.retained = 0
+        self.dropped = 0
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attributes) -> Span:
+        """A fresh span, attached to the current open span on enter."""
+        return Span(name, attributes, tracer=self)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    # -- stack mechanics (driven by Span.__enter__/__exit__) -----------
+    def _enter(self, span: Span) -> None:
+        span.start_s = self.clock()
+        span.end_s = None
+        if self.retained < self.capacity:
+            self.retained += 1
+            if self._stack:
+                self._stack[-1].children.append(span)
+            else:
+                self.roots.append(span)
+        else:
+            self.dropped += 1
+        self._stack.append(span)
+
+    def _exit(self, span: Span) -> None:
+        span.end_s = self.clock()
+        # tolerate out-of-order exits (generators, manual use): pop
+        # through to the span if it is on the stack at all
+        if span in self._stack:
+            while self._stack:
+                if self._stack.pop() is span:
+                    break
+
+    # -- inspection -----------------------------------------------------
+    @property
+    def total_recorded(self) -> int:
+        return self.retained + self.dropped
+
+    def walk(self) -> Iterator[tuple[Span, int]]:
+        """Depth-first (span, depth) pairs over every retained tree."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> list[Span]:
+        """All retained spans with the given name, in tree order."""
+        return [span for span, __ in self.walk() if span.name == name]
+
+    def __len__(self) -> int:
+        return self.retained
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "roots": [root.to_dict() for root in self.roots],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpanTracer":
+        try:
+            tracer = cls(capacity=int(data.get("capacity", 8192)))
+            tracer.roots = [
+                Span.from_dict(root) for root in data.get("roots", [])
+            ]
+            tracer.retained = sum(
+                1 for root in tracer.roots for __ in root.walk()
+            )
+            tracer.dropped = int(data.get("dropped", 0))
+            return tracer
+        except (TypeError, ValueError) as exc:
+            raise ObservabilityError(
+                f"malformed span tracer dump: {exc}"
+            ) from exc
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled-instrumentation path."""
+
+    __slots__ = ()
+    name = ""
+    attributes: dict = {}
+    children: tuple = ()
+    start_s = 0.0
+    end_s = 0.0
+    duration_s = 0.0
+    finished = True
+
+    def annotate(self, **attributes) -> "_NullSpan":
+        return self
+
+    def self_s(self) -> float:
+        return 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+"""The singleton no-op span; the disabled path allocates nothing
+(tests assert identity against this object)."""
+
+
+def maybe_span(instrumentation, name: str, **attributes):
+    """``instrumentation.span(name, ...)``, or the shared no-op span."""
+    if instrumentation is None:
+        return NULL_SPAN
+    return instrumentation.span(name, **attributes)

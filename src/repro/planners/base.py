@@ -96,8 +96,9 @@ def observed(plan_method):
         obs = context.instrumentation
         if obs is None:
             return plan_method(self, context)
-        with obs.timer(f"plan.build_seconds.{self.name}") as timer:
-            plan = plan_method(self, context)
+        with obs.span("plan", planner=self.name):
+            with obs.timer(f"plan.build_seconds.{self.name}") as timer:
+                plan = plan_method(self, context)
         obs.record_plan_built(
             self.name,
             edges_used=len(plan.used_edges),

@@ -28,6 +28,7 @@ from repro.lp.fastbuild import (
     compile_lp_lf,
     compile_lp_lf_parametric,
 )
+from repro.obs.spans import maybe_span
 from repro.plans.plan import QueryPlan
 from repro.planners.base import PlanningContext, observed
 from repro.planners.rounding import (
@@ -212,20 +213,23 @@ class LPLFPlanner:
         self, context: PlanningContext, bandwidths: dict[int, int]
     ) -> QueryPlan:
         """Shared post-solve path: repair and fill one rounded solution."""
-        plan = QueryPlan(context.topology, bandwidths)
-        if not self.strict_budget:
-            return plan
-        plan = repair_bandwidths(
-            plan,
-            context.samples.ones_list(),
-            cost_of=context.plan_cost,
-            budget=context.budget,
-        )
-        if not self.fill_budget:
-            return plan
-        return fill_bandwidths(
-            plan,
-            context.samples.ones_list(),
-            cost_of=context.plan_cost,
-            budget=context.budget,
-        )
+        with maybe_span(
+            context.instrumentation, "round", planner=self.name
+        ):
+            plan = QueryPlan(context.topology, bandwidths)
+            if not self.strict_budget:
+                return plan
+            plan = repair_bandwidths(
+                plan,
+                context.samples.ones_list(),
+                cost_of=context.plan_cost,
+                budget=context.budget,
+            )
+            if not self.fill_budget:
+                return plan
+            return fill_bandwidths(
+                plan,
+                context.samples.ones_list(),
+                cost_of=context.plan_cost,
+                budget=context.budget,
+            )

@@ -24,6 +24,7 @@ from repro.lp.fastbuild import (
     compile_lp_no_lf,
     compile_lp_no_lf_parametric,
 )
+from repro.obs.spans import maybe_span
 from repro.plans.plan import QueryPlan
 from repro.planners.base import PlanningContext, observed
 from repro.planners.rounding import (
@@ -193,40 +194,43 @@ class LPNoLFPlanner:
 
     def _round_and_fill(self, context: PlanningContext, x_value) -> QueryPlan:
         """Shared post-solve path: round, repair, and fill one solution."""
-        topology = context.topology
-        chosen = {
-            node
-            for node in topology.nodes
-            if x_value(node) >= ROUND_THRESHOLD
-        }
-        chosen.add(topology.root)
+        with maybe_span(
+            context.instrumentation, "round", planner=self.name
+        ):
+            topology = context.topology
+            chosen = {
+                node
+                for node in topology.nodes
+                if x_value(node) >= ROUND_THRESHOLD
+            }
+            chosen.add(topology.root)
 
-        def build(keep: set[int]) -> QueryPlan:
-            return QueryPlan.from_chosen_nodes(topology, keep)
+            def build(keep: set[int]) -> QueryPlan:
+                return QueryPlan.from_chosen_nodes(topology, keep)
 
-        if not self.strict_budget:
-            return build(chosen)
+            if not self.strict_budget:
+                return build(chosen)
 
-        counts = context.samples.column_counts()
-        plan, kept = repair_chosen_nodes(
-            chosen=sorted(chosen),
-            scores=counts,
-            build_plan=build,
-            cost_of=context.plan_cost,
-            budget=context.budget,
-            protected=frozenset({topology.root}),
-        )
-        if not self.fill_budget:
-            return plan
+            counts = context.samples.column_counts()
+            plan, kept = repair_chosen_nodes(
+                chosen=sorted(chosen),
+                scores=counts,
+                build_plan=build,
+                cost_of=context.plan_cost,
+                budget=context.budget,
+                protected=frozenset({topology.root}),
+            )
+            if not self.fill_budget:
+                return plan
 
-        # expected contribution = sample count, with the LP's fractional
-        # preference as a mild tie-break
-        priorities = [
-            float(counts[node]) + 0.5 * x_value(node)
-            if counts[node] > 0
-            else 0.0
-            for node in topology.nodes
-        ]
-        return fill_chosen_nodes(
-            kept, priorities, build, context.plan_cost, context.budget
-        )
+            # expected contribution = sample count, with the LP's
+            # fractional preference as a mild tie-break
+            priorities = [
+                float(counts[node]) + 0.5 * x_value(node)
+                if counts[node] > 0
+                else 0.0
+                for node in topology.nodes
+            ]
+            return fill_chosen_nodes(
+                kept, priorities, build, context.plan_cost, context.budget
+            )

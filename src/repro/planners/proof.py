@@ -29,6 +29,7 @@ from repro.errors import BudgetError
 from repro.lp import LinExpr, Model
 from repro.lp.backend import resolve_backend
 from repro.lp.fastbuild import CompiledLP, compile_proof, compile_proof_parametric
+from repro.obs.spans import maybe_span
 from repro.plans.plan import QueryPlan
 from repro.planners.base import PlanningContext, observed
 from repro.planners.rounding import repair_bandwidths, round_bandwidth
@@ -270,21 +271,26 @@ class ProofPlanner:
         self, context: PlanningContext, bandwidths: dict[int, int]
     ) -> QueryPlan:
         """Shared post-solve path: repair and fill one rounded solution."""
-        plan = QueryPlan(context.topology, bandwidths, requires_all_edges=True)
-        effective_budget = context.budget - self._reserve(context)
-        if self.strict_budget:
-            # static_cost excludes the proven-count reserve, so repair
-            # against the budget net of it
-            plan = repair_bandwidths(
-                plan,
-                context.samples.ones_list(),
-                cost_of=context.plan_cost,
-                budget=effective_budget,
-                min_bandwidth=1,
+        with maybe_span(
+            context.instrumentation, "round", planner=self.name
+        ):
+            plan = QueryPlan(
+                context.topology, bandwidths, requires_all_edges=True
             )
-        if self.fill_budget:
-            plan = self._fill(plan, context, effective_budget)
-        return plan
+            effective_budget = context.budget - self._reserve(context)
+            if self.strict_budget:
+                # static_cost excludes the proven-count reserve, so repair
+                # against the budget net of it
+                plan = repair_bandwidths(
+                    plan,
+                    context.samples.ones_list(),
+                    cost_of=context.plan_cost,
+                    budget=effective_budget,
+                    min_bandwidth=1,
+                )
+            if self.fill_budget:
+                plan = self._fill(plan, context, effective_budget)
+            return plan
 
     def _fill(
         self, plan: QueryPlan, context: PlanningContext, budget: float

@@ -27,7 +27,8 @@ from repro.errors import SamplingError
 from repro.network.energy import EnergyModel
 from repro.network.failures import LinkFailureModel
 from repro.network.topology import Topology
-from repro.obs import Instrumentation, record_event
+from repro.obs import EnergyLedger, Instrumentation, record_event
+from repro.obs.spans import maybe_span
 from repro.plans.execution import expected_hits
 from repro.plans.plan import QueryPlan
 from repro.planners.base import Planner, PlanningContext
@@ -74,6 +75,7 @@ class TopKEngine:
         sampler: AdaptiveSampler | None = None,
         rng: np.random.Generator | None = None,
         instrumentation: Instrumentation | None = None,
+        ledger: EnergyLedger | None = None,
     ) -> None:
         self.topology = topology
         self.energy = energy
@@ -82,6 +84,7 @@ class TopKEngine:
         self.config = config or EngineConfig()
         self.failures = failures
         self.instrumentation = instrumentation
+        self.ledger = ledger
         rng = rng or np.random.default_rng()
         self.sampler = sampler or AdaptiveSampler(rng=rng)
         self.window = SampleWindow(self.config.window_capacity)
@@ -91,6 +94,7 @@ class TopKEngine:
             failures=failures,
             rng=rng,
             instrumentation=instrumentation,
+            ledger=ledger,
         )
         self.plan: QueryPlan | None = None
         self.total_energy_mj = 0.0
@@ -133,6 +137,7 @@ class TopKEngine:
             failures=self.failures,
             rng=self.simulator.rng,
             instrumentation=self.instrumentation,
+            ledger=self.ledger,
         )
         self.plan = None
         return id_map
@@ -200,36 +205,38 @@ class TopKEngine:
         if self.plan is None:
             self.ensure_plan()
             return True
-        context = self._context()
-        candidate = self.planner.plan(context)
-        ones = context.samples.ones_list()
-        current_hits = expected_hits(self.plan, ones)
-        candidate_hits = expected_hits(candidate, ones)
-        threshold = current_hits * (1.0 + self.config.replan_improvement)
-        if candidate_hits > threshold:
-            self.plan = candidate
-            install_mj = self.simulator.install_cost(candidate)
-            self._charge("install", install_mj)
-            self._queries_since_replan = 0
-            record_event(
-                self.instrumentation,
-                "plan_installed",
-                reason="replan",
-                install_mj=install_mj,
-                edges_used=len(candidate.used_edges),
-                current_hits=current_hits,
-                candidate_hits=candidate_hits,
-            )
-            return True
-        if self.instrumentation is not None:
-            self.instrumentation.counter("engine.replans_skipped").inc()
-            self.instrumentation.event(
-                "replan_skipped",
-                current_hits=current_hits,
-                candidate_hits=candidate_hits,
-                threshold=threshold,
-            )
-        return False
+        with maybe_span(self.instrumentation, "replan.decide") as span:
+            context = self._context()
+            candidate = self.planner.plan(context)
+            ones = context.samples.ones_list()
+            current_hits = expected_hits(self.plan, ones)
+            candidate_hits = expected_hits(candidate, ones)
+            threshold = current_hits * (1.0 + self.config.replan_improvement)
+            span.annotate(installed=candidate_hits > threshold)
+            if candidate_hits > threshold:
+                self.plan = candidate
+                install_mj = self.simulator.install_cost(candidate)
+                self._charge("install", install_mj)
+                self._queries_since_replan = 0
+                record_event(
+                    self.instrumentation,
+                    "plan_installed",
+                    reason="replan",
+                    install_mj=install_mj,
+                    edges_used=len(candidate.used_edges),
+                    current_hits=current_hits,
+                    candidate_hits=candidate_hits,
+                )
+                return True
+            if self.instrumentation is not None:
+                self.instrumentation.counter("engine.replans_skipped").inc()
+                self.instrumentation.event(
+                    "replan_skipped",
+                    current_hits=current_hits,
+                    candidate_hits=candidate_hits,
+                    threshold=threshold,
+                )
+            return False
 
     # -- execution -------------------------------------------------------------
     def query(self, readings) -> QueryResult:
@@ -253,15 +260,21 @@ class TopKEngine:
         each edge fails").  No-op without an attached model."""
         if self.failures is None:
             return
-        for edge, failed in report.edge_outcomes:
-            self.failures.record_failure(edge, failed)
-            if failed and self.instrumentation is not None:
-                self.instrumentation.counter("engine.failures_observed").inc()
-                self.instrumentation.event(
-                    "failure_observed",
-                    edge=edge,
-                    probability=self.failures.failure_probability.get(edge),
-                )
+        with maybe_span(
+            self.instrumentation, "filter.update",
+            outcomes=len(report.edge_outcomes),
+        ):
+            for edge, failed in report.edge_outcomes:
+                self.failures.record_failure(edge, failed)
+                if failed and self.instrumentation is not None:
+                    self.instrumentation.counter(
+                        "engine.failures_observed"
+                    ).inc()
+                    self.instrumentation.event(
+                        "failure_observed",
+                        edge=edge,
+                        probability=self.failures.failure_probability.get(edge),
+                    )
 
     def audit(self, readings, budget_factor: float = 1.25) -> AuditResult:
         """Estimate the installed plan's accuracy with a proof run.
@@ -332,48 +345,53 @@ class TopKEngine:
         self.epoch += 1
         if self.instrumentation is not None:
             self.instrumentation.counter("engine.epochs").inc()
-        decision = self.sampler.decide()
-        if decision.explore or self.window.is_empty:
-            report = self.simulator.collect_full_sample(readings)
-            self._charge("sample", report.energy_mj)
-            self.window.add(readings)
-            self.plan = None
-            if self.instrumentation is not None:
-                self.instrumentation.counter("engine.samples").inc()
-                self.instrumentation.event(
-                    "sample_collected",
-                    source="explore",
-                    rate=decision.rate,
+        with maybe_span(
+            self.instrumentation, "epoch", index=self.epoch
+        ) as span:
+            decision = self.sampler.decide()
+            if decision.explore or self.window.is_empty:
+                span.annotate(action="sample")
+                report = self.simulator.collect_full_sample(readings)
+                self._charge("sample", report.energy_mj)
+                self.window.add(readings)
+                self.plan = None
+                if self.instrumentation is not None:
+                    self.instrumentation.counter("engine.samples").inc()
+                    self.instrumentation.event(
+                        "sample_collected",
+                        source="explore",
+                        rate=decision.rate,
+                        energy_mj=report.energy_mj,
+                    )
+                return EpochOutcome(
+                    epoch=self.epoch,
+                    action="sample",
                     energy_mj=report.energy_mj,
+                    notes={"rate": decision.rate},
                 )
+
+            span.annotate(action="query")
+            self._queries_since_replan += 1
+            replanned = False
+            if (
+                self.plan is not None
+                and self._queries_since_replan >= self.config.replan_every
+            ):
+                # the clock only resets when a plan is actually installed
+                # (inside maybe_replan); a declined candidate leaves it
+                # running so the next query re-attempts immediately
+                # instead of silently waiting another replan_every cycle
+                replanned = self.maybe_replan()
+
+            result = self.query(readings)
+            if self.instrumentation is not None:
+                self.instrumentation.counter("engine.queries").inc()
+            if self.config.track_truth and not np.isnan(result.accuracy):
+                self.sampler.record_accuracy(result.accuracy)
             return EpochOutcome(
                 epoch=self.epoch,
-                action="sample",
-                energy_mj=report.energy_mj,
-                notes={"rate": decision.rate},
+                action="query",
+                result=result,
+                energy_mj=result.energy_mj,
+                notes={"replanned": replanned},
             )
-
-        self._queries_since_replan += 1
-        replanned = False
-        if (
-            self.plan is not None
-            and self._queries_since_replan >= self.config.replan_every
-        ):
-            # the clock only resets when a plan is actually installed
-            # (inside maybe_replan); a declined candidate leaves it
-            # running so the next query re-attempts immediately instead
-            # of silently waiting another replan_every cycle
-            replanned = self.maybe_replan()
-
-        result = self.query(readings)
-        if self.instrumentation is not None:
-            self.instrumentation.counter("engine.queries").inc()
-        if self.config.track_truth and not np.isnan(result.accuracy):
-            self.sampler.record_accuracy(result.accuracy)
-        return EpochOutcome(
-            epoch=self.epoch,
-            action="query",
-            result=result,
-            energy_mj=result.energy_mj,
-            notes={"replanned": replanned},
-        )

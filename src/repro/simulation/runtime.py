@@ -17,7 +17,8 @@ import numpy as np
 from repro.network.energy import EnergyModel
 from repro.network.failures import LinkFailureModel
 from repro.network.topology import Topology
-from repro.obs import Instrumentation
+from repro.obs import EnergyLedger, Instrumentation
+from repro.obs.spans import maybe_span
 from repro.plans.execution import CollectionResult, execute_plan
 from repro.plans.naive import naive_k_collect, naive_one_collect
 from repro.plans.plan import Message, QueryPlan, Reading
@@ -63,6 +64,12 @@ class Simulator:
         Optional :class:`~repro.obs.Instrumentation`; when set, every
         collection phase records a ``collection_run`` event plus
         messages/bytes/mJ counters broken down by edge depth.
+    ledger:
+        Optional :class:`~repro.obs.EnergyLedger`; when set, every
+        message's radio cost (including failure retries) is attributed
+        to its sending node, and each collection phase closes one
+        ledger epoch.  Trigger/acquisition extras are phase-level and
+        stay out of the ledger (see the ledger's module docstring).
     """
 
     topology: Topology
@@ -70,6 +77,7 @@ class Simulator:
     failures: LinkFailureModel | None = None
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
     instrumentation: Instrumentation | None = None
+    ledger: EnergyLedger | None = None
 
     # -- message accounting ---------------------------------------------------
     def _charge(
@@ -84,21 +92,28 @@ class Simulator:
         by_depth: dict[int, dict] | None = (
             {} if self.instrumentation is not None else None
         )
+        ledger = self.ledger
         for message in messages:
             cost = message.cost(self.energy)
             total += cost
             values += message.num_values
-            if by_depth is not None:
-                depth = self.topology.depth(message.edge)
-                bucket = by_depth.setdefault(
-                    depth, {"messages": 0, "bytes": 0, "energy_mj": 0.0}
-                )
-                bucket["messages"] += 1
-                bucket["bytes"] += (
+            if by_depth is not None or ledger is not None:
+                nbytes = (
                     message.num_values * self.energy.value_bytes
                     + message.extra_bytes
                 )
-                bucket["energy_mj"] += cost
+                if ledger is not None:
+                    ledger.charge(
+                        message.edge, cost, messages=1, nbytes=nbytes
+                    )
+                if by_depth is not None:
+                    depth = self.topology.depth(message.edge)
+                    bucket = by_depth.setdefault(
+                        depth, {"messages": 0, "bytes": 0, "energy_mj": 0.0}
+                    )
+                    bucket["messages"] += 1
+                    bucket["bytes"] += nbytes
+                    bucket["energy_mj"] += cost
             if self.failures is None or message.kind != "unicast":
                 continue
             failed = self.failures.sample_failure(message.edge, self.rng)
@@ -110,6 +125,8 @@ class Simulator:
                     + self.failures.reroute_cost(message.edge)
                 )
                 total += retry_cost
+                if ledger is not None:
+                    ledger.charge(message.edge, retry_cost, messages=1)
                 if by_depth is not None:
                     bucket = by_depth[self.topology.depth(message.edge)]
                     bucket["messages"] += 1
@@ -122,9 +139,19 @@ class Simulator:
         extra_energy: float = 0.0,
         label: str = "collection",
     ) -> SimulationReport:
-        energy, values, retries, outcomes, by_depth = self._charge(
-            result.messages
-        )
+        with maybe_span(
+            self.instrumentation, "collect", label=label
+        ) as span:
+            energy, values, retries, outcomes, by_depth = self._charge(
+                result.messages
+            )
+            span.annotate(
+                messages=len(result.messages),
+                retries=retries,
+                energy_mj=energy + extra_energy,
+            )
+        if self.ledger is not None:
+            self.ledger.end_epoch()
         if self.instrumentation is not None:
             self.instrumentation.record_collection(
                 label,

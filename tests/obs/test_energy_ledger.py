@@ -1,0 +1,195 @@
+"""Tests for per-node energy telemetry (repro.obs.energy)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import EnergyLedger, Instrumentation
+
+
+class TestConstruction:
+    def test_rejects_empty_network(self):
+        with pytest.raises(ObservabilityError, match=">= 1 node"):
+            EnergyLedger(0)
+
+    def test_scalar_capacity_broadcasts(self):
+        ledger = EnergyLedger(3, capacity_mj=10.0)
+        np.testing.assert_array_equal(ledger.capacity_mj, [10.0, 10.0, 10.0])
+
+    def test_per_node_capacity_kept(self):
+        ledger = EnergyLedger(2, capacity_mj=[5.0, 8.0])
+        np.testing.assert_array_equal(ledger.capacity_mj, [5.0, 8.0])
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ObservabilityError, match="positive"):
+            EnergyLedger(2, capacity_mj=[5.0, 0.0])
+
+
+class TestCharging:
+    def test_charge_accumulates_per_node(self):
+        ledger = EnergyLedger(3)
+        ledger.charge(1, 2.5, messages=1, nbytes=32)
+        ledger.charge(1, 0.5, messages=1)
+        ledger.charge(2, 1.0, messages=1, nbytes=8)
+        np.testing.assert_allclose(ledger.energy_mj, [0.0, 3.0, 1.0])
+        np.testing.assert_array_equal(ledger.messages, [0, 2, 1])
+        np.testing.assert_array_equal(ledger.bytes, [0, 32, 8])
+        assert ledger.total_mj == pytest.approx(4.0)
+
+    def test_end_epoch_snapshots_deltas(self):
+        ledger = EnergyLedger(2)
+        ledger.charge(0, 1.0)
+        assert ledger.end_epoch() == 0
+        ledger.charge(0, 0.5)
+        ledger.charge(1, 2.0)
+        assert ledger.end_epoch() == 1
+        assert ledger.num_epochs == 2
+        np.testing.assert_allclose(ledger.epoch_energy[0], [1.0, 0.0])
+        np.testing.assert_allclose(ledger.epoch_energy[1], [0.5, 2.0])
+        np.testing.assert_allclose(
+            ledger.cumulative_energy(), [[1.0, 0.0], [1.5, 2.0]]
+        )
+
+    def test_charge_epochs_block(self):
+        ledger = EnergyLedger(2)
+        ledger.charge_epochs(
+            np.array([[1.0, 2.0], [3.0, 4.0]]),
+            messages=np.array([2, 1]),
+            nbytes=np.array([[8, 4], [2, 0]]),
+        )
+        assert ledger.num_epochs == 2
+        np.testing.assert_allclose(ledger.energy_mj, [4.0, 6.0])
+        # (n,)-shaped counts apply to every epoch; (E, n) blocks sum
+        np.testing.assert_array_equal(ledger.messages, [4, 2])
+        np.testing.assert_array_equal(ledger.bytes, [10, 4])
+
+    def test_charge_epochs_rejects_bad_shapes(self):
+        ledger = EnergyLedger(2)
+        with pytest.raises(ObservabilityError, match=r"\(E, 2\)"):
+            ledger.charge_epochs(np.zeros(4))
+        with pytest.raises(ObservabilityError, match="messages shape"):
+            ledger.charge_epochs(
+                np.zeros((3, 2)), messages=np.zeros((2, 2))
+            )
+
+
+class TestDerivedViews:
+    def burned(self) -> EnergyLedger:
+        ledger = EnergyLedger(2, capacity_mj=10.0)
+        for __ in range(3):
+            ledger.charge(0, 2.0)
+            ledger.charge(1, 1.0)
+            ledger.end_epoch()
+        return ledger
+
+    def test_remaining_fraction_and_burn_down(self):
+        ledger = self.burned()
+        np.testing.assert_allclose(
+            ledger.remaining_fraction(),
+            [[0.8, 0.9], [0.6, 0.8], [0.4, 0.7]],
+        )
+        np.testing.assert_allclose(ledger.burn_down(), [0.8, 0.6, 0.4])
+
+    def test_remaining_fraction_clips_at_zero(self):
+        ledger = EnergyLedger(1, capacity_mj=1.0)
+        ledger.charge(0, 5.0)
+        ledger.end_epoch()
+        np.testing.assert_allclose(ledger.remaining_fraction(), [[0.0]])
+
+    def test_lifetime_epoch_none_while_alive(self):
+        assert self.burned().lifetime_epoch() is None
+
+    def test_lifetime_epoch_first_death(self):
+        ledger = EnergyLedger(2, capacity_mj=4.0)
+        for __ in range(3):
+            ledger.charge(0, 2.0)
+            ledger.charge(1, 1.0)
+            ledger.end_epoch()
+        assert ledger.lifetime_epoch() == 1  # node 0 hits 4.0 mJ there
+
+    def test_projected_lifetime_from_average_rate(self):
+        # node 0 burns 2 mJ/epoch of 10 mJ -> death at epoch 5
+        assert self.burned().projected_lifetime() == pytest.approx(5.0)
+
+    def test_projected_lifetime_none_without_spend_or_epochs(self):
+        idle = EnergyLedger(2, capacity_mj=10.0)
+        assert idle.projected_lifetime() is None  # no epochs yet
+        idle.end_epoch()
+        assert idle.projected_lifetime() is None  # zero burn everywhere
+
+    def test_views_require_capacity(self):
+        ledger = EnergyLedger(2)
+        ledger.charge(0, 1.0)
+        ledger.end_epoch()
+        with pytest.raises(ObservabilityError, match="capacity"):
+            ledger.remaining_fraction()
+        with pytest.raises(ObservabilityError, match="capacity"):
+            ledger.lifetime_epoch()
+        assert ledger.projected_lifetime() is None
+
+    def test_empty_ledger_views_are_empty(self):
+        ledger = EnergyLedger(2, capacity_mj=10.0)
+        assert ledger.cumulative_energy().shape == (0, 2)
+        assert ledger.burn_down().shape == (0,)
+
+    def test_hottest_orders_by_spend(self):
+        ledger = EnergyLedger(4)
+        ledger.charge(2, 9.0, messages=3, nbytes=24)
+        ledger.charge(0, 5.0, messages=1, nbytes=8)
+        ledger.charge(3, 1.0, messages=1, nbytes=4)
+        top = ledger.hottest(2)
+        assert [row["node"] for row in top] == [2, 0]
+        assert top[0] == {
+            "node": 2, "energy_mj": 9.0, "messages": 3, "bytes": 24,
+        }
+        assert ledger.hottest(0) == []
+
+
+class TestPublish:
+    def test_headline_gauges(self):
+        obs = Instrumentation()
+        ledger = EnergyLedger(2, capacity_mj=10.0)
+        ledger.charge(0, 2.0)
+        ledger.charge(1, 1.0)
+        ledger.end_epoch()
+        ledger.publish(obs)
+        gauges = obs.metrics.gauges
+        assert gauges["energy.ledger.total_mj"].value == pytest.approx(3.0)
+        assert gauges["energy.ledger.epochs"].value == 1
+        assert gauges["energy.ledger.hottest_node"].value == 0
+        assert gauges["energy.ledger.hottest_mj"].value == pytest.approx(2.0)
+        assert gauges[
+            "energy.ledger.min_remaining_fraction"
+        ].value == pytest.approx(0.8)
+        assert gauges[
+            "energy.ledger.projected_lifetime_epochs"
+        ].value == pytest.approx(5.0)
+
+    def test_publish_without_capacity_skips_burn_gauges(self):
+        obs = Instrumentation()
+        ledger = EnergyLedger(1)
+        ledger.charge(0, 1.0)
+        ledger.end_epoch()
+        ledger.publish(obs)
+        assert "energy.ledger.total_mj" in obs.metrics.gauges
+        assert "energy.ledger.min_remaining_fraction" not in obs.metrics.gauges
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        ledger = EnergyLedger(2, capacity_mj=[5.0, 8.0])
+        ledger.charge(0, 1.0, messages=2, nbytes=16)
+        ledger.end_epoch()
+        ledger.charge(1, 2.0, messages=1, nbytes=4)
+        ledger.end_epoch()
+        restored = EnergyLedger.from_dict(ledger.to_dict())
+        assert restored.to_dict() == ledger.to_dict()
+        np.testing.assert_allclose(restored.burn_down(), ledger.burn_down())
+        # restored ledgers keep accumulating from where they left off
+        restored.charge(0, 0.5)
+        assert restored.end_epoch() == 2
+        np.testing.assert_allclose(restored.epoch_energy[2], [0.5, 0.0])
+
+    def test_malformed_dump_raises(self):
+        with pytest.raises(ObservabilityError, match="malformed"):
+            EnergyLedger.from_dict({"num_nodes": 2})

@@ -36,3 +36,44 @@ class TestJson:
         obs = populated()
         restored = from_json(to_json(obs))
         assert render_report(restored) == render_report(obs)
+
+    def test_round_trip_is_dict_exact(self):
+        obs = populated()
+        with obs.span("run", epochs=2):
+            with obs.span("collect"):
+                pass
+        restored = from_json(to_json(obs))
+        assert restored.to_dict() == obs.to_dict()
+
+    def test_round_trip_keeps_unobserved_histogram_bounds(self):
+        obs = Instrumentation()
+        obs.histogram("lp.solve_seconds.never-observed")
+        restored = from_json(to_json(obs))
+        hist = restored.metrics.histograms["lp.solve_seconds.never-observed"]
+        assert hist.count == 0
+        assert hist.to_dict()["min"] is None
+        assert hist.to_dict()["max"] is None
+        # and it keeps working after restore
+        hist.observe(0.5)
+        assert hist.to_dict()["min"] == 0.5
+
+    def test_round_trip_keeps_dropped_event_count(self):
+        obs = populated()  # trace capacity 2, 3 events -> 1 dropped
+        restored = from_json(to_json(obs))
+        assert restored.trace.dropped == obs.trace.dropped == 1
+        assert len(list(restored.trace)) == 2
+
+    def test_round_trip_keeps_span_tree_and_dropped_spans(self):
+        obs = Instrumentation(span_capacity=2)
+        with obs.span("run", planner="lp-lf"):
+            with obs.span("solve"):
+                pass
+            with obs.span("beyond-capacity"):
+                pass
+        restored = from_json(to_json(obs))
+        assert restored.spans.to_dict() == obs.spans.to_dict()
+        assert restored.spans.dropped == 1
+        (root,) = restored.spans.roots
+        assert root.name == "run"
+        assert root.attributes == {"planner": "lp-lf"}
+        assert [child.name for child in root.children] == ["solve"]

@@ -1,0 +1,193 @@
+"""Tests for hierarchical span tracing (repro.obs.spans)."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import NULL_SPAN, Instrumentation, Span, SpanTracer, maybe_span
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTiming:
+    def test_exact_durations_under_fake_clock(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("outer") as outer:
+            clock.advance(1.0)
+            with tracer.span("inner") as inner:
+                clock.advance(0.25)
+            clock.advance(0.5)
+        assert outer.duration_s == pytest.approx(1.75)
+        assert inner.duration_s == pytest.approx(0.25)
+        assert outer.self_s() == pytest.approx(1.5)
+        assert outer.finished and inner.finished
+
+    def test_open_span_reports_elapsed_so_far(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("work") as span:
+            clock.advance(2.0)
+            assert not span.finished
+            assert span.duration_s == pytest.approx(2.0)
+
+    def test_annotate_returns_span_and_overwrites(self):
+        tracer = SpanTracer(clock=FakeClock())
+        span = tracer.span("s", mode="cold")
+        assert span.annotate(mode="warm", pivots=3) is span
+        assert span.attributes == {"mode": "warm", "pivots": 3}
+
+
+class TestNesting:
+    def test_nesting_follows_lexical_structure_across_helpers(self):
+        # a "solve" opened by a helper while "plan" is open becomes its
+        # child, because both hang off the same Instrumentation
+        obs = Instrumentation(clock=FakeClock())
+
+        def helper():
+            with obs.span("solve", backend="scipy-highs"):
+                pass
+
+        with obs.span("plan", planner="lp-lf"):
+            helper()
+            helper()
+        (root,) = obs.spans.roots
+        assert root.name == "plan"
+        assert [child.name for child in root.children] == ["solve", "solve"]
+
+    def test_sequential_roots_stay_separate(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [root.name for root in tracer.roots] == ["a", "b"]
+        assert tracer.current is None
+
+    def test_current_and_find_and_walk(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with tracer.span("plan"):
+            with tracer.span("solve") as solve:
+                assert tracer.current is solve
+            with tracer.span("solve"):
+                pass
+        assert len(tracer.find("solve")) == 2
+        assert [depth for __, depth in tracer.walk()] == [0, 1, 1]
+        assert len(tracer) == 3
+
+    def test_error_exit_annotates_exception_type(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with pytest.raises(ValueError):
+            with tracer.span("boom") as span:
+                raise ValueError("nope")
+        assert span.attributes["error"] == "ValueError"
+        assert span.finished
+
+    def test_out_of_order_exit_is_tolerated(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        clock.advance(1.0)
+        outer.__exit__(None, None, None)  # exits through inner
+        assert tracer.current is None
+        assert outer.duration_s == pytest.approx(1.0)
+
+
+class TestCapacity:
+    def test_capacity_drops_but_still_times(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock, capacity=2)
+        kept = []
+        for name in ("a", "b", "c"):
+            with tracer.span(name) as span:
+                clock.advance(1.0)
+            kept.append(span)
+        assert tracer.retained == 2
+        assert tracer.dropped == 1
+        assert tracer.total_recorded == 3
+        assert [root.name for root in tracer.roots] == ["a", "b"]
+        # the dropped span still timed its region
+        assert kept[2].duration_s == pytest.approx(1.0)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ObservabilityError, match="capacity"):
+            SpanTracer(capacity=0)
+
+
+class TestNullSpan:
+    def test_maybe_span_none_returns_shared_singleton(self):
+        assert maybe_span(None, "anything", a=1) is NULL_SPAN
+        assert maybe_span(None, "other") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with maybe_span(None, "x") as span:
+            assert span is NULL_SPAN
+            assert span.annotate(hit=True) is NULL_SPAN
+        assert NULL_SPAN.duration_s == 0.0
+        assert NULL_SPAN.self_s() == 0.0
+        assert NULL_SPAN.attributes == {}
+
+    def test_maybe_span_with_instrumentation_records(self):
+        obs = Instrumentation(clock=FakeClock())
+        with maybe_span(obs, "region", tag=1):
+            pass
+        (root,) = obs.spans.roots
+        assert root.name == "region"
+        assert root.attributes == {"tag": 1}
+
+
+class TestSerialization:
+    def populated(self) -> SpanTracer:
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock, capacity=3)
+        with tracer.span("run", epochs=2):
+            clock.advance(0.5)
+            with tracer.span("collect"):
+                clock.advance(0.25)
+            with tracer.span("filter"):
+                with tracer.span("beyond-capacity"):  # the 4th: dropped
+                    pass
+        return tracer
+
+    def test_round_trip_preserves_tree(self):
+        tracer = self.populated()
+        restored = SpanTracer.from_dict(tracer.to_dict())
+        assert restored.to_dict() == tracer.to_dict()
+        assert restored.retained == tracer.retained
+        assert restored.dropped == tracer.dropped
+        (root,) = restored.roots
+        assert root.name == "run"
+        assert root.attributes == {"epochs": 2}
+        assert root.children[0].duration_s == pytest.approx(0.25)
+
+    def test_restored_span_cannot_be_reentered(self):
+        restored = SpanTracer.from_dict(self.populated().to_dict())
+        with pytest.raises(ObservabilityError, match="detached"):
+            with restored.roots[0]:
+                pass
+
+    def test_open_span_serializes_with_null_end(self):
+        tracer = SpanTracer(clock=FakeClock())
+        span = tracer.span("open")
+        span.__enter__()
+        dump = tracer.to_dict()
+        assert dump["roots"][0]["end_s"] is None
+        restored = SpanTracer.from_dict(dump)
+        assert not restored.roots[0].finished
+
+    def test_malformed_dump_raises(self):
+        with pytest.raises(ObservabilityError, match="malformed"):
+            Span.from_dict({"start_s": 0.0})
+        with pytest.raises(ObservabilityError, match="malformed"):
+            SpanTracer.from_dict({"roots": [{"name": "x"}]})

@@ -15,7 +15,7 @@ from repro.errors import PlanError
 from repro.network.builder import random_topology
 from repro.network.energy import EnergyModel
 from repro.network.failures import LinkFailureModel
-from repro.obs import Instrumentation
+from repro.obs import EnergyLedger, Instrumentation
 from repro.plans.plan import QueryPlan
 from repro.query.accuracy import accuracy
 from repro.simulation.batch import BatchSimulator
@@ -192,6 +192,75 @@ def test_accepts_trace_objects(workload):
 
     batch = BatchSimulator(topology, MICA2).run_collection(plan, TraceLike())
     assert batch.num_epochs == len(trace)
+
+
+class TestLedgerEquivalence:
+    """The per-node EnergyLedger must agree between the scalar and the
+    batch charge paths to 1e-9 relative tolerance (ISSUE acceptance)."""
+
+    def _ledgers(self, workload, failures=None, seed=None, capacity=None):
+        topology, plan, trace = workload
+        scalar_ledger = EnergyLedger(topology.n, capacity_mj=capacity)
+        scalar = Simulator(
+            topology, MICA2, failures=failures,
+            rng=np.random.default_rng(seed), ledger=scalar_ledger,
+        )
+        for readings in trace:
+            scalar.run_collection(plan, readings)
+        batch_ledger = EnergyLedger(topology.n, capacity_mj=capacity)
+        BatchSimulator(
+            topology, MICA2, failures=failures,
+            rng=np.random.default_rng(seed), ledger=batch_ledger,
+        ).run_collection(plan, trace)
+        return scalar_ledger, batch_ledger
+
+    def test_without_failures(self, workload):
+        scalar, batch = self._ledgers(workload)
+        assert scalar.num_epochs == batch.num_epochs == len(workload[2])
+        np.testing.assert_allclose(
+            batch.energy_mj, scalar.energy_mj, rtol=1e-9, atol=0.0
+        )
+        np.testing.assert_array_equal(batch.messages, scalar.messages)
+        np.testing.assert_array_equal(batch.bytes, scalar.bytes)
+        np.testing.assert_allclose(
+            np.stack(batch.epoch_energy), np.stack(scalar.epoch_energy),
+            rtol=1e-9, atol=0.0,
+        )
+
+    def test_with_failures_under_shared_seed(self, workload):
+        topology, __, __trace = workload
+        failures = LinkFailureModel.uniform(
+            topology, probability=0.3, reroute_extra_mj=2.0
+        )
+        scalar, batch = self._ledgers(
+            workload, failures=failures, seed=3, capacity=200.0
+        )
+        assert scalar.total_mj > 0
+        # retries actually bit: more messages than the failure-free run
+        clean, __ = self._ledgers(workload)
+        assert scalar.messages.sum() > clean.messages.sum()
+        np.testing.assert_allclose(
+            batch.energy_mj, scalar.energy_mj, rtol=1e-9, atol=0.0
+        )
+        np.testing.assert_array_equal(batch.messages, scalar.messages)
+        np.testing.assert_array_equal(batch.bytes, scalar.bytes)
+        np.testing.assert_allclose(
+            batch.burn_down(), scalar.burn_down(), rtol=1e-9
+        )
+
+    def test_ledger_epochs_align_with_collections(self, workload):
+        topology, plan, trace = workload
+        ledger = EnergyLedger(topology.n)
+        simulator = Simulator(topology, MICA2, ledger=ledger)
+        simulator.run_collection(plan, trace[0])
+        assert ledger.num_epochs == 1
+        simulator.run_collection(plan, trace[1])
+        assert ledger.num_epochs == 2
+        # each epoch delta sums to that collection's ledger-scope spend
+        # (message costs only; trigger/acquisition extras stay out)
+        assert ledger.epoch_energy[0].sum() == pytest.approx(
+            ledger.epoch_energy[1].sum()
+        )
 
 
 def test_obs_counters_and_event(workload):

@@ -115,3 +115,76 @@ class TestStats:
         restored = from_json(target.read_text())
         assert restored.metrics.counter("lp.solves").value > 0
         assert "plan_built" in restored.trace.kinds()
+
+    def test_demo_prints_energy_ledger(self, capsys):
+        assert main(self.DEMO) == 0
+        out = capsys.readouterr().out
+        assert "energy ledger" in out
+        assert "hottest nodes" in out
+        assert "burn-down" in out
+        assert "network lifetime" in out
+
+
+class TestTrace:
+    DEMO = ["trace", "--demo", "--epochs", "2", "--nodes", "16"]
+
+    def test_trace_requires_demo(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+        assert "--demo" in capsys.readouterr().err
+
+    def test_demo_prints_span_tree_and_energy(self, capsys):
+        assert main(self.DEMO) == 0
+        out = capsys.readouterr().out
+        # the root span and its contiguous phases
+        assert "run (epochs=2" in out
+        assert "phase.setup" in out
+        assert "phase.plan_sweep" in out
+        assert "phase.engine" in out
+        # planner stack spans nested under the phases
+        assert "plan (planner=" in out
+        assert "solve (" in out
+        assert "sweep.member" in out
+        assert "energy ledger" in out
+
+    def test_chrome_export_is_valid_trace_json(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "trace.json"
+        assert main(self.DEMO + ["--chrome", str(target)]) == 0
+        doc = json.loads(target.read_text())
+        assert doc["traceEvents"][0]["ph"] == "M"
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in complete}
+        assert {"run", "phase.setup", "phase.plan_sweep",
+                "phase.engine"} <= names
+        assert all(e["dur"] >= 0 for e in complete)
+
+    def test_prom_export_has_ledger_gauges(self, capsys, tmp_path):
+        target = tmp_path / "metrics.prom"
+        assert main(self.DEMO + ["--prom", str(target)]) == 0
+        text = target.read_text()
+        assert "# TYPE repro_energy_ledger_total_mj gauge" in text
+        assert "repro_lp_solves_total" in text
+
+    def test_out_writes_flame_report(self, capsys, tmp_path):
+        target = tmp_path / "flame.txt"
+        assert main(self.DEMO + ["--out", str(target)]) == 0
+        assert "phase.engine" in target.read_text()
+
+
+class TestPhaseCoverage:
+    def test_phase_spans_cover_the_root_within_ten_percent(self):
+        """ISSUE acceptance: the demo span tree's per-phase wall times
+        must sum to within 10% of the root span."""
+        from repro.cli import _stats_demo
+
+        obs, __ = _stats_demo(epochs=3, nodes=16)
+        (root,) = obs.spans.roots
+        assert root.name == "run"
+        phase_total = sum(
+            child.duration_s for child in root.children
+            if child.name.startswith("phase.")
+        )
+        assert phase_total > 0
+        assert abs(root.duration_s - phase_total) <= 0.1 * root.duration_s
