@@ -1,0 +1,200 @@
+"""Multi-tenant service load benchmark (ISSUE acceptance numbers).
+
+Two workloads over one in-process :class:`~repro.service.TopKService`,
+each hosting many concurrent sessions on one shared ``n``-node random
+topology:
+
+- ``shared``: every session feeds the *same* warmup window, so the
+  content-keyed :class:`~repro.service.SharedPlanCache` compiles the
+  LP+LF parametric form once and every later session is a pure cache
+  hit.  A round-robin :class:`~repro.service.messages.SubmitQuery` loop
+  over all sessions measures queries/sec and p50/p99 latency;
+- ``private``: identical, except each session feeds a distinct window,
+  which defeats content keying and forces one compile per session —
+  the pre-service, per-tenant regime.
+
+``compile_speedup`` on the ``shared`` row is the private compile count
+over the shared compile count (sessions/1 when the cache works).  The
+acceptance bars from the issue — >= 500 queries/sec with p99 < 50 ms
+on the shared n = 60 workload, and a >= 10x compile-count reduction —
+are asserted here at full size and archived into
+``results/BENCH_service.json`` for the regression gate.
+
+``run(quick=True)`` (or ``--quick`` / ``BENCH_QUICK=1``) shrinks the
+fleet for the CI smoke job, which still checks that the shared cache
+engages (one compile total) without enforcing full-size bars.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+from _helpers import RESULTS_DIR, record
+
+from repro.network.builder import random_topology
+from repro.obs import Instrumentation
+from repro.service import InProcessClient, ServiceConfig, TopKService
+
+K = 5
+WARMUP_ROWS = 3
+
+
+def _percentile(latencies_ms: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(latencies_ms), q))
+
+
+def _run_workload(
+    workload: str, n: int, sessions: int, queries: int
+) -> dict:
+    """One service, ``sessions`` tenants, ``queries`` timed requests."""
+    obs = Instrumentation()
+    service = TopKService(
+        ServiceConfig(
+            max_sessions=sessions,
+            cache_capacity=max(32, sessions + 4),
+            replan_cache_capacity=max(16, sessions + 4),
+        ),
+        instrumentation=obs,
+    )
+    client = InProcessClient(service)
+    rng = np.random.default_rng(2006)
+    topology = random_topology(
+        n, rng=rng, radio_range=max(25.0, 200.0 / n**0.5)
+    )
+    topology_id = client.register_topology(topology)
+    budget = service.energy.message_cost(1) * 2.5 * K
+
+    handles = [
+        client.open_session(topology_id, K, budget_mj=budget)
+        for __ in range(sessions)
+    ]
+    shared_window = [rng.normal(25.0, 3.0, n) for __ in range(WARMUP_ROWS)]
+    for index, handle in enumerate(handles):
+        window = (
+            shared_window
+            if workload == "shared"
+            else [
+                np.random.default_rng(1000 + index).normal(25.0, 3.0, n)
+                for __ in range(WARMUP_ROWS)
+            ]
+        )
+        for row in window:
+            handle.feed(row)
+        # first query plans (compile or cache hit) and pays install;
+        # excluded from the steady-state latency loop
+        handle.query(rng.normal(25.0, 3.0, n))
+
+    readings = [rng.normal(25.0, 3.0, n) for __ in range(queries)]
+    latencies_ms: list[float] = []
+    loop_start = time.perf_counter()
+    for index, row in enumerate(readings):
+        handle = handles[index % sessions]
+        start = time.perf_counter()
+        reply = handle.query(row)
+        latencies_ms.append((time.perf_counter() - start) * 1e3)
+        assert len(reply.nodes) == K
+    loop_s = time.perf_counter() - loop_start
+
+    compiles = len(obs.spans.find("compile"))
+    assert service.cache.misses == compiles
+    return {
+        "workload": workload,
+        "n": n,
+        "sessions": sessions,
+        "queries": queries,
+        "qps": queries / max(loop_s, 1e-12),
+        "p50_ms": _percentile(latencies_ms, 50),
+        "p99_ms": _percentile(latencies_ms, 99),
+        "compiles": compiles,
+        "cache_hits": service.cache.hits,
+    }
+
+
+def run(quick: bool = False) -> list[dict]:
+    n, sessions, queries = (30, 6, 300) if quick else (60, 20, 3000)
+    private = _run_workload("private", n, sessions, queries)
+    shared = _run_workload("shared", n, sessions, queries)
+    # the headline multi-tenancy win: one compile serves the fleet
+    shared["compile_speedup"] = private["compiles"] / max(
+        shared["compiles"], 1
+    )
+    private["compile_speedup"] = 1.0
+    return [shared, private]
+
+
+def _archive(rows: list[dict], quick: bool) -> None:
+    record(
+        "service",
+        rows,
+        columns=[
+            "workload", "n", "sessions", "queries", "qps",
+            "p50_ms", "p99_ms", "compiles", "cache_hits",
+            "compile_speedup",
+        ],
+        title="Multi-tenant service load: shared vs private plan caches",
+    )
+    payload = {
+        "benchmark": "service",
+        "quick": quick,
+        "rows": rows,
+        "acceptance": {
+            "minima": [
+                {
+                    "metric": "qps",
+                    "where": {"workload": "shared"},
+                    "min": 500.0,
+                },
+                {
+                    "metric": "compile_speedup",
+                    "where": {"workload": "shared"},
+                    "min": 10.0,
+                },
+            ],
+            "maxima": [
+                {
+                    "metric": "p99_ms",
+                    "where": {"workload": "shared"},
+                    "max": 50.0,
+                },
+            ],
+            "enforced": not quick,
+        },
+    }
+    (RESULTS_DIR / "BENCH_service.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+
+def _assert_bars(rows: list[dict], quick: bool) -> None:
+    shared = next(r for r in rows if r["workload"] == "shared")
+    private = next(r for r in rows if r["workload"] == "private")
+    # the shared cache must actually engage: one compile for the fleet,
+    # one compile per tenant without it
+    assert shared["compiles"] == 1
+    assert private["compiles"] == shared["sessions"]
+    assert shared["compile_speedup"] == shared["sessions"]
+    if quick:
+        # smoke: correctness of the sharing, not full-size throughput
+        assert shared["qps"] > 0
+        return
+    assert shared["qps"] >= 500.0
+    assert shared["p99_ms"] < 50.0
+    assert shared["compile_speedup"] >= 10.0
+
+
+def test_service(benchmark):
+    quick = bool(os.environ.get("BENCH_QUICK"))
+    rows = benchmark.pedantic(run, args=(quick,), rounds=1, iterations=1)
+    _archive(rows, quick)
+    _assert_bars(rows, quick)
+
+
+if __name__ == "__main__":
+    quick_mode = "--quick" in sys.argv or bool(os.environ.get("BENCH_QUICK"))
+    result_rows = run(quick=quick_mode)
+    _archive(result_rows, quick_mode)
+    _assert_bars(result_rows, quick_mode)

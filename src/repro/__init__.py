@@ -35,12 +35,16 @@ from repro.datagen import (
     random_gaussian_field,
 )
 from repro.errors import (
+    AdmissionError,
     BudgetError,
     ModelError,
     ObservabilityError,
+    OverloadError,
     PlanError,
     ReproError,
     SamplingError,
+    ServiceError,
+    SessionError,
     SolverError,
     TopologyError,
     TraceError,
@@ -69,6 +73,7 @@ from repro.planners import (
     LPNoLFPlanner,
     OraclePlanner,
     OracleProofPlanner,
+    PlannerConfig,
     PlanningContext,
     ProofPlanner,
     WeightedMajorityPlanner,
@@ -113,6 +118,15 @@ from repro.query import (
     accuracy,
 )
 from repro.sampling import AdaptiveSampler, SampleMatrix, SampleWindow
+from repro.service import (
+    InProcessClient,
+    ServiceConfig,
+    ServiceThread,
+    SessionHandle,
+    SharedPlanCache,
+    SocketClient,
+    TopKService,
+)
 from repro.simulation import (
     BatchSimulationReport,
     BatchSimulator,
@@ -125,10 +139,11 @@ from repro.stochastic import (
     TwoStageSteinerTree,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdaptiveSampler",
+    "AdmissionError",
     "AuditResult",
     "AnswerMatrix",
     "BatchSimulationReport",
@@ -145,6 +160,7 @@ __all__ = [
     "GHSOutcome",
     "GaussianField",
     "GreedyPlanner",
+    "InProcessClient",
     "Instrumentation",
     "IntelLabSurrogate",
     "LPLFPlanner",
@@ -155,7 +171,9 @@ __all__ = [
     "ObservabilityError",
     "OraclePlanner",
     "OracleProofPlanner",
+    "OverloadError",
     "PlanError",
+    "PlannerConfig",
     "PlanningContext",
     "ProofPlanner",
     "QuantileQuery",
@@ -167,9 +185,16 @@ __all__ = [
     "SamplingError",
     "ScenarioSet",
     "SelectionQuery",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceThread",
+    "SessionError",
+    "SessionHandle",
+    "SharedPlanCache",
     "SimpleTopKInstance",
     "SimulationReport",
     "Simulator",
+    "SocketClient",
     "SolverError",
     "SpanTracer",
     "SubsetQueryPlanner",
@@ -177,6 +202,7 @@ __all__ = [
     "ThresholdPlanner",
     "TopKEngine",
     "TopKQuery",
+    "TopKService",
     "TwoStageSteinerTree",
     "WeightedMajorityPlanner",
     "Topology",

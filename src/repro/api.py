@@ -1,0 +1,170 @@
+"""The stable public API facade.
+
+Everything here is covered by the compatibility promise documented in
+the README ("Supported API"): signatures only gain keyword arguments,
+and behaviour changes announce themselves with
+``DeprecationWarning`` for one release first.  The facade has two
+halves:
+
+**Service half** — multi-tenant, session-based (the deployment shape):
+
+>>> import repro.api as api
+>>> client = api.connect()                     # private in-process service
+>>> tid = client.register_topology([-1, 0, 0, 1, 1])
+>>> session = api.open_session(client, tid, k=2, budget_mj=40.0)
+>>> session.feed([1.0, 9.0, 3.0, 7.0, 2.0])
+SampleAccepted(session_id='s0001', window_size=1)
+>>> reply = api.submit_query(session, [1.0, 9.0, 3.0, 7.0, 2.0])
+>>> sorted(reply.nodes) == [1, 3]
+True
+
+**Library half** — direct, single-call planning and simulation:
+
+:func:`plan` runs one PROSPECTOR planner over a sample window and
+:func:`simulate` executes the result against live readings; both are
+thin compositions of the long-stable lower layers
+(:class:`~repro.planners.base.PlanningContext`,
+:class:`~repro.simulation.runtime.Simulator`) with the keyword-only
+construction style the rest of the codebase converged on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.energy import EnergyModel
+from repro.network.topology import Topology
+from repro.planners.base import PlanningContext
+from repro.planners.greedy import GreedyPlanner
+from repro.planners.lp_lf import LPLFPlanner
+from repro.planners.lp_no_lf import LPNoLFPlanner
+from repro.planners.proof import ProofPlanner
+from repro.sampling.matrix import SampleMatrix
+from repro.service.client import (
+    InProcessClient,
+    SessionHandle,
+    SocketClient,
+    connect,
+)
+from repro.service.messages import QueryReply
+from repro.service.server import ServiceConfig, ServiceThread, TopKService
+from repro.simulation.runtime import SimulationReport, Simulator
+
+__all__ = [
+    "InProcessClient",
+    "ServiceConfig",
+    "ServiceThread",
+    "SessionHandle",
+    "SocketClient",
+    "TopKService",
+    "connect",
+    "open_session",
+    "plan",
+    "simulate",
+    "submit_query",
+]
+
+_PLANNERS = {
+    "greedy": GreedyPlanner,
+    "lp-lf": LPLFPlanner,
+    "lp-no-lf": LPNoLFPlanner,
+    "proof": ProofPlanner,
+}
+
+
+def open_session(
+    client,
+    topology,
+    k: int,
+    *,
+    planner: str = "lp-lf",
+    budget_mj: float = 500.0,
+    window_capacity: int = 25,
+    replan_every: int = 10,
+    track_truth: bool = True,
+) -> SessionHandle:
+    """Open one tenant session on a client from :func:`connect`.
+
+    ``topology`` is a registered topology id, a
+    :class:`~repro.network.topology.Topology`, or a parents vector —
+    the latter two are registered (idempotently) first.
+    """
+    if isinstance(topology, str):
+        topology_id = topology
+    else:
+        topology_id = client.register_topology(topology)
+    return client.open_session(
+        topology_id,
+        k,
+        planner=planner,
+        budget_mj=budget_mj,
+        window_capacity=window_capacity,
+        replan_every=replan_every,
+        track_truth=track_truth,
+    )
+
+
+def submit_query(session: SessionHandle, readings) -> QueryReply:
+    """Execute the session's installed plan on this epoch's readings."""
+    return session.query(readings)
+
+
+def plan(
+    topology: Topology,
+    energy: EnergyModel,
+    samples,
+    k: int,
+    budget_mj: float,
+    *,
+    planner: str = "lp-lf",
+    instrumentation=None,
+):
+    """One-shot planning: samples in, :class:`~repro.plans.plan.QueryPlan` out.
+
+    ``samples`` is an ``(m, n)`` array of past full-network readings
+    (or a ready :class:`~repro.sampling.matrix.SampleMatrix`);
+    ``planner`` is one of ``greedy``, ``lp-lf``, ``lp-no-lf``,
+    ``proof``.
+    """
+    try:
+        planner_cls = _PLANNERS[planner]
+    except KeyError:
+        raise ValueError(
+            f"unknown planner {planner!r}; available:"
+            f" {', '.join(sorted(_PLANNERS))}"
+        ) from None
+    if not isinstance(samples, SampleMatrix):
+        samples = SampleMatrix(np.asarray(samples, dtype=float), k=k)
+    context = PlanningContext(
+        topology=topology,
+        energy=energy,
+        samples=samples,
+        k=k,
+        budget=float(budget_mj),
+        instrumentation=instrumentation,
+    )
+    return planner_cls().plan(context)
+
+
+def simulate(
+    topology: Topology,
+    energy: EnergyModel,
+    query_plan,
+    readings,
+    *,
+    failures=None,
+    rng=None,
+    instrumentation=None,
+    ledger=None,
+) -> SimulationReport:
+    """Execute ``query_plan`` once on ``readings``, with full energy
+    accounting (and optional failure injection / observability)."""
+    simulator = Simulator(
+        topology,
+        energy,
+        failures=failures,
+        rng=rng,
+        instrumentation=instrumentation,
+        ledger=ledger,
+    )
+    return simulator.run_collection(query_plan, readings)

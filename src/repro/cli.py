@@ -8,8 +8,16 @@ Usage::
     python -m repro run all
     python -m repro stats --demo
     python -m repro stats --demo --json --out /tmp/stats.json
+    python -m repro stats --demo --service
     python -m repro trace --demo
+    python -m repro trace --demo --service
     python -m repro trace --demo --chrome /tmp/trace.json --prom /tmp/metrics.prom
+    python -m repro serve --port 7690
+
+With ``--service`` the demo runs through a live in-process
+multi-tenant service (two sessions sharing one compiled plan), so the
+reported spans include ``service.request`` and the ``service.cache.*``
+counters; ``serve`` exposes the same service over a JSON-lines socket.
 """
 
 from __future__ import annotations
@@ -105,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the report to this file",
     )
+    stats.add_argument(
+        "--service",
+        action="store_true",
+        help=(
+            "route the demo through a live in-process multi-tenant"
+            " service (two sessions, shared plan cache)"
+        ),
+    )
 
     trace = subparsers.add_parser(
         "trace",
@@ -144,6 +160,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         help="also write the flame/energy report to this file",
+    )
+    trace.add_argument(
+        "--service",
+        action="store_true",
+        help=(
+            "route the demo through a live in-process multi-tenant"
+            " service (two sessions, shared plan cache)"
+        ),
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="host the multi-tenant top-k query service (JSON lines/TCP)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default localhost)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=7690,
+        help="TCP port (default 7690; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=16,
+        help="admission-control cap on concurrent open sessions",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=8,
+        help="per-session pending-request bound before shedding",
+    )
+    serve.add_argument(
+        "--session-ttl", type=float, default=300.0,
+        help="idle seconds before a session expires (default 300)",
     )
     return parser
 
@@ -237,6 +285,76 @@ def _stats_demo(
     return obs, ledger
 
 
+def _service_demo(
+    epochs: int = 12,
+    nodes: int = 24,
+    k: int = 5,
+    seed: int = 7,
+    capacity_mj: float = 200.0,
+    sessions: int = 2,
+):
+    """The demo run routed through a live in-process service.
+
+    Same shape as :func:`_stats_demo` but multi-tenant: ``sessions``
+    clients share one registered topology and one
+    :class:`~repro.service.cache.SharedPlanCache`, so the resulting
+    span tree shows ``service.request`` handling and (at most) one
+    ``compile`` span per distinct sample window.  Returns
+    ``(obs, ledger)`` with the first session's per-node ledger.
+    """
+    import numpy as np
+
+    from repro.datagen.gaussian import random_gaussian_field
+    from repro.network.builder import random_topology
+    from repro.obs import Instrumentation
+    from repro.service.client import InProcessClient
+    from repro.service.server import ServiceConfig, TopKService
+
+    obs = Instrumentation()
+    service = TopKService(
+        ServiceConfig(ledger_capacity_mj=capacity_mj),
+        instrumentation=obs,
+    )
+    client = InProcessClient(service)
+    with obs.span(
+        "run", epochs=epochs, nodes=nodes, k=k, sessions=sessions
+    ):
+        with obs.span("phase.setup"):
+            rng = np.random.default_rng(seed)
+            radio_range = max(25.0, 200.0 / nodes**0.5)
+            topology = random_topology(
+                nodes, rng=rng, radio_range=radio_range
+            )
+            field = random_gaussian_field(nodes, rng)
+            budget = service.energy.message_cost(1) * 2.5 * k
+            topology_id = client.register_topology(topology)
+            warmup = [field.sample(rng) for __ in range(3)]
+
+        with obs.span("phase.sessions"):
+            handles = [
+                client.open_session(
+                    topology_id, k, budget_mj=budget, replan_every=3
+                )
+                for __ in range(sessions)
+            ]
+            # identical warmup windows: the second session's first plan
+            # is a pure shared-cache hit (zero compile work)
+            for handle in handles:
+                for row in warmup:
+                    handle.feed(row)
+
+        with obs.span("phase.load"):
+            for __ in range(epochs):
+                row = field.sample(rng)
+                for handle in handles:
+                    handle.step(row)
+            client.stats()
+
+    ledger = service.ledger_of(handles[0].session_id)
+    ledger.publish(obs)
+    return obs, ledger
+
+
 def _energy_section(ledger) -> str:
     """ASCII rendering of the ledger's headline telemetry."""
     from repro.experiments.reporting import format_table
@@ -287,20 +405,57 @@ def _run_one(name: str, chart: bool = False) -> str:
     return text
 
 
+def _serve_command(args) -> int:
+    """Host the JSON-lines service until interrupted."""
+    import asyncio
+
+    from repro.service.server import ServiceConfig, TopKService, serve
+
+    service = TopKService(
+        ServiceConfig(
+            max_sessions=args.max_sessions,
+            queue_limit=args.queue_limit,
+            session_ttl_s=args.session_ttl,
+        )
+    )
+
+    async def _run() -> None:
+        server = await serve(service, args.host, args.port)
+        bound = server.sockets[0].getsockname()
+        print(f"repro service listening on {bound[0]}:{bound[1]}")
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("service stopped")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.command == "serve":
+        return _serve_command(args)
 
     if args.command == "stats":
         if not args.demo:
             parser.error("stats requires --demo (no live run to report on)")
         from repro.obs import render_report, to_json
 
-        obs, ledger = _stats_demo(epochs=args.epochs, nodes=args.nodes)
+        demo = _service_demo if args.service else _stats_demo
+        obs, ledger = demo(epochs=args.epochs, nodes=args.nodes)
+        title = (
+            "repro stats (service demo run)"
+            if args.service
+            else "repro stats (demo run)"
+        )
         text = (
             to_json(obs)
             if args.json
-            else render_report(obs, title="repro stats (demo run)")
+            else render_report(obs, title=title)
             + "\n\n"
             + _energy_section(ledger)
         )
@@ -315,7 +470,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error("trace requires --demo (no live run to trace)")
         from repro.obs import chrome_trace_json, prometheus_text, render_flame
 
-        obs, ledger = _stats_demo(
+        demo = _service_demo if args.service else _stats_demo
+        obs, ledger = demo(
             epochs=args.epochs, nodes=args.nodes, capacity_mj=args.capacity
         )
         text = render_flame(obs) + "\n\n" + _energy_section(ledger)

@@ -61,3 +61,32 @@ class ObservabilityError(ReproError):
     misuse of :mod:`repro.obs`; never raised on the hot path when
     instrumentation is disabled.
     """
+
+
+class ServiceError(ReproError):
+    """Base class for the multi-tenant query service's failures.
+
+    Subclasses travel over the wire by class name (see
+    :mod:`repro.service.messages`), so a socket client raises the same
+    typed error an in-process caller would.
+    """
+
+
+class SessionError(ServiceError):
+    """A session id is unknown, already closed, or idle-expired."""
+
+
+class AdmissionError(ServiceError):
+    """The service refused to open a session (admission control).
+
+    Raised when the configured maximum number of concurrent sessions
+    is reached; callers should retry later or close idle sessions.
+    """
+
+
+class OverloadError(ServiceError):
+    """A request was shed under backpressure.
+
+    Raised when a session's bounded request queue is full; the request
+    was *not* executed and can safely be retried after a backoff.
+    """

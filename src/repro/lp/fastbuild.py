@@ -16,7 +16,7 @@ property-tested (``tests/lp/test_fastbuild.py``).
 On top of the compilers sits :class:`ReplanCache`: the constraint
 blocks that do not depend on the sample matrix (edge-use rows, path
 rows, budget-row coefficients, bounds) are memoized per topology
-identity + energy-cost fingerprint (+ ``k``), which is exactly the
+content token + energy-cost fingerprint (+ ``k``), which is exactly the
 regime :class:`~repro.query.engine.TopKEngine` replans live in — same
 tree, sliding sample window.  A window slide then only rebuilds the
 ``ones(j)``-dependent rows.  Cache hits/misses and compile timers land
@@ -26,6 +26,8 @@ in :mod:`repro.obs` under ``fastbuild.cache.hits`` /
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Callable
 
@@ -142,40 +144,70 @@ class ParametricForm:
 class ReplanCache:
     """Memoizes sample-independent constraint blocks across replans.
 
-    Entries are keyed on ``(formulation, id(topology), k,
-    cost-fingerprint)`` and additionally verified by identity against
-    the stored topology object, so a recycled ``id()`` can never alias
-    a different tree.  A topology change, a ``k`` change, or any change
-    to the energy costs (including link-failure penalty drift) misses
-    and rebuilds; a pure sample-window slide hits.
+    Entries are keyed on **content**: ``(formulation,
+    topology.cache_token(), k, cost-fingerprint)``.  The token is the
+    parent vector, which determines every derived structure, so two
+    structurally equal trees share entries — the property the
+    cross-session caches of :mod:`repro.service.cache` rely on.  Each
+    hit is additionally verified with ``same_structure`` against the
+    stored topology, so a hand-built key can never alias a different
+    tree.  A topology change, a ``k`` change, or any change to the
+    energy costs (including link-failure penalty drift) misses and
+    rebuilds; a pure sample-window slide hits.
+
+    The cache is a bounded LRU (a hit refreshes recency; beyond
+    ``capacity`` the least-recently-used entry is evicted and counted
+    in ``evictions``) and is safe for concurrent access: lookups and
+    inserts hold an internal lock, which is what lets one instance be
+    shared by every session of a :class:`~repro.service.server.TopKService`.
     """
 
     def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("replan cache capacity must be >= 1")
         self.capacity = capacity
-        self._entries: dict[tuple, dict] = {}
+        self._entries: "OrderedDict[tuple, dict]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: tuple, topology) -> dict | None:
-        entry = self._entries.get(key)
-        if entry is None or entry["topology"] is not topology:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or not entry["topology"].same_structure(topology):
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: tuple, topology, entry: dict) -> dict:
         entry["topology"] = topology
-        if key not in self._entries and len(self._entries) >= self.capacity:
-            self._entries.pop(next(iter(self._entries)))
-        self._entries[key] = entry
+        with self._lock:
+            if key not in self._entries:
+                while len(self._entries) >= self.capacity:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
         return entry
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def __getstate__(self) -> dict:
+        # a cache's warmth is not part of its owner's identity, and the
+        # lock is process-local: pickled copies (experiment-runner
+        # content fingerprints, process-pool workers) start empty
+        return {"capacity": self.capacity}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(capacity=state["capacity"])
 
 
 # -- shared helpers ---------------------------------------------------------
@@ -284,7 +316,10 @@ def compile_lp_no_lf(context, cache: ReplanCache | None = None) -> CompiledLP:
         y_col_of = np.full(n, -1, dtype=np.int64)
         y_col_of[edges] = n + np.arange(num_edges)
 
-        key = ("lp-no-lf", id(topology), context.k, _cost_fingerprint(context))
+        key = (
+            "lp-no-lf", topology.cache_token(), context.k,
+            _cost_fingerprint(context),
+        )
 
         def build_static() -> dict:
             indptr, path_flat = topology.path_edge_arrays()
@@ -385,7 +420,10 @@ def compile_lp_lf(context, cache: ReplanCache | None = None) -> CompiledLP:
         y_col_of = np.full(n, -1, dtype=np.int64)
         y_col_of[edges] = num_edges + np.arange(num_edges)
 
-        key = ("lp-lf", id(topology), context.k, _cost_fingerprint(context))
+        key = (
+            "lp-lf", topology.cache_token(), context.k,
+            _cost_fingerprint(context),
+        )
 
         def build_static() -> dict:
             subtree = topology.subtree_size_array()[edges].astype(float)

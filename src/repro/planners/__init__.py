@@ -14,7 +14,7 @@ All planners consume a :class:`~repro.planners.base.PlanningContext`
   baselines of §5.
 """
 
-from repro.planners.base import Planner, PlanningContext
+from repro.planners.base import Planner, PlannerConfig, PlanningContext
 from repro.planners.dp import DPPlanner
 from repro.planners.ensemble import WeightedMajorityPlanner
 from repro.planners.exact import ExactOutcome, ExactTopK, mop_up
@@ -34,6 +34,7 @@ __all__ = [
     "OraclePlanner",
     "OracleProofPlanner",
     "Planner",
+    "PlannerConfig",
     "PlanningContext",
     "ProofPlanner",
     "WeightedMajorityPlanner",

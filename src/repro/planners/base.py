@@ -9,7 +9,8 @@ budget ``E``.
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, fields, replace
 from typing import Protocol
 
 from repro.errors import BudgetError, SamplingError
@@ -70,6 +71,88 @@ class PlanningContext:
         if self.energy.acquisition_mj:
             cost += self.energy.acquisition_mj * len(plan.visited_nodes)
         return cost
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Construction knobs shared by the LP-based planners.
+
+    The counterpart of :class:`~repro.query.engine.EngineConfig` for
+    planner construction: one keyword-friendly object instead of a
+    positional tail, so ``LPLFPlanner(config=PlannerConfig(...))``,
+    ``LPLFPlanner(strict_budget=False)`` and the service layer's
+    per-session planner factories all spell options the same way.
+    Explicit keyword arguments override the config's fields.
+    """
+
+    strict_budget: bool = True
+    """Repair the rounded bandwidths back under the budget."""
+
+    fill_budget: bool = True
+    """Spend leftover budget on the best expected-hit increments."""
+
+    backend: object = None
+    """LP solver backend instance or registered name (default HiGHS)."""
+
+    compiler: str = "fast"
+    """``"fast"`` (direct array lowering) or ``"algebraic"``."""
+
+    replan_cache: object = None
+    """Optional :class:`~repro.lp.fastbuild.ReplanCache` to share
+    across planners (the service installs one per shared-cache pool);
+    ``None`` gives the planner a private cache."""
+
+    form_cache: object = None
+    """Optional cross-session compiled-form cache (duck-typed; see
+    :class:`repro.service.cache.SharedPlanCache`).  When set, LP
+    planners fetch whole compiled formulations from it by content
+    fingerprint instead of recompiling per planner instance."""
+
+
+def resolve_planner_config(
+    planner_name: str,
+    defaults: PlannerConfig,
+    args: tuple,
+    config: PlannerConfig | None,
+    overrides: dict,
+) -> PlannerConfig:
+    """Merge deprecated positional args, a config object, and keywords.
+
+    Precedence (highest first): explicit keyword overrides, deprecated
+    positional arguments, ``config``, the planner's own ``defaults``.
+    A non-empty positional tail fires exactly one
+    :class:`DeprecationWarning` — the shim kept for pre-1.1 signatures
+    like ``LPLFPlanner(True, False, backend)``.
+    """
+    merged = config if config is not None else defaults
+    if args:
+        warnings.warn(
+            f"positional arguments to {planner_name} are deprecated;"
+            " pass keywords or a PlannerConfig",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        positional_fields = ("strict_budget", "fill_budget", "backend",
+                             "compiler")
+        if len(args) > len(positional_fields):
+            raise TypeError(
+                f"{planner_name} takes at most"
+                f" {len(positional_fields)} positional arguments"
+            )
+        merged = replace(merged, **dict(zip(positional_fields, args)))
+    known = {f.name for f in fields(PlannerConfig)}
+    unknown = set(overrides) - known
+    if unknown:
+        raise TypeError(
+            f"{planner_name} got unexpected keyword arguments"
+            f" {sorted(unknown)}"
+        )
+    supplied = {k: v for k, v in overrides.items() if v is not None}
+    if supplied:
+        merged = replace(merged, **supplied)
+    if merged.compiler not in ("fast", "algebraic"):
+        raise ValueError(f"unknown compiler {merged.compiler!r}")
+    return merged
 
 
 class Planner(Protocol):

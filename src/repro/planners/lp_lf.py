@@ -30,7 +30,12 @@ from repro.lp.fastbuild import (
 )
 from repro.obs.spans import maybe_span
 from repro.plans.plan import QueryPlan
-from repro.planners.base import PlanningContext, observed
+from repro.planners.base import (
+    PlannerConfig,
+    PlanningContext,
+    observed,
+    resolve_planner_config,
+)
 from repro.planners.rounding import (
     fill_bandwidths,
     repair_bandwidths,
@@ -41,8 +46,15 @@ from repro.planners.rounding import (
 class LPLFPlanner:
     """PROSPECTOR LP+LF.
 
+    Constructed from keywords or a shared
+    :class:`~repro.planners.base.PlannerConfig` (positional arguments
+    are deprecated):
+
     Parameters
     ----------
+    config:
+        A :class:`~repro.planners.base.PlannerConfig`; explicit
+        keywords below override its fields.
     strict_budget:
         Repair the rounded bandwidths back under the budget (default);
         otherwise return the raw rounding (factor-2 cost guarantee).
@@ -62,24 +74,30 @@ class LPLFPlanner:
         the reference :class:`~repro.lp.Model` object graph.  The two
         produce identical arrays (property-tested), so this only trades
         build time.
+    replan_cache / form_cache:
+        Optional shared caches (see :class:`PlannerConfig`); the
+        service layer installs one pool across all sessions.
     """
 
     name = "lp-lf"
+    _defaults = PlannerConfig()
 
-    def __init__(
-        self,
-        strict_budget: bool = True,
-        fill_budget: bool = True,
-        backend=None,
-        compiler: str = "fast",
-    ) -> None:
-        if compiler not in ("fast", "algebraic"):
-            raise ValueError(f"unknown compiler {compiler!r}")
-        self.strict_budget = strict_budget
-        self.fill_budget = fill_budget
-        self.backend = backend
-        self.compiler = compiler
-        self.replan_cache = ReplanCache()
+    def __init__(self, *args, config: PlannerConfig | None = None,
+                 **overrides) -> None:
+        resolved = resolve_planner_config(
+            type(self).__name__, self._defaults, args, config, overrides
+        )
+        self.strict_budget = resolved.strict_budget
+        self.fill_budget = resolved.fill_budget
+        self.backend = resolved.backend
+        self.compiler = resolved.compiler
+        # explicit None-check: an empty shared ReplanCache is falsy
+        self.replan_cache = (
+            resolved.replan_cache
+            if resolved.replan_cache is not None
+            else ReplanCache()
+        )
+        self.form_cache = resolved.form_cache
 
     def build_model(self, context: PlanningContext) -> tuple[Model, dict, dict, dict]:
         topology = context.topology
@@ -143,12 +161,35 @@ class LPLFPlanner:
         model.maximize(LinExpr.sum_of(z.values()))
         return model, b, y, z
 
+    def _parametric(self, context: PlanningContext):
+        """The compiled parametric form, via the cross-session cache
+        when one is installed (content-fingerprint keyed, so two
+        sessions over equal topologies/windows compile exactly once)."""
+        if self.form_cache is not None:
+            return self.form_cache.parametric(
+                "lp-lf",
+                context,
+                lambda: compile_lp_lf_parametric(
+                    context, cache=self.replan_cache
+                ),
+            )
+        return compile_lp_lf_parametric(context, cache=self.replan_cache)
+
     def compile_fast(self, context: PlanningContext) -> CompiledLP:
         """Lower the formulation straight to standard-form arrays.
 
         Bit-compatible with ``compile_model(build_model(context))``;
         sample-independent blocks come from ``self.replan_cache``.
+        With a cross-session ``form_cache`` installed, a hit returns
+        the cached arrays with only the budget RHS patched — no
+        compile at all.
         """
+        if self.form_cache is not None:
+            parametric = self._parametric(context)
+            return replace(
+                parametric.compiled,
+                form=parametric.form_for(context.budget),
+            )
         return compile_lp_lf(context, cache=self.replan_cache)
 
     @observed
@@ -188,7 +229,7 @@ class LPLFPlanner:
         backend = resolve_backend(self.backend, context.instrumentation)
         if self.compiler != "fast" or not hasattr(backend, "solve_sweep"):
             return [self.plan(replace(context, budget=b)) for b in budgets]
-        parametric = compile_lp_lf_parametric(context, cache=self.replan_cache)
+        parametric = self._parametric(context)
         solutions = backend.solve_sweep(
             parametric, parametric.rhs_values(budgets)
         )

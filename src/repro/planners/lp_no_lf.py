@@ -26,7 +26,12 @@ from repro.lp.fastbuild import (
 )
 from repro.obs.spans import maybe_span
 from repro.plans.plan import QueryPlan
-from repro.planners.base import PlanningContext, observed
+from repro.planners.base import (
+    PlannerConfig,
+    PlanningContext,
+    observed,
+    resolve_planner_config,
+)
 from repro.planners.rounding import (
     ROUND_THRESHOLD,
     fill_chosen_nodes,
@@ -37,8 +42,15 @@ from repro.planners.rounding import (
 class LPNoLFPlanner:
     """PROSPECTOR LP−LF.
 
+    Constructed from keywords or a shared
+    :class:`~repro.planners.base.PlannerConfig` (positional arguments
+    are deprecated):
+
     Parameters
     ----------
+    config:
+        A :class:`~repro.planners.base.PlannerConfig`; explicit
+        keywords below override its fields.
     strict_budget:
         When True (default), the rounded plan is repaired to fit the
         budget exactly by dropping the lowest-count chosen nodes; when
@@ -63,21 +75,24 @@ class LPNoLFPlanner:
     """
 
     name = "lp-no-lf"
+    _defaults = PlannerConfig()
 
-    def __init__(
-        self,
-        strict_budget: bool = True,
-        fill_budget: bool = True,
-        backend=None,
-        compiler: str = "fast",
-    ) -> None:
-        if compiler not in ("fast", "algebraic"):
-            raise ValueError(f"unknown compiler {compiler!r}")
-        self.strict_budget = strict_budget
-        self.fill_budget = fill_budget
-        self.backend = backend
-        self.compiler = compiler
-        self.replan_cache = ReplanCache()
+    def __init__(self, *args, config: PlannerConfig | None = None,
+                 **overrides) -> None:
+        resolved = resolve_planner_config(
+            type(self).__name__, self._defaults, args, config, overrides
+        )
+        self.strict_budget = resolved.strict_budget
+        self.fill_budget = resolved.fill_budget
+        self.backend = resolved.backend
+        self.compiler = resolved.compiler
+        # explicit None-check: an empty shared ReplanCache is falsy
+        self.replan_cache = (
+            resolved.replan_cache
+            if resolved.replan_cache is not None
+            else ReplanCache()
+        )
+        self.form_cache = resolved.form_cache
 
     def build_model(self, context: PlanningContext) -> tuple[Model, dict, dict]:
         """Construct the LP; exposed separately for tests and timing."""
@@ -130,12 +145,33 @@ class LPNoLFPlanner:
         )
         return model, x, y
 
+    def _parametric(self, context: PlanningContext):
+        """The compiled parametric form, via the cross-session cache
+        when one is installed (content-fingerprint keyed)."""
+        if self.form_cache is not None:
+            return self.form_cache.parametric(
+                "lp-no-lf",
+                context,
+                lambda: compile_lp_no_lf_parametric(
+                    context, cache=self.replan_cache
+                ),
+            )
+        return compile_lp_no_lf_parametric(context, cache=self.replan_cache)
+
     def compile_fast(self, context: PlanningContext) -> CompiledLP:
         """Lower the formulation straight to standard-form arrays.
 
         Bit-compatible with ``compile_model(build_model(context))``;
         sample-independent blocks come from ``self.replan_cache``.
+        With a cross-session ``form_cache`` installed, a hit returns
+        the cached arrays with only the budget RHS patched.
         """
+        if self.form_cache is not None:
+            parametric = self._parametric(context)
+            return replace(
+                parametric.compiled,
+                form=parametric.form_for(context.budget),
+            )
         return compile_lp_no_lf(context, cache=self.replan_cache)
 
     @observed
@@ -174,9 +210,7 @@ class LPNoLFPlanner:
         backend = resolve_backend(self.backend, context.instrumentation)
         if self.compiler != "fast" or not hasattr(backend, "solve_sweep"):
             return [self.plan(replace(context, budget=b)) for b in budgets]
-        parametric = compile_lp_no_lf_parametric(
-            context, cache=self.replan_cache
-        )
+        parametric = self._parametric(context)
         solutions = backend.solve_sweep(
             parametric, parametric.rhs_values(budgets)
         )

@@ -31,7 +31,12 @@ from repro.lp.backend import resolve_backend
 from repro.lp.fastbuild import CompiledLP, compile_proof, compile_proof_parametric
 from repro.obs.spans import maybe_span
 from repro.plans.plan import QueryPlan
-from repro.planners.base import PlanningContext, observed
+from repro.planners.base import (
+    PlannerConfig,
+    PlanningContext,
+    observed,
+    resolve_planner_config,
+)
 from repro.planners.rounding import repair_bandwidths, round_bandwidth
 
 _PROVEN_COUNT_BYTES = 2
@@ -59,20 +64,17 @@ class ProofPlanner:
     """
 
     name = "prospector-proof"
+    _defaults = PlannerConfig(fill_budget=False)
 
-    def __init__(
-        self,
-        strict_budget: bool = True,
-        fill_budget: bool = False,
-        backend=None,
-        compiler: str = "fast",
-    ) -> None:
-        if compiler not in ("fast", "algebraic"):
-            raise ValueError(f"unknown compiler {compiler!r}")
-        self.strict_budget = strict_budget
-        self.fill_budget = fill_budget
-        self.backend = backend
-        self.compiler = compiler
+    def __init__(self, *args, config: PlannerConfig | None = None,
+                 **overrides) -> None:
+        resolved = resolve_planner_config(
+            type(self).__name__, self._defaults, args, config, overrides
+        )
+        self.strict_budget = resolved.strict_budget
+        self.fill_budget = resolved.fill_budget
+        self.backend = resolved.backend
+        self.compiler = resolved.compiler
 
     def minimum_cost(self, context: PlanningContext) -> float:
         """Cost of the cheapest legal proof plan (bandwidth 1 everywhere),

@@ -1,0 +1,34 @@
+"""The multi-tenant top-k query service (base-station deployment).
+
+One process hosts many concurrent :class:`~repro.query.engine.TopKEngine`
+sessions over a registry of shared topologies.  The layer splits into:
+
+- :mod:`repro.service.messages` — the wire protocol: frozen
+  request/reply dataclasses with exact JSON-lines round-trips;
+- :mod:`repro.service.cache` — :class:`SharedPlanCache`, the
+  cross-session pool of compiled parametric LPs and replan-cache
+  blocks, keyed by content fingerprint;
+- :mod:`repro.service.session` — one tenant's engine plus its
+  lifecycle (open → expired/closed) and per-session backpressure;
+- :mod:`repro.service.server` — :class:`TopKService` (the sync,
+  transport-agnostic core) and the asyncio JSON-lines socket front end;
+- :mod:`repro.service.client` — in-process and socket clients behind
+  one :class:`SessionHandle` surface.
+
+The stable entry points are re-exported by :mod:`repro.api`.
+"""
+
+from repro.service.cache import SharedPlanCache
+from repro.service.client import InProcessClient, SessionHandle, SocketClient
+from repro.service.server import ServiceConfig, ServiceThread, TopKService, serve
+
+__all__ = [
+    "InProcessClient",
+    "ServiceConfig",
+    "ServiceThread",
+    "SessionHandle",
+    "SharedPlanCache",
+    "SocketClient",
+    "TopKService",
+    "serve",
+]

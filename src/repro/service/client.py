@@ -1,0 +1,213 @@
+"""Service clients: one surface, two transports.
+
+:class:`InProcessClient` calls :meth:`TopKService.handle` directly
+(zero serialization — the load benchmark's path), while
+:class:`SocketClient` speaks the JSON-lines protocol over TCP.  Both
+raise the same typed :mod:`repro.errors` exceptions and hand out the
+same :class:`SessionHandle`, so code written against one runs against
+the other; the protocol round-trip test pins that equivalence.
+
+:func:`connect` is the front door (also re-exported as
+:func:`repro.api.connect`): give it nothing for a private in-process
+service, a :class:`~repro.service.server.TopKService` to share one,
+or ``host``/``port`` for a remote one.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import ServiceError
+from repro.service import messages as msg
+
+
+class SessionHandle:
+    """One tenant session, whichever transport carries it.
+
+    Usable as a context manager (``with client.open_session(...) as s``)
+    so the session is closed — freeing its admission slot — on exit.
+    """
+
+    def __init__(self, client, session_id: str) -> None:
+        self.client = client
+        self.session_id = session_id
+
+    def feed(self, readings) -> msg.SampleAccepted:
+        """Add one full-network sample to the session window."""
+        return self.client.request(
+            msg.FeedSample(
+                session_id=self.session_id,
+                readings=tuple(float(v) for v in readings),
+            )
+        )
+
+    def query(self, readings) -> msg.QueryReply:
+        """Execute the installed plan on this epoch's readings."""
+        return self.client.request(
+            msg.SubmitQuery(
+                session_id=self.session_id,
+                readings=tuple(float(v) for v in readings),
+            )
+        )
+
+    def step(self, readings) -> msg.StepReply:
+        """One explore/exploit epoch (engine decides sample vs query)."""
+        return self.client.request(
+            msg.StepEpoch(
+                session_id=self.session_id,
+                readings=tuple(float(v) for v in readings),
+            )
+        )
+
+    def plan(self) -> dict:
+        """The installed plan as a serialized payload (see
+        :func:`repro.plans.serialize.plan_from_dict`)."""
+        return self.client.request(
+            msg.GetPlan(session_id=self.session_id)
+        ).plan
+
+    def close(self) -> msg.SessionClosed:
+        return self.client.request(
+            msg.CloseSession(session_id=self.session_id)
+        )
+
+    def __enter__(self) -> "SessionHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            self.close()
+        except ServiceError:  # already closed/expired: nothing to free
+            pass
+
+
+class _BaseClient:
+    """Shared request helpers over an abstract ``request``."""
+
+    def request(self, request: msg.Message) -> msg.Message:
+        raise NotImplementedError
+
+    def register_topology(self, topology_or_parents) -> str:
+        """Install a topology (object or parents vector); returns its id."""
+        token = getattr(topology_or_parents, "cache_token", None)
+        parents = token() if callable(token) else topology_or_parents
+        reply = self.request(
+            msg.RegisterTopology(parents=tuple(int(p) for p in parents))
+        )
+        return reply.topology_id
+
+    def open_session(
+        self,
+        topology_id: str,
+        k: int,
+        *,
+        planner: str = "lp-lf",
+        budget_mj: float = 500.0,
+        window_capacity: int = 25,
+        replan_every: int = 10,
+        track_truth: bool = True,
+    ) -> SessionHandle:
+        reply = self.request(
+            msg.OpenSession(
+                topology_id=topology_id,
+                k=k,
+                planner=planner,
+                budget_mj=budget_mj,
+                window_capacity=window_capacity,
+                replan_every=replan_every,
+                track_truth=track_truth,
+            )
+        )
+        return SessionHandle(self, reply.session_id)
+
+    def stats(self) -> msg.StatsReply:
+        return self.request(msg.GetStats())
+
+
+class InProcessClient(_BaseClient):
+    """Direct calls into a service living in this process."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    def request(self, request: msg.Message) -> msg.Message:
+        reply = self.service.handle(request)
+        if isinstance(reply, msg.ErrorReply):  # pragma: no cover - handle
+            raise msg.error_from_reply(reply)  # raises typed errors itself
+        return reply
+
+    def close(self) -> None:
+        """Nothing to release (sessions close via their handles)."""
+
+
+class SocketClient(_BaseClient):
+    """JSON-lines protocol over one TCP connection.
+
+    Requests on one connection are answered in order; failures come
+    back as :class:`~repro.service.messages.ErrorReply` lines and are
+    re-raised as their typed :mod:`repro.errors` classes.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout_s: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection(
+            (host, port), timeout=timeout_s
+        )
+        self._file = self._sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def request(self, request: msg.Message) -> msg.Message:
+        if request.kind not in msg.REQUEST_KINDS:
+            raise ServiceError(
+                f"{request.kind!r} is a reply kind, not a request"
+            )
+        self._file.write(msg.encode(request) + "\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError(
+                f"service at {self.host}:{self.port} closed the connection"
+            )
+        reply = msg.decode(line)
+        if isinstance(reply, msg.ErrorReply):
+            raise msg.error_from_reply(reply)
+        return reply
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "SocketClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def connect(
+    service=None, *, host: str | None = None, port: int | None = None
+):
+    """The service front door.
+
+    - ``connect()`` — a private in-process service with defaults;
+    - ``connect(service)`` — share an existing
+      :class:`~repro.service.server.TopKService`;
+    - ``connect(host=..., port=...)`` — a remote JSON-lines service.
+    """
+    if host is not None or port is not None:
+        if service is not None:
+            raise ServiceError(
+                "pass either a service instance or host/port, not both"
+            )
+        if host is None or port is None:
+            raise ServiceError("socket connection needs both host and port")
+        return SocketClient(host, port)
+    if service is None:
+        from repro.service.server import TopKService
+
+        service = TopKService()
+    return InProcessClient(service)

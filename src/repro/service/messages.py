@@ -1,0 +1,330 @@
+"""The service wire protocol: typed requests/replies over JSON lines.
+
+Every message is a frozen dataclass with a class-level ``kind`` tag;
+:func:`encode` writes one JSON line and :func:`decode` rehydrates the
+exact same value (``decode(encode(m)) == m``, property-tested).  To
+keep that round-trip exact, sequence fields are tuples (JSON lists
+normalize back on decode) and optional accuracies use ``None`` rather
+than NaN (JSON has no NaN).
+
+Plan payloads ride as the plain dicts produced by
+:func:`repro.plans.serialize.plan_to_dict`, so a reply's plan can be
+fed straight to :func:`~repro.plans.serialize.plan_from_dict` or
+archived as-is.
+
+Failures cross the wire as :class:`ErrorReply` carrying the exception
+*class name* from :mod:`repro.errors`; clients re-raise the matching
+typed error (see :func:`error_from_reply`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import ClassVar
+
+import repro.errors as _errors
+from repro.errors import ServiceError
+
+
+def _tuplify(message, *names) -> None:
+    """Normalize list-valued fields (JSON's sequence type) to tuples so
+    decoded messages compare equal to the originals."""
+    for name in names:
+        value = getattr(message, name)
+        if isinstance(value, list):
+            object.__setattr__(message, name, tuple(value))
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base: ``kind`` discriminator plus dict/JSON conversion."""
+
+    kind: ClassVar[str]
+
+    def to_dict(self) -> dict:
+        data = {"kind": self.kind}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            data[spec.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Message":
+        payload = {k: v for k, v in data.items() if k != "kind"}
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ServiceError(
+                f"unknown field(s) {sorted(unknown)} for message kind"
+                f" {cls.kind!r}"
+            )
+        return cls(**payload)
+
+
+# -- requests ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegisterTopology(Message):
+    """Install a topology (by parents vector) into the service registry.
+
+    Idempotent: the reply's ``topology_id`` is the content fingerprint
+    (:func:`repro.plans.serialize.topology_fingerprint`), so the same
+    tree registers to the same id from any client.
+    """
+
+    kind: ClassVar[str] = "register_topology"
+    parents: tuple = ()
+
+    def __post_init__(self) -> None:
+        _tuplify(self, "parents")
+
+
+@dataclass(frozen=True)
+class OpenSession(Message):
+    """Create one tenant session on a registered topology."""
+
+    kind: ClassVar[str] = "open_session"
+    topology_id: str = ""
+    k: int = 5
+    planner: str = "lp-lf"
+    budget_mj: float = 500.0
+    window_capacity: int = 25
+    replan_every: int = 10
+    track_truth: bool = True
+
+
+@dataclass(frozen=True)
+class FeedSample(Message):
+    """Add one full-network sample to the session's window."""
+
+    kind: ClassVar[str] = "feed_sample"
+    session_id: str = ""
+    readings: tuple = ()
+
+    def __post_init__(self) -> None:
+        _tuplify(self, "readings")
+
+
+@dataclass(frozen=True)
+class SubmitQuery(Message):
+    """Execute the session's installed plan on this epoch's readings."""
+
+    kind: ClassVar[str] = "submit_query"
+    session_id: str = ""
+    readings: tuple = ()
+
+    def __post_init__(self) -> None:
+        _tuplify(self, "readings")
+
+
+@dataclass(frozen=True)
+class StepEpoch(Message):
+    """One explore/exploit epoch (the engine decides sample vs query)."""
+
+    kind: ClassVar[str] = "step_epoch"
+    session_id: str = ""
+    readings: tuple = ()
+
+    def __post_init__(self) -> None:
+        _tuplify(self, "readings")
+
+
+@dataclass(frozen=True)
+class GetPlan(Message):
+    """Fetch the session's installed plan (planning it if needed)."""
+
+    kind: ClassVar[str] = "get_plan"
+    session_id: str = ""
+
+
+@dataclass(frozen=True)
+class CloseSession(Message):
+    kind: ClassVar[str] = "close_session"
+    session_id: str = ""
+
+
+@dataclass(frozen=True)
+class GetStats(Message):
+    """Service-wide stats: sessions, cache counters, energy headlines."""
+
+    kind: ClassVar[str] = "get_stats"
+
+
+# -- replies ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TopologyRegistered(Message):
+    kind: ClassVar[str] = "topology_registered"
+    topology_id: str = ""
+    num_nodes: int = 0
+
+
+@dataclass(frozen=True)
+class SessionOpened(Message):
+    kind: ClassVar[str] = "session_opened"
+    session_id: str = ""
+    topology_id: str = ""
+    planner: str = ""
+
+
+@dataclass(frozen=True)
+class SampleAccepted(Message):
+    kind: ClassVar[str] = "sample_accepted"
+    session_id: str = ""
+    window_size: int = 0
+
+
+@dataclass(frozen=True)
+class QueryReply(Message):
+    """The approximate top-k answer of one query execution.
+
+    ``accuracy`` is ``None`` when the session does not track ground
+    truth (never NaN: JSON would not round-trip it).
+    """
+
+    kind: ClassVar[str] = "query_reply"
+    session_id: str = ""
+    nodes: tuple = ()
+    values: tuple = ()
+    energy_mj: float = 0.0
+    accuracy: float | None = None
+
+    def __post_init__(self) -> None:
+        _tuplify(self, "nodes", "values")
+
+
+@dataclass(frozen=True)
+class StepReply(Message):
+    """Outcome of one engine epoch; ``nodes``/``values`` are empty when
+    the epoch sampled instead of querying."""
+
+    kind: ClassVar[str] = "step_reply"
+    session_id: str = ""
+    epoch: int = 0
+    action: str = ""
+    energy_mj: float = 0.0
+    nodes: tuple = ()
+    values: tuple = ()
+    accuracy: float | None = None
+
+    def __post_init__(self) -> None:
+        _tuplify(self, "nodes", "values")
+
+
+@dataclass(frozen=True)
+class PlanReply(Message):
+    """The installed plan as a :mod:`repro.plans.serialize` payload."""
+
+    kind: ClassVar[str] = "plan_reply"
+    session_id: str = ""
+    plan: dict | None = None
+
+
+@dataclass(frozen=True)
+class SessionClosed(Message):
+    kind: ClassVar[str] = "session_closed"
+    session_id: str = ""
+    epochs: int = 0
+    total_energy_mj: float = 0.0
+
+
+@dataclass(frozen=True)
+class StatsReply(Message):
+    kind: ClassVar[str] = "stats_reply"
+    sessions_open: int = 0
+    sessions_total: int = 0
+    topologies: int = 0
+    counters: dict | None = None
+
+
+@dataclass(frozen=True)
+class ErrorReply(Message):
+    """A typed failure: ``error`` names a :mod:`repro.errors` class."""
+
+    kind: ClassVar[str] = "error"
+    error: str = "ServiceError"
+    message: str = ""
+
+
+_MESSAGE_TYPES: tuple[type[Message], ...] = (
+    RegisterTopology,
+    OpenSession,
+    FeedSample,
+    SubmitQuery,
+    StepEpoch,
+    GetPlan,
+    CloseSession,
+    GetStats,
+    TopologyRegistered,
+    SessionOpened,
+    SampleAccepted,
+    QueryReply,
+    StepReply,
+    PlanReply,
+    SessionClosed,
+    StatsReply,
+    ErrorReply,
+)
+
+MESSAGE_KINDS: dict[str, type[Message]] = {
+    cls.kind: cls for cls in _MESSAGE_TYPES
+}
+
+REQUEST_KINDS: frozenset[str] = frozenset(
+    cls.kind
+    for cls in (
+        RegisterTopology,
+        OpenSession,
+        FeedSample,
+        SubmitQuery,
+        StepEpoch,
+        GetPlan,
+        CloseSession,
+        GetStats,
+    )
+)
+
+
+def encode(message: Message) -> str:
+    """One JSON line (no trailing newline) for ``message``."""
+    return json.dumps(message.to_dict(), allow_nan=False, sort_keys=True)
+
+
+def decode(line: str) -> Message:
+    """Rehydrate one JSON line into its typed message."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise ServiceError(f"request is not valid JSON: {err}") from err
+    if not isinstance(data, dict):
+        raise ServiceError("request must be a JSON object")
+    kind = data.get("kind")
+    cls = MESSAGE_KINDS.get(kind)
+    if cls is None:
+        raise ServiceError(f"unknown message kind {kind!r}")
+    try:
+        return cls.from_dict(data)
+    except TypeError as err:
+        raise ServiceError(f"malformed {kind!r} message: {err}") from err
+
+
+def error_to_reply(err: Exception) -> ErrorReply:
+    """Serialize a failure as a typed :class:`ErrorReply`."""
+    return ErrorReply(error=type(err).__name__, message=str(err))
+
+
+def error_from_reply(reply: ErrorReply) -> Exception:
+    """The client-side inverse: re-raise the matching typed error.
+
+    Unknown names (a newer server, say) degrade to
+    :class:`~repro.errors.ServiceError` rather than failing opaquely.
+    """
+    cls = getattr(_errors, reply.error, None)
+    if not (isinstance(cls, type) and issubclass(cls, Exception)):
+        cls = ServiceError
+    return cls(reply.message)

@@ -1,0 +1,490 @@
+"""The multi-tenant service core plus its asyncio socket front end.
+
+:class:`TopKService` is deliberately synchronous and
+transport-agnostic: :meth:`TopKService.handle` maps one typed request
+to one typed reply (raising :mod:`repro.errors` types), and
+:meth:`TopKService.handle_line` is the same thing over JSON lines with
+failures serialized as :class:`~repro.service.messages.ErrorReply`.
+The asyncio layer (:func:`serve`, :class:`ServiceThread`) just moves
+lines between sockets and a thread-pool executor — per-session
+serialization and backpressure live in :class:`.session.Session`, so
+the core behaves identically under the in-process client and the
+socket.
+
+Shared state across tenants:
+
+- a **topology registry** keyed by
+  :func:`~repro.plans.serialize.topology_fingerprint` (register once,
+  open many sessions against the id);
+- one :class:`~repro.service.cache.SharedPlanCache` — every session's
+  planner is built with it (via
+  :class:`~repro.planners.base.PlannerConfig`), so equal-content
+  sessions compile each LP exactly once;
+- one optional :class:`~repro.obs.Instrumentation` threaded through
+  engines, planners, and the ``service.request`` spans, which is what
+  makes ``python -m repro trace --service`` work against a live
+  service.
+
+Each session gets its *own* :class:`~repro.obs.EnergyLedger` (energy
+attribution is a per-tenant question), surfaced through
+:meth:`TopKService.ledger_of`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AdmissionError, ServiceError, SessionError
+from repro.network.energy import EnergyModel
+from repro.network.topology import Topology
+from repro.obs import EnergyLedger
+from repro.obs.spans import maybe_span
+from repro.plans.serialize import plan_to_dict, topology_fingerprint
+from repro.planners.base import PlannerConfig
+from repro.planners.greedy import GreedyPlanner
+from repro.planners.lp_lf import LPLFPlanner
+from repro.planners.lp_no_lf import LPNoLFPlanner
+from repro.planners.proof import ProofPlanner
+from repro.query.engine import EngineConfig, TopKEngine
+from repro.service import messages as msg
+from repro.service.cache import SharedPlanCache
+from repro.service.session import Session
+
+PLANNERS = ("greedy", "lp-lf", "lp-no-lf", "proof")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operational knobs of the service (admission and caching)."""
+
+    max_sessions: int = 16
+    """Admission control: concurrent *open* sessions beyond this are
+    refused with :class:`~repro.errors.AdmissionError`."""
+
+    queue_limit: int = 8
+    """Per-session pending-request bound; the next request is shed with
+    :class:`~repro.errors.OverloadError`."""
+
+    session_ttl_s: float = 300.0
+    """Idle seconds after which an open session expires."""
+
+    cache_capacity: int = 32
+    """Entries in the shared compiled-plan pool."""
+
+    replan_cache_capacity: int = 16
+    """Entries in the shared sample-independent-block cache."""
+
+    ledger_capacity_mj: float | None = None
+    """Optional per-node battery capacity for each session's
+    :class:`~repro.obs.EnergyLedger` (enables lifetime projection)."""
+
+
+class TopKService:
+    """Hosts many concurrent :class:`~repro.query.engine.TopKEngine`
+    sessions over shared topologies and caches.
+
+    Parameters
+    ----------
+    config:
+        A :class:`ServiceConfig` (defaults are test-friendly).
+    energy:
+        Energy model shared by all sessions (default mica2).
+    instrumentation:
+        Optional :class:`~repro.obs.Instrumentation`; request spans,
+        cache counters, and every engine's telemetry land in it.
+    clock:
+        Monotonic seconds source for idle expiry (default
+        ``time.monotonic``); injectable so expiry tests are exact.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        energy: EnergyModel | None = None,
+        instrumentation=None,
+        clock=None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.energy = energy or EnergyModel.mica2()
+        self.instrumentation = instrumentation
+        self.clock = clock or time.monotonic
+        self.cache = SharedPlanCache(
+            capacity=self.config.cache_capacity,
+            replan_capacity=self.config.replan_cache_capacity,
+            instrumentation=instrumentation,
+        )
+        self._topologies: dict[str, Topology] = {}
+        self._sessions: dict[str, Session] = {}
+        self._lock = threading.Lock()
+        self._session_seq = 0
+        self.sessions_total = 0
+
+    # -- shared resources ----------------------------------------------
+    def register_topology(self, parents) -> str:
+        """Install a topology; returns its content id (idempotent)."""
+        topology = Topology([int(p) for p in parents])
+        topology_id = topology_fingerprint(topology)
+        with self._lock:
+            self._topologies.setdefault(topology_id, topology)
+        return topology_id
+
+    def topology(self, topology_id: str) -> Topology:
+        try:
+            return self._topologies[topology_id]
+        except KeyError:
+            raise ServiceError(
+                f"unknown topology {topology_id!r}; register it first"
+            ) from None
+
+    def _make_planner(self, name: str):
+        """A fresh planner wired into the shared cache pool."""
+        shared = PlannerConfig(
+            replan_cache=self.cache.replan_cache, form_cache=self.cache
+        )
+        if name == "lp-lf":
+            return LPLFPlanner(config=shared)
+        if name == "lp-no-lf":
+            return LPNoLFPlanner(config=shared)
+        if name == "greedy":
+            return GreedyPlanner()
+        if name == "proof":
+            return ProofPlanner()
+        raise ServiceError(
+            f"unknown planner {name!r}; available: {', '.join(PLANNERS)}"
+        )
+
+    # -- session lifecycle ---------------------------------------------
+    def _expire_idle(self) -> None:
+        now = self.clock()
+        for session in self._sessions.values():
+            if session.expire_if_idle(now, self.config.session_ttl_s):
+                if self.instrumentation is not None:
+                    self.instrumentation.counter(
+                        "service.sessions_expired"
+                    ).inc()
+                    self.instrumentation.event(
+                        "session_expired",
+                        session_id=session.session_id,
+                        idle_s=session.idle_seconds(now),
+                    )
+
+    def open_session(self, request: msg.OpenSession) -> Session:
+        topology = self.topology(request.topology_id)
+        planner = self._make_planner(request.planner)
+        with self._lock:
+            self._expire_idle()
+            open_now = sum(
+                1 for s in self._sessions.values() if s.is_open
+            )
+            if open_now >= self.config.max_sessions:
+                raise AdmissionError(
+                    f"service at capacity ({open_now} open sessions,"
+                    f" limit {self.config.max_sessions}); retry after"
+                    " closing one"
+                )
+            self._session_seq += 1
+            self.sessions_total += 1
+            session_id = f"s{self._session_seq:04d}"
+            engine = TopKEngine(
+                topology,
+                self.energy,
+                k=request.k,
+                planner=planner,
+                config=EngineConfig(
+                    budget_mj=request.budget_mj,
+                    window_capacity=request.window_capacity,
+                    replan_every=request.replan_every,
+                    track_truth=request.track_truth,
+                ),
+                rng=np.random.default_rng(self._session_seq),
+                instrumentation=self.instrumentation,
+                ledger=EnergyLedger(
+                    topology.n,
+                    capacity_mj=self.config.ledger_capacity_mj,
+                ),
+            )
+            session = Session(
+                session_id,
+                request.topology_id,
+                engine,
+                queue_limit=self.config.queue_limit,
+                clock=self.clock,
+            )
+            self._sessions[session_id] = session
+        if self.instrumentation is not None:
+            self.instrumentation.counter("service.sessions_opened").inc()
+        return session
+
+    def session(self, session_id: str) -> Session:
+        with self._lock:
+            self._expire_idle()
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionError(f"unknown session {session_id!r}")
+        session.ensure_open()
+        return session
+
+    def ledger_of(self, session_id: str) -> EnergyLedger:
+        """The per-session energy ledger (open or closed sessions)."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionError(f"unknown session {session_id!r}")
+        return session.engine.ledger
+
+    @property
+    def open_sessions(self) -> int:
+        with self._lock:
+            return sum(1 for s in self._sessions.values() if s.is_open)
+
+    # -- request handling ----------------------------------------------
+    def handle(self, request: msg.Message) -> msg.Message:
+        """One typed request to one typed reply (typed errors raised)."""
+        if request.kind not in msg.REQUEST_KINDS:
+            raise ServiceError(
+                f"{request.kind!r} is a reply kind, not a request"
+            )
+        obs = self.instrumentation
+        if obs is not None:
+            obs.counter("service.requests").inc()
+            obs.counter(f"service.requests.{request.kind}").inc()
+        with maybe_span(
+            obs, "service.request", kind=request.kind,
+            session=getattr(request, "session_id", None),
+        ):
+            try:
+                return self._dispatch(request)
+            except Exception as err:
+                if obs is not None:
+                    obs.counter(
+                        f"service.errors.{type(err).__name__}"
+                    ).inc()
+                raise
+
+    def handle_line(self, line: str) -> str:
+        """JSON-line transport shim over :meth:`handle`.
+
+        Every failure — protocol or application — comes back as one
+        encoded :class:`~repro.service.messages.ErrorReply` line, so a
+        socket client never sees a dropped request.
+        """
+        try:
+            reply = self.handle(msg.decode(line))
+        except Exception as err:  # typed errors included
+            reply = msg.error_to_reply(err)
+        return msg.encode(reply)
+
+    def _dispatch(self, request: msg.Message) -> msg.Message:
+        if isinstance(request, msg.RegisterTopology):
+            topology_id = self.register_topology(request.parents)
+            return msg.TopologyRegistered(
+                topology_id=topology_id,
+                num_nodes=self.topology(topology_id).n,
+            )
+        if isinstance(request, msg.OpenSession):
+            session = self.open_session(request)
+            return msg.SessionOpened(
+                session_id=session.session_id,
+                topology_id=session.topology_id,
+                planner=request.planner,
+            )
+        if isinstance(request, msg.GetStats):
+            return self._stats_reply()
+        # everything below addresses one session
+        session = self.session(request.session_id)
+        if isinstance(request, msg.CloseSession):
+            with session.slot() as engine:
+                session.close()
+                return msg.SessionClosed(
+                    session_id=session.session_id,
+                    epochs=engine.epoch,
+                    total_energy_mj=engine.total_energy_mj,
+                )
+        with session.slot() as engine:
+            if isinstance(request, msg.FeedSample):
+                engine.feed_sample(np.asarray(request.readings, dtype=float))
+                return msg.SampleAccepted(
+                    session_id=session.session_id,
+                    window_size=len(engine.window),
+                )
+            if isinstance(request, msg.SubmitQuery):
+                result = engine.query(
+                    np.asarray(request.readings, dtype=float)
+                )
+                return msg.QueryReply(
+                    session_id=session.session_id,
+                    nodes=tuple(int(n) for __, n in result.returned),
+                    values=tuple(float(v) for v, __ in result.returned),
+                    energy_mj=float(result.energy_mj),
+                    accuracy=_json_accuracy(result.accuracy),
+                )
+            if isinstance(request, msg.StepEpoch):
+                outcome = engine.step(
+                    np.asarray(request.readings, dtype=float)
+                )
+                result = outcome.result
+                return msg.StepReply(
+                    session_id=session.session_id,
+                    epoch=outcome.epoch,
+                    action=outcome.action,
+                    energy_mj=float(outcome.energy_mj),
+                    nodes=tuple(
+                        int(n) for __, n in result.returned
+                    ) if result is not None else (),
+                    values=tuple(
+                        float(v) for v, __ in result.returned
+                    ) if result is not None else (),
+                    accuracy=_json_accuracy(result.accuracy)
+                    if result is not None else None,
+                )
+            if isinstance(request, msg.GetPlan):
+                return msg.PlanReply(
+                    session_id=session.session_id,
+                    plan=plan_to_dict(engine.ensure_plan()),
+                )
+        raise ServiceError(
+            f"request kind {request.kind!r} has no handler"
+        )  # pragma: no cover - REQUEST_KINDS keeps this unreachable
+
+    def _stats_reply(self) -> msg.StatsReply:
+        with self._lock:
+            self._expire_idle()
+            open_now = sum(1 for s in self._sessions.values() if s.is_open)
+            per_state: dict[str, int] = {}
+            shed = 0
+            handled = 0
+            for session in self._sessions.values():
+                per_state[session.state] = per_state.get(session.state, 0) + 1
+                shed += session.requests_shed
+                handled += session.requests_handled
+            counters = {
+                "cache": self.cache.stats(),
+                "sessions_by_state": per_state,
+                "requests_handled": handled,
+                "requests_shed": shed,
+            }
+            return msg.StatsReply(
+                sessions_open=open_now,
+                sessions_total=self.sessions_total,
+                topologies=len(self._topologies),
+                counters=counters,
+            )
+
+
+def _json_accuracy(value: float) -> float | None:
+    """NaN (truth untracked) maps to None; JSON has no NaN."""
+    value = float(value)
+    return None if np.isnan(value) else value
+
+
+# -- asyncio socket front end ----------------------------------------------
+
+
+async def _handle_connection(service, reader, writer) -> None:
+    """One client connection: JSON lines in, JSON lines out, in order.
+
+    The sync core runs on the default executor so a slow LP solve never
+    blocks the event loop (other connections keep being served);
+    fairness *between* sessions comes from the per-session locks, and
+    overload is shed there too.
+    """
+    loop = asyncio.get_running_loop()
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            reply = await loop.run_in_executor(
+                None, service.handle_line, line.decode()
+            )
+            writer.write(reply.encode() + b"\n")
+            await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown
+            pass
+
+
+async def serve(
+    service: TopKService, host: str = "127.0.0.1", port: int = 0
+):
+    """Start the JSON-lines socket server; returns the asyncio server
+    (its bound port is ``server.sockets[0].getsockname()[1]``)."""
+
+    async def handler(reader, writer):
+        await _handle_connection(service, reader, writer)
+
+    return await asyncio.start_server(handler, host, port)
+
+
+class ServiceThread:
+    """A live socket service on a background thread (context manager).
+
+    ::
+
+        with ServiceThread(TopKService()) as live:
+            client = SocketClient(live.host, live.port)
+
+    The event loop, server, and executor all live on the thread;
+    ``__exit__`` stops the loop and joins it.
+    """
+
+    def __init__(
+        self,
+        service: TopKService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            server = await serve(self.service, self.host, self.port)
+        except OSError as err:
+            self._startup_error = err
+            self._ready.set()
+            return
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        async with server:
+            await self._stop.wait()
+
+    def __enter__(self) -> "ServiceThread":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-service",
+            daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10)
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"service failed to bind {self.host}:{self.port}:"
+                f" {self._startup_error}"
+            )
+        if not self._ready.is_set():  # pragma: no cover - defensive
+            raise ServiceError("service thread failed to start in time")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)

@@ -43,6 +43,7 @@ from repro.plans.execution import (
 from repro.plans.plan import Message, QueryPlan
 from repro.query.accuracy import batch_accuracy
 from repro.simulation.distribution import trigger_cost
+from repro.simulation.runtime import _positional_shim
 
 _EMPTY_BOOL = np.zeros((0, 0), dtype=bool)
 
@@ -125,27 +126,42 @@ class BatchSimulationReport:
         return counts
 
 
-@dataclass
 class BatchSimulator:
     """Vectorized counterpart of :class:`~repro.simulation.runtime.Simulator`.
 
-    Same fields and semantics; the entry points take an ``(E, n)``
-    readings matrix (or a :class:`~repro.datagen.trace.Trace`) instead
-    of a single epoch's vector.  Under a shared seed the failure draws
-    match the scalar simulator's exactly (see
+    Same construction shape and semantics (everything after
+    ``(topology, energy)`` keyword-only, positional tail deprecated);
+    the entry points take an ``(E, n)`` readings matrix (or a
+    :class:`~repro.datagen.trace.Trace`) instead of a single epoch's
+    vector.  Under a shared seed the failure draws match the scalar
+    simulator's exactly (see
     :meth:`~repro.network.failures.LinkFailureModel.sample_failure_matrix`).
+
+    The optional ``ledger`` is charged with the same per-node radio
+    costs as the scalar simulator's (vectorized over epochs;
+    equivalence-tested to 1e-9 rtol).  Not supported by
+    :meth:`run_plan_sweep`, which never builds a message log.
     """
 
-    topology: Topology
-    energy: EnergyModel
-    failures: LinkFailureModel | None = None
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
-    instrumentation: Instrumentation | None = None
-    ledger: EnergyLedger | None = None
-    """Optional :class:`~repro.obs.EnergyLedger`; charged with the same
-    per-node radio costs as the scalar simulator's (vectorized over
-    epochs; equivalence-tested to 1e-9 rtol).  Not supported by
-    :meth:`run_plan_sweep`, which never builds a message log."""
+    def __init__(
+        self,
+        topology: Topology,
+        energy: EnergyModel,
+        *args,
+        failures: LinkFailureModel | None = None,
+        rng: np.random.Generator | None = None,
+        instrumentation: Instrumentation | None = None,
+        ledger: EnergyLedger | None = None,
+    ) -> None:
+        failures, rng, instrumentation, ledger = _positional_shim(
+            type(self).__name__, args, failures, rng, instrumentation, ledger
+        )
+        self.topology = topology
+        self.energy = energy
+        self.failures = failures
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.instrumentation = instrumentation
+        self.ledger = ledger
 
     # -- helpers --------------------------------------------------------
     @staticmethod

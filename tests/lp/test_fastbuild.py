@@ -231,20 +231,57 @@ class TestReplanCache:
         assert planner.replan_cache.misses == 2
         assert_forms_equal(compiled, planner.build_model(first)[0])
 
-    def test_identity_check_defeats_id_reuse(self):
+    def test_content_keying_shares_equal_structures(self):
+        """Structurally equal topologies share an entry (the property
+        the cross-session service caches rely on), while a colliding
+        key with a *different* tree is rejected by the structure check."""
         cache = ReplanCache()
         topo_a = line_topology(4)
         cache.put(("x",), topo_a, {"payload": 1})
-        assert cache.get(("x",), line_topology(4)) is None  # same shape, new object
+        assert cache.get(("x",), line_topology(4))["payload"] == 1
+        assert cache.get(("x",), line_topology(5)) is None
         assert cache.get(("x",), topo_a)["payload"] == 1
 
-    def test_capacity_evicts_oldest(self):
+    def test_capacity_evicts_least_recently_used(self):
         cache = ReplanCache(capacity=2)
         topos = [line_topology(3) for _ in range(3)]
-        for i, topo in enumerate(topos):
-            cache.put((i,), topo, {})
+        cache.put((0,), topos[0], {})
+        cache.put((1,), topos[1], {})
+        cache.get((0,), topos[0])  # refresh 0 so 1 is now the LRU entry
+        cache.put((2,), topos[2], {})
         assert len(cache) == 2
-        assert cache.get((0,), topos[0]) is None
+        assert cache.evictions == 1
+        assert cache.get((1,), topos[1]) is None
+        assert cache.get((0,), topos[0]) is not None
+
+    def test_concurrent_access_is_safe(self):
+        """Hammering one cache from many threads must not corrupt it
+        (shared cross-session instances depend on this)."""
+        import threading
+
+        cache = ReplanCache(capacity=4)
+        topo = line_topology(3)
+        errors: list[Exception] = []
+
+        def worker(worker_id: int) -> None:
+            try:
+                for i in range(200):
+                    key = ((worker_id + i) % 8,)
+                    if cache.get(key, topo) is None:
+                        cache.put(key, topo, {"payload": i})
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 4
+        assert cache.hits + cache.misses == 6 * 200
 
     def test_obs_counters_and_timers(self):
         obs = Instrumentation()

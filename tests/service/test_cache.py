@@ -1,0 +1,143 @@
+"""SharedPlanCache: content keying, LRU bounds, exactly-once compiles."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.network.builder import line_topology
+from repro.network.energy import EnergyModel
+from repro.planners.base import PlannerConfig, PlanningContext
+from repro.planners.lp_lf import LPLFPlanner
+from repro.sampling.matrix import SampleMatrix
+from repro.service.cache import SharedPlanCache, samples_digest
+
+
+def _context(topology=None, k=2, budget=60.0, seed=0, samples=None):
+    topology = topology or line_topology(5)
+    if samples is None:
+        samples = SampleMatrix(
+            np.random.default_rng(seed).normal(25, 3, (6, topology.n)), k=k
+        )
+    return PlanningContext(
+        topology=topology,
+        energy=EnergyModel.mica2(),
+        samples=samples,
+        k=k,
+        budget=budget,
+    )
+
+
+def test_equal_content_hits_across_distinct_objects():
+    pool = SharedPlanCache()
+    compiles = []
+
+    def compile_fn():
+        compiles.append(1)
+        return object()
+
+    a = pool.parametric("lp-lf", _context(), compile_fn)
+    # everything rebuilt from scratch, same content
+    b = pool.parametric("lp-lf", _context(), compile_fn)
+    assert a is b
+    assert compiles == [1]
+    assert (pool.hits, pool.misses) == (1, 1)
+
+
+def test_key_varies_by_each_component():
+    pool = SharedPlanCache()
+    base = _context()
+    variants = [
+        _context(topology=line_topology(6)),           # structure
+        _context(k=3),                                  # k
+        _context(seed=1),                               # sample content
+    ]
+    keys = {pool.key_for("lp-lf", base)}
+    keys.add(pool.key_for("lp-no-lf", base))            # formulation
+    for variant in variants:
+        keys.add(pool.key_for("lp-lf", variant))
+    assert len(keys) == 5
+    # budget is parametric, NOT part of the key
+    assert pool.key_for("lp-lf", base) == pool.key_for(
+        "lp-lf", _context(budget=120.0)
+    )
+
+
+def test_samples_digest_tracks_values_shape_and_k():
+    rng = np.random.default_rng(3)
+    values = rng.normal(25, 3, (4, 5))
+    a = samples_digest(SampleMatrix(values, k=2))
+    assert a == samples_digest(SampleMatrix(values.copy(), k=2))
+    assert a != samples_digest(SampleMatrix(values, k=3))
+    assert a != samples_digest(SampleMatrix(values + 1e-9, k=2))
+
+
+def test_lru_eviction_is_counted_and_bounded():
+    pool = SharedPlanCache(capacity=2)
+    contexts = [_context(seed=s) for s in range(3)]
+    for context in contexts:
+        pool.parametric("lp-lf", context, object)
+    assert len(pool) == 2
+    assert pool.evictions == 1
+    # seed-0 was evicted: fetching it again compiles fresh
+    pool.parametric("lp-lf", contexts[0], object)
+    assert pool.misses == 4
+
+
+def test_concurrent_cold_key_compiles_exactly_once():
+    pool = SharedPlanCache()
+    context = _context()
+    compiles = []
+    barrier = threading.Barrier(6)
+    errors = []
+
+    def worker():
+        barrier.wait()
+        try:
+            pool.parametric(
+                "lp-lf", context, lambda: compiles.append(1) or object()
+            )
+        except Exception as err:  # pragma: no cover
+            errors.append(err)
+
+    threads = [threading.Thread(target=worker) for __ in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert sum(compiles) == 1
+    assert pool.hits + pool.misses == 6
+
+
+def test_counters_mirror_into_instrumentation():
+    from repro.obs import Instrumentation
+
+    obs = Instrumentation()
+    pool = SharedPlanCache(instrumentation=obs)
+    pool.parametric("lp-lf", _context(), object)
+    pool.parametric("lp-lf", _context(), object)
+    assert obs.counter("service.cache.misses").value == 1
+    assert obs.counter("service.cache.hits").value == 1
+
+
+def test_planner_integration_shares_one_compile():
+    """Two independently-built planners over equal-content contexts do
+    one compile total; plans are identical."""
+    pool = SharedPlanCache()
+    shared = PlannerConfig(
+        replan_cache=pool.replan_cache, form_cache=pool
+    )
+    first = LPLFPlanner(config=shared)
+    second = LPLFPlanner(config=shared)
+    assert first.replan_cache is pool.replan_cache
+    plan_a = first.plan(_context())
+    plan_b = second.plan(_context())
+    assert plan_a.bandwidths == plan_b.bandwidths
+    assert pool.misses == 1
+    assert pool.hits == 1
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        SharedPlanCache(capacity=0)

@@ -1,0 +1,99 @@
+"""Clients: in-process and socket transports behave identically."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError, SessionError
+from repro.service import messages as msg
+from repro.service.client import InProcessClient, SocketClient, connect
+from repro.service.server import ServiceConfig, ServiceThread, TopKService
+
+PARENTS = (-1, 0, 0, 1, 1)
+
+
+def _rows(n=3, nodes=len(PARENTS)):
+    rng = np.random.default_rng(11)
+    return [rng.normal(25, 3, nodes) for __ in range(n)]
+
+
+def _exercise(client):
+    """The canonical session flow, transport-agnostic."""
+    topology_id = client.register_topology(PARENTS)
+    with client.open_session(topology_id, 2, budget_mj=50.0) as session:
+        for row in _rows():
+            session.feed(row)
+        reply = session.query(_rows()[0])
+        assert len(reply.nodes) == 2
+        assert all(isinstance(n, int) for n in reply.nodes)
+        step = session.step(_rows()[1])
+        assert step.action in ("query", "sample")
+        plan = session.plan()
+        assert plan["num_nodes"] == len(PARENTS)
+        stats = client.stats()
+        assert stats.sessions_open == 1
+    # the context manager closed the session
+    assert client.stats().sessions_open == 0
+    return reply
+
+
+def test_in_process_flow():
+    _exercise(connect(TopKService()))
+
+
+def test_socket_flow_matches_in_process():
+    service = TopKService()
+    in_process_reply = _exercise(InProcessClient(service))
+    with ServiceThread(TopKService()) as live:
+        with SocketClient(live.host, live.port) as client:
+            socket_reply = _exercise(client)
+    assert socket_reply.nodes == in_process_reply.nodes
+    assert socket_reply.values == pytest.approx(in_process_reply.values)
+
+
+def test_socket_client_reraises_typed_errors():
+    with ServiceThread(TopKService()) as live:
+        with SocketClient(live.host, live.port) as client:
+            with pytest.raises(SessionError, match="unknown session"):
+                client.request(msg.GetPlan(session_id="sX"))
+
+
+def test_two_socket_connections_share_the_service():
+    with ServiceThread(TopKService()) as live:
+        with SocketClient(live.host, live.port) as first, SocketClient(
+            live.host, live.port
+        ) as second:
+            topology_id = first.register_topology(PARENTS)
+            session = second.open_session(topology_id, 2, budget_mj=50.0)
+            session.feed(_rows()[0])
+            reply = session.query(_rows()[1])
+            assert reply.nodes
+            assert first.stats().sessions_open == 1
+
+
+def test_connect_front_door_validation():
+    with pytest.raises(ServiceError, match="not both"):
+        connect(TopKService(), host="127.0.0.1", port=1)
+    with pytest.raises(ServiceError, match="both host and port"):
+        connect(host="127.0.0.1")
+    client = connect()  # private in-process service
+    assert isinstance(client, InProcessClient)
+
+
+def test_expired_session_over_socket():
+    class FakeClock:
+        now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    clock = FakeClock()
+    service = TopKService(
+        ServiceConfig(session_ttl_s=5.0), clock=clock
+    )
+    with ServiceThread(service) as live:
+        with SocketClient(live.host, live.port) as client:
+            topology_id = client.register_topology(PARENTS)
+            session = client.open_session(topology_id, 2, budget_mj=50.0)
+            clock.now = 6.0
+            with pytest.raises(SessionError, match="expired"):
+                session.feed(_rows()[0])

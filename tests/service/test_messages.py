@@ -1,0 +1,129 @@
+"""Protocol round-trips: decode(encode(m)) == m, exactly."""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    OverloadError,
+    ServiceError,
+    SessionError,
+)
+from repro.service import messages as msg
+
+EXAMPLES = [
+    msg.RegisterTopology(parents=(-1, 0, 0, 1, 1)),
+    msg.OpenSession(
+        topology_id="abc123", k=3, planner="lp-no-lf", budget_mj=75.5,
+        window_capacity=10, replan_every=4, track_truth=False,
+    ),
+    msg.FeedSample(session_id="s0001", readings=(1.0, 2.5, -3.75)),
+    msg.SubmitQuery(session_id="s0001", readings=(0.5, 0.25, 0.125)),
+    msg.StepEpoch(session_id="s0002", readings=(9.0, 8.0, 7.0)),
+    msg.GetPlan(session_id="s0001"),
+    msg.CloseSession(session_id="s0001"),
+    msg.GetStats(),
+    msg.TopologyRegistered(topology_id="abc123", num_nodes=5),
+    msg.SessionOpened(
+        session_id="s0001", topology_id="abc123", planner="lp-lf"
+    ),
+    msg.SampleAccepted(session_id="s0001", window_size=4),
+    msg.QueryReply(
+        session_id="s0001", nodes=(3, 1), values=(9.5, 7.25),
+        energy_mj=12.5, accuracy=0.5,
+    ),
+    msg.QueryReply(session_id="s0001", accuracy=None),
+    msg.StepReply(
+        session_id="s0001", epoch=7, action="query", energy_mj=3.5,
+        nodes=(2,), values=(4.5,), accuracy=1.0,
+    ),
+    msg.StepReply(session_id="s0001", epoch=8, action="sample"),
+    msg.PlanReply(
+        session_id="s0001",
+        plan={"format_version": 1, "bandwidths": {"1": 2}},
+    ),
+    msg.SessionClosed(session_id="s0001", epochs=9, total_energy_mj=101.5),
+    msg.StatsReply(
+        sessions_open=2, sessions_total=5, topologies=1,
+        counters={"cache": {"hits": 3}},
+    ),
+    msg.ErrorReply(error="OverloadError", message="shed"),
+]
+
+
+@pytest.mark.parametrize(
+    "message", EXAMPLES, ids=lambda m: type(m).__name__
+)
+def test_exact_round_trip(message):
+    line = msg.encode(message)
+    assert "\n" not in line
+    rehydrated = msg.decode(line)
+    assert rehydrated == message
+    assert type(rehydrated) is type(message)
+    # stable under a second pass too (no lossy normalization)
+    assert msg.encode(rehydrated) == line
+
+
+def test_encoded_form_is_plain_json_with_kind():
+    data = json.loads(msg.encode(msg.GetPlan(session_id="s9")))
+    assert data == {"kind": "get_plan", "session_id": "s9"}
+
+
+def test_sequence_fields_normalize_to_tuples():
+    decoded = msg.decode(
+        '{"kind": "feed_sample", "session_id": "s1", "readings": [1.0, 2.0]}'
+    )
+    assert decoded.readings == (1.0, 2.0)
+    assert isinstance(decoded.readings, tuple)
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ServiceError):
+        msg.decode("not json at all {")
+    with pytest.raises(ServiceError):
+        msg.decode('["a", "list"]')
+    with pytest.raises(ServiceError):
+        msg.decode('{"kind": "launch_missiles"}')
+    with pytest.raises(ServiceError):
+        msg.decode('{"kind": "get_plan", "bogus_field": 1}')
+
+
+def test_kinds_registry_is_total():
+    assert set(msg.MESSAGE_KINDS) >= msg.REQUEST_KINDS
+    for kind, cls in msg.MESSAGE_KINDS.items():
+        assert cls.kind == kind
+
+
+@pytest.mark.parametrize(
+    "error",
+    [
+        ServiceError("base"),
+        SessionError("gone"),
+        AdmissionError("full"),
+        OverloadError("shed"),
+    ],
+)
+def test_typed_errors_survive_the_wire(error):
+    reply = msg.error_to_reply(error)
+    line = msg.encode(reply)
+    revived = msg.error_from_reply(msg.decode(line))
+    assert type(revived) is type(error)
+    assert str(revived) == str(error)
+
+
+def test_unknown_error_name_degrades_to_service_error():
+    revived = msg.error_from_reply(
+        msg.ErrorReply(error="FutureFancyError", message="hm")
+    )
+    assert type(revived) is ServiceError
+    # and never resolves non-exception attributes of repro.errors
+    revived = msg.error_from_reply(
+        msg.ErrorReply(error="annotations", message="hm")
+    )
+    assert type(revived) is ServiceError
+
+
+def test_nan_accuracy_is_rejected_at_encode_time():
+    with pytest.raises(ValueError):
+        msg.encode(msg.QueryReply(session_id="s1", accuracy=float("nan")))

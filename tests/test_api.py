@@ -1,0 +1,122 @@
+"""The stable :mod:`repro.api` facade."""
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.network.builder import line_topology
+from repro.network.energy import EnergyModel
+from repro.plans.plan import QueryPlan
+from repro.sampling.matrix import SampleMatrix
+
+PARENTS = [-1, 0, 0, 1, 1]
+
+
+def test_facade_exports_the_promised_names():
+    for name in (
+        "connect",
+        "open_session",
+        "submit_query",
+        "plan",
+        "simulate",
+    ):
+        assert callable(getattr(api, name)), name
+
+
+def test_service_half_end_to_end():
+    client = api.connect()
+    session = api.open_session(client, PARENTS, k=2, budget_mj=50.0)
+    rng = np.random.default_rng(3)
+    for __ in range(3):
+        session.feed(rng.normal(25, 3, len(PARENTS)))
+    readings = rng.normal(25, 3, len(PARENTS))
+    reply = api.submit_query(session, readings)
+    assert len(reply.nodes) == 2
+    assert reply.energy_mj > 0
+
+
+def test_open_session_accepts_topology_object_id_or_parents():
+    client = api.connect()
+    topology = line_topology(4)
+    by_object = api.open_session(client, topology, k=1, budget_mj=40.0)
+    topology_id = client.register_topology(topology)
+    by_id = api.open_session(client, topology_id, k=1, budget_mj=40.0)
+    by_parents = api.open_session(
+        client, [-1, 0, 1, 2], k=1, budget_mj=40.0
+    )
+    opened = {by_object.session_id, by_id.session_id, by_parents.session_id}
+    assert len(opened) == 3
+    assert client.stats().topologies == 1  # all three are the same tree
+
+
+@pytest.mark.parametrize("planner", ["greedy", "lp-lf", "lp-no-lf"])
+def test_library_half_plan(planner):
+    topology = line_topology(5)
+    energy = EnergyModel.mica2()
+    samples = np.random.default_rng(0).normal(25, 3, (6, 5))
+    built = api.plan(
+        topology, energy, samples, k=2, budget_mj=60.0, planner=planner
+    )
+    assert isinstance(built, QueryPlan)
+    assert built.static_cost(energy) <= 60.0
+
+
+def test_plan_accepts_ready_sample_matrix():
+    topology = line_topology(5)
+    samples = SampleMatrix(
+        np.random.default_rng(0).normal(25, 3, (6, 5)), k=2
+    )
+    built = api.plan(
+        topology, EnergyModel.mica2(), samples, k=2, budget_mj=60.0
+    )
+    assert isinstance(built, QueryPlan)
+
+
+def test_plan_rejects_unknown_planner():
+    with pytest.raises(ValueError, match="unknown planner"):
+        api.plan(
+            line_topology(4),
+            EnergyModel.mica2(),
+            np.ones((2, 4)),
+            k=1,
+            budget_mj=50.0,
+            planner="quantum",
+        )
+
+
+def test_library_half_simulate():
+    topology = line_topology(4)
+    energy = EnergyModel.mica2()
+    built = api.plan(
+        topology,
+        energy,
+        np.random.default_rng(0).normal(25, 3, (5, 4)),
+        k=2,
+        budget_mj=60.0,
+    )
+    report = api.simulate(topology, energy, built, [4.0, 9.0, 2.0, 7.0])
+    assert report.energy_mj > 0
+    assert report.returned
+
+
+def test_plan_and_simulate_compose_with_observability():
+    from repro.obs import EnergyLedger, Instrumentation
+
+    topology = line_topology(4)
+    energy = EnergyModel.mica2()
+    obs = Instrumentation()
+    ledger = EnergyLedger(topology.n)
+    built = api.plan(
+        topology,
+        energy,
+        np.random.default_rng(0).normal(25, 3, (5, 4)),
+        k=2,
+        budget_mj=60.0,
+        instrumentation=obs,
+    )
+    api.simulate(
+        topology, energy, built, [4.0, 9.0, 2.0, 7.0],
+        instrumentation=obs, ledger=ledger,
+    )
+    assert obs.counter("plan.builds").value == 1
+    assert ledger.energy_mj.sum() > 0

@@ -1,0 +1,157 @@
+"""Deprecation shims for the pre-1.1 positional construction style.
+
+Each shim must fire its :class:`DeprecationWarning` exactly once per
+construction, map the positional tail onto the right fields, and stay
+silent for the keyword style.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.network.builder import line_topology
+from repro.network.energy import EnergyModel
+from repro.network.failures import LinkFailureModel
+from repro.planners.base import PlannerConfig
+from repro.planners.lp_lf import LPLFPlanner
+from repro.planners.lp_no_lf import LPNoLFPlanner
+from repro.planners.proof import ProofPlanner
+from repro.simulation.batch import BatchSimulator
+from repro.simulation.runtime import Simulator
+
+
+def _one_deprecation(build):
+    """Run ``build`` asserting exactly one DeprecationWarning; returns
+    the built object."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        built = build()
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1, deprecations
+    assert "deprecated" in str(deprecations[0].message)
+    return built
+
+
+def _silent(build):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        built = build()
+    assert not [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    return built
+
+
+# -- planners ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "planner_cls", [LPLFPlanner, LPNoLFPlanner, ProofPlanner]
+)
+def test_planner_positional_tail_warns_once(planner_cls):
+    planner = _one_deprecation(lambda: planner_cls(False, False))
+    assert planner.strict_budget is False
+    assert planner.fill_budget is False
+
+
+@pytest.mark.parametrize(
+    "planner_cls", [LPLFPlanner, LPNoLFPlanner, ProofPlanner]
+)
+def test_planner_keywords_are_silent(planner_cls):
+    planner = _silent(lambda: planner_cls(strict_budget=False))
+    assert planner.strict_budget is False
+
+
+def test_planner_config_object_is_silent():
+    config = PlannerConfig(fill_budget=False, compiler="algebraic")
+    planner = _silent(lambda: LPLFPlanner(config=config))
+    assert planner.fill_budget is False
+    assert planner.compiler == "algebraic"
+
+
+def test_planner_keyword_overrides_beat_config():
+    config = PlannerConfig(fill_budget=False)
+    planner = _silent(
+        lambda: LPLFPlanner(config=config, fill_budget=True)
+    )
+    assert planner.fill_budget is True
+
+
+def test_planner_rejects_unknown_keywords():
+    with pytest.raises(TypeError, match="unexpected keyword"):
+        LPLFPlanner(frobnicate=True)
+
+
+def test_planner_rejects_too_many_positionals():
+    with pytest.raises(TypeError):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            LPLFPlanner(True, True, None, "fast", "extra")
+
+
+def test_planner_rejects_unknown_compiler():
+    with pytest.raises(ValueError, match="unknown compiler"):
+        LPLFPlanner(compiler="quantum")
+
+
+# -- simulators -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("simulator_cls", [Simulator, BatchSimulator])
+def test_simulator_positional_tail_warns_once(simulator_cls):
+    topology = line_topology(4)
+    energy = EnergyModel.mica2()
+    failures = LinkFailureModel.uniform(topology, 0.1, 2.0)
+    rng = np.random.default_rng(5)
+    simulator = _one_deprecation(
+        lambda: simulator_cls(topology, energy, failures, rng)
+    )
+    assert simulator.failures is failures
+    assert simulator.rng is rng
+    assert simulator.instrumentation is None
+
+
+@pytest.mark.parametrize("simulator_cls", [Simulator, BatchSimulator])
+def test_simulator_keywords_are_silent(simulator_cls):
+    topology = line_topology(4)
+    simulator = _silent(
+        lambda: simulator_cls(
+            topology,
+            EnergyModel.mica2(),
+            failures=None,
+            rng=np.random.default_rng(5),
+        )
+    )
+    assert simulator.failures is None
+
+
+@pytest.mark.parametrize("simulator_cls", [Simulator, BatchSimulator])
+def test_simulator_rejects_too_many_positionals(simulator_cls):
+    with pytest.raises(TypeError):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            simulator_cls(
+                line_topology(4), EnergyModel.mica2(),
+                None, None, None, None, "extra",
+            )
+
+
+def test_positional_and_keyword_styles_build_equivalent_simulators():
+    """The shim maps positionals onto the same slots keywords fill."""
+    topology = line_topology(4)
+    energy = EnergyModel.mica2()
+    readings = [4.0, 8.0, 2.0, 6.0]
+    from repro.plans.plan import QueryPlan
+
+    plan = QueryPlan.full(topology)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        old_style = Simulator(topology, energy, None)
+    new_style = Simulator(topology, energy, failures=None)
+    a = old_style.run_collection(plan, readings)
+    b = new_style.run_collection(plan, readings)
+    assert a.energy_mj == b.energy_mj
+    assert a.returned == b.returned

@@ -21,6 +21,7 @@ def test_package_docstring_example():
 
 
 def test_subpackage_imports():
+    import repro.api
     import repro.cli
     import repro.datagen
     import repro.experiments
@@ -31,6 +32,7 @@ def test_subpackage_imports():
     import repro.queries
     import repro.query
     import repro.sampling
+    import repro.service
     import repro.simulation
     import repro.stochastic
 
@@ -44,8 +46,18 @@ def test_subpackage_imports():
         repro.datagen,
         repro.queries,
         repro.query,
+        repro.service,
+        repro.api,
         repro.stochastic,
         repro.experiments,
         repro.cli,
     ):
         assert module.__doc__
+
+
+def test_api_facade_docstring_example():
+    import repro.api
+
+    results = doctest.testmod(repro.api, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0
