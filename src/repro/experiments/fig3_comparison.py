@@ -36,6 +36,7 @@ from repro.planners.oracle import OraclePlanner
 from repro.query.accuracy import accuracy as accuracy_metric
 from repro.query.accuracy import batch_accuracy
 from repro.simulation.batch import BatchSimulator
+from repro.simulation.fleet import FleetCell, FleetSimulator
 from repro.simulation.runtime import Simulator
 
 
@@ -96,9 +97,14 @@ def run(
     energy counters across the whole sweep (inline trials only — it
     cannot cross process boundaries, so it is dropped when
     ``processes > 1``).  ``engine`` selects the batched replay path
-    (default) or the scalar reference; ``processes``/``runner`` control
-    trial parallelism and result caching.
+    (default), the scalar reference, or ``"fleet"`` — which evaluates
+    every precomputed LP plan replay as one
+    :class:`~repro.simulation.fleet.FleetSimulator` grid (identical
+    rows to ``"batch"``); ``processes``/``runner`` control trial
+    parallelism and result caching.
     """
+    fleet = engine == "fleet"
+    trial_engine = "batch" if fleet else engine
     rng = np.random.default_rng(seed)
     energy = EnergyModel.mica2()
     topology = random_topology(n, rng=rng)
@@ -126,7 +132,7 @@ def run(
             "eval_trace": eval_trace,
             "k": k,
             "budget": budget,
-            "engine": engine,
+            "engine": trial_engine,
             **obs_extra,
         }
         for budget in budgets
@@ -135,6 +141,7 @@ def run(
     # sweep (compile once, warm-start each member); the trials then
     # just replay the precomputed plans
     samples = train.sample_matrix(k)
+    replays: list[tuple[str, object, float]] = []
     for planner in (LPNoLFPlanner(), LPLFPlanner()):
         context = PlanningContext(
             topology=topology,
@@ -145,6 +152,12 @@ def run(
             instrumentation=None if parallel else instrumentation,
         )
         plans = planner.plan_for_budgets(context, budgets)
+        if fleet:
+            replays.extend(
+                (planner.name, plan, budget)
+                for budget, plan in zip(budgets, plans)
+            )
+            continue
         trial_params.extend(
             {
                 "name": planner.name,
@@ -154,15 +167,23 @@ def run(
                 "eval_trace": eval_trace,
                 "k": k,
                 "budget": budget,
-                "engine": engine,
+                "engine": trial_engine,
                 **obs_extra,
             }
             for budget, plan in zip(budgets, plans)
         )
     rows: list[dict] = list(runner.map(_planner_trial, trial_params, seed=seed))
+    if replays:
+        rows.extend(
+            _replay_fleet(
+                replays, topology, energy, eval_trace, k,
+                None if parallel else instrumentation,
+                runner.processes,
+            )
+        )
 
     # exact algorithms: sweep j and report accuracy j / k
-    if engine == "batch":
+    if engine in ("batch", "fleet"):
         rows.extend(
             _exact_sweep_batch(
                 topology, energy, eval_trace, k, include_naive_one,
@@ -175,6 +196,41 @@ def run(
                 topology, energy, eval_trace, k, include_naive_one,
                 instrumentation,
             )
+        )
+    return rows
+
+
+def _replay_fleet(
+    replays, topology, energy, eval_trace, k, instrumentation, processes
+) -> list[dict]:
+    """All precomputed LP plan replays as one fleet grid.
+
+    One :class:`~repro.simulation.fleet.FleetSimulator` pass evaluates
+    every (planner, budget) replay cell — plans sharing bandwidths run
+    through one blocked tree recursion.  No failure models are attached,
+    so the rows are *identical* to the per-trial batched path.
+    """
+    cells = [
+        FleetCell(topology, plan, eval_trace.values, label=name)
+        for name, plan, _ in replays
+    ]
+    simulator = FleetSimulator(
+        energy, processes=processes, instrumentation=instrumentation
+    )
+    rows = []
+    for (name, __, budget), report in zip(
+        replays, simulator.run(cells, seed=0)
+    ):
+        accuracies = batch_accuracy(
+            report.top_k_nodes(k), eval_trace.values, k
+        )
+        rows.append(
+            {
+                "algorithm": name,
+                "accuracy": float(np.mean(accuracies)),
+                "energy_mj": float(np.mean(report.energy_mj)),
+                "budget_mj": round(budget, 2),
+            }
         )
     return rows
 

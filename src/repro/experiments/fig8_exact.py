@@ -24,8 +24,9 @@ from repro.planners.base import PlanningContext
 from repro.planners.exact import ExactTopK
 from repro.planners.oracle import OracleProofPlanner
 from repro.planners.proof import ProofPlanner
-from repro.plans.plan import top_k_set
+from repro.plans.plan import QueryPlan, top_k_set
 from repro.simulation.batch import BatchSimulator
+from repro.simulation.fleet import FleetCell, FleetSimulator
 from repro.simulation.runtime import Simulator
 
 
@@ -77,9 +78,23 @@ def run(
     simulator = Simulator(topology, energy)
 
     # horizontal baselines: NAIVE-k replays one installed plan, so the
-    # batch engine measures it in one pass; the proof-carrying oracle
-    # baseline stays on the scalar proof-execution path
-    if engine == "batch":
+    # batch engine measures it in one pass (or as a fleet cell, whose
+    # accounting is energy-identical since NAIVE-k visits every node);
+    # the proof-carrying oracle baseline stays on the scalar
+    # proof-execution path
+    if engine == "fleet":
+        fleet = FleetSimulator(energy, processes=processes)
+        report = fleet.run(
+            [
+                FleetCell(
+                    topology, QueryPlan.naive_k(topology, k),
+                    eval_trace.values, label="naive-k",
+                )
+            ],
+            seed=seed,
+        )[0]
+        naive_line = float(np.mean(report.energy_mj))
+    elif engine == "batch":
         batch = BatchSimulator(topology, energy)
         naive_line = float(
             np.mean(batch.run_naive_k(eval_trace.values, k).energy_mj)

@@ -38,6 +38,17 @@ class Backend(Protocol):
         The pure simplex warm-starts each member from the previous
         optimal basis (dual-simplex restart); the scipy backend reuses
         the compiled arrays across ``linprog`` calls.
+
+    ``solve_batch(parametric, rhs_values, name=None, *, costs=None,
+    strategy=None)``
+        Solve B same-structure LPs as one batch: per-member RHS-slot
+        values, optionally per-member cost vectors (``(B, n)``,
+        minimization sense).  The pure simplex runs eligible batches in
+        lockstep — one blocked numpy computation with stacked basis
+        factorizations — falling back to scalar solves per member
+        where needed; the scipy backend loops ``linprog`` with all
+        per-call validation/conversion hoisted out.  Results are
+        element-wise identical to independent cold solves either way.
     """
 
     name: str

@@ -19,6 +19,14 @@ class SolveStats:
     this particular solve needed.  Cold solves report
     ``warm_started=False`` and their full pivot count (zero for
     backends that do not expose one).
+
+    ``bland_activations`` and ``cold_fallback`` are degeneracy
+    telemetry: how many times this solve had to engage Bland's
+    anti-cycling rule, and whether a warm restart or lockstep batch
+    member had to be abandoned for a cold scalar re-solve.  Both are
+    mirrored into the ``lp.sweep.*``/``lp.batch.*`` metrics so
+    warm-start-quality regressions show up in ``python -m repro
+    stats``.
     """
 
     backend: str = ""
@@ -28,6 +36,8 @@ class SolveStats:
     num_constraints: int = 0
     warm_started: bool = False
     pivots: int = 0
+    bland_activations: int = 0
+    cold_fallback: bool = False
 
 
 @dataclass

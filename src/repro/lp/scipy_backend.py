@@ -10,6 +10,7 @@ import time
 
 import numpy as np
 from scipy.optimize import linprog
+from scipy.sparse import csc_array
 
 from repro.errors import SolverError
 from repro.lp.model import Model
@@ -58,22 +59,60 @@ class ScipyBackend:
         """
         return self._solve_compiled(form, name, model=None)
 
+    @staticmethod
+    def _hoisted(form) -> dict:
+        """One-time preparation of the ``linprog`` inputs for a sweep.
+
+        ``linprog`` re-validates and re-converts every array on every
+        call: the dense ``A_ub`` is copied to CSC for HiGHS and the
+        bounds list is re-parsed each time.  Doing that work once per
+        sweep (CSC matrices, a packed ``(n, 2)`` bounds array) is where
+        the batched scipy path gets its speedup.
+        """
+        bounds = np.empty((form.num_variables, 2), dtype=float)
+        for i, (lo, hi) in enumerate(form.bounds):
+            bounds[i, 0] = -np.inf if lo is None else lo
+            bounds[i, 1] = np.inf if hi is None else hi
+        return {
+            "c": np.ascontiguousarray(form.c, dtype=float),
+            "a_ub": csc_array(form.a_ub) if form.a_ub.shape[0] else None,
+            "a_eq": csc_array(form.a_eq) if form.a_eq.shape[0] else None,
+            "b_eq": form.b_eq if form.b_eq.size else None,
+            "bounds": bounds,
+        }
+
     def _solve_compiled(
-        self, form, name: str, model: Model | None, b_ub=None
+        self, form, name: str, model: Model | None, b_ub=None,
+        prepared=None, c=None,
     ) -> Solution:
         start = time.perf_counter()
         rhs = form.b_ub if b_ub is None else b_ub
+        if prepared is None:
+            kwargs = {
+                "A_ub": form.a_ub if form.a_ub.shape[0] else None,
+                "A_eq": form.a_eq if form.a_eq.shape[0] else None,
+                "b_eq": form.b_eq if form.b_eq.size else None,
+                "bounds": form.bounds,
+            }
+            if c is None:
+                c = form.c
+        else:
+            kwargs = {
+                "A_ub": prepared["a_ub"],
+                "A_eq": prepared["a_eq"],
+                "b_eq": prepared["b_eq"],
+                "bounds": prepared["bounds"],
+            }
+            if c is None:
+                c = prepared["c"]
         with maybe_span(
             self.instrumentation, "solve", model=name, backend=self.name
         ) as span:
             result = linprog(
-                form.c,
-                A_ub=form.a_ub if form.a_ub.shape[0] else None,
+                c,
                 b_ub=rhs if rhs.size else None,
-                A_eq=form.a_eq if form.a_eq.shape[0] else None,
-                b_eq=form.b_eq if form.b_eq.size else None,
-                bounds=form.bounds,
                 method=self.method,
+                **kwargs,
             )
             span.annotate(iterations=int(getattr(result, "nit", 0) or 0))
         elapsed = time.perf_counter() - start
@@ -113,6 +152,7 @@ class ScipyBackend:
         """
         label = name or parametric.name
         form = parametric.compiled.form
+        prepared = self._hoisted(form)
         b_ub = form.b_ub.copy()
         solutions = []
         start = time.perf_counter()
@@ -123,7 +163,10 @@ class ScipyBackend:
                 model=label, rhs=float(rhs), mode="cold",
             ):
                 solutions.append(
-                    self._solve_compiled(form, label, model=None, b_ub=b_ub)
+                    self._solve_compiled(
+                        form, label, model=None, b_ub=b_ub,
+                        prepared=prepared,
+                    )
                 )
         if self.instrumentation is not None:
             self.instrumentation.record_lp_sweep(
@@ -131,6 +174,60 @@ class ScipyBackend:
                 members=len(solutions),
                 warm_hits=0,
                 pivots_saved=0,
+                seconds=time.perf_counter() - start,
+            )
+        return solutions
+
+    def solve_batch(
+        self,
+        parametric,
+        rhs_values,
+        name: str | None = None,
+        *,
+        costs=None,
+        strategy: str | None = None,
+    ):
+        """Solve B same-structure LPs over one compiled form.
+
+        scipy has no vectorized entry point, so this is a loop — but
+        with all per-``linprog`` validation/conversion work hoisted out
+        via :meth:`_hoisted` (CSC constraint matrices, packed bounds).
+        ``costs`` optionally overrides the cost vector per member
+        (``(B, n)``, minimization sense).  ``strategy`` is accepted for
+        signature compatibility with the pure simplex and ignored.
+        """
+        del strategy
+        label = name or parametric.name
+        rhs_values = np.atleast_1d(np.asarray(rhs_values, dtype=float))
+        if rhs_values.size == 0:
+            return []
+        form = parametric.compiled.form
+        prepared = self._hoisted(form)
+        b_matrix = parametric.b_ub_matrix(rhs_values)
+        solutions = []
+        start = time.perf_counter()
+        with maybe_span(
+            self.instrumentation, "batch.solve",
+            model=label, backend=self.name, members=int(rhs_values.size),
+        ):
+            for index, b_ub in enumerate(b_matrix):
+                c = (
+                    None if costs is None
+                    else np.ascontiguousarray(costs[index], dtype=float)
+                )
+                solutions.append(
+                    self._solve_compiled(
+                        form, label, model=None, b_ub=b_ub,
+                        prepared=prepared, c=c,
+                    )
+                )
+        if self.instrumentation is not None:
+            self.instrumentation.record_lp_batch(
+                label,
+                members=len(solutions),
+                lockstep_iterations=0,
+                cold_fallbacks=0,
+                bland_activations=0,
                 seconds=time.perf_counter() - start,
             )
         return solutions

@@ -105,19 +105,27 @@ class Instrumentation:
 
     def record_lp_sweep(
         self, model_name: str, *, members: int, warm_hits: int,
-        pivots_saved: int, seconds: float,
+        pivots_saved: int, seconds: float, bland_activations: int = 0,
+        cold_fallbacks: int = 0,
     ) -> None:
         """One parametric budget sweep solved through ``solve_sweep``.
 
         ``warm_hits`` counts members restarted from the previous
         optimal basis; ``pivots_saved`` is the pivot count a cold solve
         would have needed minus what the warm restarts actually spent
-        (zero for backends without warm starts).
+        (zero for backends without warm starts).  ``bland_activations``
+        and ``cold_fallbacks`` are degeneracy telemetry: how often
+        Bland's anti-cycling rule engaged and how many warm restarts
+        had to be abandoned for cold re-solves.
         """
         self.metrics.counter("lp.sweep.solves").inc()
         self.metrics.counter("lp.sweep.members").inc(members)
         self.metrics.counter("lp.sweep.warm_hits").inc(warm_hits)
         self.metrics.counter("lp.sweep.pivots_saved").inc(pivots_saved)
+        self.metrics.counter("lp.sweep.bland_activations").inc(
+            bland_activations
+        )
+        self.metrics.counter("lp.sweep.cold_fallbacks").inc(cold_fallbacks)
         self.metrics.histogram(f"lp.sweep.seconds.{model_name}").observe(
             seconds
         )
@@ -127,6 +135,70 @@ class Instrumentation:
             members=members,
             warm_hits=warm_hits,
             pivots_saved=pivots_saved,
+            bland_activations=bland_activations,
+            cold_fallbacks=cold_fallbacks,
+            seconds=seconds,
+        )
+
+    def record_lp_batch(
+        self, model_name: str, *, members: int, lockstep_iterations: int,
+        cold_fallbacks: int, bland_activations: int, seconds: float,
+    ) -> None:
+        """One batched solve through ``solve_batch``: many same-structure
+        LPs advanced in lockstep over a stacked basis factorization.
+
+        ``lockstep_iterations`` is the number of vectorized pivot
+        rounds the batch needed (zero for backends that loop compiled
+        arrays instead of truly vectorizing); ``cold_fallbacks`` counts
+        members that left the lockstep for an exact scalar re-solve.
+        """
+        self.metrics.counter("lp.batch.solves").inc()
+        self.metrics.counter("lp.batch.members").inc(members)
+        self.metrics.counter("lp.batch.lockstep_iterations").inc(
+            lockstep_iterations
+        )
+        self.metrics.counter("lp.batch.cold_fallbacks").inc(cold_fallbacks)
+        self.metrics.counter("lp.batch.bland_activations").inc(
+            bland_activations
+        )
+        self.metrics.histogram(f"lp.batch.seconds.{model_name}").observe(
+            seconds
+        )
+        self.event(
+            "lp_batch",
+            model=model_name,
+            members=members,
+            lockstep_iterations=lockstep_iterations,
+            cold_fallbacks=cold_fallbacks,
+            bland_activations=bland_activations,
+            seconds=seconds,
+        )
+
+    def record_fleet_run(
+        self, *, cells: int, groups: int, blocks: int, epochs: int,
+        shards: int, seconds: float,
+    ) -> None:
+        """One fleet-simulator run: a topology × plan × trace grid
+        evaluated in blocked vectorized passes.
+
+        ``groups`` counts distinct (topology, plan) execution groups,
+        ``blocks`` the vectorized tree recursions actually run, and
+        ``shards`` the process-pool partitions (1 for a serial run).
+        """
+        self.metrics.counter("fleet.runs").inc()
+        self.metrics.counter("fleet.cells").inc(cells)
+        self.metrics.counter("fleet.groups").inc(groups)
+        self.metrics.counter("fleet.blocks").inc(blocks)
+        self.metrics.counter("fleet.epochs").inc(epochs)
+        self.metrics.counter("fleet.shards").inc(shards)
+        self.metrics.histogram("fleet.run_seconds").observe(seconds)
+        self.event(
+            "fleet_run",
+            cells=cells,
+            groups=groups,
+            blocks=blocks,
+            epochs=epochs,
+            shards=shards,
             seconds=seconds,
         )
 

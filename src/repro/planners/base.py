@@ -155,6 +155,37 @@ def resolve_planner_config(
     return merged
 
 
+def sweep_solutions(
+    backend,
+    parametric,
+    rhs_values,
+    *,
+    form_cache=None,
+    formulation: str | None = None,
+    context: "PlanningContext | None" = None,
+):
+    """Route a budget ladder to the best available batch entry point.
+
+    Preference order: the cross-session form cache's solution cache
+    (:meth:`repro.service.cache.SharedPlanCache.sweep_solutions` —
+    equal-content tenants pay one batch solve), then the backend's
+    ``solve_batch`` (vectorized lockstep on the pure simplex, hoisted
+    ``linprog`` loop on scipy), then plain ``solve_sweep``.  All three
+    return element-wise identical solutions.
+    """
+    if (
+        form_cache is not None
+        and formulation is not None
+        and hasattr(form_cache, "sweep_solutions")
+    ):
+        return form_cache.sweep_solutions(
+            formulation, context, parametric, rhs_values, backend
+        )
+    if hasattr(backend, "solve_batch"):
+        return backend.solve_batch(parametric, rhs_values)
+    return backend.solve_sweep(parametric, rhs_values)
+
+
 class Planner(Protocol):
     """Anything that turns a planning context into a query plan."""
 

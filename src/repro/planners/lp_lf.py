@@ -35,6 +35,7 @@ from repro.planners.base import (
     PlanningContext,
     observed,
     resolve_planner_config,
+    sweep_solutions,
 )
 from repro.planners.rounding import (
     fill_bandwidths,
@@ -230,8 +231,10 @@ class LPLFPlanner:
         if self.compiler != "fast" or not hasattr(backend, "solve_sweep"):
             return [self.plan(replace(context, budget=b)) for b in budgets]
         parametric = self._parametric(context)
-        solutions = backend.solve_sweep(
-            parametric, parametric.rhs_values(budgets)
+        solutions = sweep_solutions(
+            backend, parametric, parametric.rhs_values(budgets),
+            form_cache=self.form_cache, formulation="lp-lf",
+            context=context,
         )
         bandwidth_of = parametric.primary_columns
         topology = context.topology

@@ -36,6 +36,7 @@ from repro.planners.base import (
     PlanningContext,
     observed,
     resolve_planner_config,
+    sweep_solutions,
 )
 from repro.planners.rounding import repair_bandwidths, round_bandwidth
 
@@ -249,8 +250,8 @@ class ProofPlanner:
             context,
             budget_rhs_of=lambda budget: budget - reserve - acquisition_total,
         )
-        solutions = backend.solve_sweep(
-            parametric, parametric.rhs_values(budgets)
+        solutions = sweep_solutions(
+            backend, parametric, parametric.rhs_values(budgets)
         )
         columns = parametric.primary_columns
         topology = context.topology

@@ -81,10 +81,13 @@ class SharedPlanCache:
         self.replan_cache = ReplanCache(capacity=replan_capacity)
         self.instrumentation = instrumentation
         self._entries: "OrderedDict[tuple, ParametricForm]" = OrderedDict()
+        self._solutions: "OrderedDict[tuple, list]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.sweep_hits = 0
+        self.sweep_misses = 0
 
     def _count(self, outcome: str) -> None:
         setattr(self, outcome, getattr(self, outcome) + 1)
@@ -127,6 +130,43 @@ class SharedPlanCache:
             self._entries[key] = entry
             return entry
 
+    def sweep_solutions(
+        self, formulation: str, context, parametric, rhs_values, backend
+    ) -> list:
+        """Pooled solutions for one budget ladder; solves at most once
+        per ``(content key, backend, ladder)``.
+
+        The cache level above :meth:`parametric`: equal-content tenants
+        sweeping the same budgets share one ``solve_batch`` call (the
+        vectorized lockstep pass on the pure simplex).  Like
+        :meth:`parametric`, the lock is held across the solve so racing
+        sessions block behind one batch instead of duplicating it.
+        Entries share the plan-cache LRU capacity and counters land
+        under ``service.cache.sweep_{hits,misses}``.
+        """
+        rhs = np.atleast_1d(np.asarray(rhs_values, dtype=float))
+        key = (
+            self.key_for(formulation, context),
+            backend.name,
+            hashlib.sha256(rhs.tobytes()).hexdigest()[:16],
+        )
+        with self._lock:
+            entry = self._solutions.get(key)
+            if entry is not None:
+                self._solutions.move_to_end(key)
+                self._count("sweep_hits")
+                return list(entry)
+            self._count("sweep_misses")
+            if hasattr(backend, "solve_batch"):
+                entry = backend.solve_batch(parametric, rhs)
+            else:
+                entry = backend.solve_sweep(parametric, rhs)
+            while len(self._solutions) >= self.capacity:
+                self._solutions.popitem(last=False)
+                self._count("evictions")
+            self._solutions[key] = entry
+            return list(entry)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -153,6 +193,9 @@ class SharedPlanCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "sweep_entries": len(self._solutions),
+                "sweep_hits": self.sweep_hits,
+                "sweep_misses": self.sweep_misses,
                 "replan_hits": self.replan_cache.hits,
                 "replan_misses": self.replan_cache.misses,
                 "replan_evictions": self.replan_cache.evictions,

@@ -24,15 +24,27 @@ from repro.simulation.batch import (  # noqa: E402  (see comment above)
     BatchSimulationReport,
     BatchSimulator,
 )
+from repro.simulation.fleet import (  # noqa: E402  (imports batch)
+    FleetCell,
+    FleetSimulator,
+    TraceStore,
+    load_traces,
+    save_traces,
+)
 
 __all__ = [
     "BatchSimulationReport",
     "BatchSimulator",
+    "FleetCell",
+    "FleetSimulator",
     "LossyCollectionResult",
     "SimulationReport",
     "Simulator",
+    "TraceStore",
     "execute_plan_lossy",
     "initial_distribution_cost",
+    "load_traces",
     "redundancy_plan",
+    "save_traces",
     "trigger_cost",
 ]

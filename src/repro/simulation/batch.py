@@ -170,33 +170,43 @@ class BatchSimulator:
         return np.asarray(values, dtype=np.float64)
 
     def _charge_batch(
-        self, messages: list[Message], num_epochs: int
+        self,
+        messages: list[Message],
+        num_epochs: int,
+        totals: tuple[float, int] | None = None,
     ) -> tuple[float, int, np.ndarray, np.ndarray, np.ndarray]:
         """Base per-epoch energy plus vectorized failure accounting.
 
         Returns ``(base_mj, values, retry_mj, edges, fail_matrix)``:
         the deterministic per-epoch collection cost, the per-epoch
         value count, the ``(E,)`` retry energies, and the unicast edge
-        ids with their ``(E, M)`` failure outcomes.
+        ids with their ``(E, M)`` failure outcomes.  ``totals``
+        optionally supplies a precomputed ``(base_mj, values)`` pair —
+        both depend only on the message list, so the fleet simulator
+        sums them once per block; the per-node ledger breakdown still
+        needs the full scan, so the shortcut only applies without one.
         """
         base = 0.0
         values = 0
         ledger = self.ledger
-        if ledger is not None:
-            node_energy = np.zeros(self.topology.n, dtype=np.float64)
-            node_msgs = np.zeros(self.topology.n, dtype=np.int64)
-            node_bytes = np.zeros(self.topology.n, dtype=np.int64)
-        for message in messages:
-            cost = message.cost(self.energy)
-            base += cost
-            values += message.num_values
+        if ledger is None and totals is not None:
+            base, values = totals
+        else:
             if ledger is not None:
-                node_energy[message.edge] += cost
-                node_msgs[message.edge] += 1
-                node_bytes[message.edge] += (
-                    message.num_values * self.energy.value_bytes
-                    + message.extra_bytes
-                )
+                node_energy = np.zeros(self.topology.n, dtype=np.float64)
+                node_msgs = np.zeros(self.topology.n, dtype=np.int64)
+                node_bytes = np.zeros(self.topology.n, dtype=np.int64)
+            for message in messages:
+                cost = message.cost(self.energy)
+                base += cost
+                values += message.num_values
+                if ledger is not None:
+                    node_energy[message.edge] += cost
+                    node_msgs[message.edge] += 1
+                    node_bytes[message.edge] += (
+                        message.num_values * self.energy.value_bytes
+                        + message.extra_bytes
+                    )
         if self.failures is None:
             if ledger is not None:
                 ledger.charge_epochs(
@@ -247,13 +257,14 @@ class BatchSimulator:
         extra_energy: float,
         label: str,
         started: float,
+        totals: tuple[float, int] | None = None,
     ) -> BatchSimulationReport:
         num_epochs = result.num_epochs
         with maybe_span(
             self.instrumentation, "collect", label=label, epochs=num_epochs
         ) as span:
             base, values, retry_mj, edges, fails = self._charge_batch(
-                result.messages, num_epochs
+                result.messages, num_epochs, totals
             )
             span.annotate(messages=len(result.messages) * num_epochs)
         retries = (
@@ -302,9 +313,49 @@ class BatchSimulator:
         started = time.perf_counter()
         values = self._as_matrix(readings_matrix)
         result = execute_plan_batch(plan, values, priority=priority)
-        extra = trigger_cost(plan, self.energy) if include_trigger else 0.0
-        extra += self._acquisition(len(plan.visited_nodes))
-        return self._report(result, extra, label, started)
+        return self.account_collection(
+            plan, result,
+            include_trigger=include_trigger, label=label, started=started,
+        )
+
+    def account_collection(
+        self,
+        plan: QueryPlan,
+        result: BatchCollectionResult,
+        *,
+        include_trigger: bool = True,
+        label: str = "collection",
+        started: float | None = None,
+        extra_energy: float | None = None,
+        message_totals: tuple[float, int] | None = None,
+    ) -> BatchSimulationReport:
+        """Energy-account an already-executed batch collection.
+
+        The second half of :meth:`run_collection`, split out so callers
+        that run :func:`~repro.plans.execution.execute_plan_batch` over
+        a concatenation of several traces (the fleet simulator) can
+        account each slice with its own failure model and rng while the
+        tree recursion is shared.  ``result`` must come from this
+        plan's execution; the report is identical to what
+        :meth:`run_collection` would have produced on the same rows.
+
+        ``extra_energy`` pre-empts the per-epoch trigger + acquisition
+        overhead and ``message_totals`` the summed per-epoch message
+        cost/value pair — both depend only on the plan, so the fleet
+        simulator computes them once per group instead of once per
+        cell; ``include_trigger`` is ignored when ``extra_energy`` is
+        given.
+        """
+        if started is None:
+            started = time.perf_counter()
+        if extra_energy is None:
+            extra_energy = (
+                trigger_cost(plan, self.energy) if include_trigger else 0.0
+            )
+            extra_energy += self._acquisition(len(plan.visited_nodes))
+        return self._report(
+            result, extra_energy, label, started, message_totals
+        )
 
     def run_naive_k(self, readings_matrix, k: int) -> BatchSimulationReport:
         """NAIVE-k over every epoch (exact top-k, full-tree trigger)."""

@@ -1,0 +1,411 @@
+"""Fleet-scale simulation: topology × plan × trace grids in one pass.
+
+:class:`~repro.simulation.batch.BatchSimulator` vectorizes one plan
+over one trace; Monte-Carlo-scale studies (PAC bound validation,
+fig 3/8 replication across failure regimes, lifetime sweeps) want
+**thousands** of (topology, plan, trace) cells.  This module evaluates
+such a grid in blocked numpy passes:
+
+- cells that share a topology structure and plan bandwidths are
+  *grouped*, their traces concatenated, and the whole group executed
+  through one :func:`~repro.plans.execution.execute_plan_batch` tree
+  recursion per block — plan execution is row-independent, so the
+  per-cell row slices are exactly what per-cell runs would produce;
+- energy accounting stays **per cell** (each cell keeps its own
+  failure model and rng), via
+  :meth:`~repro.simulation.batch.BatchSimulator.account_collection`,
+  so every report is element-wise identical to a per-cell
+  ``BatchSimulator.run_collection`` with the same seed;
+- cell seeds come from one ``SeedSequence.spawn`` per run — cell ``i``
+  always sees the stream ``default_rng(SeedSequence(seed).spawn(B)[i])``
+  regardless of grouping, blocking, or process count;
+- large grids shard across a ``ProcessPoolExecutor``; traces live in a
+  memory-mapped :class:`TraceStore` that pickles **by path**, so
+  workers reopen the mmap instead of inheriting pickled arrays
+  (fork-safe: no copied trace bytes cross the process boundary).
+
+``save_traces``/``load_traces`` round-trip named traces through an
+uncompressed ``.npz`` whose members are memory-mapped on load.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import time
+import zipfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.network.energy import EnergyModel
+from repro.network.failures import LinkFailureModel
+from repro.network.topology import Topology
+from repro.obs import Instrumentation
+from repro.obs.spans import maybe_span
+from repro.plans.execution import BatchCollectionResult, execute_plan_batch
+from repro.plans.plan import QueryPlan
+from repro.simulation.batch import BatchSimulationReport, BatchSimulator
+from repro.simulation.distribution import trigger_cost
+
+__all__ = [
+    "FleetCell",
+    "FleetSimulator",
+    "TraceStore",
+    "load_traces",
+    "save_traces",
+]
+
+
+# -- memory-mapped trace storage --------------------------------------------
+
+
+def save_traces(path, traces) -> str:
+    """Write named traces to an uncompressed ``.npz`` for mmap loading.
+
+    ``traces`` maps name → :class:`~repro.datagen.trace.Trace` or
+    ``(E, n)`` array.  Uncompressed storage is what makes the members
+    memory-mappable; returns the actual file path (numpy appends
+    ``.npz`` when missing).
+    """
+    arrays = {}
+    for name, trace in traces.items():
+        arrays[name] = np.ascontiguousarray(
+            getattr(trace, "values", trace), dtype=np.float64
+        )
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    np.savez(path, **arrays)
+    return path
+
+
+def load_traces(path) -> "TraceStore":
+    """Open a :func:`save_traces` archive as a read-only mmap store."""
+    return TraceStore(path)
+
+
+class TraceStore:
+    """Read-only, memory-mapped view of a ``save_traces`` archive.
+
+    Each uncompressed ``.npy`` member is exposed as an ``np.memmap``
+    into the archive file — no trace bytes are read until touched, and
+    many processes mapping the same store share one page cache.  The
+    store pickles **by path** (see ``__reduce__``): a process-pool
+    worker receiving one reopens the mmap locally instead of
+    deserializing array data, which is what keeps
+    :class:`FleetSimulator`'s pooled path fork-safe.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+        self._arrays: dict[str, np.ndarray] = {}
+        with zipfile.ZipFile(self.path) as archive:
+            for info in archive.infolist():
+                name = info.filename
+                if name.endswith(".npy"):
+                    name = name[: -len(".npy")]
+                self._arrays[name] = self._open_member(archive, info)
+
+    def _open_member(self, archive, info) -> np.ndarray:
+        if info.compress_type != zipfile.ZIP_STORED:
+            # compressed members cannot be mapped; read them eagerly
+            with archive.open(info) as handle:
+                return np.lib.format.read_array(handle)
+        with open(self.path, "rb") as handle:
+            # the zip local file header is 30 bytes plus the variable
+            # name/extra fields; the npy payload starts right after
+            handle.seek(info.header_offset)
+            local = handle.read(30)
+            name_len = int.from_bytes(local[26:28], "little")
+            extra_len = int.from_bytes(local[28:30], "little")
+            handle.seek(info.header_offset + 30 + name_len + extra_len)
+            version = np.lib.format.read_magic(handle)
+            header_len_bytes = 2 if version[0] == 1 else 4
+            header_len = int.from_bytes(
+                handle.read(header_len_bytes), "little"
+            )
+            header = ast.literal_eval(
+                handle.read(header_len).decode("latin1")
+            )
+            offset = handle.tell()
+        if header.get("fortran_order"):
+            with zipfile.ZipFile(self.path) as again, \
+                    again.open(info) as handle:
+                return np.lib.format.read_array(handle)
+        return np.memmap(
+            self.path,
+            dtype=np.dtype(header["descr"]),
+            mode="r",
+            offset=offset,
+            shape=tuple(header["shape"]),
+        )
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise TraceError(
+                f"trace {name!r} not in store {self.path!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def keys(self):
+        return self._arrays.keys()
+
+    def __reduce__(self):
+        return (TraceStore, (self.path,))
+
+
+# -- the fleet grid ---------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class FleetCell:
+    """One (topology, plan, trace) evaluation of a fleet grid.
+
+    ``trace`` is a :class:`~repro.datagen.trace.Trace`, an ``(E, n)``
+    array, or a string key into the simulator's :class:`TraceStore`
+    (the form to use with the process pool — workers resolve the key
+    against their own reopened mmap).  ``failures`` and the spawned
+    per-cell rng govern only this cell's accounting, exactly as they
+    would on a dedicated :class:`BatchSimulator`.
+    """
+
+    topology: Topology
+    plan: QueryPlan
+    trace: object
+    failures: LinkFailureModel | None = None
+    include_trigger: bool = True
+    label: str = "collection"
+
+
+def _cell_values(cell: FleetCell, trace_store) -> np.ndarray:
+    trace = cell.trace
+    if isinstance(trace, str):
+        if trace_store is None:
+            raise TraceError(
+                f"cell references trace {trace!r} but the simulator has"
+                " no trace store"
+            )
+        return trace_store[trace]
+    return np.asarray(getattr(trace, "values", trace), dtype=np.float64)
+
+
+def _group_key(cell: FleetCell) -> tuple:
+    """Cells with equal keys produce identical per-row executions."""
+    return (
+        cell.topology.cache_token(),
+        tuple(sorted(cell.plan.bandwidths.items())),
+    )
+
+
+def _execute_block(energy, cells, seeds, pending, reports) -> None:
+    """Run one concatenated block and account each cell's row slice."""
+    representative = cells[pending[0][0]].plan
+    if len(pending) == 1:
+        stacked = pending[0][1]
+    else:
+        stacked = np.concatenate([values for _, values in pending], axis=0)
+    result = execute_plan_batch(representative, stacked)
+    # trigger/acquisition overheads and summed message costs depend
+    # only on the plan, which is shared by every cell in the block —
+    # hoist them out of the per-cell accounting loop
+    acquisition = energy.acquisition_mj * len(representative.visited_nodes)
+    trigger = trigger_cost(representative, energy)
+    totals = (
+        sum(m.cost(energy) for m in result.messages),
+        sum(m.num_values for m in result.messages),
+    )
+    offset = 0
+    for index, values in pending:
+        rows = int(values.shape[0])
+        sliced = BatchCollectionResult(
+            returned_values=result.returned_values[offset:offset + rows],
+            returned_nodes=result.returned_nodes[offset:offset + rows],
+            messages=result.messages,
+            transmitted=result.transmitted,
+        )
+        offset += rows
+        cell = cells[index]
+        simulator = BatchSimulator(
+            cell.topology,
+            energy,
+            failures=cell.failures,
+            rng=np.random.default_rng(seeds[index]),
+        )
+        reports[index] = simulator.account_collection(
+            cell.plan, sliced,
+            include_trigger=cell.include_trigger, label=cell.label,
+            extra_energy=(
+                (trigger if cell.include_trigger else 0.0) + acquisition
+            ),
+            message_totals=totals,
+        )
+
+
+def _run_shard(
+    energy, cells, seeds, block_epochs, trace_store
+) -> tuple[list, int, int, int]:
+    """Evaluate one shard of cells; the process-pool worker entry.
+
+    Module-level (not a method) so the pool pickles only the arguments
+    — and ``trace_store`` arrives as a path-reopened mmap, never as
+    array bytes.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for index, cell in enumerate(cells):
+        groups.setdefault(_group_key(cell), []).append(index)
+    reports: list = [None] * len(cells)
+    num_blocks = 0
+    total_epochs = 0
+    for indices in groups.values():
+        pending: list[tuple[int, np.ndarray]] = []
+        pending_rows = 0
+        for index in indices:
+            values = _cell_values(cells[index], trace_store)
+            pending.append((index, values))
+            pending_rows += int(values.shape[0])
+            if pending_rows >= block_epochs:
+                _execute_block(energy, cells, seeds, pending, reports)
+                num_blocks += 1
+                total_epochs += pending_rows
+                pending, pending_rows = [], 0
+        if pending:
+            _execute_block(energy, cells, seeds, pending, reports)
+            num_blocks += 1
+            total_epochs += pending_rows
+    return reports, len(groups), num_blocks, total_epochs
+
+
+class FleetSimulator:
+    """Evaluate a grid of :class:`FleetCell` in blocked numpy passes.
+
+    Parameters
+    ----------
+    energy:
+        The :class:`~repro.network.energy.EnergyModel` shared by every
+        cell (per-cell failure models ride on the cells themselves).
+    trace_store:
+        Optional :class:`TraceStore` resolving string ``trace`` keys;
+        required when any cell names its trace.
+    processes:
+        Process-pool width.  ``None`` or ``1`` runs in-process;
+        ``N > 1`` shards the cell list contiguously across ``N``
+        workers (each worker reopens the trace store's mmap).
+    block_epochs:
+        Target rows per concatenated ``execute_plan_batch`` call.
+        Larger blocks amortize the tree recursion further at the price
+        of peak memory; results are identical at any setting.
+    instrumentation:
+        Optional :class:`~repro.obs.Instrumentation`; each run records
+        a ``fleet_run`` event and ``fleet.*`` counters.
+
+    :meth:`run` returns one
+    :class:`~repro.simulation.batch.BatchSimulationReport` per cell, in
+    input order, element-wise identical to running each cell on its own
+    ``BatchSimulator`` seeded with the matching ``SeedSequence`` child.
+    """
+
+    def __init__(
+        self,
+        energy: EnergyModel,
+        *,
+        trace_store: TraceStore | None = None,
+        processes: int | None = None,
+        block_epochs: int = 65536,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
+        if block_epochs < 1:
+            raise ValueError("block_epochs must be >= 1")
+        self.energy = energy
+        self.trace_store = trace_store
+        self.processes = processes
+        self.block_epochs = block_epochs
+        self.instrumentation = instrumentation
+
+    def run(self, cells, *, seed=None) -> list[BatchSimulationReport]:
+        """Evaluate every cell; ``seed`` roots the per-cell spawns."""
+        cells = list(cells)
+        if not cells:
+            return []
+        seeds = np.random.SeedSequence(seed).spawn(len(cells))
+        return self.run_cells_seeded(cells, seeds)
+
+    def run_cells_seeded(
+        self, cells, seeds
+    ) -> list[BatchSimulationReport]:
+        """Evaluate cells with explicit per-cell seed-sequence children.
+
+        The entry point for callers that manage spawning themselves
+        (:meth:`repro.experiments.runner.ExperimentRunner.run_fleet`
+        re-runs only cache-missed cells with their *original* spawn
+        children, so results never depend on the hit/miss split).
+        """
+        cells = list(cells)
+        seeds = list(seeds)
+        if len(cells) != len(seeds):
+            raise ValueError("one seed child required per cell")
+        if not cells:
+            return []
+        start = time.perf_counter()
+        processes = self.processes or 1
+        shards = min(processes, len(cells)) if processes > 1 else 1
+        with maybe_span(
+            self.instrumentation, "fleet.run",
+            cells=len(cells), shards=shards,
+        ) as span:
+            if shards > 1:
+                reports, groups, blocks, epochs = self._run_pooled(
+                    cells, seeds, shards
+                )
+            else:
+                reports, groups, blocks, epochs = _run_shard(
+                    self.energy, cells, seeds,
+                    self.block_epochs, self.trace_store,
+                )
+            span.annotate(groups=groups, blocks=blocks, epochs=epochs)
+        if self.instrumentation is not None:
+            self.instrumentation.record_fleet_run(
+                cells=len(cells),
+                groups=groups,
+                blocks=blocks,
+                epochs=epochs,
+                shards=shards,
+                seconds=time.perf_counter() - start,
+            )
+        return reports
+
+    def _run_pooled(self, cells, seeds, shards):
+        bounds = np.linspace(0, len(cells), shards + 1).astype(int)
+        reports: list = [None] * len(cells)
+        groups = blocks = epochs = 0
+        with ProcessPoolExecutor(max_workers=shards) as pool:
+            futures = [
+                pool.submit(
+                    _run_shard,
+                    self.energy,
+                    cells[lo:hi],
+                    seeds[lo:hi],
+                    self.block_epochs,
+                    self.trace_store,
+                )
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+                if hi > lo
+            ]
+            cursor = 0
+            for future in futures:
+                shard_reports, g, b, e = future.result()
+                reports[cursor:cursor + len(shard_reports)] = shard_reports
+                cursor += len(shard_reports)
+                groups += g
+                blocks += b
+                epochs += e
+        return reports, groups, blocks, epochs

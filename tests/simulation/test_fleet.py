@@ -1,0 +1,235 @@
+"""FleetSimulator vs per-cell BatchSimulator: the equivalence suite.
+
+The fleet engine groups cells, concatenates traces, and shards across
+processes — none of which may change a single number.  Every report
+must be element-wise identical to a dedicated ``BatchSimulator`` run
+with the matching ``SeedSequence`` child, the pooled path must equal
+the serial path byte-for-byte, and the mmap trace store must round-trip
+exactly while pickling by path (fork-safety regression, ISSUE 7).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.network.builder import random_topology
+from repro.network.energy import EnergyModel
+from repro.network.failures import LinkFailureModel
+from repro.obs import Instrumentation
+from repro.plans.plan import QueryPlan
+from repro.simulation.batch import BatchSimulator
+from repro.simulation.fleet import (
+    FleetCell,
+    FleetSimulator,
+    TraceStore,
+    load_traces,
+    save_traces,
+)
+
+MICA2 = EnergyModel.mica2()
+
+
+def _random_plan(topology, rng, size):
+    chosen = set(rng.choice(topology.n, size=size, replace=False).tolist())
+    return QueryPlan.from_chosen_nodes(topology, chosen)
+
+
+def _grid(seed=3, topologies=2, plans=3, traces=2, n=30, epochs=7,
+          with_failures=True):
+    """A small topology × plan × trace grid with mixed failure regimes."""
+    rng = np.random.default_rng(seed)
+    cells = []
+    for t in range(topologies):
+        topology = random_topology(n, rng=rng)
+        failure_models = [None]
+        if with_failures:
+            failure_models.append(
+                LinkFailureModel.random(
+                    topology, np.random.default_rng(100 + t),
+                    max_probability=0.4,
+                )
+            )
+        for p in range(plans):
+            plan = _random_plan(topology, rng, size=6 + 3 * p)
+            for e in range(traces):
+                trace = rng.normal(size=(epochs, n))
+                failures = failure_models[
+                    (t + p + e) % len(failure_models)
+                ]
+                cells.append(FleetCell(topology, plan, trace, failures))
+    return cells
+
+
+def _reference_reports(cells, seed):
+    """Per-cell BatchSimulator runs with the matching spawn children."""
+    seeds = np.random.SeedSequence(seed).spawn(len(cells))
+    reports = []
+    for cell, child in zip(cells, seeds):
+        simulator = BatchSimulator(
+            cell.topology, MICA2, failures=cell.failures,
+            rng=np.random.default_rng(child),
+        )
+        reports.append(
+            simulator.run_collection(cell.plan, np.asarray(cell.trace))
+        )
+    return reports
+
+
+def _assert_reports_equal(fleet, reference, exact=False):
+    assert len(fleet) == len(reference)
+    for got, want in zip(fleet, reference):
+        np.testing.assert_array_equal(got.returned_nodes, want.returned_nodes)
+        np.testing.assert_array_equal(
+            got.returned_values, want.returned_values
+        )
+        assert got.num_messages == want.num_messages
+        assert got.num_values_sent == want.num_values_sent
+        np.testing.assert_array_equal(got.num_retries, want.num_retries)
+        np.testing.assert_array_equal(got.failure_edges, want.failure_edges)
+        np.testing.assert_array_equal(
+            got.failure_matrix, want.failure_matrix
+        )
+        if exact:
+            np.testing.assert_array_equal(got.energy_mj, want.energy_mj)
+        else:
+            np.testing.assert_allclose(
+                got.energy_mj, want.energy_mj, rtol=1e-9
+            )
+
+
+class TestFleetEquivalence:
+    def test_grid_matches_per_cell_batch_runs(self):
+        cells = _grid()
+        fleet = FleetSimulator(MICA2).run(cells, seed=17)
+        _assert_reports_equal(fleet, _reference_reports(cells, 17))
+
+    def test_failure_regimes_actually_bite(self):
+        cells = [c for c in _grid() if c.failures is not None]
+        fleet = FleetSimulator(MICA2).run(cells, seed=5)
+        assert any(int(r.num_retries.sum()) > 0 for r in fleet)
+        _assert_reports_equal(fleet, _reference_reports(cells, 5))
+
+    def test_blocking_is_invisible(self):
+        cells = _grid(with_failures=False)
+        wide = FleetSimulator(MICA2, block_epochs=65536).run(cells, seed=1)
+        narrow = FleetSimulator(MICA2, block_epochs=1).run(cells, seed=1)
+        _assert_reports_equal(wide, narrow, exact=True)
+
+    def test_records_fleet_counters(self):
+        obs = Instrumentation()
+        cells = _grid(topologies=1, plans=2, traces=2, with_failures=False)
+        FleetSimulator(MICA2, instrumentation=obs).run(cells, seed=0)
+        assert obs.counter("fleet.runs").value == 1
+        assert obs.counter("fleet.cells").value == len(cells)
+        assert obs.counter("fleet.groups").value == 2
+        assert obs.counter("fleet.shards").value == 1
+        events = obs.trace.events("fleet_run")
+        assert len(events) == 1
+        assert events[0].data["cells"] == len(cells)
+
+    def test_rejects_invalid_block_epochs(self):
+        with pytest.raises(ValueError):
+            FleetSimulator(MICA2, block_epochs=0)
+
+    def test_seed_mismatch_rejected(self):
+        cells = _grid(topologies=1, plans=1, traces=1)
+        with pytest.raises(ValueError):
+            FleetSimulator(MICA2).run_cells_seeded(
+                cells, np.random.SeedSequence(0).spawn(len(cells) + 1)
+            )
+
+
+class TestTraceStore:
+    def _store(self, tmp_path, arrays):
+        return load_traces(save_traces(tmp_path / "traces", arrays))
+
+    def test_round_trip_is_memory_mapped(self, tmp_path):
+        rng = np.random.default_rng(0)
+        arrays = {
+            "a": rng.normal(size=(5, 12)),
+            "b": rng.normal(size=(9, 3)),
+        }
+        store = self._store(tmp_path, arrays)
+        assert len(store) == 2
+        assert set(store.keys()) == {"a", "b"}
+        assert "a" in store and "zzz" not in store
+        for name, want in arrays.items():
+            got = store[name]
+            assert isinstance(got, np.memmap)
+            np.testing.assert_array_equal(np.asarray(got), want)
+
+    def test_missing_key_raises_trace_error(self, tmp_path):
+        store = self._store(tmp_path, {"only": np.zeros((2, 2))})
+        with pytest.raises(TraceError):
+            store["missing"]
+
+    def test_pickles_by_path_not_by_bytes(self, tmp_path):
+        arrays = {"t": np.arange(24.0).reshape(4, 6)}
+        store = self._store(tmp_path, arrays)
+        payload = pickle.dumps(store)
+        # the fork-safety contract: workers receive a path, not arrays
+        assert len(payload) < 512
+        reopened = pickle.loads(payload)
+        assert reopened.path == store.path
+        np.testing.assert_array_equal(np.asarray(reopened["t"]), arrays["t"])
+
+    def test_cell_with_store_key_but_no_store_raises(self):
+        cells = _grid(topologies=1, plans=1, traces=1)
+        named = [
+            FleetCell(cells[0].topology, cells[0].plan, "missing-trace")
+        ]
+        with pytest.raises(TraceError):
+            FleetSimulator(MICA2).run(named, seed=0)
+
+
+class TestPooledExecution:
+    def test_pooled_equals_serial_byte_for_byte(self, tmp_path):
+        """Satellite 6 regression: the fork-safe pooled path (workers
+        reopening the mmap store by path) must reproduce the serial
+        run exactly, including energies."""
+        base = _grid(topologies=2, plans=2, traces=2, epochs=5)
+        names = [f"trace-{i}" for i in range(len(base))]
+        path = save_traces(
+            tmp_path / "fleet", dict(zip(names, (c.trace for c in base)))
+        )
+        store = load_traces(path)
+        cells = [
+            FleetCell(c.topology, c.plan, name, c.failures)
+            for c, name in zip(base, names)
+        ]
+        serial = FleetSimulator(MICA2, trace_store=store).run(cells, seed=9)
+        pooled = FleetSimulator(
+            MICA2, trace_store=store, processes=3
+        ).run(cells, seed=9)
+        _assert_reports_equal(pooled, serial, exact=True)
+
+    def test_pooled_counts_shards(self, tmp_path):
+        obs = Instrumentation()
+        cells = _grid(topologies=1, plans=2, traces=2, with_failures=False)
+        FleetSimulator(
+            MICA2, processes=2, instrumentation=obs
+        ).run(cells, seed=0)
+        assert obs.counter("fleet.shards").value == 2
+
+
+class TestRunnerIntegration:
+    def test_run_fleet_caches_and_reruns_with_original_seeds(self):
+        from repro.experiments.runner import ExperimentRunner
+
+        cells = _grid(topologies=1, plans=2, traces=2)
+        obs = Instrumentation()
+        runner = ExperimentRunner(seed=4, instrumentation=obs)
+        simulator = FleetSimulator(MICA2)
+        first = runner.run_fleet(simulator, cells, seed=4)
+        assert obs.counter("runner.trials").value == len(cells)
+        second = runner.run_fleet(simulator, cells, seed=4)
+        assert obs.counter("runner.cache.hits").value == len(cells)
+        _assert_reports_equal(second, first, exact=True)
+        # a partial re-run (two cached cells dropped) must still hand
+        # the missed cells their original spawn children
+        runner.clear_cache()
+        runner.run_fleet(simulator, cells[:2], seed=4)
+        mixed = runner.run_fleet(simulator, cells, seed=4)
+        _assert_reports_equal(mixed, first, exact=True)
