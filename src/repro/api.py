@@ -48,6 +48,7 @@ from repro.service.client import (
 )
 from repro.service.messages import QueryReply
 from repro.service.server import ServiceConfig, ServiceThread, TopKService
+from repro.service.shard import ShardedClient, ShardedService
 from repro.simulation.runtime import SimulationReport, Simulator
 
 __all__ = [
@@ -55,6 +56,8 @@ __all__ = [
     "ServiceConfig",
     "ServiceThread",
     "SessionHandle",
+    "ShardedClient",
+    "ShardedService",
     "SocketClient",
     "TopKService",
     "connect",

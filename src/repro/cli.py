@@ -13,6 +13,7 @@ Usage::
     python -m repro trace --demo --service
     python -m repro trace --demo --chrome /tmp/trace.json --prom /tmp/metrics.prom
     python -m repro serve --port 7690
+    python -m repro serve --workers 4 --grace 10
 
 With ``--service`` the demo runs through a live in-process
 multi-tenant service (two sessions sharing one compiled plan), so the
@@ -192,6 +193,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--session-ttl", type=float, default=300.0,
         help="idle seconds before a session expires (default 300)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help=(
+            "worker processes; >1 hosts a sharded service (one port per"
+            " worker, sessions routed by content hash)"
+        ),
+    )
+    serve.add_argument(
+        "--grace", type=float, default=5.0,
+        help=(
+            "graceful-shutdown window in seconds: in-flight requests"
+            " get their final replies before the listener dies"
+        ),
+    )
+    serve.add_argument(
+        "--artifact-dir", default=None,
+        help=(
+            "directory for the cross-process compiled-plan artifact"
+            " store (sharded mode defaults to a private tempdir)"
+        ),
     )
     return parser
 
@@ -406,30 +428,69 @@ def _run_one(name: str, chart: bool = False) -> str:
 
 
 def _serve_command(args) -> int:
-    """Host the JSON-lines service until interrupted."""
+    """Host the JSON-lines service until interrupted.
+
+    SIGTERM (and Ctrl-C) triggers a graceful shutdown: the listener
+    closes, draining sessions refuse new work, and requests already in
+    flight get their final replies within ``--grace`` seconds.
+    """
     import asyncio
+    import signal
+    import threading
 
     from repro.service.server import ServiceConfig, TopKService, serve
 
-    service = TopKService(
-        ServiceConfig(
-            max_sessions=args.max_sessions,
-            queue_limit=args.queue_limit,
-            session_ttl_s=args.session_ttl,
-        )
+    config = ServiceConfig(
+        max_sessions=args.max_sessions,
+        queue_limit=args.queue_limit,
+        session_ttl_s=args.session_ttl,
+        artifact_dir=args.artifact_dir,
     )
+
+    if args.workers > 1:
+        from repro.service.shard import ShardedService
+
+        sharded = ShardedService(
+            args.workers,
+            config,
+            host=args.host,
+            artifact_dir=args.artifact_dir,
+            grace_seconds=args.grace,
+        )
+        with sharded:
+            ports = ", ".join(str(port) for __, port in sharded.endpoints)
+            print(
+                f"repro sharded service: {args.workers} workers"
+                f" on {args.host} ports {ports}"
+            )
+            stop = threading.Event()
+            signal.signal(signal.SIGTERM, lambda *__: stop.set())
+            try:
+                stop.wait()
+            except KeyboardInterrupt:
+                pass
+        print("service stopped")
+        return 0
+
+    service = TopKService(config)
 
     async def _run() -> None:
         server = await serve(service, args.host, args.port)
         bound = server.sockets[0].getsockname()
         print(f"repro service listening on {bound[0]}:{bound[1]}")
-        async with server:
-            await server.serve_forever()
+        loop = asyncio.get_running_loop()
+        shutdown = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, shutdown.set)
+        await shutdown.wait()
+        print(f"draining (grace {args.grace:.0f}s)...")
+        await server.shutdown(args.grace)
 
     try:
         asyncio.run(_run())
-    except KeyboardInterrupt:
-        print("service stopped")
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    print("service stopped")
     return 0
 
 

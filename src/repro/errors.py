@@ -90,3 +90,14 @@ class OverloadError(ServiceError):
     Raised when a session's bounded request queue is full; the request
     was *not* executed and can safely be retried after a backoff.
     """
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service endpoint cannot be reached (or stopped responding).
+
+    Raised by :class:`~repro.service.client.SocketClient` when a
+    connect or read times out or the peer drops the connection, and by
+    a draining service that refuses new work during graceful shutdown.
+    Idempotent requests are transparently retried once over a fresh
+    connection before this is raised.
+    """

@@ -104,11 +104,20 @@ class ParametricForm:
     rhs_of:
         Budget → RHS-slot value, replicating the cold-compile
         arithmetic bit for bit.
+    rhs_intercept:
+        When not ``None``, ``rhs_of`` is exactly
+        ``budget + rhs_intercept`` in IEEE arithmetic — the shape both
+        bandwidth formulations share (``budget - acquisition``, and
+        ``a - b == a + (-b)`` bitwise).  This is what lets the
+        cross-process artifact store persist and reconstruct the
+        parametric slot without pickling the closure; forms with a
+        non-affine slot leave it ``None`` and simply are not spilled.
     """
 
     compiled: CompiledLP
     row: int
     rhs_of: Callable[[float], float]
+    rhs_intercept: float | None = None
 
     @property
     def name(self) -> str:
@@ -743,6 +752,7 @@ def compile_lp_no_lf_parametric(
         compiled=compiled,
         row=_budget_slot(compiled),
         rhs_of=lambda budget: budget - acquisition,
+        rhs_intercept=-acquisition,
     )
 
 
@@ -756,6 +766,7 @@ def compile_lp_lf_parametric(
         compiled=compiled,
         row=_budget_slot(compiled),
         rhs_of=lambda budget: budget - acquisition,
+        rhs_intercept=-acquisition,
     )
 
 

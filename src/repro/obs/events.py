@@ -30,6 +30,7 @@ EVENT_KINDS = (
     "replan_skipped",
     "failure_observed",
     "audit_run",
+    "shard_lifecycle",
 )
 """The typed event vocabulary; ``record`` rejects anything else."""
 

@@ -13,20 +13,37 @@ sessions over a registry of shared topologies.  The layer splits into:
 - :mod:`repro.service.server` — :class:`TopKService` (the sync,
   transport-agnostic core) and the asyncio JSON-lines socket front end;
 - :mod:`repro.service.client` — in-process and socket clients behind
-  one :class:`SessionHandle` surface.
+  one :class:`SessionHandle` surface, with request pipelining
+  (``submit_nowait``/``stream``/``drain``);
+- :mod:`repro.service.artifacts` — the cross-process compiled-artifact
+  store (mmap-backed directory of spilled parametric forms);
+- :mod:`repro.service.shard` — :class:`ShardedService` (N worker
+  processes, rendezvous-hash routed) and :class:`ShardedClient`.
 
 The stable entry points are re-exported by :mod:`repro.api`.
 """
 
+from repro.service.artifacts import ArtifactStore
 from repro.service.cache import SharedPlanCache
 from repro.service.client import InProcessClient, SessionHandle, SocketClient
-from repro.service.server import ServiceConfig, ServiceThread, TopKService, serve
+from repro.service.server import (
+    ServiceConfig,
+    ServiceServer,
+    ServiceThread,
+    TopKService,
+    serve,
+)
+from repro.service.shard import ShardedClient, ShardedService
 
 __all__ = [
+    "ArtifactStore",
     "InProcessClient",
     "ServiceConfig",
+    "ServiceServer",
     "ServiceThread",
     "SessionHandle",
+    "ShardedClient",
+    "ShardedService",
     "SharedPlanCache",
     "SocketClient",
     "TopKService",

@@ -67,6 +67,11 @@ class SharedPlanCache:
     instrumentation:
         Optional :class:`~repro.obs.Instrumentation`; hit/miss/eviction
         counters are mirrored to ``service.cache.{hits,misses,evictions}``.
+    artifacts:
+        Optional :class:`~repro.service.artifacts.ArtifactStore`; a
+        memory miss consults it before compiling (a cold *process*
+        loads mmap-backed arrays a sibling already built), and fresh
+        compiles spill into it best-effort.
     """
 
     def __init__(
@@ -74,12 +79,14 @@ class SharedPlanCache:
         capacity: int = 32,
         replan_capacity: int = 16,
         instrumentation=None,
+        artifacts=None,
     ) -> None:
         if capacity < 1:
             raise ValueError("shared plan cache capacity must be >= 1")
         self.capacity = capacity
         self.replan_cache = ReplanCache(capacity=replan_capacity)
         self.instrumentation = instrumentation
+        self.artifacts = artifacts
         self._entries: "OrderedDict[tuple, ParametricForm]" = OrderedDict()
         self._solutions: "OrderedDict[tuple, list]" = OrderedDict()
         self._lock = threading.Lock()
@@ -123,7 +130,13 @@ class SharedPlanCache:
                 self._count("hits")
                 return entry
             self._count("misses")
-            entry = compile_fn()
+            entry = None
+            if self.artifacts is not None:
+                entry = self.artifacts.load(key)
+            if entry is None:
+                entry = compile_fn()
+                if self.artifacts is not None:
+                    self.artifacts.save(key, entry)
             while len(self._entries) >= self.capacity:
                 self._entries.popitem(last=False)
                 self._count("evictions")
@@ -188,7 +201,7 @@ class SharedPlanCache:
     def stats(self) -> dict:
         """Counter snapshot (the ``service.cache.*`` numbers)."""
         with self._lock:
-            return {
+            snapshot = {
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
@@ -200,3 +213,6 @@ class SharedPlanCache:
                 "replan_misses": self.replan_cache.misses,
                 "replan_evictions": self.replan_cache.evictions,
             }
+            if self.artifacts is not None:
+                snapshot["artifacts"] = self.artifacts.stats()
+            return snapshot

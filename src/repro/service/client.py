@@ -1,24 +1,58 @@
-"""Service clients: one surface, two transports.
+"""Service clients: one surface, three transports.
 
 :class:`InProcessClient` calls :meth:`TopKService.handle` directly
 (zero serialization — the load benchmark's path), while
-:class:`SocketClient` speaks the JSON-lines protocol over TCP.  Both
-raise the same typed :mod:`repro.errors` exceptions and hand out the
-same :class:`SessionHandle`, so code written against one runs against
-the other; the protocol round-trip test pins that equivalence.
+:class:`SocketClient` speaks the JSON-lines protocol over TCP and
+:class:`~repro.service.shard.ShardedClient` routes over many socket
+workers.  All raise the same typed :mod:`repro.errors` exceptions and
+hand out the same :class:`SessionHandle`, so code written against one
+runs against the others; the protocol round-trip tests pin that
+equivalence.
+
+Two request disciplines coexist on every client:
+
+- **lockstep** — :meth:`~_BaseClient.request` writes one frame and
+  awaits its reply (errors re-raised typed);
+- **pipelined** — :meth:`~_BaseClient.submit_nowait` queues a frame
+  with an envelope correlation id and returns immediately;
+  :meth:`~_BaseClient.drain` (or the :meth:`~_BaseClient.stream`
+  iterator) flushes the batch and yields replies in submit order,
+  checking each echoed cid.  Failures arrive as
+  :class:`~repro.service.messages.ErrorReply` values *in the stream*
+  rather than as exceptions, so one bad frame cannot tear down the
+  rest of the batch.
+
+:class:`SocketClient` additionally owns the liveness story: connects
+and reads are bounded by timeouts, a dead or hung worker surfaces as a
+typed :class:`~repro.errors.ServiceUnavailableError`, and idempotent
+requests (:data:`IDEMPOTENT_KINDS`) are retried once over a fresh
+connection before that error escapes.
 
 :func:`connect` is the front door (also re-exported as
 :func:`repro.api.connect`): give it nothing for a private in-process
 service, a :class:`~repro.service.server.TopKService` to share one,
-or ``host``/``port`` for a remote one.
+``host``/``port`` for a remote one, or ``shards`` for a sharded
+deployment.
 """
 
 from __future__ import annotations
 
 import socket
+from collections import deque
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, ServiceUnavailableError
 from repro.service import messages as msg
+
+IDEMPOTENT_KINDS: frozenset[str] = frozenset(
+    ("register_topology", "get_stats", "get_plan")
+)
+"""Request kinds safe to retry after a transport failure.
+
+Registration is content-keyed (same parents, same id), and the two
+reads have no side effects.  Feeds/queries/steps mutate session state,
+so a client cannot know whether a timed-out one executed — those are
+never retried automatically.
+"""
 
 
 class SessionHandle:
@@ -26,6 +60,10 @@ class SessionHandle:
 
     Usable as a context manager (``with client.open_session(...) as s``)
     so the session is closed — freeing its admission slot — on exit.
+
+    The ``*_nowait`` variants pipeline the frame on the owning client
+    (replies come back through ``client.drain()`` / ``client.stream()``
+    in submit order), which is the streaming feed-while-querying mode.
     """
 
     def __init__(self, client, session_id: str) -> None:
@@ -34,30 +72,27 @@ class SessionHandle:
 
     def feed(self, readings) -> msg.SampleAccepted:
         """Add one full-network sample to the session window."""
-        return self.client.request(
-            msg.FeedSample(
-                session_id=self.session_id,
-                readings=tuple(float(v) for v in readings),
-            )
-        )
+        return self.client.request(self._feed_message(readings))
+
+    def feed_nowait(self, readings) -> int:
+        """Pipeline one feed frame; returns its correlation id."""
+        return self.client.submit_nowait(self._feed_message(readings))
 
     def query(self, readings) -> msg.QueryReply:
         """Execute the installed plan on this epoch's readings."""
-        return self.client.request(
-            msg.SubmitQuery(
-                session_id=self.session_id,
-                readings=tuple(float(v) for v in readings),
-            )
-        )
+        return self.client.request(self._query_message(readings))
+
+    def query_nowait(self, readings) -> int:
+        """Pipeline one query frame; returns its correlation id."""
+        return self.client.submit_nowait(self._query_message(readings))
 
     def step(self, readings) -> msg.StepReply:
         """One explore/exploit epoch (engine decides sample vs query)."""
-        return self.client.request(
-            msg.StepEpoch(
-                session_id=self.session_id,
-                readings=tuple(float(v) for v in readings),
-            )
-        )
+        return self.client.request(self._step_message(readings))
+
+    def step_nowait(self, readings) -> int:
+        """Pipeline one epoch-step frame; returns its correlation id."""
+        return self.client.submit_nowait(self._step_message(readings))
 
     def plan(self) -> dict:
         """The installed plan as a serialized payload (see
@@ -71,21 +106,56 @@ class SessionHandle:
             msg.CloseSession(session_id=self.session_id)
         )
 
+    def _feed_message(self, readings) -> msg.FeedSample:
+        return msg.FeedSample(
+            session_id=self.session_id,
+            readings=tuple(float(v) for v in readings),
+        )
+
+    def _query_message(self, readings) -> msg.SubmitQuery:
+        return msg.SubmitQuery(
+            session_id=self.session_id,
+            readings=tuple(float(v) for v in readings),
+        )
+
+    def _step_message(self, readings) -> msg.StepEpoch:
+        return msg.StepEpoch(
+            session_id=self.session_id,
+            readings=tuple(float(v) for v in readings),
+        )
+
     def __enter__(self) -> "SessionHandle":
         return self
 
     def __exit__(self, *exc_info) -> None:
         try:
             self.close()
-        except ServiceError:  # already closed/expired: nothing to free
+        except ServiceError:  # already closed/expired/unreachable
             pass
 
 
 class _BaseClient:
-    """Shared request helpers over an abstract ``request``."""
+    """Shared request helpers over abstract ``request``/``submit_nowait``."""
 
     def request(self, request: msg.Message) -> msg.Message:
         raise NotImplementedError
+
+    def submit_nowait(self, request: msg.Message) -> int:
+        raise NotImplementedError
+
+    def stream(self):
+        """Iterator of outstanding pipelined replies, in submit order."""
+        raise NotImplementedError
+
+    def drain(self) -> list[msg.Message]:
+        """Flush pipelined frames and collect every outstanding reply.
+
+        Replies come back in submit order; failures are returned as
+        :class:`~repro.service.messages.ErrorReply` values (use
+        :func:`~repro.service.messages.error_from_reply` to rehydrate)
+        so one shed request does not abort the batch.
+        """
+        return list(self.stream())
 
     def register_topology(self, topology_or_parents) -> str:
         """Install a topology (object or parents vector); returns its id."""
@@ -125,16 +195,49 @@ class _BaseClient:
 
 
 class InProcessClient(_BaseClient):
-    """Direct calls into a service living in this process."""
+    """Direct calls into a service living in this process.
+
+    The pipelined surface executes each frame eagerly (there is no
+    wire to batch over) but preserves the socket client's observable
+    semantics exactly: ``submit_nowait`` never raises on application
+    errors — they come back as ``ErrorReply`` values from ``drain`` —
+    which is what the socket-vs-in-process streaming parity test pins.
+    """
 
     def __init__(self, service) -> None:
         self.service = service
+        self._pending: deque[tuple[int, msg.Message]] = deque()
+        self._next_cid = 0
 
     def request(self, request: msg.Message) -> msg.Message:
         reply = self.service.handle(request)
         if isinstance(reply, msg.ErrorReply):  # pragma: no cover - handle
             raise msg.error_from_reply(reply)  # raises typed errors itself
         return reply
+
+    def submit_nowait(self, request: msg.Message) -> int:
+        if request.kind not in msg.REQUEST_KINDS:
+            raise ServiceError(
+                f"{request.kind!r} is a reply kind, not a request"
+            )
+        cid = self._next_cid
+        self._next_cid += 1
+        try:
+            reply = self.service.handle(request)
+        except Exception as err:  # typed errors included — parity with wire
+            reply = msg.error_to_reply(err)
+        self._pending.append((cid, reply))
+        return cid
+
+    def stream(self):
+        while self._pending:
+            __, reply = self._pending.popleft()
+            yield reply
+
+    @property
+    def pending(self) -> int:
+        """Outstanding pipelined replies not yet drained."""
+        return len(self._pending)
 
     def close(self) -> None:
         """Nothing to release (sessions close via their handles)."""
@@ -145,41 +248,182 @@ class SocketClient(_BaseClient):
 
     Requests on one connection are answered in order; failures come
     back as :class:`~repro.service.messages.ErrorReply` lines and are
-    re-raised as their typed :mod:`repro.errors` classes.
+    re-raised (lockstep) or streamed (pipelined) as typed
+    :mod:`repro.errors` values.
+
+    Parameters
+    ----------
+    timeout_s:
+        Read timeout per reply; a worker dying mid-request surfaces as
+        :class:`~repro.errors.ServiceUnavailableError` after this long
+        instead of hanging the client forever.
+    connect_timeout_s:
+        Bound on establishing (and re-establishing) the TCP
+        connection; defaults to ``timeout_s``.
     """
 
     def __init__(
-        self, host: str, port: int, timeout_s: float = 30.0
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        *,
+        connect_timeout_s: float | None = None,
     ) -> None:
         self.host = host
         self.port = port
-        self._sock = socket.create_connection(
-            (host, port), timeout=timeout_s
+        self.timeout_s = timeout_s
+        self.connect_timeout_s = (
+            timeout_s if connect_timeout_s is None else connect_timeout_s
         )
-        self._file = self._sock.makefile("rw", encoding="utf-8", newline="\n")
+        self._sock = None
+        self._file = None
+        self._pending: deque[int] = deque()
+        self._next_cid = 0
+        self._connect()
 
+    # -- connection management -----------------------------------------
+    def _connect(self) -> None:
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s
+            )
+        except OSError as err:
+            raise ServiceUnavailableError(
+                f"cannot connect to service at {self.host}:{self.port}:"
+                f" {err}"
+            ) from err
+        self._sock.settimeout(self.timeout_s)
+        self._file = self._sock.makefile(
+            "rw", encoding="utf-8", newline="\n"
+        )
+
+    def _teardown(self) -> None:
+        """Drop the broken connection; outstanding pipeline is lost."""
+        self._pending.clear()
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:  # pragma: no cover - already broken
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - already broken
+                pass
+            self._sock = None
+
+    def _unavailable(self, what: str, err=None) -> ServiceUnavailableError:
+        self._teardown()
+        detail = f": {err}" if err is not None else ""
+        return ServiceUnavailableError(
+            f"service at {self.host}:{self.port} {what}{detail}"
+        )
+
+    def _read_reply_line(self) -> str:
+        try:
+            line = self._file.readline()
+        except (TimeoutError, OSError) as err:
+            raise self._unavailable(
+                f"did not reply within {self.timeout_s}s", err
+            ) from err
+        if not line:
+            raise self._unavailable("closed the connection")
+        return line
+
+    # -- lockstep -------------------------------------------------------
     def request(self, request: msg.Message) -> msg.Message:
         if request.kind not in msg.REQUEST_KINDS:
             raise ServiceError(
                 f"{request.kind!r} is a reply kind, not a request"
             )
-        self._file.write(msg.encode(request) + "\n")
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
+        if self._pending:
             raise ServiceError(
-                f"service at {self.host}:{self.port} closed the connection"
+                f"{len(self._pending)} pipelined replies outstanding;"
+                " drain() before issuing a lockstep request"
             )
-        reply = msg.decode(line)
+        try:
+            reply = self._roundtrip(request)
+        except ServiceUnavailableError:
+            if request.kind not in IDEMPOTENT_KINDS:
+                raise
+            # reconnect-once retry: the request has no side effects
+            self._connect()
+            reply = self._roundtrip(request)
         if isinstance(reply, msg.ErrorReply):
             raise msg.error_from_reply(reply)
         return reply
 
-    def close(self) -> None:
+    def _roundtrip(self, request: msg.Message) -> msg.Message:
+        if self._file is None:
+            self._connect()
         try:
-            self._file.close()
-        finally:
-            self._sock.close()
+            self._file.write(msg.encode(request) + "\n")
+            self._file.flush()
+        except OSError as err:
+            raise self._unavailable("dropped the connection", err) from err
+        return msg.decode(self._read_reply_line())
+
+    # -- pipelining -----------------------------------------------------
+    def submit_nowait(self, request: msg.Message) -> int:
+        """Buffer one frame (with a fresh correlation id); no reply wait.
+
+        Frames accumulate in the client's send buffer until ``drain``/
+        ``stream`` flushes them, so a burst crosses the wire as few
+        large writes instead of one syscall per request.
+        """
+        if request.kind not in msg.REQUEST_KINDS:
+            raise ServiceError(
+                f"{request.kind!r} is a reply kind, not a request"
+            )
+        if self._file is None:
+            self._connect()
+        cid = self._next_cid
+        self._next_cid += 1
+        try:
+            self._file.write(msg.encode(request, cid=cid) + "\n")
+        except OSError as err:
+            raise self._unavailable("dropped the connection", err) from err
+        self._pending.append(cid)
+        return cid
+
+    def stream(self):
+        """Flush buffered frames; iterate replies in submit order.
+
+        Each reply's echoed correlation id is checked against the
+        submit order — a mismatch means the connection lost framing and
+        raises :class:`~repro.errors.ServiceError`.
+        """
+        if self._pending:
+            try:
+                self._file.flush()
+            except OSError as err:
+                raise self._unavailable(
+                    "dropped the connection", err
+                ) from err
+        return self._stream_replies()
+
+    def _stream_replies(self):
+        while self._pending:
+            expected = self._pending[0]
+            reply, cid = msg.decode_envelope(self._read_reply_line())
+            if cid != expected:
+                self._teardown()
+                raise ServiceError(
+                    f"pipelined reply correlation mismatch: expected cid"
+                    f" {expected}, got {cid!r}"
+                )
+            self._pending.popleft()
+            yield reply
+
+    @property
+    def pending(self) -> int:
+        """Outstanding pipelined frames not yet drained."""
+        return len(self._pending)
+
+    def close(self) -> None:
+        self._teardown()
 
     def __enter__(self) -> "SocketClient":
         return self
@@ -189,15 +433,30 @@ class SocketClient(_BaseClient):
 
 
 def connect(
-    service=None, *, host: str | None = None, port: int | None = None
+    service=None,
+    *,
+    host: str | None = None,
+    port: int | None = None,
+    shards=None,
 ):
     """The service front door.
 
     - ``connect()`` — a private in-process service with defaults;
     - ``connect(service)`` — share an existing
       :class:`~repro.service.server.TopKService`;
-    - ``connect(host=..., port=...)`` — a remote JSON-lines service.
+    - ``connect(host=..., port=...)`` — a remote JSON-lines service;
+    - ``connect(shards=[(host, port), ...])`` — a sharded deployment
+      (sessions routed by content hash; see
+      :class:`~repro.service.shard.ShardedClient`).
     """
+    if shards is not None:
+        if service is not None or host is not None or port is not None:
+            raise ServiceError(
+                "pass shards alone, not with a service or host/port"
+            )
+        from repro.service.shard import ShardedClient
+
+        return ShardedClient(shards)
     if host is not None or port is not None:
         if service is not None:
             raise ServiceError(

@@ -15,6 +15,20 @@ archived as-is.
 Failures cross the wire as :class:`ErrorReply` carrying the exception
 *class name* from :mod:`repro.errors`; clients re-raise the matching
 typed error (see :func:`error_from_reply`).
+
+**Pipelining envelope.** Correlation ids live at the *envelope* level,
+not in the messages: :func:`encode` accepts an optional ``cid`` that
+rides as a top-level ``"cid"`` JSON key, and :func:`decode_envelope`
+returns ``(message, cid)``.  A server echoes a request's cid on its
+reply verbatim, which is what lets a pipelined client fire many frames
+without awaiting each reply and still match replies to requests.
+Messages themselves stay cid-free, so ``decode(encode(m)) == m`` keeps
+holding and old peers interoperate (an absent cid is simply ``None``).
+
+**Frame bound.** :data:`MAX_FRAME_BYTES` caps one encoded line;
+:func:`decode` (and the socket server's read limit) reject oversized
+frames with a typed :class:`~repro.errors.ServiceError` instead of
+buffering without bound.
 """
 
 from __future__ import annotations
@@ -25,6 +39,15 @@ from typing import ClassVar
 
 import repro.errors as _errors
 from repro.errors import ServiceError
+
+MAX_FRAME_BYTES = 1_048_576
+"""Upper bound on one encoded JSON-lines frame (1 MiB).
+
+Large enough for any realistic readings vector or serialized plan,
+small enough that a misbehaving peer cannot make the server buffer an
+unbounded line.  Both :func:`decode` and the asyncio front end's
+stream limit enforce it.
+"""
 
 
 def _tuplify(message, *names) -> None:
@@ -290,25 +313,54 @@ REQUEST_KINDS: frozenset[str] = frozenset(
 )
 
 
-def encode(message: Message) -> str:
-    """One JSON line (no trailing newline) for ``message``."""
-    return json.dumps(message.to_dict(), allow_nan=False, sort_keys=True)
+def encode(message: Message, cid: int | None = None) -> str:
+    """One JSON line (no trailing newline) for ``message``.
+
+    ``cid`` (when given) is attached as the envelope-level correlation
+    id a pipelined peer uses to match replies to requests.
+    """
+    data = message.to_dict()
+    if cid is not None:
+        data["cid"] = int(cid)
+    return json.dumps(data, allow_nan=False, sort_keys=True)
 
 
 def decode(line: str) -> Message:
-    """Rehydrate one JSON line into its typed message."""
+    """Rehydrate one JSON line into its typed message.
+
+    Any envelope-level correlation id is discarded; use
+    :func:`decode_envelope` to keep it.
+    """
+    return decode_envelope(line)[0]
+
+
+def decode_envelope(line: str) -> tuple[Message, int | None]:
+    """Rehydrate one JSON line into ``(message, correlation id)``.
+
+    The cid is ``None`` for lockstep peers that did not send one.
+    Frames longer than :data:`MAX_FRAME_BYTES` are rejected before any
+    JSON parsing.
+    """
+    if len(line) > MAX_FRAME_BYTES:
+        raise ServiceError(
+            f"frame of {len(line)} bytes exceeds the"
+            f" {MAX_FRAME_BYTES}-byte protocol limit"
+        )
     try:
         data = json.loads(line)
     except json.JSONDecodeError as err:
         raise ServiceError(f"request is not valid JSON: {err}") from err
     if not isinstance(data, dict):
         raise ServiceError("request must be a JSON object")
+    cid = data.pop("cid", None)
+    if cid is not None and not isinstance(cid, int):
+        raise ServiceError("correlation id must be an integer")
     kind = data.get("kind")
     cls = MESSAGE_KINDS.get(kind)
     if cls is None:
         raise ServiceError(f"unknown message kind {kind!r}")
     try:
-        return cls.from_dict(data)
+        return cls.from_dict(data), cid
     except TypeError as err:
         raise ServiceError(f"malformed {kind!r} message: {err}") from err
 

@@ -4,12 +4,21 @@
 transport-agnostic: :meth:`TopKService.handle` maps one typed request
 to one typed reply (raising :mod:`repro.errors` types), and
 :meth:`TopKService.handle_line` is the same thing over JSON lines with
-failures serialized as :class:`~repro.service.messages.ErrorReply`.
-The asyncio layer (:func:`serve`, :class:`ServiceThread`) just moves
-lines between sockets and a thread-pool executor — per-session
-serialization and backpressure live in :class:`.session.Session`, so
-the core behaves identically under the in-process client and the
-socket.
+failures serialized as :class:`~repro.service.messages.ErrorReply`
+and envelope correlation ids echoed verbatim.  The asyncio layer
+(:func:`serve`, :class:`ServiceThread`) moves lines between sockets
+and a thread-pool executor — per-session serialization and
+backpressure live in :class:`.session.Session`, so the core behaves
+identically under the in-process client and the socket.
+
+The socket front end is **pipelined**: a per-connection reader task
+keeps pulling frames (bounded read-ahead, oversized frames rejected)
+while a processor task answers them strictly in order, and replies are
+coalesced — many encoded lines are joined into one ``write`` when a
+burst is in flight — so a streaming client pays one syscall per batch
+rather than one round trip per request.  :meth:`ServiceServer.shutdown`
+is the graceful path: stop accepting, stop reading, finish every
+already-read request, flush the final replies, then close.
 
 Shared state across tenants:
 
@@ -39,7 +48,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import AdmissionError, ServiceError, SessionError
+from repro.errors import (
+    AdmissionError,
+    ServiceError,
+    ServiceUnavailableError,
+    SessionError,
+)
 from repro.network.energy import EnergyModel
 from repro.network.topology import Topology
 from repro.obs import EnergyLedger
@@ -83,6 +97,12 @@ class ServiceConfig:
     """Optional per-node battery capacity for each session's
     :class:`~repro.obs.EnergyLedger` (enables lifetime projection)."""
 
+    artifact_dir: str | None = None
+    """Optional directory for the cross-process compiled-artifact
+    store (:class:`~repro.service.artifacts.ArtifactStore`): compiled
+    parametric forms spill here keyed by content, so a cold process
+    (a fresh shard worker, say) loads arrays instead of recompiling."""
+
 
 class TopKService:
     """Hosts many concurrent :class:`~repro.query.engine.TopKEngine`
@@ -114,15 +134,24 @@ class TopKService:
         self.energy = energy or EnergyModel.mica2()
         self.instrumentation = instrumentation
         self.clock = clock or time.monotonic
+        artifacts = None
+        if self.config.artifact_dir is not None:
+            from repro.service.artifacts import ArtifactStore
+
+            artifacts = ArtifactStore(
+                self.config.artifact_dir, instrumentation=instrumentation
+            )
         self.cache = SharedPlanCache(
             capacity=self.config.cache_capacity,
             replan_capacity=self.config.replan_cache_capacity,
             instrumentation=instrumentation,
+            artifacts=artifacts,
         )
         self._topologies: dict[str, Topology] = {}
         self._sessions: dict[str, Session] = {}
         self._lock = threading.Lock()
         self._session_seq = 0
+        self._draining = False
         self.sessions_total = 0
 
     # -- shared resources ----------------------------------------------
@@ -174,10 +203,28 @@ class TopKService:
                         idle_s=session.idle_seconds(now),
                     )
 
+    def begin_drain(self) -> None:
+        """Flip the service into graceful-shutdown mode.
+
+        New sessions are refused and existing sessions stop accepting
+        new work (both with :class:`~repro.errors.ServiceUnavailableError`,
+        which clients treat as retry-elsewhere); requests already
+        admitted keep running to completion, and ``close_session`` /
+        ``get_stats`` stay available so clients can wind down cleanly.
+        """
+        with self._lock:
+            self._draining = True
+            for session in self._sessions.values():
+                session.begin_drain()
+
     def open_session(self, request: msg.OpenSession) -> Session:
         topology = self.topology(request.topology_id)
         planner = self._make_planner(request.planner)
         with self._lock:
+            if self._draining:
+                raise ServiceUnavailableError(
+                    "service is draining for shutdown; no new sessions"
+                )
             self._expire_idle()
             open_now = sum(
                 1 for s in self._sessions.values() if s.is_open
@@ -272,13 +319,17 @@ class TopKService:
 
         Every failure — protocol or application — comes back as one
         encoded :class:`~repro.service.messages.ErrorReply` line, so a
-        socket client never sees a dropped request.
+        socket client never sees a dropped request.  An envelope
+        correlation id on the request is echoed on the reply (errors
+        included), which is the contract pipelined clients rely on.
         """
+        cid = None
         try:
-            reply = self.handle(msg.decode(line))
+            request, cid = msg.decode_envelope(line)
+            reply = self.handle(request)
         except Exception as err:  # typed errors included
             reply = msg.error_to_reply(err)
-        return msg.encode(reply)
+        return msg.encode(reply, cid=cid)
 
     def _dispatch(self, request: msg.Message) -> msg.Message:
         if isinstance(request, msg.RegisterTopology):
@@ -299,7 +350,7 @@ class TopKService:
         # everything below addresses one session
         session = self.session(request.session_id)
         if isinstance(request, msg.CloseSession):
-            with session.slot() as engine:
+            with session.slot(final=True) as engine:
                 session.close()
                 return msg.SessionClosed(
                     session_id=session.session_id,
@@ -385,44 +436,236 @@ def _json_accuracy(value: float) -> float | None:
 
 # -- asyncio socket front end ----------------------------------------------
 
+PIPELINE_DEPTH = 256
+"""Per-connection read-ahead bound: frames decoded but not yet
+answered.  Past this the reader stops pulling from the socket, so a
+client pipelining faster than the service executes sees TCP
+backpressure instead of unbounded server memory."""
 
-async def _handle_connection(service, reader, writer) -> None:
-    """One client connection: JSON lines in, JSON lines out, in order.
+COALESCE_REPLIES = 64
+"""Replies buffered into one ``write`` before an explicit flush while
+a pipelined burst is still in flight (the ``writev``-style batch)."""
 
-    The sync core runs on the default executor so a slow LP solve never
-    blocks the event loop (other connections keep being served);
-    fairness *between* sessions comes from the per-session locks, and
-    overload is shed there too.
+
+class _Connection:
+    """One client connection: a reader task feeding a processor task.
+
+    The reader pulls frames into a bounded queue; the processor
+    answers them strictly in order (the sync core on the default
+    executor, so a slow LP solve never blocks the event loop) and
+    coalesces reply writes while more requests are queued.  Fairness
+    *between* sessions comes from the per-session locks, and overload
+    is shed there too.
+
+    ``begin_drain`` stops the reader; the processor then finishes the
+    frames already read, flushes their replies, and closes — the clean
+    half of :meth:`ServiceServer.shutdown`.
     """
-    loop = asyncio.get_running_loop()
-    try:
-        while True:
-            line = await reader.readline()
-            if not line:
-                break
-            reply = await loop.run_in_executor(
-                None, service.handle_line, line.decode()
-            )
-            writer.write(reply.encode() + b"\n")
-            await writer.drain()
-    finally:
-        writer.close()
+
+    def __init__(self, service, reader, writer) -> None:
+        self.service = service
+        self.reader = reader
+        self.writer = writer
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=PIPELINE_DEPTH)
+        self._reader_task: asyncio.Task | None = None
+        self.done: asyncio.Task | None = None
+
+    def start(self) -> None:
+        self._reader_task = asyncio.create_task(self._read_loop())
+        self.done = asyncio.create_task(self._process_loop())
+
+    def begin_drain(self) -> None:
+        """Stop reading new frames; queued ones still get replies."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+
+    async def _read_loop(self) -> None:
+        oversized = False
         try:
-            await writer.wait_closed()
-        except (ConnectionError, OSError):  # pragma: no cover - teardown
-            pass
+            while True:
+                try:
+                    line = await self.reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    oversized = True
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break
+                await self._queue.put(line)
+        except asyncio.CancelledError:
+            pass  # drain: deliver the end-of-input marker below
+        finally:
+            await self._signal_end(oversized)
+
+    async def _signal_end(self, oversized: bool) -> None:
+        # the queue may be momentarily full; the processor is draining
+        # it, so yield until the end marker fits
+        while True:
+            try:
+                self._queue.put_nowait(
+                    _OVERSIZED if oversized else _END_OF_INPUT
+                )
+                return
+            except asyncio.QueueFull:
+                await asyncio.sleep(0)
+
+    def _handle_batch(self, lines: list[bytes]) -> list[bytes]:
+        """Answer a chunk of frames in one executor hop (in order)."""
+        return [
+            self.service.handle_line(line.decode()).encode() + b"\n"
+            for line in lines
+        ]
+
+    async def _process_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        out: list[bytes] = []
+        stop = False
+        try:
+            while not stop:
+                item = await self._queue.get()
+                # chunk whatever the reader has already queued: a
+                # pipelined burst pays one executor dispatch per chunk
+                # instead of one per frame
+                batch: list[bytes] = []
+                while True:
+                    if item is _END_OF_INPUT:
+                        stop = True
+                        break
+                    if item is _OVERSIZED:
+                        stop = True
+                        break
+                    batch.append(item)
+                    if len(batch) >= COALESCE_REPLIES:
+                        break
+                    try:
+                        item = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                if batch:
+                    out.extend(
+                        await loop.run_in_executor(
+                            None, self._handle_batch, batch
+                        )
+                    )
+                if stop and item is _OVERSIZED:
+                    error = ServiceError(
+                        "frame exceeds the"
+                        f" {msg.MAX_FRAME_BYTES}-byte protocol limit"
+                    )
+                    out.append(
+                        msg.encode(msg.error_to_reply(error)).encode()
+                        + b"\n"
+                    )
+                if out and (
+                    stop
+                    or self._queue.empty()
+                    or len(out) >= COALESCE_REPLIES
+                ):
+                    self.writer.write(b"".join(out))
+                    out.clear()
+                    await self.writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover - peer gone
+            out.clear()
+        finally:
+            if self._reader_task is not None:
+                self._reader_task.cancel()
+            try:
+                if out:
+                    self.writer.write(b"".join(out))
+                self.writer.close()
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+
+_END_OF_INPUT = object()
+_OVERSIZED = object()
+
+
+class ServiceServer:
+    """The listening socket front end, with a graceful shutdown path.
+
+    Duck-compatible with the ``asyncio.Server`` it wraps for the uses
+    the code base grew around (``sockets``, ``serve_forever``, ``async
+    with``); adds connection tracking and :meth:`shutdown`.
+    """
+
+    def __init__(self, service: TopKService) -> None:
+        self.service = service
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[_Connection] = set()
+
+    async def start(self, host: str, port: int) -> "ServiceServer":
+        self._server = await asyncio.start_server(
+            self._on_connection, host, port,
+            limit=msg.MAX_FRAME_BYTES + 1024,
+        )
+        return self
+
+    async def _on_connection(self, reader, writer) -> None:
+        connection = _Connection(self.service, reader, writer)
+        self._connections.add(connection)
+        connection.start()
+        try:
+            await connection.done
+        finally:
+            self._connections.discard(connection)
+
+    @property
+    def sockets(self):
+        return self._server.sockets
+
+    async def serve_forever(self) -> None:
+        await self._server.serve_forever()
+
+    def close(self) -> None:
+        self._server.close()
+
+    async def wait_closed(self) -> None:
+        await self._server.wait_closed()
+
+    async def shutdown(self, grace_seconds: float = 5.0) -> None:
+        """Drain and stop: the clean SIGTERM path.
+
+        Stops accepting connections, flips the service into draining
+        mode (new work refused with
+        :class:`~repro.errors.ServiceUnavailableError`), stops every
+        connection's reader, and gives in-flight requests
+        ``grace_seconds`` to finish and flush their final replies
+        before force-closing whatever is left.
+        """
+        self.service.begin_drain()
+        self._server.close()
+        connections = list(self._connections)
+        for connection in connections:
+            connection.begin_drain()
+        pending = [c.done for c in connections if c.done is not None]
+        if pending:
+            __, unfinished = await asyncio.wait(
+                pending, timeout=grace_seconds
+            )
+            for task in unfinished:  # grace expired: force-close
+                task.cancel()
+            if unfinished:
+                await asyncio.wait(unfinished, timeout=1.0)
+        await self._server.wait_closed()
+
+    async def __aenter__(self) -> "ServiceServer":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        self.close()
+        await self.wait_closed()
 
 
 async def serve(
     service: TopKService, host: str = "127.0.0.1", port: int = 0
-):
-    """Start the JSON-lines socket server; returns the asyncio server
-    (its bound port is ``server.sockets[0].getsockname()[1]``)."""
-
-    async def handler(reader, writer):
-        await _handle_connection(service, reader, writer)
-
-    return await asyncio.start_server(handler, host, port)
+) -> ServiceServer:
+    """Start the JSON-lines socket server; returns a
+    :class:`ServiceServer` (its bound port is
+    ``server.sockets[0].getsockname()[1]``)."""
+    return await ServiceServer(service).start(host, port)
 
 
 class ServiceThread:
@@ -442,29 +685,43 @@ class ServiceThread:
         service: TopKService,
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        grace_seconds: float = 5.0,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.grace_seconds = grace_seconds
         self._ready = threading.Event()
         self._startup_error: BaseException | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None
+        self._server: ServiceServer | None = None
         self._thread: threading.Thread | None = None
 
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
         try:
-            server = await serve(self.service, self.host, self.port)
+            self._server = await serve(self.service, self.host, self.port)
         except OSError as err:
             self._startup_error = err
             self._ready.set()
             return
-        self.port = server.sockets[0].getsockname()[1]
+        self.port = self._server.sockets[0].getsockname()[1]
         self._ready.set()
-        async with server:
-            await self._stop.wait()
+        await self._stop.wait()
+        await self._server.shutdown(self.grace_seconds)
+
+    def shutdown(self, grace_seconds: float | None = None) -> None:
+        """Gracefully stop the live server from any thread (idempotent)."""
+        if grace_seconds is not None:
+            self.grace_seconds = grace_seconds
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:  # loop already finished (second call)
+                pass
 
     def __enter__(self) -> "ServiceThread":
         self._thread = threading.Thread(
@@ -484,7 +741,6 @@ class ServiceThread:
         return self
 
     def __exit__(self, *exc_info) -> None:
-        if self._loop is not None and self._stop is not None:
-            self._loop.call_soon_threadsafe(self._stop.set)
+        self.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=10)

@@ -11,7 +11,12 @@ with the three concerns the engine itself does not have:
 - **backpressure** — at most ``queue_limit`` requests may be pending
   (waiting or executing) per session; the next one is shed with a
   typed :class:`~repro.errors.OverloadError` instead of growing an
-  unbounded queue.
+  unbounded queue;
+- **draining** — during graceful shutdown the service flips every
+  session into drain mode: requests already admitted run to their
+  final replies, new work is refused with
+  :class:`~repro.errors.ServiceUnavailableError` (``close_session``
+  stays allowed so clients can wind down cleanly).
 
 Time comes from an injectable monotonic clock so expiry tests are
 deterministic.
@@ -22,7 +27,11 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 
-from repro.errors import OverloadError, SessionError
+from repro.errors import (
+    OverloadError,
+    ServiceUnavailableError,
+    SessionError,
+)
 
 
 class Session:
@@ -45,6 +54,7 @@ class Session:
         self.queue_limit = queue_limit
         self._clock = clock
         self.state = "open"
+        self.draining = False
         self.created_at = self._now()
         self.last_used = self.created_at
         self._serial = threading.Lock()
@@ -86,17 +96,29 @@ class Session:
         self.ensure_open()
         self.state = "closed"
 
+    def begin_drain(self) -> None:
+        """Refuse new work from now on; in-flight requests finish."""
+        self.draining = True
+
     # -- request admission ---------------------------------------------
     @contextmanager
-    def slot(self):
+    def slot(self, *, final: bool = False):
         """Admit one request: bounded pending count, serialized engine.
 
         Raises :class:`~repro.errors.OverloadError` when the session
         already has ``queue_limit`` requests pending — the shed happens
         *before* waiting on the serial lock, so an overloaded session
-        fails fast instead of queuing unboundedly.
+        fails fast instead of queuing unboundedly.  A draining session
+        refuses everything except ``final`` requests (session close)
+        with :class:`~repro.errors.ServiceUnavailableError`.
         """
         with self._admission:
+            if self.draining and not final:
+                self.requests_shed += 1
+                raise ServiceUnavailableError(
+                    f"session {self.session_id!r} is draining for"
+                    " shutdown; request refused"
+                )
             if self._pending >= self.queue_limit:
                 self.requests_shed += 1
                 raise OverloadError(
