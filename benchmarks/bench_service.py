@@ -20,9 +20,24 @@ on the shared n = 60 workload, and a >= 10x compile-count reduction —
 are asserted here at full size and archived into
 ``results/BENCH_service.json`` for the regression gate.
 
+A third family, ``wire_*``, measures one pipelined socket connection
+under each wire protocol: ``wire_v1`` streams
+:class:`~repro.service.messages.SubmitQuery` bursts over the JSON-lines
+codec, ``wire_v2`` streams the same bursts over the negotiated binary
+codec, and ``wire_v2_batch`` ships the same queries as
+:class:`~repro.service.messages.SubmitBatch` frames through the
+vectorized executor.  ``wire_speedup`` is each row's queries/sec over
+the ``wire_v1`` row's; every mode's replies are collected into a
+transcript and the three transcripts must be *byte-identical*
+(``identical`` 1/0, asserted always).  The ISSUE bar — >= 3x on
+``wire_v2_batch`` — is asserted (and written into the acceptance
+block) only with >= 2 usable cores, since client and server time-share
+a single core otherwise; every row records ``cores``.
+
 ``run(quick=True)`` (or ``--quick`` / ``BENCH_QUICK=1``) shrinks the
 fleet for the CI smoke job, which still checks that the shared cache
-engages (one compile total) without enforcing full-size bars.
+engages (one compile total) and that the wire transcripts agree,
+without enforcing full-size bars.
 """
 
 from __future__ import annotations
@@ -37,10 +52,25 @@ from _helpers import RESULTS_DIR, record
 
 from repro.network.builder import random_topology
 from repro.obs import Instrumentation
-from repro.service import InProcessClient, ServiceConfig, TopKService
+from repro.service import (
+    InProcessClient,
+    ServiceConfig,
+    ServiceThread,
+    SocketClient,
+    TopKService,
+)
 
 K = 5
 WARMUP_ROWS = 3
+WIRE_BURST = 64
+"""Pipelined frames per flush/drain cycle on the wire workloads."""
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        return os.cpu_count() or 1
 
 
 def _percentile(latencies_ms: list[float], q: float) -> float:
@@ -114,8 +144,96 @@ def _run_workload(
     }
 
 
+def _wire_rows(n: int, queries: int, batch: int) -> list[dict]:
+    """Single-connection pipelined throughput per wire protocol.
+
+    One live socket service; per mode, a fresh session fed the same
+    warmup window answers the same ``queries`` readings — so the reply
+    transcripts must agree exactly across protocols and executors.
+    """
+    rng = np.random.default_rng(2006)
+    topology = random_topology(
+        n, rng=rng, radio_range=max(25.0, 200.0 / n**0.5)
+    )
+    warmup = [rng.normal(25.0, 3.0, n) for __ in range(WARMUP_ROWS)]
+    readings = np.array([rng.normal(25.0, 3.0, n) for __ in range(queries)])
+
+    service = TopKService(
+        ServiceConfig(max_sessions=8, queue_limit=WIRE_BURST + 8)
+    )
+    budget = service.energy.message_cost(1) * 2.5 * K
+    transcripts: dict[str, list] = {}
+    timings: dict[str, float] = {}
+    with ServiceThread(service) as live:
+        for mode in ("v1", "v2", "v2_batch"):
+            protocol = "v1" if mode == "v1" else "v2"
+            with SocketClient(
+                live.host, live.port, protocol=protocol
+            ) as client:
+                topology_id = client.register_topology(topology)
+                handle = client.open_session(
+                    topology_id, K, budget_mj=budget
+                )
+                for row in warmup:
+                    handle.feed(row)
+                handle.query(rng.normal(25.0, 3.0, n))  # pay planning
+
+                transcript = []
+                start = time.perf_counter()
+                if mode == "v2_batch":
+                    fired = 0
+                    while fired < queries:
+                        chunk = readings[fired : fired + batch]
+                        reply = handle.query_batch(chunk)
+                        transcript.extend(
+                            zip(
+                                reply.nodes, reply.values,
+                                reply.energies, reply.accuracies,
+                            )
+                        )
+                        fired += len(chunk)
+                else:
+                    fired = 0
+                    while fired < queries:
+                        burst = min(WIRE_BURST, queries - fired)
+                        for offset in range(burst):
+                            handle.query_nowait(readings[fired + offset])
+                        for reply in client.drain():
+                            transcript.append(
+                                (
+                                    reply.nodes, reply.values,
+                                    reply.energy_mj, reply.accuracy,
+                                )
+                            )
+                        fired += burst
+                timings[mode] = time.perf_counter() - start
+                transcripts[mode] = transcript
+
+    identical = float(
+        transcripts["v1"] == transcripts["v2"] == transcripts["v2_batch"]
+    )
+    rows = []
+    for mode, elapsed in timings.items():
+        rows.append(
+            {
+                "workload": f"wire_{mode}",
+                "n": n,
+                "sessions": 1,
+                "queries": queries,
+                "cores": _cores(),
+                "qps": queries / max(elapsed, 1e-12),
+                "identical": identical,
+            }
+        )
+    base_qps = rows[0]["qps"]
+    for row in rows:
+        row["wire_speedup"] = row["qps"] / max(base_qps, 1e-12)
+    return rows
+
+
 def run(quick: bool = False) -> list[dict]:
     n, sessions, queries = (30, 6, 300) if quick else (60, 20, 3000)
+    wire_queries, batch = (256, 32) if quick else (2048, 64)
     private = _run_workload("private", n, sessions, queries)
     shared = _run_workload("shared", n, sessions, queries)
     # the headline multi-tenancy win: one compile serves the fleet
@@ -123,7 +241,7 @@ def run(quick: bool = False) -> list[dict]:
         shared["compiles"], 1
     )
     private["compile_speedup"] = 1.0
-    return [shared, private]
+    return [shared, private] + _wire_rows(n, wire_queries, batch)
 
 
 def _archive(rows: list[dict], quick: bool) -> None:
@@ -131,29 +249,44 @@ def _archive(rows: list[dict], quick: bool) -> None:
         "service",
         rows,
         columns=[
-            "workload", "n", "sessions", "queries", "qps",
+            "workload", "n", "sessions", "queries", "cores", "qps",
             "p50_ms", "p99_ms", "compiles", "cache_hits",
-            "compile_speedup",
+            "compile_speedup", "wire_speedup", "identical",
         ],
         title="Multi-tenant service load: shared vs private plan caches",
     )
+    minima = [
+        {
+            "metric": "qps",
+            "where": {"workload": "shared"},
+            "min": 500.0,
+        },
+        {
+            "metric": "compile_speedup",
+            "where": {"workload": "shared"},
+            "min": 10.0,
+        },
+        {
+            "metric": "identical",
+            "where": {"workload": "wire_v2_batch"},
+            "min": 1.0,
+        },
+    ]
+    if not quick and _cores() >= 2:
+        minima.append(
+            {
+                "metric": "wire_speedup",
+                "where": {"workload": "wire_v2_batch"},
+                "min": 3.0,
+            }
+        )
     payload = {
         "benchmark": "service",
         "quick": quick,
+        "cores": _cores(),
         "rows": rows,
         "acceptance": {
-            "minima": [
-                {
-                    "metric": "qps",
-                    "where": {"workload": "shared"},
-                    "min": 500.0,
-                },
-                {
-                    "metric": "compile_speedup",
-                    "where": {"workload": "shared"},
-                    "min": 10.0,
-                },
-            ],
+            "minima": minima,
             "maxima": [
                 {
                     "metric": "p99_ms",
@@ -177,13 +310,24 @@ def _assert_bars(rows: list[dict], quick: bool) -> None:
     assert shared["compiles"] == 1
     assert private["compiles"] == shared["sessions"]
     assert shared["compile_speedup"] == shared["sessions"]
+    batched = next(r for r in rows if r["workload"] == "wire_v2_batch")
+    # protocols and executors must never change the answers
+    assert batched["identical"] == 1.0, (
+        "wire protocol transcripts diverged (v1 vs v2 vs v2-batch)"
+    )
     if quick:
         # smoke: correctness of the sharing, not full-size throughput
         assert shared["qps"] > 0
+        assert all(r["qps"] > 0 for r in rows)
         return
     assert shared["qps"] >= 500.0
     assert shared["p99_ms"] < 50.0
     assert shared["compile_speedup"] >= 10.0
+    if batched["cores"] >= 2:
+        assert batched["wire_speedup"] >= 3.0, (
+            f"batched v2 gained only {batched['wire_speedup']:.2f}x"
+            " over pipelined v1"
+        )
 
 
 def test_service(benchmark):

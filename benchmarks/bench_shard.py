@@ -18,10 +18,16 @@ Three workload families over live socket deployments:
   ``pipeline_speedup`` is the pipelined qps over lockstep — this bar
   (>= 2x) holds even on one core, because it removes per-request
   syscalls and context switches, not compute.
+- ``wire``: the same pipelined query bursts on a 2-worker deployment
+  under each wire protocol (``wire_v1`` JSON-lines, ``wire_v2``
+  negotiated binary).  ``wire_speedup`` is v2's aggregate qps over
+  v1's; both transcripts are collected and must agree exactly
+  (``identical``, asserted always).
 - ``parity``: the sharded deployment must be *byte-identical* to a
   single-process service on the same requests — same query replies
-  (nodes, values, energy, accuracy) and same serialized plans.
-  Recorded as ``identical`` 1/0 and asserted always, full and quick.
+  (nodes, values, energy, accuracy) and same serialized plans —
+  under **both** wire protocols.  Recorded as ``identical`` 1/0 and
+  asserted always, full and quick.
 
 ``run(quick=True)`` (or ``--quick`` / ``BENCH_QUICK=1``) shrinks
 worker counts and request volumes for the CI smoke job.
@@ -185,6 +191,63 @@ def _pipeline_rows(feeds: int) -> list[dict]:
     return out
 
 
+def _protocol_rows(queries: int) -> list[dict]:
+    """Pipelined sharded query throughput per wire protocol."""
+    rng = np.random.default_rng(23)
+    readings = [rng.normal(25.0, 3.0, N) for __ in range(16)]
+    timings: dict[str, float] = {}
+    transcripts: dict[str, list] = {}
+    with ShardedService(2, _config(8)) as deployment:
+        for protocol in ("v1", "v2"):
+            client = deployment.client(protocol=protocol)
+            try:
+                handles = _open_fleet(client, _topologies(2), 1, BUDGET)
+                transcript = []
+                fired = 0
+                start = time.perf_counter()
+                while fired < queries:
+                    burst = 0
+                    for handle in handles:
+                        if fired + burst >= queries or burst >= BURST:
+                            break
+                        handle.query_nowait(readings[(fired + burst) % 16])
+                        burst += 1
+                    for reply in client.drain():
+                        transcript.append(
+                            (
+                                reply.nodes,
+                                reply.values,
+                                reply.energy_mj,
+                                reply.accuracy,
+                            )
+                        )
+                    fired += burst
+                timings[protocol] = time.perf_counter() - start
+                transcripts[protocol] = transcript
+                for handle in handles:
+                    handle.close()
+            finally:
+                client.close()
+    identical = float(transcripts["v1"] == transcripts["v2"])
+    out = []
+    for protocol, elapsed in timings.items():
+        out.append(
+            {
+                "workload": f"wire_{protocol}",
+                "workers": 2,
+                "sessions": 2,
+                "requests": queries,
+                "cores": _cores(),
+                "qps": queries / max(elapsed, 1e-12),
+                "identical": identical,
+            }
+        )
+    base_qps = out[0]["qps"]
+    for row in out:
+        row["wire_speedup"] = row["qps"] / max(base_qps, 1e-12)
+    return out
+
+
 def _parity_row(groups: int) -> dict:
     """Sharded replies must equal single-process replies exactly."""
     topologies = _topologies(groups)
@@ -212,19 +275,21 @@ def _parity_row(groups: int) -> dict:
     single = transcript(
         InProcessClient(TopKService(_config(groups)))
     )
-    with ShardedService(2, _config(groups)) as deployment:
-        client = deployment.client()
-        try:
-            sharded = transcript(client)
-        finally:
-            client.close()
+    sharded: dict[str, list] = {}
+    with ShardedService(2, _config(2 * groups)) as deployment:
+        for protocol in ("v1", "v2"):
+            client = deployment.client(protocol=protocol)
+            try:
+                sharded[protocol] = transcript(client)
+            finally:
+                client.close()
     return {
         "workload": "parity",
         "workers": 2,
         "sessions": groups,
         "requests": groups * len(readings),
         "cores": _cores(),
-        "identical": float(sharded == single),
+        "identical": float(sharded["v1"] == sharded["v2"] == single),
     }
 
 
@@ -233,10 +298,12 @@ def run(quick: bool = False) -> list[dict]:
         worker_counts, groups, tenants, queries, feeds, parity_groups = (
             (1, 2), 2, 1, 80, 400, 2
         )
+        wire_queries = 160
     else:
         worker_counts, groups, tenants, queries, feeds, parity_groups = (
             (1, 2, 4), 8, 2, 1600, 4000, 4
         )
+        wire_queries = 1200
     rows = [
         _scale_row(workers, groups, tenants, queries)
         for workers in worker_counts
@@ -245,6 +312,7 @@ def run(quick: bool = False) -> list[dict]:
     for row in rows:
         row["scaling_speedup"] = row["qps"] / max(base_qps, 1e-12)
     rows.extend(_pipeline_rows(feeds))
+    rows.extend(_protocol_rows(wire_queries))
     rows.append(_parity_row(parity_groups))
     return rows
 
@@ -255,7 +323,8 @@ def _archive(rows: list[dict], quick: bool) -> None:
         rows,
         columns=[
             "workload", "workers", "sessions", "requests", "cores",
-            "qps", "scaling_speedup", "pipeline_speedup", "identical",
+            "qps", "scaling_speedup", "pipeline_speedup",
+            "wire_speedup", "identical",
         ],
         title="Sharded service scaling and pipelined-client throughput",
     )
@@ -264,6 +333,11 @@ def _archive(rows: list[dict], quick: bool) -> None:
         {
             "metric": "identical",
             "where": {"workload": "parity"},
+            "min": 1.0,
+        },
+        {
+            "metric": "identical",
+            "where": {"workload": "wire_v2"},
             "min": 1.0,
         },
     ]
@@ -299,6 +373,10 @@ def _assert_bars(rows: list[dict], quick: bool) -> None:
     parity = next(r for r in rows if r["workload"] == "parity")
     assert parity["identical"] == 1.0, (
         "sharded replies diverged from the single-process service"
+    )
+    wire = next(r for r in rows if r["workload"] == "wire_v2")
+    assert wire["identical"] == 1.0, (
+        "sharded transcripts diverged between wire protocols"
     )
     if quick:
         assert all(r["qps"] > 0 for r in rows if "qps" in r)

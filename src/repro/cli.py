@@ -14,11 +14,15 @@ Usage::
     python -m repro trace --demo --chrome /tmp/trace.json --prom /tmp/metrics.prom
     python -m repro serve --port 7690
     python -m repro serve --workers 4 --grace 10
+    python -m repro serve --protocol v2 --blob-dir /dev/shm/repro-blobs
 
 With ``--service`` the demo runs through a live in-process
 multi-tenant service (two sessions sharing one compiled plan), so the
-reported spans include ``service.request`` and the ``service.cache.*``
-counters; ``serve`` exposes the same service over a JSON-lines socket.
+reported spans include ``service.request``, the ``service.cache.*``
+counters, and — after a short socket exchange on each protocol — the
+``service.wire.*`` negotiated-version counters and bytes-per-request
+histograms; ``serve`` exposes the same service over a socket speaking
+JSON-lines v1 and (by negotiation) the binary wire protocol v2.
 """
 
 from __future__ import annotations
@@ -215,6 +219,22 @@ def build_parser() -> argparse.ArgumentParser:
             " store (sharded mode defaults to a private tempdir)"
         ),
     )
+    serve.add_argument(
+        "--protocol", choices=("v1", "v2", "auto"), default="auto",
+        help=(
+            "wire protocol policy: 'auto' (default) negotiates binary"
+            " v2 per connection and falls back to JSON-lines v1;"
+            " 'v2' refuses v1 clients; 'v1' never negotiates"
+        ),
+    )
+    serve.add_argument(
+        "--blob-dir", default=None,
+        help=(
+            "directory for the v2 same-host shared-memory fast path:"
+            " large numpy payloads ship as mmap'd blob references"
+            " instead of inline bytes"
+        ),
+    )
     return parser
 
 
@@ -372,6 +392,27 @@ def _service_demo(
                     handle.step(row)
             client.stats()
 
+        with obs.span("phase.wire"):
+            # a short socket exchange on each protocol so the report
+            # carries live service.wire.* metrics: negotiated versions
+            # per connection and bytes-per-request histograms
+            from repro.service.client import SocketClient
+            from repro.service.server import ServiceThread
+
+            matrix = np.array([field.sample(rng) for __ in range(4)])
+            with ServiceThread(service) as live:
+                for protocol in ("v1", "v2"):
+                    with SocketClient(
+                        live.host, live.port, protocol=protocol
+                    ) as socket_client:
+                        handle = socket_client.open_session(
+                            topology_id, k, budget_mj=budget
+                        )
+                        for row in warmup:
+                            handle.feed(row)
+                        handle.query_batch(matrix)
+                        socket_client.stats()
+
     ledger = service.ledger_of(handles[0].session_id)
     ledger.publish(obs)
     return obs, ledger
@@ -445,6 +486,8 @@ def _serve_command(args) -> int:
         queue_limit=args.queue_limit,
         session_ttl_s=args.session_ttl,
         artifact_dir=args.artifact_dir,
+        protocol=args.protocol,
+        blob_dir=args.blob_dir,
     )
 
     if args.workers > 1:

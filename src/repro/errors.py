@@ -72,6 +72,18 @@ class ServiceError(ReproError):
     """
 
 
+class ProtocolError(ServiceError):
+    """A wire-protocol violation (framing, negotiation, or payload).
+
+    Raised when a peer breaks the binary v2 framing rules — a
+    malformed or truncated frame, trailing payload bytes, an unknown
+    kind code, a bad blob reference — or when version negotiation
+    fails (a v1-only peer against a server requiring v2, say).
+    Distinct from :class:`ServiceError` proper so clients can tell
+    "the bytes were wrong" from "the request was wrong".
+    """
+
+
 class SessionError(ServiceError):
     """A session id is unknown, already closed, or idle-expired."""
 

@@ -25,6 +25,49 @@ class QueryResult:
         return {node for __, node in self.returned}
 
 
+@dataclass(frozen=True)
+class BatchQueryResult:
+    """Answers of one multi-epoch batched query execution.
+
+    Row ``i`` corresponds to epoch ``i`` of the submitted readings
+    matrix; each row is exactly what
+    :meth:`~repro.query.engine.TopKEngine.query` would have returned
+    for that epoch's readings (bitwise — the batch path changes the
+    executor, never the answers).  ``accuracies`` entries are NaN when
+    the engine does not track ground truth, matching
+    :attr:`QueryResult.accuracy`.
+    """
+
+    nodes: tuple
+    """Per-epoch tuples of answer node ids, sorted by value descending."""
+
+    values: tuple
+    """Per-epoch tuples of answer values, aligned with ``nodes``."""
+
+    energies: tuple
+    """Per-epoch measured collection energies (mJ)."""
+
+    accuracies: tuple
+    """Per-epoch paper accuracies (NaN when truth is untracked)."""
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.energies)
+
+    def rows(self):
+        """Iterate the batch as per-epoch :class:`QueryResult` values."""
+        for nodes, values, energy, score in zip(
+            self.nodes, self.values, self.energies, self.accuracies
+        ):
+            yield QueryResult(
+                returned=[
+                    (value, node) for value, node in zip(values, nodes)
+                ],
+                energy_mj=energy,
+                accuracy=score,
+            )
+
+
 @dataclass
 class EpochOutcome:
     """What the engine did in one epoch: query, sample, or both."""

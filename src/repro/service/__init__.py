@@ -3,8 +3,12 @@
 One process hosts many concurrent :class:`~repro.query.engine.TopKEngine`
 sessions over a registry of shared topologies.  The layer splits into:
 
-- :mod:`repro.service.messages` — the wire protocol: frozen
-  request/reply dataclasses with exact JSON-lines round-trips;
+- :mod:`repro.service.messages` — the wire protocol's message types:
+  frozen request/reply dataclasses with exact JSON-lines (v1)
+  round-trips;
+- :mod:`repro.service.wire` — the negotiated binary protocol (v2):
+  length-prefixed struct-packed frames, zero-copy numpy payloads, and
+  the same-host shared-memory blob fast path;
 - :mod:`repro.service.cache` — :class:`SharedPlanCache`, the
   cross-session pool of compiled parametric LPs and replan-cache
   blocks, keyed by content fingerprint;
@@ -23,7 +27,7 @@ sessions over a registry of shared topologies.  The layer splits into:
 The stable entry points are re-exported by :mod:`repro.api`.
 """
 
-from repro.service.artifacts import ArtifactStore
+from repro.service.artifacts import ArtifactStore, BlobSpool
 from repro.service.cache import SharedPlanCache
 from repro.service.client import InProcessClient, SessionHandle, SocketClient
 from repro.service.server import (
@@ -37,6 +41,7 @@ from repro.service.shard import ShardedClient, ShardedService
 
 __all__ = [
     "ArtifactStore",
+    "BlobSpool",
     "InProcessClient",
     "ServiceConfig",
     "ServiceServer",

@@ -36,6 +36,23 @@ import numpy as np
 from repro.lp.fastbuild import ParametricForm, ReplanCache, _cost_fingerprint
 
 
+def array_digest(values, *, extra: str = "", length: int = 16) -> str:
+    """A content hash of one numpy array (shape + raw bytes).
+
+    The common fingerprint primitive of the service layer: the shared
+    plan cache keys sample windows with it (via :func:`samples_digest`)
+    and the wire protocol's shared-memory fast path names and
+    integrity-checks spilled blobs with it (see
+    :class:`~repro.service.artifacts.BlobSpool`).
+    """
+    values = np.ascontiguousarray(values)
+    digest = hashlib.sha256()
+    digest.update(str(values.shape).encode())
+    digest.update(extra.encode())
+    digest.update(values.tobytes())
+    return digest.hexdigest()[:length]
+
+
 def samples_digest(samples) -> str:
     """A content hash of a sample matrix (values, shape, and k).
 
@@ -46,11 +63,7 @@ def samples_digest(samples) -> str:
     values = np.ascontiguousarray(
         getattr(samples, "values", samples), dtype=np.float64
     )
-    digest = hashlib.sha256()
-    digest.update(str(values.shape).encode())
-    digest.update(str(getattr(samples, "k", "")).encode())
-    digest.update(values.tobytes())
-    return digest.hexdigest()[:16]
+    return array_digest(values, extra=str(getattr(samples, "k", "")))
 
 
 class SharedPlanCache:

@@ -40,8 +40,15 @@ from __future__ import annotations
 import socket
 from collections import deque
 
-from repro.errors import ServiceError, ServiceUnavailableError
+import numpy as np
+
+from repro.errors import (
+    ProtocolError,
+    ServiceError,
+    ServiceUnavailableError,
+)
 from repro.service import messages as msg
+from repro.service import wire
 
 IDEMPOTENT_KINDS: frozenset[str] = frozenset(
     ("register_topology", "get_stats", "get_plan")
@@ -94,6 +101,18 @@ class SessionHandle:
         """Pipeline one epoch-step frame; returns its correlation id."""
         return self.client.submit_nowait(self._step_message(readings))
 
+    def query_batch(self, readings_matrix) -> msg.BatchReply:
+        """Execute the installed plan on a whole ``(B, n)`` readings
+        matrix in one frame; row ``i`` of the reply is bitwise what
+        :meth:`query` on row ``i`` would have returned."""
+        return self.client.request(self._batch_message(readings_matrix))
+
+    def query_batch_nowait(self, readings_matrix) -> int:
+        """Pipeline one multi-query frame; returns its correlation id."""
+        return self.client.submit_nowait(
+            self._batch_message(readings_matrix)
+        )
+
     def plan(self) -> dict:
         """The installed plan as a serialized payload (see
         :func:`repro.plans.serialize.plan_from_dict`)."""
@@ -106,22 +125,40 @@ class SessionHandle:
             msg.CloseSession(session_id=self.session_id)
         )
 
+    @staticmethod
+    def _vector(readings):
+        # numpy payloads pass through untouched: the binary codec
+        # packs them zero-copy and the JSON codec converts on encode,
+        # so the per-request tuple(float(...)) tax is only paid for
+        # plain sequences
+        if isinstance(readings, np.ndarray):
+            return readings
+        return tuple(float(v) for v in readings)
+
     def _feed_message(self, readings) -> msg.FeedSample:
         return msg.FeedSample(
-            session_id=self.session_id,
-            readings=tuple(float(v) for v in readings),
+            session_id=self.session_id, readings=self._vector(readings)
         )
 
     def _query_message(self, readings) -> msg.SubmitQuery:
         return msg.SubmitQuery(
-            session_id=self.session_id,
-            readings=tuple(float(v) for v in readings),
+            session_id=self.session_id, readings=self._vector(readings)
         )
 
     def _step_message(self, readings) -> msg.StepEpoch:
         return msg.StepEpoch(
-            session_id=self.session_id,
-            readings=tuple(float(v) for v in readings),
+            session_id=self.session_id, readings=self._vector(readings)
+        )
+
+    def _batch_message(self, readings_matrix) -> msg.SubmitBatch:
+        if isinstance(readings_matrix, np.ndarray):
+            readings = readings_matrix
+        else:
+            readings = tuple(
+                tuple(float(v) for v in row) for row in readings_matrix
+            )
+        return msg.SubmitBatch(
+            session_id=self.session_id, readings=readings
         )
 
     def __enter__(self) -> "SessionHandle":
@@ -244,10 +281,10 @@ class InProcessClient(_BaseClient):
 
 
 class SocketClient(_BaseClient):
-    """JSON-lines protocol over one TCP connection.
+    """The negotiated wire protocol over one TCP connection.
 
     Requests on one connection are answered in order; failures come
-    back as :class:`~repro.service.messages.ErrorReply` lines and are
+    back as :class:`~repro.service.messages.ErrorReply` frames and are
     re-raised (lockstep) or streamed (pipelined) as typed
     :mod:`repro.errors` values.
 
@@ -260,6 +297,16 @@ class SocketClient(_BaseClient):
     connect_timeout_s:
         Bound on establishing (and re-establishing) the TCP
         connection; defaults to ``timeout_s``.
+    protocol:
+        Wire preference: ``"auto"`` (default) opens with a binary v2
+        hello and transparently falls back to JSON-lines v1 when the
+        server does not accept it; ``"v2"`` raises
+        :class:`~repro.errors.ProtocolError` instead of falling back;
+        ``"v1"`` never sends the hello (an old client).  The version a
+        connection actually negotiated is :attr:`protocol_version`
+        (``None`` until the first request settles it), and a reconnect
+        re-negotiates with the same preference, so a retried
+        idempotent request stays on the same protocol.
     """
 
     def __init__(
@@ -269,15 +316,24 @@ class SocketClient(_BaseClient):
         timeout_s: float = 30.0,
         *,
         connect_timeout_s: float | None = None,
+        protocol: str = "auto",
     ) -> None:
+        if protocol not in ("v1", "v2", "auto"):
+            raise ServiceError(
+                f"unknown wire protocol {protocol!r}; choose v1, v2,"
+                " or auto"
+            )
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.connect_timeout_s = (
             timeout_s if connect_timeout_s is None else connect_timeout_s
         )
+        self.protocol = protocol
+        self.protocol_version: str | None = None
         self._sock = None
         self._file = None
+        self._spool = None
         self._pending: deque[int] = deque()
         self._next_cid = 0
         self._connect()
@@ -294,9 +350,54 @@ class SocketClient(_BaseClient):
                 f" {err}"
             ) from err
         self._sock.settimeout(self.timeout_s)
-        self._file = self._sock.makefile(
-            "rw", encoding="utf-8", newline="\n"
-        )
+        self._file = self._sock.makefile("rwb")
+        self._spool = None
+        # negotiation is deferred to the first request so constructing
+        # a client never blocks on reading from the server
+        self.protocol_version = "v1" if self.protocol == "v1" else None
+
+    def _negotiate(self) -> None:
+        """Send the v2 hello; settle on what the server answers.
+
+        A v2 server answers with an accept line (switch to binary
+        framing, optionally adopting its shared-memory spool); any
+        other server answers the hello like a garbage line — that
+        reply is consumed here and the connection stays on v1 (or
+        raises, when the caller demanded v2).
+        """
+        try:
+            self._file.write(wire.hello_line())
+            self._file.flush()
+            answer = self._file.readline()
+        except TimeoutError as err:
+            raise self._unavailable(
+                f"did not reply within {self.timeout_s}s", err
+            ) from err
+        except OSError as err:
+            raise self._unavailable("dropped the connection", err) from err
+        if not answer:
+            raise self._unavailable("closed the connection")
+        if wire.is_negotiation_line(answer):
+            opts = wire.parse_accept(answer)
+            self.protocol_version = "v2"
+            blob_dir = opts.get("blob_dir")
+            if blob_dir:
+                from repro.service.artifacts import BlobSpool
+
+                # best-effort: if this process cannot actually write
+                # there (different host, say), spill() degrades to
+                # inline frames
+                self._spool = BlobSpool(blob_dir)
+            return
+        # the server spoke JSON back: a v1-only peer answering the
+        # hello with an error line, which completes the fallback
+        if self.protocol == "v2":
+            self._teardown()
+            raise ProtocolError(
+                f"service at {self.host}:{self.port} does not speak"
+                " wire protocol v2 and fallback was disabled"
+            )
+        self.protocol_version = "v1"
 
     def _teardown(self) -> None:
         """Drop the broken connection; outstanding pipeline is lost."""
@@ -321,16 +422,44 @@ class SocketClient(_BaseClient):
             f"service at {self.host}:{self.port} {what}{detail}"
         )
 
-    def _read_reply_line(self) -> str:
+    # -- framing --------------------------------------------------------
+    def _write_request(self, request: msg.Message, cid=None) -> None:
+        if self._file is None:
+            self._connect()
+        if self.protocol_version is None:
+            self._negotiate()
         try:
+            if self.protocol_version == "v2":
+                self._file.write(
+                    wire.encode_frame(request, cid=cid, spool=self._spool)
+                )
+            else:
+                self._file.write(
+                    (msg.encode(request, cid=cid) + "\n").encode()
+                )
+        except OSError as err:
+            raise self._unavailable("dropped the connection", err) from err
+
+    def _read_envelope(self) -> tuple[msg.Message, int | None]:
+        try:
+            if self.protocol_version == "v2":
+                body = wire.read_frame_blocking(self._file)
+                if not body:
+                    raise self._unavailable("closed the connection")
+                return wire.decode_frame(body, spool=self._spool)
             line = self._file.readline()
+        except ProtocolError:
+            # framing is unrecoverable; surface the typed error but
+            # drop the connection first
+            self._teardown()
+            raise
         except (TimeoutError, OSError) as err:
             raise self._unavailable(
                 f"did not reply within {self.timeout_s}s", err
             ) from err
         if not line:
             raise self._unavailable("closed the connection")
-        return line
+        return msg.decode_envelope(line.decode())
 
     # -- lockstep -------------------------------------------------------
     def request(self, request: msg.Message) -> msg.Message:
@@ -348,7 +477,8 @@ class SocketClient(_BaseClient):
         except ServiceUnavailableError:
             if request.kind not in IDEMPOTENT_KINDS:
                 raise
-            # reconnect-once retry: the request has no side effects
+            # reconnect-once retry: the request has no side effects,
+            # and the fresh connection re-negotiates the same protocol
             self._connect()
             reply = self._roundtrip(request)
         if isinstance(reply, msg.ErrorReply):
@@ -356,14 +486,12 @@ class SocketClient(_BaseClient):
         return reply
 
     def _roundtrip(self, request: msg.Message) -> msg.Message:
-        if self._file is None:
-            self._connect()
+        self._write_request(request)
         try:
-            self._file.write(msg.encode(request) + "\n")
             self._file.flush()
         except OSError as err:
             raise self._unavailable("dropped the connection", err) from err
-        return msg.decode(self._read_reply_line())
+        return self._read_envelope()[0]
 
     # -- pipelining -----------------------------------------------------
     def submit_nowait(self, request: msg.Message) -> int:
@@ -377,14 +505,9 @@ class SocketClient(_BaseClient):
             raise ServiceError(
                 f"{request.kind!r} is a reply kind, not a request"
             )
-        if self._file is None:
-            self._connect()
         cid = self._next_cid
         self._next_cid += 1
-        try:
-            self._file.write(msg.encode(request, cid=cid) + "\n")
-        except OSError as err:
-            raise self._unavailable("dropped the connection", err) from err
+        self._write_request(request, cid=cid)
         self._pending.append(cid)
         return cid
 
@@ -407,7 +530,7 @@ class SocketClient(_BaseClient):
     def _stream_replies(self):
         while self._pending:
             expected = self._pending[0]
-            reply, cid = msg.decode_envelope(self._read_reply_line())
+            reply, cid = self._read_envelope()
             if cid != expected:
                 self._teardown()
                 raise ServiceError(
@@ -438,16 +561,21 @@ def connect(
     host: str | None = None,
     port: int | None = None,
     shards=None,
+    protocol: str = "auto",
 ):
     """The service front door.
 
     - ``connect()`` — a private in-process service with defaults;
     - ``connect(service)`` — share an existing
       :class:`~repro.service.server.TopKService`;
-    - ``connect(host=..., port=...)`` — a remote JSON-lines service;
+    - ``connect(host=..., port=...)`` — a remote socket service;
     - ``connect(shards=[(host, port), ...])`` — a sharded deployment
       (sessions routed by content hash; see
       :class:`~repro.service.shard.ShardedClient`).
+
+    ``protocol`` picks the socket wire preference (``"auto"`` opens
+    binary v2 with transparent JSON v1 fallback; see
+    :class:`SocketClient`); in-process transports ignore it.
     """
     if shards is not None:
         if service is not None or host is not None or port is not None:
@@ -456,7 +584,7 @@ def connect(
             )
         from repro.service.shard import ShardedClient
 
-        return ShardedClient(shards)
+        return ShardedClient(shards, protocol=protocol)
     if host is not None or port is not None:
         if service is not None:
             raise ServiceError(
@@ -464,7 +592,7 @@ def connect(
             )
         if host is None or port is None:
             raise ServiceError("socket connection needs both host and port")
-        return SocketClient(host, port)
+        return SocketClient(host, port, protocol=protocol)
     if service is None:
         from repro.service.server import TopKService
 

@@ -59,6 +59,24 @@ def _tuplify(message, *names) -> None:
             object.__setattr__(message, name, tuple(value))
 
 
+def _tuplify_nested(message, *names) -> None:
+    """Like :func:`_tuplify` but one level deeper, for matrix-shaped
+    fields (tuples of row tuples).  Numpy arrays pass through untouched:
+    the binary codec packs them zero-copy, and the JSON codec's
+    ``to_dict`` converts them on the way out."""
+    for name in names:
+        value = getattr(message, name)
+        if isinstance(value, (list, tuple)):
+            object.__setattr__(
+                message,
+                name,
+                tuple(
+                    tuple(row) if isinstance(row, list) else row
+                    for row in value
+                ),
+            )
+
+
 @dataclass(frozen=True)
 class Message:
     """Base: ``kind`` discriminator plus dict/JSON conversion."""
@@ -70,7 +88,12 @@ class Message:
         for spec in fields(self):
             value = getattr(self, spec.name)
             if isinstance(value, tuple):
-                value = list(value)
+                value = [
+                    list(row) if isinstance(row, tuple) else row
+                    for row in value
+                ]
+            elif hasattr(value, "tolist"):  # numpy payloads, JSON path
+                value = value.tolist()
             data[spec.name] = value
         return data
 
@@ -157,6 +180,27 @@ class StepEpoch(Message):
 
 
 @dataclass(frozen=True)
+class SubmitBatch(Message):
+    """Execute the installed plan on many epochs' readings at once.
+
+    ``readings`` is a ``(B, n)`` matrix (tuple of row tuples, or a
+    numpy array on the binary codec's zero-copy path).  The server
+    answers with one :class:`BatchReply` whose rows are *bitwise
+    identical* to the :class:`QueryReply` stream the same ``B``
+    :class:`SubmitQuery` frames would have produced — batching changes
+    the framing and the executor (one vectorized pass instead of ``B``
+    scalar walks), never the answers.
+    """
+
+    kind: ClassVar[str] = "submit_batch"
+    session_id: str = ""
+    readings: tuple = ()
+
+    def __post_init__(self) -> None:
+        _tuplify_nested(self, "readings")
+
+
+@dataclass(frozen=True)
 class GetPlan(Message):
     """Fetch the session's installed plan (planning it if needed)."""
 
@@ -240,6 +284,28 @@ class StepReply(Message):
 
 
 @dataclass(frozen=True)
+class BatchReply(Message):
+    """Per-epoch answers of one :class:`SubmitBatch` execution.
+
+    Row ``i`` of ``nodes``/``values`` plus ``energies[i]`` and
+    ``accuracies[i]`` is exactly what ``SubmitQuery`` on row ``i``
+    would have returned; ``accuracies`` elements are ``None`` when the
+    session does not track ground truth.
+    """
+
+    kind: ClassVar[str] = "batch_reply"
+    session_id: str = ""
+    nodes: tuple = ()
+    values: tuple = ()
+    energies: tuple = ()
+    accuracies: tuple = ()
+
+    def __post_init__(self) -> None:
+        _tuplify_nested(self, "nodes", "values")
+        _tuplify(self, "energies", "accuracies")
+
+
+@dataclass(frozen=True)
 class PlanReply(Message):
     """The installed plan as a :mod:`repro.plans.serialize` payload."""
 
@@ -279,6 +345,7 @@ _MESSAGE_TYPES: tuple[type[Message], ...] = (
     OpenSession,
     FeedSample,
     SubmitQuery,
+    SubmitBatch,
     StepEpoch,
     GetPlan,
     CloseSession,
@@ -287,6 +354,7 @@ _MESSAGE_TYPES: tuple[type[Message], ...] = (
     SessionOpened,
     SampleAccepted,
     QueryReply,
+    BatchReply,
     StepReply,
     PlanReply,
     SessionClosed,
@@ -305,6 +373,7 @@ REQUEST_KINDS: frozenset[str] = frozenset(
         OpenSession,
         FeedSample,
         SubmitQuery,
+        SubmitBatch,
         StepEpoch,
         GetPlan,
         CloseSession,

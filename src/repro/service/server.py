@@ -42,6 +42,7 @@ attribution is a per-tenant question), surfaced through
 from __future__ import annotations
 
 import asyncio
+import struct
 import threading
 import time
 from dataclasses import dataclass
@@ -50,6 +51,7 @@ import numpy as np
 
 from repro.errors import (
     AdmissionError,
+    ProtocolError,
     ServiceError,
     ServiceUnavailableError,
     SessionError,
@@ -66,10 +68,13 @@ from repro.planners.lp_no_lf import LPNoLFPlanner
 from repro.planners.proof import ProofPlanner
 from repro.query.engine import EngineConfig, TopKEngine
 from repro.service import messages as msg
+from repro.service import wire
 from repro.service.cache import SharedPlanCache
 from repro.service.session import Session
 
 PLANNERS = ("greedy", "lp-lf", "lp-no-lf", "proof")
+
+WIRE_PROTOCOLS = ("v1", "v2", "auto")
 
 
 @dataclass(frozen=True)
@@ -102,6 +107,26 @@ class ServiceConfig:
     store (:class:`~repro.service.artifacts.ArtifactStore`): compiled
     parametric forms spill here keyed by content, so a cold process
     (a fresh shard worker, say) loads arrays instead of recompiling."""
+
+    protocol: str = "auto"
+    """Wire protocols the socket front end accepts: ``"auto"`` speaks
+    whichever a connection opens with (binary v2 hello or JSON v1
+    line), ``"v1"`` ignores v2 hellos (an old server), ``"v2"``
+    refuses JSON connections with a typed
+    :class:`~repro.errors.ProtocolError`."""
+
+    blob_dir: str | None = None
+    """Optional directory for the v2 same-host shared-memory fast
+    path: advertised to v2 clients at accept time, who may then ship
+    large float payloads as :class:`~repro.service.artifacts.BlobSpool`
+    references instead of socket bytes."""
+
+    def __post_init__(self) -> None:
+        if self.protocol not in WIRE_PROTOCOLS:
+            raise ServiceError(
+                f"unknown wire protocol {self.protocol!r}; choose from"
+                f" {', '.join(WIRE_PROTOCOLS)}"
+            )
 
 
 class TopKService:
@@ -153,6 +178,13 @@ class TopKService:
         self._session_seq = 0
         self._draining = False
         self.sessions_total = 0
+        self._wire_lock = threading.Lock()
+        self._wire = {
+            "connections": {"v1": 0, "v2": 0},
+            "requests": {"v1": 0, "v2": 0},
+            "request_bytes": {"v1": 0, "v2": 0},
+            "reply_bytes": {"v1": 0, "v2": 0},
+        }
 
     # -- shared resources ----------------------------------------------
     def register_topology(self, parents) -> str:
@@ -331,6 +363,82 @@ class TopKService:
             reply = msg.error_to_reply(err)
         return msg.encode(reply, cid=cid)
 
+    def handle_frame(self, body: bytes, spool=None) -> bytes:
+        """Binary v2 transport shim over :meth:`handle`.
+
+        The framed analog of :meth:`handle_line`: one frame body in,
+        one complete reply frame (length prefix included) out, with
+        every failure serialized as an
+        :class:`~repro.service.messages.ErrorReply` frame and the
+        request's correlation id echoed when it was decodable.  Float
+        payloads are decoded in zero-copy ``vectors="array"`` mode —
+        the data plane never materializes tuples for a batch's
+        readings matrix.
+        """
+        cid = None
+        try:
+            request, cid = wire.decode_frame(
+                body, vectors="array", spool=spool
+            )
+            reply = self.handle(request)
+        except Exception as err:  # typed errors included
+            reply = msg.error_to_reply(err)
+        try:
+            return wire.encode_frame(reply, cid=cid, spool=spool)
+        except ProtocolError as err:  # reply exceeds the frame bound
+            return wire.encode_frame(msg.error_to_reply(err), cid=cid)
+
+    # -- wire accounting ------------------------------------------------
+    def record_connection(self, protocol: str) -> None:
+        """Count one socket connection's negotiated protocol version."""
+        with self._wire_lock:
+            self._wire["connections"][protocol] += 1
+        if self.instrumentation is not None:
+            self.instrumentation.counter(
+                f"service.wire.connections.{protocol}"
+            ).inc()
+
+    def record_wire(
+        self, protocol: str, request_bytes: int, reply_bytes: int
+    ) -> None:
+        """Account one request/reply exchange's bytes on the wire."""
+        with self._wire_lock:
+            self._wire["requests"][protocol] += 1
+            self._wire["request_bytes"][protocol] += request_bytes
+            self._wire["reply_bytes"][protocol] += reply_bytes
+        obs = self.instrumentation
+        if obs is not None:
+            obs.histogram(
+                f"service.wire.request_bytes.{protocol}"
+            ).observe(request_bytes)
+            obs.histogram(
+                f"service.wire.reply_bytes.{protocol}"
+            ).observe(reply_bytes)
+
+    def wire_stats(self) -> dict:
+        """Per-protocol connection counts and bytes-per-request summary
+        (the ``counters["wire"]`` section of :class:`GetStats`)."""
+        with self._wire_lock:
+            snapshot = {
+                name: dict(values) for name, values in self._wire.items()
+            }
+        snapshot["bytes_per_request"] = {}
+        for protocol in ("v1", "v2"):
+            requests = snapshot["requests"][protocol]
+            snapshot["bytes_per_request"][protocol] = (
+                round(
+                    (
+                        snapshot["request_bytes"][protocol]
+                        + snapshot["reply_bytes"][protocol]
+                    )
+                    / requests,
+                    1,
+                )
+                if requests
+                else None
+            )
+        return snapshot
+
     def _dispatch(self, request: msg.Message) -> msg.Message:
         if isinstance(request, msg.RegisterTopology):
             topology_id = self.register_topology(request.parents)
@@ -374,6 +482,20 @@ class TopKService:
                     values=tuple(float(v) for v, __ in result.returned),
                     energy_mj=float(result.energy_mj),
                     accuracy=_json_accuracy(result.accuracy),
+                )
+            if isinstance(request, msg.SubmitBatch):
+                result = engine.query_batch(
+                    np.asarray(request.readings, dtype=float)
+                )
+                return msg.BatchReply(
+                    session_id=session.session_id,
+                    nodes=result.nodes,
+                    values=result.values,
+                    energies=result.energies,
+                    accuracies=tuple(
+                        _json_accuracy(score)
+                        for score in result.accuracies
+                    ),
                 )
             if isinstance(request, msg.StepEpoch):
                 outcome = engine.step(
@@ -419,6 +541,7 @@ class TopKService:
                 "sessions_by_state": per_state,
                 "requests_handled": handled,
                 "requests_shed": shed,
+                "wire": self.wire_stats(),
             }
             return msg.StatsReply(
                 sessions_open=open_now,
@@ -447,25 +570,42 @@ COALESCE_REPLIES = 64
 a pipelined burst is still in flight (the ``writev``-style batch)."""
 
 
+class _ReaderFailure:
+    """End-of-input marker carrying the wire error to report before
+    closing (oversized v1 line, malformed v2 frame, refused protocol)."""
+
+    def __init__(self, error: Exception) -> None:
+        self.error = error
+
+
 class _Connection:
     """One client connection: a reader task feeding a processor task.
 
-    The reader pulls frames into a bounded queue; the processor
-    answers them strictly in order (the sync core on the default
-    executor, so a slow LP solve never blocks the event loop) and
-    coalesces reply writes while more requests are queued.  Fairness
-    *between* sessions comes from the per-session locks, and overload
-    is shed there too.
+    The reader's first ``readline`` doubles as protocol negotiation: a
+    ``\\x00``-led v2 hello switches the connection to length-prefixed
+    binary framing (after an accept line), anything else is a v1 JSON
+    line handled exactly as before — subject to the server's
+    ``policy`` (``auto``/``v1``/``v2``).  From then on the reader
+    pulls frames into a bounded queue; the processor answers them
+    strictly in order (the sync core on the default executor, so a
+    slow LP solve never blocks the event loop) and coalesces reply
+    writes while a burst is in flight.  Fairness *between* sessions
+    comes from the per-session locks, and overload is shed there too.
 
     ``begin_drain`` stops the reader; the processor then finishes the
     frames already read, flushes their replies, and closes — the clean
     half of :meth:`ServiceServer.shutdown`.
     """
 
-    def __init__(self, service, reader, writer) -> None:
+    def __init__(
+        self, service, reader, writer, *, policy: str = "auto", spool=None
+    ) -> None:
         self.service = service
         self.reader = reader
         self.writer = writer
+        self.policy = policy
+        self.spool = spool
+        self.protocol: str | None = None  # negotiated per connection
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=PIPELINE_DEPTH)
         self._reader_task: asyncio.Task | None = None
         self.done: asyncio.Task | None = None
@@ -480,47 +620,146 @@ class _Connection:
             self._reader_task.cancel()
 
     async def _read_loop(self) -> None:
-        oversized = False
+        failure: Exception | None = None
         try:
-            while True:
-                try:
-                    line = await self.reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    oversized = True
-                    break
-                except (ConnectionError, OSError):
-                    break
-                if not line:
-                    break
-                await self._queue.put(line)
+            try:
+                failure = await self._negotiate_and_read()
+            except (ConnectionError, OSError):
+                pass
         except asyncio.CancelledError:
             pass  # drain: deliver the end-of-input marker below
         finally:
-            await self._signal_end(oversized)
+            await self._signal_end(failure)
 
-    async def _signal_end(self, oversized: bool) -> None:
-        # the queue may be momentarily full; the processor is draining
-        # it, so yield until the end marker fits
+    async def _negotiate_and_read(self) -> Exception | None:
+        """Settle the connection's protocol, then run its read loop.
+
+        Returns the wire error to report before closing, or ``None``
+        for a clean end of input.
+        """
+        try:
+            first = await self.reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            self.protocol = "v1"
+            return self._oversized_error()
+        if not first:
+            self.protocol = "v1"  # EOF before a single byte mattered
+            return None
+        if wire.is_negotiation_line(first) and self.policy != "v1":
+            try:
+                wire.parse_hello(first)
+            except ProtocolError as err:
+                self.protocol = "v1"  # reply readable either way
+                return err
+            self.protocol = "v2"
+            self.service.record_connection("v2")
+            blob_dir = (
+                str(self.spool.root) if self.spool is not None else None
+            )
+            self.writer.write(wire.accept_line(blob_dir))
+            await self.writer.drain()
+            return await self._v2_loop()
+        if not wire.is_negotiation_line(first) and self.policy == "v2":
+            self.protocol = "v1"
+            return ProtocolError(
+                "server requires wire protocol v2; connect with"
+                " protocol='v2' (or 'auto')"
+            )
+        # v1 — either a plain JSON opening, or a hello at a v1-only
+        # server, which answers it like any other unparseable line
+        self.protocol = "v1"
+        self.service.record_connection("v1")
+        await self._queue.put(first)
+        return await self._v1_loop()
+
+    @staticmethod
+    def _oversized_error() -> ServiceError:
+        return ServiceError(
+            "frame exceeds the"
+            f" {msg.MAX_FRAME_BYTES}-byte protocol limit"
+        )
+
+    async def _v1_loop(self) -> Exception | None:
         while True:
             try:
-                self._queue.put_nowait(
-                    _OVERSIZED if oversized else _END_OF_INPUT
+                line = await self.reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                return self._oversized_error()
+            if not line:
+                return None
+            await self._queue.put(line)
+
+    async def _v2_loop(self) -> Exception | None:
+        while True:
+            try:
+                prefix = await self.reader.readexactly(4)
+            except asyncio.IncompleteReadError as err:
+                if not err.partial:
+                    return None  # clean EOF between frames
+                return ProtocolError(
+                    "truncated frame length prefix"
+                    f" ({len(err.partial)} of 4 bytes)"
                 )
+            (length,) = struct.unpack(">I", prefix)
+            if length > msg.MAX_FRAME_BYTES:
+                return ProtocolError(
+                    f"frame of {length} bytes exceeds the"
+                    f" {msg.MAX_FRAME_BYTES}-byte protocol limit"
+                )
+            if length < 10:  # the "<BBQ" header
+                return ProtocolError(
+                    f"frame length {length} is below the header size"
+                )
+            try:
+                body = await self.reader.readexactly(length)
+            except asyncio.IncompleteReadError as err:
+                return ProtocolError(
+                    f"truncated frame body ({len(err.partial)} of"
+                    f" {length} bytes)"
+                )
+            await self._queue.put(body)
+
+    async def _signal_end(self, failure: Exception | None) -> None:
+        # the queue may be momentarily full; the processor is draining
+        # it, so yield until the end marker fits
+        marker = (
+            _END_OF_INPUT if failure is None else _ReaderFailure(failure)
+        )
+        while True:
+            try:
+                self._queue.put_nowait(marker)
                 return
             except asyncio.QueueFull:
                 await asyncio.sleep(0)
 
-    def _handle_batch(self, lines: list[bytes]) -> list[bytes]:
+    def _handle_batch(self, frames: list[bytes]) -> list[bytes]:
         """Answer a chunk of frames in one executor hop (in order)."""
-        return [
-            self.service.handle_line(line.decode()).encode() + b"\n"
-            for line in lines
-        ]
+        service = self.service
+        out = []
+        if self.protocol == "v2":
+            for frame in frames:
+                reply = service.handle_frame(frame, spool=self.spool)
+                service.record_wire("v2", len(frame) + 4, len(reply))
+                out.append(reply)
+            return out
+        for line in frames:
+            reply = service.handle_line(line.decode()).encode() + b"\n"
+            service.record_wire("v1", len(line), len(reply))
+            out.append(reply)
+        return out
+
+    def _encode_failure(self, error: Exception) -> bytes:
+        """The final error reply, framed for the negotiated protocol."""
+        reply = msg.error_to_reply(error)
+        if self.protocol == "v2":
+            return wire.encode_frame(reply)
+        return msg.encode(reply).encode() + b"\n"
 
     async def _process_loop(self) -> None:
         loop = asyncio.get_running_loop()
         out: list[bytes] = []
         stop = False
+        failure: _ReaderFailure | None = None
         try:
             while not stop:
                 item = await self._queue.get()
@@ -532,8 +771,9 @@ class _Connection:
                     if item is _END_OF_INPUT:
                         stop = True
                         break
-                    if item is _OVERSIZED:
+                    if isinstance(item, _ReaderFailure):
                         stop = True
+                        failure = item
                         break
                     batch.append(item)
                     if len(batch) >= COALESCE_REPLIES:
@@ -548,15 +788,8 @@ class _Connection:
                             None, self._handle_batch, batch
                         )
                     )
-                if stop and item is _OVERSIZED:
-                    error = ServiceError(
-                        "frame exceeds the"
-                        f" {msg.MAX_FRAME_BYTES}-byte protocol limit"
-                    )
-                    out.append(
-                        msg.encode(msg.error_to_reply(error)).encode()
-                        + b"\n"
-                    )
+                if stop and failure is not None:
+                    out.append(self._encode_failure(failure.error))
                 if out and (
                     stop
                     or self._queue.empty()
@@ -580,7 +813,6 @@ class _Connection:
 
 
 _END_OF_INPUT = object()
-_OVERSIZED = object()
 
 
 class ServiceServer:
@@ -595,6 +827,14 @@ class ServiceServer:
         self.service = service
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[_Connection] = set()
+        self._spool = None
+        blob_dir = getattr(service.config, "blob_dir", None)
+        if blob_dir is not None:
+            from repro.service.artifacts import BlobSpool
+
+            self._spool = BlobSpool(
+                blob_dir, instrumentation=service.instrumentation
+            )
 
     async def start(self, host: str, port: int) -> "ServiceServer":
         self._server = await asyncio.start_server(
@@ -604,7 +844,13 @@ class ServiceServer:
         return self
 
     async def _on_connection(self, reader, writer) -> None:
-        connection = _Connection(self.service, reader, writer)
+        connection = _Connection(
+            self.service,
+            reader,
+            writer,
+            policy=getattr(self.service.config, "protocol", "auto"),
+            spool=self._spool,
+        )
         self._connections.add(connection)
         connection.start()
         try:

@@ -266,14 +266,24 @@ class ShardedService:
             _session_route_key(topology_id, planner, k), self.workers
         )
 
-    def client(self, *, timeout_s: float = 30.0) -> "ShardedClient":
-        """A routed client over every live worker endpoint."""
+    def client(
+        self, *, timeout_s: float = 30.0, protocol: str = "auto"
+    ) -> "ShardedClient":
+        """A routed client over every live worker endpoint.
+
+        ``protocol`` is the per-connection wire preference handed to
+        each worker's :class:`~repro.service.client.SocketClient`
+        (``auto``/``v1``/``v2``); the workers themselves accept
+        whatever their :class:`~repro.service.server.ServiceConfig`
+        ``protocol`` allows.
+        """
         if not self.endpoints:
             raise ServiceError("sharded service is not running; start() it")
         return ShardedClient(
             self.endpoints,
             timeout_s=timeout_s,
             instrumentation=self.instrumentation,
+            protocol=protocol,
         )
 
 
@@ -294,12 +304,14 @@ class ShardedClient(_BaseClient):
         *,
         timeout_s: float = 30.0,
         instrumentation=None,
+        protocol: str = "auto",
     ) -> None:
         self.endpoints = [(str(h), int(p)) for h, p in endpoints]
         if not self.endpoints:
             raise ServiceError("sharded client needs >= 1 endpoint")
         self.timeout_s = timeout_s
         self.instrumentation = instrumentation
+        self.protocol = protocol
         self._clients: dict[int, SocketClient] = {}
         self._submit_order: list[int] = []
 
@@ -311,7 +323,12 @@ class ShardedClient(_BaseClient):
         client = self._clients.get(index)
         if client is None:
             host, port = self.endpoints[index]
-            client = SocketClient(host, port, timeout_s=self.timeout_s)
+            client = SocketClient(
+                host,
+                port,
+                timeout_s=self.timeout_s,
+                protocol=self.protocol,
+            )
             self._clients[index] = client
         return client
 

@@ -1,0 +1,699 @@
+"""Binary wire protocol v2: negotiated, length-prefixed, zero-copy.
+
+The JSON-lines codec in :mod:`repro.service.messages` (protocol
+``v1``) spends most of each request's byte budget — and a large slice
+of its CPU budget — on text framing.  This module is the negotiated
+binary alternative (protocol ``v2``): the same typed messages, packed
+with :mod:`struct` into length-prefixed frames whose numeric payloads
+are raw little-endian buffers a server can view with
+``np.frombuffer`` without copying.
+
+**Frame layout.**  One frame on the wire is::
+
+    +----------------+---------------------------+------------------+
+    | length  u32 BE | header  "<BBQ"            | payload          |
+    |                | kind u8 · flags u8 · cid  | per-kind fields  |
+    +----------------+---------------------------+------------------+
+
+The length prefix covers header plus payload (bounded by
+:data:`~repro.service.messages.MAX_FRAME_BYTES`, same cap as v1).
+``kind`` is a stable one-byte code from :data:`KIND_CODES`; ``cid`` is
+the pipelining correlation id, meaningful only when
+:data:`FLAG_CID` is set in ``flags``.  Payload fields are packed in
+dataclass declaration order with the little-endian primitives in
+:data:`_FIELD_SPECS` — strings as ``u32`` length plus UTF-8, vectors
+as a count plus packed ``i64``/``f64``, matrices as ``rows·cols`` plus
+a raw ``f64`` buffer, optional floats as a presence byte.  Decoding is
+strict: unknown kind codes, unknown flag bits, truncated payloads, and
+trailing bytes all raise :class:`~repro.errors.ProtocolError` — the
+binary analog of v1's unknown-field rejection.  Non-finite floats are
+rejected on encode exactly as v1's ``allow_nan=False`` does, so
+``decode(encode(m)) == m`` holds for the same message population on
+both codecs.
+
+**Negotiation.**  A v2-capable client opens the conversation with a
+*hello line*: a single ``\\x00``-prefixed, newline-terminated line
+(:func:`hello_line`).  No JSON document can begin with a NUL byte, so
+a server's ordinary first ``readline`` distinguishes the two protocols
+without peeking: a v2 server answers with an *accept line*
+(:func:`accept_line`) and both sides switch to binary framing; a
+v1-only server answers with whatever it says to garbage (an
+``ErrorReply`` line), which an ``auto`` client treats as "speak v1".
+The hello/accept options carry the shared-memory spool directory for
+the same-host fast path below.
+
+**Shared-memory fast path.**  When both peers negotiate a common
+``blob_dir``, large float payloads (a batch's readings matrix, say)
+are spilled to a content-named ``.npy`` file by
+:class:`~repro.service.artifacts.BlobSpool` and cross the socket as a
+tiny *blob reference* (mode byte ``1`` plus the file name) instead of
+bytes; the receiver maps the file read-only (``np.load(mmap_mode="r")``),
+so the payload never transits the socket buffer at all.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.service.messages import (
+    MAX_FRAME_BYTES,
+    MESSAGE_KINDS,
+    Message,
+)
+
+PROTOCOL_V1 = "v1"
+PROTOCOL_V2 = "v2"
+PROTOCOLS = (PROTOCOL_V1, PROTOCOL_V2)
+
+WIRE_MAGIC = b"\x00repro-wire"
+"""Leading bytes of every negotiation line.
+
+The NUL prefix is the whole trick: JSON text can never start with
+``\\x00``, so one ``readline`` tells a server (or a waiting client)
+which protocol the peer speaks.
+"""
+
+FLAG_CID = 0x01
+_KNOWN_FLAGS = FLAG_CID
+
+_HEADER = struct.Struct("<BBQ")
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_SHAPE2 = struct.Struct("<II")
+
+_MODE_INLINE = 0
+_MODE_BLOB = 1
+
+KIND_CODES: dict[str, int] = {
+    "register_topology": 1,
+    "open_session": 2,
+    "feed_sample": 3,
+    "submit_query": 4,
+    "step_epoch": 5,
+    "get_plan": 6,
+    "close_session": 7,
+    "get_stats": 8,
+    "submit_batch": 9,
+    "topology_registered": 10,
+    "session_opened": 11,
+    "sample_accepted": 12,
+    "query_reply": 13,
+    "step_reply": 14,
+    "plan_reply": 15,
+    "session_closed": 16,
+    "stats_reply": 17,
+    "error": 18,
+    "batch_reply": 19,
+}
+"""Stable kind → wire code table.
+
+Codes are part of the protocol: they never change meaning and new
+kinds only ever append new codes (pinned by a test), so a v2 peer one
+release ahead still frames the kinds both sides know identically.
+"""
+
+CODE_KINDS: dict[int, str] = {code: kind for kind, code in KIND_CODES.items()}
+
+# Per-kind payload schema: (field name, field type) in dataclass
+# declaration order.  Types: str · i (i64) · f (f64) · b (bool u8) ·
+# ivec/fvec (count + packed) · fmat (rows·cols + raw f64 buffer, blob
+# eligible) · rivec/rfvec (ragged: row count, then per-row vectors) ·
+# optf (presence byte + f64) · ofvec (count + per-element optf) ·
+# json (presence byte + UTF-8 JSON document, for dict payloads).
+_FIELD_SPECS: dict[str, tuple[tuple[str, str], ...]] = {
+    "register_topology": (("parents", "ivec"),),
+    "open_session": (
+        ("topology_id", "str"),
+        ("k", "i"),
+        ("planner", "str"),
+        ("budget_mj", "f"),
+        ("window_capacity", "i"),
+        ("replan_every", "i"),
+        ("track_truth", "b"),
+    ),
+    "feed_sample": (("session_id", "str"), ("readings", "fvec")),
+    "submit_query": (("session_id", "str"), ("readings", "fvec")),
+    "step_epoch": (("session_id", "str"), ("readings", "fvec")),
+    "submit_batch": (("session_id", "str"), ("readings", "fmat")),
+    "get_plan": (("session_id", "str"),),
+    "close_session": (("session_id", "str"),),
+    "get_stats": (),
+    "topology_registered": (("topology_id", "str"), ("num_nodes", "i")),
+    "session_opened": (
+        ("session_id", "str"),
+        ("topology_id", "str"),
+        ("planner", "str"),
+    ),
+    "sample_accepted": (("session_id", "str"), ("window_size", "i")),
+    "query_reply": (
+        ("session_id", "str"),
+        ("nodes", "ivec"),
+        ("values", "fvec"),
+        ("energy_mj", "f"),
+        ("accuracy", "optf"),
+    ),
+    "step_reply": (
+        ("session_id", "str"),
+        ("epoch", "i"),
+        ("action", "str"),
+        ("energy_mj", "f"),
+        ("nodes", "ivec"),
+        ("values", "fvec"),
+        ("accuracy", "optf"),
+    ),
+    "batch_reply": (
+        ("session_id", "str"),
+        ("nodes", "rivec"),
+        ("values", "rfvec"),
+        ("energies", "fvec"),
+        ("accuracies", "ofvec"),
+    ),
+    "plan_reply": (("session_id", "str"), ("plan", "json")),
+    "session_closed": (
+        ("session_id", "str"),
+        ("epochs", "i"),
+        ("total_energy_mj", "f"),
+    ),
+    "stats_reply": (
+        ("sessions_open", "i"),
+        ("sessions_total", "i"),
+        ("topologies", "i"),
+        ("counters", "json"),
+    ),
+    "error": (("error", "str"), ("message", "str")),
+}
+
+
+# -- negotiation lines ------------------------------------------------------
+
+
+def hello_line(blob_dir: str | None = None) -> bytes:
+    """The client's opening line requesting protocol v2."""
+    opts = {"blob_dir": blob_dir} if blob_dir else {}
+    return b"%s hello %s %s\n" % (
+        WIRE_MAGIC,
+        PROTOCOL_V2.encode(),
+        json.dumps(opts, sort_keys=True).encode(),
+    )
+
+
+def accept_line(blob_dir: str | None = None) -> bytes:
+    """The server's answer committing the connection to v2."""
+    opts = {"blob_dir": blob_dir} if blob_dir else {}
+    return b"%s accept %s %s\n" % (
+        WIRE_MAGIC,
+        PROTOCOL_V2.encode(),
+        json.dumps(opts, sort_keys=True).encode(),
+    )
+
+
+def is_negotiation_line(first_bytes: bytes) -> bool:
+    """Whether a peer's first bytes open a v2 negotiation.
+
+    Only the NUL byte is checked: any ``\\x00``-led line *claims* to be
+    a negotiation line and must then survive :func:`parse_hello` /
+    :func:`parse_accept`; JSON traffic can never trip this.
+    """
+    return first_bytes[:1] == b"\x00"
+
+
+def _parse_negotiation(line: bytes, verb: str) -> dict:
+    parts = line.rstrip(b"\n").split(b" ", 3)
+    if (
+        len(parts) != 4
+        or parts[0] != WIRE_MAGIC
+        or parts[1].decode("utf-8", "replace") != verb
+    ):
+        raise ProtocolError(f"malformed wire {verb} line: {line[:64]!r}")
+    version = parts[2].decode("utf-8", "replace")
+    if version != PROTOCOL_V2:
+        raise ProtocolError(
+            f"peer proposed unsupported wire protocol {version!r}"
+        )
+    try:
+        opts = json.loads(parts[3])
+    except (ValueError, UnicodeDecodeError) as err:
+        raise ProtocolError(f"malformed wire {verb} options: {err}") from err
+    if not isinstance(opts, dict):
+        raise ProtocolError(f"wire {verb} options must be a JSON object")
+    return opts
+
+
+def parse_hello(line: bytes) -> dict:
+    """Validate a hello line; returns its options dict."""
+    return _parse_negotiation(line, "hello")
+
+
+def parse_accept(line: bytes) -> dict:
+    """Validate an accept line; returns its options dict."""
+    return _parse_negotiation(line, "accept")
+
+
+# -- field packers ----------------------------------------------------------
+
+
+def _reject_nan(value: float) -> float:
+    value = float(value)
+    if not math.isfinite(value):
+        raise ProtocolError(
+            "non-finite float cannot cross the wire (v1 JSON parity)"
+        )
+    return value
+
+
+def _pack_str(value, parts, spool) -> None:
+    raw = str(value).encode("utf-8")
+    parts.append(_U32.pack(len(raw)))
+    parts.append(raw)
+
+
+def _pack_i(value, parts, spool) -> None:
+    parts.append(_I64.pack(int(value)))
+
+
+def _pack_f(value, parts, spool) -> None:
+    parts.append(_F64.pack(_reject_nan(value)))
+
+
+def _pack_b(value, parts, spool) -> None:
+    parts.append(b"\x01" if value else b"\x00")
+
+
+def _pack_ivec(value, parts, spool) -> None:
+    if isinstance(value, np.ndarray):
+        value = value.tolist()
+    parts.append(_U32.pack(len(value)))
+    parts.append(struct.pack(f"<{len(value)}q", *(int(v) for v in value)))
+
+
+def _float_buffer(value) -> np.ndarray:
+    """``value`` as a contiguous little-endian float64 array, with the
+    same non-finite rejection the JSON codec applies."""
+    arr = np.ascontiguousarray(value, dtype="<f8")
+    if arr.size and not np.isfinite(arr).all():
+        raise ProtocolError(
+            "non-finite float cannot cross the wire (v1 JSON parity)"
+        )
+    return arr
+
+
+def _pack_fvec(value, parts, spool) -> None:
+    if isinstance(value, np.ndarray):
+        arr = _float_buffer(value)
+        if arr.ndim != 1:
+            raise ProtocolError("fvec payload must be one-dimensional")
+        parts.append(b"\x00")  # inline mode
+        parts.append(_U32.pack(arr.shape[0]))
+        parts.append(arr.tobytes())
+        return
+    parts.append(b"\x00")
+    parts.append(_U32.pack(len(value)))
+    parts.append(
+        struct.pack(
+            f"<{len(value)}d", *(_reject_nan(v) for v in value)
+        )
+    )
+
+
+def _pack_fmat(value, parts, spool) -> None:
+    arr = _float_buffer(value)
+    if arr.ndim == 1 and arr.size == 0:
+        # an empty batch (`()`) coerces to shape (0,); frame it as 0x0
+        arr = arr.reshape(0, 0)
+    if arr.ndim != 2:
+        raise ProtocolError("fmat payload must be a 2-d matrix")
+    if spool is not None and arr.nbytes >= spool.threshold:
+        name = spool.spill(arr)
+        if name is not None:
+            parts.append(b"\x01")  # blob-reference mode
+            _pack_str(name, parts, spool)
+            return
+    parts.append(b"\x00")
+    parts.append(_SHAPE2.pack(arr.shape[0], arr.shape[1]))
+    parts.append(arr.tobytes())
+
+
+def _pack_rivec(value, parts, spool) -> None:
+    parts.append(_U32.pack(len(value)))
+    for row in value:
+        _pack_ivec(row, parts, spool)
+
+
+def _pack_rfvec(value, parts, spool) -> None:
+    parts.append(_U32.pack(len(value)))
+    for row in value:
+        if isinstance(row, np.ndarray):
+            row = row.tolist()
+        parts.append(_U32.pack(len(row)))
+        parts.append(
+            struct.pack(f"<{len(row)}d", *(_reject_nan(v) for v in row))
+        )
+
+
+def _pack_optf(value, parts, spool) -> None:
+    if value is None:
+        parts.append(b"\x00")
+    else:
+        parts.append(b"\x01")
+        parts.append(_F64.pack(_reject_nan(value)))
+
+
+def _pack_ofvec(value, parts, spool) -> None:
+    parts.append(_U32.pack(len(value)))
+    for item in value:
+        _pack_optf(item, parts, spool)
+
+
+def _pack_json(value, parts, spool) -> None:
+    if value is None:
+        parts.append(b"\x00")
+        return
+    parts.append(b"\x01")
+    raw = json.dumps(value, allow_nan=False, sort_keys=True).encode("utf-8")
+    parts.append(_U32.pack(len(raw)))
+    parts.append(raw)
+
+
+_PACKERS = {
+    "str": _pack_str,
+    "i": _pack_i,
+    "f": _pack_f,
+    "b": _pack_b,
+    "ivec": _pack_ivec,
+    "fvec": _pack_fvec,
+    "fmat": _pack_fmat,
+    "rivec": _pack_rivec,
+    "rfvec": _pack_rfvec,
+    "optf": _pack_optf,
+    "ofvec": _pack_ofvec,
+    "json": _pack_json,
+}
+
+
+# -- field unpackers --------------------------------------------------------
+
+
+def _need(view: memoryview, offset: int, count: int) -> None:
+    if offset + count > len(view):
+        raise ProtocolError(
+            f"truncated frame payload: wanted {count} bytes at offset"
+            f" {offset}, frame ends at {len(view)}"
+        )
+
+
+def _unpack_str(view, offset, vectors, spool):
+    _need(view, offset, 4)
+    (length,) = _U32.unpack_from(view, offset)
+    offset += 4
+    _need(view, offset, length)
+    try:
+        value = bytes(view[offset : offset + length]).decode("utf-8")
+    except UnicodeDecodeError as err:
+        raise ProtocolError(f"invalid UTF-8 in string field: {err}") from err
+    return value, offset + length
+
+
+def _unpack_i(view, offset, vectors, spool):
+    _need(view, offset, 8)
+    (value,) = _I64.unpack_from(view, offset)
+    return value, offset + 8
+
+
+def _unpack_f(view, offset, vectors, spool):
+    _need(view, offset, 8)
+    (value,) = _F64.unpack_from(view, offset)
+    return value, offset + 8
+
+
+def _unpack_b(view, offset, vectors, spool):
+    _need(view, offset, 1)
+    return bool(view[offset]), offset + 1
+
+
+def _unpack_ivec(view, offset, vectors, spool):
+    _need(view, offset, 4)
+    (count,) = _U32.unpack_from(view, offset)
+    offset += 4
+    _need(view, offset, 8 * count)
+    value = struct.unpack_from(f"<{count}q", view, offset)
+    return value, offset + 8 * count
+
+
+def _unpack_mode(view, offset):
+    _need(view, offset, 1)
+    mode = view[offset]
+    if mode not in (_MODE_INLINE, _MODE_BLOB):
+        raise ProtocolError(f"unknown payload mode byte {mode}")
+    return mode, offset + 1
+
+
+def _load_blob(view, offset, vectors, spool):
+    name, offset = _unpack_str(view, offset, vectors, spool)
+    if spool is None:
+        raise ProtocolError(
+            "peer sent a blob reference but no spool directory was"
+            " negotiated on this connection"
+        )
+    return spool.load(name), offset
+
+
+def _unpack_fvec(view, offset, vectors, spool):
+    mode, offset = _unpack_mode(view, offset)
+    if mode == _MODE_BLOB:
+        arr, offset = _load_blob(view, offset, vectors, spool)
+        if arr.ndim != 1:
+            raise ProtocolError("fvec blob reference is not one-dimensional")
+        if vectors == "array":
+            return arr, offset
+        return tuple(arr.tolist()), offset
+    _need(view, offset, 4)
+    (count,) = _U32.unpack_from(view, offset)
+    offset += 4
+    _need(view, offset, 8 * count)
+    if vectors == "array":
+        value = np.frombuffer(view, dtype="<f8", count=count, offset=offset)
+        return value, offset + 8 * count
+    value = struct.unpack_from(f"<{count}d", view, offset)
+    return value, offset + 8 * count
+
+
+def _unpack_fmat(view, offset, vectors, spool):
+    mode, offset = _unpack_mode(view, offset)
+    if mode == _MODE_BLOB:
+        arr, offset = _load_blob(view, offset, vectors, spool)
+        if arr.ndim != 2:
+            raise ProtocolError("fmat blob reference is not a 2-d matrix")
+    else:
+        _need(view, offset, 8)
+        rows, cols = _SHAPE2.unpack_from(view, offset)
+        offset += 8
+        _need(view, offset, 8 * rows * cols)
+        arr = np.frombuffer(
+            view, dtype="<f8", count=rows * cols, offset=offset
+        ).reshape(rows, cols)
+        offset += 8 * rows * cols
+    if vectors == "array":
+        return arr, offset
+    return tuple(tuple(row) for row in arr.tolist()), offset
+
+
+def _unpack_rivec(view, offset, vectors, spool):
+    _need(view, offset, 4)
+    (rows,) = _U32.unpack_from(view, offset)
+    offset += 4
+    value = []
+    for _ in range(rows):
+        row, offset = _unpack_ivec(view, offset, vectors, spool)
+        value.append(row)
+    return tuple(value), offset
+
+
+def _unpack_rfvec(view, offset, vectors, spool):
+    _need(view, offset, 4)
+    (rows,) = _U32.unpack_from(view, offset)
+    offset += 4
+    value = []
+    for _ in range(rows):
+        _need(view, offset, 4)
+        (count,) = _U32.unpack_from(view, offset)
+        offset += 4
+        _need(view, offset, 8 * count)
+        value.append(struct.unpack_from(f"<{count}d", view, offset))
+        offset += 8 * count
+    return tuple(value), offset
+
+
+def _unpack_optf(view, offset, vectors, spool):
+    _need(view, offset, 1)
+    flag = view[offset]
+    offset += 1
+    if flag == 0:
+        return None, offset
+    if flag != 1:
+        raise ProtocolError(f"invalid optional-float presence byte {flag}")
+    _need(view, offset, 8)
+    (value,) = _F64.unpack_from(view, offset)
+    return value, offset + 8
+
+
+def _unpack_ofvec(view, offset, vectors, spool):
+    _need(view, offset, 4)
+    (count,) = _U32.unpack_from(view, offset)
+    offset += 4
+    value = []
+    for _ in range(count):
+        item, offset = _unpack_optf(view, offset, vectors, spool)
+        value.append(item)
+    return tuple(value), offset
+
+
+def _unpack_json(view, offset, vectors, spool):
+    _need(view, offset, 1)
+    flag = view[offset]
+    offset += 1
+    if flag == 0:
+        return None, offset
+    if flag != 1:
+        raise ProtocolError(f"invalid json presence byte {flag}")
+    raw, offset = _unpack_str(view, offset, vectors, spool)
+    try:
+        return json.loads(raw), offset
+    except ValueError as err:
+        raise ProtocolError(f"invalid embedded JSON payload: {err}") from err
+
+
+_UNPACKERS = {
+    "str": _unpack_str,
+    "i": _unpack_i,
+    "f": _unpack_f,
+    "b": _unpack_b,
+    "ivec": _unpack_ivec,
+    "fvec": _unpack_fvec,
+    "fmat": _unpack_fmat,
+    "rivec": _unpack_rivec,
+    "rfvec": _unpack_rfvec,
+    "optf": _unpack_optf,
+    "ofvec": _unpack_ofvec,
+    "json": _unpack_json,
+}
+
+
+# -- frames -----------------------------------------------------------------
+
+
+def encode_frame(
+    message: Message, cid: int | None = None, spool=None
+) -> bytes:
+    """One complete v2 frame (length prefix included) for ``message``.
+
+    ``cid`` rides in the header exactly like v1's envelope-level
+    correlation id; ``spool`` (a
+    :class:`~repro.service.artifacts.BlobSpool`) enables the same-host
+    blob-reference fast path for large float payloads.
+    """
+    code = KIND_CODES.get(message.kind)
+    if code is None:
+        raise ProtocolError(f"unknown message kind {message.kind!r}")
+    flags = 0
+    header_cid = 0
+    if cid is not None:
+        flags |= FLAG_CID
+        header_cid = int(cid)
+        if not 0 <= header_cid < 1 << 64:
+            raise ProtocolError("correlation id out of u64 range")
+    parts = [b"", _HEADER.pack(code, flags, header_cid)]
+    specs = _FIELD_SPECS[message.kind]
+    for name, ftype in specs:
+        _PACKERS[ftype](getattr(message, name), parts, spool)
+    body_len = sum(len(p) for p in parts)
+    if body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {body_len} bytes exceeds the"
+            f" {MAX_FRAME_BYTES}-byte protocol limit"
+        )
+    parts[0] = struct.pack(">I", body_len)
+    return b"".join(parts)
+
+
+def decode_frame(
+    body: bytes | memoryview,
+    *,
+    vectors: str = "tuple",
+    spool=None,
+) -> tuple[Message, int | None]:
+    """Rehydrate one frame *body* (header + payload, no length prefix)
+    into ``(message, correlation id)``.
+
+    ``vectors="tuple"`` (the default) produces the canonical tuple
+    form, so ``decode_frame(encode_frame(m)) == (m, None)`` exactly;
+    ``vectors="array"`` hands float vectors and matrices back as
+    zero-copy read-only ``np.frombuffer`` views over the frame buffer
+    — the server's data-plane mode.  Violations (truncation, trailing
+    bytes, unknown kind codes or flag bits) raise
+    :class:`~repro.errors.ProtocolError`.
+    """
+    view = memoryview(body)
+    if len(view) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(view)} bytes exceeds the"
+            f" {MAX_FRAME_BYTES}-byte protocol limit"
+        )
+    if len(view) < _HEADER.size:
+        raise ProtocolError(
+            f"frame of {len(view)} bytes is shorter than the"
+            f" {_HEADER.size}-byte header"
+        )
+    code, flags, header_cid = _HEADER.unpack_from(view, 0)
+    if flags & ~_KNOWN_FLAGS:
+        raise ProtocolError(f"unknown flag bits 0x{flags:02x} in frame header")
+    kind = CODE_KINDS.get(code)
+    if kind is None:
+        raise ProtocolError(f"unknown wire kind code {code}")
+    cid = header_cid if flags & FLAG_CID else None
+    offset = _HEADER.size
+    payload = {}
+    for name, ftype in _FIELD_SPECS[kind]:
+        payload[name], offset = _UNPACKERS[ftype](view, offset, vectors, spool)
+    if offset != len(view):
+        raise ProtocolError(
+            f"{len(view) - offset} trailing payload bytes after"
+            f" {kind!r} frame fields (v1 unknown-field parity)"
+        )
+    return MESSAGE_KINDS[kind](**payload), cid
+
+
+def read_frame_blocking(sock_file) -> bytes:
+    """Read one frame body from a blocking binary file object.
+
+    Returns ``b""`` at clean EOF (before any prefix byte); raises
+    :class:`~repro.errors.ProtocolError` on a truncated prefix or
+    body, and on a length prefix exceeding the frame bound (the stream
+    is unrecoverable past that point — no resync is attempted).
+    """
+    prefix = sock_file.read(4)
+    if not prefix:
+        return b""
+    if len(prefix) < 4:
+        raise ProtocolError(
+            f"truncated frame length prefix ({len(prefix)} of 4 bytes)"
+        )
+    (length,) = struct.unpack(">I", prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the"
+            f" {MAX_FRAME_BYTES}-byte protocol limit"
+        )
+    if length < _HEADER.size:
+        raise ProtocolError(f"frame length {length} is below the header size")
+    body = sock_file.read(length)
+    if len(body) < length:
+        raise ProtocolError(
+            f"truncated frame body ({len(body)} of {length} bytes)"
+        )
+    return body

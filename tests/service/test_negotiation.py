@@ -1,0 +1,273 @@
+"""Protocol negotiation: the client/server version matrix, fallback,
+mid-connection violations, and reconnect behavior."""
+
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError, ServiceError
+from repro.service import messages as msg
+from repro.service import wire
+from repro.service.client import SocketClient
+from repro.service.server import ServiceConfig, ServiceThread, TopKService
+
+PARENTS = (-1, 0, 0, 1, 1, 2, 5)
+
+
+def _server(protocol="auto", **overrides):
+    return ServiceThread(TopKService(ServiceConfig(protocol=protocol,
+                                                   **overrides)))
+
+
+def _exercise(client):
+    """One full session; returns the replies that carry data."""
+    rng = np.random.default_rng(3)
+    topology_id = client.register_topology(PARENTS)
+    session = client.open_session(topology_id, 2, budget_mj=500.0)
+    rows = [tuple(rng.uniform(0, 100, len(PARENTS))) for __ in range(4)]
+    for row in rows[:3]:
+        session.feed(row)
+    reply = session.query(rows[3])
+    batch = session.query_batch(np.array(rows))
+    return reply, batch
+
+
+# -- the version matrix -----------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "server_protocol, client_protocol, negotiated",
+    [
+        ("auto", "auto", "v2"),
+        ("auto", "v2", "v2"),
+        ("auto", "v1", "v1"),
+        ("v2", "auto", "v2"),
+        ("v2", "v2", "v2"),
+        ("v1", "v1", "v1"),
+        ("v1", "auto", "v1"),
+    ],
+)
+def test_version_matrix(server_protocol, client_protocol, negotiated):
+    with _server(server_protocol) as live:
+        with SocketClient(
+            live.host, live.port, protocol=client_protocol
+        ) as client:
+            reply, batch = _exercise(client)
+            assert client.protocol_version == negotiated
+            assert isinstance(reply, msg.QueryReply)
+            assert isinstance(batch, msg.BatchReply)
+            stats = client.request(msg.GetStats())
+            wire_stats = stats.counters["wire"]
+            assert wire_stats["connections"][negotiated] == 1
+
+
+def test_results_are_identical_across_the_matrix():
+    outcomes = []
+    for server_protocol, client_protocol in [
+        ("auto", "v1"), ("auto", "v2"), ("v1", "v1"), ("v2", "v2")
+    ]:
+        with _server(server_protocol) as live:
+            with SocketClient(
+                live.host, live.port, protocol=client_protocol
+            ) as client:
+                outcomes.append(_exercise(client))
+    first = outcomes[0]
+    for other in outcomes[1:]:
+        assert other == first
+
+
+def test_v1_client_against_v2_required_server():
+    with _server("v2") as live:
+        with SocketClient(live.host, live.port, protocol="v1") as client:
+            with pytest.raises(ProtocolError, match="requires wire protocol"):
+                client.request(msg.GetStats())
+
+
+def test_v2_client_against_v1_only_server():
+    with _server("v1") as live:
+        with SocketClient(live.host, live.port, protocol="v2") as client:
+            with pytest.raises(ProtocolError, match="fallback was disabled"):
+                client.request(msg.GetStats())
+
+
+def test_auto_client_falls_back_and_still_works():
+    with _server("v1") as live:
+        with SocketClient(live.host, live.port, protocol="auto") as client:
+            reply, batch = _exercise(client)
+            assert client.protocol_version == "v1"
+            assert isinstance(reply, msg.QueryReply)
+            assert isinstance(batch, msg.BatchReply)
+
+
+def test_client_rejects_unknown_protocol_name():
+    with pytest.raises(ServiceError, match="unknown wire protocol"):
+        SocketClient("127.0.0.1", 1, protocol="v3")
+
+
+def test_server_rejects_unknown_protocol_name():
+    with pytest.raises(ServiceError, match="protocol"):
+        ServiceConfig(protocol="v3")
+
+
+# -- mid-connection violations ----------------------------------------------
+
+
+def _negotiate_raw(live):
+    raw = socket.create_connection((live.host, live.port), timeout=10)
+    raw.settimeout(10)
+    handle = raw.makefile("rwb")
+    handle.write(wire.hello_line())
+    handle.flush()
+    answer = handle.readline()
+    assert wire.is_negotiation_line(answer)
+    wire.parse_accept(answer)
+    return raw, handle
+
+
+def _read_error_frame(handle):
+    body = wire.read_frame_blocking(handle)
+    reply, __ = wire.decode_frame(body)
+    assert isinstance(reply, msg.ErrorReply)
+    return reply
+
+
+def test_garbage_frame_body_gets_error_reply_and_survives():
+    """A well-framed but undecodable body is a per-request error —
+    the v2 analog of v1's garbage-line ErrorReply — and the
+    connection keeps serving."""
+    with _server("auto") as live:
+        raw, handle = _negotiate_raw(live)
+        try:
+            # a plausible length prefix fronting a nonsense body
+            handle.write(struct.pack(">I", 16) + b"\xff" * 16)
+            handle.flush()
+            reply = _read_error_frame(handle)
+            assert reply.error == "ProtocolError"
+            handle.write(wire.encode_frame(msg.GetStats()))
+            handle.flush()
+            body = wire.read_frame_blocking(handle)
+            decoded, __ = wire.decode_frame(body)
+            assert isinstance(decoded, msg.StatsReply)
+        finally:
+            raw.close()
+
+
+def test_bogus_length_prefix_gets_error_then_close():
+    with _server("auto") as live:
+        raw, handle = _negotiate_raw(live)
+        try:
+            handle.write(struct.pack(">I", msg.MAX_FRAME_BYTES + 1))
+            handle.flush()
+            reply = _read_error_frame(handle)
+            assert reply.error == "ProtocolError"
+            assert "protocol limit" in reply.message
+            assert handle.read(1) == b""
+        finally:
+            raw.close()
+
+
+def test_truncated_length_prefix_is_survived():
+    """A client dying mid-prefix must not wedge or crash the server."""
+    with _server("auto") as live:
+        raw, handle = _negotiate_raw(live)
+        handle.write(b"\x00\x00")
+        handle.flush()
+        raw.close()
+        # the listener is still healthy for the next client
+        with SocketClient(live.host, live.port) as client:
+            assert isinstance(client.request(msg.GetStats()), msg.StatsReply)
+
+
+def test_truncated_frame_body_is_survived():
+    with _server("auto") as live:
+        raw, handle = _negotiate_raw(live)
+        handle.write(struct.pack(">I", 64) + b"\x00" * 10)
+        handle.flush()
+        raw.close()
+        with SocketClient(live.host, live.port) as client:
+            assert isinstance(client.request(msg.GetStats()), msg.StatsReply)
+
+
+def test_malformed_hello_line_gets_v1_error_then_close():
+    """A NUL-led line that fails hello validation is answered with a
+    readable v1 ErrorReply, then the connection closes — neither side
+    can know which framing the other expects next."""
+    with _server("auto") as live:
+        with socket.create_connection(
+            (live.host, live.port), timeout=10
+        ) as raw:
+            raw.settimeout(10)
+            handle = raw.makefile("rwb")
+            handle.write(b"\x00repro-wire hello v99 {}\n")
+            handle.flush()
+            line = handle.readline()
+            assert not wire.is_negotiation_line(line)
+            reply, __ = msg.decode_envelope(line.decode())
+            assert isinstance(reply, msg.ErrorReply)
+            assert reply.error == "ProtocolError"
+            assert handle.read(1) == b""
+
+
+def test_v1_garbage_line_behavior_is_unchanged():
+    with _server("auto") as live:
+        with socket.create_connection(
+            (live.host, live.port), timeout=10
+        ) as raw:
+            raw.settimeout(10)
+            handle = raw.makefile("rwb")
+            handle.write(b"not json at all {\n")
+            handle.flush()
+            reply, __ = msg.decode_envelope(handle.readline().decode())
+            assert isinstance(reply, msg.ErrorReply)
+
+
+def test_oversized_v2_frame_from_server_side_client():
+    """An oversized *encode* is refused client-side before it ships."""
+    with _server("auto") as live:
+        with SocketClient(live.host, live.port, protocol="v2") as client:
+            topology_id = client.register_topology(PARENTS)
+            session = client.open_session(topology_id, 2, budget_mj=500.0)
+            with pytest.raises(ProtocolError, match="protocol limit"):
+                session.query_batch(np.zeros((25_000, len(PARENTS))))
+
+
+# -- reconnect --------------------------------------------------------------
+
+
+def test_reconnect_retry_preserves_negotiated_version():
+    for protocol, negotiated in [("v2", "v2"), ("auto", "v2"), ("v1", "v1")]:
+        with _server("auto") as live:
+            with SocketClient(
+                live.host, live.port, protocol=protocol
+            ) as client:
+                assert isinstance(
+                    client.request(msg.GetStats()), msg.StatsReply
+                )
+                assert client.protocol_version == negotiated
+                # sever the transport under the client: the idempotent
+                # retry reconnects and re-negotiates the same version
+                client._sock.shutdown(socket.SHUT_RDWR)
+                assert isinstance(
+                    client.request(msg.GetStats()), msg.StatsReply
+                )
+                assert client.protocol_version == negotiated
+
+
+def test_wire_stats_expose_bytes_per_request():
+    with _server("auto") as live:
+        with SocketClient(live.host, live.port, protocol="v2") as client:
+            _exercise(client)
+            stats = client.request(msg.GetStats())
+        with SocketClient(live.host, live.port, protocol="v1") as client:
+            _exercise(client)
+            stats = client.request(msg.GetStats())
+    wire_stats = stats.counters["wire"]
+    assert wire_stats["connections"] == {"v1": 1, "v2": 1}
+    assert wire_stats["requests"]["v1"] > 0
+    assert wire_stats["requests"]["v2"] > 0
+    for version in ("v1", "v2"):
+        assert wire_stats["bytes_per_request"][version] > 0
+        assert wire_stats["request_bytes"][version] > 0
+        assert wire_stats["reply_bytes"][version] > 0

@@ -1,0 +1,443 @@
+"""Binary protocol v2: exact round-trips on both codecs, strictness,
+and the shared-memory blob fast path."""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.service import messages as msg
+from repro.service import wire
+from repro.service.artifacts import BlobSpool
+
+EXAMPLES = [
+    msg.RegisterTopology(parents=(-1, 0, 0, 1, 1)),
+    msg.OpenSession(
+        topology_id="abc123", k=3, planner="lp-no-lf", budget_mj=75.5,
+        window_capacity=10, replan_every=4, track_truth=False,
+    ),
+    msg.FeedSample(session_id="s0001", readings=(1.0, 2.5, -3.75)),
+    msg.SubmitQuery(session_id="s0001", readings=(0.5, 0.25, 0.125)),
+    msg.StepEpoch(session_id="s0002", readings=(9.0, 8.0, 7.0)),
+    msg.SubmitBatch(
+        session_id="s0001",
+        readings=((1.0, 2.0, 3.0), (4.0, 5.0, 6.0)),
+    ),
+    msg.GetPlan(session_id="s0001"),
+    msg.CloseSession(session_id="s0001"),
+    msg.GetStats(),
+    msg.TopologyRegistered(topology_id="abc123", num_nodes=5),
+    msg.SessionOpened(
+        session_id="s0001", topology_id="abc123", planner="lp-lf"
+    ),
+    msg.SampleAccepted(session_id="s0001", window_size=4),
+    msg.QueryReply(
+        session_id="s0001", nodes=(3, 1), values=(9.5, 7.25),
+        energy_mj=12.5, accuracy=0.5,
+    ),
+    msg.QueryReply(session_id="s0001", accuracy=None),
+    msg.StepReply(
+        session_id="s0001", epoch=7, action="query", energy_mj=3.5,
+        nodes=(2,), values=(4.5,), accuracy=1.0,
+    ),
+    msg.StepReply(session_id="s0001", epoch=8, action="sample"),
+    msg.BatchReply(
+        session_id="s0001",
+        nodes=((3, 1), (2,)),
+        values=((9.5, 7.25), (4.5,)),
+        energies=(12.5, 3.5),
+        accuracies=(0.5, None),
+    ),
+    msg.PlanReply(
+        session_id="s0001",
+        plan={"format_version": 1, "bandwidths": {"1": 2}},
+    ),
+    msg.SessionClosed(session_id="s0001", epochs=9, total_energy_mj=101.5),
+    msg.StatsReply(
+        sessions_open=2, sessions_total=5, topologies=1,
+        counters={"cache": {"hits": 3}},
+    ),
+    msg.ErrorReply(error="OverloadError", message="shed"),
+]
+
+_IDS = [type(m).__name__ + (".empty" if not m.to_dict() else "")
+        for m in EXAMPLES]
+
+
+def _examples_cover_every_kind():
+    return {m.kind for m in EXAMPLES} == set(msg.MESSAGE_KINDS)
+
+
+def test_examples_cover_every_registered_kind():
+    assert _examples_cover_every_kind(), (
+        set(msg.MESSAGE_KINDS) - {m.kind for m in EXAMPLES}
+    )
+
+
+@pytest.mark.parametrize("message", EXAMPLES, ids=lambda m: type(m).__name__)
+def test_v2_exact_round_trip(message):
+    frame = wire.encode_frame(message)
+    body = frame[4:]
+    assert struct.unpack(">I", frame[:4])[0] == len(body)
+    rehydrated, cid = wire.decode_frame(body)
+    assert cid is None
+    assert rehydrated == message
+    assert type(rehydrated) is type(message)
+    # stable under a second pass (no lossy normalization)
+    assert wire.encode_frame(rehydrated) == frame
+
+
+@pytest.mark.parametrize("message", EXAMPLES, ids=lambda m: type(m).__name__)
+def test_v1_exact_round_trip(message):
+    line = msg.encode(message)
+    rehydrated = msg.decode(line)
+    assert rehydrated == message
+    assert msg.encode(rehydrated) == line
+
+
+def test_cid_rides_the_header():
+    for cid in (0, 1, 7, 2**32, 2**64 - 1):
+        frame = wire.encode_frame(msg.GetStats(), cid=cid)
+        __, echoed = wire.decode_frame(frame[4:])
+        assert echoed == cid
+    with pytest.raises(ProtocolError):
+        wire.encode_frame(msg.GetStats(), cid=2**64)
+    with pytest.raises(ProtocolError):
+        wire.encode_frame(msg.GetStats(), cid=-1)
+
+
+def test_kind_codes_are_pinned():
+    """Wire codes are protocol: new kinds append, old codes never move."""
+    assert wire.KIND_CODES == {
+        "register_topology": 1,
+        "open_session": 2,
+        "feed_sample": 3,
+        "submit_query": 4,
+        "step_epoch": 5,
+        "get_plan": 6,
+        "close_session": 7,
+        "get_stats": 8,
+        "submit_batch": 9,
+        "topology_registered": 10,
+        "session_opened": 11,
+        "sample_accepted": 12,
+        "query_reply": 13,
+        "step_reply": 14,
+        "plan_reply": 15,
+        "session_closed": 16,
+        "stats_reply": 17,
+        "error": 18,
+        "batch_reply": 19,
+    }
+    assert set(wire.KIND_CODES) == set(msg.MESSAGE_KINDS)
+    assert set(wire._FIELD_SPECS) == set(msg.MESSAGE_KINDS)
+
+
+# -- property tests over both codecs ---------------------------------------
+
+_finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+_session = st.text(min_size=0, max_size=12)
+_fvec = st.lists(_finite, max_size=6).map(tuple)
+_ivec = st.lists(
+    st.integers(min_value=-(2**62), max_value=2**62), max_size=6
+).map(tuple)
+
+
+def _both_codecs_round_trip(message):
+    assert msg.decode(msg.encode(message)) == message
+    decoded, __ = wire.decode_frame(wire.encode_frame(message)[4:])
+    assert decoded == message
+
+
+@settings(max_examples=60, deadline=None)
+@given(session_id=_session, readings=_fvec)
+def test_feed_sample_round_trips_on_both_codecs(session_id, readings):
+    _both_codecs_round_trip(
+        msg.FeedSample(session_id=session_id, readings=readings)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    session_id=_session,
+    nodes=_ivec,
+    values=_fvec,
+    energy_mj=_finite,
+    accuracy=st.none() | _finite,
+)
+def test_query_reply_round_trips_on_both_codecs(
+    session_id, nodes, values, energy_mj, accuracy
+):
+    _both_codecs_round_trip(
+        msg.QueryReply(
+            session_id=session_id, nodes=nodes, values=values,
+            energy_mj=energy_mj, accuracy=accuracy,
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    session_id=_session,
+    rows=st.integers(min_value=0, max_value=4),
+    cols=st.integers(min_value=1, max_value=5),
+    data=st.data(),
+)
+def test_submit_batch_round_trips_on_both_codecs(
+    session_id, rows, cols, data
+):
+    matrix = tuple(
+        tuple(
+            data.draw(_finite) for __ in range(cols)
+        )
+        for __ in range(rows)
+    )
+    _both_codecs_round_trip(
+        msg.SubmitBatch(session_id=session_id, readings=matrix)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    session_id=_session,
+    energies=_fvec,
+    accuracies=st.lists(st.none() | _finite, max_size=6).map(tuple),
+    data=st.data(),
+)
+def test_batch_reply_round_trips_on_both_codecs(
+    session_id, energies, accuracies, data
+):
+    rows = len(energies)
+    nodes = tuple(data.draw(_ivec) for __ in range(rows))
+    values = tuple(data.draw(_fvec) for __ in range(rows))
+    _both_codecs_round_trip(
+        msg.BatchReply(
+            session_id=session_id, nodes=nodes, values=values,
+            energies=energies, accuracies=accuracies,
+        )
+    )
+
+
+# -- strictness: the codecs reject what v1 rejects --------------------------
+
+@pytest.mark.parametrize(
+    "message",
+    [
+        msg.QueryReply(session_id="s1", accuracy=float("nan")),
+        msg.QueryReply(session_id="s1", values=(float("inf"),)),
+        msg.FeedSample(session_id="s1", readings=(1.0, float("nan"))),
+        msg.SubmitBatch(session_id="s1", readings=((float("-inf"),),)),
+        msg.BatchReply(session_id="s1", energies=(float("nan"),)),
+    ],
+    ids=["nan-optf", "inf-fvec", "nan-fvec", "inf-fmat", "nan-energies"],
+)
+def test_non_finite_floats_are_rejected_by_both_codecs(message):
+    with pytest.raises(ValueError):
+        msg.encode(message)
+    with pytest.raises(ProtocolError):
+        wire.encode_frame(message)
+
+
+def test_trailing_bytes_are_rejected():
+    """The binary analog of v1's unknown-field rejection."""
+    frame = wire.encode_frame(msg.GetPlan(session_id="s9"))
+    with pytest.raises(ProtocolError, match="trailing"):
+        wire.decode_frame(frame[4:] + b"\x00")
+
+
+def test_v1_unknown_fields_are_rejected():
+    from repro.errors import ServiceError
+
+    with pytest.raises(ServiceError, match="unknown field"):
+        msg.decode('{"kind": "get_plan", "bogus_field": 1}')
+
+
+def test_truncated_payload_is_rejected():
+    frame = wire.encode_frame(
+        msg.FeedSample(session_id="s0001", readings=(1.0, 2.0, 3.0))
+    )
+    body = frame[4:]
+    for cut in range(wire._HEADER.size, len(body)):
+        with pytest.raises(ProtocolError):
+            wire.decode_frame(body[:cut])
+
+
+def test_unknown_kind_code_and_flags_are_rejected():
+    good = wire.encode_frame(msg.GetStats())[4:]
+    with pytest.raises(ProtocolError, match="kind code"):
+        wire.decode_frame(bytes([255]) + good[1:])
+    with pytest.raises(ProtocolError, match="flag bits"):
+        wire.decode_frame(good[:1] + bytes([0x80]) + good[2:])
+
+
+def test_oversized_frame_is_rejected_on_encode():
+    big = msg.SubmitBatch(
+        session_id="s1",
+        readings=np.zeros((600, 300)),
+    )
+    with pytest.raises(ProtocolError, match="protocol limit"):
+        wire.encode_frame(big)
+
+
+def test_zero_copy_array_mode():
+    matrix = np.arange(12.0).reshape(3, 4)
+    frame = wire.encode_frame(msg.SubmitBatch(session_id="s", readings=matrix))
+    decoded, __ = wire.decode_frame(frame[4:], vectors="array")
+    arr = decoded.readings
+    assert isinstance(arr, np.ndarray)
+    assert not arr.flags.writeable  # a view over the frame, not a copy
+    np.testing.assert_array_equal(arr, matrix)
+
+
+# -- negotiation lines ------------------------------------------------------
+
+def test_negotiation_lines_round_trip():
+    assert wire.parse_hello(wire.hello_line()) == {}
+    assert wire.parse_accept(wire.accept_line("/tmp/x")) == {
+        "blob_dir": "/tmp/x"
+    }
+    assert wire.is_negotiation_line(wire.hello_line())
+    assert not wire.is_negotiation_line(b'{"kind": "get_stats"}\n')
+    assert not wire.is_negotiation_line(b"")
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        b"\x00repro-wire hello v3 {}\n",
+        b"\x00repro-wire goodbye v2 {}\n",
+        b"\x00not-the-magic hello v2 {}\n",
+        b"\x00repro-wire hello v2 [1]\n",
+        b"\x00repro-wire hello v2 not-json\n",
+        b"\x00repro-wire hello\n",
+    ],
+)
+def test_malformed_negotiation_lines_are_rejected(line):
+    with pytest.raises(ProtocolError):
+        wire.parse_hello(line)
+
+
+# -- shared-memory blob fast path ------------------------------------------
+
+def test_blob_spool_round_trip(tmp_path):
+    spool = BlobSpool(tmp_path, threshold=64)
+    matrix = np.arange(100.0).reshape(10, 10)
+    small = np.zeros((2, 2))
+
+    framed = wire.encode_frame(
+        msg.SubmitBatch(session_id="s", readings=matrix), spool=spool
+    )
+    inline = wire.encode_frame(
+        msg.SubmitBatch(session_id="s", readings=matrix)
+    )
+    # the blob reference is tiny next to the 800-byte inline matrix
+    assert len(framed) < len(inline) / 4
+    assert len(spool) == 1
+
+    decoded, __ = wire.decode_frame(framed[4:], spool=spool)
+    assert decoded == msg.SubmitBatch(
+        session_id="s", readings=tuple(map(tuple, matrix.tolist()))
+    )
+    mapped, __ = wire.decode_frame(framed[4:], vectors="array", spool=spool)
+    np.testing.assert_array_equal(mapped.readings, matrix)
+
+    # under the threshold the matrix stays inline (no spool growth)
+    wire.encode_frame(
+        msg.SubmitBatch(session_id="s", readings=small), spool=spool
+    )
+    assert len(spool) == 1
+
+    # identical content re-spills to the same name (content addressing)
+    again = wire.encode_frame(
+        msg.SubmitBatch(session_id="s", readings=matrix), spool=spool
+    )
+    assert again == framed
+    assert len(spool) == 1
+
+
+def test_blob_reference_without_spool_is_rejected(tmp_path):
+    spool = BlobSpool(tmp_path, threshold=64)
+    framed = wire.encode_frame(
+        msg.SubmitBatch(session_id="s", readings=np.ones((8, 8))),
+        spool=spool,
+    )
+    with pytest.raises(ProtocolError, match="no spool"):
+        wire.decode_frame(framed[4:])
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "../../etc/passwd",
+        "..%2fescape.npy",
+        "/abs/path.npy",
+        "nothex!.npy",
+        "deadbeef.txt",
+        "ab.npy",  # too-short stem
+        "",
+    ],
+)
+def test_blob_names_are_strictly_validated(tmp_path, name):
+    spool = BlobSpool(tmp_path)
+    with pytest.raises(ProtocolError):
+        spool.load(name)
+
+
+def test_missing_blob_is_a_protocol_error(tmp_path):
+    spool = BlobSpool(tmp_path)
+    with pytest.raises(ProtocolError):
+        spool.load("0123456789abcdef.npy")
+
+
+def test_spill_failure_degrades_to_inline(tmp_path):
+    # the spool root's parent is a *file*, so creating it must fail
+    blocker = tmp_path / "blocker"
+    blocker.write_text("")
+    spool = BlobSpool(blocker / "spool", threshold=8)
+    matrix = np.ones((4, 4))
+    framed = wire.encode_frame(
+        msg.SubmitBatch(session_id="s", readings=matrix), spool=spool
+    )
+    decoded, __ = wire.decode_frame(framed[4:])
+    assert decoded.readings == tuple(tuple(r) for r in matrix.tolist())
+
+
+# -- blocking frame reader --------------------------------------------------
+
+class _Stream:
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def read(self, n: int) -> bytes:
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += len(chunk)
+        return chunk
+
+
+def test_read_frame_blocking_round_trip():
+    frame = wire.encode_frame(msg.GetStats(), cid=5)
+    stream = _Stream(frame + frame)
+    for __ in range(2):
+        body = wire.read_frame_blocking(stream)
+        decoded, cid = wire.decode_frame(body)
+        assert decoded == msg.GetStats() and cid == 5
+    assert wire.read_frame_blocking(stream) == b""
+
+
+@pytest.mark.parametrize(
+    "data, match",
+    [
+        (b"\x00\x00", "truncated frame length prefix"),
+        (b"\x00\x00\x00\x20hi", "truncated frame body"),
+        (struct.pack(">I", msg.MAX_FRAME_BYTES + 1), "protocol limit"),
+        (b"\x00\x00\x00\x01x", "below the header"),
+    ],
+)
+def test_read_frame_blocking_rejects_bad_streams(data, match):
+    with pytest.raises(ProtocolError, match=match):
+        wire.read_frame_blocking(_Stream(data))
