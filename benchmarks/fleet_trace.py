@@ -1,0 +1,72 @@
+"""Produce a merged multi-shard perfetto trace as a CI artifact (S5).
+
+Boots a 2-worker :class:`~repro.service.shard.ShardedService` with
+parent-side instrumentation, drives a handful of traced sessions
+through the sharded client, polls every worker's telemetry snapshot
+over its pipe, and writes the fleet-merged Chrome-trace JSON — client
+lane plus one lane per shard, stitched by trace id — to
+``results/fleet_trace.json``.  Load it at https://ui.perfetto.dev or
+``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import numpy as np
+from _helpers import RESULTS_DIR
+
+from repro.network.builder import random_topology
+from repro.obs import Instrumentation
+from repro.service.server import ServiceConfig
+from repro.service.shard import ShardedService
+
+WORKERS = 2
+SESSIONS = 4
+K = 2
+BUDGET = 50.0
+
+
+def main() -> int:
+    obs = Instrumentation()
+    with ShardedService(
+        WORKERS, ServiceConfig(max_sessions=16), instrumentation=obs
+    ) as fleet:
+        client = fleet.client()
+        rng = np.random.default_rng(2006)
+        for seed in range(SESSIONS):
+            topology = random_topology(
+                10, rng=np.random.default_rng(seed), radio_range=70.0
+            )
+            topology_id = client.register_topology(topology)
+            session = client.open_session(topology_id, K, budget_mj=BUDGET)
+            for __ in range(3):
+                session.feed(rng.normal(25, 3, 10))
+            session.query(rng.normal(25, 3, 10))
+            session.close()
+        client.close()
+
+        fleet.poll_telemetry()
+        document = fleet.aggregator.chrome_trace_json(client=obs)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "fleet_trace.json"
+    out.write_text(document)
+
+    events = json.loads(document)["traceEvents"]
+    lanes = {e["args"]["name"] for e in events if e["ph"] == "M"}
+    spans = [e for e in events if e["ph"] == "X"]
+    traces = {e["args"]["trace_id"] for e in spans if "trace_id" in e["args"]}
+    print(f"wrote {out} ({len(spans)} spans, lanes: {sorted(lanes)})")
+    if not traces:
+        print("error: no stitched trace ids in the merged document")
+        return 1
+    if len({e["pid"] for e in spans}) < 2:
+        print("error: merged trace does not span multiple processes")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,9 @@ Usage::
     python -m repro serve --port 7690
     python -m repro serve --workers 4 --grace 10
     python -m repro serve --protocol v2 --blob-dir /dev/shm/repro-blobs
+    python -m repro serve --workers 4 --telemetry-port 7691
+    python -m repro top --port 7691
+    python -m repro top --url http://127.0.0.1:7691 --once
 
 With ``--service`` the demo runs through a live in-process
 multi-tenant service (two sessions sharing one compiled plan), so the
@@ -235,6 +238,40 @@ def build_parser() -> argparse.ArgumentParser:
             " instead of inline bytes"
         ),
     )
+    serve.add_argument(
+        "--telemetry-port", type=int, default=None,
+        help=(
+            "also expose the live telemetry HTTP endpoint on this port"
+            " (0 picks a free one): /metrics Prometheus exposition,"
+            " /trace merged Chrome trace, /exemplars slowest requests,"
+            " /json the dashboard 'repro top' polls"
+        ),
+    )
+
+    top = subparsers.add_parser(
+        "top",
+        help="live per-shard dashboard of a served fleet (qps/p99/cache)",
+    )
+    top.add_argument(
+        "--url", default=None,
+        help="telemetry base URL (e.g. http://127.0.0.1:7691)",
+    )
+    top.add_argument(
+        "--host", default="127.0.0.1",
+        help="telemetry host when using --port (default localhost)",
+    )
+    top.add_argument(
+        "--port", type=int, default=None,
+        help="telemetry port (what serve --telemetry-port bound)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh period in seconds (default 2)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print a single snapshot and exit (no screen refresh)",
+    )
     return parser
 
 
@@ -253,7 +290,8 @@ def _stats_demo(
     engine loop) so the exported span tree shows where the wall time
     went; the engine's simulator charges a per-node
     :class:`~repro.obs.EnergyLedger` whose headline numbers are
-    published back into the metrics registry.
+    published back into the metrics registry.  The trailing ``None``
+    mirrors :func:`_service_demo`'s stats counters slot.
     """
     import numpy as np
 
@@ -324,7 +362,7 @@ def _stats_demo(
             for __ in range(epochs):
                 engine.step(field.sample(rng))
     ledger.publish(obs)
-    return obs, ledger
+    return obs, ledger, None
 
 
 def _service_demo(
@@ -342,7 +380,9 @@ def _service_demo(
     :class:`~repro.service.cache.SharedPlanCache`, so the resulting
     span tree shows ``service.request`` handling and (at most) one
     ``compile`` span per distinct sample window.  Returns
-    ``(obs, ledger)`` with the first session's per-node ledger.
+    ``(obs, ledger, stats_counters)`` with the first session's
+    per-node ledger and the final :class:`GetStats` counters (wire
+    bytes, blob-spool outcomes) for the per-shard report section.
     """
     import numpy as np
 
@@ -415,7 +455,7 @@ def _service_demo(
 
     ledger = service.ledger_of(handles[0].session_id)
     ledger.publish(obs)
-    return obs, ledger
+    return obs, ledger, client.stats().counters
 
 
 def _energy_section(ledger) -> str:
@@ -447,6 +487,39 @@ def _energy_section(ledger) -> str:
         )
     title = "energy ledger"
     return "\n".join([title, "-" * len(title)] + lines)
+
+
+def _wire_blob_section(counters: dict) -> str:
+    """Per-shard wire-protocol bytes and blob-spool outcome counters.
+
+    Accepts either a sharded ``GetStats`` counters dict (with a
+    ``per_shard`` map) or a single service's counters (rendered as
+    shard ``0``), so the same report works for both deployments.
+    """
+    per_shard = counters.get("per_shard") or {"0": counters}
+    rows = []
+    for shard in sorted(per_shard, key=lambda s: (len(s), s)):
+        shard_counters = per_shard[shard] or {}
+        wire = shard_counters.get("wire") or {}
+        blobs = shard_counters.get("blobs") or {}
+        requests = wire.get("requests") or {}
+        request_bytes = wire.get("request_bytes") or {}
+        reply_bytes = wire.get("reply_bytes") or {}
+        rows.append(
+            {
+                "shard": shard,
+                "req_v1": requests.get("v1", 0),
+                "req_v2": requests.get("v2", 0),
+                "request_bytes": request_bytes.get("v1", 0)
+                + request_bytes.get("v2", 0),
+                "reply_bytes": reply_bytes.get("v1", 0)
+                + reply_bytes.get("v2", 0),
+                "blob_spills": blobs.get("spills", 0),
+                "blob_reuses": blobs.get("reuses", 0),
+                "blob_loads": blobs.get("loads", 0),
+            }
+        )
+    return format_table(rows, title="wire & blob spool per shard")
 
 
 def _run_one(name: str, chart: bool = False) -> str:
@@ -498,6 +571,7 @@ def _serve_command(args) -> int:
             config,
             host=args.host,
             artifact_dir=args.artifact_dir,
+            telemetry_port=args.telemetry_port,
             grace_seconds=args.grace,
         )
         with sharded:
@@ -506,6 +580,8 @@ def _serve_command(args) -> int:
                 f"repro sharded service: {args.workers} workers"
                 f" on {args.host} ports {ports}"
             )
+            if sharded.telemetry is not None:
+                print(f"telemetry endpoint: {sharded.telemetry.url('')}")
             stop = threading.Event()
             signal.signal(signal.SIGTERM, lambda *__: stop.set())
             try:
@@ -515,7 +591,22 @@ def _serve_command(args) -> int:
         print("service stopped")
         return 0
 
-    service = TopKService(config)
+    instrumentation = None
+    if args.telemetry_port is not None:
+        from repro.obs import Instrumentation
+
+        instrumentation = Instrumentation(span_mode="ring")
+    service = TopKService(config, instrumentation=instrumentation)
+    telemetry = None
+    if args.telemetry_port is not None:
+        from repro.obs import LocalTelemetrySource, TelemetryServer
+
+        telemetry = TelemetryServer(
+            LocalTelemetrySource(service),
+            host=args.host,
+            port=args.telemetry_port,
+        ).start()
+        print(f"telemetry endpoint: {telemetry.url('')}")
 
     async def _run() -> None:
         server = await serve(service, args.host, args.port)
@@ -533,8 +624,48 @@ def _serve_command(args) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:  # pragma: no cover - signal-handler race
         pass
+    finally:
+        if telemetry is not None:
+            telemetry.stop()
     print("service stopped")
     return 0
+
+
+def _top_command(args) -> int:
+    """Poll a telemetry endpoint's ``/json`` and render the dashboard."""
+    import json
+    import time
+    import urllib.request
+
+    from repro.obs import render_top
+
+    if args.url:
+        base = args.url.rstrip("/")
+    elif args.port is not None:
+        base = f"http://{args.host}:{args.port}"
+    else:
+        print(
+            "top needs --url or --port (what serve --telemetry-port bound)",
+            file=sys.stderr,
+        )
+        return 2
+    while True:
+        try:
+            with urllib.request.urlopen(base + "/json", timeout=10) as resp:
+                payload = json.load(resp)
+        except (OSError, ValueError) as err:
+            print(f"telemetry endpoint unreachable: {err}", file=sys.stderr)
+            return 1
+        text = render_top(payload.get("rows", []))
+        if args.once:
+            print(text)
+            return 0
+        # clear screen + home, like top(1)
+        print(f"\x1b[2J\x1b[Hrepro top — {base}\n\n{text}", flush=True)
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -544,13 +675,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "serve":
         return _serve_command(args)
 
+    if args.command == "top":
+        return _top_command(args)
+
     if args.command == "stats":
         if not args.demo:
             parser.error("stats requires --demo (no live run to report on)")
         from repro.obs import render_report, to_json
 
         demo = _service_demo if args.service else _stats_demo
-        obs, ledger = demo(epochs=args.epochs, nodes=args.nodes)
+        obs, ledger, stats_counters = demo(
+            epochs=args.epochs, nodes=args.nodes
+        )
         title = (
             "repro stats (service demo run)"
             if args.service
@@ -563,6 +699,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             + "\n\n"
             + _energy_section(ledger)
         )
+        if not args.json and stats_counters is not None:
+            text += "\n\n" + _wire_blob_section(stats_counters)
         print(text)
         if args.out:
             with open(args.out, "w") as handle:
@@ -575,7 +713,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.obs import chrome_trace_json, prometheus_text, render_flame
 
         demo = _service_demo if args.service else _stats_demo
-        obs, ledger = demo(
+        obs, ledger, __ = demo(
             epochs=args.epochs, nodes=args.nodes, capacity_mj=args.capacity
         )
         text = render_flame(obs) + "\n\n" + _energy_section(ledger)

@@ -27,6 +27,17 @@ to a simulator (``Simulator(..., ledger=ledger)``) and read back
 burn-down curves, projected lifetime, and the hottest nodes.
 """
 
+from repro.obs.distributed import (
+    LocalTelemetrySource,
+    SlowRequestLog,
+    TelemetryAggregator,
+    TelemetryServer,
+    TraceContext,
+    adopt_trace,
+    inherited_trace_id,
+    new_trace_id,
+    render_top,
+)
 from repro.obs.energy import EnergyLedger
 from repro.obs.events import EVENT_KINDS, Event, EventTrace
 from repro.obs.export import (
@@ -64,11 +75,17 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Instrumentation",
+    "LocalTelemetrySource",
     "MetricsRegistry",
     "NULL_SPAN",
     "NULL_TIMER",
+    "SlowRequestLog",
     "Span",
     "SpanTracer",
+    "TelemetryAggregator",
+    "TelemetryServer",
+    "TraceContext",
+    "adopt_trace",
     "chrome_trace",
     "chrome_trace_json",
     "counter_rows",
@@ -76,12 +93,15 @@ __all__ = [
     "from_json",
     "gauge_rows",
     "histogram_rows",
+    "inherited_trace_id",
     "maybe_span",
     "maybe_timer",
+    "new_trace_id",
     "prometheus_text",
     "record_event",
     "render_flame",
     "render_report",
+    "render_top",
     "span_rows",
     "timed",
     "to_json",

@@ -35,6 +35,10 @@ class Instrumentation:
         Monotonic seconds source shared by timers, event timestamps,
         and spans (default ``time.perf_counter``); injectable so tests
         assert exact durations.
+    span_mode:
+        ``"block"`` (default) or ``"ring"``; ring keeps the newest
+        span trees when the tracer fills up, which long-running
+        services want (see :class:`~repro.obs.spans.SpanTracer`).
     """
 
     def __init__(
@@ -42,11 +46,14 @@ class Instrumentation:
         trace_capacity: int = 1024,
         span_capacity: int = 8192,
         clock=None,
+        span_mode: str = "block",
     ) -> None:
         self.clock = clock or time.perf_counter
         self.metrics = MetricsRegistry(clock=self.clock)
         self.trace = EventTrace(capacity=trace_capacity, clock=self.clock)
-        self.spans = SpanTracer(clock=self.clock, capacity=span_capacity)
+        self.spans = SpanTracer(
+            clock=self.clock, capacity=span_capacity, mode=span_mode
+        )
 
     # -- primitive API --------------------------------------------------
     def counter(self, name: str):

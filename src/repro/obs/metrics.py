@@ -20,12 +20,63 @@ tests can assert exact durations instead of sleeping.
 
 from __future__ import annotations
 
+import math
 import random
 import time
 import zlib
 from typing import Callable
 
 from repro.errors import ObservabilityError
+
+# -- log-linear bucket grid ---------------------------------------------------
+# Histograms additionally count observations into a fixed log-linear
+# grid: 9 linear steps per decade across decades 1e-9 .. 1e9, plus an
+# underflow bucket (values <= 0) and an overflow bucket.  The grid is
+# identical for every histogram, so histograms from different processes
+# merge by elementwise addition and quantiles of the merged distribution
+# come from the bucket counts rather than any one process's reservoir.
+_MIN_DECADE = -9
+_MAX_DECADE = 8
+_STEPS_PER_DECADE = 9
+_UNDERFLOW = 0
+_OVERFLOW = 1 + (_MAX_DECADE - _MIN_DECADE + 1) * _STEPS_PER_DECADE
+BUCKET_COUNT = _OVERFLOW + 1
+
+
+def bucket_index(value: float) -> int:
+    """Index of ``value`` in the shared log-linear grid."""
+    if value <= 0.0 or value != value:  # non-positive or NaN
+        return _UNDERFLOW
+    if math.isinf(value):
+        return _OVERFLOW
+    decade = math.floor(math.log10(value))
+    scaled = value / 10.0 ** decade
+    # guard float drift at decade boundaries (log10(1000) == 2.9999..)
+    if scaled >= 10.0:
+        decade += 1
+        scaled /= 10.0
+    elif scaled < 1.0:
+        decade -= 1
+        scaled *= 10.0
+    if decade < _MIN_DECADE:
+        return _UNDERFLOW + 1  # smallest finite bucket
+    step = max(1, math.ceil(scaled - 1e-12))
+    if step > _STEPS_PER_DECADE:  # (9, 10] rolls into the next decade
+        decade += 1
+        step = 1
+    if decade > _MAX_DECADE:
+        return _OVERFLOW
+    return 1 + (decade - _MIN_DECADE) * _STEPS_PER_DECADE + (step - 1)
+
+
+def bucket_upper_bound(index: int) -> float:
+    """Inclusive upper bound of bucket ``index`` (inf for overflow)."""
+    if index <= _UNDERFLOW:
+        return 0.0
+    if index >= _OVERFLOW:
+        return float("inf")
+    decade, step = divmod(index - 1, _STEPS_PER_DECADE)
+    return (step + 1) * 10.0 ** (decade + _MIN_DECADE)
 
 
 class Counter:
@@ -82,7 +133,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "count", "total", "min", "max", "sample",
-                 "sample_limit", "seed", "_rng")
+                 "sample_limit", "seed", "buckets", "_rng")
 
     def __init__(
         self, name: str, sample_limit: int = 4096, seed: int | None = None
@@ -95,6 +146,7 @@ class Histogram:
         self.sample: list[float] = []
         self.sample_limit = sample_limit
         self.seed = zlib.crc32(name.encode()) if seed is None else seed
+        self.buckets: dict[int, int] = {}
         self._rng = random.Random(self.seed)
 
     def observe(self, value: float) -> None:
@@ -105,6 +157,8 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
         if len(self.sample) < self.sample_limit:
             self.sample.append(value)
         else:
@@ -123,6 +177,53 @@ class Histogram:
         ordered = sorted(self.sample)
         index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
         return ordered[index]
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-th percentile (0..100) from the bucket counts.
+
+        Unlike :meth:`percentile` this works on the shared log-linear
+        grid, so it stays meaningful after :meth:`merge` combines
+        histograms from several processes.  The answer is the upper
+        bound of the bucket holding the target rank, clamped to the
+        exact observed ``[min, max]`` range.  Falls back to the
+        reservoir when no bucket counts exist (legacy dumps).
+        """
+        if not self.count:
+            return 0.0
+        if not self.buckets:
+            return self.percentile(q)
+        rank = q / 100.0 * (self.count - 1)
+        cumulative = 0
+        bound = 0.0
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative > rank:
+                bound = bucket_upper_bound(index)
+                break
+        return min(max(bound, self.min), self.max)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Counts, totals, extrema, and bucket grids combine exactly; the
+        reservoirs concatenate and, past ``sample_limit``, are thinned
+        by a deterministic draw so merged dumps are reproducible.
+        """
+        if not other.count:
+            return
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + int(n)
+        combined = self.sample + list(other.sample)
+        if len(combined) > self.sample_limit:
+            rng = random.Random((self.seed * 1000003) ^ other.seed)
+            combined = rng.sample(combined, self.sample_limit)
+        self.sample = combined
 
     def summary(self) -> dict:
         """The row rendered by the ASCII reporter."""
@@ -144,7 +245,41 @@ class Histogram:
             "sample": list(self.sample),
             "sample_limit": self.sample_limit,
             "seed": self.seed,
+            "buckets": {str(i): n for i, n in sorted(self.buckets.items())},
         }
+
+    def to_merge_dict(self) -> dict:
+        """A compact wire form: exact stats + buckets, no reservoir.
+
+        Small enough to ride a JSON stats reply per shard, yet enough
+        to rebuild fleet-level p50/p95/p99 via :meth:`from_merge_dict`
+        and :meth:`merge`.
+        """
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {str(i): n for i, n in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_merge_dict(cls, name: str, dump: dict) -> "Histogram":
+        """Rebuild a (reservoir-less) histogram from a merge dict."""
+        try:
+            hist = cls(name)
+            hist.count = int(dump["count"])
+            hist.total = float(dump["total"])
+            hist.min = float("inf") if dump.get("min") is None else float(dump["min"])
+            hist.max = float("-inf") if dump.get("max") is None else float(dump["max"])
+            hist.buckets = {
+                int(i): int(n) for i, n in (dump.get("buckets") or {}).items()
+            }
+            return hist
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ObservabilityError(
+                f"malformed histogram merge dump for {name!r}: {exc}"
+            ) from exc
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:g})"
@@ -239,6 +374,10 @@ class MetricsRegistry:
                 hist.max = float("-inf") if dump["max"] is None else float(dump["max"])
                 hist.sample = [float(v) for v in dump.get("sample", [])]
                 hist.sample_limit = int(dump.get("sample_limit", 4096))
+                hist.buckets = {
+                    int(i): int(n)
+                    for i, n in (dump.get("buckets") or {}).items()
+                }
                 if dump.get("seed") is not None:
                     hist.seed = int(dump["seed"])
                 # replay determinism: a restored histogram draws its

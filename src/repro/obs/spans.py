@@ -36,7 +36,7 @@ class Span:
     """
 
     __slots__ = ("name", "attributes", "start_s", "end_s", "children",
-                 "_tracer")
+                 "span_id", "_tracer")
 
     def __init__(
         self, name: str, attributes: dict | None = None, tracer=None
@@ -46,6 +46,7 @@ class Span:
         self.start_s = 0.0
         self.end_s: float | None = None
         self.children: list[Span] = []
+        self.span_id = 0  # assigned by the tracer on first enter
         self._tracer = tracer
 
     # -- timing ---------------------------------------------------------
@@ -98,6 +99,7 @@ class Span:
     def to_dict(self) -> dict:
         return {
             "name": self.name,
+            "span_id": self.span_id,
             "start_s": self.start_s,
             "end_s": self.end_s,
             "attributes": dict(self.attributes),
@@ -108,6 +110,7 @@ class Span:
     def from_dict(cls, data: dict) -> "Span":
         try:
             span = cls(data["name"], dict(data.get("attributes", {})))
+            span.span_id = int(data.get("span_id", 0))
             span.start_s = float(data["start_s"])
             end = data.get("end_s")
             span.end_s = None if end is None else float(end)
@@ -137,21 +140,35 @@ class SpanTracer:
         Maximum retained spans across all trees.  Beyond it, new spans
         still time their region (so control flow never changes) but are
         not attached to the tree; ``dropped`` reports how many.
+    mode:
+        ``"block"`` (default) stops attaching once full — the original
+        behaviour, right for bounded runs where the warm-up matters.
+        ``"ring"`` keeps the *newest* spans instead: when full, the
+        oldest finished root trees are evicted (and counted in
+        ``dropped``) to make room, which is what a long-running service
+        wants for slow-request forensics.
     """
 
     def __init__(
         self,
         clock: Callable[[], float] | None = None,
         capacity: int = 8192,
+        mode: str = "block",
     ) -> None:
         if capacity < 1:
             raise ObservabilityError("span tracer capacity must be >= 1")
+        if mode not in ("block", "ring"):
+            raise ObservabilityError(
+                f"span tracer mode must be 'block' or 'ring' (got {mode!r})"
+            )
         self.clock = clock or time.perf_counter
         self.capacity = capacity
+        self.mode = mode
         self.roots: list[Span] = []
         self.retained = 0
         self.dropped = 0
         self._stack: list[Span] = []
+        self._next_span_id = 1
 
     def span(self, name: str, **attributes) -> Span:
         """A fresh span, attached to the current open span on enter."""
@@ -162,10 +179,20 @@ class SpanTracer:
         """The innermost open span, if any."""
         return self._stack[-1] if self._stack else None
 
+    @property
+    def open_spans(self) -> tuple[Span, ...]:
+        """The open-span stack, outermost first (read-only view)."""
+        return tuple(self._stack)
+
     # -- stack mechanics (driven by Span.__enter__/__exit__) -----------
     def _enter(self, span: Span) -> None:
         span.start_s = self.clock()
         span.end_s = None
+        if span.span_id == 0:
+            span.span_id = self._next_span_id
+            self._next_span_id += 1
+        if self.retained >= self.capacity and self.mode == "ring":
+            self._evict(1)
         if self.retained < self.capacity:
             self.retained += 1
             if self._stack:
@@ -175,6 +202,24 @@ class SpanTracer:
         else:
             self.dropped += 1
         self._stack.append(span)
+
+    def _evict(self, needed: int) -> None:
+        """Drop the oldest finished root trees until ``needed`` fit.
+
+        Open trees (anything still on the stack, or simply unfinished)
+        are never evicted — if only open trees remain, the new span is
+        dropped instead, same as block mode.
+        """
+        index = 0
+        while self.retained + needed > self.capacity and index < len(self.roots):
+            root = self.roots[index]
+            if not root.finished or root in self._stack:
+                index += 1
+                continue
+            size = sum(1 for __ in root.walk())
+            del self.roots[index]
+            self.retained -= size
+            self.dropped += size
 
     def _exit(self, span: Span) -> None:
         span.end_s = self.clock()
@@ -206,6 +251,7 @@ class SpanTracer:
     def to_dict(self) -> dict:
         return {
             "capacity": self.capacity,
+            "mode": self.mode,
             "dropped": self.dropped,
             "roots": [root.to_dict() for root in self.roots],
         }
@@ -213,7 +259,10 @@ class SpanTracer:
     @classmethod
     def from_dict(cls, data: dict) -> "SpanTracer":
         try:
-            tracer = cls(capacity=int(data.get("capacity", 8192)))
+            tracer = cls(
+                capacity=int(data.get("capacity", 8192)),
+                mode=str(data.get("mode", "block")),
+            )
             tracer.roots = [
                 Span.from_dict(root) for root in data.get("roots", [])
             ]
@@ -221,6 +270,11 @@ class SpanTracer:
                 1 for root in tracer.roots for __ in root.walk()
             )
             tracer.dropped = int(data.get("dropped", 0))
+            tracer._next_span_id = 1 + max(
+                (span.span_id for root in tracer.roots
+                 for span, __ in root.walk()),
+                default=0,
+            )
             return tracer
         except (TypeError, ValueError) as exc:
             raise ObservabilityError(
@@ -239,6 +293,7 @@ class _NullSpan:
     end_s = 0.0
     duration_s = 0.0
     finished = True
+    span_id = 0
 
     def annotate(self, **attributes) -> "_NullSpan":
         return self

@@ -47,6 +47,8 @@ from repro.errors import (
     ServiceError,
     ServiceUnavailableError,
 )
+from repro.obs.distributed import adopt_trace
+from repro.obs.spans import maybe_span
 from repro.service import messages as msg
 from repro.service import wire
 
@@ -241,13 +243,19 @@ class InProcessClient(_BaseClient):
     which is what the socket-vs-in-process streaming parity test pins.
     """
 
-    def __init__(self, service) -> None:
+    def __init__(self, service, *, instrumentation=None) -> None:
         self.service = service
+        self.instrumentation = instrumentation
         self._pending: deque[tuple[int, msg.Message]] = deque()
         self._next_cid = 0
 
     def request(self, request: msg.Message) -> msg.Message:
-        reply = self.service.handle(request)
+        obs = self.instrumentation
+        with maybe_span(
+            obs, "client.request", kind=request.kind, transport="inprocess"
+        ) as span:
+            trace = adopt_trace(obs, span)
+            reply = self.service.handle(request, trace=trace)
         if isinstance(reply, msg.ErrorReply):  # pragma: no cover - handle
             raise msg.error_from_reply(reply)  # raises typed errors itself
         return reply
@@ -259,8 +267,16 @@ class InProcessClient(_BaseClient):
             )
         cid = self._next_cid
         self._next_cid += 1
+        obs = self.instrumentation
         try:
-            reply = self.service.handle(request)
+            with maybe_span(
+                obs,
+                "client.submit",
+                kind=request.kind,
+                transport="inprocess",
+            ) as span:
+                trace = adopt_trace(obs, span)
+                reply = self.service.handle(request, trace=trace)
         except Exception as err:  # typed errors included — parity with wire
             reply = msg.error_to_reply(err)
         self._pending.append((cid, reply))
@@ -307,6 +323,12 @@ class SocketClient(_BaseClient):
         (``None`` until the first request settles it), and a reconnect
         re-negotiates with the same preference, so a retried
         idempotent request stays on the same protocol.
+    instrumentation:
+        Optional :class:`~repro.obs.instrument.Instrumentation`: each
+        lockstep request then runs under a ``client.request`` span
+        whose trace context rides the wire (v2 frame flag, v1
+        envelope field), stitching client and server spans into one
+        distributed trace (see :mod:`repro.obs.distributed`).
     """
 
     def __init__(
@@ -317,6 +339,7 @@ class SocketClient(_BaseClient):
         *,
         connect_timeout_s: float | None = None,
         protocol: str = "auto",
+        instrumentation=None,
     ) -> None:
         if protocol not in ("v1", "v2", "auto"):
             raise ServiceError(
@@ -325,6 +348,7 @@ class SocketClient(_BaseClient):
             )
         self.host = host
         self.port = port
+        self.instrumentation = instrumentation
         self.timeout_s = timeout_s
         self.connect_timeout_s = (
             timeout_s if connect_timeout_s is None else connect_timeout_s
@@ -423,7 +447,7 @@ class SocketClient(_BaseClient):
         )
 
     # -- framing --------------------------------------------------------
-    def _write_request(self, request: msg.Message, cid=None) -> None:
+    def _write_request(self, request: msg.Message, cid=None, trace=None) -> None:
         if self._file is None:
             self._connect()
         if self.protocol_version is None:
@@ -431,11 +455,13 @@ class SocketClient(_BaseClient):
         try:
             if self.protocol_version == "v2":
                 self._file.write(
-                    wire.encode_frame(request, cid=cid, spool=self._spool)
+                    wire.encode_frame(
+                        request, cid=cid, spool=self._spool, trace=trace
+                    )
                 )
             else:
                 self._file.write(
-                    (msg.encode(request, cid=cid) + "\n").encode()
+                    (msg.encode(request, cid=cid, trace=trace) + "\n").encode()
                 )
         except OSError as err:
             raise self._unavailable("dropped the connection", err) from err
@@ -472,21 +498,30 @@ class SocketClient(_BaseClient):
                 f"{len(self._pending)} pipelined replies outstanding;"
                 " drain() before issuing a lockstep request"
             )
-        try:
-            reply = self._roundtrip(request)
-        except ServiceUnavailableError:
-            if request.kind not in IDEMPOTENT_KINDS:
-                raise
-            # reconnect-once retry: the request has no side effects,
-            # and the fresh connection re-negotiates the same protocol
-            self._connect()
-            reply = self._roundtrip(request)
+        obs = self.instrumentation
+        with maybe_span(
+            obs, "client.request", kind=request.kind, transport="socket"
+        ) as span:
+            trace = adopt_trace(obs, span)
+            try:
+                reply = self._roundtrip(request, trace=trace)
+            except ServiceUnavailableError:
+                if request.kind not in IDEMPOTENT_KINDS:
+                    raise
+                # reconnect-once retry: the request has no side effects,
+                # the fresh connection re-negotiates the same protocol,
+                # and the retry carries the same trace context so both
+                # attempts stitch into one distributed trace
+                span.annotate(retried=True)
+                self._connect()
+                reply = self._roundtrip(request, trace=trace)
+            span.annotate(protocol=self.protocol_version)
         if isinstance(reply, msg.ErrorReply):
             raise msg.error_from_reply(reply)
         return reply
 
-    def _roundtrip(self, request: msg.Message) -> msg.Message:
-        self._write_request(request)
+    def _roundtrip(self, request: msg.Message, trace=None) -> msg.Message:
+        self._write_request(request, trace=trace)
         try:
             self._file.flush()
         except OSError as err:
@@ -507,7 +542,16 @@ class SocketClient(_BaseClient):
             )
         cid = self._next_cid
         self._next_cid += 1
-        self._write_request(request, cid=cid)
+        obs = self.instrumentation
+        with maybe_span(
+            obs,
+            "client.submit",
+            kind=request.kind,
+            transport="socket",
+            cid=cid,
+        ) as span:
+            trace = adopt_trace(obs, span)
+            self._write_request(request, cid=cid, trace=trace)
         self._pending.append(cid)
         return cid
 
@@ -562,6 +606,7 @@ def connect(
     port: int | None = None,
     shards=None,
     protocol: str = "auto",
+    instrumentation=None,
 ):
     """The service front door.
 
@@ -584,7 +629,9 @@ def connect(
             )
         from repro.service.shard import ShardedClient
 
-        return ShardedClient(shards, protocol=protocol)
+        return ShardedClient(
+            shards, protocol=protocol, instrumentation=instrumentation
+        )
     if host is not None or port is not None:
         if service is not None:
             raise ServiceError(
@@ -592,9 +639,11 @@ def connect(
             )
         if host is None or port is None:
             raise ServiceError("socket connection needs both host and port")
-        return SocketClient(host, port, protocol=protocol)
+        return SocketClient(
+            host, port, protocol=protocol, instrumentation=instrumentation
+        )
     if service is None:
         from repro.service.server import TopKService
 
         service = TopKService()
-    return InProcessClient(service)
+    return InProcessClient(service, instrumentation=instrumentation)

@@ -38,7 +38,7 @@ from dataclasses import dataclass, fields
 from typing import ClassVar
 
 import repro.errors as _errors
-from repro.errors import ServiceError
+from repro.errors import ObservabilityError, ServiceError
 
 MAX_FRAME_BYTES = 1_048_576
 """Upper bound on one encoded JSON-lines frame (1 MiB).
@@ -382,15 +382,20 @@ REQUEST_KINDS: frozenset[str] = frozenset(
 )
 
 
-def encode(message: Message, cid: int | None = None) -> str:
+def encode(message: Message, cid: int | None = None, trace=None) -> str:
     """One JSON line (no trailing newline) for ``message``.
 
     ``cid`` (when given) is attached as the envelope-level correlation
-    id a pipelined peer uses to match replies to requests.
+    id a pipelined peer uses to match replies to requests; ``trace``
+    (a :class:`~repro.obs.distributed.TraceContext`) rides the same
+    envelope as a two-int ``trace`` field — the v1 fallback for the v2
+    header trace block.
     """
     data = message.to_dict()
     if cid is not None:
         data["cid"] = int(cid)
+    if trace is not None:
+        data["trace"] = trace.to_jsonable()
     return json.dumps(data, allow_nan=False, sort_keys=True)
 
 
@@ -406,10 +411,24 @@ def decode(line: str) -> Message:
 def decode_envelope(line: str) -> tuple[Message, int | None]:
     """Rehydrate one JSON line into ``(message, correlation id)``.
 
-    The cid is ``None`` for lockstep peers that did not send one.
+    Any envelope-level trace context is discarded; use
+    :func:`decode_envelope_trace` to keep it.
+    """
+    message, cid, __ = decode_envelope_trace(line)
+    return message, cid
+
+
+def decode_envelope_trace(line: str):
+    """Rehydrate one JSON line into ``(message, cid, trace context)``.
+
+    The cid is ``None`` for lockstep peers that did not send one; the
+    trace is ``None`` unless the envelope carries a valid ``trace``
+    field (a :class:`~repro.obs.distributed.TraceContext` otherwise).
     Frames longer than :data:`MAX_FRAME_BYTES` are rejected before any
     JSON parsing.
     """
+    from repro.obs.distributed import TraceContext
+
     if len(line) > MAX_FRAME_BYTES:
         raise ServiceError(
             f"frame of {len(line)} bytes exceeds the"
@@ -424,12 +443,18 @@ def decode_envelope(line: str) -> tuple[Message, int | None]:
     cid = data.pop("cid", None)
     if cid is not None and not isinstance(cid, int):
         raise ServiceError("correlation id must be an integer")
+    trace = data.pop("trace", None)
+    if trace is not None:
+        try:
+            trace = TraceContext.from_jsonable(trace)
+        except ObservabilityError as err:
+            raise ServiceError(str(err)) from err
     kind = data.get("kind")
     cls = MESSAGE_KINDS.get(kind)
     if cls is None:
         raise ServiceError(f"unknown message kind {kind!r}")
     try:
-        return cls.from_dict(data), cid
+        return cls.from_dict(data), cid, trace
     except TypeError as err:
         raise ServiceError(f"malformed {kind!r} message: {err}") from err
 

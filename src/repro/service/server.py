@@ -59,7 +59,8 @@ from repro.errors import (
 from repro.network.energy import EnergyModel
 from repro.network.topology import Topology
 from repro.obs import EnergyLedger
-from repro.obs.spans import maybe_span
+from repro.obs.distributed import REQUEST_LATENCY_METRIC, SlowRequestLog
+from repro.obs.spans import NULL_SPAN, maybe_span
 from repro.plans.serialize import plan_to_dict, topology_fingerprint
 from repro.planners.base import PlannerConfig
 from repro.planners.greedy import GreedyPlanner
@@ -178,6 +179,8 @@ class TopKService:
         self._session_seq = 0
         self._draining = False
         self.sessions_total = 0
+        self._started_s = self.clock()
+        self.slow_requests = SlowRequestLog()
         self._wire_lock = threading.Lock()
         self._wire = {
             "connections": {"v1": 0, "v2": 0},
@@ -323,8 +326,15 @@ class TopKService:
             return sum(1 for s in self._sessions.values() if s.is_open)
 
     # -- request handling ----------------------------------------------
-    def handle(self, request: msg.Message) -> msg.Message:
-        """One typed request to one typed reply (typed errors raised)."""
+    def handle(self, request: msg.Message, *, trace=None) -> msg.Message:
+        """One typed request to one typed reply (typed errors raised).
+
+        ``trace`` is an optional
+        :class:`~repro.obs.distributed.TraceContext` decoded off the
+        wire; when present the request span is annotated with it, which
+        stitches this process's ``service.request`` subtree (plan →
+        compile → solve and all) into the caller's distributed trace.
+        """
         if request.kind not in msg.REQUEST_KINDS:
             raise ServiceError(
                 f"{request.kind!r} is a reply kind, not a request"
@@ -333,18 +343,31 @@ class TopKService:
         if obs is not None:
             obs.counter("service.requests").inc()
             obs.counter(f"service.requests.{request.kind}").inc()
-        with maybe_span(
+        span = maybe_span(
             obs, "service.request", kind=request.kind,
             session=getattr(request, "session_id", None),
-        ):
-            try:
-                return self._dispatch(request)
-            except Exception as err:
-                if obs is not None:
-                    obs.counter(
-                        f"service.errors.{type(err).__name__}"
-                    ).inc()
-                raise
+        )
+        if trace is not None and span is not NULL_SPAN:
+            span.annotate(
+                trace_id=trace.trace_id,
+                parent_span_id=trace.parent_span_id,
+            )
+        try:
+            with span:
+                try:
+                    return self._dispatch(request)
+                except Exception as err:
+                    if obs is not None:
+                        obs.counter(
+                            f"service.errors.{type(err).__name__}"
+                        ).inc()
+                    raise
+        finally:
+            if obs is not None:
+                obs.histogram(REQUEST_LATENCY_METRIC).observe(
+                    span.duration_s
+                )
+                self.slow_requests.offer(span)
 
     def handle_line(self, line: str) -> str:
         """JSON-line transport shim over :meth:`handle`.
@@ -357,8 +380,8 @@ class TopKService:
         """
         cid = None
         try:
-            request, cid = msg.decode_envelope(line)
-            reply = self.handle(request)
+            request, cid, trace = msg.decode_envelope_trace(line)
+            reply = self.handle(request, trace=trace)
         except Exception as err:  # typed errors included
             reply = msg.error_to_reply(err)
         return msg.encode(reply, cid=cid)
@@ -377,10 +400,10 @@ class TopKService:
         """
         cid = None
         try:
-            request, cid = wire.decode_frame(
+            request, cid, trace = wire.decode_frame_trace(
                 body, vectors="array", spool=spool
             )
-            reply = self.handle(request)
+            reply = self.handle(request, trace=trace)
         except Exception as err:  # typed errors included
             reply = msg.error_to_reply(err)
         try:
@@ -438,6 +461,86 @@ class TopKService:
                 else None
             )
         return snapshot
+
+    def blob_counters(self) -> dict:
+        """The ``service.blobs.*`` counter values (shared-memory spool
+        outcomes), keyed by outcome suffix; empty when uninstrumented."""
+        obs = self.instrumentation
+        if obs is None:
+            return {}
+        prefix = "service.blobs."
+        return {
+            name[len(prefix):]: counter.value
+            for name, counter in obs.metrics.counters.items()
+            if name.startswith(prefix)
+        }
+
+    def _histogram_merge_dumps(self) -> dict:
+        """Mergeable dumps of every ``service.*`` histogram (request
+        latency, per-protocol wire bytes): the stats-reply form shard
+        aggregation merges with exact min/max and bucket quantiles."""
+        obs = self.instrumentation
+        if obs is None:
+            return {}
+        return {
+            name: hist.to_merge_dict()
+            for name, hist in obs.metrics.histograms.items()
+            if name.startswith("service.")
+        }
+
+    def telemetry_snapshot(self) -> dict:
+        """One self-describing telemetry snapshot of this process.
+
+        The unit the distributed plane is built from: shard workers
+        ship it over their parent Pipe into a
+        :class:`~repro.obs.distributed.TelemetryAggregator`, which
+        tags it by shard, derives qps from successive snapshots, and
+        merges the histogram dumps into fleet quantiles.  ``ts`` is
+        wall-clock (comparable across same-host processes); span
+        ``start_s`` values are the shared monotonic clock, so merged
+        Chrome traces align across lanes.
+        """
+        obs = self.instrumentation
+        with self._lock:
+            self._expire_idle()
+            open_now = sum(1 for s in self._sessions.values() if s.is_open)
+            handled = sum(
+                s.requests_handled for s in self._sessions.values()
+            )
+            shed = sum(s.requests_shed for s in self._sessions.values())
+            energy = sum(
+                float(s.engine.total_energy_mj)
+                for s in self._sessions.values()
+            )
+        if obs is not None:
+            # session counters miss sessionless requests (stats, plan
+            # registration); the service counter sees every dispatch
+            handled = obs.metrics.counter("service.requests").value
+        return {
+            "shard": "0",
+            "ts": time.time(),
+            "uptime_s": self.clock() - self._started_s,
+            "sessions_open": open_now,
+            "sessions_total": self.sessions_total,
+            "requests_handled": handled,
+            "requests_shed": shed,
+            "cache": self.cache.stats(),
+            "wire": self.wire_stats(),
+            "blobs": self.blob_counters(),
+            "energy_mj": energy,
+            "metrics": (
+                obs.metrics.to_dict()
+                if obs is not None
+                else {"counters": {}, "gauges": {}, "histograms": {}}
+            ),
+            "spans": (
+                obs.spans.to_dict()
+                if obs is not None
+                else {"capacity": 0, "mode": "block", "dropped": 0,
+                      "roots": []}
+            ),
+            "exemplars": self.slow_requests.to_dicts(),
+        }
 
     def _dispatch(self, request: msg.Message) -> msg.Message:
         if isinstance(request, msg.RegisterTopology):
@@ -542,6 +645,8 @@ class TopKService:
                 "requests_handled": handled,
                 "requests_shed": shed,
                 "wire": self.wire_stats(),
+                "blobs": self.blob_counters(),
+                "histograms": self._histogram_merge_dumps(),
             }
             return msg.StatsReply(
                 sessions_open=open_now,

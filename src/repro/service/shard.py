@@ -39,6 +39,12 @@ import threading
 from dataclasses import replace as dataclass_replace
 
 from repro.errors import ServiceError, ServiceUnavailableError
+from repro.obs.distributed import (
+    TelemetryAggregator,
+    TelemetryServer,
+    adopt_trace,
+)
+from repro.obs.metrics import Histogram
 from repro.obs.spans import maybe_span
 from repro.service import messages as msg
 from repro.service.client import SocketClient, _BaseClient
@@ -82,7 +88,11 @@ def _worker_main(index: int, host: str, conn, config) -> None:
     from repro.obs import Instrumentation
     from repro.service.server import TopKService, serve
 
-    service = TopKService(config, instrumentation=Instrumentation())
+    # ring-mode spans: a long-lived worker keeps the newest trees and
+    # counts evictions instead of silently dropping telemetry
+    service = TopKService(
+        config, instrumentation=Instrumentation(span_mode="ring")
+    )
 
     async def _main() -> None:
         try:
@@ -95,14 +105,44 @@ def _worker_main(index: int, host: str, conn, config) -> None:
         stop = asyncio.Event()
         grace = [5.0]
 
+        async def _snapshot() -> dict:
+            snapshot = service.telemetry_snapshot()
+            snapshot["shard"] = str(index)
+            return snapshot
+
         def _watch_pipe() -> None:
-            try:
-                message = conn.recv()
-                if isinstance(message, tuple) and message[0] == "shutdown":
+            # served until shutdown: telemetry polls are answered
+            # in-line (snapshotted on the event loop so they never
+            # race request handling), anything else stops the worker
+            while True:
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    grace[0] = 0.0  # parent died: fast drain
+                    break
+                if not isinstance(message, tuple) or not message:
+                    continue
+                if message[0] == "telemetry":
+                    try:
+                        future = asyncio.run_coroutine_threadsafe(
+                            _snapshot(), loop
+                        )
+                        payload = future.result(timeout=10.0)
+                    except Exception as err:  # pragma: no cover - defensive
+                        payload = {"shard": str(index), "error": str(err)}
+                    try:
+                        conn.send(("telemetry", payload))
+                    except (BrokenPipeError, OSError):
+                        grace[0] = 0.0
+                        break
+                    continue
+                if message[0] == "shutdown":
                     grace[0] = float(message[1])
-            except (EOFError, OSError):
-                grace[0] = 0.0  # parent died: fast drain
-            loop.call_soon_threadsafe(stop.set)
+                break
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:  # loop already torn down (SIGINT)
+                pass
 
         threading.Thread(target=_watch_pipe, daemon=True).start()
         await stop.wait()
@@ -138,6 +178,12 @@ class ShardedService:
     instrumentation:
         Optional parent-side :class:`~repro.obs.Instrumentation` for
         the ``service.shard.*`` gauges/counters/events.
+    telemetry_port:
+        When not ``None``, :meth:`start` also brings up the live
+        telemetry HTTP endpoint
+        (:class:`~repro.obs.TelemetryServer`) on this port (0 picks a
+        free one; see :attr:`telemetry` for the bound server).  Each
+        HTTP request triggers a fresh :meth:`poll_telemetry` sweep.
     start_method:
         ``multiprocessing`` start method (default ``spawn``: immune to
         the parent's threads and event loops; ``fork`` is faster to
@@ -152,6 +198,7 @@ class ShardedService:
         host: str = "127.0.0.1",
         artifact_dir: str | None = None,
         instrumentation=None,
+        telemetry_port: int | None = None,
         start_method: str = "spawn",
         grace_seconds: float = 5.0,
     ) -> None:
@@ -175,6 +222,10 @@ class ShardedService:
         self._processes: list = []
         self._pipes: list = []
         self.endpoints: list[tuple[str, int]] = []
+        self._pipe_lock = threading.Lock()
+        self.aggregator = TelemetryAggregator()
+        self.telemetry_port = telemetry_port
+        self.telemetry: "TelemetryServer | None" = None
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> "ShardedService":
@@ -210,6 +261,12 @@ class ShardedService:
                     self.shutdown(grace_seconds=0.0)
                     raise ServiceUnavailableError(str(payload))
                 self.endpoints.append((self.host, int(payload)))
+        if self.telemetry_port is not None:
+            self.telemetry = TelemetryServer(
+                self._collect_telemetry,
+                host=self.host,
+                port=self.telemetry_port,
+            ).start()
         if obs is not None:
             obs.gauge("service.shard.workers").set(float(self.workers))
             obs.event(
@@ -228,12 +285,16 @@ class ShardedService:
         """
         grace = self.grace_seconds if grace_seconds is None else grace_seconds
         obs = self.instrumentation
+        if self.telemetry is not None:
+            self.telemetry.stop()
+            self.telemetry = None
         with maybe_span(obs, "service.shard.shutdown", grace=grace):
-            for pipe in self._pipes:
-                try:
-                    pipe.send(("shutdown", grace))
-                except (BrokenPipeError, OSError):
-                    pass
+            with self._pipe_lock:
+                for pipe in self._pipes:
+                    try:
+                        pipe.send(("shutdown", grace))
+                    except (BrokenPipeError, OSError):
+                        pass
             for process, pipe in zip(self._processes, self._pipes):
                 process.join(timeout=grace + 5.0)
                 if process.is_alive():  # pragma: no cover - escalation
@@ -258,6 +319,44 @@ class ShardedService:
 
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
+
+    # -- telemetry ------------------------------------------------------
+    def poll_telemetry(
+        self, timeout_s: float = 10.0
+    ) -> TelemetryAggregator:
+        """Sweep every worker for a telemetry snapshot; fold into
+        :attr:`aggregator` (which keeps the latest per shard and
+        derives qps from successive sweeps).
+
+        Best-effort by design: a dead or slow worker simply
+        contributes nothing to this sweep — its previous snapshot (if
+        any) stays visible, and the sweep never raises.
+        """
+        with self._pipe_lock:
+            polled = []
+            for index, pipe in enumerate(self._pipes):
+                try:
+                    pipe.send(("telemetry",))
+                except (BrokenPipeError, OSError):
+                    continue
+                polled.append((index, pipe))
+            for index, pipe in polled:
+                try:
+                    if not pipe.poll(timeout_s):
+                        continue
+                    tag, payload = pipe.recv()
+                except (EOFError, OSError):
+                    continue
+                if tag != "telemetry" or not isinstance(payload, dict):
+                    continue  # e.g. a "stopped" racing a shutdown
+                if "error" in payload:
+                    continue
+                self.aggregator.ingest(payload)
+        return self.aggregator
+
+    def _collect_telemetry(self) -> TelemetryAggregator:
+        """The :class:`TelemetryServer` ``collect`` hook."""
+        return self.poll_telemetry()
 
     # -- routing & clients ----------------------------------------------
     def worker_for(self, topology_id: str, planner: str, k: int) -> int:
@@ -328,6 +427,7 @@ class ShardedClient(_BaseClient):
                 port,
                 timeout_s=self.timeout_s,
                 protocol=self.protocol,
+                instrumentation=self.instrumentation,
             )
             self._clients[index] = client
         return client
@@ -390,7 +490,11 @@ class ShardedClient(_BaseClient):
             obs.counter(f"service.shard.requests.{shard}").inc()
         with maybe_span(
             obs, "service.shard.request", shard=shard, kind=request.kind
-        ):
+        ) as span:
+            # the dispatch span joins (or starts) the distributed
+            # trace; the nested SocketClient span then inherits the
+            # same trace id and carries it to the worker
+            adopt_trace(obs, span)
             reply = self._shard_client(shard).request(routed)
         return self._namespace_reply(shard, reply)
 
@@ -424,8 +528,45 @@ class ShardedClient(_BaseClient):
             sessions_open=sessions_open,
             sessions_total=sessions_total,
             topologies=topologies,
-            counters={"workers": self.workers, "per_shard": per_shard},
+            counters={
+                "workers": self.workers,
+                "per_shard": per_shard,
+                "histograms": self._merge_histograms(per_shard),
+            },
         )
+
+    @staticmethod
+    def _merge_histograms(per_shard: dict) -> dict:
+        """Fleet latency summaries from the shards' mergeable dumps.
+
+        Bucket counts add exactly and min/max combine exactly, so the
+        fleet p50/p95/p99 here are true merged quantiles — not an
+        average of per-shard percentiles, which is meaningless.
+        """
+        merged: dict[str, Histogram] = {}
+        for counters in per_shard.values():
+            for name, dump in (counters.get("histograms") or {}).items():
+                try:
+                    hist = Histogram.from_merge_dict(name, dump)
+                except Exception:
+                    continue  # an old worker without mergeable dumps
+                if name in merged:
+                    merged[name].merge(hist)
+                else:
+                    merged[name] = hist
+        return {
+            name: {
+                "count": hist.count,
+                "mean": hist.total / hist.count,
+                "min": hist.min,
+                "max": hist.max,
+                "p50": hist.quantile(50.0),
+                "p95": hist.quantile(95.0),
+                "p99": hist.quantile(99.0),
+            }
+            for name, hist in sorted(merged.items())
+            if hist.count
+        }
 
     # -- pipelining -----------------------------------------------------
     def submit_nowait(self, request: msg.Message) -> int:

@@ -60,6 +60,7 @@ import struct
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.obs.distributed import TraceContext
 from repro.service.messages import (
     MAX_FRAME_BYTES,
     MESSAGE_KINDS,
@@ -79,9 +80,13 @@ which protocol the peer speaks.
 """
 
 FLAG_CID = 0x01
-_KNOWN_FLAGS = FLAG_CID
+FLAG_TRACE = 0x02
+_KNOWN_FLAGS = FLAG_CID | FLAG_TRACE
 
 _HEADER = struct.Struct("<BBQ")
+_TRACE_BLOCK = struct.Struct("<QQ")
+"""Fixed-width trace context (trace id u64, parent span id u64),
+present directly after the header when :data:`FLAG_TRACE` is set."""
 _U32 = struct.Struct("<I")
 _I64 = struct.Struct("<q")
 _F64 = struct.Struct("<d")
@@ -588,12 +593,14 @@ _UNPACKERS = {
 
 
 def encode_frame(
-    message: Message, cid: int | None = None, spool=None
+    message: Message, cid: int | None = None, spool=None, trace=None
 ) -> bytes:
     """One complete v2 frame (length prefix included) for ``message``.
 
     ``cid`` rides in the header exactly like v1's envelope-level
-    correlation id; ``spool`` (a
+    correlation id; ``trace`` (a
+    :class:`~repro.obs.distributed.TraceContext`) adds the fixed-width
+    trace-context block behind :data:`FLAG_TRACE`; ``spool`` (a
     :class:`~repro.service.artifacts.BlobSpool`) enables the same-host
     blob-reference fast path for large float payloads.
     """
@@ -607,7 +614,18 @@ def encode_frame(
         header_cid = int(cid)
         if not 0 <= header_cid < 1 << 64:
             raise ProtocolError("correlation id out of u64 range")
+    if trace is not None:
+        flags |= FLAG_TRACE
     parts = [b"", _HEADER.pack(code, flags, header_cid)]
+    if trace is not None:
+        if not (
+            0 < trace.trace_id < 1 << 64
+            and 0 <= trace.parent_span_id < 1 << 64
+        ):
+            raise ProtocolError("trace context ids out of u64 range")
+        parts.append(
+            _TRACE_BLOCK.pack(trace.trace_id, trace.parent_span_id)
+        )
     specs = _FIELD_SPECS[message.kind]
     for name, ftype in specs:
         _PACKERS[ftype](getattr(message, name), parts, spool)
@@ -621,22 +639,24 @@ def encode_frame(
     return b"".join(parts)
 
 
-def decode_frame(
+def decode_frame_trace(
     body: bytes | memoryview,
     *,
     vectors: str = "tuple",
     spool=None,
-) -> tuple[Message, int | None]:
+) -> tuple[Message, int | None, "object | None"]:
     """Rehydrate one frame *body* (header + payload, no length prefix)
-    into ``(message, correlation id)``.
+    into ``(message, correlation id, trace context)``.
 
     ``vectors="tuple"`` (the default) produces the canonical tuple
     form, so ``decode_frame(encode_frame(m)) == (m, None)`` exactly;
     ``vectors="array"`` hands float vectors and matrices back as
     zero-copy read-only ``np.frombuffer`` views over the frame buffer
-    — the server's data-plane mode.  Violations (truncation, trailing
-    bytes, unknown kind codes or flag bits) raise
-    :class:`~repro.errors.ProtocolError`.
+    — the server's data-plane mode.  The trace context is a
+    :class:`~repro.obs.distributed.TraceContext` when the frame
+    carries :data:`FLAG_TRACE`, else ``None``.  Violations
+    (truncation, trailing bytes, unknown kind codes or flag bits)
+    raise :class:`~repro.errors.ProtocolError`.
     """
     view = memoryview(body)
     if len(view) > MAX_FRAME_BYTES:
@@ -657,6 +677,16 @@ def decode_frame(
         raise ProtocolError(f"unknown wire kind code {code}")
     cid = header_cid if flags & FLAG_CID else None
     offset = _HEADER.size
+    trace = None
+    if flags & FLAG_TRACE:
+        _need(view, offset, _TRACE_BLOCK.size)
+        trace_id, parent_span_id = _TRACE_BLOCK.unpack_from(view, offset)
+        offset += _TRACE_BLOCK.size
+        if trace_id == 0:
+            raise ProtocolError("trace context block carries trace id 0")
+        trace = TraceContext(
+            trace_id=trace_id, parent_span_id=parent_span_id
+        )
     payload = {}
     for name, ftype in _FIELD_SPECS[kind]:
         payload[name], offset = _UNPACKERS[ftype](view, offset, vectors, spool)
@@ -665,7 +695,21 @@ def decode_frame(
             f"{len(view) - offset} trailing payload bytes after"
             f" {kind!r} frame fields (v1 unknown-field parity)"
         )
-    return MESSAGE_KINDS[kind](**payload), cid
+    return MESSAGE_KINDS[kind](**payload), cid, trace
+
+
+def decode_frame(
+    body: bytes | memoryview,
+    *,
+    vectors: str = "tuple",
+    spool=None,
+) -> tuple[Message, int | None]:
+    """:func:`decode_frame_trace` without the trace context — the
+    original two-tuple surface most call sites (and tests) use."""
+    message, cid, __ = decode_frame_trace(
+        body, vectors=vectors, spool=spool
+    )
+    return message, cid
 
 
 def read_frame_blocking(sock_file) -> bytes:

@@ -131,3 +131,119 @@ class TestRoundTrip:
         assert restored.metrics.counter("n").value == 1
         assert restored.trace.kinds() == ["lp_solve"]
         assert restored.trace.events("lp_solve")[0].data["model"] == "m"
+
+
+class TestMergeableBuckets:
+    """The fixed log-linear bucket grid behind fleet-level quantiles."""
+
+    def _hist(self, name="h"):
+        from repro.obs.metrics import Histogram
+
+        return Histogram(name)
+
+    def test_bucket_bounds_cover_each_observation(self):
+        from repro.obs.metrics import bucket_index, bucket_upper_bound
+
+        for value in (1e-9, 3.7e-4, 0.009999, 0.5, 1.0, 9.999, 42.0, 8.8e7):
+            index = bucket_index(value)
+            assert value <= bucket_upper_bound(index) * (1 + 1e-9)
+            # and the bound is tight: one linear step wide, so at
+            # worst 2x the value (the step-1 -> step-2 edge)
+            assert bucket_upper_bound(index) <= value * 2.0 * (1 + 1e-9)
+
+    def test_degenerate_values_land_in_sentinel_buckets(self):
+        from repro.obs.metrics import (
+            bucket_index,
+            bucket_upper_bound,
+        )
+
+        assert bucket_index(0.0) == 0
+        assert bucket_index(-1.0) == 0
+        assert bucket_index(float("nan")) == 0
+        assert bucket_upper_bound(0) == 0.0
+        assert bucket_upper_bound(bucket_index(float("inf"))) == float("inf")
+        assert bucket_index(1e300) == bucket_index(float("inf"))
+
+    def test_quantile_reads_buckets_and_clamps_to_extrema(self):
+        hist = self._hist()
+        for value in [0.001] * 98 + [0.5, 2.0]:
+            hist.observe(value)
+        assert hist.quantile(50) == pytest.approx(0.001, rel=0.15)
+        # rank 98.01 of 100 lands on the 0.5 straggler, like numpy's
+        # interpolated percentile would
+        assert hist.quantile(99) == pytest.approx(0.5, rel=0.15)
+        assert hist.quantile(100) == pytest.approx(2.0)
+        assert hist.quantile(0) >= hist.min
+        assert hist.quantile(100) <= hist.max
+
+    def test_merge_is_exact_on_counts_extrema_and_buckets(self):
+        a, b = self._hist("a"), self._hist("b")
+        for value in (0.01, 0.02, 0.04):
+            a.observe(value)
+        for value in (1.0, 2.0):
+            b.observe(value)
+        a.merge(b)
+        assert a.count == 5
+        assert a.total == pytest.approx(3.07)
+        assert a.min == pytest.approx(0.01)
+        assert a.max == pytest.approx(2.0)
+        assert sum(a.buckets.values()) == 5
+        # merged quantiles see both shards' territory
+        assert a.quantile(99) > 0.5
+        assert a.quantile(10) < 0.1
+
+    def test_merge_with_empty_is_identity(self):
+        a, b = self._hist("a"), self._hist("b")
+        a.observe(1.0)
+        before = a.to_merge_dict()
+        a.merge(b)
+        assert a.to_merge_dict() == before
+
+    def test_merged_quantiles_match_a_single_big_histogram(self):
+        whole = self._hist("whole")
+        parts = [self._hist(f"part{i}") for i in range(4)]
+        values = [0.001 * (i + 1) for i in range(400)]
+        for i, value in enumerate(values):
+            whole.observe(value)
+            parts[i % 4].observe(value)
+        merged = parts[0]
+        for part in parts[1:]:
+            merged.merge(part)
+        for q in (50, 90, 95, 99):
+            assert merged.quantile(q) == whole.quantile(q)
+
+    def test_merge_dict_round_trip(self):
+        from repro.obs.metrics import Histogram
+
+        hist = self._hist()
+        for value in (0.003, 0.3, 33.0):
+            hist.observe(value)
+        restored = Histogram.from_merge_dict("h", hist.to_merge_dict())
+        assert restored.count == hist.count
+        assert restored.buckets == hist.buckets
+        assert restored.quantile(50) == hist.quantile(50)
+        # merge dicts are JSON-safe (string bucket keys)
+        import json
+
+        assert json.loads(json.dumps(hist.to_merge_dict()))
+
+    def test_malformed_merge_dict_raises(self):
+        from repro.obs.metrics import Histogram
+
+        with pytest.raises(ObservabilityError):
+            Histogram.from_merge_dict("h", {"total": 1.0})
+        with pytest.raises(ObservabilityError):
+            Histogram.from_merge_dict(
+                "h", {"count": 1, "total": 1.0, "buckets": {"x": "y"}}
+            )
+
+    def test_registry_dump_restores_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(0.25)
+        restored = MetricsRegistry.from_dict(registry.to_dict())
+        assert restored.histogram("lat").buckets == (
+            registry.histogram("lat").buckets
+        )
+        assert restored.histogram("lat").quantile(50) == pytest.approx(
+            registry.histogram("lat").quantile(50)
+        )

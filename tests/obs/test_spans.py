@@ -191,3 +191,92 @@ class TestSerialization:
             Span.from_dict({"start_s": 0.0})
         with pytest.raises(ObservabilityError, match="malformed"):
             SpanTracer.from_dict({"roots": [{"name": "x"}]})
+
+
+class TestRingMode:
+    """Bounded tracing for long-lived services: keep the newest
+    finished trees, count what was evicted."""
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ObservabilityError):
+            SpanTracer(mode="circular")
+
+    def test_evicts_oldest_finished_roots_and_counts_spans(self):
+        tracer = SpanTracer(clock=FakeClock(), capacity=4, mode="ring")
+        for i in range(8):
+            with tracer.span(f"req{i}"):
+                pass
+        assert [root.name for root in tracer.roots] == [
+            "req4", "req5", "req6", "req7"
+        ]
+        assert tracer.retained == 4
+        assert tracer.dropped == 4
+
+    def test_eviction_counts_whole_subtrees(self):
+        tracer = SpanTracer(clock=FakeClock(), capacity=3, mode="ring")
+        with tracer.span("first"):
+            with tracer.span("child"):
+                pass
+        with tracer.span("second"):
+            pass
+        with tracer.span("third"):  # evicts "first" (2 spans)
+            pass
+        assert [root.name for root in tracer.roots] == ["second", "third"]
+        assert tracer.dropped == 2
+        assert tracer.retained == 2
+
+    def test_never_evicts_the_open_root_it_is_nested_under(self):
+        tracer = SpanTracer(clock=FakeClock(), capacity=1, mode="ring")
+        with tracer.span("outer"):
+            # outer is open and at capacity: it cannot be evicted, so
+            # the nested span falls back to block-mode dropping
+            with tracer.span("inner"):
+                pass
+        (root,) = tracer.roots
+        assert root.name == "outer"
+        assert root.children == [] or root.children == ()
+        assert tracer.dropped == 1
+        assert root.finished  # the drop never corrupted the stack
+
+    def test_block_mode_still_drops_newest(self):
+        tracer = SpanTracer(clock=FakeClock(), capacity=2, mode="block")
+        for i in range(4):
+            with tracer.span(f"req{i}"):
+                pass
+        assert [root.name for root in tracer.roots] == ["req0", "req1"]
+        assert tracer.dropped == 2
+
+    def test_mode_and_span_ids_round_trip_through_dump(self):
+        tracer = SpanTracer(clock=FakeClock(), capacity=8, mode="ring")
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        dump = tracer.to_dict()
+        assert dump["mode"] == "ring"
+        restored = SpanTracer.from_dict(dump)
+        assert restored.mode == "ring"
+        assert restored.to_dict() == dump
+        # restored tracer keeps minting ids above what it loaded
+        with restored.span("c") as span:
+            pass
+        all_ids = [span.span_id for root in restored.roots
+                   for span, __ in root.walk()]
+        assert len(set(all_ids)) == len(all_ids)
+
+    def test_span_ids_are_unique_and_stable_in_dumps(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with tracer.span("a") as a:
+            with tracer.span("b") as b:
+                pass
+        assert a.span_id != b.span_id
+        dump = tracer.to_dict()
+        assert dump["roots"][0]["span_id"] == a.span_id
+        assert dump["roots"][0]["children"][0]["span_id"] == b.span_id
+
+    def test_instrumentation_passes_span_mode_through(self):
+        obs = Instrumentation(span_mode="ring", span_capacity=2)
+        for i in range(5):
+            with obs.span(f"req{i}"):
+                pass
+        assert obs.spans.mode == "ring"
+        assert obs.spans.dropped == 3

@@ -179,7 +179,7 @@ class TestPhaseCoverage:
         must sum to within 10% of the root span."""
         from repro.cli import _stats_demo
 
-        obs, __ = _stats_demo(epochs=3, nodes=16)
+        obs, *__ = _stats_demo(epochs=3, nodes=16)
         (root,) = obs.spans.roots
         assert root.name == "run"
         phase_total = sum(
